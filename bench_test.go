@@ -1,0 +1,476 @@
+// Package bench is the experiment harness: one benchmark per artifact
+// of the paper's evaluation section (see DESIGN.md §4 and
+// EXPERIMENTS.md). The paper is a workshop demonstration with figures
+// rather than numeric tables, so each benchmark regenerates the
+// behaviour behind a figure and reports the relevant quantitative
+// shape (latency, throughput, accuracy, physics agreement) as
+// benchmark metrics.
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ice/internal/analysis"
+	"ice/internal/campaign"
+	"ice/internal/core"
+	"ice/internal/datachan"
+	"ice/internal/echem"
+	"ice/internal/ml"
+	"ice/internal/netsim"
+	"ice/internal/potentiostat"
+	"ice/internal/units"
+)
+
+// deployBench stands up a full ICE for benchmarking.
+func deployBench(b *testing.B) (*core.Deployment, *core.RemoteSession, *datachan.Mount) {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "ice-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	dep, err := core.Deploy(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { dep.Close() })
+	session, mount, err := dep.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { session.Close(); mount.Close() })
+	return dep, session, mount
+}
+
+// BenchmarkFig5JKemRemoteSteering measures the Fig. 5 remote J-Kem
+// command sequence (rate, port, vial, withdraw, port, dispense) across
+// the simulated cross-facility network.
+func BenchmarkFig5JKemRemoteSteering(b *testing.B) {
+	dep, session, _ := deployBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		calls := []func() (string, error){
+			func() (string, error) { return session.SetRateSyringePump(1, 5.0) },
+			func() (string, error) { return session.SetPortSyringePump(1, 8) },
+			func() (string, error) { return session.SetVialFractionCollector(1, "BOTTOM") },
+			func() (string, error) { return session.WithdrawSyringePump(1, 6.0) },
+			func() (string, error) { return session.SetPortSyringePump(1, 1) },
+			func() (string, error) { return session.DispenseSyringePump(1, 6.0) },
+		}
+		for _, call := range calls {
+			if out, err := call(); err != nil || out != "OK" {
+				b.Fatalf("remote command: %q, %v", out, err)
+			}
+		}
+		b.StopTimer()
+		dep.Agent.Cell().Drain()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFig6PotentiostatPipeline measures the Fig. 6 eight-step
+// SP200 pipeline including acquisition of the demonstration CV.
+func BenchmarkFig6PotentiostatPipeline(b *testing.B) {
+	dep, session, _ := deployBench(b)
+	if err := fillOnce(session); err != nil {
+		b.Fatal(err)
+	}
+	params := core.PaperCVParams()
+	params.Points = 600
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := session.CallInitializeSP200API(core.PaperSystemParams()); err != nil {
+			b.Fatal(err)
+		}
+		mustCall(b, session.CallConnectSP200)
+		mustCall(b, session.CallLoadFirmwareSP200)
+		if _, err := session.CallInitializeCVTechSP200(params); err != nil {
+			b.Fatal(err)
+		}
+		mustCall(b, session.CallLoadTechniqueSP200)
+		mustCall(b, session.CallStartChannelSP200)
+		if _, err := session.CallGetTechPathRslt(); err != nil {
+			b.Fatal(err)
+		}
+		mustCall(b, session.CallDisconnectSP200)
+	}
+	_ = dep
+}
+
+// BenchmarkFig7CVWorkflow measures the complete demonstrated workflow
+// (tasks A–E): remote fill, CV acquisition, data-channel retrieval and
+// remote analysis. The reported peak-accuracy metric is the relative
+// deviation of the measured anodic peak from Randles–Ševčík theory.
+func BenchmarkFig7CVWorkflow(b *testing.B) {
+	dep, session, mount := deployBench(b)
+	cfg := core.PaperCVWorkflowConfig()
+	cfg.CV.Points = 600
+	cfg.WaitPoll = 5 * time.Millisecond
+	var lastDev float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dep.Agent.Cell().Drain()
+		b.StartTimer()
+		nb, outcome := core.BuildCVWorkflow(session, mount, cfg)
+		if err := nb.Execute(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		want := echem.RandlesSevcik(1, units.SquareCentimeters(0.07), units.Millimolar(2),
+			units.MillivoltsPerSecond(cfg.CV.RateMVs), 2.4e-9, units.Celsius(25)).Amperes()
+		lastDev = math.Abs(outcome.Summary.AnodicPeak.Amperes()-want) / want
+	}
+	b.ReportMetric(lastDev*100, "peak-dev-%")
+}
+
+// BenchmarkMLClassify measures the §4.3.3 per-run normality check
+// (GPR feature extraction + EOT vote) on a fresh voltammogram.
+func BenchmarkMLClassify(b *testing.B) {
+	clf, acc, err := ml.TrainNormalityClassifier(ml.GenerateConfig{PerClass: 12, Samples: 300, BaseSeed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vg := simulateVG(b, echem.FaultNone, 400)
+	e, i := vg.Potentials(), vg.Currents()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		feats, err := ml.Features(e, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := clf.Predict(feats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(acc*100, "holdout-acc-%")
+}
+
+// BenchmarkMLTrain measures end-to-end training of the normality
+// classifier (dataset simulation + GPR features + bagged trees).
+func BenchmarkMLTrain(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		_, acc, err := ml.TrainNormalityClassifier(ml.GenerateConfig{
+			PerClass: 8, Samples: 250, BaseSeed: int64(n + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if acc < 0.5 {
+			b.Fatalf("training collapsed: accuracy %v", acc)
+		}
+	}
+}
+
+// BenchmarkControlChannelRPC measures one Pyro round trip across the
+// ACL→gateway→site→gateway→K200 path (Fig. 3's client/server hop).
+func BenchmarkControlChannelRPC(b *testing.B) {
+	_, session, _ := deployBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := session.ReadTemperature(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataChannelThroughput measures bulk file retrieval over the
+// data channel across the same path (Fig. 4's data-channel role).
+func BenchmarkDataChannelThroughput(b *testing.B) {
+	dir, err := os.MkdirTemp("", "ice-bulk-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	const size = 1 << 20
+	if err := os.WriteFile(filepath.Join(dir, "bulk.mpt"), bytes.Repeat([]byte{0x42}, size), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	network, err := netsim.PaperTopology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := network.Listen(netsim.HostControlAgent, netsim.PaperPorts.Data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp := datachan.NewExport(dir, l)
+	go exp.Serve()
+	b.Cleanup(func() { exp.Close() })
+	conn, err := network.Dial(netsim.HostDGX, fmt.Sprintf("%s:%d", netsim.HostControlAgent, netsim.PaperPorts.Data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mount := datachan.NewMount(conn)
+	b.Cleanup(func() { mount.Close() })
+
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := mount.ReadAll("bulk.mpt")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data) != size {
+			b.Fatalf("got %d bytes", len(data))
+		}
+	}
+}
+
+// BenchmarkChannelSeparation quantifies the design choice the paper
+// motivates in §3.1: control-command latency while the data channel is
+// saturated with bulk transfers. Compare against
+// BenchmarkControlChannelRPC (unloaded) — with dedicated channels the
+// control path stays flat.
+func BenchmarkChannelSeparation(b *testing.B) {
+	dep, session, mount := deployBench(b)
+	// Park a large file on the share and hammer it in the background.
+	if err := os.WriteFile(filepath.Join(dep.Agent.MeasurementDir(), "bulk.mpt"),
+		bytes.Repeat([]byte{7}, 1<<20), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				mount.ReadAll("bulk.mpt")
+			}
+		}
+	}()
+	b.Cleanup(func() { close(stop) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := session.ReadTemperature(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGatewayRouting measures connection establishment across the
+// two-gateway path, the fabric cost of the Fig. 1/4 topology.
+func BenchmarkGatewayRouting(b *testing.B) {
+	network, err := netsim.PaperTopology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := network.Listen(netsim.HostControlAgent, netsim.PaperPorts.Control)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 1)
+				conn.Read(buf)
+				conn.Write(buf)
+				conn.Close()
+			}()
+		}
+	}()
+	addr := fmt.Sprintf("%s:%d", netsim.HostControlAgent, netsim.PaperPorts.Control)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := network.Dial(netsim.HostDGX, addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn.Write([]byte{1})
+		buf := make([]byte, 1)
+		conn.Read(buf)
+		conn.Close()
+	}
+}
+
+// BenchmarkAblationGridResolution sweeps the diffusion solver's
+// substep count — the DESIGN.md accuracy-vs-cost ablation. The metric
+// is the relative error of the simulated peak against Randles–Ševčík.
+func BenchmarkAblationGridResolution(b *testing.B) {
+	prog := echem.CVProgram{
+		Ei: units.Volts(0.05), E1: units.Volts(0.8), E2: units.Volts(0.05), Ef: units.Volts(0.05),
+		Rate: units.MillivoltsPerSecond(50), Cycles: 1,
+	}
+	w, err := prog.Waveform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := echem.RandlesSevcik(1, units.SquareCentimeters(0.07), units.Millimolar(2),
+		units.MillivoltsPerSecond(50), 2.4e-9, units.Celsius(25)).Amperes()
+	for _, sub := range []int{2, 5, 20, 50} {
+		b.Run(fmt.Sprintf("substeps-%d", sub), func(b *testing.B) {
+			cfg := echem.DefaultCell()
+			cfg.NoiseRMS = 0
+			cfg.UncompensatedResistance = 0
+			cfg.DoubleLayerCapacitance = 0
+			cfg.Substeps = sub
+			var dev float64
+			for i := 0; i < b.N; i++ {
+				vg, err := echem.Simulate(cfg, w, 1000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak := 0.0
+				for _, p := range vg.Points {
+					if p.I.Amperes() > peak {
+						peak = p.I.Amperes()
+					}
+				}
+				dev = math.Abs(peak-want) / want
+			}
+			b.ReportMetric(dev*100, "peak-dev-%")
+		})
+	}
+}
+
+// BenchmarkAblationFeatureExtraction compares the GPR feature pipeline
+// against naive down-sampling, the DESIGN.md classifier ablation.
+func BenchmarkAblationFeatureExtraction(b *testing.B) {
+	vg := simulateVG(b, echem.FaultNone, 400)
+	e, i := vg.Potentials(), vg.Currents()
+	b.Run("gpr-features", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			if _, err := ml.Features(e, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("raw-downsample", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			out := make([]float64, 49)
+			for k := range out {
+				out[k] = i[k*(len(i)-1)/48]
+			}
+		}
+	})
+}
+
+// BenchmarkPyroRawCommand measures a raw instrument-protocol command
+// forwarded across the control channel (RPC hop + serial transaction).
+func BenchmarkPyroRawCommand(b *testing.B) {
+	_, session, _ := deployBench(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := session.RawJKem("FRACTIONCOLLECTOR_POSITION(1)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEISRemoteSweep measures the extension technique: a remote
+// impedance sweep including data-channel retrieval and Nyquist
+// analysis (paper future work: other potentiostat techniques).
+func BenchmarkEISRemoteSweep(b *testing.B) {
+	_, session, mount := deployBench(b)
+	if err := fillOnce(session); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := session.CallInitializeSP200API(core.PaperSystemParams()); err != nil {
+		b.Fatal(err)
+	}
+	mustCall(b, session.CallConnectSP200)
+	mustCall(b, session.CallLoadFirmwareSP200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name, err := session.RunEIS(core.EISParams{FreqMinHz: 1, FreqMaxHz: 100_000, PointsPerDecade: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, _, err := mount.WaitFor(name, 2*time.Millisecond, time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, points, err := potentiostat.ParseEIS(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := analysis.AnalyzeEIS(points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignRound measures one adaptive-campaign round:
+// synthesis, robot transfer, remote CV, retrieval, analysis (paper
+// future work: AI-driven real-time workflows).
+func BenchmarkCampaignRound(b *testing.B) {
+	dir, err := os.MkdirTemp("", "ice-campaign-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	dep, err := core.Deploy(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { dep.Close() })
+	if err := dep.AttachLab(1, 0); err != nil {
+		b.Fatal(err)
+	}
+	session, mount, err := dep.ConnectLabFrom(netsim.HostDGX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { session.Close(); mount.Close() })
+	exec := &campaign.Executor{Session: session, Mount: mount, CVPoints: 400}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(campaign.ScanRateLadder{RatesMVs: []float64{50}, ConcentrationMM: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- helpers ---
+
+func mustCall(b *testing.B, fn func() (string, error)) {
+	b.Helper()
+	if _, err := fn(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func fillOnce(session *core.RemoteSession) error {
+	for _, step := range []func() (string, error){
+		func() (string, error) { return session.SetPortSyringePump(1, 8) },
+		func() (string, error) { return session.WithdrawSyringePump(1, 6.0) },
+		func() (string, error) { return session.SetPortSyringePump(1, 1) },
+		func() (string, error) { return session.DispenseSyringePump(1, 6.0) },
+	} {
+		if _, err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func simulateVG(b *testing.B, fault echem.Fault, samples int) *echem.Voltammogram {
+	b.Helper()
+	cfg := echem.DefaultCell()
+	cfg.Fault = fault
+	prog := echem.CVProgram{
+		Ei: units.Volts(0.05), E1: units.Volts(0.8), E2: units.Volts(0.05), Ef: units.Volts(0.05),
+		Rate: units.MillivoltsPerSecond(50), Cycles: 1,
+	}
+	w, err := prog.Waveform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vg, err := echem.Simulate(cfg, w, samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return vg
+}

@@ -1,0 +1,88 @@
+// Controlagent runs the ACL instrument-side daemon over real TCP: the
+// simulated workstation (cell, J-Kem SBC, SP200) behind the Pyro
+// control channel and the file-share data channel — the process that
+// runs on the paper's Windows control agent. Pair it with cmd/icectl
+// on another machine (or terminal).
+//
+//	controlagent -control :9690 -data :4450 -dir ./measurements
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ice/internal/core"
+	"ice/internal/robot"
+	"ice/internal/synthesis"
+)
+
+func main() {
+	controlAddr := flag.String("control", ":9690", "control channel (Pyro daemon) listen address")
+	dataAddr := flag.String("data", ":4450", "data channel (file share) listen address")
+	dir := flag.String("dir", "measurements", "measurement directory to write and export")
+	timeScale := flag.Float64("timescale", 0, "instrument pacing: 0 instant, 1 real time")
+	token := flag.String("token", "", "shared-secret credential required on the control channel (empty = open)")
+	lab := flag.Bool("lab", false, "attach the extended lab stations (synthesis workstation + mobile robot)")
+	audit := flag.Bool("audit", true, "journal every control-channel command to control_audit.jsonl on the share")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultAgentConfig(*dir)
+	cfg.TimeScale = *timeScale
+	cfg.AuthToken = *token
+	agent, err := core.NewControlAgent(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+
+	controlL, err := net.Listen("tcp", *controlAddr)
+	if err != nil {
+		log.Fatalf("control channel: %v", err)
+	}
+	jkemURI, sp200URI, err := agent.ServeControl(controlL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataL, err := net.Listen("tcp", *dataAddr)
+	if err != nil {
+		log.Fatalf("data channel: %v", err)
+	}
+	if err := agent.ServeData(dataL); err != nil {
+		log.Fatal(err)
+	}
+	if *audit {
+		if err := agent.EnableAudit(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *lab {
+		station := synthesis.NewWorkstation(1)
+		station.TimeScale = *timeScale
+		rob := robot.New()
+		rob.TimeScale = *timeScale
+		if err := agent.AttachLabStations(station, rob); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  lab stations:    synthesis workstation + mobile robot attached")
+	}
+
+	fmt.Println("ACL control agent up")
+	fmt.Println("  control channel:", controlL.Addr())
+	fmt.Println("    ", jkemURI)
+	fmt.Println("    ", sp200URI)
+	fmt.Println("  data channel:   ", dataL.Addr(), "exporting", *dir)
+	fmt.Println("press Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down")
+}

@@ -1,0 +1,283 @@
+// Icectl is the remote-side CLI: it connects to a running
+// cmd/controlagent over real TCP and drives workflows against it — the
+// role the Jupyter notebook on the DGX plays in the paper.
+//
+//	icectl -agent localhost status
+//	icectl -agent localhost fill
+//	icectl -agent localhost cv
+//	icectl -agent localhost workflow   # full tasks A–E
+//	icectl -agent localhost campaign   # adaptive target-peak search (agent needs -lab)
+//	icectl -agent localhost qos        # control-RTT histogram + data throughput
+//	icectl -agent localhost abort      # emergency-stop a running acquisition
+//	icectl -agent localhost files
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"ice/internal/analysis"
+	"ice/internal/campaign"
+	"ice/internal/core"
+	"ice/internal/datachan"
+	"ice/internal/potentiostat"
+	"ice/internal/pyro"
+	"ice/internal/units"
+)
+
+func main() {
+	agentHost := flag.String("agent", "localhost", "control agent host")
+	controlPort := flag.Int("control-port", 9690, "control channel port")
+	dataPort := flag.Int("data-port", 4450, "data channel port")
+	volume := flag.Float64("volume", 6, "fill volume in mL")
+	rate := flag.Float64("scan-rate", 50, "CV scan rate in mV/s")
+	token := flag.String("token", "", "control-channel credential (must match the agent's -token)")
+	targetUA := flag.Float64("target-peak", 30, "campaign target anodic peak in µA")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: icectl [flags] status|fill|cv|eis|workflow|campaign|qos|abort|retain|replay|files")
+	}
+
+	uri := pyro.URI{Object: core.JKemObject, Host: *agentHost, Port: *controlPort}
+	session, err := core.ConnectSessionToken(uri, nil, *token)
+	if err != nil {
+		log.Fatalf("control channel: %v", err)
+	}
+	defer session.Close()
+
+	mountConn, err := net.Dial("tcp", fmt.Sprintf("%s:%d", *agentHost, *dataPort))
+	if err != nil {
+		log.Fatalf("data channel: %v", err)
+	}
+	mount := datachan.NewMount(mountConn)
+	defer mount.Close()
+
+	switch cmd := flag.Arg(0); cmd {
+	case "status":
+		jk, err := session.JKemStatus()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err := session.SP200Status()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("J-Kem:", jk)
+		fmt.Println("SP200:", sp)
+
+	case "fill":
+		for _, step := range []struct {
+			label string
+			call  func() (string, error)
+		}{
+			{"set rate", func() (string, error) { return session.SetRateSyringePump(1, 5) }},
+			{"select stock port", func() (string, error) { return session.SetPortSyringePump(1, 8) }},
+			{"withdraw", func() (string, error) { return session.WithdrawSyringePump(1, *volume) }},
+			{"select cell port", func() (string, error) { return session.SetPortSyringePump(1, 1) }},
+			{"dispense", func() (string, error) { return session.DispenseSyringePump(1, *volume) }},
+		} {
+			out, err := step.call()
+			if err != nil {
+				log.Fatalf("%s: %v", step.label, err)
+			}
+			fmt.Printf("%-20s %s\n", step.label, out)
+		}
+
+	case "cv":
+		params := core.PaperCVParams()
+		params.RateMVs = *rate
+		for _, step := range []struct {
+			label string
+			call  func() (string, error)
+		}{
+			{"initialize", func() (string, error) { return session.CallInitializeSP200API(core.PaperSystemParams()) }},
+			{"connect", session.CallConnectSP200},
+			{"load firmware", session.CallLoadFirmwareSP200},
+			{"configure CV", func() (string, error) { return session.CallInitializeCVTechSP200(params) }},
+			{"load technique", session.CallLoadTechniqueSP200},
+			{"start channel", session.CallStartChannelSP200},
+		} {
+			out, err := step.call()
+			if err != nil {
+				log.Fatalf("%s: %v", step.label, err)
+			}
+			fmt.Printf("%-20s %s\n", step.label, out)
+		}
+		name, err := session.CallGetTechPathRslt()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("measurement file:", name)
+		data, _, err := mount.WaitFor(name, 100*time.Millisecond, 10*time.Minute)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mf, err := potentiostat.ParseMPT(bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, i := analysis.FromRecords(mf.Records)
+		summary, err := analysis.AnalyzeCV(e, i, units.Celsius(25))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(analysis.ASCIIPlot(e, i, 70, 20))
+		fmt.Println(summary)
+
+	case "workflow":
+		cfg := core.PaperCVWorkflowConfig()
+		cfg.CV.RateMVs = *rate
+		cfg.Fill.VolumeML = *volume
+		cfg.WaitPoll = 100 * time.Millisecond
+		cfg.WaitTimeout = 10 * time.Minute
+		nb, outcome := core.BuildCVWorkflow(session, mount, cfg)
+		if err := nb.Execute(context.Background()); err != nil {
+			for _, line := range nb.Transcript() {
+				fmt.Println(line)
+			}
+			log.Fatal(err)
+		}
+		for _, line := range nb.Transcript() {
+			fmt.Println(line)
+		}
+		fmt.Println()
+		for _, line := range nb.Summary() {
+			fmt.Println(line)
+		}
+		if outcome.Summary != nil {
+			e, i := analysis.FromRecords(outcome.Records)
+			fmt.Println(analysis.ASCIIPlot(e, i, 70, 20))
+		}
+
+	case "eis":
+		for _, step := range []func() (string, error){
+			func() (string, error) { return session.CallInitializeSP200API(core.PaperSystemParams()) },
+			session.CallConnectSP200,
+			session.CallLoadFirmwareSP200,
+		} {
+			if _, err := step(); err != nil {
+				// Device may already be up from a previous command.
+				break
+			}
+		}
+		name, err := session.RunEIS(core.EISParams{FreqMinHz: 1, FreqMaxHz: 100_000, PointsPerDecade: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, _, err := mount.WaitFor(name, 100*time.Millisecond, 10*time.Minute)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label, points, err := potentiostat.ParseEIS(bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		summary, err := analysis.AnalyzeEIS(points)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("spectrum %s (%d points, condition %s)\n%s\n", name, len(points), label, summary)
+
+	case "campaign":
+		// Requires the agent to run with -lab.
+		lab, err := core.ConnectLabSessionToken(uri, nil, *token)
+		if err != nil {
+			log.Fatalf("lab stations unreachable (start the agent with -lab): %v", err)
+		}
+		defer lab.Close()
+		exec := &campaign.Executor{Session: lab, Mount: mount, CVPoints: 800}
+		planner := &campaign.TargetPeakSearch{
+			TargetPeakUA: *targetUA, MinMM: 0.25, MaxMM: 5,
+		}
+		history, err := exec.Run(planner)
+		if err != nil {
+			log.Fatalf("campaign after %d rounds: %v", len(history), err)
+		}
+		fmt.Println("round  conc(mM)  peak")
+		for _, obs := range history {
+			fmt.Printf("%5d  %8.3f  %v\n", obs.Round, obs.Params.ConcentrationMM, obs.Peak)
+		}
+		last := history[len(history)-1]
+		fmt.Printf("converged: %.3f mM gives %v (target %.1f µA)\n",
+			last.Params.ConcentrationMM, last.Peak, *targetUA)
+
+	case "qos":
+		files, err := mount.List()
+		if err != nil {
+			log.Fatal(err)
+		}
+		probe := ""
+		if len(files) > 0 {
+			probe = files[0].Name
+		}
+		report, err := core.MeasureQoS(session, mount, 50, probe, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, line := range report.Lines() {
+			fmt.Println(line)
+		}
+
+	case "replay":
+		// Fetch the provenance journal off the share and re-execute it
+		// against this agent — reproduce the recorded experiment.
+		data, _, err := mount.WaitFor(core.AuditFileName, 100*time.Millisecond, 10*time.Second)
+		if err != nil {
+			log.Fatalf("no audit journal on the share (agent needs -audit): %v", err)
+		}
+		entries, err := core.ParseAuditJournal(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replaying %d journaled commands…\n", len(entries))
+		results, err := core.ReplayJournal(entries, uri, nil, *token, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		failed := 0
+		for _, r := range results {
+			status := "OK"
+			if r.Err != nil {
+				status = "ERR " + r.Err.Error()
+				failed++
+			}
+			fmt.Printf("  %3d %s.%s → %s\n", r.Entry.Seq, r.Entry.Object, r.Entry.Method, status)
+		}
+		fmt.Printf("replay complete: %d ok, %d failed\n", len(results)-failed, failed)
+
+	case "abort":
+		out, err := session.AbortSP200()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+
+	case "retain":
+		removed, err := session.RetainMeasurements(20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pruned %d old measurement files (kept newest 20)\n", removed)
+
+	case "files":
+		files, err := mount.List()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(files) == 0 {
+			fmt.Println("(no measurement files yet)")
+		}
+		for _, f := range files {
+			fmt.Printf("%-32s %8d bytes  %s\n", f.Name, f.Size,
+				time.Unix(0, f.ModTimeUnixNano).Format(time.RFC3339))
+		}
+
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}

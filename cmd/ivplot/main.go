@@ -1,0 +1,64 @@
+// Ivplot renders a measurement file (the .mpt files the potentiostat
+// streams over the data channel) as a terminal I-V plot with the
+// standard analysis — the offline counterpart of the notebook's Fig. 7
+// cell.
+//
+//	ivplot measurements/CV_ch1_run001.mpt
+//	ivplot -csv out.csv measurements/CV_ch1_run001.mpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ice/internal/analysis"
+	"ice/internal/potentiostat"
+	"ice/internal/units"
+)
+
+func main() {
+	csvOut := flag.String("csv", "", "also write potential/current CSV to this path")
+	width := flag.Int("width", 70, "plot width")
+	height := flag.Int("height", 20, "plot height")
+	tempC := flag.Float64("temp", 25, "analysis temperature in °C")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: ivplot [flags] <measurement.mpt>")
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	mf, err := potentiostat.ParseMPT(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("technique %s, condition %s, %d points\n\n", mf.Technique, mf.Label, len(mf.Records))
+
+	e, i := analysis.FromRecords(mf.Records)
+	fmt.Println(analysis.ASCIIPlot(e, i, *width, *height))
+
+	if mf.Technique == "CV" || mf.Technique == "LSV" {
+		s, err := analysis.AnalyzeCV(e, i, units.Celsius(*tempC))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+
+	if *csvOut != "" {
+		out, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		if err := analysis.WriteCSV(out, e, i); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("CSV written to", *csvOut)
+	}
+}

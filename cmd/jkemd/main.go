@@ -1,0 +1,50 @@
+// Jkemd runs the J-Kem single-board computer simulator standalone: the
+// text command protocol served over TCP (each connection behaves like
+// a serial session). Useful for poking the instrument protocol with
+// netcat, exactly the way the real SBC answers its serial line:
+//
+//	jkemd -listen :5020
+//	printf 'SYRINGEPUMP_RATE(1,5.0)\n' | nc localhost 5020
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"ice/internal/jkem"
+	"ice/internal/labstate"
+)
+
+func main() {
+	listen := flag.String("listen", ":5020", "TCP listen address for the serial bridge")
+	timeScale := flag.Float64("timescale", 0, "liquid-motion pacing: 0 instant, 1 real time")
+	flag.Parse()
+
+	cell := labstate.DefaultCell()
+	sbc := jkem.DefaultSBC(cell)
+	sbc.TimeScale = *timeScale
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("J-Kem SBC simulator listening on", l.Addr())
+	fmt.Println("cell:", cell)
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// net.Conn satisfies serial.Port (ReadWriteCloser +
+		// SetReadDeadline), so the firmware loop serves it directly.
+		go func() {
+			defer conn.Close()
+			if err := sbc.Serve(conn); err != nil {
+				log.Printf("session %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}

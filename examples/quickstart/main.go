@@ -1,0 +1,65 @@
+// Quickstart runs a single cyclic-voltammetry experiment on the local
+// simulated workstation — no networking — and prints the analysed I-V
+// profile. It is the smallest possible use of the library: build a
+// cell, fill it, run the potentiostat pipeline, analyse the records.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ice/internal/analysis"
+	"ice/internal/echem"
+	"ice/internal/labstate"
+	"ice/internal/potentiostat"
+	"ice/internal/units"
+)
+
+func main() {
+	// The bench: a 20 mL cell filled with the paper's test solution.
+	cell := labstate.DefaultCell()
+	if err := cell.AddSolution(echem.FerroceneSolution(), units.Milliliters(8)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cell:", cell)
+
+	// The SP200 pipeline (Fig. 6 steps 1–7), writing to memory.
+	sink := potentiostat.NewMemSink()
+	dev := potentiostat.NewSP200(cell, sink)
+	steps := []struct {
+		label string
+		call  func() error
+	}{
+		{"initialize", func() error { return dev.Initialize(potentiostat.DefaultSystemConfig()) }},
+		{"connect", dev.Connect},
+		{"load firmware", dev.LoadFirmware},
+		{"configure CV", func() error { return dev.ConfigureTechnique(1, potentiostat.DefaultCV()) }},
+		{"load technique", func() error { return dev.LoadTechnique(1) }},
+		{"start channel", func() error { return dev.StartChannel(1) }},
+	}
+	for _, s := range steps {
+		if err := s.call(); err != nil {
+			log.Fatalf("%s: %v", s.label, err)
+		}
+		fmt.Println("•", s.label, "OK")
+	}
+	recs, err := dev.Wait(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("• acquired %d points\n\n", len(recs))
+
+	// Analyse and plot.
+	e, i := analysis.FromRecords(recs)
+	summary, err := analysis.AnalyzeCV(e, i, units.Celsius(25))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(analysis.ASCIIPlot(e, i, 70, 20))
+	fmt.Println(summary)
+
+	// Compare the peak against Randles–Ševčík theory.
+	want := echem.RandlesSevcik(1, units.SquareCentimeters(0.07), units.Millimolar(2),
+		units.MillivoltsPerSecond(50), 2.4e-9, units.Celsius(25))
+	fmt.Printf("Randles–Ševčík prediction: %v (measured %v)\n", want, summary.AnodicPeak)
+}

@@ -1,0 +1,126 @@
+// Techniques_tour runs every electrochemical technique the simulated
+// SP200 supports against one ferrocene cell and prints what each one
+// measures — a guided tour of the instrument's capability surface
+// (the paper demonstrates CV; the rest are its "other techniques"
+// future work).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ice/internal/analysis"
+	"ice/internal/echem"
+	"ice/internal/labstate"
+	"ice/internal/potentiostat"
+	"ice/internal/units"
+)
+
+func main() {
+	cell := labstate.DefaultCell()
+	if err := cell.AddSolution(echem.FerroceneSolution(), units.Milliliters(8)); err != nil {
+		log.Fatal(err)
+	}
+	sink := potentiostat.NewMemSink()
+	dev := potentiostat.NewSP200(cell, sink)
+	must(dev.Initialize(potentiostat.DefaultSystemConfig()))
+	must(dev.Connect())
+	must(dev.LoadFirmware())
+
+	run := func(tech potentiostat.Technique) []potentiostat.Record {
+		must(dev.ConfigureTechnique(1, tech))
+		must(dev.LoadTechnique(1))
+		must(dev.StartChannel(1))
+		recs, err := dev.Wait(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return recs
+	}
+
+	// 1. Cyclic voltammetry: the paper's demonstration.
+	fmt.Println("== CV — cyclic voltammetry ==")
+	recs := run(potentiostat.DefaultCV())
+	e, i := analysis.FromRecords(recs)
+	s, err := analysis.AnalyzeCV(e, i, units.Celsius(25))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(" ", s)
+
+	// 2. LSV: single sweep.
+	fmt.Println("== LSV — linear sweep ==")
+	recs = run(potentiostat.LSV{
+		Ei: units.Volts(0.05), Ef: units.Volts(0.8),
+		Rate: units.MillivoltsPerSecond(50), Points: 600,
+	})
+	peak := 0.0
+	for _, r := range recs {
+		if r.I > peak {
+			peak = r.I
+		}
+	}
+	fmt.Printf("  forward peak %v (no reverse wave)\n", units.Amperes(peak))
+
+	// 3. CA + Anson: potential step, chronocoulometric D extraction.
+	fmt.Println("== CA — chronoamperometry + Anson analysis ==")
+	recs = run(potentiostat.CA{
+		Rest: units.Volts(0.05), Step: units.Volts(0.9),
+		RestSeconds: 0, StepSeconds: 5, Points: 2000,
+	})
+	times := make([]float64, len(recs))
+	currents := make([]float64, len(recs))
+	for k, r := range recs {
+		times[k], currents[k] = r.T, r.I
+	}
+	anson, err := analysis.AnsonAnalysis(times, currents, 0.25,
+		1, units.SquareCentimeters(0.07), units.Millimolar(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Anson D = %.3g m²/s (truth 2.4e-9, r² = %.5f)\n", anson.Diffusion, anson.R2)
+
+	// 4. CP: constant current, Sand transition.
+	fmt.Println("== CP — chronopotentiometry ==")
+	iCP := units.Microamperes(60)
+	tau := potentiostat.SandTransitionTime(1, units.SquareCentimeters(0.07),
+		units.Millimolar(2), 2.4e-9, iCP)
+	recs = run(potentiostat.CP{Current: iCP, Seconds: tau * 2, Points: 400})
+	fmt.Printf("  Sand transition τ = %.2f s; potential rails after exhaustion (final Ewe %.1f V)\n",
+		tau, recs[len(recs)-1].Ewe)
+
+	// 5. OCV: rest potential.
+	fmt.Println("== OCV — open-circuit monitoring ==")
+	recs = run(potentiostat.OCV{Seconds: 10, Points: 100})
+	fmt.Printf("  rest potential %.3f V (mostly reduced couple sits below E0' = 0.400 V)\n", recs[0].Ewe)
+
+	// 6. SWV: differential pulse sharpness.
+	fmt.Println("== SWV — square-wave voltammetry ==")
+	swvPts, _, err := dev.RunSWV(2, potentiostat.SWV{StartV: 0.1, EndV: 0.7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	peakE, peakDelta := echem.SWVPeak(swvPts)
+	fmt.Printf("  differential peak %.3f V, ΔIp = %v\n", peakE, units.Amperes(peakDelta))
+
+	// 7. EIS: impedance spectrum.
+	fmt.Println("== PEIS — impedance spectroscopy ==")
+	spectrum, _, err := dev.RunEIS(2, potentiostat.DefaultEIS())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eis, err := analysis.AnalyzeEIS(spectrum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(" ", eis)
+
+	fmt.Printf("\n%d measurement files written to the sink: %v\n",
+		len(sink.Names()), sink.Names())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

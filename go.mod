@@ -1,0 +1,3 @@
+module ice
+
+go 1.22

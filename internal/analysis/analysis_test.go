@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ice/internal/echem"
+	"ice/internal/potentiostat"
+	"ice/internal/units"
+)
+
+// simulateCV runs the paper's demonstration program on a quiet cell.
+func simulateCV(t *testing.T, rate units.ScanRate, samples int) *echem.Voltammogram {
+	t.Helper()
+	cfg := echem.DefaultCell()
+	cfg.NoiseRMS = units.Nanoamperes(20)
+	prog := echem.CVProgram{
+		Ei: units.Volts(0.05), E1: units.Volts(0.8), E2: units.Volts(0.05), Ef: units.Volts(0.05),
+		Rate: rate, Cycles: 1,
+	}
+	w, err := prog.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := echem.Simulate(cfg, w, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vg
+}
+
+func TestAnalyzeCVRecoversKnownChemistry(t *testing.T) {
+	vg := simulateCV(t, units.MillivoltsPerSecond(50), 1500)
+	s, err := AnalyzeCV(vg.Potentials(), vg.Currents(), units.Celsius(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Reversible {
+		t.Errorf("ferrocene CV judged irreversible: %v", s)
+	}
+	if math.Abs(s.HalfWave.Volts()-0.40) > 0.01 {
+		t.Errorf("E½ = %v, want ≈ 0.40 V", s.HalfWave)
+	}
+	dEp := s.PeakSeparation.Millivolts()
+	if dEp < 50 || dEp > 80 {
+		t.Errorf("ΔEp = %v mV", dEp)
+	}
+	if s.PeakRatio < 0.5 || s.PeakRatio > 1.2 {
+		t.Errorf("peak ratio = %v", s.PeakRatio)
+	}
+	if s.SignalToNoise < 50 {
+		t.Errorf("SNR = %v, want high for a clean run", s.SignalToNoise)
+	}
+	if !strings.Contains(s.String(), "reversible") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestAnalyzeCVFlagsOpenCircuit(t *testing.T) {
+	cfg := echem.DefaultCell()
+	cfg.Fault = echem.FaultDisconnectedElectrode
+	prog := echem.CVProgram{
+		Ei: units.Volts(0.05), E1: units.Volts(0.8), E2: units.Volts(0.05), Ef: units.Volts(0.05),
+		Rate: units.MillivoltsPerSecond(50), Cycles: 1,
+	}
+	w, _ := prog.Waveform()
+	vg, err := echem.Simulate(cfg, w, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := AnalyzeCV(vg.Potentials(), vg.Currents(), units.Celsius(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Reversible {
+		t.Error("noise-only trace judged reversible")
+	}
+	if s.AnodicPeak.Amperes() > 1e-6 {
+		t.Errorf("noise-only anodic peak = %v", s.AnodicPeak)
+	}
+}
+
+func TestAnalyzeCVValidation(t *testing.T) {
+	if _, err := AnalyzeCV([]float64{1}, []float64{1, 2}, units.Celsius(25)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := AnalyzeCV(make([]float64, 5), make([]float64, 5), units.Celsius(25)); err == nil {
+		t.Error("too-short input accepted")
+	}
+}
+
+func TestFromRecords(t *testing.T) {
+	recs := []potentiostat.Record{{Ewe: 0.1, I: 1e-6}, {Ewe: 0.2, I: 2e-6}}
+	e, i := FromRecords(recs)
+	if len(e) != 2 || e[1] != 0.2 || i[0] != 1e-6 {
+		t.Errorf("FromRecords = %v, %v", e, i)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Errorf("fit = %v, %v, %v", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("vertical data accepted")
+	}
+}
+
+func TestRandlesSevcikFitRecoversDiffusionCoefficient(t *testing.T) {
+	// Simulate peaks at several scan rates, then recover D ≈ 2.4e-9.
+	rates := []units.ScanRate{
+		units.MillivoltsPerSecond(20),
+		units.MillivoltsPerSecond(50),
+		units.MillivoltsPerSecond(100),
+		units.MillivoltsPerSecond(200),
+	}
+	peaks := make([]units.Current, len(rates))
+	for i, r := range rates {
+		vg := simulateCV(t, r, 1200)
+		s, err := AnalyzeCV(vg.Potentials(), vg.Currents(), units.Celsius(25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peaks[i] = s.AnodicPeak
+	}
+	d, r2, err := RandlesSevcikFit(rates, peaks, 1,
+		units.SquareCentimeters(0.07), units.Millimolar(2), units.Celsius(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.995 {
+		t.Errorf("ip vs √v fit r² = %v", r2)
+	}
+	if math.Abs(d-2.4e-9)/2.4e-9 > 0.10 {
+		t.Errorf("recovered D = %v, want within 10%% of 2.4e-9", d)
+	}
+}
+
+func TestRandlesSevcikFitValidation(t *testing.T) {
+	if _, _, err := RandlesSevcikFit(nil, nil, 1, units.SquareCentimeters(1), units.Millimolar(1), units.Celsius(25)); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, _, err := RandlesSevcikFit(
+		[]units.ScanRate{units.MillivoltsPerSecond(50)},
+		[]units.Current{units.Microamperes(1)},
+		1, units.SquareCentimeters(1), units.Millimolar(1), units.Celsius(25)); err == nil {
+		t.Error("single rate accepted")
+	}
+	if _, _, err := RandlesSevcikFit(
+		[]units.ScanRate{0, units.MillivoltsPerSecond(50)},
+		[]units.Current{0, units.Microamperes(1)},
+		1, units.SquareCentimeters(1), units.Millimolar(1), units.Celsius(25)); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []float64{0.1, 0.2}, []float64{1e-6, -2e-6}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if lines[0] != "potential_V,current_A" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.100000,") {
+		t.Errorf("row = %q", lines[1])
+	}
+	if err := WriteCSV(&buf, []float64{1}, []float64{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestASCIIPlotRendersDuck(t *testing.T) {
+	vg := simulateCV(t, units.MillivoltsPerSecond(50), 600)
+	plot := ASCIIPlot(vg.Potentials(), vg.Currents(), 60, 20)
+	if !strings.Contains(plot, "*") {
+		t.Error("plot has no points")
+	}
+	if !strings.Contains(plot, "E/V: 0.050 .. 0.800") {
+		t.Errorf("plot axis missing:\n%s", plot)
+	}
+	if !strings.Contains(plot, "-") {
+		t.Error("zero-current axis missing")
+	}
+	// Degenerate inputs do not panic.
+	if ASCIIPlot(nil, nil, 10, 5) != "(no data)" {
+		t.Error("empty plot wrong")
+	}
+	if out := ASCIIPlot([]float64{1, 1}, []float64{2, 2}, 1, 1); out == "" {
+		t.Error("constant data plot empty")
+	}
+}
+
+// Property: AnalyzeCV's anodic peak equals the max of the input.
+func TestAnodicPeakIsMaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 10 {
+			return true
+		}
+		e := make([]float64, len(raw))
+		i := make([]float64, len(raw))
+		maxI := math.Inf(-1)
+		for k, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			e[k] = float64(k)
+			i[k] = math.Mod(v, 1e-3)
+			if i[k] > maxI {
+				maxI = i[k]
+			}
+		}
+		s, err := AnalyzeCV(e, i, units.Celsius(25))
+		if err != nil {
+			return false
+		}
+		return s.AnodicPeak.Amperes() == maxI
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// IntegrateCharge returns the cumulative charge Q(t) = ∫i dt by
+// trapezoidal integration over time/current samples.
+func IntegrateCharge(times, currents []float64) ([]float64, error) {
+	n := len(times)
+	if n != len(currents) {
+		return nil, fmt.Errorf("analysis: %d times vs %d currents", n, len(currents))
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("analysis: need at least 2 samples to integrate")
+	}
+	q := make([]float64, n)
+	for i := 1; i < n; i++ {
+		dt := times[i] - times[i-1]
+		if dt < 0 {
+			return nil, fmt.Errorf("analysis: time not monotonic at sample %d", i)
+		}
+		q[i] = q[i-1] + (currents[i]+currents[i-1])/2*dt
+	}
+	return q, nil
+}
+
+// AnsonSummary is the result of chronocoulometric analysis.
+type AnsonSummary struct {
+	// Slope of Q vs √t in C/s½ — proportional to n·F·A·C·√(D/π)·2.
+	Slope float64
+	// Intercept in coulombs (double-layer + adsorbed charge).
+	Intercept float64
+	// R2 of the Anson fit.
+	R2 float64
+	// Diffusion is D extracted from the slope, in m²/s.
+	Diffusion float64
+}
+
+// AnsonAnalysis performs the classical chronocoulometry analysis of a
+// potential-step experiment: Q(t) is linear in √t with slope
+// 2·n·F·A·C·√(D/π) (the integrated Cottrell equation). Samples before
+// tMin are excluded (step transient).
+func AnsonAnalysis(times, currents []float64, tMin float64,
+	n int, area units.Area, conc units.Concentration) (*AnsonSummary, error) {
+	q, err := IntegrateCharge(times, currents)
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for i := range times {
+		if times[i] >= tMin && times[i] > 0 {
+			xs = append(xs, math.Sqrt(times[i]))
+			ys = append(ys, q[i])
+		}
+	}
+	if len(xs) < 3 {
+		return nil, fmt.Errorf("analysis: only %d samples past tMin %g", len(xs), tMin)
+	}
+	slope, intercept, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	s := &AnsonSummary{Slope: slope, Intercept: intercept, R2: r2}
+	k := 2 * float64(n) * echem.Faraday * area.SquareMeters() * conc.MolesPerCubicMeter() / math.Sqrt(math.Pi)
+	if k > 0 {
+		root := slope / k
+		s.Diffusion = root * root
+	}
+	return s, nil
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteCSV emits "potential_V,current_A" rows with a header — the I-V
+// profile data behind Fig. 7, ready for any plotting tool.
+func WriteCSV(w io.Writer, potential, current []float64) error {
+	if len(potential) != len(current) {
+		return fmt.Errorf("analysis: %d potentials vs %d currents", len(potential), len(current))
+	}
+	if _, err := fmt.Fprintln(w, "potential_V,current_A"); err != nil {
+		return err
+	}
+	for i := range potential {
+		if _, err := fmt.Fprintf(w, "%.6f,%.6e\n", potential[i], current[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCIIPlot renders an I-V scatter as a text plot (the terminal stand-
+// in for Fig. 7). Width and height are the plot body dimensions.
+func ASCIIPlot(potential, current []float64, width, height int) string {
+	return ASCIIPlotXY(potential, current, width, height, "E/V", "I/A")
+}
+
+// ASCIIPlotXY is ASCIIPlot with caller-chosen axis labels (e.g. Re Z /
+// −Im Z for a Nyquist plot).
+func ASCIIPlotXY(potential, current []float64, width, height int, xlabel, ylabel string) string {
+	if len(potential) == 0 || len(potential) != len(current) {
+		return "(no data)"
+	}
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+	minE, maxE := minMax(potential)
+	minI, maxI := minMax(current)
+	if maxE == minE {
+		maxE = minE + 1e-9
+	}
+	if maxI == minI {
+		maxI = minI + 1e-12
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range potential {
+		c := int(float64(width-1) * (potential[i] - minE) / (maxE - minE))
+		r := int(float64(height-1) * (current[i] - minI) / (maxI - minI))
+		row := height - 1 - r // origin at bottom
+		if row >= 0 && row < height && c >= 0 && c < width {
+			grid[row][c] = '*'
+		}
+	}
+	// Zero-current axis, when it crosses the view.
+	if minI < 0 && maxI > 0 {
+		r := int(float64(height-1) * (0 - minI) / (maxI - minI))
+		row := height - 1 - r
+		if row >= 0 && row < height {
+			for c := 0; c < width; c++ {
+				if grid[row][c] == ' ' {
+					grid[row][c] = '-'
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %+.3e\n", ylabel, maxI)
+	for _, row := range grid {
+		b.WriteString("    |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "     %+.3e\n", minI)
+	fmt.Fprintf(&b, "     %s: %.3f .. %.3f\n", xlabel, minE, maxE)
+	return b.String()
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if math.IsNaN(x) {
+			continue
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	return lo, hi
+}

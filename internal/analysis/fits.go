@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// LinearFit performs ordinary least squares y = slope·x + intercept and
+// reports the coefficient of determination.
+func LinearFit(x, y []float64) (slope, intercept, r2 float64, err error) {
+	n := len(x)
+	if n != len(y) {
+		return 0, 0, 0, fmt.Errorf("analysis: %d x vs %d y", n, len(y))
+	}
+	if n < 2 {
+		return 0, 0, 0, fmt.Errorf("analysis: need at least 2 points, got %d", n)
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, fmt.Errorf("analysis: x values are all identical")
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		r2 = 1
+	} else {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return slope, intercept, r2, nil
+}
+
+// RandlesSevcikFit regresses peak current against √(scan rate) and
+// extracts the diffusion coefficient from the slope:
+//
+//	ip = 0.4463·nFAC·sqrt(nF/(RT))·√v·√D  ⇒  D = (slope/k)²
+//
+// with k = 0.4463·nFAC·sqrt(nF/(RT)). It returns the fitted D (m²/s)
+// and the regression's r².
+func RandlesSevcikFit(rates []units.ScanRate, peaks []units.Current,
+	n int, area units.Area, conc units.Concentration, temp units.Temperature) (d, r2 float64, err error) {
+	if len(rates) != len(peaks) {
+		return 0, 0, fmt.Errorf("analysis: %d rates vs %d peaks", len(rates), len(peaks))
+	}
+	if len(rates) < 2 {
+		return 0, 0, fmt.Errorf("analysis: need at least 2 scan rates")
+	}
+	xs := make([]float64, len(rates))
+	ys := make([]float64, len(rates))
+	for i := range rates {
+		if rates[i].VoltsPerSecond() <= 0 {
+			return 0, 0, fmt.Errorf("analysis: scan rate %d not positive", i)
+		}
+		xs[i] = math.Sqrt(rates[i].VoltsPerSecond())
+		ys[i] = peaks[i].Amperes()
+	}
+	slope, _, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		return 0, 0, err
+	}
+	nf := float64(n) * echem.Faraday
+	k := 0.4463 * nf * area.SquareMeters() * conc.MolesPerCubicMeter() *
+		math.Sqrt(nf/(echem.GasConstant*temp.Kelvin()))
+	if k == 0 {
+		return 0, 0, fmt.Errorf("analysis: degenerate cell parameters")
+	}
+	root := slope / k
+	return root * root, r2, nil
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"ice/internal/echem"
+)
+
+// EISummary holds the circuit parameters estimated from an impedance
+// spectrum.
+type EISummary struct {
+	// SolutionResistance is the high-frequency real-axis intercept
+	// (Rs) in ohms.
+	SolutionResistance float64
+	// ChargeTransferResistance is the semicircle diameter (Rct) in
+	// ohms.
+	ChargeTransferResistance float64
+	// DoubleLayerCapacitance estimated from the apex frequency, in
+	// farads.
+	DoubleLayerCapacitance float64
+	// ApexFrequency is the frequency of maximum −Im Z in Hz.
+	ApexFrequency float64
+	// Blocked reports an open-circuit-like spectrum (|Z| enormous at
+	// every frequency) — the disconnected-electrode signature.
+	Blocked bool
+}
+
+// AnalyzeEIS estimates Randles-circuit parameters from a measured
+// spectrum ordered high → low frequency:
+//
+//   - Rs from the highest-frequency point's real part;
+//   - the kinetic semicircle apex as the −Im Z maximum in the region
+//     before the Warburg tail takes over;
+//   - Rct from the apex via −Im(apex) ≈ Rct/2;
+//   - Cdl from ω_apex = 1/(Rct·Cdl).
+func AnalyzeEIS(points []echem.ImpedancePoint) (*EISummary, error) {
+	if len(points) < 5 {
+		return nil, fmt.Errorf("analysis: EIS needs ≥ 5 points, got %d", len(points))
+	}
+	s := &EISummary{SolutionResistance: points[0].Zre}
+	if points[0].Magnitude() > 1e8 {
+		s.Blocked = true
+		return s, nil
+	}
+
+	// Find the −Im maximum; for a fast couple the Warburg tail keeps
+	// rising at low frequency, so prefer the first local maximum
+	// scanning from high frequency down.
+	apexIdx := -1
+	for i := 1; i < len(points)-1; i++ {
+		prev, cur, next := -points[i-1].Zim, -points[i].Zim, -points[i+1].Zim
+		if cur >= prev && cur > next {
+			apexIdx = i
+			break
+		}
+	}
+	if apexIdx < 0 {
+		// Monotonic: take the global maximum of −Im.
+		best := 0.0
+		for i, p := range points {
+			if -p.Zim > best {
+				best = -p.Zim
+				apexIdx = i
+			}
+		}
+	}
+	if apexIdx < 0 {
+		return nil, fmt.Errorf("analysis: EIS spectrum has no capacitive arc")
+	}
+	apex := points[apexIdx]
+	s.ApexFrequency = apex.Frequency
+	s.ChargeTransferResistance = 2 * (-apex.Zim)
+	if s.ChargeTransferResistance > 0 && s.ApexFrequency > 0 {
+		s.DoubleLayerCapacitance = 1 / (2 * math.Pi * s.ApexFrequency * s.ChargeTransferResistance)
+	}
+	return s, nil
+}
+
+// String renders the estimate.
+func (s *EISummary) String() string {
+	if s.Blocked {
+		return "EIS: blocked interface (open circuit)"
+	}
+	return fmt.Sprintf("EIS: Rs=%.3g Ω, Rct=%.3g Ω, Cdl=%.3g F, f_apex=%.3g Hz",
+		s.SolutionResistance, s.ChargeTransferResistance, s.DoubleLayerCapacitance, s.ApexFrequency)
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"ice/internal/echem"
+)
+
+// syntheticSpectrum sweeps a known circuit high → low frequency.
+func syntheticSpectrum(rc echem.RandlesCircuit, fMax, fMin float64, n int) []echem.ImpedancePoint {
+	points := make([]echem.ImpedancePoint, n)
+	for i := 0; i < n; i++ {
+		logf := math.Log10(fMax) - (math.Log10(fMax)-math.Log10(fMin))*float64(i)/float64(n-1)
+		f := math.Pow(10, logf)
+		z := rc.Impedance(2 * math.Pi * f)
+		points[i] = echem.ImpedancePoint{Frequency: f, Zre: real(z), Zim: imag(z)}
+	}
+	return points
+}
+
+func TestAnalyzeEISRecoversKnownCircuit(t *testing.T) {
+	truth := echem.RandlesCircuit{
+		SolutionResistance:       10,
+		ChargeTransferResistance: 100,
+		DoubleLayerCapacitance:   2e-6,
+		WarburgCoefficient:       20,
+	}
+	points := syntheticSpectrum(truth, 1e6, 0.01, 161)
+	s, err := AnalyzeEIS(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.SolutionResistance-10)/10 > 0.1 {
+		t.Errorf("Rs = %v, want ≈ 10", s.SolutionResistance)
+	}
+	if math.Abs(s.ChargeTransferResistance-100)/100 > 0.25 {
+		t.Errorf("Rct = %v, want ≈ 100", s.ChargeTransferResistance)
+	}
+	if math.Abs(s.DoubleLayerCapacitance-2e-6)/2e-6 > 0.5 {
+		t.Errorf("Cdl = %v, want ≈ 2e-6", s.DoubleLayerCapacitance)
+	}
+	if s.Blocked {
+		t.Error("healthy spectrum flagged blocked")
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestAnalyzeEISBlockedInterface(t *testing.T) {
+	cfg := echem.DefaultCell()
+	cfg.Fault = echem.FaultDisconnectedElectrode
+	points, err := echem.SimulateEIS(cfg, echem.EISSweepConfig{
+		FreqMin: 1, FreqMax: 10_000, PointsPerDecade: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := AnalyzeEIS(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Blocked {
+		t.Errorf("open-circuit spectrum not flagged: %v", s)
+	}
+}
+
+func TestAnalyzeEISFromSimulatedCell(t *testing.T) {
+	cfg := echem.DefaultCell()
+	truth, err := echem.CellRandlesCircuit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := echem.SimulateEIS(cfg, echem.EISSweepConfig{
+		FreqMin: 10, FreqMax: 10_000_000, PointsPerDecade: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := AnalyzeEIS(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.SolutionResistance-truth.SolutionResistance)/truth.SolutionResistance > 0.25 {
+		t.Errorf("Rs = %v, truth %v", s.SolutionResistance, truth.SolutionResistance)
+	}
+}
+
+func TestAnalyzeEISValidation(t *testing.T) {
+	if _, err := AnalyzeEIS(nil); err == nil {
+		t.Error("empty spectrum accepted")
+	}
+	if _, err := AnalyzeEIS(make([]echem.ImpedancePoint, 3)); err == nil {
+		t.Error("too-short spectrum accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Package analysis implements the remote-side computations the paper
+// runs on the DGX after measurements arrive over the data channel:
+// voltammogram peak analysis (peak currents/potentials, ΔEp, E½,
+// reversibility), Randles–Ševčík regression across scan rates for
+// diffusion-coefficient extraction, and exports (CSV, ASCII plot) used
+// to regenerate Fig. 7.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"ice/internal/echem"
+	"ice/internal/potentiostat"
+	"ice/internal/units"
+)
+
+// CVSummary is the outcome of analysing one cyclic voltammogram.
+type CVSummary struct {
+	// AnodicPeak is the maximum (oxidation) current and its potential.
+	AnodicPeak units.Current
+	// AnodicPotential is where the anodic peak occurs.
+	AnodicPotential units.Potential
+	// CathodicPeak is the minimum (reduction) current and its potential.
+	CathodicPeak units.Current
+	// CathodicPotential is where the cathodic peak occurs.
+	CathodicPotential units.Potential
+	// PeakSeparation is Epa − Epc.
+	PeakSeparation units.Potential
+	// HalfWave is E½ = (Epa + Epc)/2, an estimate of E0'.
+	HalfWave units.Potential
+	// PeakRatio is |ipc|/ipa; ≈ 1 for a chemically reversible couple.
+	PeakRatio float64
+	// Reversible reports whether ΔEp and the peak ratio fall in the
+	// reversible window at the given temperature.
+	Reversible bool
+	// SignalToNoise compares the anodic peak to the baseline noise.
+	SignalToNoise float64
+}
+
+// AnalyzeCV extracts peak statistics from paired potential/current
+// arrays in acquisition order.
+func AnalyzeCV(potential, current []float64, temp units.Temperature) (*CVSummary, error) {
+	n := len(potential)
+	if n != len(current) {
+		return nil, fmt.Errorf("analysis: %d potentials vs %d currents", n, len(current))
+	}
+	if n < 10 {
+		return nil, fmt.Errorf("analysis: need at least 10 samples, got %d", n)
+	}
+	s := &CVSummary{}
+	ipa, ipc := math.Inf(-1), math.Inf(1)
+	var epa, epc float64
+	for i := range current {
+		if current[i] > ipa {
+			ipa, epa = current[i], potential[i]
+		}
+		if current[i] < ipc {
+			ipc, epc = current[i], potential[i]
+		}
+	}
+	s.AnodicPeak = units.Amperes(ipa)
+	s.AnodicPotential = units.Volts(epa)
+	s.CathodicPeak = units.Amperes(ipc)
+	s.CathodicPotential = units.Volts(epc)
+	s.PeakSeparation = units.Volts(epa - epc)
+	s.HalfWave = units.Volts((epa + epc) / 2)
+	if ipa != 0 {
+		s.PeakRatio = math.Abs(ipc) / ipa
+	}
+
+	// Baseline noise from the first 5% of samples (pre-wave region).
+	head := n / 20
+	if head < 3 {
+		head = 3
+	}
+	var mean float64
+	for _, v := range current[:head] {
+		mean += v
+	}
+	mean /= float64(head)
+	var sum2 float64
+	for _, v := range current[:head] {
+		d := v - mean
+		sum2 += d * d
+	}
+	noise := math.Sqrt(sum2 / float64(head))
+	if noise > 0 {
+		s.SignalToNoise = ipa / noise
+	} else if ipa > 0 {
+		s.SignalToNoise = math.Inf(1)
+	}
+
+	// Reversibility window: ΔEp within [0.8, 2.0]× the Nernstian value
+	// and peak ratio in [0.5, 1.3].
+	ideal := echem.ReversiblePeakSeparation(1, temp).Volts()
+	dEp := epa - epc
+	s.Reversible = dEp >= 0.8*ideal && dEp <= 2.0*ideal &&
+		s.PeakRatio >= 0.5 && s.PeakRatio <= 1.3
+	return s, nil
+}
+
+// FromRecords splits measurement records into potential and current
+// arrays.
+func FromRecords(recs []potentiostat.Record) (potential, current []float64) {
+	potential = make([]float64, len(recs))
+	current = make([]float64, len(recs))
+	for i, r := range recs {
+		potential[i] = r.Ewe
+		current[i] = r.I
+	}
+	return potential, current
+}
+
+// String renders the summary the way a notebook cell would print it.
+func (s *CVSummary) String() string {
+	rev := "irreversible"
+	if s.Reversible {
+		rev = "reversible"
+	}
+	return fmt.Sprintf("ipa=%v at %v, ipc=%v at %v, ΔEp=%.1f mV, E½=%v, ratio=%.2f (%s)",
+		s.AnodicPeak, s.AnodicPotential, s.CathodicPeak, s.CathodicPotential,
+		s.PeakSeparation.Millivolts(), s.HalfWave, s.PeakRatio, rev)
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// MovingAverage returns the centred moving average of v with the given
+// odd window size; edges use a shrunken window.
+func MovingAverage(v []float64, window int) ([]float64, error) {
+	if window < 1 || window%2 == 0 {
+		return nil, fmt.Errorf("analysis: window must be odd and ≥ 1, got %d", window)
+	}
+	out := make([]float64, len(v))
+	half := window / 2
+	for i := range v {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(v) {
+			hi = len(v) - 1
+		}
+		sum := 0.0
+		for j := lo; j <= hi; j++ {
+			sum += v[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out, nil
+}
+
+// SavitzkyGolay smooths v with a quadratic Savitzky–Golay filter of
+// the given odd window size (≥ 5). Unlike a moving average it
+// preserves peak heights to second order, which matters when the
+// smoothed trace feeds peak-current analysis.
+func SavitzkyGolay(v []float64, window int) ([]float64, error) {
+	if window < 5 || window%2 == 0 {
+		return nil, fmt.Errorf("analysis: SG window must be odd and ≥ 5, got %d", window)
+	}
+	if len(v) < window {
+		return nil, fmt.Errorf("analysis: input of %d shorter than window %d", len(v), window)
+	}
+	half := window / 2
+	coeffs := sgCoefficients(half)
+	out := make([]float64, len(v))
+	for i := range v {
+		if i < half || i >= len(v)-half {
+			out[i] = v[i] // edges pass through
+			continue
+		}
+		sum := 0.0
+		for k := -half; k <= half; k++ {
+			sum += coeffs[k+half] * v[i+k]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// sgCoefficients computes quadratic least-squares convolution weights
+// for a window of 2h+1 points: w_k = ((3m²−7−20k²)/4) / (m(m²−4)/3)
+// with m = 2h+1 — the classical closed form.
+func sgCoefficients(h int) []float64 {
+	m := float64(2*h + 1)
+	denom := m * (m*m - 4) / 3
+	out := make([]float64, 2*h+1)
+	for k := -h; k <= h; k++ {
+		out[k+h] = (3*m*m - 7 - 20*float64(k*k)) / 4 / denom
+	}
+	return out
+}
+
+// NoiseRMS estimates the noise level of a trace as the RMS of the
+// first difference divided by √2 (assumes white noise on a slowly
+// varying signal).
+func NoiseRMS(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	var sum2 float64
+	for i := 1; i < len(v); i++ {
+		d := v[i] - v[i-1]
+		sum2 += d * d
+	}
+	return math.Sqrt(sum2/float64(len(v)-1)) / math.Sqrt2
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+func TestMovingAverageConstantSignal(t *testing.T) {
+	v := []float64{3, 3, 3, 3, 3}
+	out, err := MovingAverage(v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if o != 3 {
+			t.Errorf("out[%d] = %v", i, o)
+		}
+	}
+}
+
+func TestMovingAverageReducesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, 500)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	out, err := MovingAverage(v, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NoiseRMS(out) >= NoiseRMS(v)/2 {
+		t.Errorf("window-9 average only reduced noise %v → %v", NoiseRMS(v), NoiseRMS(out))
+	}
+}
+
+func TestMovingAverageValidation(t *testing.T) {
+	if _, err := MovingAverage([]float64{1}, 2); err == nil {
+		t.Error("even window accepted")
+	}
+	if _, err := MovingAverage([]float64{1}, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestSavitzkyGolayPreservesQuadratic(t *testing.T) {
+	// SG with quadratic fitting reproduces any quadratic exactly in
+	// the interior.
+	v := make([]float64, 50)
+	for i := range v {
+		x := float64(i)
+		v[i] = 2*x*x - 3*x + 1
+	}
+	out, err := SavitzkyGolay(v, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < len(v)-3; i++ {
+		if math.Abs(out[i]-v[i]) > 1e-9 {
+			t.Fatalf("SG distorted quadratic at %d: %v vs %v", i, out[i], v[i])
+		}
+	}
+}
+
+func TestSavitzkyGolayPreservesPeakBetterThanMA(t *testing.T) {
+	// A narrow Gaussian peak plus noise: SG must retain more height
+	// than a moving average of the same window.
+	rng := rand.New(rand.NewSource(2))
+	v := make([]float64, 201)
+	for i := range v {
+		x := float64(i-100) / 8
+		v[i] = math.Exp(-0.5*x*x) + rng.NormFloat64()*0.01
+	}
+	sg, err := SavitzkyGolay(v, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := MovingAverage(v, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := func(v []float64) float64 {
+		best := math.Inf(-1)
+		for _, x := range v {
+			if x > best {
+				best = x
+			}
+		}
+		return best
+	}
+	if peak(sg) <= peak(ma) {
+		t.Errorf("SG peak %v not above MA peak %v", peak(sg), peak(ma))
+	}
+	if peak(sg) < 0.97 {
+		t.Errorf("SG peak %v lost too much height", peak(sg))
+	}
+}
+
+func TestSavitzkyGolayValidation(t *testing.T) {
+	if _, err := SavitzkyGolay(make([]float64, 100), 4); err == nil {
+		t.Error("even window accepted")
+	}
+	if _, err := SavitzkyGolay(make([]float64, 100), 3); err == nil {
+		t.Error("window 3 accepted (needs ≥ 5)")
+	}
+	if _, err := SavitzkyGolay(make([]float64, 3), 5); err == nil {
+		t.Error("input shorter than window accepted")
+	}
+}
+
+func TestNoiseRMSEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := make([]float64, 5000)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 0.05
+	}
+	got := NoiseRMS(v)
+	if math.Abs(got-0.05) > 0.01 {
+		t.Errorf("NoiseRMS = %v, want ≈ 0.05", got)
+	}
+	if NoiseRMS([]float64{1}) != 0 {
+		t.Error("single sample should report 0")
+	}
+}
+
+func TestIntegrateChargeKnownSignal(t *testing.T) {
+	// Constant 2 A over 3 s → 6 C.
+	times := []float64{0, 1, 2, 3}
+	currents := []float64{2, 2, 2, 2}
+	q, err := IntegrateCharge(times, currents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q[3]-6) > 1e-12 {
+		t.Errorf("Q(3) = %v, want 6", q[3])
+	}
+	// Linear ramp i = t over [0,2] → Q = 2.
+	times = []float64{0, 0.5, 1, 1.5, 2}
+	currents = []float64{0, 0.5, 1, 1.5, 2}
+	q, _ = IntegrateCharge(times, currents)
+	if math.Abs(q[4]-2) > 1e-12 {
+		t.Errorf("ramp Q = %v, want 2", q[4])
+	}
+}
+
+func TestIntegrateChargeValidation(t *testing.T) {
+	if _, err := IntegrateCharge([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := IntegrateCharge([]float64{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := IntegrateCharge([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Error("non-monotonic time accepted")
+	}
+}
+
+func TestAnsonAnalysisRecoversDiffusion(t *testing.T) {
+	// Simulate a CA step and confirm the Anson plot returns D.
+	cfg := echem.DefaultCell()
+	cfg.NoiseRMS = 0
+	cfg.UncompensatedResistance = 0
+	cfg.DoubleLayerCapacitance = 0
+	w, err := echem.StepProgram{
+		Rest: units.Volts(0.05), Step: units.Volts(0.9),
+		RestSeconds: 0, StepSeconds: 5,
+	}.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := echem.Simulate(cfg, w, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := AnsonAnalysis(vg.Times(), vg.Currents(), 0.25,
+		1, units.SquareCentimeters(0.07), units.Millimolar(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.R2 < 0.999 {
+		t.Errorf("Anson r² = %v", s.R2)
+	}
+	if math.Abs(s.Diffusion-2.4e-9)/2.4e-9 > 0.1 {
+		t.Errorf("Anson D = %v, want within 10%% of 2.4e-9", s.Diffusion)
+	}
+}
+
+func TestAnsonAnalysisValidation(t *testing.T) {
+	if _, err := AnsonAnalysis([]float64{0, 1}, []float64{1, 1}, 5,
+		1, units.SquareCentimeters(1), units.Millimolar(1)); err == nil {
+		t.Error("tMin beyond data accepted")
+	}
+}
+
+// Property: moving average output stays within the input's bounds.
+func TestMovingAverageBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			// Bound magnitudes so window sums cannot overflow.
+			raw[i] = math.Mod(v, 1e6)
+		}
+		out, err := MovingAverage(raw, 5)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		for _, v := range out {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

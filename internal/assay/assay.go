@@ -1,0 +1,176 @@
+// Package assay models the chemical characterization station of the
+// ACL (the HPLC-MS/UV-Vis role in the paper's Fig. 1): an optical
+// spectrophotometer that measures absorbance spectra of liquid samples
+// via the Beer–Lambert law and quantifies analyte concentration from
+// the absorption band. Fraction-collector samples delivered by the
+// mobile robot are assayed here, closing the paper's "collect
+// fractions for later external chemical analysis" path.
+package assay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// Band is one Gaussian absorption band of an analyte.
+type Band struct {
+	// LambdaMaxNM is the band centre in nanometres.
+	LambdaMaxNM float64
+	// EpsilonMax is the molar absorptivity at the centre, M⁻¹·cm⁻¹.
+	EpsilonMax float64
+	// WidthNM is the Gaussian standard deviation in nanometres.
+	WidthNM float64
+}
+
+// DefaultBands maps analyte names to their visible absorption bands.
+// Ferrocene's d-d band sits near 440 nm with ε ≈ 96 M⁻¹cm⁻¹.
+func DefaultBands() map[string]Band {
+	return map[string]Band{
+		"ferrocene/ferrocenium": {LambdaMaxNM: 440, EpsilonMax: 96, WidthNM: 35},
+	}
+}
+
+// Spectrum is a measured absorbance spectrum.
+type Spectrum struct {
+	// WavelengthsNM in ascending order.
+	WavelengthsNM []float64
+	// Absorbance in absorbance units (AU) at each wavelength.
+	Absorbance []float64
+}
+
+// PeakWavelength returns the wavelength of maximum absorbance.
+func (s *Spectrum) PeakWavelength() float64 {
+	best, bestA := 0.0, math.Inf(-1)
+	for i, a := range s.Absorbance {
+		if a > bestA {
+			bestA = a
+			best = s.WavelengthsNM[i]
+		}
+	}
+	return best
+}
+
+// PeakAbsorbance returns the maximum absorbance.
+func (s *Spectrum) PeakAbsorbance() float64 {
+	best := math.Inf(-1)
+	for _, a := range s.Absorbance {
+		if a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// Spectrophotometer measures absorbance spectra of samples.
+type Spectrophotometer struct {
+	// PathLengthCM is the cuvette path length (standard 1 cm).
+	PathLengthCM float64
+	// NoiseAU is the RMS absorbance noise.
+	NoiseAU float64
+	// Bands maps analyte names to absorption bands.
+	Bands map[string]Band
+	// LambdaMinNM, LambdaMaxNM and StepNM define the scan range.
+	LambdaMinNM, LambdaMaxNM, StepNM float64
+
+	rng *rand.Rand
+}
+
+// NewSpectrophotometer returns an instrument with a 1 cm cuvette
+// scanning 350–650 nm in 2 nm steps.
+func NewSpectrophotometer(seed int64) *Spectrophotometer {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Spectrophotometer{
+		PathLengthCM: 1,
+		NoiseAU:      0.002,
+		Bands:        DefaultBands(),
+		LambdaMinNM:  350,
+		LambdaMaxNM:  650,
+		StepNM:       2,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Measure scans a sample and returns its spectrum. Analyte-free
+// samples produce baseline noise only.
+func (sp *Spectrophotometer) Measure(sol echem.Solution) (*Spectrum, error) {
+	if sp.StepNM <= 0 || sp.LambdaMaxNM <= sp.LambdaMinNM {
+		return nil, fmt.Errorf("assay: invalid scan range %g..%g step %g", sp.LambdaMinNM, sp.LambdaMaxNM, sp.StepNM)
+	}
+	band, known := sp.Bands[sol.Analyte.Name]
+	concM := sol.Concentration.Molar()
+
+	n := int((sp.LambdaMaxNM-sp.LambdaMinNM)/sp.StepNM) + 1
+	spec := &Spectrum{
+		WavelengthsNM: make([]float64, n),
+		Absorbance:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		lambda := sp.LambdaMinNM + float64(i)*sp.StepNM
+		spec.WavelengthsNM[i] = lambda
+		a := 0.0
+		if known && concM > 0 {
+			d := (lambda - band.LambdaMaxNM) / band.WidthNM
+			eps := band.EpsilonMax * math.Exp(-0.5*d*d)
+			a = eps * concM * sp.PathLengthCM // Beer–Lambert
+		}
+		a += sp.rng.NormFloat64() * sp.NoiseAU
+		spec.Absorbance[i] = a
+	}
+	return spec, nil
+}
+
+// Quantify estimates the concentration of a named analyte from its
+// spectrum using the calibrated band.
+func (sp *Spectrophotometer) Quantify(spec *Spectrum, analyte string) (units.Concentration, error) {
+	band, ok := sp.Bands[analyte]
+	if !ok {
+		return 0, fmt.Errorf("assay: no calibration band for %q", analyte)
+	}
+	if len(spec.WavelengthsNM) == 0 {
+		return 0, fmt.Errorf("assay: empty spectrum")
+	}
+	// Average the absorbance over ±¼ width around the band centre to
+	// beat the noise down.
+	var sum float64
+	var count int
+	for i, l := range spec.WavelengthsNM {
+		if math.Abs(l-band.LambdaMaxNM) <= band.WidthNM/4 {
+			// Correct for the Gaussian falloff at this wavelength.
+			d := (l - band.LambdaMaxNM) / band.WidthNM
+			sum += spec.Absorbance[i] / math.Exp(-0.5*d*d)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("assay: band centre %g nm outside scan range", band.LambdaMaxNM)
+	}
+	mean := sum / float64(count)
+	conc := mean / (band.EpsilonMax * sp.PathLengthCM)
+	if conc < 0 {
+		conc = 0
+	}
+	return units.Molar(conc), nil
+}
+
+// Assay measures and quantifies in one step, the station's service
+// call.
+func (sp *Spectrophotometer) Assay(sol echem.Solution) (units.Concentration, *Spectrum, error) {
+	spec, err := sp.Measure(sol)
+	if err != nil {
+		return 0, nil, err
+	}
+	if sol.Analyte.Name == "" {
+		return 0, spec, nil
+	}
+	conc, err := sp.Quantify(spec, sol.Analyte.Name)
+	if err != nil {
+		return 0, spec, err
+	}
+	return conc, spec, nil
+}

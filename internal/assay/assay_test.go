@@ -1,0 +1,117 @@
+package assay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+func TestMeasureBeerLambert(t *testing.T) {
+	sp := NewSpectrophotometer(1)
+	sp.NoiseAU = 0 // exact check
+	sol := echem.FerroceneSolution()
+	spec, err := sp.Measure(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak at 440 nm: A = ε·c·l = 96 × 0.002 × 1 = 0.192 AU.
+	if got := spec.PeakWavelength(); math.Abs(got-440) > 2 {
+		t.Errorf("λmax = %v, want 440", got)
+	}
+	if got := spec.PeakAbsorbance(); math.Abs(got-0.192) > 0.001 {
+		t.Errorf("Amax = %v, want 0.192", got)
+	}
+	// Far from the band the absorbance vanishes.
+	if a := spec.Absorbance[0]; math.Abs(a) > 0.01 {
+		t.Errorf("A(350nm) = %v, want ≈ 0", a)
+	}
+}
+
+func TestQuantifyRecoversConcentration(t *testing.T) {
+	sp := NewSpectrophotometer(3)
+	for _, mm := range []float64{0.5, 2, 5} {
+		sol := echem.FerroceneSolution()
+		sol.Concentration = units.Millimolar(mm)
+		conc, _, err := sp.Assay(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(conc.Millimolar()-mm) / mm
+		if rel > 0.05 {
+			t.Errorf("assay of %v mM = %v mM (%.1f%% off)", mm, conc.Millimolar(), rel*100)
+		}
+	}
+}
+
+func TestAssayBlankSample(t *testing.T) {
+	sp := NewSpectrophotometer(1)
+	conc, spec, err := sp.Assay(echem.Solution{Solvent: "acetonitrile"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc != 0 {
+		t.Errorf("blank concentration = %v", conc)
+	}
+	if spec.PeakAbsorbance() > 0.02 {
+		t.Errorf("blank peak absorbance = %v", spec.PeakAbsorbance())
+	}
+}
+
+func TestQuantifyErrors(t *testing.T) {
+	sp := NewSpectrophotometer(1)
+	spec, _ := sp.Measure(echem.FerroceneSolution())
+	if _, err := sp.Quantify(spec, "unobtainium"); err == nil {
+		t.Error("unknown analyte accepted")
+	}
+	if _, err := sp.Quantify(&Spectrum{}, "ferrocene/ferrocenium"); err == nil {
+		t.Error("empty spectrum accepted")
+	}
+	// Band outside the scan range.
+	sp.Bands["uv-only"] = Band{LambdaMaxNM: 200, EpsilonMax: 100, WidthNM: 10}
+	if _, err := sp.Quantify(spec, "uv-only"); err == nil {
+		t.Error("out-of-range band accepted")
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	sp := NewSpectrophotometer(1)
+	sp.StepNM = 0
+	if _, err := sp.Measure(echem.FerroceneSolution()); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestMeasureNoiseDeterminism(t *testing.T) {
+	a := NewSpectrophotometer(9)
+	b := NewSpectrophotometer(9)
+	sa, _ := a.Measure(echem.FerroceneSolution())
+	sb, _ := b.Measure(echem.FerroceneSolution())
+	for i := range sa.Absorbance {
+		if sa.Absorbance[i] != sb.Absorbance[i] {
+			t.Fatal("seeded spectra differ")
+		}
+	}
+}
+
+// Property: assayed concentration is monotone in true concentration.
+func TestAssayMonotoneProperty(t *testing.T) {
+	sp := NewSpectrophotometer(5)
+	sp.NoiseAU = 0
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%50)/10 + 0.1
+		b := a + float64(bRaw%50)/10 + 0.1
+		solA := echem.FerroceneSolution()
+		solA.Concentration = units.Millimolar(a)
+		solB := echem.FerroceneSolution()
+		solB.Concentration = units.Millimolar(b)
+		ca, _, err1 := sp.Assay(solA)
+		cb, _, err2 := sp.Assay(solB)
+		return err1 == nil && err2 == nil && ca.Molar() < cb.Molar()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package assay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// ElutionProfile describes how one analyte elutes from the column.
+type ElutionProfile struct {
+	// RetentionSeconds is the elution-peak centre.
+	RetentionSeconds float64
+	// WidthSeconds is the Gaussian peak standard deviation.
+	WidthSeconds float64
+	// ResponseFactor converts concentration (M) to detector signal
+	// peak height (AU).
+	ResponseFactor float64
+}
+
+// DefaultElutionProfiles maps analyte names to column behaviour on the
+// ACL's C18 column.
+func DefaultElutionProfiles() map[string]ElutionProfile {
+	return map[string]ElutionProfile{
+		"ferrocene/ferrocenium": {RetentionSeconds: 272, WidthSeconds: 4.5, ResponseFactor: 5200},
+	}
+}
+
+// Chromatogram is a detector trace over elution time.
+type Chromatogram struct {
+	// TimesSeconds in ascending order.
+	TimesSeconds []float64
+	// Signal in AU at each time.
+	Signal []float64
+}
+
+// ChromPeak is one detected elution peak.
+type ChromPeak struct {
+	// RetentionSeconds is the apex time.
+	RetentionSeconds float64
+	// Height is the apex signal.
+	Height float64
+	// Area is the integrated peak area (AU·s).
+	Area float64
+}
+
+// Chromatograph is the HPLC stand-in: it elutes a sample and detects
+// analyte peaks whose area quantifies concentration.
+type Chromatograph struct {
+	// RunSeconds is the method length.
+	RunSeconds float64
+	// SampleHz is the detector sampling rate.
+	SampleHz float64
+	// NoiseAU is the detector baseline noise.
+	NoiseAU float64
+	// Profiles maps analytes to elution behaviour.
+	Profiles map[string]ElutionProfile
+
+	rng *rand.Rand
+}
+
+// NewChromatograph returns an instrument with a 6-minute method at
+// 5 Hz sampling.
+func NewChromatograph(seed int64) *Chromatograph {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Chromatograph{
+		RunSeconds: 360,
+		SampleHz:   5,
+		NoiseAU:    0.0005,
+		Profiles:   DefaultElutionProfiles(),
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Run elutes a sample and returns the chromatogram.
+func (c *Chromatograph) Run(sol echem.Solution) (*Chromatogram, error) {
+	if c.RunSeconds <= 0 || c.SampleHz <= 0 {
+		return nil, fmt.Errorf("assay: invalid method %gs at %g Hz", c.RunSeconds, c.SampleHz)
+	}
+	profile, known := c.Profiles[sol.Analyte.Name]
+	concM := sol.Concentration.Molar()
+
+	n := int(c.RunSeconds*c.SampleHz) + 1
+	out := &Chromatogram{
+		TimesSeconds: make([]float64, n),
+		Signal:       make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		tt := float64(i) / c.SampleHz
+		out.TimesSeconds[i] = tt
+		s := 0.0
+		if known && concM > 0 {
+			d := (tt - profile.RetentionSeconds) / profile.WidthSeconds
+			s = profile.ResponseFactor * concM * math.Exp(-0.5*d*d)
+		}
+		s += c.rng.NormFloat64() * c.NoiseAU
+		out.Signal[i] = s
+	}
+	return out, nil
+}
+
+// DetectPeaks finds local maxima above threshold and integrates each
+// peak's area out to where the signal falls below threshold.
+func (g *Chromatogram) DetectPeaks(threshold float64) []ChromPeak {
+	var peaks []ChromPeak
+	n := len(g.Signal)
+	if n < 3 {
+		return nil
+	}
+	dt := g.TimesSeconds[1] - g.TimesSeconds[0]
+	i := 1
+	for i < n-1 {
+		if g.Signal[i] > threshold && g.Signal[i] >= g.Signal[i-1] && g.Signal[i] > g.Signal[i+1] {
+			// Integrate the contiguous above-threshold region.
+			lo := i
+			for lo > 0 && g.Signal[lo-1] > threshold {
+				lo--
+			}
+			hi := i
+			for hi < n-1 && g.Signal[hi+1] > threshold {
+				hi++
+			}
+			area := 0.0
+			apex, apexT := g.Signal[i], g.TimesSeconds[i]
+			for k := lo; k <= hi; k++ {
+				area += g.Signal[k] * dt
+				if g.Signal[k] > apex {
+					apex, apexT = g.Signal[k], g.TimesSeconds[k]
+				}
+			}
+			peaks = append(peaks, ChromPeak{RetentionSeconds: apexT, Height: apex, Area: area})
+			i = hi + 1
+			continue
+		}
+		i++
+	}
+	sort.Slice(peaks, func(a, b int) bool { return peaks[a].Area > peaks[b].Area })
+	return peaks
+}
+
+// QuantifyPeak converts a detected peak back to concentration using
+// the named analyte's calibration. For a Gaussian peak,
+// area = height·width·√(2π), so C = area / (RF·width·√(2π)).
+func (c *Chromatograph) QuantifyPeak(peak ChromPeak, analyte string) (units.Concentration, error) {
+	profile, ok := c.Profiles[analyte]
+	if !ok {
+		return 0, fmt.Errorf("assay: no elution profile for %q", analyte)
+	}
+	// Identify by retention-time match.
+	if math.Abs(peak.RetentionSeconds-profile.RetentionSeconds) > 3*profile.WidthSeconds {
+		return 0, fmt.Errorf("assay: peak at %.1f s does not match %q (expect %.1f s)",
+			peak.RetentionSeconds, analyte, profile.RetentionSeconds)
+	}
+	conc := peak.Area / (profile.ResponseFactor * profile.WidthSeconds * math.Sqrt(2*math.Pi))
+	if conc < 0 {
+		conc = 0
+	}
+	return units.Molar(conc), nil
+}
+
+// AssayByHPLC runs the full chromatographic quantification: elute,
+// detect, identify, quantify.
+func (c *Chromatograph) AssayByHPLC(sol echem.Solution) (units.Concentration, *Chromatogram, error) {
+	g, err := c.Run(sol)
+	if err != nil {
+		return 0, nil, err
+	}
+	peaks := g.DetectPeaks(c.NoiseAU * 10)
+	if len(peaks) == 0 {
+		return 0, g, nil // nothing eluted: blank
+	}
+	conc, err := c.QuantifyPeak(peaks[0], sol.Analyte.Name)
+	if err != nil {
+		return 0, g, err
+	}
+	return conc, g, nil
+}

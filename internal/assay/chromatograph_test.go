@@ -1,0 +1,134 @@
+package assay
+
+import (
+	"math"
+	"testing"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+func TestChromatogramShape(t *testing.T) {
+	c := NewChromatograph(1)
+	c.NoiseAU = 0
+	g, err := c.Run(echem.FerroceneSolution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.TimesSeconds) != int(360*5)+1 {
+		t.Fatalf("samples = %d", len(g.TimesSeconds))
+	}
+	// Apex near the 272 s retention time with height RF·C = 5200·0.002 = 10.4.
+	apexT, apexS := 0.0, 0.0
+	for i, s := range g.Signal {
+		if s > apexS {
+			apexS, apexT = s, g.TimesSeconds[i]
+		}
+	}
+	if math.Abs(apexT-272) > 1 {
+		t.Errorf("apex at %v s, want 272", apexT)
+	}
+	if math.Abs(apexS-10.4) > 0.05 {
+		t.Errorf("apex height = %v, want 10.4", apexS)
+	}
+	// Baseline flat far from the peak.
+	if math.Abs(g.Signal[0]) > 0.01 {
+		t.Errorf("baseline = %v", g.Signal[0])
+	}
+}
+
+func TestDetectPeaksFindsOnePeak(t *testing.T) {
+	c := NewChromatograph(2)
+	g, err := c.Run(echem.FerroceneSolution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := g.DetectPeaks(c.NoiseAU * 10)
+	if len(peaks) != 1 {
+		t.Fatalf("peaks = %d, want 1", len(peaks))
+	}
+	if math.Abs(peaks[0].RetentionSeconds-272) > 2 {
+		t.Errorf("retention = %v", peaks[0].RetentionSeconds)
+	}
+	if peaks[0].Area <= 0 {
+		t.Errorf("area = %v", peaks[0].Area)
+	}
+}
+
+func TestAssayByHPLCRecoversConcentration(t *testing.T) {
+	c := NewChromatograph(3)
+	for _, mm := range []float64{0.5, 2, 5} {
+		sol := echem.FerroceneSolution()
+		sol.Concentration = units.Millimolar(mm)
+		conc, _, err := c.AssayByHPLC(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(conc.Millimolar()-mm) / mm
+		if rel > 0.06 {
+			t.Errorf("HPLC assay of %v mM = %v mM (%.1f%% off)", mm, conc.Millimolar(), rel*100)
+		}
+	}
+}
+
+func TestAssayByHPLCBlank(t *testing.T) {
+	c := NewChromatograph(4)
+	conc, g, err := c.AssayByHPLC(echem.Solution{Solvent: "acetonitrile"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc != 0 {
+		t.Errorf("blank = %v", conc)
+	}
+	if g == nil {
+		t.Error("no chromatogram returned")
+	}
+}
+
+func TestQuantifyPeakIdentification(t *testing.T) {
+	c := NewChromatograph(5)
+	// A peak at the wrong retention time must not be attributed to
+	// ferrocene.
+	wrong := ChromPeak{RetentionSeconds: 100, Height: 5, Area: 50}
+	if _, err := c.QuantifyPeak(wrong, "ferrocene/ferrocenium"); err == nil {
+		t.Error("mismatched retention time accepted")
+	}
+	if _, err := c.QuantifyPeak(wrong, "unobtainium"); err == nil {
+		t.Error("unknown analyte accepted")
+	}
+}
+
+func TestChromatographValidation(t *testing.T) {
+	c := NewChromatograph(1)
+	c.RunSeconds = 0
+	if _, err := c.Run(echem.FerroceneSolution()); err == nil {
+		t.Error("zero run length accepted")
+	}
+}
+
+func TestDetectPeaksEmptyAndTiny(t *testing.T) {
+	g := &Chromatogram{TimesSeconds: []float64{0, 1}, Signal: []float64{0, 0}}
+	if peaks := g.DetectPeaks(0.1); peaks != nil {
+		t.Errorf("peaks on flat tiny trace = %v", peaks)
+	}
+}
+
+func TestHPLCAgreesWithSpectrophotometer(t *testing.T) {
+	// Two independent assay methods must agree on the same sample —
+	// the cross-validation a real characterization lab performs.
+	sol := echem.FerroceneSolution()
+	sol.Concentration = units.Millimolar(3)
+	sp := NewSpectrophotometer(6)
+	hp := NewChromatograph(7)
+	cUV, _, err := sp.Assay(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cLC, _, err := hp.AssayByHPLC(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cUV.Millimolar()-cLC.Millimolar()) > 0.3 {
+		t.Errorf("UV-Vis %v mM vs HPLC %v mM disagree", cUV.Millimolar(), cLC.Millimolar())
+	}
+}

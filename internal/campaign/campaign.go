@@ -1,0 +1,175 @@
+// Package campaign provides closed-loop, multi-round experiment
+// orchestration over the ICE — the "sophisticated AI-driven and
+// real-time electrochemistry workflows" the paper lists as future
+// work. A Planner inspects the history of observations and proposes
+// the next round's parameters; the Executor realises each round
+// physically (synthesis, robot transfer, remote CV, data-channel
+// retrieval, analysis) and feeds the result back, until the planner
+// declares convergence.
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"ice/internal/analysis"
+	"ice/internal/core"
+	"ice/internal/datachan"
+	"ice/internal/potentiostat"
+	"ice/internal/units"
+)
+
+// Params are the tunable knobs of one round.
+type Params struct {
+	// ConcentrationMM is the analyte concentration to synthesise; 0
+	// reuses the current cell contents.
+	ConcentrationMM float64
+	// ScanRateMVs is the CV scan rate.
+	ScanRateMVs float64
+}
+
+// Observation is one completed round.
+type Observation struct {
+	// Round index, starting at 1.
+	Round int
+	// Params the round ran with.
+	Params Params
+	// AchievedMM is the synthesised concentration actually delivered.
+	AchievedMM float64
+	// Peak is the measured anodic peak current.
+	Peak units.Current
+	// Summary is the full remote analysis.
+	Summary *analysis.CVSummary
+}
+
+// Planner proposes round parameters from history.
+type Planner interface {
+	// Name labels the strategy.
+	Name() string
+	// Next returns the next round's parameters, or done=true when the
+	// campaign has converged.
+	Next(history []Observation) (p Params, done bool, err error)
+}
+
+// Executor realises rounds on a deployed ICE. It needs only the
+// remote handles — every action, including draining the cell between
+// rounds, goes through the control channel, so an executor can run
+// from any machine that can reach the control agent.
+type Executor struct {
+	// Session and Mount are open cross-facility handles.
+	Session *core.LabSession
+	Mount   *datachan.Mount
+	// MaxRounds bounds runaway planners (default 20).
+	MaxRounds int
+	// CVPoints per acquisition (default 600).
+	CVPoints int
+	// VolumeML synthesised per round (default 8).
+	VolumeML float64
+
+	potentiostatUp bool
+}
+
+// Run executes the campaign and returns the observation history. The
+// potentiostat is brought up lazily on the first round and left
+// connected between rounds.
+func (e *Executor) Run(p Planner) ([]Observation, error) {
+	if e.Session == nil || e.Mount == nil {
+		return nil, fmt.Errorf("campaign: executor needs session and mount")
+	}
+	maxRounds := e.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 20
+	}
+	points := e.CVPoints
+	if points <= 0 {
+		points = 600
+	}
+	volume := e.VolumeML
+	if volume <= 0 {
+		volume = 8
+	}
+
+	var history []Observation
+	for round := 1; round <= maxRounds; round++ {
+		params, done, err := p.Next(history)
+		if err != nil {
+			return history, fmt.Errorf("campaign: planner %s: %w", p.Name(), err)
+		}
+		if done {
+			return history, nil
+		}
+		obs, err := e.runRound(round, params, points, volume)
+		if err != nil {
+			return history, fmt.Errorf("campaign: round %d: %w", round, err)
+		}
+		history = append(history, *obs)
+	}
+	return history, fmt.Errorf("campaign: planner %s did not converge in %d rounds", p.Name(), maxRounds)
+}
+
+func (e *Executor) runRound(round int, params Params, points int, volumeML float64) (*Observation, error) {
+	obs := &Observation{Round: round, Params: params}
+
+	if params.ConcentrationMM > 0 {
+		if _, err := e.Session.DrainCell(); err != nil {
+			return nil, fmt.Errorf("drain: %w", err)
+		}
+		batch, err := e.Session.SynthesizeFerrocene(params.ConcentrationMM, volumeML)
+		if err != nil {
+			return nil, fmt.Errorf("synthesis: %w", err)
+		}
+		if _, err := e.Session.TransferBatchToCell(batch.ID); err != nil {
+			return nil, fmt.Errorf("transfer: %w", err)
+		}
+		obs.AchievedMM = batch.AchievedMM
+	}
+
+	if !e.potentiostatUp {
+		if _, err := e.Session.CallInitializeSP200API(core.PaperSystemParams()); err != nil {
+			return nil, err
+		}
+		if _, err := e.Session.CallConnectSP200(); err != nil {
+			return nil, err
+		}
+		if _, err := e.Session.CallLoadFirmwareSP200(); err != nil {
+			return nil, err
+		}
+		e.potentiostatUp = true
+	}
+
+	cv := core.PaperCVParams()
+	if params.ScanRateMVs > 0 {
+		cv.RateMVs = params.ScanRateMVs
+	}
+	cv.Points = points
+	if _, err := e.Session.CallInitializeCVTechSP200(cv); err != nil {
+		return nil, err
+	}
+	if _, err := e.Session.CallLoadTechniqueSP200(); err != nil {
+		return nil, err
+	}
+	if _, err := e.Session.CallStartChannelSP200(); err != nil {
+		return nil, err
+	}
+	name, err := e.Session.CallGetTechPathRslt()
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := e.Mount.WaitFor(name, 10*time.Millisecond, 2*time.Minute)
+	if err != nil {
+		return nil, err
+	}
+	mf, err := potentiostat.ParseMPT(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	pot, cur := analysis.FromRecords(mf.Records)
+	summary, err := analysis.AnalyzeCV(pot, cur, units.Celsius(25))
+	if err != nil {
+		return nil, err
+	}
+	obs.Peak = summary.AnodicPeak
+	obs.Summary = summary
+	return obs, nil
+}

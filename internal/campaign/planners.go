@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScanRateLadder runs a fixed sweep of scan rates at a fixed
+// concentration — the workload behind Randles–Ševčík validation.
+type ScanRateLadder struct {
+	// RatesMVs are the rates to visit in order.
+	RatesMVs []float64
+	// ConcentrationMM synthesised once, in the first round.
+	ConcentrationMM float64
+}
+
+// Name implements Planner.
+func (ScanRateLadder) Name() string { return "scan-rate-ladder" }
+
+// Next implements Planner.
+func (l ScanRateLadder) Next(history []Observation) (Params, bool, error) {
+	if len(l.RatesMVs) == 0 {
+		return Params{}, false, fmt.Errorf("campaign: ladder has no rates")
+	}
+	i := len(history)
+	if i >= len(l.RatesMVs) {
+		return Params{}, true, nil
+	}
+	p := Params{ScanRateMVs: l.RatesMVs[i]}
+	if i == 0 {
+		p.ConcentrationMM = l.ConcentrationMM
+	}
+	return p, false, nil
+}
+
+// TargetPeakSearch adapts the synthesised concentration by bisection
+// until the measured anodic peak hits a target current — a minimal
+// real-time steering loop: each round's measurement decides the next
+// round's synthesis.
+type TargetPeakSearch struct {
+	// TargetPeakUA is the desired anodic peak in µA.
+	TargetPeakUA float64
+	// MinMM and MaxMM bound the concentration search.
+	MinMM, MaxMM float64
+	// ToleranceFraction ends the search when |peak−target|/target is
+	// below it (default 0.05).
+	ToleranceFraction float64
+	// ScanRateMVs for every round (default 50).
+	ScanRateMVs float64
+
+	lo, hi float64
+}
+
+// Name implements Planner.
+func (*TargetPeakSearch) Name() string { return "target-peak-bisection" }
+
+// Next implements Planner.
+func (s *TargetPeakSearch) Next(history []Observation) (Params, bool, error) {
+	if s.TargetPeakUA <= 0 || s.MinMM <= 0 || s.MaxMM <= s.MinMM {
+		return Params{}, false, fmt.Errorf("campaign: bad search bounds target=%g [%g,%g]",
+			s.TargetPeakUA, s.MinMM, s.MaxMM)
+	}
+	tol := s.ToleranceFraction
+	if tol <= 0 {
+		tol = 0.05
+	}
+	rate := s.ScanRateMVs
+	if rate <= 0 {
+		rate = 50
+	}
+	if len(history) == 0 {
+		s.lo, s.hi = s.MinMM, s.MaxMM
+		return Params{ConcentrationMM: (s.lo + s.hi) / 2, ScanRateMVs: rate}, false, nil
+	}
+	last := history[len(history)-1]
+	peakUA := last.Peak.Microamperes()
+	if math.Abs(peakUA-s.TargetPeakUA)/s.TargetPeakUA <= tol {
+		return Params{}, true, nil
+	}
+	// Peak current is monotone in concentration: bisect.
+	mid := last.Params.ConcentrationMM
+	if peakUA < s.TargetPeakUA {
+		s.lo = mid
+	} else {
+		s.hi = mid
+	}
+	if s.hi-s.lo < 1e-4 {
+		return Params{}, false, fmt.Errorf("campaign: search interval collapsed without hitting target %g µA", s.TargetPeakUA)
+	}
+	return Params{ConcentrationMM: (s.lo + s.hi) / 2, ScanRateMVs: rate}, false, nil
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"ice/internal/datachan"
+	"ice/internal/jkem"
+	"ice/internal/labstate"
+	"ice/internal/potentiostat"
+	"ice/internal/pyro"
+	"ice/internal/serial"
+	"ice/internal/units"
+)
+
+// AgentConfig configures the control agent.
+type AgentConfig struct {
+	// MeasurementDir is where the potentiostat streams measurement
+	// files and what the data channel exports.
+	MeasurementDir string
+	// ElectrodeArea of the working electrode.
+	ElectrodeArea units.Area
+	// NoiseSeed seeds measurement noise.
+	NoiseSeed int64
+	// TimeScale paces instrument actions (0 = instant, 1 = real time).
+	TimeScale float64
+	// AuthToken, when non-empty, gates the control channel: remote
+	// sessions must present the same shared secret (the paper's
+	// access-privilege requirement).
+	AuthToken string
+}
+
+// DefaultAgentConfig returns the demonstration configuration rooted at
+// dir.
+func DefaultAgentConfig(dir string) AgentConfig {
+	return AgentConfig{
+		MeasurementDir: dir,
+		ElectrodeArea:  units.SquareCentimeters(0.07),
+		NoiseSeed:      1,
+	}
+}
+
+// ControlAgent is the instrument-side computer at ACL: it owns the
+// cell, the J-Kem SBC (over a serial link), the SP200, the Pyro daemon
+// for the control channel and the file-share export for the data
+// channel.
+type ControlAgent struct {
+	cfg AgentConfig
+
+	cell       *labstate.Cell
+	sbc        *jkem.SBC
+	jkemClient *jkem.Client
+	sp200      *potentiostat.SP200
+
+	mu     sync.Mutex
+	daemon *pyro.Daemon
+	export *datachan.Export
+	closed bool
+	sbcErr chan error
+}
+
+// NewControlAgent builds the workstation: cell, SBC with the default
+// instrument set served over an in-memory serial link, and the SP200
+// writing into cfg.MeasurementDir.
+func NewControlAgent(cfg AgentConfig) (*ControlAgent, error) {
+	if cfg.MeasurementDir == "" {
+		return nil, fmt.Errorf("core: measurement directory required")
+	}
+	if cfg.ElectrodeArea.SquareMeters() <= 0 {
+		return nil, fmt.Errorf("core: electrode area must be positive")
+	}
+	cell := labstate.DefaultCell()
+	sbc := jkem.DefaultSBC(cell)
+	sbc.TimeScale = cfg.TimeScale
+
+	agentPort, sbcPort := serial.Pipe()
+	sbcErr := make(chan error, 1)
+	go func() { sbcErr <- sbc.Serve(sbcPort) }()
+
+	sp200 := potentiostat.NewSP200(cell, potentiostat.DirSink{Dir: cfg.MeasurementDir})
+
+	return &ControlAgent{
+		cfg:        cfg,
+		cell:       cell,
+		sbc:        sbc,
+		jkemClient: jkem.NewClient(agentPort),
+		sp200:      sp200,
+		sbcErr:     sbcErr,
+	}, nil
+}
+
+// Cell exposes the physical cell (for fault injection in tests and
+// demos — a technician unplugging an electrode).
+func (a *ControlAgent) Cell() *labstate.Cell { return a.cell }
+
+// MeasurementDir returns the directory measurement files are written
+// to and exported from.
+func (a *ControlAgent) MeasurementDir() string { return a.cfg.MeasurementDir }
+
+// SBC exposes the J-Kem single-board computer (for transcript access).
+func (a *ControlAgent) SBC() *jkem.SBC { return a.sbc }
+
+// SP200 exposes the potentiostat (for event-log access).
+func (a *ControlAgent) SP200() *potentiostat.SP200 { return a.sp200 }
+
+// ServeControl registers the instrument server objects on a Pyro
+// daemon bound to l and starts its request loop. It returns the URIs
+// of the two objects.
+func (a *ControlAgent) ServeControl(l net.Listener) (jkemURI, sp200URI pyro.URI, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.daemon != nil {
+		return pyro.URI{}, pyro.URI{}, fmt.Errorf("core: control channel already serving")
+	}
+	daemon := pyro.NewDaemon(l)
+	daemon.AuthToken = a.cfg.AuthToken
+	jkemURI, err = daemon.Register(JKemObject, &JKemServer{agent: a})
+	if err != nil {
+		return pyro.URI{}, pyro.URI{}, err
+	}
+	sp200URI, err = daemon.Register(SP200Object, &SP200Server{agent: a})
+	if err != nil {
+		return pyro.URI{}, pyro.URI{}, err
+	}
+	// A name server rides on the same daemon so remote workflows can
+	// resolve instruments by logical role instead of object name.
+	ns := pyro.NewNameServer()
+	nsURI, err := daemon.Register(pyro.NSObjectName, ns)
+	if err != nil {
+		return pyro.URI{}, pyro.URI{}, err
+	}
+	_ = nsURI
+	if err := ns.RegisterName("acl.jkem", jkemURI.String()); err != nil {
+		return pyro.URI{}, pyro.URI{}, err
+	}
+	if err := ns.RegisterName("acl.sp200", sp200URI.String()); err != nil {
+		return pyro.URI{}, pyro.URI{}, err
+	}
+	a.daemon = daemon
+	go daemon.RequestLoop()
+	return jkemURI, sp200URI, nil
+}
+
+// ServeData starts the data-channel export of the measurement
+// directory on l.
+func (a *ControlAgent) ServeData(l net.Listener) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.export != nil {
+		return fmt.Errorf("core: data channel already serving")
+	}
+	a.export = datachan.NewExport(a.cfg.MeasurementDir, l)
+	go a.export.Serve()
+	return nil
+}
+
+// RetainMeasurements deletes the oldest measurement files, keeping the
+// newest keep files — the housekeeping a long-lived control agent
+// needs so the shared directory does not grow without bound. It
+// returns the number of files removed.
+func (a *ControlAgent) RetainMeasurements(keep int) (int, error) {
+	if keep < 0 {
+		return 0, fmt.Errorf("core: keep must be non-negative, got %d", keep)
+	}
+	entries, err := os.ReadDir(a.cfg.MeasurementDir)
+	if err != nil {
+		return 0, err
+	}
+	type aged struct {
+		name string
+		mod  time.Time
+	}
+	var files []aged
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{ent.Name(), info.ModTime()})
+	}
+	if len(files) <= keep {
+		return 0, nil
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.After(files[j].mod) })
+	removed := 0
+	for _, f := range files[keep:] {
+		if err := os.Remove(filepath.Join(a.cfg.MeasurementDir, f.name)); err == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// ListMeasurements catalogs the measurement directory: every .mpt file
+// with its parsed technique, condition label and record count.
+func (a *ControlAgent) ListMeasurements() ([]MeasurementInfo, error) {
+	entries, err := os.ReadDir(a.cfg.MeasurementDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []MeasurementInfo
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".mpt" {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		row := MeasurementInfo{Name: ent.Name(), SizeBytes: info.Size()}
+		f, err := os.Open(filepath.Join(a.cfg.MeasurementDir, ent.Name()))
+		if err == nil {
+			if mf, err := potentiostat.ParseMPT(f); err == nil {
+				row.Technique = mf.Technique
+				row.Label = mf.Label
+				row.Points = len(mf.Records)
+			} else if label, points, err := potentiostat.ParseEIS(resetFile(f)); err == nil {
+				row.Technique = "PEIS"
+				row.Label = label
+				row.Points = len(points)
+			}
+			f.Close()
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// resetFile rewinds a file for a second parse attempt.
+func resetFile(f *os.File) *os.File {
+	f.Seek(0, 0)
+	return f
+}
+
+// DataBytesServed reports data-channel volume, for QoS accounting.
+func (a *ControlAgent) DataBytesServed() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.export == nil {
+		return 0
+	}
+	return a.export.BytesServed()
+}
+
+// Close shuts down both channels and the instrument links.
+func (a *ControlAgent) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	var first error
+	if a.daemon != nil {
+		if err := a.daemon.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if a.export != nil {
+		if err := a.export.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := a.jkemClient.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

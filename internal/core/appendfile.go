@@ -1,0 +1,31 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// appendFile is a mutex-guarded append-only file for journal writes.
+type appendFile struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func newAppendFile(dir, name string) (*appendFile, error) {
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &appendFile{f: f}, nil
+}
+
+func (a *appendFile) Write(p []byte) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n, err := a.f.Write(p)
+	if err == nil {
+		a.f.Sync()
+	}
+	return n, err
+}

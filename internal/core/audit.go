@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ice/internal/pyro"
+)
+
+// AuditFileName is the provenance journal's name inside the
+// measurement directory — it travels the data channel like any
+// measurement, so remote users can fetch the complete command history
+// of their experiment.
+const AuditFileName = "control_audit.jsonl"
+
+// AuditEntry is one journaled control-channel call.
+type AuditEntry struct {
+	// Seq is the 1-based journal position.
+	Seq int `json:"seq"`
+	// TimeUnixNano is the dispatch wall time.
+	TimeUnixNano int64 `json:"t"`
+	// Object and Method identify the call.
+	Object string `json:"object"`
+	Method string `json:"method"`
+	// Args are the raw JSON arguments, replayable verbatim.
+	Args []json.RawMessage `json:"args,omitempty"`
+}
+
+// auditJournal appends entries to a sink line by line.
+type auditJournal struct {
+	mu  sync.Mutex
+	seq int
+	w   interface {
+		Write(p []byte) (int, error)
+	}
+}
+
+func (j *auditJournal) record(object, method string, args []json.RawMessage) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	entry := AuditEntry{
+		Seq:          j.seq,
+		TimeUnixNano: time.Now().UnixNano(),
+		Object:       object,
+		Method:       method,
+		Args:         args,
+	}
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	j.w.Write(append(line, '\n'))
+}
+
+// noJournalMethods are housekeeping calls excluded from the journal so
+// replay reproduces the experiment, not the monitoring around it.
+var noJournalMethods = map[string]bool{
+	"BusySP200": true, "StatusSP200": true, "Status": true,
+	"ReadTemperature": true, "ReadPH": true, "RetainMeasurements": true,
+	"Lookup": true, "List": true, "PendingBatches": true,
+	"Position": true, "Battery": true,
+}
+
+// EnableAudit starts journaling control-channel calls into
+// AuditFileName in the measurement directory. Call after ServeControl.
+func (a *ControlAgent) EnableAudit() error {
+	a.mu.Lock()
+	daemon := a.daemon
+	a.mu.Unlock()
+	if daemon == nil {
+		return fmt.Errorf("core: control channel not serving yet")
+	}
+	f, err := newAppendFile(a.cfg.MeasurementDir, AuditFileName)
+	if err != nil {
+		return err
+	}
+	journal := &auditJournal{w: f}
+	daemon.Audit = func(object, method string, args []json.RawMessage) {
+		if noJournalMethods[method] {
+			return
+		}
+		journal.record(object, method, args)
+	}
+	return nil
+}
+
+// ParseAuditJournal decodes a journal fetched over the data channel.
+// Truncated trailing lines (an in-flight transfer) are dropped.
+func ParseAuditJournal(data []byte) ([]AuditEntry, error) {
+	var entries []AuditEntry
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e AuditEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			break // truncated tail
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+// ReplayResult reports one replayed call.
+type ReplayResult struct {
+	Entry AuditEntry
+	// Err is the replay-time error, nil on success.
+	Err error
+}
+
+// ReplayJournal re-executes journal entries in order against a daemon
+// — provenance-driven reproduction of a recorded experiment on a fresh
+// (or the same) ICE. Raw JSON arguments are forwarded verbatim. It
+// stops at the first error unless continueOnError is set, and returns
+// the per-call outcomes.
+func ReplayJournal(entries []AuditEntry, daemonURI pyro.URI, dialer pyro.Dialer, token string, continueOnError bool) ([]ReplayResult, error) {
+	proxies := make(map[string]*pyro.Proxy)
+	defer func() {
+		for _, p := range proxies {
+			p.Close()
+		}
+	}()
+	results := make([]ReplayResult, 0, len(entries))
+	for _, e := range entries {
+		p, ok := proxies[e.Object]
+		if !ok {
+			var err error
+			p, err = pyro.DialToken(daemonURI.WithObject(e.Object), dialer, token)
+			if err != nil {
+				return results, fmt.Errorf("core: replay dial %s: %w", e.Object, err)
+			}
+			p.Timeout = 10 * time.Minute
+			proxies[e.Object] = p
+		}
+		args := make([]any, len(e.Args))
+		for i, raw := range e.Args {
+			args[i] = raw // json.RawMessage marshals verbatim
+		}
+		_, err := p.Call(e.Method, args...)
+		results = append(results, ReplayResult{Entry: e, Err: err})
+		if err != nil && !continueOnError {
+			return results, fmt.Errorf("core: replay seq %d %s.%s: %w", e.Seq, e.Object, e.Method, err)
+		}
+	}
+	return results, nil
+}

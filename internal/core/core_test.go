@@ -1,0 +1,628 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"ice/internal/analysis"
+	"ice/internal/ml"
+	"ice/internal/netsim"
+	"ice/internal/potentiostat"
+	"ice/internal/workflow"
+)
+
+// deploy builds a full ICE with instant instrument pacing.
+func deploy(t *testing.T) *Deployment {
+	t.Helper()
+	d, err := Deploy(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// connect opens the DGX-side session and mount.
+func connect(t *testing.T, d *Deployment) (s *RemoteSession, m interface {
+	Close() error
+}) {
+	t.Helper()
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { session.Close(); mount.Close() })
+	return session, mount
+}
+
+func TestDeployAndConnect(t *testing.T) {
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	status, err := session.JKemStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "syringe1") {
+		t.Errorf("J-Kem status = %q", status)
+	}
+	spStatus, err := session.SP200Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(spStatus, "off") {
+		t.Errorf("SP200 status = %q", spStatus)
+	}
+	// Data channel lists an empty measurement dir.
+	files, err := mount.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Errorf("fresh deployment has files: %v", files)
+	}
+}
+
+func TestFig5RemoteJKemSteering(t *testing.T) {
+	d := deploy(t)
+	session, _, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	// The exact remote cells of Fig. 5a, each expecting "OK".
+	cells := []struct {
+		label string
+		call  func() (string, error)
+	}{
+		{"Set_Rate_SyringePump", func() (string, error) { return session.SetRateSyringePump(1, 5.0) }},
+		{"Set_Port_SyringePump", func() (string, error) { return session.SetPortSyringePump(1, 8) }},
+		{"Set_Vial_FractionCollector", func() (string, error) { return session.SetVialFractionCollector(1, "BOTTOM") }},
+		{"Withdraw_SyringePump", func() (string, error) { return session.WithdrawSyringePump(1, 6.0) }},
+		{"Set_Port_SyringePump", func() (string, error) { return session.SetPortSyringePump(1, 1) }},
+		{"Dispense_SyringePump", func() (string, error) { return session.DispenseSyringePump(1, 6.0) }},
+	}
+	for _, cell := range cells {
+		out, err := cell.call()
+		if err != nil {
+			t.Fatalf("%s: %v", cell.label, err)
+		}
+		if out != "OK" {
+			t.Fatalf("%s → %q, want OK", cell.label, out)
+		}
+	}
+	// The physical cell actually filled.
+	snap := d.Agent.Cell().Snapshot()
+	if math.Abs(snap.Volume.Milliliters()-6) > 1e-9 {
+		t.Errorf("cell volume = %v, want 6 mL", snap.Volume)
+	}
+	// Teardown cell.
+	out, err := session.CallExitJKemAPI()
+	if err != nil || out != "J-Kem API exit OK" {
+		t.Errorf("ExitJKemAPI = %q, %v", out, err)
+	}
+	// The SBC saw the commands (Fig. 5b console).
+	log := strings.Join(d.Agent.SBC().CommandLog(), "\n")
+	for _, want := range []string{"SYRINGEPUMP_RATE", "SYRINGEPUMP_WITHDRAW", "SYRINGEPUMP_DISPENSE"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("SBC log missing %q", want)
+		}
+	}
+}
+
+func TestFig6RemoteSP200Pipeline(t *testing.T) {
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	// Fill the cell first (otherwise the run is flagged abnormal).
+	for _, f := range []func() (string, error){
+		func() (string, error) { return session.SetPortSyringePump(1, 8) },
+		func() (string, error) { return session.WithdrawSyringePump(1, 6.0) },
+		func() (string, error) { return session.SetPortSyringePump(1, 1) },
+		func() (string, error) { return session.DispenseSyringePump(1, 6.0) },
+	} {
+		if _, err := f(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	params := PaperCVParams()
+	params.Points = 400
+	steps := []struct {
+		label string
+		call  func() (string, error)
+		want  string
+	}{
+		{"1 Initialize", func() (string, error) { return session.CallInitializeSP200API(PaperSystemParams()) }, "Initialization is done"},
+		{"2 Connect", session.CallConnectSP200, "Channel Connection is done"},
+		{"3 LoadFirmware", session.CallLoadFirmwareSP200, "Firmware is loaded"},
+		{"4 InitCV", func() (string, error) { return session.CallInitializeCVTechSP200(params) }, "CV technique is initialized"},
+		{"5 LoadTechnique", session.CallLoadTechniqueSP200, "Loading CV technique is done"},
+		{"6 StartChannel", session.CallStartChannelSP200, "Channel is activated for probing measurements"},
+	}
+	for _, s := range steps {
+		out, err := s.call()
+		if err != nil {
+			t.Fatalf("%s: %v", s.label, err)
+		}
+		if out != s.want {
+			t.Fatalf("%s → %q, want %q", s.label, out, s.want)
+		}
+	}
+	fileName, err := session.CallGetTechPathRslt()
+	if err != nil {
+		t.Fatalf("7 GetTechPathRslt: %v", err)
+	}
+	if !strings.HasPrefix(fileName, "CV_ch1_") {
+		t.Errorf("measurement file = %q", fileName)
+	}
+	// Fig. 6b server-side transcript.
+	events := strings.Join(d.Agent.SP200().EventLog(), "\n")
+	for _, want := range []string{"Loading kernel4.bin", "firmware loaded", "automatically disconnected"} {
+		if !strings.Contains(events, want) {
+			t.Errorf("SP200 events missing %q", want)
+		}
+	}
+}
+
+func TestFullCVWorkflowTasksAThroughE(t *testing.T) {
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	cfg := PaperCVWorkflowConfig()
+	cfg.CV.Points = 500
+	nb, outcome := BuildCVWorkflow(session, mount, cfg)
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatalf("workflow: %v\ntranscript:\n%s", err, strings.Join(nb.Transcript(), "\n"))
+	}
+	for _, id := range []string{"A", "B", "C", "D", "E"} {
+		r, ok := nb.Result(id)
+		if !ok || r.Status != workflow.OK {
+			t.Errorf("task %s = %v", id, r.Status)
+		}
+	}
+	if outcome.FileName == "" || len(outcome.Records) != 501 {
+		t.Errorf("outcome = %q with %d records", outcome.FileName, len(outcome.Records))
+	}
+	// The remote analysis sees the expected ferrocene chemistry.
+	if outcome.Summary == nil {
+		t.Fatal("no summary")
+	}
+	if !outcome.Summary.Reversible {
+		t.Errorf("summary = %v, want reversible", outcome.Summary)
+	}
+	if math.Abs(outcome.Summary.HalfWave.Volts()-0.40) > 0.02 {
+		t.Errorf("E½ = %v", outcome.Summary.HalfWave)
+	}
+	// The transcript mirrors the notebook figures.
+	tr := strings.Join(nb.Transcript(), "\n")
+	for _, want := range []string{
+		"call_Initialize_SP200_API", "call_Start_Channel_SP200",
+		"Withdraw_SyringePump", "J-Kem API exit OK", "I-V analysis",
+	} {
+		if !strings.Contains(tr, want) {
+			t.Errorf("transcript missing %q", want)
+		}
+	}
+}
+
+func TestWorkflowWithMLClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a classifier")
+	}
+	clf, acc, err := ml.TrainNormalityClassifier(ml.GenerateConfig{PerClass: 10, Samples: 300, BaseSeed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.7 {
+		t.Fatalf("classifier accuracy %v too low to test with", acc)
+	}
+
+	run := func(t *testing.T, breakCell func(*Deployment)) *CVOutcome {
+		d := deploy(t)
+		if breakCell != nil {
+			breakCell(d)
+		}
+		session, mount, err := d.ConnectFrom(netsim.HostDGX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer session.Close()
+		defer mount.Close()
+		cfg := PaperCVWorkflowConfig()
+		cfg.CV.Points = 400
+		cfg.Classifier = clf
+		nb, outcome := BuildCVWorkflow(session, mount, cfg)
+		if err := nb.Execute(context.Background()); err != nil {
+			t.Fatalf("workflow: %v", err)
+		}
+		if !outcome.Classified {
+			t.Fatal("classifier did not run")
+		}
+		return outcome
+	}
+
+	t.Run("normal", func(t *testing.T) {
+		out := run(t, nil)
+		if out.Class != ml.ClassNormal {
+			t.Errorf("normal run classified %s", out.ClassName)
+		}
+	})
+	t.Run("disconnected", func(t *testing.T) {
+		out := run(t, func(d *Deployment) { d.Agent.Cell().SetElectrodesConnected(false) })
+		if out.Class != ml.ClassDisconnected {
+			t.Errorf("disconnected run classified %s", out.ClassName)
+		}
+	})
+}
+
+func TestWorkflowSkipsOnBrokenControlChannel(t *testing.T) {
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mount.Close()
+	// Kill the session before running: task A must fail, B–D skip.
+	session.Close()
+	nb, _ := BuildCVWorkflow(session, mount, PaperCVWorkflowConfig())
+	if err := nb.Execute(context.Background()); err == nil {
+		t.Fatal("workflow succeeded over a closed session")
+	}
+	if r, _ := nb.Result("A"); r.Status != workflow.Failed {
+		t.Errorf("A = %v", r.Status)
+	}
+	for _, id := range []string{"B", "C", "D"} {
+		if r, _ := nb.Result(id); r.Status != workflow.Skipped {
+			t.Errorf("%s = %v, want skipped", id, r.Status)
+		}
+	}
+}
+
+func TestAuxiliaryTechniquesOverRPC(t *testing.T) {
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	// Fill and bring the device up.
+	session.SetPortSyringePump(1, 8)
+	session.WithdrawSyringePump(1, 6.0)
+	session.SetPortSyringePump(1, 1)
+	session.DispenseSyringePump(1, 6.0)
+	if _, err := session.CallInitializeSP200API(PaperSystemParams()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.CallConnectSP200(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.CallLoadFirmwareSP200(); err != nil {
+		t.Fatal(err)
+	}
+
+	ocvFile, err := session.RunOCV(5, 100)
+	if err != nil {
+		t.Fatalf("RunOCV: %v", err)
+	}
+	if !strings.HasPrefix(ocvFile, "OCV_ch2_") {
+		t.Errorf("OCV file = %q", ocvFile)
+	}
+	caFile, err := session.RunCA(0.05, 0.9, 0.5, 4.5, 200)
+	if err != nil {
+		t.Fatalf("RunCA: %v", err)
+	}
+	if !strings.HasPrefix(caFile, "CA_ch2_") {
+		t.Errorf("CA file = %q", caFile)
+	}
+
+	swvFile, err := session.RunSWV(SWVParams{StartV: 0.1, EndV: 0.7})
+	if err != nil {
+		t.Fatalf("RunSWV: %v", err)
+	}
+	if !strings.HasPrefix(swvFile, "SWV_ch2_") {
+		t.Errorf("SWV file = %q", swvFile)
+	}
+	swvData, _, err := mount.WaitFor(swvFile, 10*time.Millisecond, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swvMF, err := potentiostat.ParseMPT(bytes.NewReader(swvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swvMF.Technique != "SWV" {
+		t.Errorf("SWV technique header = %q", swvMF.Technique)
+	}
+	// The differential peak sits at E½ ≈ 0.40 V.
+	peakE, peakI := 0.0, math.Inf(-1)
+	for _, r := range swvMF.Records {
+		if r.I > peakI {
+			peakI, peakE = r.I, r.Ewe
+		}
+	}
+	if math.Abs(peakE-0.40) > 0.015 {
+		t.Errorf("remote SWV peak at %.3f V, want ≈ 0.400", peakE)
+	}
+
+	eisFile, err := session.RunEIS(EISParams{FreqMinHz: 1, FreqMaxHz: 100_000, PointsPerDecade: 8})
+	if err != nil {
+		t.Fatalf("RunEIS: %v", err)
+	}
+	if !strings.HasPrefix(eisFile, "PEIS_ch2_") {
+		t.Errorf("EIS file = %q", eisFile)
+	}
+	// The spectrum travels the data channel and analyses cleanly.
+	data, _, err := mount.WaitFor(eisFile, 10*time.Millisecond, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, points, err := potentiostat.ParseEIS(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "normal" || len(points) < 30 {
+		t.Errorf("EIS file label=%q points=%d", label, len(points))
+	}
+	summary, err := analysis.AnalyzeEIS(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Blocked {
+		t.Errorf("healthy cell EIS flagged blocked: %v", summary)
+	}
+}
+
+func TestRemoteErrorsPropagateAcrossICE(t *testing.T) {
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	// Out-of-order pipeline call.
+	if _, err := session.CallConnectSP200(); err == nil {
+		t.Error("Connect before Initialize succeeded remotely")
+	}
+	// Invalid pump port.
+	if _, err := session.SetPortSyringePump(1, 77); err == nil {
+		t.Error("invalid port succeeded remotely")
+	}
+	// Withdraw from empty cell.
+	session.SetPortSyringePump(1, 1)
+	if _, err := session.WithdrawSyringePump(1, 1.0); err == nil {
+		t.Error("withdraw from empty cell succeeded remotely")
+	}
+	// Session still usable.
+	if _, err := session.JKemStatus(); err != nil {
+		t.Errorf("session broken after remote errors: %v", err)
+	}
+}
+
+func TestFirewallProtectsControlAgent(t *testing.T) {
+	d := deploy(t)
+	// An attacker host on the site network cannot reach an unopened
+	// port, and the open ports require the right protocol.
+	if err := d.Network.AddHost("intruder", netsim.HubSite); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Network.Dial("intruder", netsim.HostControlAgent+":22"); err == nil {
+		t.Error("dial to unopened port succeeded")
+	}
+	// The opened control port is reachable (policy is port-based).
+	conn, err := d.Network.Dial("intruder", netsim.HostControlAgent+":9690")
+	if err != nil {
+		t.Errorf("dial to opened port failed: %v", err)
+	} else {
+		conn.Close()
+	}
+}
+
+func TestMultiRoundAdaptiveSteering(t *testing.T) {
+	// The ICE's purpose: adapt instrument settings across rounds. Run
+	// CV at increasing scan rates and confirm ip grows like √v.
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	session.SetPortSyringePump(1, 8)
+	session.WithdrawSyringePump(1, 6.0)
+	session.SetPortSyringePump(1, 1)
+	session.DispenseSyringePump(1, 6.0)
+	if _, err := session.CallInitializeSP200API(PaperSystemParams()); err != nil {
+		t.Fatal(err)
+	}
+	session.CallConnectSP200()
+	session.CallLoadFirmwareSP200()
+
+	peak := func(rate float64) float64 {
+		p := PaperCVParams()
+		p.RateMVs = rate
+		p.Points = 500
+		if _, err := session.CallInitializeCVTechSP200(p); err != nil {
+			t.Fatal(err)
+		}
+		session.CallLoadTechniqueSP200()
+		session.CallStartChannelSP200()
+		name, err := session.CallGetTechPathRslt()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _, err := mountReadStable(mount, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf, err := parseMPT(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := 0.0
+		for _, r := range mf.Records {
+			if r.I > max {
+				max = r.I
+			}
+		}
+		return max
+	}
+	i50 := peak(50)
+	i200 := peak(200)
+	ratio := i200 / i50
+	if math.Abs(ratio-2) > 0.15 {
+		t.Errorf("ip(200)/ip(50) = %v over the full remote loop, want ≈ 2", ratio)
+	}
+}
+
+func TestRawDrainBusyAndAccounting(t *testing.T) {
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	// Raw protocol passthrough.
+	out, err := session.RawJKem("PH_READ(1)")
+	if err != nil || out != "7.00" {
+		t.Errorf("RawJKem = %q, %v", out, err)
+	}
+	if _, err := session.RawJKem("NOT_A_COMMAND(1)"); err == nil {
+		t.Error("bad raw command accepted")
+	}
+
+	// Fill then remote-drain.
+	session.SetPortSyringePump(1, 8)
+	session.WithdrawSyringePump(1, 6.0)
+	session.SetPortSyringePump(1, 1)
+	session.DispenseSyringePump(1, 6.0)
+	if out, err := session.DrainCell(); err != nil || out != "OK" {
+		t.Fatalf("DrainCell = %q, %v", out, err)
+	}
+	if v := d.Agent.Cell().Snapshot().Volume; v != 0 {
+		t.Errorf("cell holds %v after remote drain", v)
+	}
+
+	// Busy flag across an acquisition.
+	session.SetPortSyringePump(1, 8)
+	session.WithdrawSyringePump(1, 6.0)
+	session.SetPortSyringePump(1, 1)
+	session.DispenseSyringePump(1, 6.0)
+	if _, err := session.CallInitializeSP200API(PaperSystemParams()); err != nil {
+		t.Fatal(err)
+	}
+	session.CallConnectSP200()
+	session.CallLoadFirmwareSP200()
+	params := PaperCVParams()
+	params.Points = 300
+	session.CallInitializeCVTechSP200(params)
+	session.CallLoadTechniqueSP200()
+	session.CallStartChannelSP200()
+	var busy bool
+	if err := sessionBusy(session, &busy); err != nil {
+		t.Fatal(err)
+	}
+	name, err := session.CallGetTechPathRslt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sessionBusy(session, &busy); err != nil {
+		t.Fatal(err)
+	}
+	if busy {
+		t.Error("channel busy after acquisition completed")
+	}
+
+	// Data-channel byte accounting rises after a retrieval.
+	before := d.Agent.DataBytesServed()
+	if _, _, err := mount.WaitFor(name, 5*time.Millisecond, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if after := d.Agent.DataBytesServed(); after <= before {
+		t.Errorf("DataBytesServed %d → %d; retrieval not accounted", before, after)
+	}
+}
+
+// sessionBusy reads the remote busy flag.
+func sessionBusy(s *RemoteSession, out *bool) error {
+	return s.sp200.CallInto(out, "BusySP200")
+}
+
+func TestAgentConfigValidation(t *testing.T) {
+	if _, err := NewControlAgent(AgentConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewControlAgent(AgentConfig{MeasurementDir: t.TempDir()}); err == nil {
+		t.Error("zero electrode area accepted")
+	}
+}
+
+func TestDoubleServeRejected(t *testing.T) {
+	d := deploy(t)
+	l, err := d.Network.Listen(netsim.HostControlAgent, 9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, _, err := d.Agent.ServeControl(l); err == nil {
+		t.Error("second ServeControl accepted")
+	}
+	if err := d.Agent.ServeData(l); err == nil {
+		t.Error("second ServeData accepted")
+	}
+}
+
+func TestCVParamsValidation(t *testing.T) {
+	p := PaperCVParams()
+	if err := p.Validate(); err != nil {
+		t.Errorf("paper params invalid: %v", err)
+	}
+	p.RateMVs = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero rate accepted")
+	}
+	p = PaperCVParams()
+	p.Points = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative points accepted")
+	}
+}
+
+// mountReadStable and parseMPT are small indirections so the adaptive
+// test reads like notebook code.
+func mountReadStable(m interface {
+	WaitFor(string, time.Duration, time.Duration) ([]byte, string, error)
+}, name string) ([]byte, string, error) {
+	return m.WaitFor(name, 10*time.Millisecond, time.Minute)
+}
+
+func parseMPT(data []byte) (*potentiostat.MeasurementFile, error) {
+	return potentiostat.ParseMPT(bytes.NewReader(data))
+}

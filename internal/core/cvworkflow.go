@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"ice/internal/analysis"
+	"ice/internal/datachan"
+	"ice/internal/ml"
+	"ice/internal/potentiostat"
+	"ice/internal/units"
+	"ice/internal/workflow"
+)
+
+// CVWorkflowConfig parameterises the demonstrated electrochemical
+// workflow.
+type CVWorkflowConfig struct {
+	// Fill is the task-C cell-filling sequence.
+	Fill FillParams
+	// System is the task-D step-1 payload.
+	System SystemParams
+	// CV is the task-D technique program.
+	CV CVParams
+	// GasSCCM is the argon purge set during task B.
+	GasSCCM float64
+	// Classifier optionally runs the ML normality check on the
+	// retrieved measurements.
+	Classifier *ml.Ensemble
+	// WaitPoll and WaitTimeout bound the data-channel wait for the
+	// measurement file.
+	WaitPoll    time.Duration
+	WaitTimeout time.Duration
+	// ProgressPoll, when > 0, logs the measurement file's growth into
+	// the transcript while acquisition is in flight (real-time
+	// monitoring over the pipelined control/data channels).
+	ProgressPoll time.Duration
+}
+
+// PaperCVWorkflowConfig returns the demonstration parameters.
+func PaperCVWorkflowConfig() CVWorkflowConfig {
+	return CVWorkflowConfig{
+		Fill:        PaperFillParams(),
+		System:      PaperSystemParams(),
+		CV:          PaperCVParams(),
+		GasSCCM:     20,
+		WaitPoll:    20 * time.Millisecond,
+		WaitTimeout: 2 * time.Minute,
+	}
+}
+
+// CVOutcome collects what task D produced for downstream use.
+type CVOutcome struct {
+	// FileName is the measurement file retrieved over the data channel.
+	FileName string
+	// Records are the parsed measurements.
+	Records []potentiostat.Record
+	// Summary is the remote-side peak analysis.
+	Summary *analysis.CVSummary
+	// Classified reports whether the ML check ran.
+	Classified bool
+	// Class and ClassName are the ML verdict.
+	Class     int
+	ClassName string
+}
+
+// BuildCVWorkflow composes the paper's tasks A–E against an open
+// session and data mount. The returned outcome is populated as the
+// notebook executes.
+func BuildCVWorkflow(session *RemoteSession, mount *datachan.Mount, cfg CVWorkflowConfig) (*workflow.Notebook, *CVOutcome) {
+	nb := workflow.New("electrochemical-cv")
+	outcome := &CVOutcome{}
+	if cfg.WaitPoll <= 0 {
+		cfg.WaitPoll = 20 * time.Millisecond
+	}
+	if cfg.WaitTimeout <= 0 {
+		cfg.WaitTimeout = 2 * time.Minute
+	}
+
+	nb.MustAdd(&workflow.Task{
+		ID: "A", Title: "Establish Pyro communications across ICE",
+		Run: func(c *workflow.Context) (string, error) {
+			if _, err := session.JKemStatus(); err != nil {
+				return "", fmt.Errorf("J-Kem object unreachable: %w", err)
+			}
+			if _, err := session.SP200Status(); err != nil {
+				return "", fmt.Errorf("SP200 object unreachable: %w", err)
+			}
+			return "OK", nil
+		},
+	})
+
+	nb.MustAdd(&workflow.Task{
+		ID: "B", Title: "Configure and connect J-Kem instrument setup",
+		DependsOn: []string{"A"},
+		Run: func(c *workflow.Context) (string, error) {
+			if cfg.GasSCCM > 0 {
+				if _, err := session.SetGasFlow(1, cfg.GasSCCM); err != nil {
+					return "", err
+				}
+			}
+			if _, err := session.SetVialFractionCollector(1, cfg.Fill.Vial); err != nil {
+				return "", err
+			}
+			temp, err := session.ReadTemperature(1)
+			if err != nil {
+				return "", err
+			}
+			c.Logf("cell at %.2f °C, purge %.1f sccm", temp, cfg.GasSCCM)
+			return "OK", nil
+		},
+	})
+
+	nb.MustAdd(&workflow.Task{
+		ID: "C", Title: "Fill electrochemical cell with ferrocene solution",
+		DependsOn: []string{"B"},
+		Run: func(c *workflow.Context) (string, error) {
+			f := cfg.Fill
+			steps := []struct {
+				label string
+				call  func() (string, error)
+			}{
+				{"Set_Rate_SyringePump", func() (string, error) { return session.SetRateSyringePump(f.PumpAddr, f.RateMLMin) }},
+				{"Set_Port_SyringePump", func() (string, error) { return session.SetPortSyringePump(f.PumpAddr, f.StockPort) }},
+				{"Withdraw_SyringePump", func() (string, error) { return session.WithdrawSyringePump(f.PumpAddr, f.VolumeML) }},
+				{"Set_Port_SyringePump", func() (string, error) { return session.SetPortSyringePump(f.PumpAddr, f.CellPort) }},
+				{"Dispense_SyringePump", func() (string, error) { return session.DispenseSyringePump(f.PumpAddr, f.VolumeML) }},
+			}
+			for _, s := range steps {
+				out, err := s.call()
+				if err != nil {
+					return "", fmt.Errorf("%s: %w", s.label, err)
+				}
+				c.Logf("%s\n%s", s.label, out)
+			}
+			return "OK", nil
+		},
+	})
+
+	nb.MustAdd(&workflow.Task{
+		ID: "D", Title: "Run CV on SP200 and collect I-V measurements",
+		DependsOn: []string{"C"},
+		Run: func(c *workflow.Context) (string, error) {
+			steps := []struct {
+				label string
+				call  func() (string, error)
+			}{
+				{"call_Initialize_SP200_API", func() (string, error) { return session.CallInitializeSP200API(cfg.System) }},
+				{"call_Connect_SP200", session.CallConnectSP200},
+				{"call_Load_Firmware_SP200", session.CallLoadFirmwareSP200},
+				{"call_Initialize_CV_Tech_SP200", func() (string, error) { return session.CallInitializeCVTechSP200(cfg.CV) }},
+				{"call_Load_Technique_SP200", session.CallLoadTechniqueSP200},
+				{"call_Start_Channel_SP200", session.CallStartChannelSP200},
+			}
+			for i, s := range steps {
+				out, err := s.call()
+				if err != nil {
+					return "", fmt.Errorf("step %d %s: %w", i+1, s.label, err)
+				}
+				c.Logf("(%d) %s → %s", i+1, s.label, out)
+			}
+			// While the blocking wait is in flight on the pipelined
+			// control channel, optionally watch the data channel for
+			// the growing measurement file and narrate progress.
+			var stopProgress chan struct{}
+			if cfg.ProgressPoll > 0 {
+				stopProgress = make(chan struct{})
+				go func() {
+					var lastSize int64 = -1
+					ticker := time.NewTicker(cfg.ProgressPoll)
+					defer ticker.Stop()
+					for {
+						select {
+						case <-stopProgress:
+							return
+						case <-ticker.C:
+						}
+						files, err := mount.List()
+						if err != nil {
+							return
+						}
+						for _, f := range files {
+							if f.Size != lastSize && f.Size > 0 {
+								lastSize = f.Size
+								c.Logf("… acquiring: %s now %d bytes", f.Name, f.Size)
+							}
+						}
+					}
+				}()
+			}
+			fileName, err := session.CallGetTechPathRslt()
+			if stopProgress != nil {
+				close(stopProgress)
+			}
+			if err != nil {
+				return "", fmt.Errorf("step 7 call_Get_Tech_Path_Rslt: %w", err)
+			}
+			c.Logf("(7) measurements are collected: %s", fileName)
+
+			// Retrieve over the data channel (CIFS-mounted files).
+			data, gotName, err := mount.WaitFor(fileName, cfg.WaitPoll, cfg.WaitTimeout)
+			if err != nil {
+				return "", fmt.Errorf("data channel: %w", err)
+			}
+			mf, err := potentiostat.ParseMPT(bytes.NewReader(data))
+			if err != nil {
+				return "", fmt.Errorf("parse measurements: %w", err)
+			}
+			outcome.FileName = gotName
+			outcome.Records = mf.Records
+
+			e, i := analysis.FromRecords(mf.Records)
+			summary, err := analysis.AnalyzeCV(e, i, units.Celsius(25))
+			if err != nil {
+				return "", fmt.Errorf("analysis: %w", err)
+			}
+			outcome.Summary = summary
+			c.Logf("I-V analysis: %v", summary)
+
+			if cfg.Classifier != nil {
+				feats, err := ml.Features(e, i)
+				if err != nil {
+					return "", fmt.Errorf("feature extraction: %w", err)
+				}
+				class, err := cfg.Classifier.Predict(feats)
+				if err != nil {
+					return "", fmt.Errorf("classification: %w", err)
+				}
+				outcome.Classified = true
+				outcome.Class = class
+				outcome.ClassName = ml.ClassName(class)
+				c.Logf("ML normality check: %s", outcome.ClassName)
+			}
+			return fmt.Sprintf("OK %d points", len(mf.Records)), nil
+		},
+	})
+
+	nb.MustAdd(&workflow.Task{
+		ID: "E", Title: "Shut down cross-facility connections",
+		DependsOn: []string{"A"},
+		Run: func(c *workflow.Context) (string, error) {
+			out, err := session.CallExitJKemAPI()
+			if err != nil {
+				return "", err
+			}
+			c.Logf("%s", out)
+			if _, err := session.CallDisconnectSP200(); err != nil {
+				// The SP200 may legitimately be off if task D never
+				// initialised it; log but do not fail teardown.
+				c.Logf("SP200 disconnect: %v", err)
+			}
+			return "OK", nil
+		},
+	})
+
+	return nb, outcome
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ice/internal/netsim"
+	"ice/internal/workflow"
+)
+
+// TestWorkflowFailsCleanlyWhenSiteHubDies drops the site network in
+// the middle of a workflow: the in-flight task fails with a transport
+// error and downstream tasks skip — the ecosystem degrades, it does
+// not hang.
+func TestWorkflowFailsCleanlyWhenSiteHubDies(t *testing.T) {
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	cfg := PaperCVWorkflowConfig()
+	cfg.CV.Points = 400
+	nb, _ := BuildCVWorkflow(session, mount, cfg)
+
+	// Sever existing transport mid-run by killing the proxies'
+	// underlying connections: simulate by closing the session after
+	// task B completes. Hook via a watcher goroutine on the transcript.
+	go func() {
+		for {
+			tr := nb.Transcript()
+			for _, line := range tr {
+				if strings.Contains(line, "Out[3]") { // fill finished
+					session.Close()
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	err = nb.Execute(context.Background())
+	if err == nil {
+		// The race may let the whole workflow finish before the close
+		// lands; that is acceptable — rerun deterministically below.
+		t.Log("workflow completed before injected failure; forcing direct check")
+	} else {
+		r, _ := nb.Result("D")
+		if r.Status != workflow.Failed && r.Status != workflow.Skipped {
+			t.Errorf("task D after transport loss = %v", r.Status)
+		}
+	}
+
+	// Deterministic variant: a fresh session closed before task A.
+	session2, mount2, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mount2.Close()
+	session2.Close()
+	nb2, _ := BuildCVWorkflow(session2, mount2, cfg)
+	start := time.Now()
+	if err := nb2.Execute(context.Background()); err == nil {
+		t.Fatal("workflow over dead session succeeded")
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Error("failure detection took too long")
+	}
+}
+
+// TestHubOutageBlocksNewSessionsButRecovers verifies partition →
+// failure, repair → recovery, matching the operational story of a
+// cross-facility link flap.
+func TestHubOutageBlocksNewSessionsButRecovers(t *testing.T) {
+	d := deploy(t)
+	if err := d.Network.SetHubDown(netsim.HubSite, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.ConnectFrom(netsim.HostDGX); err == nil {
+		t.Fatal("session established across a down hub")
+	}
+	d.Network.SetHubDown(netsim.HubSite, false)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatalf("session after repair: %v", err)
+	}
+	defer session.Close()
+	defer mount.Close()
+	if _, err := session.JKemStatus(); err != nil {
+		t.Errorf("status after repair: %v", err)
+	}
+}
+
+// TestTaskRetrySurvivesTransientInstrumentError exercises workflow
+// retries against a transient fault: the first withdraw hits an empty
+// cell; a repair action between retries lets the second attempt pass.
+func TestTaskRetrySurvivesTransientInstrumentError(t *testing.T) {
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	attempts := 0
+	nb := workflow.New("retry-demo")
+	nb.MustAdd(&workflow.Task{
+		ID: "sample", Title: "withdraw 1 mL from the cell",
+		Retries: 2, RetryDelay: 10 * time.Millisecond,
+		Run: func(c *workflow.Context) (string, error) {
+			attempts++
+			if attempts == 1 {
+				// First attempt: cell is empty → instrument error.
+				if _, err := session.SetPortSyringePump(1, 1); err != nil {
+					return "", err
+				}
+				if _, err := session.WithdrawSyringePump(1, 1.0); err != nil {
+					// Repair before the retry: fill the cell.
+					d.Agent.Cell().Drain()
+					for _, step := range []func() (string, error){
+						func() (string, error) { return session.SetPortSyringePump(1, 8) },
+						func() (string, error) { return session.WithdrawSyringePump(1, 6.0) },
+						func() (string, error) { return session.SetPortSyringePump(1, 1) },
+						func() (string, error) { return session.DispenseSyringePump(1, 6.0) },
+					} {
+						if _, err2 := step(); err2 != nil {
+							return "", err2
+						}
+					}
+					return "", err
+				}
+				return "OK", nil
+			}
+			if _, err := session.SetPortSyringePump(1, 1); err != nil {
+				return "", err
+			}
+			if _, err := session.WithdrawSyringePump(1, 1.0); err != nil {
+				return "", err
+			}
+			return "OK", nil
+		},
+	})
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatalf("retrying task failed: %v", err)
+	}
+	r, _ := nb.Result("sample")
+	if r.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", r.Attempts)
+	}
+	report := nb.Report()
+	if !report.Succeeded || report.Tasks[0].Attempts != 2 {
+		t.Errorf("report = %+v", report.Tasks[0])
+	}
+}
+
+// TestDataChannelOutageSurfacesInTaskD kills the data-channel export
+// while the workflow waits for the measurement file.
+func TestDataChannelOutageSurfacesInTaskD(t *testing.T) {
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	// Close the mount before running: task D's WaitFor must fail, not
+	// hang.
+	mount.Close()
+	cfg := PaperCVWorkflowConfig()
+	cfg.CV.Points = 300
+	cfg.WaitTimeout = 2 * time.Second
+	nb, _ := BuildCVWorkflow(session, mount, cfg)
+	start := time.Now()
+	if err := nb.Execute(context.Background()); err == nil {
+		t.Fatal("workflow succeeded without a data channel")
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Error("data-channel failure detection too slow")
+	}
+	r, _ := nb.Result("D")
+	if r.Status != workflow.Failed {
+		t.Errorf("task D = %v, want failed", r.Status)
+	}
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "data") {
+		t.Errorf("task D error = %v", r.Err)
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"ice/internal/assay"
+	"ice/internal/robot"
+	"ice/internal/synthesis"
+	"ice/internal/units"
+)
+
+// Extended-lab object names (the Fig. 1 stations beyond the
+// electrochemistry workstation).
+const (
+	// SynthesisObject exposes the robotic synthesis workstation.
+	SynthesisObject = "ACL_Synthesis"
+	// RobotObject exposes the mobile robot.
+	RobotObject = "ACL_Robot"
+)
+
+// BatchInfo is the wire form of a prepared batch.
+type BatchInfo struct {
+	// ID is the batch identifier.
+	ID string `json:"id"`
+	// Name is the recipe name.
+	Name string `json:"name"`
+	// AchievedMM is the assayed concentration in mM.
+	AchievedMM float64 `json:"achieved_mm"`
+	// VolumeML is the prepared volume in mL.
+	VolumeML float64 `json:"volume_ml"`
+}
+
+// SynthesisServer is the Pyro server object for the synthesis
+// workstation.
+type SynthesisServer struct {
+	station *synthesis.Workstation
+}
+
+// SynthesizeFerrocene prepares a ferrocene batch at targetMM mM and
+// returns its description.
+func (s *SynthesisServer) SynthesizeFerrocene(targetMM, volumeML float64) (BatchInfo, error) {
+	b, err := s.station.Synthesize(
+		synthesis.FerroceneRecipe(units.Millimolar(targetMM)),
+		units.Milliliters(volumeML))
+	if err != nil {
+		return BatchInfo{}, err
+	}
+	return BatchInfo{
+		ID: b.ID, Name: b.Recipe.Name,
+		AchievedMM: b.Achieved.Millimolar(), VolumeML: b.Volume.Milliliters(),
+	}, nil
+}
+
+// PendingBatches lists batches awaiting robot pickup.
+func (s *SynthesisServer) PendingBatches() []string { return s.station.Pending() }
+
+// RobotServer is the Pyro server object for the mobile robot. It holds
+// references to the stations so transfer commands have physical
+// effect.
+type RobotServer struct {
+	agent   *ControlAgent
+	robot   *robot.Robot
+	station *synthesis.Workstation
+	spectro *assay.Spectrophotometer
+	hplc    *assay.Chromatograph
+}
+
+// Position reports the robot's current station.
+func (r *RobotServer) Position() string { return string(r.robot.Position()) }
+
+// Battery reports the charge fraction.
+func (r *RobotServer) Battery() float64 { return r.robot.Battery() }
+
+// MoveTo drives to a named station.
+func (r *RobotServer) MoveTo(location string) (string, error) {
+	if err := r.robot.MoveTo(robot.Location(location)); err != nil {
+		return "", err
+	}
+	return "OK", nil
+}
+
+// Charge recharges at the dock.
+func (r *RobotServer) Charge() (string, error) {
+	if err := r.robot.Charge(); err != nil {
+		return "", err
+	}
+	return "OK", nil
+}
+
+// TransferBatchToCell executes the complete material move of the
+// paper's future-work vision: drive to the synthesis station, collect
+// the batch, drive to the electrochemistry station, and pour the
+// vessel into the electrochemical cell.
+func (r *RobotServer) TransferBatchToCell(batchID string) (string, error) {
+	if err := r.robot.MoveTo(robot.SynthesisStation); err != nil {
+		return "", err
+	}
+	b, err := r.station.Collect(batchID)
+	if err != nil {
+		return "", err
+	}
+	if err := r.robot.Pick(robot.Payload{Label: b.ID, Solution: b.Solution, Volume: b.Volume}); err != nil {
+		// Put the batch back conceptually: the vessel never left the
+		// deck. Re-synthesis is not needed; report the conflict.
+		return "", fmt.Errorf("robot busy, batch %s left on deck: %w", b.ID, err)
+	}
+	if err := r.robot.MoveTo(robot.ElectrochemistryStation); err != nil {
+		return "", err
+	}
+	payload, err := r.robot.Place()
+	if err != nil {
+		return "", err
+	}
+	if err := r.agent.Cell().AddSolution(payload.Solution, payload.Volume); err != nil {
+		return "", fmt.Errorf("pouring %s into cell: %w", payload.Label, err)
+	}
+	return "OK", nil
+}
+
+// AssayResult is the wire form of a characterization run.
+type AssayResult struct {
+	// Vial is the fraction-collector position sampled.
+	Vial string `json:"vial"`
+	// ConcentrationMM is the assayed analyte concentration in mM.
+	ConcentrationMM float64 `json:"concentration_mm"`
+	// LambdaMaxNM is the observed absorption maximum.
+	LambdaMaxNM float64 `json:"lambda_max_nm"`
+	// VolumeML is the sample volume consumed.
+	VolumeML float64 `json:"volume_ml"`
+}
+
+// TransferVialToAssay closes the paper's fraction-collection path:
+// the robot collects the vial at the electrochemistry station's
+// fraction collector, carries it to the characterization station, and
+// the spectrophotometer assays it.
+func (r *RobotServer) TransferVialToAssay(position string) (AssayResult, error) {
+	fc := r.agent.sbc.Collector(1)
+	if fc == nil {
+		return AssayResult{}, fmt.Errorf("core: no fraction collector attached")
+	}
+	if err := r.robot.MoveTo(robot.ElectrochemistryStation); err != nil {
+		return AssayResult{}, err
+	}
+	vial, err := fc.Take(position)
+	if err != nil {
+		return AssayResult{}, err
+	}
+	if err := r.robot.Pick(robot.Payload{Label: "vial-" + position, Solution: vial.Solution, Volume: vial.Volume}); err != nil {
+		return AssayResult{}, err
+	}
+	if err := r.robot.MoveTo(robot.CharacterizationStation); err != nil {
+		return AssayResult{}, err
+	}
+	payload, err := r.robot.Place()
+	if err != nil {
+		return AssayResult{}, err
+	}
+	conc, spec, err := r.spectro.Assay(payload.Solution)
+	if err != nil {
+		return AssayResult{}, err
+	}
+	return AssayResult{
+		Vial:            position,
+		ConcentrationMM: conc.Millimolar(),
+		LambdaMaxNM:     spec.PeakWavelength(),
+		VolumeML:        payload.Volume.Milliliters(),
+	}, nil
+}
+
+// HPLCResult is the wire form of a chromatographic assay.
+type HPLCResult struct {
+	// Vial sampled.
+	Vial string `json:"vial"`
+	// ConcentrationMM from the peak-area calibration.
+	ConcentrationMM float64 `json:"concentration_mm"`
+	// RetentionSeconds of the identified peak.
+	RetentionSeconds float64 `json:"retention_s"`
+	// PeakArea in AU·s.
+	PeakArea float64 `json:"peak_area"`
+}
+
+// TransferVialToHPLC carries a collected fraction to the
+// characterization station's chromatograph — the HPLC-MS role in the
+// paper's Fig. 1 — and returns the chromatographic quantification.
+func (r *RobotServer) TransferVialToHPLC(position string) (HPLCResult, error) {
+	fc := r.agent.sbc.Collector(1)
+	if fc == nil {
+		return HPLCResult{}, fmt.Errorf("core: no fraction collector attached")
+	}
+	if err := r.robot.MoveTo(robot.ElectrochemistryStation); err != nil {
+		return HPLCResult{}, err
+	}
+	vial, err := fc.Take(position)
+	if err != nil {
+		return HPLCResult{}, err
+	}
+	if err := r.robot.Pick(robot.Payload{Label: "vial-" + position, Solution: vial.Solution, Volume: vial.Volume}); err != nil {
+		return HPLCResult{}, err
+	}
+	if err := r.robot.MoveTo(robot.CharacterizationStation); err != nil {
+		return HPLCResult{}, err
+	}
+	payload, err := r.robot.Place()
+	if err != nil {
+		return HPLCResult{}, err
+	}
+	conc, gram, err := r.hplc.AssayByHPLC(payload.Solution)
+	if err != nil {
+		return HPLCResult{}, err
+	}
+	out := HPLCResult{Vial: position, ConcentrationMM: conc.Millimolar()}
+	if peaks := gram.DetectPeaks(r.hplc.NoiseAU * 10); len(peaks) > 0 {
+		out.RetentionSeconds = peaks[0].RetentionSeconds
+		out.PeakArea = peaks[0].Area
+	}
+	return out, nil
+}
+
+// AttachLabStations registers the synthesis workstation and mobile
+// robot (with its characterization spectrophotometer) on the agent's
+// Pyro daemon. Call after ServeControl.
+func (a *ControlAgent) AttachLabStations(station *synthesis.Workstation, rob *robot.Robot) error {
+	a.mu.Lock()
+	daemon := a.daemon
+	a.mu.Unlock()
+	if daemon == nil {
+		return fmt.Errorf("core: control channel not serving yet")
+	}
+	if _, err := daemon.Register(SynthesisObject, &SynthesisServer{station: station}); err != nil {
+		return err
+	}
+	_, err := daemon.Register(RobotObject, &RobotServer{
+		agent: a, robot: rob, station: station,
+		spectro: assay.NewSpectrophotometer(a.cfg.NoiseSeed + 31),
+		hplc:    assay.NewChromatograph(a.cfg.NoiseSeed + 47),
+	})
+	return err
+}

@@ -1,0 +1,108 @@
+// Package core assembles the complete instrument-computing ecosystem
+// (ICE) of the paper: a control agent at the Autonomous Chemistry
+// Laboratory hosting the J-Kem setup and SP200 potentiostat behind
+// Pyro-style remote objects and a file-share data channel; a remote
+// session API used from the computing facility; and the demonstrated
+// cyclic-voltammetry workflow (tasks A–E) composed on the notebook
+// engine. A Deployment wires all of it over the simulated
+// cross-facility network (or any real listeners).
+package core
+
+import (
+	"fmt"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// Object names registered on the control agent's Pyro daemon.
+const (
+	// JKemObject exposes the J-Kem setup commands.
+	JKemObject = "ACL_JKem"
+	// SP200Object exposes the potentiostat pipeline.
+	SP200Object = "ACL_SP200"
+)
+
+// CVParams is the wire form of the CV technique parameters passed from
+// the remote notebook to the potentiostat server (the
+// SP200_Technique_params of Fig. 6a, step 4).
+type CVParams struct {
+	// EiVolts..EfVolts are the program potentials in volts.
+	EiVolts float64 `json:"ei_v"`
+	E1Volts float64 `json:"e1_v"`
+	E2Volts float64 `json:"e2_v"`
+	EfVolts float64 `json:"ef_v"`
+	// RateMVs is the scan rate in mV/s.
+	RateMVs float64 `json:"rate_mv_s"`
+	// Cycles is the cycle count.
+	Cycles int `json:"cycles"`
+	// Points per cycle; zero selects the instrument default.
+	Points int `json:"points"`
+}
+
+// PaperCVParams returns the demonstration program: 0.05 → 0.8 →
+// 0.05 V at 50 mV/s, one cycle.
+func PaperCVParams() CVParams {
+	return CVParams{EiVolts: 0.05, E1Volts: 0.8, E2Volts: 0.05, EfVolts: 0.05, RateMVs: 50, Cycles: 1, Points: 1200}
+}
+
+// Program converts the wire form into the echem CV program.
+func (p CVParams) Program() echem.CVProgram {
+	return echem.CVProgram{
+		Ei:     units.Volts(p.EiVolts),
+		E1:     units.Volts(p.E1Volts),
+		E2:     units.Volts(p.E2Volts),
+		Ef:     units.Volts(p.EfVolts),
+		Rate:   units.MillivoltsPerSecond(p.RateMVs),
+		Cycles: p.Cycles,
+	}
+}
+
+// Validate checks the parameters before they reach the instrument.
+func (p CVParams) Validate() error {
+	if err := p.Program().Validate(); err != nil {
+		return err
+	}
+	if p.Points < 0 {
+		return fmt.Errorf("core: points must be non-negative, got %d", p.Points)
+	}
+	return nil
+}
+
+// SystemParams is the wire form of the SP200 initialisation payload
+// (the SP200_config_params of Fig. 6a, step 1).
+type SystemParams struct {
+	// SerialNumber identifies the instrument.
+	SerialNumber string `json:"serial"`
+	// Firmware is the kernel image name, e.g. "kernel4.bin".
+	Firmware string `json:"firmware"`
+	// Channels to bring up.
+	Channels int `json:"channels"`
+}
+
+// PaperSystemParams returns the demonstration configuration.
+func PaperSystemParams() SystemParams {
+	return SystemParams{SerialNumber: "SP200-0042", Firmware: "kernel4.bin", Channels: 2}
+}
+
+// FillParams describes the Fig. 5 cell-filling sequence.
+type FillParams struct {
+	// PumpAddr is the syringe pump address.
+	PumpAddr int `json:"pump"`
+	// StockPort and CellPort are the valve positions for the analyte
+	// bottle and the cell line.
+	StockPort int `json:"stock_port"`
+	CellPort  int `json:"cell_port"`
+	// VolumeML is the transfer volume in mL.
+	VolumeML float64 `json:"volume_ml"`
+	// RateMLMin is the plunger rate in mL/min.
+	RateMLMin float64 `json:"rate_ml_min"`
+	// Vial is the fraction-collector position to park.
+	Vial string `json:"vial"`
+}
+
+// PaperFillParams returns the demonstration fill: 6 mL of ferrocene
+// stock at 5 mL/min, vial BOTTOM.
+func PaperFillParams() FillParams {
+	return FillParams{PumpAddr: 1, StockPort: 8, CellPort: 1, VolumeML: 6, RateMLMin: 5, Vial: "BOTTOM"}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ice/internal/datachan"
+	"ice/internal/telemetry"
+)
+
+// QoSReport summarises control- and data-channel service quality, the
+// measurement campaign the paper's future work calls for.
+type QoSReport struct {
+	// ControlRTT is the control-channel round-trip histogram.
+	ControlRTT *telemetry.Histogram
+	// DataThroughput is the data-channel transfer meter.
+	DataThroughput *telemetry.Throughput
+	// ProbeBytes is the size of the data-channel probe file.
+	ProbeBytes int64
+}
+
+// Lines renders the report for operators.
+func (r *QoSReport) Lines() []string {
+	return []string{
+		r.ControlRTT.String(),
+		r.DataThroughput.String(),
+		fmt.Sprintf("data probe size: %d bytes", r.ProbeBytes),
+	}
+}
+
+// MeasureQoS probes both channels from an open session and mount:
+// rttSamples control round trips (a cheap ReadTemperature call) and
+// dataReads retrievals of the named file (pass a measurement file that
+// already exists; empty name skips the data probe).
+func MeasureQoS(session *RemoteSession, mount *datachan.Mount, rttSamples int, fileName string, dataReads int) (*QoSReport, error) {
+	if rttSamples < 1 {
+		rttSamples = 1
+	}
+	report := &QoSReport{
+		ControlRTT:     telemetry.NewHistogram("control-rtt", 0),
+		DataThroughput: telemetry.NewThroughput("data-channel"),
+	}
+	for i := 0; i < rttSamples; i++ {
+		start := time.Now()
+		if _, err := session.ReadTemperature(1); err != nil {
+			return nil, fmt.Errorf("core: qos control probe: %w", err)
+		}
+		report.ControlRTT.Record(time.Since(start))
+	}
+	if fileName != "" && dataReads > 0 {
+		for i := 0; i < dataReads; i++ {
+			data, err := mount.ReadAll(fileName)
+			if err != nil {
+				return nil, fmt.Errorf("core: qos data probe: %w", err)
+			}
+			report.DataThroughput.Add(int64(len(data)))
+			report.ProbeBytes = int64(len(data))
+		}
+	}
+	return report, nil
+}

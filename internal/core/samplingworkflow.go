@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"ice/internal/workflow"
+)
+
+// SamplingWorkflowConfig parameterises the fraction-collection and
+// characterization workflow: after an electrochemical run, a liquid
+// sample is drawn from the cell into a fraction-collector vial, the
+// mobile robot carries it to the characterization station, and the
+// assay's concentration is compared against an expectation.
+type SamplingWorkflowConfig struct {
+	// Vial is the fraction-collector position to use.
+	Vial string
+	// SampleML is the volume drawn from the cell.
+	SampleML float64
+	// PumpAddr, CellPort and CollectorPort define the fluid path.
+	PumpAddr      int
+	CellPort      int
+	CollectorPort int
+	// ExpectedMM, when > 0, has the final task verify the assay agrees
+	// within ToleranceFraction.
+	ExpectedMM        float64
+	ToleranceFraction float64
+}
+
+// DefaultSamplingConfig returns the bench wiring: vial MIDDLE, 1 mL
+// samples, the standard valve map.
+func DefaultSamplingConfig() SamplingWorkflowConfig {
+	return SamplingWorkflowConfig{
+		Vial: "MIDDLE", SampleML: 1,
+		PumpAddr: 1, CellPort: 1, CollectorPort: 4,
+		ToleranceFraction: 0.15,
+	}
+}
+
+// SamplingOutcome carries the assay result.
+type SamplingOutcome struct {
+	// Result is the characterization station's report.
+	Result AssayResult
+}
+
+// BuildSamplingWorkflow composes the sample→robot→assay workflow
+// (tasks S1–S3) against an open lab session.
+func BuildSamplingWorkflow(session *LabSession, cfg SamplingWorkflowConfig) (*workflow.Notebook, *SamplingOutcome) {
+	nb := workflow.New("fraction-characterization")
+	outcome := &SamplingOutcome{}
+
+	nb.MustAdd(&workflow.Task{
+		ID: "S1", Title: "Draw sample from cell into fraction vial",
+		Run: func(c *workflow.Context) (string, error) {
+			steps := []func() (string, error){
+				func() (string, error) { return session.SetVialFractionCollector(cfg.PumpAddr, cfg.Vial) },
+				func() (string, error) { return session.SetPortSyringePump(cfg.PumpAddr, cfg.CellPort) },
+				func() (string, error) { return session.WithdrawSyringePump(cfg.PumpAddr, cfg.SampleML) },
+				func() (string, error) { return session.SetPortSyringePump(cfg.PumpAddr, cfg.CollectorPort) },
+				func() (string, error) { return session.DispenseSyringePump(cfg.PumpAddr, cfg.SampleML) },
+			}
+			for _, step := range steps {
+				if _, err := step(); err != nil {
+					return "", err
+				}
+			}
+			c.Logf("%.2f mL parked in vial %s", cfg.SampleML, cfg.Vial)
+			return "OK", nil
+		},
+	})
+
+	nb.MustAdd(&workflow.Task{
+		ID: "S2", Title: "Robot transfer to characterization station and assay",
+		DependsOn: []string{"S1"},
+		Run: func(c *workflow.Context) (string, error) {
+			result, err := session.TransferVialToAssay(cfg.Vial)
+			if err != nil {
+				return "", err
+			}
+			outcome.Result = result
+			c.Logf("assay: %.3f mM, λmax %.0f nm, %.2f mL consumed",
+				result.ConcentrationMM, result.LambdaMaxNM, result.VolumeML)
+			return "OK", nil
+		},
+	})
+
+	nb.MustAdd(&workflow.Task{
+		ID: "S3", Title: "Validate assay against expectation",
+		DependsOn: []string{"S2"},
+		Run: func(c *workflow.Context) (string, error) {
+			if cfg.ExpectedMM <= 0 {
+				return "OK (no expectation set)", nil
+			}
+			tol := cfg.ToleranceFraction
+			if tol <= 0 {
+				tol = 0.15
+			}
+			got := outcome.Result.ConcentrationMM
+			rel := abs(got-cfg.ExpectedMM) / cfg.ExpectedMM
+			if rel > tol {
+				return "", fmt.Errorf("assay %.3f mM deviates %.1f%% from expected %.3f mM",
+					got, rel*100, cfg.ExpectedMM)
+			}
+			return fmt.Sprintf("OK (%.1f%% from expectation)", rel*100), nil
+		},
+	})
+
+	return nb, outcome
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"ice/internal/potentiostat"
+	"ice/internal/units"
+)
+
+// JKemServer is the Pyro server object wrapping the J-Kem control
+// commands (the ACL_Server of Fig. 3, J-Kem half). Methods return the
+// "OK" status strings the notebook in Fig. 5a prints.
+type JKemServer struct {
+	agent *ControlAgent
+}
+
+// SetRateSyringePump sets the plunger rate in mL/min.
+func (s *JKemServer) SetRateSyringePump(addr int, rateMLMin float64) (string, error) {
+	if err := s.agent.jkemClient.SetSyringeRate(addr, units.MillilitersPerMinute(rateMLMin)); err != nil {
+		return "", err
+	}
+	return "OK", nil
+}
+
+// SetPortSyringePump selects a valve port.
+func (s *JKemServer) SetPortSyringePump(addr, port int) (string, error) {
+	if err := s.agent.jkemClient.SetSyringePort(addr, port); err != nil {
+		return "", err
+	}
+	return "OK", nil
+}
+
+// WithdrawSyringePump draws liquid into the barrel.
+func (s *JKemServer) WithdrawSyringePump(addr int, volumeML float64) (string, error) {
+	if err := s.agent.jkemClient.Withdraw(addr, units.Milliliters(volumeML)); err != nil {
+		return "", err
+	}
+	return "OK", nil
+}
+
+// DispenseSyringePump pushes liquid out through the selected port.
+func (s *JKemServer) DispenseSyringePump(addr int, volumeML float64) (string, error) {
+	if err := s.agent.jkemClient.Dispense(addr, units.Milliliters(volumeML)); err != nil {
+		return "", err
+	}
+	return "OK", nil
+}
+
+// SetVialFractionCollector parks the collector arm.
+func (s *JKemServer) SetVialFractionCollector(addr int, position string) (string, error) {
+	if err := s.agent.jkemClient.SelectVial(addr, position); err != nil {
+		return "", err
+	}
+	return "OK", nil
+}
+
+// SetGasFlow sets the MFC purge rate in sccm.
+func (s *JKemServer) SetGasFlow(addr int, sccm float64) (string, error) {
+	if err := s.agent.jkemClient.SetGasFlow(addr, units.SCCM(sccm)); err != nil {
+		return "", err
+	}
+	return "OK", nil
+}
+
+// SetTemperature commands the jacket setpoint in °C.
+func (s *JKemServer) SetTemperature(addr int, celsius float64) (string, error) {
+	if err := s.agent.jkemClient.SetTemperature(addr, units.Celsius(celsius)); err != nil {
+		return "", err
+	}
+	return "OK", nil
+}
+
+// ReadTemperature reads the cell temperature in °C.
+func (s *JKemServer) ReadTemperature(addr int) (float64, error) {
+	t, err := s.agent.jkemClient.Temperature(addr)
+	if err != nil {
+		return 0, err
+	}
+	return t.Celsius(), nil
+}
+
+// SetStirring turns the cell's stir bar on or off; stirring switches
+// the electrochemistry into the hydrodynamic (steady-state) regime.
+func (s *JKemServer) SetStirring(addr int, on bool) (string, error) {
+	if err := s.agent.jkemClient.SetStirring(addr, on); err != nil {
+		return "", err
+	}
+	return "OK", nil
+}
+
+// ReadPH reads the pH probe.
+func (s *JKemServer) ReadPH(addr int) (float64, error) {
+	return s.agent.jkemClient.PH(addr)
+}
+
+// Status returns the SBC inventory line.
+func (s *JKemServer) Status() (string, error) {
+	return s.agent.jkemClient.Status()
+}
+
+// Raw forwards a literal protocol command, for commands without a
+// dedicated wrapper.
+func (s *JKemServer) Raw(cmd string) (string, error) {
+	return s.agent.jkemClient.Raw(cmd)
+}
+
+// ExitJKemAPI is the session-teardown call of Fig. 5a
+// ("J-Kem API exit OK").
+func (s *JKemServer) ExitJKemAPI() string { return "J-Kem API exit OK" }
+
+// DrainCell empties the electrochemical cell to waste (peristaltic
+// drain line), preparing it for the next round's solution.
+func (s *JKemServer) DrainCell() (string, error) {
+	s.agent.Cell().Drain()
+	return "OK", nil
+}
+
+// SP200Server is the Pyro server object wrapping the potentiostat
+// pipeline (the ACL_Server of Fig. 3, SP200 half). Its methods map
+// one-to-one onto the numbered steps of Fig. 6.
+type SP200Server struct {
+	agent *ControlAgent
+}
+
+// InitializeSP200API is step 1: system/firmware configuration.
+func (s *SP200Server) InitializeSP200API(p SystemParams) (string, error) {
+	cfg := potentiostat.SystemConfig{
+		SerialNumber:  p.SerialNumber,
+		FirmwarePath:  p.Firmware,
+		Channels:      p.Channels,
+		ElectrodeArea: s.agent.cfg.ElectrodeArea,
+		NoiseSeed:     s.agent.cfg.NoiseSeed,
+		TimeScale:     s.agent.cfg.TimeScale,
+	}
+	if cfg.Channels == 0 {
+		cfg.Channels = 2
+	}
+	if cfg.FirmwarePath == "" {
+		cfg.FirmwarePath = "kernel4.bin"
+	}
+	if err := s.agent.sp200.Initialize(cfg); err != nil {
+		return "", err
+	}
+	return "Initialization is done", nil
+}
+
+// ConnectSP200 is step 2.
+func (s *SP200Server) ConnectSP200() (string, error) {
+	if err := s.agent.sp200.Connect(); err != nil {
+		return "", err
+	}
+	return "Channel Connection is done", nil
+}
+
+// LoadFirmwareSP200 is step 3.
+func (s *SP200Server) LoadFirmwareSP200() (string, error) {
+	if err := s.agent.sp200.LoadFirmware(); err != nil {
+		return "", err
+	}
+	return "Firmware is loaded", nil
+}
+
+// InitializeCVTechSP200 is step 4: install CV parameters on channel 1.
+func (s *SP200Server) InitializeCVTechSP200(p CVParams) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	tech := potentiostat.CV{Program: p.Program(), PointsPerCycle: p.Points}
+	if err := s.agent.sp200.ConfigureTechnique(1, tech); err != nil {
+		return "", err
+	}
+	return "CV technique is initialized", nil
+}
+
+// LoadTechniqueSP200 is step 5.
+func (s *SP200Server) LoadTechniqueSP200() (string, error) {
+	if err := s.agent.sp200.LoadTechnique(1); err != nil {
+		return "", err
+	}
+	return "Loading CV technique is done", nil
+}
+
+// StartChannelSP200 is step 6: begin acquisition.
+func (s *SP200Server) StartChannelSP200() (string, error) {
+	if err := s.agent.sp200.StartChannel(1); err != nil {
+		return "", err
+	}
+	return "Channel is activated for probing measurements", nil
+}
+
+// GetTechPathRslt is step 7: block until acquisition completes and
+// return the measurement file name now visible on the data channel.
+// The channel auto-disconnects afterwards (step 8).
+func (s *SP200Server) GetTechPathRslt() (string, error) {
+	if _, err := s.agent.sp200.Wait(1); err != nil {
+		return "", err
+	}
+	return s.agent.sp200.MeasurementFileName(1)
+}
+
+// BusySP200 reports whether channel 1 is acquiring.
+func (s *SP200Server) BusySP200() bool { return s.agent.sp200.Busy(1) }
+
+// AbortSP200 cancels a running acquisition on channel 1 — the remote
+// emergency stop. The pending GetTechPathRslt returns an error; the
+// partial measurement file remains on the data channel.
+func (s *SP200Server) AbortSP200() (string, error) {
+	if err := s.agent.sp200.AbortChannel(1); err != nil {
+		return "", err
+	}
+	return "Abort requested", nil
+}
+
+// DisconnectSP200 is the workflow's task E teardown.
+func (s *SP200Server) DisconnectSP200() (string, error) {
+	if err := s.agent.sp200.Disconnect(); err != nil {
+		return "", err
+	}
+	return "Potentiostat disconnected", nil
+}
+
+// StatusSP200 returns the device state line.
+func (s *SP200Server) StatusSP200() string { return s.agent.sp200.Status() }
+
+// RetainMeasurements prunes the measurement directory to the newest
+// keep files and returns how many were removed.
+func (s *SP200Server) RetainMeasurements(keep int) (int, error) {
+	return s.agent.RetainMeasurements(keep)
+}
+
+// MeasurementInfo is a catalog row for one measurement file.
+type MeasurementInfo struct {
+	// Name is the file name on the data channel.
+	Name string `json:"name"`
+	// Technique and Label from the file header.
+	Technique string `json:"technique"`
+	Label     string `json:"label"`
+	// Points is the parsed record count.
+	Points int `json:"points"`
+	// SizeBytes on disk.
+	SizeBytes int64 `json:"size"`
+}
+
+// ListMeasurements catalogs the measurement directory by parsing each
+// file's header — the remote index a notebook uses to find past runs
+// without downloading them.
+func (s *SP200Server) ListMeasurements() ([]MeasurementInfo, error) {
+	return s.agent.ListMeasurements()
+}
+
+// RunOCV runs an open-circuit monitor on channel 2 — one of the
+// additional techniques the paper's future work calls for.
+func (s *SP200Server) RunOCV(seconds float64, points int) (string, error) {
+	return s.runAuxTechnique(potentiostat.OCV{Seconds: seconds, Points: points})
+}
+
+// RunCA runs a chronoamperometry step on channel 2.
+func (s *SP200Server) RunCA(restV, stepV, restS, stepS float64, points int) (string, error) {
+	return s.runAuxTechnique(potentiostat.CA{
+		Rest: units.Volts(restV), Step: units.Volts(stepV),
+		RestSeconds: restS, StepSeconds: stepS, Points: points,
+	})
+}
+
+// EISParams is the wire form of an impedance sweep request.
+type EISParams struct {
+	// FreqMinHz and FreqMaxHz bound the sweep.
+	FreqMinHz float64 `json:"freq_min_hz"`
+	FreqMaxHz float64 `json:"freq_max_hz"`
+	// PointsPerDecade sets resolution; zero selects 10.
+	PointsPerDecade int `json:"points_per_decade"`
+	// AmplitudeMV is the excitation in mV RMS; zero selects 10.
+	AmplitudeMV float64 `json:"amplitude_mv"`
+}
+
+// SWVParams is the wire form of a square-wave sweep request.
+type SWVParams struct {
+	StartV      float64 `json:"start_v"`
+	EndV        float64 `json:"end_v"`
+	StepMV      float64 `json:"step_mv"`
+	AmplitudeMV float64 `json:"amplitude_mv"`
+	FrequencyHz float64 `json:"frequency_hz"`
+}
+
+// RunSWV runs a square-wave voltammetry sweep on channel 2 and returns
+// the measurement file name.
+func (s *SP200Server) RunSWV(p SWVParams) (string, error) {
+	tech := potentiostat.SWV{
+		StartV: p.StartV, EndV: p.EndV, StepMV: p.StepMV,
+		AmplitudeMV: p.AmplitudeMV, FrequencyHz: p.FrequencyHz,
+	}
+	_, name, err := s.agent.sp200.RunSWV(2, tech)
+	if err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// RunEIS runs an impedance sweep on channel 2 and returns the
+// measurement file name; the spectrum travels over the data channel
+// like every other measurement.
+func (s *SP200Server) RunEIS(p EISParams) (string, error) {
+	tech := potentiostat.EIS{
+		FreqMinHz: p.FreqMinHz, FreqMaxHz: p.FreqMaxHz,
+		PointsPerDecade: p.PointsPerDecade, AmplitudeMV: p.AmplitudeMV,
+	}
+	_, name, err := s.agent.sp200.RunEIS(2, tech)
+	if err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// runAuxTechnique drives channel 2 through configure → load → start →
+// wait and returns the measurement file name.
+func (s *SP200Server) runAuxTechnique(tech potentiostat.Technique) (string, error) {
+	const ch = 2
+	dev := s.agent.sp200
+	if err := dev.ConfigureTechnique(ch, tech); err != nil {
+		return "", err
+	}
+	if err := dev.LoadTechnique(ch); err != nil {
+		return "", err
+	}
+	if err := dev.StartChannel(ch); err != nil {
+		return "", err
+	}
+	if _, err := dev.Wait(ch); err != nil {
+		return "", err
+	}
+	name, err := dev.MeasurementFileName(ch)
+	if err != nil {
+		return "", err
+	}
+	return name, nil
+}

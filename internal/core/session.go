@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ice/internal/pyro"
+)
+
+// RemoteSession is the client-side handle a remote computing system
+// (the DGX) holds on the control agent: typed wrappers over the two
+// Pyro proxies, mirroring the notebook calls of Figs. 5a and 6a.
+type RemoteSession struct {
+	jkem  *pyro.Proxy
+	sp200 *pyro.Proxy
+}
+
+// ConnectSession dials both instrument objects on the control agent's
+// daemon (workflow task A). dialer may be nil for plain TCP.
+func ConnectSession(daemonURI pyro.URI, dialer pyro.Dialer) (*RemoteSession, error) {
+	return ConnectSessionToken(daemonURI, dialer, "")
+}
+
+// ConnectSessionToken is ConnectSession presenting the control
+// channel's shared-secret credential.
+func ConnectSessionToken(daemonURI pyro.URI, dialer pyro.Dialer, token string) (*RemoteSession, error) {
+	jk, err := pyro.DialToken(daemonURI.WithObject(JKemObject), dialer, token)
+	if err != nil {
+		return nil, fmt.Errorf("core: connect J-Kem object: %w", err)
+	}
+	sp, err := pyro.DialToken(daemonURI.WithObject(SP200Object), dialer, token)
+	if err != nil {
+		jk.Close()
+		return nil, fmt.Errorf("core: connect SP200 object: %w", err)
+	}
+	jk.Timeout = 30 * time.Second
+	sp.Timeout = 10 * time.Minute // acquisition waits happen over this proxy
+	return &RemoteSession{jkem: jk, sp200: sp}, nil
+}
+
+// Close tears down both proxies (task E's connection shutdown).
+func (s *RemoteSession) Close() error {
+	err1 := s.jkem.Close()
+	err2 := s.sp200.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// call is a helper returning the string result of a remote method.
+func call(p *pyro.Proxy, method string, args ...any) (string, error) {
+	var out string
+	if err := p.CallInto(&out, method, args...); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// J-Kem wrappers (Fig. 5a cells).
+
+// SetRateSyringePump sets the pump rate in mL/min.
+func (s *RemoteSession) SetRateSyringePump(addr int, rateMLMin float64) (string, error) {
+	return call(s.jkem, "SetRateSyringePump", addr, rateMLMin)
+}
+
+// SetPortSyringePump selects a valve port.
+func (s *RemoteSession) SetPortSyringePump(addr, port int) (string, error) {
+	return call(s.jkem, "SetPortSyringePump", addr, port)
+}
+
+// WithdrawSyringePump draws liquid.
+func (s *RemoteSession) WithdrawSyringePump(addr int, volumeML float64) (string, error) {
+	return call(s.jkem, "WithdrawSyringePump", addr, volumeML)
+}
+
+// DispenseSyringePump dispenses liquid.
+func (s *RemoteSession) DispenseSyringePump(addr int, volumeML float64) (string, error) {
+	return call(s.jkem, "DispenseSyringePump", addr, volumeML)
+}
+
+// SetVialFractionCollector parks the collector arm.
+func (s *RemoteSession) SetVialFractionCollector(addr int, position string) (string, error) {
+	return call(s.jkem, "SetVialFractionCollector", addr, position)
+}
+
+// SetGasFlow sets the MFC purge in sccm.
+func (s *RemoteSession) SetGasFlow(addr int, sccm float64) (string, error) {
+	return call(s.jkem, "SetGasFlow", addr, sccm)
+}
+
+// SetTemperature commands the jacket setpoint in °C.
+func (s *RemoteSession) SetTemperature(addr int, celsius float64) (string, error) {
+	return call(s.jkem, "SetTemperature", addr, celsius)
+}
+
+// ReadTemperature reads the cell temperature in °C.
+func (s *RemoteSession) ReadTemperature(addr int) (float64, error) {
+	var out float64
+	err := s.jkem.CallInto(&out, "ReadTemperature", addr)
+	return out, err
+}
+
+// SetStirring turns the cell's stir bar on or off; stirring switches
+// the next sweep into the hydrodynamic (steady-state) regime.
+func (s *RemoteSession) SetStirring(addr int, on bool) (string, error) {
+	return call(s.jkem, "SetStirring", addr, on)
+}
+
+// ReadPH reads the pH probe.
+func (s *RemoteSession) ReadPH(addr int) (float64, error) {
+	var out float64
+	err := s.jkem.CallInto(&out, "ReadPH", addr)
+	return out, err
+}
+
+// JKemStatus returns the SBC inventory line.
+func (s *RemoteSession) JKemStatus() (string, error) { return call(s.jkem, "Status") }
+
+// RawJKem forwards a literal protocol command.
+func (s *RemoteSession) RawJKem(cmd string) (string, error) { return call(s.jkem, "Raw", cmd) }
+
+// CallExitJKemAPI is the Fig. 5a teardown cell.
+func (s *RemoteSession) CallExitJKemAPI() (string, error) { return call(s.jkem, "ExitJKemAPI") }
+
+// DrainCell empties the cell to waste.
+func (s *RemoteSession) DrainCell() (string, error) { return call(s.jkem, "DrainCell") }
+
+// SP200 wrappers (Fig. 6a cells, steps 1–7).
+
+// CallInitializeSP200API is step 1.
+func (s *RemoteSession) CallInitializeSP200API(p SystemParams) (string, error) {
+	return call(s.sp200, "InitializeSP200API", p)
+}
+
+// CallConnectSP200 is step 2.
+func (s *RemoteSession) CallConnectSP200() (string, error) {
+	return call(s.sp200, "ConnectSP200")
+}
+
+// CallLoadFirmwareSP200 is step 3.
+func (s *RemoteSession) CallLoadFirmwareSP200() (string, error) {
+	return call(s.sp200, "LoadFirmwareSP200")
+}
+
+// CallInitializeCVTechSP200 is step 4.
+func (s *RemoteSession) CallInitializeCVTechSP200(p CVParams) (string, error) {
+	return call(s.sp200, "InitializeCVTechSP200", p)
+}
+
+// CallLoadTechniqueSP200 is step 5.
+func (s *RemoteSession) CallLoadTechniqueSP200() (string, error) {
+	return call(s.sp200, "LoadTechniqueSP200")
+}
+
+// CallStartChannelSP200 is step 6.
+func (s *RemoteSession) CallStartChannelSP200() (string, error) {
+	return call(s.sp200, "StartChannelSP200")
+}
+
+// CallGetTechPathRslt is step 7: wait for acquisition and learn the
+// measurement file name.
+func (s *RemoteSession) CallGetTechPathRslt() (string, error) {
+	return call(s.sp200, "GetTechPathRslt")
+}
+
+// AbortSP200 cancels a running acquisition (remote emergency stop).
+func (s *RemoteSession) AbortSP200() (string, error) {
+	return call(s.sp200, "AbortSP200")
+}
+
+// CallDisconnectSP200 is the task-E instrument teardown.
+func (s *RemoteSession) CallDisconnectSP200() (string, error) {
+	return call(s.sp200, "DisconnectSP200")
+}
+
+// SP200Status returns the instrument state line.
+func (s *RemoteSession) SP200Status() (string, error) {
+	return call(s.sp200, "StatusSP200")
+}
+
+// RetainMeasurements prunes the agent's measurement directory to the
+// newest keep files.
+func (s *RemoteSession) RetainMeasurements(keep int) (int, error) {
+	var out int
+	err := s.sp200.CallInto(&out, "RetainMeasurements", keep)
+	return out, err
+}
+
+// ListMeasurements fetches the remote measurement catalog.
+func (s *RemoteSession) ListMeasurements() ([]MeasurementInfo, error) {
+	var out []MeasurementInfo
+	err := s.sp200.CallInto(&out, "ListMeasurements")
+	return out, err
+}
+
+// RunOCV runs an open-circuit monitor on the auxiliary channel.
+func (s *RemoteSession) RunOCV(seconds float64, points int) (string, error) {
+	return call(s.sp200, "RunOCV", seconds, points)
+}
+
+// RunCA runs a chronoamperometry step on the auxiliary channel.
+func (s *RemoteSession) RunCA(restV, stepV, restS, stepS float64, points int) (string, error) {
+	return call(s.sp200, "RunCA", restV, stepV, restS, stepS, points)
+}
+
+// RunEIS runs an impedance sweep on the auxiliary channel and returns
+// the spectrum file name.
+func (s *RemoteSession) RunEIS(p EISParams) (string, error) {
+	return call(s.sp200, "RunEIS", p)
+}
+
+// RunSWV runs a square-wave voltammetry sweep on the auxiliary channel
+// and returns the differential voltammogram's file name.
+func (s *RemoteSession) RunSWV(p SWVParams) (string, error) {
+	return call(s.sp200, "RunSWV", p)
+}

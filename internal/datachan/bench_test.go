@@ -1,0 +1,61 @@
+package datachan
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func benchMount(b *testing.B, fileSize int) *Mount {
+	b.Helper()
+	dir := b.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "f.mpt"), bytes.Repeat([]byte{1}, fileSize), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp := NewExport(dir, l)
+	go exp.Serve()
+	b.Cleanup(func() { exp.Close() })
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewMount(conn)
+	b.Cleanup(func() { m.Close() })
+	return m
+}
+
+// BenchmarkList measures share listing latency.
+func BenchmarkList(b *testing.B) {
+	m := benchMount(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.List(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadAll1MB measures whole-file retrieval throughput over
+// loopback TCP (no netsim shaping; see the root bench for the shaped
+// cross-facility number).
+func BenchmarkReadAll1MB(b *testing.B) {
+	const size = 1 << 20
+	m := benchMount(b, size)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := m.ReadAll("f.mpt")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data) != size {
+			b.Fatal("short read")
+		}
+	}
+}

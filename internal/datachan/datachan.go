@@ -1,0 +1,267 @@
+// Package datachan implements the ICE data channel: a CIFS-style file
+// share that makes the measurement files written by the control agent
+// appear on remote computing systems. The control agent Exports a
+// directory; the remote side Mounts it over any net.Conn transport
+// (real TCP or the netsim fabric) and can list, stat, read and watch
+// files as they grow during acquisition.
+//
+// Like the paper's CIFS cross-mount, the share is read-only from the
+// remote side and persistent: a Mount survives across workflow runs.
+package datachan
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Operation codes.
+const (
+	opList byte = iota + 1
+	opStat
+	opRead
+)
+
+// maxFrameBytes bounds request/response headers and read payloads.
+const maxFrameBytes = 8 << 20
+
+// FileInfo describes one shared file.
+type FileInfo struct {
+	// Name is the file's base name within the share.
+	Name string `json:"name"`
+	// Size in bytes at the time of the call.
+	Size int64 `json:"size"`
+	// ModTimeUnixNano is the modification time.
+	ModTimeUnixNano int64 `json:"mtime"`
+}
+
+// request is the client→server header.
+type request struct {
+	Op     byte   `json:"op"`
+	Name   string `json:"name,omitempty"`
+	Offset int64  `json:"offset,omitempty"`
+	Length int    `json:"length,omitempty"`
+}
+
+// reply is the server→client header; binary payload (for reads)
+// follows separately.
+type reply struct {
+	Error   string     `json:"error,omitempty"`
+	Files   []FileInfo `json:"files,omitempty"`
+	File    *FileInfo  `json:"file,omitempty"`
+	Payload int        `json:"payload,omitempty"` // bytes following
+	EOF     bool       `json:"eof,omitempty"`
+}
+
+// writeFrame frames v as uint32 length + JSON.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrameBytes {
+		return fmt.Errorf("datachan: frame of %d bytes too large", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return fmt.Errorf("datachan: incoming frame of %d bytes too large", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// validName rejects names that could escape the share root.
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, `/\`) || name == "." || name == ".." {
+		return fmt.Errorf("datachan: invalid file name %q", name)
+	}
+	return nil
+}
+
+// Export serves a directory read-only over a listener.
+type Export struct {
+	dir      string
+	listener net.Listener
+
+	mu          sync.Mutex
+	closed      bool
+	conns       map[net.Conn]struct{}
+	bytesServed int64
+}
+
+// NewExport shares dir over l. Call Serve to start handling clients.
+func NewExport(dir string, l net.Listener) *Export {
+	return &Export{dir: dir, listener: l, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts clients until Close; it returns nil after a clean
+// Close.
+func (e *Export) Serve() error {
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		e.conns[conn] = struct{}{}
+		e.mu.Unlock()
+		go e.serveConn(conn)
+	}
+}
+
+// Close stops the export and drops all client connections.
+func (e *Export) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	err := e.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// BytesServed returns the total payload bytes sent to clients, for
+// throughput accounting.
+func (e *Export) BytesServed() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bytesServed
+}
+
+func (e *Export) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.conns, conn)
+		e.mu.Unlock()
+	}()
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		if err := e.handle(conn, &req); err != nil {
+			return
+		}
+	}
+}
+
+func (e *Export) handle(conn net.Conn, req *request) error {
+	fail := func(err error) error {
+		return writeFrame(conn, &reply{Error: err.Error()})
+	}
+	switch req.Op {
+	case opList:
+		entries, err := os.ReadDir(e.dir)
+		if err != nil {
+			return fail(err)
+		}
+		var files []FileInfo
+		for _, ent := range entries {
+			if ent.IsDir() {
+				continue
+			}
+			info, err := ent.Info()
+			if err != nil {
+				continue
+			}
+			files = append(files, FileInfo{
+				Name: ent.Name(), Size: info.Size(), ModTimeUnixNano: info.ModTime().UnixNano(),
+			})
+		}
+		return writeFrame(conn, &reply{Files: files})
+
+	case opStat:
+		if err := validName(req.Name); err != nil {
+			return fail(err)
+		}
+		info, err := os.Stat(filepath.Join(e.dir, req.Name))
+		if err != nil {
+			return fail(err)
+		}
+		return writeFrame(conn, &reply{File: &FileInfo{
+			Name: req.Name, Size: info.Size(), ModTimeUnixNano: info.ModTime().UnixNano(),
+		}})
+
+	case opRead:
+		if err := validName(req.Name); err != nil {
+			return fail(err)
+		}
+		if req.Length <= 0 || req.Length > maxFrameBytes {
+			return fail(fmt.Errorf("datachan: read length %d invalid", req.Length))
+		}
+		f, err := os.Open(filepath.Join(e.dir, req.Name))
+		if err != nil {
+			return fail(err)
+		}
+		buf := make([]byte, req.Length)
+		n, err := f.ReadAt(buf, req.Offset)
+		f.Close()
+		eof := errors.Is(err, io.EOF)
+		if err != nil && !eof {
+			return fail(err)
+		}
+		if err := writeFrame(conn, &reply{Payload: n, EOF: eof}); err != nil {
+			return err
+		}
+		if n > 0 {
+			// Count before the write: a client that has received the
+			// payload must observe the accounting (the write blocks
+			// until consumed, so counting after races with observers).
+			e.mu.Lock()
+			e.bytesServed += int64(n)
+			e.mu.Unlock()
+			if _, err := conn.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	default:
+		return fail(fmt.Errorf("datachan: unknown op %d", req.Op))
+	}
+}

@@ -1,0 +1,255 @@
+package datachan
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mount is the remote side of the share — the moral equivalent of the
+// CIFS mount point on the DGX. It is safe for concurrent use; requests
+// on the single connection are serialised.
+type Mount struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+// NewMount attaches to an export over an established connection.
+func NewMount(conn net.Conn) *Mount { return &Mount{conn: conn} }
+
+// Close detaches the mount.
+func (m *Mount) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	return m.conn.Close()
+}
+
+// roundTrip sends a request and reads the reply header plus any
+// payload.
+func (m *Mount) roundTrip(req *request) (*reply, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, nil, fmt.Errorf("datachan: mount closed")
+	}
+	if err := writeFrame(m.conn, req); err != nil {
+		return nil, nil, fmt.Errorf("datachan: send: %w", err)
+	}
+	var rep reply
+	if err := readFrame(m.conn, &rep); err != nil {
+		return nil, nil, fmt.Errorf("datachan: receive: %w", err)
+	}
+	if rep.Error != "" {
+		return nil, nil, fmt.Errorf("datachan: remote: %s", rep.Error)
+	}
+	var payload []byte
+	if rep.Payload > 0 {
+		payload = make([]byte, rep.Payload)
+		if _, err := io.ReadFull(m.conn, payload); err != nil {
+			return nil, nil, fmt.Errorf("datachan: payload: %w", err)
+		}
+	}
+	return &rep, payload, nil
+}
+
+// List returns the shared files sorted by name.
+func (m *Mount) List() ([]FileInfo, error) {
+	rep, _, err := m.roundTrip(&request{Op: opList})
+	if err != nil {
+		return nil, err
+	}
+	files := rep.Files
+	sort.Slice(files, func(i, j int) bool { return files[i].Name < files[j].Name })
+	return files, nil
+}
+
+// Stat returns metadata for one file.
+func (m *Mount) Stat(name string) (FileInfo, error) {
+	rep, _, err := m.roundTrip(&request{Op: opStat, Name: name})
+	if err != nil {
+		return FileInfo{}, err
+	}
+	if rep.File == nil {
+		return FileInfo{}, fmt.Errorf("datachan: stat %q: empty reply", name)
+	}
+	return *rep.File, nil
+}
+
+// readChunk is the transfer unit for whole-file reads.
+const readChunk = 256 * 1024
+
+// ReadAt reads up to length bytes from offset.
+func (m *Mount) ReadAt(name string, offset int64, length int) ([]byte, bool, error) {
+	rep, payload, err := m.roundTrip(&request{Op: opRead, Name: name, Offset: offset, Length: length})
+	if err != nil {
+		return nil, false, err
+	}
+	return payload, rep.EOF, nil
+}
+
+// ReadAll fetches a whole file.
+func (m *Mount) ReadAll(name string) ([]byte, error) {
+	var buf bytes.Buffer
+	var off int64
+	for {
+		chunk, eof, err := m.ReadAt(name, off, readChunk)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(chunk)
+		off += int64(len(chunk))
+		if eof || len(chunk) == 0 {
+			return buf.Bytes(), nil
+		}
+	}
+}
+
+// EventType classifies a watch event.
+type EventType int
+
+// Watch event types.
+const (
+	// Created fires when a new file appears in the share.
+	Created EventType = iota
+	// Modified fires when an existing file grows or changes mtime.
+	Modified
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case Created:
+		return "created"
+	case Modified:
+		return "modified"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// Event is one observed change.
+type Event struct {
+	Type EventType
+	File FileInfo
+}
+
+// Watcher polls the share and reports changes, the mechanism the
+// remote analysis uses to notice measurement files arriving or growing
+// during acquisition.
+type Watcher struct {
+	events chan Event
+	stop   chan struct{}
+	once   sync.Once
+	err    error
+}
+
+// Events returns the change stream. It is closed when the watcher
+// stops.
+func (w *Watcher) Events() <-chan Event { return w.events }
+
+// Stop halts polling and closes Events.
+func (w *Watcher) Stop() { w.once.Do(func() { close(w.stop) }) }
+
+// Err returns the error that terminated the watcher, if any.
+func (w *Watcher) Err() error { return w.err }
+
+// Watch starts polling at the given interval.
+func (m *Mount) Watch(interval time.Duration) *Watcher {
+	w := &Watcher{events: make(chan Event, 64), stop: make(chan struct{})}
+	go func() {
+		defer close(w.events)
+		seen := make(map[string]FileInfo)
+		// Prime with the current listing so only subsequent changes
+		// are reported.
+		if files, err := m.List(); err == nil {
+			for _, f := range files {
+				seen[f.Name] = f
+			}
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-ticker.C:
+			}
+			files, err := m.List()
+			if err != nil {
+				w.err = err
+				return
+			}
+			for _, f := range files {
+				prev, ok := seen[f.Name]
+				switch {
+				case !ok:
+					seen[f.Name] = f
+					select {
+					case w.events <- Event{Type: Created, File: f}:
+					case <-w.stop:
+						return
+					}
+				case f.Size != prev.Size || f.ModTimeUnixNano != prev.ModTimeUnixNano:
+					seen[f.Name] = f
+					select {
+					case w.events <- Event{Type: Modified, File: f}:
+					case <-w.stop:
+						return
+					}
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// WaitFor polls until a file whose name contains substr exists and its
+// size is stable across two polls, then returns its contents. It is
+// how the workflow retrieves a measurement file that may still be
+// streaming.
+func (m *Mount) WaitFor(substr string, poll time.Duration, timeout time.Duration) ([]byte, string, error) {
+	deadline := time.Now().Add(timeout)
+	lastSize := int64(-1)
+	lastName := ""
+	stable := 0
+	// Two consecutive unchanged observations guard against sampling a
+	// writer mid-burst.
+	const stableNeeded = 2
+	for time.Now().Before(deadline) {
+		files, err := m.List()
+		if err != nil {
+			return nil, "", err
+		}
+		for _, f := range files {
+			if !containsName(f.Name, substr) {
+				continue
+			}
+			if f.Name == lastName && f.Size == lastSize && f.Size > 0 {
+				stable++
+				if stable >= stableNeeded {
+					data, err := m.ReadAll(f.Name)
+					return data, f.Name, err
+				}
+			} else {
+				stable = 0
+				lastName, lastSize = f.Name, f.Size
+			}
+			break
+		}
+		time.Sleep(poll)
+	}
+	return nil, "", fmt.Errorf("datachan: timed out waiting for file matching %q", substr)
+}
+
+func containsName(name, substr string) bool {
+	return substr == "" || bytes.Contains([]byte(name), []byte(substr))
+}

@@ -1,0 +1,63 @@
+package echem
+
+import (
+	"testing"
+
+	"ice/internal/units"
+)
+
+func benchProgram(b *testing.B) Waveform {
+	b.Helper()
+	prog := CVProgram{
+		Ei: units.Volts(0.05), E1: units.Volts(0.8), E2: units.Volts(0.05), Ef: units.Volts(0.05),
+		Rate: units.MillivoltsPerSecond(50), Cycles: 1,
+	}
+	w, err := prog.Waveform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkSimulateCV measures the full diffusion simulation of the
+// paper's demonstration program at default resolution.
+func BenchmarkSimulateCV(b *testing.B) {
+	w := benchProgram(b)
+	cfg := DefaultCell()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, w, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateOpenCircuit measures the fault path.
+func BenchmarkSimulateOpenCircuit(b *testing.B) {
+	w := benchProgram(b)
+	cfg := DefaultCell()
+	cfg.Fault = FaultDisconnectedElectrode
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg, w, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWaveformSample measures potential-program evaluation.
+func BenchmarkWaveformSample(b *testing.B) {
+	w := benchProgram(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sample(w, 1000)
+	}
+}
+
+// BenchmarkRandlesSevcik measures the closed-form theory call.
+func BenchmarkRandlesSevcik(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RandlesSevcik(1, units.SquareCentimeters(0.07), units.Millimolar(2),
+			units.MillivoltsPerSecond(50), 2.4e-9, units.Celsius(25))
+	}
+}

@@ -1,0 +1,26 @@
+// Package echem implements the electrochemistry that the ICE's
+// instruments act on: potential waveform programs, Nernstian and
+// Butler–Volmer electrode kinetics, a one-dimensional finite-difference
+// diffusion simulator that generates cyclic-voltammetry (and other
+// technique) current responses from first principles, closed-form
+// theory (Randles–Ševčík, Cottrell) used to validate the simulator,
+// and fault models for the abnormal conditions the paper's ML method
+// flags (disconnected electrode, under-filled cell).
+//
+// The simulator follows the classical explicit-grid approach of Bard &
+// Faulkner (Electrochemical Methods, App. B): Fick's second law is
+// integrated with forward-time central-space steps, and the electrode
+// boundary condition couples the surface concentrations of the reduced
+// and oxidised species through Butler–Volmer kinetics.
+package echem
+
+// Physical constants (CODATA 2018).
+const (
+	// Faraday is the Faraday constant in C/mol.
+	Faraday = 96485.33212
+	// GasConstant is the molar gas constant in J/(mol·K).
+	GasConstant = 8.314462618
+)
+
+// StandardTemperature is the reference temperature (25 °C) in kelvin.
+const StandardTemperature = 298.15

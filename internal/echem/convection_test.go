@@ -1,0 +1,97 @@
+package echem
+
+import (
+	"math"
+	"testing"
+
+	"ice/internal/units"
+)
+
+// TestStirredSweepReachesLimitingCurrent validates hydrodynamic
+// voltammetry: with a 25 µm Nernst layer, a slow LSV plateaus at
+// i_L = nFADC/δ instead of peaking.
+func TestStirredSweepReachesLimitingCurrent(t *testing.T) {
+	cfg := DefaultCell()
+	cfg.NoiseRMS = 0
+	cfg.UncompensatedResistance = 0
+	cfg.DoubleLayerCapacitance = 0
+	cfg.ConvectionDelta = 25e-6
+	w, err := LinearSweep(units.Volts(0.05), units.Volts(0.8), units.MillivoltsPerSecond(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := Simulate(cfg, w, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LimitingCurrent(1, cfg.ElectrodeArea, cfg.Solution.Concentration,
+		cfg.Solution.Analyte.DiffusionReduced, 25e-6).Amperes()
+
+	// The tail of the sweep sits on the plateau.
+	tail := vg.Points[len(vg.Points)*9/10:]
+	for _, p := range tail {
+		rel := math.Abs(p.I.Amperes()-want) / want
+		if rel > 0.05 {
+			t.Fatalf("plateau current %v vs i_L %v: %.1f%% off", p.I.Amperes(), want, rel*100)
+		}
+	}
+	// Sigmoid, not duck: the maximum is essentially the plateau value,
+	// not a transient peak above it.
+	max := 0.0
+	for _, p := range vg.Points {
+		if p.I.Amperes() > max {
+			max = p.I.Amperes()
+		}
+	}
+	if max > want*1.10 {
+		t.Errorf("stirred sweep peaked at %v, %v%% above i_L: not steady-state", max, (max/want-1)*100)
+	}
+}
+
+// TestLimitingCurrentScalesInverselyWithDelta checks the i_L ∝ 1/δ law
+// through the simulator.
+func TestLimitingCurrentScalesInverselyWithDelta(t *testing.T) {
+	plateau := func(delta float64) float64 {
+		cfg := DefaultCell()
+		cfg.NoiseRMS = 0
+		cfg.UncompensatedResistance = 0
+		cfg.DoubleLayerCapacitance = 0
+		cfg.ConvectionDelta = delta
+		w, err := LinearSweep(units.Volts(0.05), units.Volts(0.8), units.MillivoltsPerSecond(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vg, err := Simulate(cfg, w, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vg.Points[len(vg.Points)-1].I.Amperes()
+	}
+	thin := plateau(20e-6)
+	thick := plateau(40e-6)
+	ratio := thin / thick
+	if math.Abs(ratio-2) > 0.15 {
+		t.Errorf("i_L(20µm)/i_L(40µm) = %v, want ≈ 2", ratio)
+	}
+}
+
+func TestLimitingCurrentTheory(t *testing.T) {
+	// 1·F·7e-6·2.4e-9·2/25e-6 = 0.1297 mA... compute directly.
+	got := LimitingCurrent(1, units.SquareCentimeters(0.07), units.Millimolar(2), 2.4e-9, 25e-6)
+	want := 96485.33212 * 7e-6 * 2.4e-9 * 2 / 25e-6
+	if math.Abs(got.Amperes()-want)/want > 1e-12 {
+		t.Errorf("i_L = %v, want %v", got.Amperes(), want)
+	}
+	if !math.IsInf(LimitingCurrent(1, units.SquareCentimeters(1), units.Millimolar(1), 1e-9, 0).Amperes(), 1) {
+		t.Error("zero delta should give infinite i_L")
+	}
+}
+
+func TestConvectionValidation(t *testing.T) {
+	cfg := DefaultCell()
+	cfg.ConvectionDelta = -1
+	w, _ := LinearSweep(units.Volts(0), units.Volts(0.5), units.MillivoltsPerSecond(50))
+	if _, err := Simulate(cfg, w, 100); err == nil {
+		t.Error("negative convection delta accepted")
+	}
+}

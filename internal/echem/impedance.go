@@ -1,0 +1,175 @@
+package echem
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ice/internal/units"
+)
+
+// RandlesCircuit is the equivalent circuit used to model the cell's
+// small-signal impedance for electrochemical impedance spectroscopy
+// (EIS): solution resistance Rs in series with the double-layer
+// capacitance Cdl in parallel with the charge-transfer branch
+// (charge-transfer resistance Rct plus Warburg diffusion element).
+type RandlesCircuit struct {
+	// SolutionResistance Rs in ohms.
+	SolutionResistance float64
+	// ChargeTransferResistance Rct in ohms.
+	ChargeTransferResistance float64
+	// DoubleLayerCapacitance Cdl in farads.
+	DoubleLayerCapacitance float64
+	// WarburgCoefficient σ in Ω·s^(-1/2).
+	WarburgCoefficient float64
+}
+
+// Impedance returns the complex impedance at angular frequency ω
+// (rad/s):
+//
+//	Z(ω) = Rs + 1 / ( jωCdl + 1/(Rct + σ·ω^(-1/2)·(1 − j)) )
+func (rc RandlesCircuit) Impedance(omega float64) complex128 {
+	if omega <= 0 {
+		return complex(math.Inf(1), 0)
+	}
+	warburg := complex(rc.WarburgCoefficient/math.Sqrt(omega), -rc.WarburgCoefficient/math.Sqrt(omega))
+	faradaic := complex(rc.ChargeTransferResistance, 0) + warburg
+	ydl := complex(0, omega*rc.DoubleLayerCapacitance)
+	return complex(rc.SolutionResistance, 0) + 1/(ydl+1/faradaic)
+}
+
+// CharacteristicFrequency returns the semicircle apex frequency
+// f_max = 1/(2π·Rct·Cdl) in Hz, the diagnostic EIS readout.
+func (rc RandlesCircuit) CharacteristicFrequency() float64 {
+	if rc.ChargeTransferResistance <= 0 || rc.DoubleLayerCapacitance <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (2 * math.Pi * rc.ChargeTransferResistance * rc.DoubleLayerCapacitance)
+}
+
+// CellRandlesCircuit derives the equivalent circuit from a cell
+// configuration, evaluated at the half-wave potential where the
+// oxidised and reduced surface concentrations are equal (C*/2 each):
+//
+//	Rct = RT / (n·F·i0·A),  i0 = F·k0·(C*/2)      (α = 0.5 symmetric)
+//	σ   = RT / (n²F²·A·√2) · (1/(C_O√D_O) + 1/(C_R√D_R))
+func CellRandlesCircuit(cfg CellConfig) (RandlesCircuit, error) {
+	if err := cfg.Validate(); err != nil {
+		return RandlesCircuit{}, err
+	}
+	eff := cfg.Effective()
+	couple := eff.Solution.Analyte
+	n := float64(couple.Electrons)
+	area := eff.ElectrodeArea.SquareMeters()
+	bulk := eff.Solution.Concentration.MolesPerCubicMeter()
+	rt := GasConstant * eff.Temperature.Kelvin()
+
+	if eff.Fault == FaultDisconnectedElectrode || bulk <= 0 {
+		// Open circuit: essentially capacitive leakage only.
+		return RandlesCircuit{
+			SolutionResistance:       1e9,
+			ChargeTransferResistance: 1e12,
+			DoubleLayerCapacitance:   1e-12,
+			WarburgCoefficient:       0,
+		}, nil
+	}
+
+	half := bulk / 2
+	i0 := Faraday * couple.RateConstant * half // A/m² exchange current density
+	rct := rt / (n * Faraday * i0 * area)
+	sigma := rt / (n * n * Faraday * Faraday * area * math.Sqrt2) *
+		(1/(half*math.Sqrt(couple.DiffusionOxidized)) + 1/(half*math.Sqrt(couple.DiffusionReduced)))
+	rs := eff.UncompensatedResistance
+	if rs <= 0 {
+		rs = 1
+	}
+	cdl := eff.DoubleLayerCapacitance * area
+	if cdl <= 0 {
+		cdl = 1e-7
+	}
+	return RandlesCircuit{
+		SolutionResistance:       rs,
+		ChargeTransferResistance: rct,
+		DoubleLayerCapacitance:   cdl,
+		WarburgCoefficient:       sigma,
+	}, nil
+}
+
+// ImpedancePoint is one EIS spectrum sample.
+type ImpedancePoint struct {
+	// Frequency in Hz.
+	Frequency float64
+	// Zre and Zim are the real and imaginary impedance parts in ohms
+	// (Zim is negative for capacitive behaviour).
+	Zre float64
+	Zim float64
+}
+
+// Magnitude returns |Z| in ohms.
+func (p ImpedancePoint) Magnitude() float64 { return math.Hypot(p.Zre, p.Zim) }
+
+// Phase returns the phase angle in degrees.
+func (p ImpedancePoint) Phase() float64 {
+	return math.Atan2(p.Zim, p.Zre) * 180 / math.Pi
+}
+
+// EISSweepConfig describes a logarithmic frequency sweep.
+type EISSweepConfig struct {
+	// FreqMin and FreqMax bound the sweep in Hz.
+	FreqMin, FreqMax float64
+	// PointsPerDecade sets resolution; minimum 1.
+	PointsPerDecade int
+	// AmplitudeRMS is the excitation amplitude (information only; the
+	// small-signal model is linear).
+	AmplitudeRMS units.Potential
+	// NoiseFraction adds relative Gaussian noise to each point.
+	NoiseFraction float64
+	// NoiseSeed seeds the noise generator.
+	NoiseSeed int64
+}
+
+// Validate checks the sweep parameters.
+func (c EISSweepConfig) Validate() error {
+	switch {
+	case c.FreqMin <= 0 || c.FreqMax <= 0:
+		return fmt.Errorf("echem: EIS frequencies must be positive")
+	case c.FreqMin >= c.FreqMax:
+		return fmt.Errorf("echem: EIS needs FreqMin < FreqMax, got %g ≥ %g", c.FreqMin, c.FreqMax)
+	case c.PointsPerDecade < 1:
+		return fmt.Errorf("echem: EIS needs ≥ 1 point per decade")
+	case c.NoiseFraction < 0:
+		return fmt.Errorf("echem: EIS noise fraction must be non-negative")
+	}
+	return nil
+}
+
+// SimulateEIS sweeps the cell's Randles circuit over frequency and
+// returns the spectrum from high to low frequency (the instrument
+// convention).
+func SimulateEIS(cellCfg CellConfig, sweep EISSweepConfig) ([]ImpedancePoint, error) {
+	if err := sweep.Validate(); err != nil {
+		return nil, err
+	}
+	rc, err := CellRandlesCircuit(cellCfg)
+	if err != nil {
+		return nil, err
+	}
+	noise := newNoise(sweep.NoiseSeed)
+
+	decades := math.Log10(sweep.FreqMax / sweep.FreqMin)
+	n := int(math.Ceil(decades*float64(sweep.PointsPerDecade))) + 1
+	points := make([]ImpedancePoint, 0, n)
+	for i := 0; i < n; i++ {
+		logf := math.Log10(sweep.FreqMax) - decades*float64(i)/float64(n-1)
+		f := math.Pow(10, logf)
+		z := rc.Impedance(2 * math.Pi * f)
+		re, im := real(z), imag(z)
+		if sweep.NoiseFraction > 0 {
+			mag := cmplx.Abs(z)
+			re += noise.gauss() * sweep.NoiseFraction * mag
+			im += noise.gauss() * sweep.NoiseFraction * mag
+		}
+		points = append(points, ImpedancePoint{Frequency: f, Zre: re, Zim: im})
+	}
+	return points, nil
+}

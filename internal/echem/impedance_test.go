@@ -1,0 +1,223 @@
+package echem
+
+import (
+	"math"
+	"testing"
+
+	"ice/internal/units"
+)
+
+func referenceCircuit() RandlesCircuit {
+	return RandlesCircuit{
+		SolutionResistance:       10,
+		ChargeTransferResistance: 100,
+		DoubleLayerCapacitance:   2e-6,
+		WarburgCoefficient:       0, // pure semicircle for limit checks
+	}
+}
+
+func TestImpedanceHighFrequencyLimit(t *testing.T) {
+	// As ω→∞ the capacitor shorts the faradaic branch: Z → Rs.
+	rc := referenceCircuit()
+	z := rc.Impedance(2 * math.Pi * 1e9)
+	if math.Abs(real(z)-10) > 0.5 {
+		t.Errorf("Re Z at high f = %v, want ≈ Rs = 10", real(z))
+	}
+	if math.Abs(imag(z)) > 1 {
+		t.Errorf("Im Z at high f = %v, want ≈ 0", imag(z))
+	}
+}
+
+func TestImpedanceLowFrequencyLimit(t *testing.T) {
+	// As ω→0 with no Warburg: Z → Rs + Rct.
+	rc := referenceCircuit()
+	z := rc.Impedance(2 * math.Pi * 1e-4)
+	if math.Abs(real(z)-110) > 1 {
+		t.Errorf("Re Z at low f = %v, want ≈ Rs+Rct = 110", real(z))
+	}
+}
+
+func TestImpedanceSemicircleApex(t *testing.T) {
+	// At ω = 1/(Rct·Cdl) the imaginary part peaks at −Rct/2.
+	rc := referenceCircuit()
+	fMax := rc.CharacteristicFrequency()
+	z := rc.Impedance(2 * math.Pi * fMax)
+	if math.Abs(imag(z)+50) > 1 {
+		t.Errorf("Im Z at apex = %v, want ≈ −Rct/2 = −50", imag(z))
+	}
+	if math.Abs(real(z)-60) > 1 {
+		t.Errorf("Re Z at apex = %v, want ≈ Rs+Rct/2 = 60", real(z))
+	}
+}
+
+func TestImpedanceWarburgTail(t *testing.T) {
+	// With Warburg, the low-frequency tail has slope ≈ 1 in the
+	// Nyquist plane (−Im vs Re with unit slope).
+	rc := referenceCircuit()
+	rc.WarburgCoefficient = 50
+	z1 := rc.Impedance(2 * math.Pi * 0.01)
+	z2 := rc.Impedance(2 * math.Pi * 0.0025)
+	dRe := real(z2) - real(z1)
+	dIm := -(imag(z2) - imag(z1))
+	if dRe <= 0 || dIm <= 0 {
+		t.Fatalf("tail not advancing: dRe=%v dIm=%v", dRe, dIm)
+	}
+	slope := dIm / dRe
+	if math.Abs(slope-1) > 0.15 {
+		t.Errorf("Warburg tail slope = %v, want ≈ 1", slope)
+	}
+}
+
+func TestImpedanceZeroFrequency(t *testing.T) {
+	z := referenceCircuit().Impedance(0)
+	if !math.IsInf(real(z), 1) {
+		t.Errorf("Z(0) = %v, want +Inf (blocked by Cdl)", z)
+	}
+}
+
+func TestCellRandlesCircuitPhysicalScales(t *testing.T) {
+	cfg := DefaultCell()
+	rc, err := CellRandlesCircuit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For k0 = 1e-2 m/s and 1 mol/m³ half-concentration, Rct should be
+	// tiny (reversible couple): well under 10 Ω on 0.07 cm².
+	if rc.ChargeTransferResistance <= 0 || rc.ChargeTransferResistance > 10 {
+		t.Errorf("Rct = %v Ω, want small positive for a fast couple", rc.ChargeTransferResistance)
+	}
+	// Cdl = 0.2 F/m² × 7e-6 m² = 1.4 µF.
+	if math.Abs(rc.DoubleLayerCapacitance-1.4e-6) > 1e-7 {
+		t.Errorf("Cdl = %v F, want 1.4e-6", rc.DoubleLayerCapacitance)
+	}
+	if rc.SolutionResistance != 10 {
+		t.Errorf("Rs = %v, want the cell's Ru = 10", rc.SolutionResistance)
+	}
+	if rc.WarburgCoefficient <= 0 {
+		t.Errorf("σ = %v, want positive", rc.WarburgCoefficient)
+	}
+}
+
+func TestCellRandlesCircuitSlowKinetics(t *testing.T) {
+	// A sluggish couple (small k0) must show a much larger Rct.
+	fast := DefaultCell()
+	slow := DefaultCell()
+	slow.Solution.Analyte.RateConstant = 1e-6
+	rcFast, err := CellRandlesCircuit(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcSlow, err := CellRandlesCircuit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rcSlow.ChargeTransferResistance / rcFast.ChargeTransferResistance
+	if math.Abs(ratio-1e4) > 1e3 {
+		t.Errorf("Rct ratio = %v, want ≈ k0 ratio 1e4", ratio)
+	}
+}
+
+func TestCellRandlesCircuitOpenCircuit(t *testing.T) {
+	cfg := DefaultCell()
+	cfg.Fault = FaultDisconnectedElectrode
+	rc, err := CellRandlesCircuit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.ChargeTransferResistance < 1e9 {
+		t.Errorf("open-circuit Rct = %v, want enormous", rc.ChargeTransferResistance)
+	}
+}
+
+func TestSimulateEISSpectrumShape(t *testing.T) {
+	cfg := DefaultCell()
+	sweep := EISSweepConfig{
+		FreqMin: 0.1, FreqMax: 100_000, PointsPerDecade: 10,
+		AmplitudeRMS: units.Millivolts(10),
+	}
+	points, err := SimulateEIS(cfg, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 decades × 10 + 1 points, ordered high → low frequency.
+	if len(points) != 61 {
+		t.Fatalf("points = %d, want 61", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Frequency >= points[i-1].Frequency {
+			t.Fatalf("frequency not descending at %d", i)
+		}
+	}
+	// Capacitive: Im Z ≤ 0 everywhere (noise-free run).
+	for _, p := range points {
+		if p.Zim > 1e-9 {
+			t.Errorf("Im Z = %v at %v Hz, want ≤ 0", p.Zim, p.Frequency)
+		}
+	}
+	// High-frequency end approaches Rs; low-frequency end exceeds it.
+	if math.Abs(points[0].Zre-10) > 3 {
+		t.Errorf("high-f Re Z = %v, want ≈ 10", points[0].Zre)
+	}
+	last := points[len(points)-1]
+	if last.Zre <= points[0].Zre {
+		t.Errorf("low-f Re Z = %v not above high-f %v", last.Zre, points[0].Zre)
+	}
+}
+
+func TestSimulateEISValidation(t *testing.T) {
+	cfg := DefaultCell()
+	bad := []EISSweepConfig{
+		{FreqMin: 0, FreqMax: 100, PointsPerDecade: 5},
+		{FreqMin: 100, FreqMax: 1, PointsPerDecade: 5},
+		{FreqMin: 1, FreqMax: 100, PointsPerDecade: 0},
+		{FreqMin: 1, FreqMax: 100, PointsPerDecade: 5, NoiseFraction: -1},
+	}
+	for i, s := range bad {
+		if _, err := SimulateEIS(cfg, s); err == nil {
+			t.Errorf("sweep %d accepted", i)
+		}
+	}
+}
+
+func TestSimulateEISNoiseDeterminism(t *testing.T) {
+	cfg := DefaultCell()
+	sweep := EISSweepConfig{
+		FreqMin: 1, FreqMax: 1000, PointsPerDecade: 5,
+		NoiseFraction: 0.01, NoiseSeed: 5,
+	}
+	a, err := SimulateEIS(cfg, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateEIS(cfg, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded EIS not deterministic at %d", i)
+		}
+	}
+	sweep.NoiseSeed = 6
+	c, _ := SimulateEIS(cfg, sweep)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical noise")
+	}
+}
+
+func TestImpedancePointDerived(t *testing.T) {
+	p := ImpedancePoint{Frequency: 10, Zre: 3, Zim: -4}
+	if p.Magnitude() != 5 {
+		t.Errorf("|Z| = %v", p.Magnitude())
+	}
+	if math.Abs(p.Phase()+53.13) > 0.01 {
+		t.Errorf("phase = %v, want ≈ −53.13°", p.Phase())
+	}
+}

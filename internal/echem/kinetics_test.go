@@ -1,0 +1,184 @@
+package echem
+
+import (
+	"math"
+	"testing"
+
+	"ice/internal/units"
+)
+
+// peaksOf returns the anodic/cathodic peak potentials of a simulated
+// CV at the given rate and rate constant.
+func peaksOf(t *testing.T, k0 float64, rate units.ScanRate, samples int) (epa, epc float64) {
+	t.Helper()
+	cfg := DefaultCell()
+	cfg.NoiseRMS = 0
+	cfg.UncompensatedResistance = 0
+	cfg.DoubleLayerCapacitance = 0
+	cfg.Solution.Analyte.RateConstant = k0
+	prog := CVProgram{
+		Ei: units.Volts(0.05), E1: units.Volts(0.8), E2: units.Volts(0.05), Ef: units.Volts(0.05),
+		Rate: rate, Cycles: 1,
+	}
+	w, err := prog.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := Simulate(cfg, w, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipa, ipc := math.Inf(-1), math.Inf(1)
+	for _, p := range vg.Points {
+		if p.I.Amperes() > ipa {
+			ipa, epa = p.I.Amperes(), p.E.Volts()
+		}
+		if p.I.Amperes() < ipc {
+			ipc, epc = p.I.Amperes(), p.E.Volts()
+		}
+	}
+	return epa, epc
+}
+
+// TestQuasiReversibleKineticsWidenPeaks verifies Nicholson's classical
+// result: slowing the electron-transfer rate constant pushes the
+// system from reversible (ΔEp ≈ 57 mV, rate-independent) to
+// quasi-reversible (ΔEp grows), and for a quasi-reversible couple ΔEp
+// grows with scan rate.
+func TestQuasiReversibleKineticsWidenPeaks(t *testing.T) {
+	rate := units.MillivoltsPerSecond(50)
+	// Fast kinetics: reversible separation.
+	epaF, epcF := peaksOf(t, 1e-2, rate, 1500)
+	dEpFast := (epaF - epcF) * 1000
+	if dEpFast < 50 || dEpFast > 75 {
+		t.Fatalf("fast-kinetics ΔEp = %.1f mV, want ≈ 57", dEpFast)
+	}
+	// Sluggish kinetics: clearly wider.
+	epaS, epcS := peaksOf(t, 5e-6, rate, 1500)
+	dEpSlow := (epaS - epcS) * 1000
+	if dEpSlow < dEpFast+30 {
+		t.Errorf("slow-kinetics ΔEp = %.1f mV, want well above %.1f", dEpSlow, dEpFast)
+	}
+	// Peaks shift symmetrically outwards (α = 0.5).
+	if epaS <= epaF {
+		t.Errorf("slow anodic peak %.3f V not shifted positive of fast %.3f V", epaS, epaF)
+	}
+	if epcS >= epcF {
+		t.Errorf("slow cathodic peak %.3f V not shifted negative of fast %.3f V", epcS, epcF)
+	}
+}
+
+func TestQuasiReversibleSeparationGrowsWithScanRate(t *testing.T) {
+	const k0 = 2e-5 // quasi-reversible regime
+	epa1, epc1 := peaksOf(t, k0, units.MillivoltsPerSecond(20), 1500)
+	epa2, epc2 := peaksOf(t, k0, units.MillivoltsPerSecond(500), 1500)
+	d1 := (epa1 - epc1) * 1000
+	d2 := (epa2 - epc2) * 1000
+	if d2 < d1+15 {
+		t.Errorf("ΔEp(500 mV/s) = %.1f mV not clearly above ΔEp(20 mV/s) = %.1f mV", d2, d1)
+	}
+}
+
+func TestReversibleSeparationRateIndependent(t *testing.T) {
+	const k0 = 1e-2 // reversible regime
+	epa1, epc1 := peaksOf(t, k0, units.MillivoltsPerSecond(20), 2000)
+	epa2, epc2 := peaksOf(t, k0, units.MillivoltsPerSecond(200), 2000)
+	d1 := (epa1 - epc1) * 1000
+	d2 := (epa2 - epc2) * 1000
+	if math.Abs(d2-d1) > 10 {
+		t.Errorf("reversible ΔEp moved %.1f → %.1f mV across a 10× rate change", d1, d2)
+	}
+}
+
+// TestUncompensatedResistanceWidensPeaks: ohmic drop distorts the CV
+// like slow kinetics — the interface sees less than the applied
+// potential, so peaks spread apart and flatten.
+func TestUncompensatedResistanceWidensPeaks(t *testing.T) {
+	run := func(ru float64) (dEp, ipa float64) {
+		cfg := DefaultCell()
+		cfg.NoiseRMS = 0
+		cfg.DoubleLayerCapacitance = 0
+		cfg.UncompensatedResistance = ru
+		prog := CVProgram{
+			Ei: units.Volts(0.05), E1: units.Volts(0.8), E2: units.Volts(0.05), Ef: units.Volts(0.05),
+			Rate: units.MillivoltsPerSecond(50), Cycles: 1,
+		}
+		w, err := prog.Waveform()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vg, err := Simulate(cfg, w, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max, min := math.Inf(-1), math.Inf(1)
+		var epa, epc float64
+		for _, p := range vg.Points {
+			if p.I.Amperes() > max {
+				max, epa = p.I.Amperes(), p.E.Volts()
+			}
+			if p.I.Amperes() < min {
+				min, epc = p.I.Amperes(), p.E.Volts()
+			}
+		}
+		return (epa - epc) * 1000, max
+	}
+	dEpClean, ipClean := run(0)
+	// 1 kΩ at ~40 µA is a ~40 mV error — clearly visible.
+	dEpOhmic, ipOhmic := run(1000)
+	if dEpOhmic < dEpClean+20 {
+		t.Errorf("ΔEp with 1 kΩ = %.1f mV, not clearly above clean %.1f mV", dEpOhmic, dEpClean)
+	}
+	if ipOhmic >= ipClean {
+		t.Errorf("ohmic peak %v not attenuated below clean %v", ipOhmic, ipClean)
+	}
+}
+
+// TestTransferCoefficientAsymmetry: α ≠ 0.5 makes the peak shifts
+// asymmetric for a sluggish couple.
+func TestTransferCoefficientAsymmetry(t *testing.T) {
+	shiftFor := func(alpha float64) (anodic, cathodic float64) {
+		cfg := DefaultCell()
+		cfg.NoiseRMS = 0
+		cfg.UncompensatedResistance = 0
+		cfg.DoubleLayerCapacitance = 0
+		cfg.Solution.Analyte.RateConstant = 5e-6
+		cfg.Solution.Analyte.TransferCoefficient = alpha
+		prog := CVProgram{
+			Ei: units.Volts(-0.1), E1: units.Volts(0.9), E2: units.Volts(-0.1), Ef: units.Volts(-0.1),
+			Rate: units.MillivoltsPerSecond(50), Cycles: 1,
+		}
+		w, err := prog.Waveform()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vg, err := Simulate(cfg, w, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e0 := cfg.Solution.Analyte.FormalPotential.Volts()
+		ipa, ipc := math.Inf(-1), math.Inf(1)
+		var epa, epc float64
+		for _, p := range vg.Points {
+			if p.I.Amperes() > ipa {
+				ipa, epa = p.I.Amperes(), p.E.Volts()
+			}
+			if p.I.Amperes() < ipc {
+				ipc, epc = p.I.Amperes(), p.E.Volts()
+			}
+		}
+		return epa - e0, e0 - epc
+	}
+	// α = 0.3: the anodic branch is favoured ((1−α) = 0.7 in the
+	// anodic exponent), so the anodic peak needs less overpotential
+	// than the cathodic one.
+	an, ca := shiftFor(0.3)
+	if an >= ca {
+		t.Errorf("α=0.3: anodic shift %.0f mV not below cathodic %.0f mV", an*1000, ca*1000)
+	}
+	// α = 0.7 mirrors it.
+	an2, ca2 := shiftFor(0.7)
+	if an2 <= ca2 {
+		t.Errorf("α=0.7: anodic shift %.0f mV not above cathodic %.0f mV", an2*1000, ca2*1000)
+	}
+}

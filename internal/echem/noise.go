@@ -1,0 +1,20 @@
+package echem
+
+import "math/rand"
+
+// noiseGen produces deterministic Gaussian noise for reproducible
+// simulated measurements. Every simulation seeds its own generator so
+// parallel runs never contend or perturb each other.
+type noiseGen struct {
+	rng *rand.Rand
+}
+
+func newNoise(seed int64) *noiseGen {
+	if seed == 0 {
+		seed = 1
+	}
+	return &noiseGen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// gauss returns a standard-normal sample.
+func (g *noiseGen) gauss() float64 { return g.rng.NormFloat64() }

@@ -1,0 +1,410 @@
+package echem
+
+import (
+	"fmt"
+	"math"
+
+	"ice/internal/units"
+)
+
+// Fault identifies an abnormal experimental condition injected into a
+// simulation. These are the conditions the paper's ML method is
+// trained to flag.
+type Fault int
+
+// Fault values.
+const (
+	// FaultNone is a normal experiment.
+	FaultNone Fault = iota
+	// FaultDisconnectedElectrode models an open working-electrode
+	// lead: no faradaic current, only instrument noise and a drifting
+	// measured potential.
+	FaultDisconnectedElectrode
+	// FaultLowVolume models an under-filled cell: the electrode is
+	// only partially wetted and the solution layer above it is thin,
+	// so peaks shrink and distort as the layer depletes.
+	FaultLowVolume
+	// FaultNoisyContact models an intermittent lead: full faradaic
+	// response buried under strongly amplified noise.
+	FaultNoisyContact
+)
+
+// String names the fault for logs and dataset labels.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "normal"
+	case FaultDisconnectedElectrode:
+		return "disconnected-electrode"
+	case FaultLowVolume:
+		return "low-volume"
+	case FaultNoisyContact:
+		return "noisy-contact"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// CellConfig describes the simulated electrochemical cell attached to
+// the potentiostat.
+type CellConfig struct {
+	// Solution in the cell.
+	Solution Solution
+	// ElectrodeArea is the working-electrode area.
+	ElectrodeArea units.Area
+	// Temperature of the cell.
+	Temperature units.Temperature
+	// UncompensatedResistance Ru in ohms (solution + contact).
+	UncompensatedResistance float64
+	// DoubleLayerCapacitance in F/m² of electrode area.
+	DoubleLayerCapacitance float64
+	// DomainThickness limits the diffusion domain (m). Zero means
+	// semi-infinite; small values model a thin liquid layer.
+	DomainThickness float64
+	// ConvectionDelta, when > 0, models a stirred solution with a
+	// Nernst diffusion layer of this thickness (m): beyond δ the
+	// concentration is pinned at bulk by convection, so sweeps become
+	// sigmoidal with limiting current i_L = n·F·A·D·C/δ.
+	ConvectionDelta float64
+	// NoiseRMS is the RMS of additive Gaussian current noise.
+	NoiseRMS units.Current
+	// NoiseSeed seeds the deterministic noise generator.
+	NoiseSeed int64
+	// Fault optionally injects an abnormal condition.
+	Fault Fault
+	// Substeps is the number of diffusion substeps per recorded
+	// sample; zero selects the default (20).
+	Substeps int
+}
+
+// DefaultCell returns the bench configuration used throughout the
+// reproduction: the paper's ferrocene solution on a 0.07 cm² working
+// electrode at 25 °C with small Ru and a typical double layer.
+func DefaultCell() CellConfig {
+	return CellConfig{
+		Solution:                FerroceneSolution(),
+		ElectrodeArea:           units.SquareCentimeters(0.07),
+		Temperature:             units.Celsius(25),
+		UncompensatedResistance: 10,
+		DoubleLayerCapacitance:  0.20, // 20 µF/cm²
+		NoiseRMS:                units.Nanoamperes(20),
+		NoiseSeed:               1,
+	}
+}
+
+// Validate checks the configuration.
+func (c CellConfig) Validate() error {
+	if err := c.Solution.Analyte.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.ElectrodeArea.SquareMeters() <= 0:
+		return fmt.Errorf("echem: electrode area must be positive")
+	case c.Solution.Concentration.Molar() < 0:
+		return fmt.Errorf("echem: concentration must be non-negative")
+	case c.Temperature.Kelvin() <= 0:
+		return fmt.Errorf("echem: temperature must be positive")
+	case c.UncompensatedResistance < 0:
+		return fmt.Errorf("echem: uncompensated resistance must be non-negative")
+	case c.DomainThickness < 0:
+		return fmt.Errorf("echem: domain thickness must be non-negative")
+	case c.ConvectionDelta < 0:
+		return fmt.Errorf("echem: convection delta must be non-negative")
+	}
+	return nil
+}
+
+// Point is one acquired sample of the current response.
+type Point struct {
+	// T is the elapsed time in seconds.
+	T float64
+	// E is the applied (programmed) potential.
+	E units.Potential
+	// I is the measured current.
+	I units.Current
+}
+
+// Voltammogram is the sampled response of one technique run.
+type Voltammogram struct {
+	// Points in acquisition order, starting at t = 0.
+	Points []Point
+	// Fault records the injected condition (FaultNone for normal).
+	Fault Fault
+	// Label describes the run for transcripts and datasets.
+	Label string
+}
+
+// Potentials returns the potential samples in volts.
+func (v *Voltammogram) Potentials() []float64 {
+	out := make([]float64, len(v.Points))
+	for i, p := range v.Points {
+		out[i] = p.E.Volts()
+	}
+	return out
+}
+
+// Currents returns the current samples in amperes.
+func (v *Voltammogram) Currents() []float64 {
+	out := make([]float64, len(v.Points))
+	for i, p := range v.Points {
+		out[i] = p.I.Amperes()
+	}
+	return out
+}
+
+// Times returns the time samples in seconds.
+func (v *Voltammogram) Times() []float64 {
+	out := make([]float64, len(v.Points))
+	for i, p := range v.Points {
+		out[i] = p.T
+	}
+	return out
+}
+
+// stabilityFactor is the dimensionless diffusion number D·Δt/Δx² used
+// by the explicit scheme; it must stay below 0.5 for stability.
+const stabilityFactor = 0.45
+
+// maxGridPoints bounds the spatial grid so pathological configurations
+// cannot exhaust memory.
+const maxGridPoints = 20000
+
+// Simulate integrates the cell response to the waveform and returns
+// samples+1 points (including t = 0). It is the physics engine behind
+// the potentiostat simulator.
+func Simulate(cfg CellConfig, w Waveform, samples int) (*Voltammogram, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if w == nil || w.Duration() <= 0 {
+		return nil, fmt.Errorf("echem: waveform must have positive duration")
+	}
+	if samples < 2 {
+		return nil, fmt.Errorf("echem: need at least 2 samples, got %d", samples)
+	}
+
+	cfg = applyFault(cfg)
+
+	noise := newNoise(cfg.NoiseSeed)
+	if cfg.Fault == FaultDisconnectedElectrode {
+		return simulateOpenCircuit(cfg, w, samples, noise), nil
+	}
+
+	couple := cfg.Solution.Analyte
+	nElec := float64(couple.Electrons)
+	fRT := nElec * Faraday / (GasConstant * cfg.Temperature.Kelvin())
+	area := cfg.ElectrodeArea.SquareMeters()
+	bulk := cfg.Solution.Concentration.MolesPerCubicMeter()
+	dR, dO := couple.DiffusionReduced, couple.DiffusionOxidized
+	dMax := math.Max(dR, dO)
+	e0 := couple.FormalPotential.Volts()
+	alpha := couple.TransferCoefficient
+	k0 := couple.RateConstant
+
+	total := w.Duration()
+	sub := cfg.Substeps
+	if sub <= 0 {
+		sub = 20
+	}
+	dt := total / float64(samples)
+	dts := dt / float64(sub)
+	dx := math.Sqrt(dMax * dts / stabilityFactor)
+
+	domain := DiffusionLayerThickness(dMax, total)
+	thinLayer := false
+	if cfg.DomainThickness > 0 && cfg.DomainThickness < domain {
+		domain = cfg.DomainThickness
+		thinLayer = true
+	}
+	// Convection dominates over a sealed thin layer: a stirred cell is
+	// bulk-pinned at δ rather than sealed.
+	finiteDomain := thinLayer
+	if cfg.ConvectionDelta > 0 && cfg.ConvectionDelta < domain {
+		domain = cfg.ConvectionDelta
+		thinLayer = false
+		finiteDomain = true
+	}
+	n := int(domain/dx) + 2
+	if finiteDomain && domain > 3*dx {
+		// Snap the grid so the outer boundary lands exactly on the
+		// physical domain edge; flooring keeps dx' ≥ dx, preserving
+		// the explicit scheme's stability margin.
+		n = int(domain/dx) + 1
+		dx = domain / float64(n-1)
+	}
+	if n < 4 {
+		n = 4
+	}
+	if n > maxGridPoints {
+		n = maxGridPoints
+	}
+
+	lamR := dR * dts / (dx * dx)
+	lamO := dO * dts / (dx * dx)
+
+	cR := make([]float64, n)
+	cO := make([]float64, n)
+	nR := make([]float64, n)
+	nO := make([]float64, n)
+	for i := range cR {
+		cR[i] = bulk
+	}
+
+	points := make([]Point, 0, samples+1)
+	points = append(points, Point{T: 0, E: w.Potential(0), I: noiseCurrent(noise, cfg)})
+
+	iPrev := 0.0
+	ePrev := w.Potential(0).Volts()
+	for s := 1; s <= samples; s++ {
+		var iTotal float64
+		for k := 0; k < sub; k++ {
+			tNow := (float64((s-1)*sub+k) + 1) * dts
+			eApp := w.Potential(tNow).Volts()
+
+			// Diffusion step (FTCS) on interior nodes.
+			for i := 1; i < n-1; i++ {
+				nR[i] = cR[i] + lamR*(cR[i+1]-2*cR[i]+cR[i-1])
+				nO[i] = cO[i] + lamO*(cO[i+1]-2*cO[i]+cO[i-1])
+			}
+			// Outer boundary: bulk for semi-infinite, zero-flux mirror
+			// for a thin layer.
+			if thinLayer {
+				nR[n-1] = nR[n-2]
+				nO[n-1] = nO[n-2]
+			} else {
+				nR[n-1] = bulk
+				nO[n-1] = 0
+			}
+
+			// Electrode boundary: Butler–Volmer flux balanced against
+			// diffusion to the first grid node. Solving the 2×2 linear
+			// system for the surface concentrations:
+			//   (D_R/dx + ka)·C_R0 − kc·C_O0 = D_R/dx·C_R1
+			//   −ka·C_R0 + (D_O/dx + kc)·C_O0 = D_O/dx·C_O1
+			// The interfacial potential couples back through the
+			// ohmic drop (E_int = E_app − i·Ru), so the boundary is
+			// solved by damped fixed-point iteration — the explicit
+			// one-step-lag form oscillates at large Ru·di/dE gain.
+			gR := dR / dx
+			gO := dO / dx
+			dEdt := (eApp - ePrev) / dts
+			iC := cfg.DoubleLayerCapacitance * area * dEdt
+
+			// boundary evaluates the BV/diffusion balance at a trial
+			// interfacial potential, returning surface concentrations,
+			// rate constants and total current.
+			boundary := func(eInt float64) (cR0, cO0, ka, kc, iTot float64) {
+				eta := eInt - e0
+				ka = k0 * math.Exp((1-alpha)*fRT*eta)
+				kc = k0 * math.Exp(-alpha*fRT*eta)
+				a11 := gR + ka
+				a12 := -kc
+				a21 := -ka
+				a22 := gO + kc
+				b1 := gR * nR[1]
+				b2 := gO * nO[1]
+				det := a11*a22 - a12*a21
+				cR0 = (b1*a22 - a12*b2) / det
+				cO0 = (a11*b2 - b1*a21) / det
+				if cR0 < 0 {
+					cR0 = 0
+				}
+				if cO0 < 0 {
+					cO0 = 0
+				}
+				iTot = nElec*Faraday*area*(ka*cR0-kc*cO0) + iC
+				return cR0, cO0, ka, kc, iTot
+			}
+
+			var cR0, cO0, ka, kc float64
+			if cfg.UncompensatedResistance == 0 {
+				cR0, cO0, ka, kc, _ = boundary(eApp)
+			} else {
+				// The faradaic current is monotone increasing in the
+				// interfacial potential, so E_int + Ru·i(E_int) = E_app
+				// has a unique root; bisect within the diffusion-
+				// limited current bounds.
+				ru := cfg.UncompensatedResistance
+				iMax := nElec*Faraday*area*(gR*nR[1]+gO*nO[1]) + math.Abs(iC)
+				lo := eApp - ru*iMax
+				hi := eApp + ru*iMax
+				for it := 0; it < 60; it++ {
+					mid := (lo + hi) / 2
+					_, _, _, _, iTot := boundary(mid)
+					if mid+ru*iTot < eApp {
+						lo = mid
+					} else {
+						hi = mid
+					}
+					if hi-lo < 1e-8 {
+						break
+					}
+				}
+				cR0, cO0, ka, kc, _ = boundary((lo + hi) / 2)
+			}
+			nR[0], nO[0] = cR0, cO0
+
+			cR, nR = nR, cR
+			cO, nO = nO, cO
+
+			// Anodic-positive current: faradaic + double-layer charging.
+			flux := ka*cR[0] - kc*cO[0]
+			iF := nElec * Faraday * area * flux
+			iPrev = iF + iC
+			iTotal = iPrev
+			ePrev = eApp
+		}
+		t := float64(s) * dt
+		i := iTotal + noiseCurrent(noise, cfg).Amperes()
+		points = append(points, Point{T: t, E: w.Potential(t), I: units.Amperes(i)})
+	}
+
+	return &Voltammogram{Points: points, Fault: cfg.Fault, Label: cfg.Fault.String()}, nil
+}
+
+// Effective returns the configuration after fault adjustments have
+// been applied — the parameters the physics actually runs with. It is
+// what semi-analytic techniques (e.g. chronopotentiometry) use to stay
+// consistent with the diffusion simulator's fault handling. Apply it
+// at most once: the adjustments compound.
+func (c CellConfig) Effective() CellConfig { return applyFault(c) }
+
+// applyFault adjusts the cell configuration for the injected condition.
+func applyFault(cfg CellConfig) CellConfig {
+	switch cfg.Fault {
+	case FaultLowVolume:
+		// Partially wetted electrode over a thin solution layer.
+		cfg.ElectrodeArea = units.SquareMeters(cfg.ElectrodeArea.SquareMeters() * 0.35)
+		if cfg.DomainThickness == 0 || cfg.DomainThickness > 40e-6 {
+			cfg.DomainThickness = 40e-6
+		}
+		cfg.NoiseRMS = units.Amperes(cfg.NoiseRMS.Amperes() * 3)
+	case FaultNoisyContact:
+		cfg.NoiseRMS = units.Amperes(cfg.NoiseRMS.Amperes()*80 + 1e-7)
+	}
+	return cfg
+}
+
+// simulateOpenCircuit produces the signature of a disconnected working
+// electrode: noise-scale current and a drifting measured potential.
+func simulateOpenCircuit(cfg CellConfig, w Waveform, samples int, noise *noiseGen) *Voltammogram {
+	points := make([]Point, 0, samples+1)
+	dur := w.Duration()
+	drift := 0.0
+	for s := 0; s <= samples; s++ {
+		t := dur * float64(s) / float64(samples)
+		drift += noise.gauss() * 0.002
+		e := w.Potential(t).Volts() + drift
+		i := noise.gauss() * math.Max(cfg.NoiseRMS.Amperes(), 1e-9)
+		points = append(points, Point{T: t, E: units.Volts(e), I: units.Amperes(i)})
+	}
+	return &Voltammogram{Points: points, Fault: FaultDisconnectedElectrode, Label: FaultDisconnectedElectrode.String()}
+}
+
+func noiseCurrent(g *noiseGen, cfg CellConfig) units.Current {
+	rms := cfg.NoiseRMS.Amperes()
+	if rms <= 0 {
+		return 0
+	}
+	return units.Amperes(g.gauss() * rms)
+}

@@ -1,0 +1,356 @@
+package echem
+
+import (
+	"math"
+	"testing"
+
+	"ice/internal/units"
+)
+
+// paperCV returns the demonstration program: 0.05 → 0.8 → 0.05 V at
+// 50 mV/s, one cycle.
+func paperCV() CVProgram {
+	return CVProgram{
+		Ei: units.Volts(0.05), E1: units.Volts(0.8), E2: units.Volts(0.05), Ef: units.Volts(0.05),
+		Rate: units.MillivoltsPerSecond(50), Cycles: 1,
+	}
+}
+
+func quietCell() CellConfig {
+	cfg := DefaultCell()
+	cfg.NoiseRMS = 0
+	cfg.UncompensatedResistance = 0
+	cfg.DoubleLayerCapacitance = 0
+	return cfg
+}
+
+func runCV(t *testing.T, cfg CellConfig, prog CVProgram, samples int) *Voltammogram {
+	t.Helper()
+	w, err := prog.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := Simulate(cfg, w, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vg
+}
+
+// splitPeaks returns the maximum (anodic) and minimum (cathodic)
+// currents and the potentials they occur at.
+func splitPeaks(vg *Voltammogram) (ipa, epa, ipc, epc float64) {
+	ipa, ipc = math.Inf(-1), math.Inf(1)
+	for _, p := range vg.Points {
+		if p.I.Amperes() > ipa {
+			ipa, epa = p.I.Amperes(), p.E.Volts()
+		}
+		if p.I.Amperes() < ipc {
+			ipc, epc = p.I.Amperes(), p.E.Volts()
+		}
+	}
+	return ipa, epa, ipc, epc
+}
+
+func TestCVPeakCurrentMatchesRandlesSevcik(t *testing.T) {
+	cfg := quietCell()
+	vg := runCV(t, cfg, paperCV(), 1500)
+	ipa, _, _, _ := splitPeaks(vg)
+	want := RandlesSevcik(1, cfg.ElectrodeArea, cfg.Solution.Concentration,
+		paperCV().Rate, cfg.Solution.Analyte.DiffusionReduced, cfg.Temperature)
+	rel := math.Abs(ipa-want.Amperes()) / want.Amperes()
+	if rel > 0.04 {
+		t.Errorf("anodic peak %v A vs Randles–Ševčík %v A: %.1f%% off (want ≤ 4%%)",
+			ipa, want.Amperes(), rel*100)
+	}
+}
+
+func TestCVPeakSeparationNearTheory(t *testing.T) {
+	cfg := quietCell()
+	vg := runCV(t, cfg, paperCV(), 2000)
+	_, epa, _, epc := splitPeaks(vg)
+	dEp := (epa - epc) * 1000 // mV
+	// Reversible theory: ≈ 57 mV; accept 50–75 mV for the discrete grid.
+	if dEp < 50 || dEp > 75 {
+		t.Errorf("ΔEp = %.1f mV, want ≈ 57 (50–75 accepted)", dEp)
+	}
+}
+
+func TestCVHalfWavePotentialNearFormal(t *testing.T) {
+	cfg := quietCell()
+	vg := runCV(t, cfg, paperCV(), 2000)
+	_, epa, _, epc := splitPeaks(vg)
+	eHalf := (epa + epc) / 2
+	e0 := cfg.Solution.Analyte.FormalPotential.Volts()
+	if math.Abs(eHalf-e0) > 0.01 {
+		t.Errorf("E½ = %.4f V, want within 10 mV of E0' = %.3f V", eHalf, e0)
+	}
+}
+
+func TestCVPeakScalesWithSqrtScanRate(t *testing.T) {
+	cfg := quietCell()
+	peak := func(rateMV float64) float64 {
+		prog := paperCV()
+		prog.Rate = units.MillivoltsPerSecond(rateMV)
+		vg := runCV(t, cfg, prog, 1500)
+		ipa, _, _, _ := splitPeaks(vg)
+		return ipa
+	}
+	i50 := peak(50)
+	i200 := peak(200)
+	ratio := i200 / i50
+	if math.Abs(ratio-2) > 0.1 {
+		t.Errorf("ip(200)/ip(50) = %.3f, want ≈ 2 (√4)", ratio)
+	}
+}
+
+func TestCVPeakLinearInConcentration(t *testing.T) {
+	cfg := quietCell()
+	peak := func(mm float64) float64 {
+		c := cfg
+		c.Solution.Concentration = units.Millimolar(mm)
+		vg := runCV(t, c, paperCV(), 1000)
+		ipa, _, _, _ := splitPeaks(vg)
+		return ipa
+	}
+	ratio := peak(4) / peak(2)
+	if math.Abs(ratio-2) > 0.05 {
+		t.Errorf("ip(4mM)/ip(2mM) = %.3f, want ≈ 2", ratio)
+	}
+}
+
+func TestCVDuckShape(t *testing.T) {
+	// The voltammogram must have a positive forward peak, a negative
+	// reverse peak, and near-zero current at the start (the classic
+	// duck of Fig. 7).
+	cfg := quietCell()
+	vg := runCV(t, cfg, paperCV(), 1500)
+	ipa, _, ipc, _ := splitPeaks(vg)
+	if ipa <= 0 {
+		t.Fatalf("anodic peak %v, want positive", ipa)
+	}
+	if ipc >= 0 {
+		t.Fatalf("cathodic peak %v, want negative", ipc)
+	}
+	if start := vg.Points[0].I.Amperes(); math.Abs(start) > ipa*0.02 {
+		t.Errorf("initial current %v not ≈ 0 (peak %v)", start, ipa)
+	}
+	// Reverse peak smaller in magnitude than forward (diffusion away).
+	if math.Abs(ipc) > ipa {
+		t.Errorf("cathodic magnitude %v exceeds anodic %v", math.Abs(ipc), ipa)
+	}
+	// For a reversible couple it should still be a substantial fraction.
+	if math.Abs(ipc) < 0.5*ipa {
+		t.Errorf("cathodic magnitude %v under half of anodic %v; not reversible-like", math.Abs(ipc), ipa)
+	}
+}
+
+func TestChronoamperometryMatchesCottrell(t *testing.T) {
+	cfg := quietCell()
+	// Step from well below E0 to far above: diffusion-limited oxidation.
+	w, err := StepProgram{
+		Rest: units.Volts(0.0), Step: units.Volts(0.9),
+		RestSeconds: 0, StepSeconds: 5,
+	}.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := Simulate(cfg, w, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare at t = 1 s and t = 4 s, past the initial transient.
+	for _, tt := range []float64{1, 4} {
+		idx := int(tt / 5 * 2500)
+		got := vg.Points[idx].I.Amperes()
+		want := Cottrell(1, cfg.ElectrodeArea, cfg.Solution.Concentration,
+			cfg.Solution.Analyte.DiffusionReduced, vg.Points[idx].T).Amperes()
+		rel := math.Abs(got-want) / want
+		if rel > 0.05 {
+			t.Errorf("i(%gs) = %v, Cottrell = %v: %.1f%% off", tt, got, want, rel*100)
+		}
+	}
+}
+
+func TestSimulateSampleCountAndMonotonicTime(t *testing.T) {
+	cfg := quietCell()
+	vg := runCV(t, cfg, paperCV(), 300)
+	if len(vg.Points) != 301 {
+		t.Fatalf("points = %d, want 301", len(vg.Points))
+	}
+	for i := 1; i < len(vg.Points); i++ {
+		if vg.Points[i].T <= vg.Points[i-1].T {
+			t.Fatalf("time not monotonic at %d: %v then %v", i, vg.Points[i-1].T, vg.Points[i].T)
+		}
+	}
+	if vg.Points[0].T != 0 {
+		t.Errorf("first sample at t=%v, want 0", vg.Points[0].T)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := quietCell()
+	w, _ := paperCV().Waveform()
+	if _, err := Simulate(cfg, w, 1); err == nil {
+		t.Error("1 sample accepted")
+	}
+	if _, err := Simulate(cfg, nil, 100); err == nil {
+		t.Error("nil waveform accepted")
+	}
+	bad := cfg
+	bad.ElectrodeArea = 0
+	if _, err := Simulate(bad, w, 100); err == nil {
+		t.Error("zero area accepted")
+	}
+	bad = cfg
+	bad.Solution.Analyte.TransferCoefficient = 1.5
+	if _, err := Simulate(bad, w, 100); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+}
+
+func TestSimulateDeterministicForSameSeed(t *testing.T) {
+	cfg := DefaultCell()
+	a := runCV(t, cfg, paperCV(), 400)
+	b := runCV(t, cfg, paperCV(), 400)
+	for i := range a.Points {
+		if a.Points[i].I != b.Points[i].I {
+			t.Fatalf("sample %d differs between identical runs", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.NoiseSeed = 99
+	c := runCV(t, cfg2, paperCV(), 400)
+	same := true
+	for i := range a.Points {
+		if a.Points[i].I != c.Points[i].I {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestDisconnectedElectrodeFault(t *testing.T) {
+	cfg := DefaultCell()
+	cfg.Fault = FaultDisconnectedElectrode
+	vg := runCV(t, cfg, paperCV(), 800)
+	// Currents must be at noise scale, nowhere near the 40 µA peak.
+	for _, p := range vg.Points {
+		if math.Abs(p.I.Amperes()) > 1e-6 {
+			t.Fatalf("open-circuit current %v exceeds 1 µA", p.I)
+		}
+	}
+	if vg.Fault != FaultDisconnectedElectrode {
+		t.Errorf("Fault = %v", vg.Fault)
+	}
+}
+
+func TestLowVolumeFaultShrinksPeak(t *testing.T) {
+	normal := DefaultCell()
+	normal.NoiseRMS = 0
+	low := normal
+	low.Fault = FaultLowVolume
+	vgN := runCV(t, normal, paperCV(), 800)
+	vgL := runCV(t, low, paperCV(), 800)
+	ipaN, _, _, _ := splitPeaks(vgN)
+	ipaL, _, _, _ := splitPeaks(vgL)
+	if ipaL >= 0.6*ipaN {
+		t.Errorf("low-volume peak %v not well below normal %v", ipaL, ipaN)
+	}
+	if ipaL <= 0 {
+		t.Errorf("low-volume peak %v should still be positive", ipaL)
+	}
+}
+
+func TestNoisyContactFaultRaisesNoiseFloor(t *testing.T) {
+	cfg := DefaultCell()
+	cfg.Fault = FaultNoisyContact
+	vg := runCV(t, cfg, paperCV(), 800)
+	// Estimate noise from the flat pre-wave region (first 10% of sweep).
+	var sum2 float64
+	n := len(vg.Points) / 10
+	for _, p := range vg.Points[:n] {
+		sum2 += p.I.Amperes() * p.I.Amperes()
+	}
+	rms := math.Sqrt(sum2 / float64(n))
+	if rms < 5e-7 {
+		t.Errorf("noisy-contact RMS %v too small", rms)
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	cases := map[Fault]string{
+		FaultNone:                  "normal",
+		FaultDisconnectedElectrode: "disconnected-electrode",
+		FaultLowVolume:             "low-volume",
+		FaultNoisyContact:          "noisy-contact",
+		Fault(99):                  "fault(99)",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(f), got, want)
+		}
+	}
+}
+
+func TestVoltammogramAccessors(t *testing.T) {
+	vg := runCV(t, quietCell(), paperCV(), 100)
+	if len(vg.Potentials()) != 101 || len(vg.Currents()) != 101 || len(vg.Times()) != 101 {
+		t.Fatal("accessor lengths mismatch")
+	}
+	if vg.Potentials()[0] != vg.Points[0].E.Volts() {
+		t.Error("Potentials()[0] mismatch")
+	}
+}
+
+func TestMassConservationInThinLayer(t *testing.T) {
+	// In a sealed thin layer the total moles of R+O per unit area is
+	// conserved by the scheme (electrode converts R↔O, never destroys).
+	cfg := quietCell()
+	cfg.DomainThickness = 50e-6
+	w, _ := paperCV().Waveform()
+	vg, err := Simulate(cfg, w, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indirect check: integrated current over a full cycle returns near
+	// zero net charge (everything oxidised is re-reduced).
+	var q float64
+	for i := 1; i < len(vg.Points); i++ {
+		dt := vg.Points[i].T - vg.Points[i-1].T
+		q += vg.Points[i].I.Amperes() * dt
+	}
+	// Compare against the forward-leg charge magnitude.
+	var qFwd float64
+	for i := 1; i < len(vg.Points)/2; i++ {
+		dt := vg.Points[i].T - vg.Points[i-1].T
+		qFwd += math.Abs(vg.Points[i].I.Amperes()) * dt
+	}
+	if qFwd == 0 {
+		t.Fatal("no charge passed")
+	}
+	if math.Abs(q)/qFwd > 0.35 {
+		t.Errorf("net charge %.3g vs forward %.3g: thin layer should nearly rebalance", q, qFwd)
+	}
+}
+
+func TestSecondCycleReproducesFirstApproximately(t *testing.T) {
+	cfg := quietCell()
+	prog := paperCV()
+	prog.Cycles = 2
+	vg := runCV(t, cfg, prog, 3000)
+	half := len(vg.Points) / 2
+	ipa1, _, _, _ := splitPeaks(&Voltammogram{Points: vg.Points[:half]})
+	ipa2, _, _, _ := splitPeaks(&Voltammogram{Points: vg.Points[half:]})
+	// Cycle 2 peak is slightly smaller (depleted diffusion layer) but
+	// within 15% for a reversible couple.
+	if ipa2 > ipa1 {
+		t.Errorf("cycle 2 peak %v exceeds cycle 1 %v", ipa2, ipa1)
+	}
+	if ipa2 < 0.85*ipa1 {
+		t.Errorf("cycle 2 peak %v under 85%% of cycle 1 %v", ipa2, ipa1)
+	}
+}

@@ -1,0 +1,89 @@
+package echem
+
+import (
+	"fmt"
+
+	"ice/internal/units"
+)
+
+// RedoxCouple describes a one-step redox pair R ⇌ O + n·e⁻ studied at
+// the working electrode. The forward (anodic) direction oxidises the
+// reduced species; cyclic voltammetry of ferrocene starts from the
+// reduced form and sweeps positive.
+type RedoxCouple struct {
+	// Name identifies the couple, e.g. "ferrocene/ferrocenium".
+	Name string
+	// Electrons is n, the number of electrons transferred.
+	Electrons int
+	// FormalPotential E0' versus the reference electrode, in volts.
+	FormalPotential units.Potential
+	// DiffusionReduced and DiffusionOxidized are the diffusion
+	// coefficients of the two forms in m²/s.
+	DiffusionReduced  float64
+	DiffusionOxidized float64
+	// RateConstant k0 is the standard heterogeneous electron-transfer
+	// rate constant in m/s. Large values (≥ 1e-3 m/s) give reversible
+	// behaviour at bench scan rates.
+	RateConstant float64
+	// TransferCoefficient α (0 < α < 1); 0.5 for a symmetric barrier.
+	TransferCoefficient float64
+}
+
+// Validate reports whether the couple's parameters are physically
+// sensible.
+func (rc RedoxCouple) Validate() error {
+	switch {
+	case rc.Electrons < 1:
+		return fmt.Errorf("echem: couple %q: electrons must be ≥ 1, got %d", rc.Name, rc.Electrons)
+	case rc.DiffusionReduced <= 0 || rc.DiffusionOxidized <= 0:
+		return fmt.Errorf("echem: couple %q: diffusion coefficients must be positive", rc.Name)
+	case rc.RateConstant <= 0:
+		return fmt.Errorf("echem: couple %q: rate constant must be positive", rc.Name)
+	case rc.TransferCoefficient <= 0 || rc.TransferCoefficient >= 1:
+		return fmt.Errorf("echem: couple %q: transfer coefficient must lie in (0,1), got %g", rc.Name, rc.TransferCoefficient)
+	}
+	return nil
+}
+
+// Ferrocene returns the ferrocene/ferrocenium couple in acetonitrile,
+// the analyte used in the paper's demonstration (Fc ⇌ Fc⁺ + e⁻,
+// D ≈ 2.4e-9 m²/s, fast kinetics, E0' ≈ +0.40 V vs the quasi-reference).
+func Ferrocene() RedoxCouple {
+	return RedoxCouple{
+		Name:                "ferrocene/ferrocenium",
+		Electrons:           1,
+		FormalPotential:     units.Volts(0.40),
+		DiffusionReduced:    2.4e-9,
+		DiffusionOxidized:   2.4e-9,
+		RateConstant:        1e-2, // effectively reversible
+		TransferCoefficient: 0.5,
+	}
+}
+
+// Solution describes the liquid loaded into the electrochemical cell.
+type Solution struct {
+	// Solvent, e.g. "acetonitrile".
+	Solvent string
+	// SupportingElectrolyte, e.g. "0.1 M TBAOTf".
+	SupportingElectrolyte string
+	// Analyte is the redox couple under study.
+	Analyte RedoxCouple
+	// Concentration is the bulk analyte concentration (reduced form).
+	Concentration units.Concentration
+}
+
+// FerroceneSolution returns the paper's test solution: 2 mM ferrocene
+// in acetonitrile with 0.1 M tetrabutylammonium triflate.
+func FerroceneSolution() Solution {
+	return Solution{
+		Solvent:               "acetonitrile",
+		SupportingElectrolyte: "0.1 M tetrabutylammonium triflate",
+		Analyte:               Ferrocene(),
+		Concentration:         units.Millimolar(2),
+	}
+}
+
+// String summarises the solution the way a lab notebook would.
+func (s Solution) String() string {
+	return fmt.Sprintf("%v %s in %s (%s)", s.Concentration, s.Analyte.Name, s.Solvent, s.SupportingElectrolyte)
+}

@@ -1,0 +1,88 @@
+package echem
+
+import (
+	"math"
+
+	"ice/internal/units"
+)
+
+// NernstRatio returns the equilibrium surface concentration ratio
+// [O]/[R] at potential e for a couple with formal potential e0 and n
+// electrons, at temperature T: exp(nF(E−E0')/RT).
+func NernstRatio(e, e0 units.Potential, n int, temp units.Temperature) float64 {
+	f := float64(n) * Faraday / (GasConstant * temp.Kelvin())
+	return math.Exp(f * (e.Volts() - e0.Volts()))
+}
+
+// NernstPotential returns the equilibrium potential for a given
+// concentration ratio [O]/[R]: E = E0' + (RT/nF)·ln([O]/[R]).
+func NernstPotential(e0 units.Potential, ratio float64, n int, temp units.Temperature) units.Potential {
+	if ratio <= 0 {
+		return e0
+	}
+	rtnf := GasConstant * temp.Kelvin() / (float64(n) * Faraday)
+	return units.Volts(e0.Volts() + rtnf*math.Log(ratio))
+}
+
+// RandlesSevcik returns the theoretical peak current for a reversible
+// couple at 25-ish °C generalised to temperature T:
+//
+//	ip = 0.4463 · n·F·A·C · sqrt(n·F·v·D / (R·T))
+//
+// with area in m², concentration as a units.Concentration, scan rate v
+// and the diffusion coefficient D of the species being consumed.
+func RandlesSevcik(n int, area units.Area, conc units.Concentration, rate units.ScanRate, d float64, temp units.Temperature) units.Current {
+	nf := float64(n) * Faraday
+	inner := nf * rate.VoltsPerSecond() * d / (GasConstant * temp.Kelvin())
+	ip := 0.4463 * nf * area.SquareMeters() * conc.MolesPerCubicMeter() * math.Sqrt(inner)
+	return units.Amperes(ip)
+}
+
+// Cottrell returns the diffusion-limited current t seconds after a
+// potential step: i(t) = n·F·A·C·sqrt(D/(π·t)).
+func Cottrell(n int, area units.Area, conc units.Concentration, d, t float64) units.Current {
+	if t <= 0 {
+		return units.Amperes(math.Inf(1))
+	}
+	i := float64(n) * Faraday * area.SquareMeters() * conc.MolesPerCubicMeter() * math.Sqrt(d/(math.Pi*t))
+	return units.Amperes(i)
+}
+
+// ReversiblePeakSeparation returns the theoretical anodic-to-cathodic
+// peak separation ΔEp ≈ 2.218·RT/nF for a reversible couple
+// (≈ 57 mV at 25 °C for n = 1).
+func ReversiblePeakSeparation(n int, temp units.Temperature) units.Potential {
+	return units.Volts(2.218 * GasConstant * temp.Kelvin() / (float64(n) * Faraday))
+}
+
+// ReversiblePeakOffset returns Ep − E½ ≈ 1.109·RT/nF, the offset of the
+// forward peak from the half-wave potential (≈ 28.5 mV at 25 °C, n=1).
+func ReversiblePeakOffset(n int, temp units.Temperature) units.Potential {
+	return units.Volts(1.109 * GasConstant * temp.Kelvin() / (float64(n) * Faraday))
+}
+
+// LimitingCurrent returns the convective steady-state (hydrodynamic)
+// limiting current for a Nernst diffusion layer of thickness δ:
+// i_L = n·F·A·D·C/δ.
+func LimitingCurrent(n int, area units.Area, conc units.Concentration, d, delta float64) units.Current {
+	if delta <= 0 {
+		return units.Amperes(math.Inf(1))
+	}
+	return units.Amperes(float64(n) * Faraday * area.SquareMeters() * d * conc.MolesPerCubicMeter() / delta)
+}
+
+// DiffusionLayerThickness estimates the depletion-layer thickness
+// after t seconds, 6·sqrt(D·t), the span the simulation grid must cover.
+func DiffusionLayerThickness(d, t float64) float64 {
+	return 6 * math.Sqrt(d*t)
+}
+
+// MatchesRandlesSevcik reports whether a measured peak current agrees
+// with the Randles–Ševčík prediction within the relative tolerance.
+func MatchesRandlesSevcik(measured, predicted units.Current, tol float64) bool {
+	p := predicted.Amperes()
+	if p == 0 {
+		return measured.Amperes() == 0
+	}
+	return math.Abs(measured.Amperes()-p)/math.Abs(p) <= tol
+}

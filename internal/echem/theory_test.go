@@ -1,0 +1,159 @@
+package echem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ice/internal/units"
+)
+
+func TestNernstRatioAtFormalPotential(t *testing.T) {
+	if r := NernstRatio(units.Volts(0.4), units.Volts(0.4), 1, units.Celsius(25)); math.Abs(r-1) > 1e-12 {
+		t.Errorf("ratio at E0 = %v, want 1", r)
+	}
+}
+
+func TestNernstRatio59mVDecade(t *testing.T) {
+	// At 25 °C, +59.16 mV shifts the ratio by one decade for n = 1.
+	r := NernstRatio(units.Millivolts(459.16), units.Millivolts(400), 1, units.Celsius(25))
+	if math.Abs(r-10) > 0.01 {
+		t.Errorf("ratio one decade above E0 = %v, want 10", r)
+	}
+}
+
+func TestNernstPotentialInverse(t *testing.T) {
+	e0 := units.Volts(0.40)
+	temp := units.Celsius(25)
+	for _, ratio := range []float64{0.1, 0.5, 1, 2, 10, 100} {
+		e := NernstPotential(e0, ratio, 1, temp)
+		back := NernstRatio(e, e0, 1, temp)
+		if math.Abs(back-ratio)/ratio > 1e-9 {
+			t.Errorf("ratio %v: round trip = %v", ratio, back)
+		}
+	}
+	// Non-positive ratio degrades to E0.
+	if e := NernstPotential(e0, 0, 1, temp); e != e0 {
+		t.Errorf("NernstPotential(0 ratio) = %v, want E0", e)
+	}
+}
+
+func TestRandlesSevcikKnownValue(t *testing.T) {
+	// Hand-computed: n=1, A=0.07 cm², C=2 mM, v=50 mV/s, D=2.4e-9 m²/s,
+	// T=25 °C → ip ≈ 41.2 µA.
+	ip := RandlesSevcik(1, units.SquareCentimeters(0.07), units.Millimolar(2),
+		units.MillivoltsPerSecond(50), 2.4e-9, units.Celsius(25))
+	if math.Abs(ip.Microamperes()-41.2) > 0.5 {
+		t.Errorf("ip = %v µA, want ≈ 41.2", ip.Microamperes())
+	}
+}
+
+func TestRandlesSevcikScalesWithSqrtRate(t *testing.T) {
+	base := RandlesSevcik(1, units.SquareCentimeters(0.07), units.Millimolar(2),
+		units.MillivoltsPerSecond(50), 2.4e-9, units.Celsius(25))
+	quad := RandlesSevcik(1, units.SquareCentimeters(0.07), units.Millimolar(2),
+		units.MillivoltsPerSecond(200), 2.4e-9, units.Celsius(25))
+	if math.Abs(quad.Amperes()/base.Amperes()-2) > 1e-9 {
+		t.Errorf("4x rate should give 2x current, got ratio %v", quad.Amperes()/base.Amperes())
+	}
+}
+
+func TestCottrellKnownValue(t *testing.T) {
+	// i(1 s) = nFAC·sqrt(D/π): 96485·7e-6·2·sqrt(2.4e-9/π) ≈ 37.3 µA.
+	i := Cottrell(1, units.SquareCentimeters(0.07), units.Millimolar(2), 2.4e-9, 1)
+	want := 96485.33212 * 7e-6 * 2 * math.Sqrt(2.4e-9/math.Pi)
+	if math.Abs(i.Amperes()-want)/want > 1e-9 {
+		t.Errorf("Cottrell(1s) = %v, want %v", i.Amperes(), want)
+	}
+}
+
+func TestCottrellDecaysAsInverseSqrtT(t *testing.T) {
+	i1 := Cottrell(1, units.SquareCentimeters(1), units.Millimolar(1), 1e-9, 1)
+	i4 := Cottrell(1, units.SquareCentimeters(1), units.Millimolar(1), 1e-9, 4)
+	if math.Abs(i1.Amperes()/i4.Amperes()-2) > 1e-9 {
+		t.Errorf("i(1)/i(4) = %v, want 2", i1.Amperes()/i4.Amperes())
+	}
+	if !math.IsInf(Cottrell(1, units.SquareCentimeters(1), units.Millimolar(1), 1e-9, 0).Amperes(), 1) {
+		t.Error("Cottrell at t=0 should be +Inf")
+	}
+}
+
+func TestReversiblePeakSeparation57mV(t *testing.T) {
+	dEp := ReversiblePeakSeparation(1, units.Celsius(25))
+	if math.Abs(dEp.Millivolts()-57) > 1 {
+		t.Errorf("ΔEp = %v mV, want ≈ 57", dEp.Millivolts())
+	}
+	// Two electrons halve the separation.
+	dEp2 := ReversiblePeakSeparation(2, units.Celsius(25))
+	if math.Abs(dEp2.Millivolts()-dEp.Millivolts()/2) > 0.1 {
+		t.Errorf("n=2 ΔEp = %v mV, want half of n=1", dEp2.Millivolts())
+	}
+}
+
+func TestReversiblePeakOffset28mV(t *testing.T) {
+	off := ReversiblePeakOffset(1, units.Celsius(25))
+	if math.Abs(off.Millivolts()-28.5) > 0.5 {
+		t.Errorf("Ep-E½ = %v mV, want ≈ 28.5", off.Millivolts())
+	}
+}
+
+func TestDiffusionLayerThickness(t *testing.T) {
+	// 6·sqrt(2.4e-9 · 30) ≈ 1.61 mm.
+	got := DiffusionLayerThickness(2.4e-9, 30)
+	if math.Abs(got-1.61e-3) > 0.02e-3 {
+		t.Errorf("thickness = %v m, want ≈ 1.61e-3", got)
+	}
+}
+
+func TestMatchesRandlesSevcik(t *testing.T) {
+	p := units.Microamperes(40)
+	if !MatchesRandlesSevcik(units.Microamperes(41), p, 0.05) {
+		t.Error("2.5% deviation rejected at 5% tolerance")
+	}
+	if MatchesRandlesSevcik(units.Microamperes(50), p, 0.05) {
+		t.Error("25% deviation accepted at 5% tolerance")
+	}
+	if !MatchesRandlesSevcik(0, 0, 0.05) {
+		t.Error("zero/zero should match")
+	}
+	if MatchesRandlesSevcik(units.Microamperes(1), 0, 0.05) {
+		t.Error("nonzero/zero should not match")
+	}
+}
+
+// Property: the Nernst ratio is monotonically increasing in potential.
+func TestNernstMonotonicProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		// Constrain to ±1 V so exp() neither under- nor overflows.
+		ea := float64(a%1000) / 1000
+		eb := float64(b%1000) / 1000
+		if ea >= eb {
+			ea, eb = eb, ea
+		}
+		if ea == eb {
+			return true
+		}
+		ra := NernstRatio(units.Volts(ea), units.Volts(0), 1, units.Celsius(25))
+		rb := NernstRatio(units.Volts(eb), units.Volts(0), 1, units.Celsius(25))
+		return ra < rb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Randles–Ševčík current is linear in concentration and area.
+func TestRandlesSevcikLinearityProperty(t *testing.T) {
+	f := func(cRaw, aRaw uint8) bool {
+		c := float64(cRaw%50)/10 + 0.1 // 0.1..5 mM
+		a := float64(aRaw%50)/100 + 0.01
+		one := RandlesSevcik(1, units.SquareCentimeters(a), units.Millimolar(c),
+			units.MillivoltsPerSecond(50), 2.4e-9, units.Celsius(25)).Amperes()
+		two := RandlesSevcik(1, units.SquareCentimeters(2*a), units.Millimolar(2*c),
+			units.MillivoltsPerSecond(50), 2.4e-9, units.Celsius(25)).Amperes()
+		return math.Abs(two/one-4) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

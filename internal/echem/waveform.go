@@ -1,0 +1,183 @@
+package echem
+
+import (
+	"fmt"
+	"math"
+
+	"ice/internal/units"
+)
+
+// Waveform is a potential program E(t) applied to the working
+// electrode. Implementations must be pure functions of t over
+// [0, Duration].
+type Waveform interface {
+	// Potential returns the programmed potential at time t (seconds).
+	Potential(t float64) units.Potential
+	// Duration returns the total program length in seconds.
+	Duration() float64
+}
+
+// Segment is one linear piece of a piecewise waveform.
+type Segment struct {
+	// From and To are the segment's start and end potentials.
+	From, To units.Potential
+	// Seconds is the segment duration.
+	Seconds float64
+}
+
+// piecewise is a waveform built from consecutive linear segments.
+type piecewise struct {
+	segs  []Segment
+	total float64
+}
+
+// NewPiecewise builds a waveform from linear segments played in order.
+func NewPiecewise(segs ...Segment) (Waveform, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("echem: piecewise waveform needs at least one segment")
+	}
+	total := 0.0
+	for i, s := range segs {
+		if s.Seconds <= 0 || math.IsNaN(s.Seconds) || math.IsInf(s.Seconds, 0) {
+			return nil, fmt.Errorf("echem: segment %d has non-positive duration %g", i, s.Seconds)
+		}
+		total += s.Seconds
+	}
+	return &piecewise{segs: segs, total: total}, nil
+}
+
+func (p *piecewise) Duration() float64 { return p.total }
+
+func (p *piecewise) Potential(t float64) units.Potential {
+	if t <= 0 {
+		return p.segs[0].From
+	}
+	for _, s := range p.segs {
+		if t <= s.Seconds {
+			frac := t / s.Seconds
+			return units.Volts(s.From.Volts() + frac*(s.To.Volts()-s.From.Volts()))
+		}
+		t -= s.Seconds
+	}
+	return p.segs[len(p.segs)-1].To
+}
+
+// CVProgram describes a cyclic-voltammetry potential program in the
+// vocabulary of the EC-Lab technique parameters: start at Ei, sweep to
+// the first vertex E1, reverse to the second vertex E2, and finish at
+// Ef, at a fixed scan rate, for a number of cycles.
+type CVProgram struct {
+	// Ei is the initial potential.
+	Ei units.Potential
+	// E1 is the first vertex (the forward sweep target).
+	E1 units.Potential
+	// E2 is the second vertex (the reverse sweep target).
+	E2 units.Potential
+	// Ef is the final potential after the last cycle.
+	Ef units.Potential
+	// Rate is the scan rate.
+	Rate units.ScanRate
+	// Cycles is the number of E1→E2 cycles; minimum 1.
+	Cycles int
+}
+
+// Validate checks the program's physical plausibility.
+func (p CVProgram) Validate() error {
+	switch {
+	case p.Rate.VoltsPerSecond() <= 0:
+		return fmt.Errorf("echem: CV scan rate must be positive, got %v", p.Rate)
+	case p.Cycles < 1:
+		return fmt.Errorf("echem: CV cycles must be ≥ 1, got %d", p.Cycles)
+	case p.E1 == p.E2:
+		return fmt.Errorf("echem: CV vertices must differ (E1 = E2 = %v)", p.E1)
+	}
+	return nil
+}
+
+// Waveform renders the program as a piecewise-linear waveform.
+func (p CVProgram) Waveform() (Waveform, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	v := p.Rate.VoltsPerSecond()
+	dur := func(a, b units.Potential) float64 {
+		return math.Abs(b.Volts()-a.Volts()) / v
+	}
+	var segs []Segment
+	at := p.Ei
+	for c := 0; c < p.Cycles; c++ {
+		if at != p.E1 {
+			segs = append(segs, Segment{From: at, To: p.E1, Seconds: dur(at, p.E1)})
+		}
+		segs = append(segs, Segment{From: p.E1, To: p.E2, Seconds: dur(p.E1, p.E2)})
+		at = p.E2
+	}
+	if at != p.Ef {
+		segs = append(segs, Segment{From: at, To: p.Ef, Seconds: dur(at, p.Ef)})
+	}
+	return NewPiecewise(segs...)
+}
+
+// StepProgram holds the electrode at a rest potential then steps to a
+// target, the chronoamperometry (CA) program used for Cottrell
+// validation.
+type StepProgram struct {
+	// Rest is the pre-step potential where no reaction occurs.
+	Rest units.Potential
+	// Step is the post-step potential.
+	Step units.Potential
+	// RestSeconds and StepSeconds are the two phase durations.
+	RestSeconds, StepSeconds float64
+}
+
+// Waveform renders the step program.
+func (p StepProgram) Waveform() (Waveform, error) {
+	if p.StepSeconds <= 0 {
+		return nil, fmt.Errorf("echem: step duration must be positive, got %g", p.StepSeconds)
+	}
+	segs := []Segment{}
+	if p.RestSeconds > 0 {
+		segs = append(segs, Segment{From: p.Rest, To: p.Rest, Seconds: p.RestSeconds})
+	}
+	segs = append(segs, Segment{From: p.Step, To: p.Step, Seconds: p.StepSeconds})
+	return NewPiecewise(segs...)
+}
+
+// LinearSweep returns a single ramp from Ei to Ef at the given rate
+// (the LSV technique).
+func LinearSweep(ei, ef units.Potential, rate units.ScanRate) (Waveform, error) {
+	v := rate.VoltsPerSecond()
+	if v <= 0 {
+		return nil, fmt.Errorf("echem: LSV scan rate must be positive, got %v", rate)
+	}
+	if ei == ef {
+		return nil, fmt.Errorf("echem: LSV endpoints must differ")
+	}
+	return NewPiecewise(Segment{From: ei, To: ef, Seconds: math.Abs(ef.Volts()-ei.Volts()) / v})
+}
+
+// Hold returns a constant-potential waveform (OCV-style monitoring or
+// preconditioning holds).
+func Hold(e units.Potential, seconds float64) (Waveform, error) {
+	if seconds <= 0 {
+		return nil, fmt.Errorf("echem: hold duration must be positive, got %g", seconds)
+	}
+	return NewPiecewise(Segment{From: e, To: e, Seconds: seconds})
+}
+
+// Sample returns n+1 uniformly spaced (t, E) samples over the waveform,
+// including both endpoints.
+func Sample(w Waveform, n int) (ts []float64, es []units.Potential) {
+	if n < 1 {
+		n = 1
+	}
+	dur := w.Duration()
+	ts = make([]float64, n+1)
+	es = make([]units.Potential, n+1)
+	for i := 0; i <= n; i++ {
+		t := dur * float64(i) / float64(n)
+		ts[i] = t
+		es[i] = w.Potential(t)
+	}
+	return ts, es
+}

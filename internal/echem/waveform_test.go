@@ -1,0 +1,238 @@
+package echem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ice/internal/units"
+)
+
+func TestCVProgramWaveformShape(t *testing.T) {
+	prog := CVProgram{
+		Ei:     units.Volts(0.05),
+		E1:     units.Volts(0.8),
+		E2:     units.Volts(0.05),
+		Ef:     units.Volts(0.05),
+		Rate:   units.MillivoltsPerSecond(50),
+		Cycles: 1,
+	}
+	w, err := prog.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward leg: 0.75 V at 0.05 V/s = 15 s; round trip = 30 s.
+	if got := w.Duration(); math.Abs(got-30) > 1e-9 {
+		t.Errorf("Duration = %v, want 30", got)
+	}
+	if got := w.Potential(0).Volts(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("E(0) = %v, want 0.05", got)
+	}
+	if got := w.Potential(15).Volts(); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("E(15) = %v, want 0.8 (vertex)", got)
+	}
+	if got := w.Potential(30).Volts(); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("E(30) = %v, want 0.05", got)
+	}
+	// Midway up the forward sweep.
+	if got := w.Potential(7.5).Volts(); math.Abs(got-0.425) > 1e-9 {
+		t.Errorf("E(7.5) = %v, want 0.425", got)
+	}
+}
+
+func TestCVProgramMultipleCycles(t *testing.T) {
+	prog := CVProgram{
+		Ei: units.Volts(0), E1: units.Volts(1), E2: units.Volts(0), Ef: units.Volts(0),
+		Rate: units.VoltsPerSecond(1), Cycles: 3,
+	}
+	w, err := prog.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Duration(); math.Abs(got-6) > 1e-9 {
+		t.Errorf("3 cycles of 2 s = %v, want 6", got)
+	}
+	// Vertex of cycle 2 at t = 3 s.
+	if got := w.Potential(3).Volts(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("E(3) = %v, want 1 (second forward vertex)", got)
+	}
+}
+
+func TestCVProgramValidation(t *testing.T) {
+	base := CVProgram{
+		Ei: units.Volts(0), E1: units.Volts(1), E2: units.Volts(0), Ef: units.Volts(0),
+		Rate: units.VoltsPerSecond(1), Cycles: 1,
+	}
+	bad := base
+	bad.Rate = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero scan rate accepted")
+	}
+	bad = base
+	bad.Cycles = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	bad = base
+	bad.E2 = bad.E1
+	if err := bad.Validate(); err == nil {
+		t.Error("identical vertices accepted")
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestPiecewiseBeyondEndClamps(t *testing.T) {
+	w, err := NewPiecewise(Segment{From: units.Volts(0), To: units.Volts(1), Seconds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Potential(5).Volts(); got != 1 {
+		t.Errorf("E(beyond end) = %v, want clamp to 1", got)
+	}
+	if got := w.Potential(-1).Volts(); got != 0 {
+		t.Errorf("E(negative) = %v, want clamp to 0", got)
+	}
+}
+
+func TestPiecewiseRejectsBadSegments(t *testing.T) {
+	if _, err := NewPiecewise(); err == nil {
+		t.Error("empty waveform accepted")
+	}
+	if _, err := NewPiecewise(Segment{From: 0, To: 1, Seconds: 0}); err == nil {
+		t.Error("zero-duration segment accepted")
+	}
+	if _, err := NewPiecewise(Segment{From: 0, To: 1, Seconds: math.NaN()}); err == nil {
+		t.Error("NaN duration accepted")
+	}
+}
+
+func TestStepProgramWaveform(t *testing.T) {
+	w, err := StepProgram{
+		Rest: units.Volts(0), Step: units.Volts(0.8),
+		RestSeconds: 1, StepSeconds: 4,
+	}.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Duration(); got != 5 {
+		t.Errorf("Duration = %v, want 5", got)
+	}
+	if got := w.Potential(0.5).Volts(); got != 0 {
+		t.Errorf("E during rest = %v, want 0", got)
+	}
+	if got := w.Potential(2).Volts(); got != 0.8 {
+		t.Errorf("E after step = %v, want 0.8", got)
+	}
+}
+
+func TestStepProgramRejectsZeroStep(t *testing.T) {
+	if _, err := (StepProgram{StepSeconds: 0}).Waveform(); err == nil {
+		t.Error("zero step duration accepted")
+	}
+}
+
+func TestLinearSweep(t *testing.T) {
+	w, err := LinearSweep(units.Volts(-0.2), units.Volts(0.6), units.MillivoltsPerSecond(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Duration(); math.Abs(got-8) > 1e-9 {
+		t.Errorf("Duration = %v, want 8", got)
+	}
+	if _, err := LinearSweep(units.Volts(0), units.Volts(0), units.VoltsPerSecond(1)); err == nil {
+		t.Error("degenerate sweep accepted")
+	}
+	if _, err := LinearSweep(units.Volts(0), units.Volts(1), 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestHold(t *testing.T) {
+	w, err := Hold(units.Volts(0.3), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0, 5, 10} {
+		if got := w.Potential(tt).Volts(); got != 0.3 {
+			t.Errorf("E(%v) = %v, want 0.3", tt, got)
+		}
+	}
+	if _, err := Hold(units.Volts(0), -1); err == nil {
+		t.Error("negative hold accepted")
+	}
+}
+
+func TestSampleEndpoints(t *testing.T) {
+	w, _ := LinearSweep(units.Volts(0), units.Volts(1), units.VoltsPerSecond(1))
+	ts, es := Sample(w, 10)
+	if len(ts) != 11 || len(es) != 11 {
+		t.Fatalf("Sample lengths = %d, %d; want 11", len(ts), len(es))
+	}
+	if ts[0] != 0 || math.Abs(ts[10]-1) > 1e-12 {
+		t.Errorf("time endpoints = %v, %v", ts[0], ts[10])
+	}
+	if es[0].Volts() != 0 || math.Abs(es[10].Volts()-1) > 1e-9 {
+		t.Errorf("potential endpoints = %v, %v", es[0], es[10])
+	}
+}
+
+// Property: a piecewise waveform is continuous — adjacent samples never
+// jump by more than the segment slope allows (for continuous segments).
+func TestCVWaveformContinuityProperty(t *testing.T) {
+	f := func(rateMV uint8, spanMV uint16) bool {
+		rate := float64(rateMV%200) + 1 // 1..200 mV/s
+		span := float64(spanMV%1500)/1000 + 0.05
+		prog := CVProgram{
+			Ei: units.Volts(0), E1: units.Volts(span), E2: units.Volts(0), Ef: units.Volts(0),
+			Rate: units.MillivoltsPerSecond(rate), Cycles: 2,
+		}
+		w, err := prog.Waveform()
+		if err != nil {
+			return false
+		}
+		ts, es := Sample(w, 400)
+		maxStep := rate / 1000 * (ts[1] - ts[0]) * 1.01
+		for i := 1; i < len(es); i++ {
+			if math.Abs(es[i].Volts()-es[i-1].Volts()) > maxStep+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CV waveform potentials always stay within [min, max] of the
+// program's vertex and endpoint potentials.
+func TestCVWaveformBoundedProperty(t *testing.T) {
+	f := func(e1m, e2m int16) bool {
+		e1 := float64(e1m%2000) / 1000
+		e2 := float64(e2m%2000) / 1000
+		if e1 == e2 {
+			return true
+		}
+		prog := CVProgram{
+			Ei: units.Volts(e2), E1: units.Volts(e1), E2: units.Volts(e2), Ef: units.Volts(e2),
+			Rate: units.MillivoltsPerSecond(100), Cycles: 1,
+		}
+		w, err := prog.Waveform()
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Min(e1, e2), math.Max(e1, e2)
+		_, es := Sample(w, 200)
+		for _, e := range es {
+			if e.Volts() < lo-1e-9 || e.Volts() > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

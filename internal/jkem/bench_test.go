@@ -1,0 +1,45 @@
+package jkem
+
+import (
+	"testing"
+
+	"ice/internal/labstate"
+	"ice/internal/serial"
+	"ice/internal/units"
+)
+
+// BenchmarkExecuteCommand measures in-process command dispatch.
+func BenchmarkExecuteCommand(b *testing.B) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := sbc.Execute("SYRINGEPUMP_RATE(1,5.000000)"); resp != "OK" {
+			b.Fatal(resp)
+		}
+	}
+}
+
+// BenchmarkParseRequest measures protocol parsing alone.
+func BenchmarkParseRequest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRequest("FRACTIONCOLLECTOR.VIAL(1,BOTTOM)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientTransaction measures a full command/response exchange
+// over the in-memory serial link.
+func BenchmarkClientTransaction(b *testing.B) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	agentPort, sbcPort := serial.Pipe()
+	go sbc.Serve(sbcPort)
+	c := NewClient(agentPort)
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SetSyringeRate(1, units.MillilitersPerMinute(5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

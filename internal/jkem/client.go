@@ -1,0 +1,221 @@
+package jkem
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"ice/internal/serial"
+	"ice/internal/units"
+)
+
+// Client is the typed wrapper API the control agent uses to drive the
+// J-Kem SBC over its serial link — the Go counterpart of the Python
+// APIs the paper wrote to replace the proprietary J-Kem front end. All
+// methods are synchronous command/response transactions.
+type Client struct {
+	conn *serial.LineConn
+	// Timeout bounds each transaction; defaults to 5 s.
+	Timeout time.Duration
+	// mu serialises transactions: the SBC serial line carries one
+	// command/response exchange at a time, even when multiple remote
+	// callers arrive concurrently through the control channel.
+	mu sync.Mutex
+}
+
+// NewClient wraps the control-agent end of the SBC serial link.
+func NewClient(port serial.Port) *Client {
+	return &Client{conn: serial.NewLineConn(port), Timeout: 5 * time.Second}
+}
+
+// Raw executes one protocol command and returns the response payload.
+// Protocol-level errors ("ERR ...") are returned as Go errors.
+func (c *Client) Raw(cmd string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.conn.Transact(cmd, c.Timeout)
+	if err != nil {
+		return "", fmt.Errorf("jkem client: %s: %w", cmd, err)
+	}
+	ok, payload, err := ParseResponse(resp)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return "", fmt.Errorf("jkem client: %s: %s", cmd, payload)
+	}
+	return payload, nil
+}
+
+// Close closes the serial link.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SetSyringeRate sets syringe pump addr's plunger rate.
+func (c *Client) SetSyringeRate(addr int, rate units.FlowRate) error {
+	_, err := c.Raw(fmt.Sprintf("SYRINGEPUMP_RATE(%d,%f)", addr, rate.MillilitersPerMinute()))
+	return err
+}
+
+// SetSyringePort selects syringe pump addr's valve port.
+func (c *Client) SetSyringePort(addr, port int) error {
+	_, err := c.Raw(fmt.Sprintf("SYRINGEPUMP_PORT(%d,%d)", addr, port))
+	return err
+}
+
+// Withdraw draws vol into syringe pump addr through its current port.
+func (c *Client) Withdraw(addr int, vol units.Volume) error {
+	_, err := c.Raw(fmt.Sprintf("SYRINGEPUMP_WITHDRAW(%d,%f)", addr, vol.Milliliters()))
+	return err
+}
+
+// Dispense pushes vol out of syringe pump addr through its current port.
+func (c *Client) Dispense(addr int, vol units.Volume) error {
+	_, err := c.Raw(fmt.Sprintf("SYRINGEPUMP_DISPENSE(%d,%f)", addr, vol.Milliliters()))
+	return err
+}
+
+// HomeSyringe resets syringe pump addr's plunger.
+func (c *Client) HomeSyringe(addr int) error {
+	_, err := c.Raw(fmt.Sprintf("SYRINGEPUMP_HOME(%d)", addr))
+	return err
+}
+
+// SyringeVolume reports the liquid currently in syringe addr's barrel.
+func (c *Client) SyringeVolume(addr int) (units.Volume, error) {
+	payload, err := c.Raw(fmt.Sprintf("SYRINGEPUMP_STATUS(%d)", addr))
+	if err != nil {
+		return 0, err
+	}
+	var port int
+	var rate, vol float64
+	if _, err := fmt.Sscanf(payload, "port=%d rate=%f volume=%f", &port, &rate, &vol); err != nil {
+		return 0, fmt.Errorf("jkem client: parse status %q: %v", payload, err)
+	}
+	return units.Milliliters(vol), nil
+}
+
+// SelectVial moves fraction collector addr to a rack position.
+func (c *Client) SelectVial(addr int, position string) error {
+	_, err := c.Raw(fmt.Sprintf("FRACTIONCOLLECTOR_VIAL(%d,%s)", addr, position))
+	return err
+}
+
+// AdvanceVial moves collector addr to the next position and returns it.
+func (c *Client) AdvanceVial(addr int) (string, error) {
+	return c.Raw(fmt.Sprintf("FRACTIONCOLLECTOR_ADVANCE(%d)", addr))
+}
+
+// VialVolume reports the collected volume at a rack position.
+func (c *Client) VialVolume(addr int, position string) (units.Volume, error) {
+	payload, err := c.Raw(fmt.Sprintf("FRACTIONCOLLECTOR_VOLUME(%d,%s)", addr, position))
+	if err != nil {
+		return 0, err
+	}
+	ml, err := strconv.ParseFloat(payload, 64)
+	if err != nil {
+		return 0, fmt.Errorf("jkem client: parse vial volume %q: %v", payload, err)
+	}
+	return units.Milliliters(ml), nil
+}
+
+// SetGasFlow sets MFC addr's setpoint.
+func (c *Client) SetGasFlow(addr int, flow units.GasFlow) error {
+	_, err := c.Raw(fmt.Sprintf("MFC_SETFLOW(%d,%f)", addr, flow.SCCM()))
+	return err
+}
+
+// GasFlow reads MFC addr's setpoint.
+func (c *Client) GasFlow(addr int) (units.GasFlow, error) {
+	payload, err := c.Raw(fmt.Sprintf("MFC_READ(%d)", addr))
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(payload, 64)
+	if err != nil {
+		return 0, fmt.Errorf("jkem client: parse MFC read %q: %v", payload, err)
+	}
+	return units.SCCM(v), nil
+}
+
+// SetTemperature commands temperature controller addr's setpoint.
+func (c *Client) SetTemperature(addr int, t units.Temperature) error {
+	_, err := c.Raw(fmt.Sprintf("TEMP_SETPOINT(%d,%f)", addr, t.Celsius()))
+	return err
+}
+
+// Temperature reads the measured cell temperature.
+func (c *Client) Temperature(addr int) (units.Temperature, error) {
+	payload, err := c.Raw(fmt.Sprintf("TEMP_READ(%d)", addr))
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(payload, 64)
+	if err != nil {
+		return 0, fmt.Errorf("jkem client: parse temperature %q: %v", payload, err)
+	}
+	return units.Celsius(v), nil
+}
+
+// PH reads pH probe addr.
+func (c *Client) PH(addr int) (float64, error) {
+	payload, err := c.Raw(fmt.Sprintf("PH_READ(%d)", addr))
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(payload, 64)
+	if err != nil {
+		return 0, fmt.Errorf("jkem client: parse pH %q: %v", payload, err)
+	}
+	return v, nil
+}
+
+// SetPeristalticRate sets peristaltic pump addr's rate.
+func (c *Client) SetPeristalticRate(addr int, rate units.FlowRate) error {
+	_, err := c.Raw(fmt.Sprintf("PERIPUMP_RATE(%d,%f)", addr, rate.MillilitersPerMinute()))
+	return err
+}
+
+// StartPeristaltic starts peristaltic pump addr.
+func (c *Client) StartPeristaltic(addr int) error {
+	_, err := c.Raw(fmt.Sprintf("PERIPUMP_START(%d)", addr))
+	return err
+}
+
+// StopPeristaltic stops peristaltic pump addr.
+func (c *Client) StopPeristaltic(addr int) error {
+	_, err := c.Raw(fmt.Sprintf("PERIPUMP_STOP(%d)", addr))
+	return err
+}
+
+// SetStirring turns the cell's stir bar on or off.
+func (c *Client) SetStirring(addr int, on bool) error {
+	cmd := "STIRRER_OFF"
+	if on {
+		cmd = "STIRRER_ON"
+	}
+	_, err := c.Raw(fmt.Sprintf("%s(%d)", cmd, addr))
+	return err
+}
+
+// Status returns the SBC's one-line instrument inventory.
+func (c *Client) Status() (string, error) { return c.Raw("STATUS") }
+
+// FillCell performs the paper's Fig. 5 sequence: select the stock
+// port, withdraw vol, switch to the cell port, dispense — using pump
+// addr, stockPort and cellPort.
+func (c *Client) FillCell(addr, stockPort, cellPort int, vol units.Volume, rate units.FlowRate) error {
+	steps := []func() error{
+		func() error { return c.SetSyringeRate(addr, rate) },
+		func() error { return c.SetSyringePort(addr, stockPort) },
+		func() error { return c.Withdraw(addr, vol) },
+		func() error { return c.SetSyringePort(addr, cellPort) },
+		func() error { return c.Dispense(addr, vol) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,487 @@
+package jkem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ice/internal/echem"
+	"ice/internal/labstate"
+	"ice/internal/units"
+)
+
+// Endpoint is a place liquid can be moved to or from by a pump port.
+type Endpoint interface {
+	// Describe names the endpoint for status output.
+	Describe() string
+}
+
+// Reservoir is an effectively unlimited bottle of a known solution.
+type Reservoir struct {
+	// Name labels the bottle, e.g. "ferrocene-stock".
+	Name string
+	// Solution it contains; Solvent-only reservoirs (wash bottles) set
+	// SolventOnly.
+	Solution echem.Solution
+	// SolventOnly marks a pure-solvent wash bottle.
+	SolventOnly bool
+}
+
+// Describe implements Endpoint.
+func (r *Reservoir) Describe() string { return "reservoir:" + r.Name }
+
+// CellPort connects a pump port to the electrochemical cell.
+type CellPort struct {
+	Cell *labstate.Cell
+}
+
+// Describe implements Endpoint.
+func (c *CellPort) Describe() string { return "cell" }
+
+// Waste is a drain endpoint; liquid sent here disappears.
+type Waste struct{}
+
+// Describe implements Endpoint.
+func (Waste) Describe() string { return "waste" }
+
+// CollectorPort connects a pump port to the fraction collector's
+// currently selected vial.
+type CollectorPort struct {
+	Collector *FractionCollector
+}
+
+// Describe implements Endpoint.
+func (c *CollectorPort) Describe() string { return "fraction-collector" }
+
+// syringeContents tracks what is currently in the syringe barrel.
+type syringeContents struct {
+	volume      units.Volume
+	solution    echem.Solution
+	solventOnly bool
+}
+
+// SyringePump is a single addressable syringe pump with a multi-port
+// distribution valve.
+type SyringePump struct {
+	mu sync.Mutex
+	// Capacity of the syringe barrel.
+	Capacity units.Volume
+	rate     units.FlowRate
+	port     int
+	ports    map[int]Endpoint
+	contents syringeContents
+	moved    func(vol units.Volume, rate units.FlowRate) // motion hook for pacing
+}
+
+// NewSyringePump returns a pump with the given barrel capacity and
+// valve port map.
+func NewSyringePump(capacity units.Volume, ports map[int]Endpoint) *SyringePump {
+	return &SyringePump{
+		Capacity: capacity,
+		rate:     units.MillilitersPerMinute(5),
+		port:     1,
+		ports:    ports,
+	}
+}
+
+// SetRate sets the plunger rate.
+func (p *SyringePump) SetRate(rate units.FlowRate) error {
+	if rate.LitersPerSecond() <= 0 {
+		return fmt.Errorf("jkem: syringe rate must be positive, got %v", rate)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rate = rate
+	return nil
+}
+
+// Rate returns the configured plunger rate.
+func (p *SyringePump) Rate() units.FlowRate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rate
+}
+
+// SetPort selects a valve port.
+func (p *SyringePump) SetPort(port int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.ports[port]; !ok {
+		return fmt.Errorf("jkem: syringe valve has no port %d", port)
+	}
+	p.port = port
+	return nil
+}
+
+// Port returns the selected valve port.
+func (p *SyringePump) Port() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.port
+}
+
+// Volume returns the liquid volume currently in the barrel.
+func (p *SyringePump) Volume() units.Volume {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.contents.volume
+}
+
+// Withdraw draws vol through the selected port into the barrel.
+func (p *SyringePump) Withdraw(vol units.Volume) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if vol.Liters() <= 0 {
+		return fmt.Errorf("jkem: withdraw volume must be positive, got %v", vol)
+	}
+	if p.contents.volume.Liters()+vol.Liters() > p.Capacity.Liters()+1e-12 {
+		return fmt.Errorf("jkem: withdraw %v would overfill %v syringe holding %v", vol, p.Capacity, p.contents.volume)
+	}
+	ep := p.ports[p.port]
+	switch src := ep.(type) {
+	case *Reservoir:
+		p.contents.solution = src.Solution
+		p.contents.solventOnly = src.SolventOnly
+	case *CellPort:
+		sol, err := src.Cell.Withdraw(vol)
+		if err != nil {
+			return err
+		}
+		p.contents.solution = sol
+		p.contents.solventOnly = false
+	case Waste, *CollectorPort:
+		return fmt.Errorf("jkem: cannot withdraw from %s", ep.Describe())
+	default:
+		return fmt.Errorf("jkem: port %d is unplumbed", p.port)
+	}
+	p.contents.volume = units.Liters(p.contents.volume.Liters() + vol.Liters())
+	if p.moved != nil {
+		p.moved(vol, p.rate)
+	}
+	return nil
+}
+
+// Dispense pushes vol from the barrel out through the selected port.
+func (p *SyringePump) Dispense(vol units.Volume) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if vol.Liters() <= 0 {
+		return fmt.Errorf("jkem: dispense volume must be positive, got %v", vol)
+	}
+	if vol.Liters() > p.contents.volume.Liters()+1e-12 {
+		return fmt.Errorf("jkem: dispense %v exceeds syringe contents %v", vol, p.contents.volume)
+	}
+	ep := p.ports[p.port]
+	switch dst := ep.(type) {
+	case *CellPort:
+		var err error
+		if p.contents.solventOnly {
+			err = dst.Cell.AddSolvent(p.contents.solution.Solvent, vol)
+		} else {
+			err = dst.Cell.AddSolution(p.contents.solution, vol)
+		}
+		if err != nil {
+			return err
+		}
+	case Waste:
+		// Discarded.
+	case *CollectorPort:
+		if err := dst.Collector.Deposit(p.contents.solution, vol); err != nil {
+			return err
+		}
+	case *Reservoir:
+		return fmt.Errorf("jkem: cannot dispense back into %s", ep.Describe())
+	default:
+		return fmt.Errorf("jkem: port %d is unplumbed", p.port)
+	}
+	p.contents.volume = units.Liters(p.contents.volume.Liters() - vol.Liters())
+	if p.contents.volume.Liters() < 1e-12 {
+		p.contents.volume = 0
+	}
+	if p.moved != nil {
+		p.moved(vol, p.rate)
+	}
+	return nil
+}
+
+// Home empties the barrel to the currently selected port's waste-safe
+// destination, resetting the plunger.
+func (p *SyringePump) Home() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.contents = syringeContents{}
+}
+
+// Vial is one fraction-collector tube.
+type Vial struct {
+	// Position is the rack label, e.g. "BOTTOM" or "A3".
+	Position string
+	// Volume collected so far.
+	Volume units.Volume
+	// Solution last deposited.
+	Solution echem.Solution
+}
+
+// FractionCollector is a rack of vials with a movable collection arm.
+type FractionCollector struct {
+	mu       sync.Mutex
+	vials    map[string]*Vial
+	selected string
+	order    []string
+}
+
+// NewFractionCollector returns a collector with the given rack
+// positions; the first position starts selected.
+func NewFractionCollector(positions ...string) *FractionCollector {
+	if len(positions) == 0 {
+		positions = []string{"BOTTOM", "MIDDLE", "TOP"}
+	}
+	fc := &FractionCollector{vials: make(map[string]*Vial), order: positions}
+	for _, p := range positions {
+		fc.vials[p] = &Vial{Position: p}
+	}
+	fc.selected = positions[0]
+	return fc
+}
+
+// Select moves the arm to a rack position.
+func (fc *FractionCollector) Select(position string) error {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if _, ok := fc.vials[position]; !ok {
+		return fmt.Errorf("jkem: fraction collector has no position %q", position)
+	}
+	fc.selected = position
+	return nil
+}
+
+// Selected returns the current arm position.
+func (fc *FractionCollector) Selected() string {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.selected
+}
+
+// Advance moves the arm to the next rack position, wrapping around.
+func (fc *FractionCollector) Advance() string {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	for i, p := range fc.order {
+		if p == fc.selected {
+			fc.selected = fc.order[(i+1)%len(fc.order)]
+			break
+		}
+	}
+	return fc.selected
+}
+
+// Deposit adds liquid to the currently selected vial.
+func (fc *FractionCollector) Deposit(sol echem.Solution, vol units.Volume) error {
+	if vol.Liters() <= 0 {
+		return fmt.Errorf("jkem: deposit volume must be positive, got %v", vol)
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	v := fc.vials[fc.selected]
+	v.Volume = units.Liters(v.Volume.Liters() + vol.Liters())
+	v.Solution = sol
+	return nil
+}
+
+// Take removes and returns the vial contents at a position, leaving an
+// empty vial behind — the robot's pickup of a collected fraction.
+func (fc *FractionCollector) Take(position string) (Vial, error) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	v, ok := fc.vials[position]
+	if !ok {
+		return Vial{}, fmt.Errorf("jkem: fraction collector has no position %q", position)
+	}
+	if v.Volume.Liters() <= 0 {
+		return Vial{}, fmt.Errorf("jkem: vial %q is empty", position)
+	}
+	out := *v
+	v.Volume = 0
+	v.Solution = echem.Solution{}
+	return out, nil
+}
+
+// VialAt returns a copy of the vial at a position.
+func (fc *FractionCollector) VialAt(position string) (Vial, error) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	v, ok := fc.vials[position]
+	if !ok {
+		return Vial{}, fmt.Errorf("jkem: fraction collector has no position %q", position)
+	}
+	return *v, nil
+}
+
+// Positions returns the rack positions in arm order.
+func (fc *FractionCollector) Positions() []string {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	out := make([]string, len(fc.order))
+	copy(out, fc.order)
+	return out
+}
+
+// MassFlowController regulates purge-gas flow into the cell.
+type MassFlowController struct {
+	mu   sync.Mutex
+	cell *labstate.Cell
+	gas  string
+	// FullScale is the controller's maximum flow.
+	FullScale units.GasFlow
+	setpoint  units.GasFlow
+}
+
+// NewMFC returns a controller plumbed to the cell with the given gas
+// and full-scale range.
+func NewMFC(cell *labstate.Cell, gas string, fullScale units.GasFlow) *MassFlowController {
+	return &MassFlowController{cell: cell, gas: gas, FullScale: fullScale}
+}
+
+// SetFlow sets the gas flow setpoint.
+func (m *MassFlowController) SetFlow(flow units.GasFlow) error {
+	if flow.SCCM() < 0 || flow.SCCM() > m.FullScale.SCCM() {
+		return fmt.Errorf("jkem: MFC setpoint %v outside 0..%v", flow, m.FullScale)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.setpoint = flow
+	m.cell.SetGasFlow(m.gas, flow)
+	return nil
+}
+
+// Flow returns the current setpoint.
+func (m *MassFlowController) Flow() units.GasFlow {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.setpoint
+}
+
+// PeristalticPump is a continuous transfer pump between two fixed
+// endpoints (e.g. cell → waste for draining).
+type PeristalticPump struct {
+	mu      sync.Mutex
+	rate    units.FlowRate
+	running bool
+	// MinRate and MaxRate bound the tubing's usable range (the GUI in
+	// Fig. 5b shows e.g. "0.30 to 300.00 mL/min" for LS 16 tubing).
+	MinRate, MaxRate units.FlowRate
+}
+
+// NewPeristalticPump returns a pump with the given rate limits.
+func NewPeristalticPump(min, max units.FlowRate) *PeristalticPump {
+	return &PeristalticPump{MinRate: min, MaxRate: max, rate: min}
+}
+
+// SetRate sets the tubing flow rate.
+func (p *PeristalticPump) SetRate(rate units.FlowRate) error {
+	if rate.LitersPerSecond() < p.MinRate.LitersPerSecond() || rate.LitersPerSecond() > p.MaxRate.LitersPerSecond() {
+		return fmt.Errorf("jkem: peristaltic rate %v outside %v..%v", rate, p.MinRate, p.MaxRate)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rate = rate
+	return nil
+}
+
+// Start begins pumping.
+func (p *PeristalticPump) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.running = true
+}
+
+// Stop halts pumping.
+func (p *PeristalticPump) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.running = false
+}
+
+// Running reports whether the pump is on.
+func (p *PeristalticPump) Running() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}
+
+// Rate returns the configured rate.
+func (p *PeristalticPump) Rate() units.FlowRate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rate
+}
+
+// TemperatureController drives the cell jacket temperature (heater +
+// chiller combination).
+type TemperatureController struct {
+	mu       sync.Mutex
+	cell     *labstate.Cell
+	setpoint units.Temperature
+	// Min and Max bound the achievable setpoints.
+	Min, Max units.Temperature
+}
+
+// NewTemperatureController returns a controller for the cell with the
+// given achievable range.
+func NewTemperatureController(cell *labstate.Cell, min, max units.Temperature) *TemperatureController {
+	return &TemperatureController{cell: cell, setpoint: units.Celsius(25), Min: min, Max: max}
+}
+
+// SetPoint commands a jacket temperature.
+func (tc *TemperatureController) SetPoint(t units.Temperature) error {
+	if t.Kelvin() < tc.Min.Kelvin() || t.Kelvin() > tc.Max.Kelvin() {
+		return fmt.Errorf("jkem: temperature setpoint %v outside %v..%v", t, tc.Min, tc.Max)
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.setpoint = t
+	tc.cell.SetTemperature(t)
+	return nil
+}
+
+// Read returns the measured cell temperature.
+func (tc *TemperatureController) Read() units.Temperature {
+	return tc.cell.Snapshot().Temperature
+}
+
+// PHProbe reads the pH of the cell contents.
+type PHProbe struct {
+	cell *labstate.Cell
+	// NeutralPH is returned for solvent or empty cells.
+	NeutralPH float64
+	// SolutionPH maps analyte names to their solution pH.
+	SolutionPH map[string]float64
+}
+
+// NewPHProbe returns a probe for the cell.
+func NewPHProbe(cell *labstate.Cell) *PHProbe {
+	return &PHProbe{cell: cell, NeutralPH: 7.0, SolutionPH: map[string]float64{}}
+}
+
+// Read returns the measured pH.
+func (p *PHProbe) Read() float64 {
+	s := p.cell.Snapshot()
+	if !s.HasSolution {
+		return p.NeutralPH
+	}
+	if ph, ok := p.SolutionPH[s.Solution.Analyte.Name]; ok {
+		return ph
+	}
+	return p.NeutralPH
+}
+
+// sortedPorts returns the pump's valve ports in ascending order, for
+// deterministic status output.
+func sortedPorts(ports map[int]Endpoint) []int {
+	out := make([]int, 0, len(ports))
+	for k := range ports {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

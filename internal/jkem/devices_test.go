@@ -1,0 +1,321 @@
+package jkem
+
+import (
+	"math"
+	"testing"
+
+	"ice/internal/echem"
+	"ice/internal/labstate"
+	"ice/internal/units"
+)
+
+func testPump(cell *labstate.Cell) (*SyringePump, *FractionCollector) {
+	fc := NewFractionCollector("BOTTOM", "MIDDLE", "TOP")
+	pump := NewSyringePump(units.Milliliters(10), map[int]Endpoint{
+		1: &CellPort{Cell: cell},
+		2: &Reservoir{Name: "wash", Solution: echem.Solution{Solvent: "acetonitrile"}, SolventOnly: true},
+		3: Waste{},
+		4: &CollectorPort{Collector: fc},
+		8: &Reservoir{Name: "stock", Solution: echem.FerroceneSolution()},
+	})
+	return pump, fc
+}
+
+func TestSyringeWithdrawDispenseToCell(t *testing.T) {
+	cell := labstate.DefaultCell()
+	pump, _ := testPump(cell)
+
+	if err := pump.SetPort(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := pump.Withdraw(units.Milliliters(6)); err != nil {
+		t.Fatal(err)
+	}
+	if v := pump.Volume().Milliliters(); math.Abs(v-6) > 1e-9 {
+		t.Errorf("syringe volume = %v, want 6", v)
+	}
+	if err := pump.SetPort(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pump.Dispense(units.Milliliters(6)); err != nil {
+		t.Fatal(err)
+	}
+	s := cell.Snapshot()
+	if math.Abs(s.Volume.Milliliters()-6) > 1e-9 {
+		t.Errorf("cell volume = %v, want 6 mL", s.Volume)
+	}
+	if !s.HasSolution || s.Solution.Analyte.Name != "ferrocene/ferrocenium" {
+		t.Errorf("cell solution = %+v", s.Solution)
+	}
+	if pump.Volume() != 0 {
+		t.Errorf("syringe not empty after dispense: %v", pump.Volume())
+	}
+}
+
+func TestSyringeOverfillRejected(t *testing.T) {
+	pump, _ := testPump(labstate.DefaultCell())
+	pump.SetPort(8)
+	if err := pump.Withdraw(units.Milliliters(11)); err == nil {
+		t.Error("withdraw beyond capacity accepted")
+	}
+	pump.Withdraw(units.Milliliters(8))
+	if err := pump.Withdraw(units.Milliliters(3)); err == nil {
+		t.Error("cumulative overfill accepted")
+	}
+}
+
+func TestSyringeDispenseMoreThanHeldRejected(t *testing.T) {
+	pump, _ := testPump(labstate.DefaultCell())
+	pump.SetPort(8)
+	pump.Withdraw(units.Milliliters(2))
+	pump.SetPort(1)
+	if err := pump.Dispense(units.Milliliters(5)); err == nil {
+		t.Error("dispense beyond contents accepted")
+	}
+}
+
+func TestSyringeInvalidPort(t *testing.T) {
+	pump, _ := testPump(labstate.DefaultCell())
+	if err := pump.SetPort(7); err == nil {
+		t.Error("unknown port accepted")
+	}
+}
+
+func TestSyringeCannotWithdrawFromWaste(t *testing.T) {
+	pump, _ := testPump(labstate.DefaultCell())
+	pump.SetPort(3)
+	if err := pump.Withdraw(units.Milliliters(1)); err == nil {
+		t.Error("withdraw from waste accepted")
+	}
+}
+
+func TestSyringeCannotDispenseIntoReservoir(t *testing.T) {
+	pump, _ := testPump(labstate.DefaultCell())
+	pump.SetPort(8)
+	pump.Withdraw(units.Milliliters(1))
+	if err := pump.Dispense(units.Milliliters(1)); err == nil {
+		t.Error("dispense into reservoir accepted")
+	}
+}
+
+func TestSyringeRateValidation(t *testing.T) {
+	pump, _ := testPump(labstate.DefaultCell())
+	if err := pump.SetRate(units.MillilitersPerMinute(0)); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := pump.SetRate(units.MillilitersPerMinute(5)); err != nil {
+		t.Errorf("valid rate rejected: %v", err)
+	}
+	if got := pump.Rate().MillilitersPerMinute(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Rate = %v", got)
+	}
+}
+
+func TestSyringeNegativeVolumes(t *testing.T) {
+	pump, _ := testPump(labstate.DefaultCell())
+	pump.SetPort(8)
+	if err := pump.Withdraw(units.Milliliters(-1)); err == nil {
+		t.Error("negative withdraw accepted")
+	}
+	if err := pump.Dispense(units.Milliliters(-1)); err == nil {
+		t.Error("negative dispense accepted")
+	}
+}
+
+func TestSyringeWithdrawFromCell(t *testing.T) {
+	cell := labstate.DefaultCell()
+	cell.AddSolution(echem.FerroceneSolution(), units.Milliliters(8))
+	pump, fc := testPump(cell)
+
+	pump.SetPort(1)
+	if err := pump.Withdraw(units.Milliliters(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if v := cell.Snapshot().Volume.Milliliters(); math.Abs(v-6.5) > 1e-9 {
+		t.Errorf("cell volume = %v, want 6.5", v)
+	}
+	// Deposit the sample into the fraction collector (the paper's
+	// sample-collection path).
+	pump.SetPort(4)
+	if err := pump.Dispense(units.Milliliters(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := fc.VialAt("BOTTOM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Volume.Milliliters()-1.5) > 1e-9 {
+		t.Errorf("vial volume = %v, want 1.5", v.Volume)
+	}
+	if v.Solution.Analyte.Name != "ferrocene/ferrocenium" {
+		t.Errorf("vial solution = %+v", v.Solution)
+	}
+}
+
+func TestSolventWashPath(t *testing.T) {
+	cell := labstate.DefaultCell()
+	pump, _ := testPump(cell)
+	pump.SetPort(2) // wash bottle
+	pump.Withdraw(units.Milliliters(5))
+	pump.SetPort(1)
+	if err := pump.Dispense(units.Milliliters(5)); err != nil {
+		t.Fatal(err)
+	}
+	s := cell.Snapshot()
+	if s.HasSolution {
+		t.Error("wash solvent flagged as analyte solution")
+	}
+	if s.Solution.Solvent != "acetonitrile" {
+		t.Errorf("solvent = %q", s.Solution.Solvent)
+	}
+}
+
+func TestSyringeHome(t *testing.T) {
+	pump, _ := testPump(labstate.DefaultCell())
+	pump.SetPort(8)
+	pump.Withdraw(units.Milliliters(3))
+	pump.Home()
+	if pump.Volume() != 0 {
+		t.Errorf("volume after Home = %v", pump.Volume())
+	}
+}
+
+func TestFractionCollectorSelectAdvance(t *testing.T) {
+	fc := NewFractionCollector("BOTTOM", "MIDDLE", "TOP")
+	if fc.Selected() != "BOTTOM" {
+		t.Errorf("initial position = %q", fc.Selected())
+	}
+	if err := fc.Select("TOP"); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Selected() != "TOP" {
+		t.Errorf("after Select = %q", fc.Selected())
+	}
+	if next := fc.Advance(); next != "BOTTOM" { // wraps
+		t.Errorf("Advance from TOP = %q, want wrap to BOTTOM", next)
+	}
+	if err := fc.Select("NOWHERE"); err == nil {
+		t.Error("unknown position accepted")
+	}
+	if got := fc.Positions(); len(got) != 3 || got[0] != "BOTTOM" {
+		t.Errorf("Positions = %v", got)
+	}
+}
+
+func TestFractionCollectorDeposit(t *testing.T) {
+	fc := NewFractionCollector()
+	if err := fc.Deposit(echem.FerroceneSolution(), units.Milliliters(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	fc.Deposit(echem.FerroceneSolution(), units.Milliliters(0.25))
+	v, _ := fc.VialAt("BOTTOM")
+	if math.Abs(v.Volume.Milliliters()-0.75) > 1e-9 {
+		t.Errorf("vial volume = %v, want 0.75", v.Volume)
+	}
+	if err := fc.Deposit(echem.FerroceneSolution(), 0); err == nil {
+		t.Error("zero deposit accepted")
+	}
+	if _, err := fc.VialAt("NOWHERE"); err == nil {
+		t.Error("unknown vial accepted")
+	}
+}
+
+func TestFractionCollectorTake(t *testing.T) {
+	fc := NewFractionCollector()
+	fc.Deposit(echem.FerroceneSolution(), units.Milliliters(1.5))
+	v, err := fc.Take("BOTTOM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Volume.Milliliters()-1.5) > 1e-9 {
+		t.Errorf("taken volume = %v", v.Volume)
+	}
+	if v.Solution.Analyte.Name != "ferrocene/ferrocenium" {
+		t.Errorf("taken solution = %+v", v.Solution)
+	}
+	// Vial is empty afterwards.
+	left, _ := fc.VialAt("BOTTOM")
+	if left.Volume != 0 {
+		t.Errorf("vial still holds %v", left.Volume)
+	}
+	if _, err := fc.Take("BOTTOM"); err == nil {
+		t.Error("Take from empty vial accepted")
+	}
+	if _, err := fc.Take("NOWHERE"); err == nil {
+		t.Error("Take from unknown position accepted")
+	}
+}
+
+func TestMFCRangeAndCellCoupling(t *testing.T) {
+	cell := labstate.DefaultCell()
+	mfc := NewMFC(cell, "argon", units.SCCM(500))
+	if err := mfc.SetFlow(units.SCCM(20)); err != nil {
+		t.Fatal(err)
+	}
+	if got := cell.Snapshot().GasFlow.SCCM(); got != 20 {
+		t.Errorf("cell gas flow = %v, want 20", got)
+	}
+	if err := mfc.SetFlow(units.SCCM(600)); err == nil {
+		t.Error("over-range setpoint accepted")
+	}
+	if err := mfc.SetFlow(units.SCCM(-1)); err == nil {
+		t.Error("negative setpoint accepted")
+	}
+	if mfc.Flow().SCCM() != 20 {
+		t.Errorf("setpoint changed by rejected command: %v", mfc.Flow())
+	}
+}
+
+func TestPeristalticPump(t *testing.T) {
+	p := NewPeristalticPump(units.MillilitersPerMinute(0.3), units.MillilitersPerMinute(300))
+	if err := p.SetRate(units.MillilitersPerMinute(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetRate(units.MillilitersPerMinute(0.1)); err == nil {
+		t.Error("under-range rate accepted")
+	}
+	if err := p.SetRate(units.MillilitersPerMinute(400)); err == nil {
+		t.Error("over-range rate accepted")
+	}
+	p.Start()
+	if !p.Running() {
+		t.Error("not running after Start")
+	}
+	p.Stop()
+	if p.Running() {
+		t.Error("running after Stop")
+	}
+	if math.Abs(p.Rate().MillilitersPerMinute()-50) > 1e-9 {
+		t.Errorf("rate = %v", p.Rate())
+	}
+}
+
+func TestTemperatureController(t *testing.T) {
+	cell := labstate.DefaultCell()
+	tc := NewTemperatureController(cell, units.Celsius(-20), units.Celsius(150))
+	if err := tc.SetPoint(units.Celsius(40)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.Read().Celsius(); math.Abs(got-40) > 1e-9 {
+		t.Errorf("Read = %v, want 40", got)
+	}
+	if err := tc.SetPoint(units.Celsius(200)); err == nil {
+		t.Error("over-range setpoint accepted")
+	}
+	if err := tc.SetPoint(units.Celsius(-40)); err == nil {
+		t.Error("under-range setpoint accepted")
+	}
+}
+
+func TestPHProbe(t *testing.T) {
+	cell := labstate.DefaultCell()
+	probe := NewPHProbe(cell)
+	if got := probe.Read(); got != 7.0 {
+		t.Errorf("empty-cell pH = %v, want 7", got)
+	}
+	cell.AddSolution(echem.FerroceneSolution(), units.Milliliters(5))
+	probe.SolutionPH["ferrocene/ferrocenium"] = 6.2
+	if got := probe.Read(); got != 6.2 {
+		t.Errorf("solution pH = %v, want 6.2", got)
+	}
+}

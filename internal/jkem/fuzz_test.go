@@ -1,0 +1,63 @@
+package jkem
+
+import (
+	"testing"
+
+	"ice/internal/labstate"
+)
+
+// FuzzParseRequest ensures arbitrary command lines never panic the
+// parser and that accepted requests re-serialise parseably.
+func FuzzParseRequest(f *testing.F) {
+	for _, seed := range []string{
+		"SYRINGEPUMP_RATE(1,5.000000)",
+		"FRACTIONCOLLECTOR.VIAL(1,BOTTOM)",
+		"STATUS",
+		"STATUS()",
+		"(((",
+		"A(B(C))",
+		"TEMP_READ(1",
+		"",
+		"  lower_case(1 , x )  ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		req, err := ParseRequest(line)
+		if err != nil {
+			return
+		}
+		// Round trip must stay parseable and preserve structure.
+		again, err := ParseRequest(req.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", req.String(), err)
+		}
+		if again.Name != req.Name || len(again.Args) != len(req.Args) {
+			t.Fatalf("round trip changed %q → %q", req.String(), again.String())
+		}
+	})
+}
+
+// FuzzSBCExecute throws arbitrary lines at the firmware dispatcher: it
+// must always answer OK or ERR, never panic or hang.
+func FuzzSBCExecute(f *testing.F) {
+	for _, seed := range []string{
+		"SYRINGEPUMP_RATE(1,5.0)",
+		"SYRINGEPUMP_WITHDRAW(1,1e300)",
+		"MFC_SETFLOW(1,-5)",
+		"PH_READ(999999999999999999999)",
+		"TEMP_SETPOINT(1,NaN)",
+		"FRACTIONCOLLECTOR_VIAL(1,)",
+	} {
+		f.Add(seed)
+	}
+	sbc := DefaultSBC(labstate.DefaultCell())
+	f.Fuzz(func(t *testing.T, line string) {
+		resp := sbc.Execute(line)
+		if ok, _, err := ParseResponse(resp); err != nil {
+			t.Fatalf("Execute(%q) produced malformed response %q", line, resp)
+		} else {
+			_ = ok
+		}
+	})
+}

@@ -1,0 +1,142 @@
+// Package jkem simulates the J-Kem single-board computer (SBC) that
+// fronts the electrochemistry workstation's fluid- and
+// environment-handling instruments: syringe pumps, peristaltic pumps,
+// the mass flow controller, fraction collector, temperature
+// controller, chiller and pH probe.
+//
+// The SBC speaks a line-oriented serial command protocol of the form
+//
+//	SYRINGEPUMP_RATE(1,5.000000)      → OK
+//	FRACTIONCOLLECTOR_VIAL(1,BOTTOM)  → OK
+//	TEMP_READ(1)                      → OK 25.00
+//
+// matching the transcripts in the paper's Fig. 5. Commands mutate a
+// shared labstate.Cell, so filling the cell through this protocol
+// genuinely changes what the potentiostat later measures. The package
+// also provides Client, the typed wrapper API the control agent uses
+// (the Go equivalent of the paper's Python front-end replacement).
+package jkem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Request is a parsed instrument command.
+type Request struct {
+	// Name is the upper-case command name with '.' separators
+	// normalised to '_' (the paper's transcripts show both forms).
+	Name string
+	// Args are the raw argument strings.
+	Args []string
+}
+
+// ParseRequest parses a command line like "SYRINGEPUMP_RATE(1,5.0)".
+// A bare name with no parentheses is accepted as a zero-argument
+// command.
+func ParseRequest(line string) (Request, error) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return Request{}, fmt.Errorf("jkem: empty command")
+	}
+	name := line
+	var args []string
+	if open := strings.IndexByte(line, '('); open >= 0 {
+		if !strings.HasSuffix(line, ")") {
+			return Request{}, fmt.Errorf("jkem: unterminated argument list in %q", line)
+		}
+		name = line[:open]
+		inner := line[open+1 : len(line)-1]
+		if strings.ContainsAny(inner, "()") {
+			return Request{}, fmt.Errorf("jkem: nested parentheses in %q", line)
+		}
+		if strings.TrimSpace(inner) != "" {
+			for _, a := range strings.Split(inner, ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+	}
+	name = strings.ToUpper(strings.TrimSpace(name))
+	name = strings.ReplaceAll(name, ".", "_")
+	if name == "" {
+		return Request{}, fmt.Errorf("jkem: missing command name in %q", line)
+	}
+	return Request{Name: name, Args: args}, nil
+}
+
+// String renders the request back in canonical wire form.
+func (r Request) String() string {
+	if len(r.Args) == 0 {
+		return r.Name + "()"
+	}
+	return r.Name + "(" + strings.Join(r.Args, ",") + ")"
+}
+
+// Int returns argument i as an int.
+func (r Request) Int(i int) (int, error) {
+	s, err := r.arg(i)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("jkem: %s argument %d: %v", r.Name, i, err)
+	}
+	return v, nil
+}
+
+// Float returns argument i as a float64.
+func (r Request) Float(i int) (float64, error) {
+	s, err := r.arg(i)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("jkem: %s argument %d: %v", r.Name, i, err)
+	}
+	return v, nil
+}
+
+// Str returns argument i as a string.
+func (r Request) Str(i int) (string, error) { return r.arg(i) }
+
+func (r Request) arg(i int) (string, error) {
+	if i >= len(r.Args) {
+		return "", fmt.Errorf("jkem: %s needs at least %d arguments, got %d", r.Name, i+1, len(r.Args))
+	}
+	return r.Args[i], nil
+}
+
+// Response codes.
+const (
+	respOK  = "OK"
+	respErr = "ERR"
+)
+
+// OK formats a success response, optionally carrying a value.
+func OK(value string) string {
+	if value == "" {
+		return respOK
+	}
+	return respOK + " " + value
+}
+
+// Err formats an error response.
+func Err(err error) string { return respErr + " " + err.Error() }
+
+// ParseResponse splits a response line into its status and payload.
+func ParseResponse(line string) (ok bool, payload string, err error) {
+	line = strings.TrimSpace(line)
+	switch {
+	case line == respOK:
+		return true, "", nil
+	case strings.HasPrefix(line, respOK+" "):
+		return true, strings.TrimPrefix(line, respOK+" "), nil
+	case strings.HasPrefix(line, respErr):
+		return false, strings.TrimSpace(strings.TrimPrefix(line, respErr)), nil
+	default:
+		return false, "", fmt.Errorf("jkem: malformed response %q", line)
+	}
+}

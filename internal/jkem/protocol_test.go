@@ -1,0 +1,152 @@
+package jkem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRequestBasic(t *testing.T) {
+	req, err := ParseRequest("SYRINGEPUMP_RATE(1,5.000000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Name != "SYRINGEPUMP_RATE" {
+		t.Errorf("Name = %q", req.Name)
+	}
+	if len(req.Args) != 2 || req.Args[0] != "1" || req.Args[1] != "5.000000" {
+		t.Errorf("Args = %v", req.Args)
+	}
+}
+
+func TestParseRequestDotForm(t *testing.T) {
+	// The paper's Fig. 5b shows FRACTIONCOLLECTOR.VIAL(1,BOTTOM).
+	req, err := ParseRequest("FRACTIONCOLLECTOR.VIAL(1,BOTTOM)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Name != "FRACTIONCOLLECTOR_VIAL" {
+		t.Errorf("Name = %q, want dot normalised", req.Name)
+	}
+	if req.Args[1] != "BOTTOM" {
+		t.Errorf("Args = %v", req.Args)
+	}
+}
+
+func TestParseRequestLowercaseAndSpaces(t *testing.T) {
+	req, err := ParseRequest("  temp_read( 1 ) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Name != "TEMP_READ" || req.Args[0] != "1" {
+		t.Errorf("req = %+v", req)
+	}
+}
+
+func TestParseRequestBareName(t *testing.T) {
+	req, err := ParseRequest("STATUS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Name != "STATUS" || len(req.Args) != 0 {
+		t.Errorf("req = %+v", req)
+	}
+}
+
+func TestParseRequestEmptyArgs(t *testing.T) {
+	req, err := ParseRequest("STATUS()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Args) != 0 {
+		t.Errorf("Args = %v, want empty", req.Args)
+	}
+}
+
+func TestParseRequestErrors(t *testing.T) {
+	for _, bad := range []string{"", "   ", "FOO(1", "FOO(1))", "FOO((1)", "(1,2)"} {
+		if _, err := ParseRequest(bad); err == nil {
+			t.Errorf("ParseRequest(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRequestArgAccessors(t *testing.T) {
+	req, _ := ParseRequest("CMD(3,2.5,hello)")
+	if v, err := req.Int(0); err != nil || v != 3 {
+		t.Errorf("Int(0) = %v, %v", v, err)
+	}
+	if v, err := req.Float(1); err != nil || v != 2.5 {
+		t.Errorf("Float(1) = %v, %v", v, err)
+	}
+	if v, err := req.Str(2); err != nil || v != "hello" {
+		t.Errorf("Str(2) = %v, %v", v, err)
+	}
+	if _, err := req.Int(5); err == nil {
+		t.Error("out-of-range arg accepted")
+	}
+	if _, err := req.Int(2); err == nil {
+		t.Error("non-numeric Int accepted")
+	}
+	if _, err := req.Float(2); err == nil {
+		t.Error("non-numeric Float accepted")
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	req, _ := ParseRequest("CMD(1,2)")
+	if req.String() != "CMD(1,2)" {
+		t.Errorf("String() = %q", req.String())
+	}
+	req, _ = ParseRequest("STATUS")
+	if req.String() != "STATUS()" {
+		t.Errorf("String() = %q", req.String())
+	}
+}
+
+func TestResponses(t *testing.T) {
+	if OK("") != "OK" {
+		t.Errorf("OK(\"\") = %q", OK(""))
+	}
+	if OK("5.0") != "OK 5.0" {
+		t.Errorf("OK(5.0) = %q", OK("5.0"))
+	}
+	ok, payload, err := ParseResponse("OK 25.00")
+	if err != nil || !ok || payload != "25.00" {
+		t.Errorf("ParseResponse(OK 25.00) = %v %q %v", ok, payload, err)
+	}
+	ok, payload, err = ParseResponse("ERR no such device")
+	if err != nil || ok || payload != "no such device" {
+		t.Errorf("ParseResponse(ERR...) = %v %q %v", ok, payload, err)
+	}
+	if _, _, err := ParseResponse("WAT"); err == nil {
+		t.Error("malformed response accepted")
+	}
+}
+
+// Property: any command round-trips through String → ParseRequest.
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(nameRaw uint8, argA, argB uint16) bool {
+		name := []string{"SYRINGEPUMP_RATE", "MFC_READ", "TEMP_SETPOINT", "PH_READ"}[nameRaw%4]
+		req := Request{Name: name, Args: []string{
+			"1", strings.TrimSpace(strings.ReplaceAll(string(rune('a'+argA%26)), ",", "")),
+		}}
+		_ = argB
+		parsed, err := ParseRequest(req.String())
+		if err != nil {
+			return false
+		}
+		if parsed.Name != req.Name || len(parsed.Args) != len(req.Args) {
+			return false
+		}
+		for i := range req.Args {
+			if parsed.Args[i] != req.Args[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

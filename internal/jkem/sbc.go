@@ -1,0 +1,441 @@
+package jkem
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"ice/internal/echem"
+	"ice/internal/labstate"
+	"ice/internal/serial"
+	"ice/internal/units"
+)
+
+// SBC is the J-Kem single-board computer: it owns the instrument
+// models and executes the serial command protocol against them.
+type SBC struct {
+	mu sync.Mutex
+	// TimeScale multiplies simulated liquid-motion durations before
+	// sleeping. 0 (the default) executes instantly; 1.0 is real time.
+	TimeScale float64
+
+	cell       *labstate.Cell
+	syringes   map[int]*SyringePump
+	collectors map[int]*FractionCollector
+	mfcs       map[int]*MassFlowController
+	peri       map[int]*PeristalticPump
+	tempCtrl   map[int]*TemperatureController
+	phProbes   map[int]*PHProbe
+
+	// CommandLog records every executed command and its response, the
+	// way the Oakridge Commander GUI panel in Fig. 5b echoes traffic.
+	commandLog []string
+}
+
+// NewSBC returns an SBC controlling the given cell with no instruments
+// attached; use the Attach methods to plumb devices.
+func NewSBC(cell *labstate.Cell) *SBC {
+	return &SBC{
+		cell:       cell,
+		syringes:   make(map[int]*SyringePump),
+		collectors: make(map[int]*FractionCollector),
+		mfcs:       make(map[int]*MassFlowController),
+		peri:       make(map[int]*PeristalticPump),
+		tempCtrl:   make(map[int]*TemperatureController),
+		phProbes:   make(map[int]*PHProbe),
+	}
+}
+
+// DefaultSBC builds the paper's workstation: one syringe pump whose
+// valve reaches the ferrocene stock bottle (port 8), wash solvent
+// (port 2), the cell (port 1), waste (port 3) and the fraction
+// collector (port 4); a three-position fraction collector; an argon
+// MFC; two peristaltic pumps; a temperature controller and pH probe.
+func DefaultSBC(cell *labstate.Cell) *SBC {
+	s := NewSBC(cell)
+	fc := NewFractionCollector("BOTTOM", "MIDDLE", "TOP")
+	stock := &Reservoir{Name: "ferrocene-stock", Solution: ferroceneStock()}
+	wash := &Reservoir{Name: "acetonitrile-wash", Solution: washSolvent(), SolventOnly: true}
+	pump := NewSyringePump(units.Milliliters(10), map[int]Endpoint{
+		1: &CellPort{Cell: cell},
+		2: wash,
+		3: Waste{},
+		4: &CollectorPort{Collector: fc},
+		8: stock,
+	})
+	s.AttachSyringePump(1, pump)
+	s.AttachFractionCollector(1, fc)
+	s.AttachMFC(1, NewMFC(cell, "argon", units.SCCM(500)))
+	s.AttachPeristalticPump(1, NewPeristalticPump(units.MillilitersPerMinute(2.8), units.MillilitersPerMinute(1700)))
+	s.AttachPeristalticPump(2, NewPeristalticPump(units.MillilitersPerMinute(0.30), units.MillilitersPerMinute(300)))
+	s.AttachTemperatureController(1, NewTemperatureController(cell, units.Celsius(-20), units.Celsius(150)))
+	s.AttachPHProbe(1, NewPHProbe(cell))
+	return s
+}
+
+// Attach methods register instruments at protocol addresses.
+
+// AttachSyringePump registers a syringe pump at addr.
+func (s *SBC) AttachSyringePump(addr int, p *SyringePump) {
+	p.moved = s.motionDelay
+	s.syringes[addr] = p
+}
+
+// AttachFractionCollector registers a fraction collector at addr.
+func (s *SBC) AttachFractionCollector(addr int, fc *FractionCollector) { s.collectors[addr] = fc }
+
+// AttachMFC registers a mass flow controller at addr.
+func (s *SBC) AttachMFC(addr int, m *MassFlowController) { s.mfcs[addr] = m }
+
+// AttachPeristalticPump registers a peristaltic pump at addr.
+func (s *SBC) AttachPeristalticPump(addr int, p *PeristalticPump) { s.peri[addr] = p }
+
+// AttachTemperatureController registers a temperature controller at addr.
+func (s *SBC) AttachTemperatureController(addr int, tc *TemperatureController) { s.tempCtrl[addr] = tc }
+
+// AttachPHProbe registers a pH probe at addr.
+func (s *SBC) AttachPHProbe(addr int, p *PHProbe) { s.phProbes[addr] = p }
+
+// Cell returns the cell this SBC's instruments are plumbed to.
+func (s *SBC) Cell() *labstate.Cell { return s.cell }
+
+// Syringe returns the syringe pump at addr, for test inspection.
+func (s *SBC) Syringe(addr int) *SyringePump { return s.syringes[addr] }
+
+// Collector returns the fraction collector at addr.
+func (s *SBC) Collector(addr int) *FractionCollector { return s.collectors[addr] }
+
+// motionDelay sleeps for the scaled duration of a liquid motion.
+func (s *SBC) motionDelay(vol units.Volume, rate units.FlowRate) {
+	if s.TimeScale <= 0 || rate.LitersPerSecond() <= 0 {
+		return
+	}
+	secs := vol.Liters() / rate.LitersPerSecond() * s.TimeScale
+	time.Sleep(time.Duration(secs * float64(time.Second)))
+}
+
+// Execute runs one command line and returns the response line. It
+// never returns transport errors: protocol-level failures are encoded
+// as "ERR ..." responses, as a real firmware would.
+func (s *SBC) Execute(line string) string {
+	resp := s.execute(line)
+	s.mu.Lock()
+	s.commandLog = append(s.commandLog, strings.TrimSpace(line)+" → "+resp)
+	s.mu.Unlock()
+	return resp
+}
+
+// CommandLog returns a copy of the executed-command transcript.
+func (s *SBC) CommandLog() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.commandLog))
+	copy(out, s.commandLog)
+	return out
+}
+
+func (s *SBC) execute(line string) string {
+	req, err := ParseRequest(line)
+	if err != nil {
+		return Err(err)
+	}
+	switch req.Name {
+	case "STATUS":
+		return OK(s.statusSummary())
+
+	// ---- syringe pump ----
+	case "SYRINGEPUMP_RATE":
+		return s.withSyringe(req, func(p *SyringePump) (string, error) {
+			rate, err := req.Float(1)
+			if err != nil {
+				return "", err
+			}
+			return "", p.SetRate(units.MillilitersPerMinute(rate))
+		})
+	case "SYRINGEPUMP_PORT":
+		return s.withSyringe(req, func(p *SyringePump) (string, error) {
+			port, err := req.Int(1)
+			if err != nil {
+				return "", err
+			}
+			return "", p.SetPort(port)
+		})
+	case "SYRINGEPUMP_WITHDRAW":
+		return s.withSyringe(req, func(p *SyringePump) (string, error) {
+			ml, err := req.Float(1)
+			if err != nil {
+				return "", err
+			}
+			return "", p.Withdraw(units.Milliliters(ml))
+		})
+	case "SYRINGEPUMP_DISPENSE":
+		return s.withSyringe(req, func(p *SyringePump) (string, error) {
+			ml, err := req.Float(1)
+			if err != nil {
+				return "", err
+			}
+			return "", p.Dispense(units.Milliliters(ml))
+		})
+	case "SYRINGEPUMP_HOME":
+		return s.withSyringe(req, func(p *SyringePump) (string, error) {
+			p.Home()
+			return "", nil
+		})
+	case "SYRINGEPUMP_STATUS":
+		return s.withSyringe(req, func(p *SyringePump) (string, error) {
+			return fmt.Sprintf("port=%d rate=%.3f volume=%.3f",
+				p.Port(), p.Rate().MillilitersPerMinute(), p.Volume().Milliliters()), nil
+		})
+
+	// ---- fraction collector ----
+	case "FRACTIONCOLLECTOR_VIAL":
+		return s.withCollector(req, func(fc *FractionCollector) (string, error) {
+			pos, err := req.Str(1)
+			if err != nil {
+				return "", err
+			}
+			return "", fc.Select(strings.ToUpper(pos))
+		})
+	case "FRACTIONCOLLECTOR_ADVANCE":
+		return s.withCollector(req, func(fc *FractionCollector) (string, error) {
+			return fc.Advance(), nil
+		})
+	case "FRACTIONCOLLECTOR_POSITION":
+		return s.withCollector(req, func(fc *FractionCollector) (string, error) {
+			return fc.Selected(), nil
+		})
+	case "FRACTIONCOLLECTOR_VOLUME":
+		return s.withCollector(req, func(fc *FractionCollector) (string, error) {
+			pos, err := req.Str(1)
+			if err != nil {
+				return "", err
+			}
+			v, err := fc.VialAt(strings.ToUpper(pos))
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%.3f", v.Volume.Milliliters()), nil
+		})
+
+	// ---- mass flow controller ----
+	case "MFC_SETFLOW":
+		return s.withMFC(req, func(m *MassFlowController) (string, error) {
+			sccm, err := req.Float(1)
+			if err != nil {
+				return "", err
+			}
+			return "", m.SetFlow(units.SCCM(sccm))
+		})
+	case "MFC_READ":
+		return s.withMFC(req, func(m *MassFlowController) (string, error) {
+			return fmt.Sprintf("%.1f", m.Flow().SCCM()), nil
+		})
+
+	// ---- peristaltic pumps ----
+	case "PERIPUMP_RATE":
+		return s.withPeri(req, func(p *PeristalticPump) (string, error) {
+			rate, err := req.Float(1)
+			if err != nil {
+				return "", err
+			}
+			return "", p.SetRate(units.MillilitersPerMinute(rate))
+		})
+	case "PERIPUMP_START":
+		return s.withPeri(req, func(p *PeristalticPump) (string, error) {
+			p.Start()
+			return "", nil
+		})
+	case "PERIPUMP_STOP":
+		return s.withPeri(req, func(p *PeristalticPump) (string, error) {
+			p.Stop()
+			return "", nil
+		})
+
+	// ---- temperature / chiller ----
+	case "TEMP_SETPOINT":
+		return s.withTemp(req, func(tc *TemperatureController) (string, error) {
+			c, err := req.Float(1)
+			if err != nil {
+				return "", err
+			}
+			return "", tc.SetPoint(units.Celsius(c))
+		})
+	case "TEMP_READ":
+		return s.withTemp(req, func(tc *TemperatureController) (string, error) {
+			return fmt.Sprintf("%.2f", tc.Read().Celsius()), nil
+		})
+
+	// ---- stirrer ----
+	case "STIRRER_ON":
+		if _, err := req.Int(0); err != nil {
+			return Err(err)
+		}
+		s.cell.SetStirring(true)
+		return OK("")
+	case "STIRRER_OFF":
+		if _, err := req.Int(0); err != nil {
+			return Err(err)
+		}
+		s.cell.SetStirring(false)
+		return OK("")
+
+	// ---- pH ----
+	case "PH_READ":
+		addr, err := req.Int(0)
+		if err != nil {
+			return Err(err)
+		}
+		probe, ok := s.phProbes[addr]
+		if !ok {
+			return Err(fmt.Errorf("jkem: no pH probe at address %d", addr))
+		}
+		return OK(fmt.Sprintf("%.2f", probe.Read()))
+
+	default:
+		return Err(fmt.Errorf("jkem: unknown command %q", req.Name))
+	}
+}
+
+func (s *SBC) withSyringe(req Request, fn func(*SyringePump) (string, error)) string {
+	addr, err := req.Int(0)
+	if err != nil {
+		return Err(err)
+	}
+	p, ok := s.syringes[addr]
+	if !ok {
+		return Err(fmt.Errorf("jkem: no syringe pump at address %d", addr))
+	}
+	val, err := fn(p)
+	if err != nil {
+		return Err(err)
+	}
+	return OK(val)
+}
+
+func (s *SBC) withCollector(req Request, fn func(*FractionCollector) (string, error)) string {
+	addr, err := req.Int(0)
+	if err != nil {
+		return Err(err)
+	}
+	fc, ok := s.collectors[addr]
+	if !ok {
+		return Err(fmt.Errorf("jkem: no fraction collector at address %d", addr))
+	}
+	val, err := fn(fc)
+	if err != nil {
+		return Err(err)
+	}
+	return OK(val)
+}
+
+func (s *SBC) withMFC(req Request, fn func(*MassFlowController) (string, error)) string {
+	addr, err := req.Int(0)
+	if err != nil {
+		return Err(err)
+	}
+	m, ok := s.mfcs[addr]
+	if !ok {
+		return Err(fmt.Errorf("jkem: no MFC at address %d", addr))
+	}
+	val, err := fn(m)
+	if err != nil {
+		return Err(err)
+	}
+	return OK(val)
+}
+
+func (s *SBC) withPeri(req Request, fn func(*PeristalticPump) (string, error)) string {
+	addr, err := req.Int(0)
+	if err != nil {
+		return Err(err)
+	}
+	p, ok := s.peri[addr]
+	if !ok {
+		return Err(fmt.Errorf("jkem: no peristaltic pump at address %d", addr))
+	}
+	val, err := fn(p)
+	if err != nil {
+		return Err(err)
+	}
+	return OK(val)
+}
+
+func (s *SBC) withTemp(req Request, fn func(*TemperatureController) (string, error)) string {
+	addr, err := req.Int(0)
+	if err != nil {
+		return Err(err)
+	}
+	tc, ok := s.tempCtrl[addr]
+	if !ok {
+		return Err(fmt.Errorf("jkem: no temperature controller at address %d", addr))
+	}
+	val, err := fn(tc)
+	if err != nil {
+		return Err(err)
+	}
+	return OK(val)
+}
+
+// statusSummary renders a deterministic one-line inventory.
+func (s *SBC) statusSummary() string {
+	var parts []string
+	for _, addr := range sortedIntKeys(s.syringes) {
+		p := s.syringes[addr]
+		parts = append(parts, fmt.Sprintf("syringe%d[port=%d ports=%v]", addr, p.Port(), sortedPorts(p.ports)))
+	}
+	for _, addr := range sortedIntKeys(s.collectors) {
+		parts = append(parts, fmt.Sprintf("collector%d[%s]", addr, s.collectors[addr].Selected()))
+	}
+	for _, addr := range sortedIntKeys(s.mfcs) {
+		parts = append(parts, fmt.Sprintf("mfc%d[%.1fsccm]", addr, s.mfcs[addr].Flow().SCCM()))
+	}
+	parts = append(parts, s.cell.String())
+	return strings.Join(parts, " ")
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// insertion sort: maps here have a handful of entries
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Serve processes commands from the serial port until it is closed.
+// Each line is executed and answered with one response line. Run it in
+// its own goroutine, like firmware.
+func (s *SBC) Serve(port serial.Port) error {
+	conn := serial.NewLineConn(port)
+	for {
+		line, err := conn.ReadLine()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if err := conn.WriteLine(s.Execute(line)); err != nil {
+			return err
+		}
+	}
+}
+
+// ferroceneStock is the reservoir solution: the paper's 2 mM ferrocene
+// in acetonitrile with supporting electrolyte.
+func ferroceneStock() echem.Solution { return echem.FerroceneSolution() }
+
+// washSolvent is the pure-acetonitrile wash bottle contents.
+func washSolvent() echem.Solution {
+	return echem.Solution{Solvent: "acetonitrile"}
+}

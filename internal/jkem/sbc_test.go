@@ -1,0 +1,323 @@
+package jkem
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"ice/internal/labstate"
+	"ice/internal/serial"
+	"ice/internal/units"
+)
+
+func TestSBCExecuteFillSequence(t *testing.T) {
+	// The exact command sequence from the paper's Fig. 5.
+	cell := labstate.DefaultCell()
+	sbc := DefaultSBC(cell)
+	seq := []string{
+		"SYRINGEPUMP_RATE(1,5.000000)",
+		"SYRINGEPUMP_PORT(1,8)",
+		"FRACTIONCOLLECTOR.VIAL(1,BOTTOM)",
+		"SYRINGEPUMP_WITHDRAW(1,6.0)",
+		"SYRINGEPUMP_PORT(1,1)",
+		"SYRINGEPUMP_DISPENSE(1,6.0)",
+	}
+	for _, cmd := range seq {
+		if resp := sbc.Execute(cmd); resp != "OK" {
+			t.Fatalf("%s → %s, want OK", cmd, resp)
+		}
+	}
+	s := cell.Snapshot()
+	if math.Abs(s.Volume.Milliliters()-6) > 1e-9 {
+		t.Errorf("cell volume = %v, want 6 mL", s.Volume)
+	}
+	if !s.HasSolution {
+		t.Error("cell has no solution after fill")
+	}
+}
+
+func TestSBCUnknownCommand(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	resp := sbc.Execute("LASER_FIRE(1)")
+	if !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("unknown command → %q, want ERR", resp)
+	}
+}
+
+func TestSBCUnknownAddress(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	for _, cmd := range []string{
+		"SYRINGEPUMP_RATE(9,5)",
+		"FRACTIONCOLLECTOR_VIAL(9,TOP)",
+		"MFC_SETFLOW(9,10)",
+		"PERIPUMP_START(9)",
+		"TEMP_READ(9)",
+		"PH_READ(9)",
+	} {
+		if resp := sbc.Execute(cmd); !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("%s → %q, want ERR", cmd, resp)
+		}
+	}
+}
+
+func TestSBCMalformedArguments(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	for _, cmd := range []string{
+		"SYRINGEPUMP_RATE(1)",      // missing rate
+		"SYRINGEPUMP_RATE(x,5)",    // non-numeric address
+		"SYRINGEPUMP_RATE(1,fast)", // non-numeric rate
+		"MFC_SETFLOW(1)",           // missing flow
+	} {
+		if resp := sbc.Execute(cmd); !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("%s → %q, want ERR", cmd, resp)
+		}
+	}
+}
+
+func TestSBCReads(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	if resp := sbc.Execute("MFC_SETFLOW(1,25)"); resp != "OK" {
+		t.Fatalf("MFC_SETFLOW → %s", resp)
+	}
+	if resp := sbc.Execute("MFC_READ(1)"); resp != "OK 25.0" {
+		t.Errorf("MFC_READ → %q, want OK 25.0", resp)
+	}
+	if resp := sbc.Execute("TEMP_SETPOINT(1,30)"); resp != "OK" {
+		t.Fatalf("TEMP_SETPOINT → %s", resp)
+	}
+	if resp := sbc.Execute("TEMP_READ(1)"); resp != "OK 30.00" {
+		t.Errorf("TEMP_READ → %q, want OK 30.00", resp)
+	}
+	if resp := sbc.Execute("PH_READ(1)"); resp != "OK 7.00" {
+		t.Errorf("PH_READ → %q, want OK 7.00", resp)
+	}
+}
+
+func TestSBCSyringeStatus(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	sbc.Execute("SYRINGEPUMP_PORT(1,8)")
+	sbc.Execute("SYRINGEPUMP_WITHDRAW(1,2.5)")
+	resp := sbc.Execute("SYRINGEPUMP_STATUS(1)")
+	if !strings.Contains(resp, "volume=2.500") || !strings.Contains(resp, "port=8") {
+		t.Errorf("STATUS → %q", resp)
+	}
+}
+
+func TestSBCFractionCollectorCommands(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	if resp := sbc.Execute("FRACTIONCOLLECTOR_VIAL(1,top)"); resp != "OK" {
+		t.Fatalf("VIAL → %s (case-insensitive positions)", resp)
+	}
+	if resp := sbc.Execute("FRACTIONCOLLECTOR_POSITION(1)"); resp != "OK TOP" {
+		t.Errorf("POSITION → %q", resp)
+	}
+	if resp := sbc.Execute("FRACTIONCOLLECTOR_ADVANCE(1)"); resp != "OK BOTTOM" {
+		t.Errorf("ADVANCE → %q (wrap)", resp)
+	}
+	if resp := sbc.Execute("FRACTIONCOLLECTOR_VOLUME(1,BOTTOM)"); resp != "OK 0.000" {
+		t.Errorf("VOLUME → %q", resp)
+	}
+}
+
+func TestSBCStatusSummary(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	resp := sbc.Execute("STATUS")
+	for _, want := range []string{"syringe1", "collector1", "mfc1", "cell["} {
+		if !strings.Contains(resp, want) {
+			t.Errorf("STATUS %q missing %q", resp, want)
+		}
+	}
+}
+
+func TestSBCCommandLog(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	sbc.Execute("STATUS")
+	sbc.Execute("BAD(")
+	log := sbc.CommandLog()
+	if len(log) != 2 {
+		t.Fatalf("log entries = %d, want 2", len(log))
+	}
+	if !strings.Contains(log[0], "STATUS") || !strings.Contains(log[1], "ERR") {
+		t.Errorf("log = %v", log)
+	}
+}
+
+func TestSBCServeOverSerial(t *testing.T) {
+	cell := labstate.DefaultCell()
+	sbc := DefaultSBC(cell)
+	agentPort, sbcPort := serial.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- sbc.Serve(sbcPort) }()
+
+	conn := serial.NewLineConn(agentPort)
+	resp, err := conn.Transact("SYRINGEPUMP_RATE(1,5.000000)", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "OK" {
+		t.Errorf("response = %q", resp)
+	}
+	// Blank lines are ignored, next command still works.
+	agentPort.Write([]byte("\n"))
+	resp, err = conn.Transact("PH_READ(1)", time.Second)
+	if err != nil || resp != "OK 7.00" {
+		t.Errorf("after blank line: %q, %v", resp, err)
+	}
+	agentPort.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not exit after port close")
+	}
+}
+
+func TestSBCSurvivesLineGarbage(t *testing.T) {
+	// A glitching serial line delivers binary garbage between valid
+	// commands; the firmware answers ERR per garbage line and keeps
+	// serving.
+	cell := labstate.DefaultCell()
+	sbc := DefaultSBC(cell)
+	agentPort, sbcPort := serial.Pipe()
+	go sbc.Serve(sbcPort)
+	conn := serial.NewLineConn(agentPort)
+
+	agentPort.Write([]byte{0x00, 0xFF, 0x7F, '\n'})
+	if resp, err := conn.ReadLineTimeout(time.Second); err != nil {
+		t.Fatal(err)
+	} else if !strings.HasPrefix(resp, "ERR") {
+		t.Errorf("garbage answered %q", resp)
+	}
+	// Valid traffic continues.
+	resp, err := conn.Transact("PH_READ(1)", time.Second)
+	if err != nil || resp != "OK 7.00" {
+		t.Errorf("post-garbage command = %q, %v", resp, err)
+	}
+	// A burst of mixed garbage and commands stays in sync.
+	for k := 0; k < 20; k++ {
+		agentPort.Write([]byte{0x01, 0x02, '\n'})
+		if _, err := conn.ReadLineTimeout(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := conn.Transact("MFC_READ(1)", time.Second)
+		if err != nil || !strings.HasPrefix(resp, "OK") {
+			t.Fatalf("iteration %d: %q, %v", k, resp, err)
+		}
+	}
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	cell := labstate.DefaultCell()
+	sbc := DefaultSBC(cell)
+	agentPort, sbcPort := serial.Pipe()
+	go sbc.Serve(sbcPort)
+
+	c := NewClient(agentPort)
+	defer c.Close()
+
+	if err := c.FillCell(1, 8, 1, units.Milliliters(6), units.MillilitersPerMinute(5)); err != nil {
+		t.Fatal(err)
+	}
+	if v := cell.Snapshot().Volume.Milliliters(); math.Abs(v-6) > 1e-9 {
+		t.Errorf("cell volume = %v, want 6", v)
+	}
+
+	if err := c.SetGasFlow(1, units.SCCM(20)); err != nil {
+		t.Fatal(err)
+	}
+	flow, err := c.GasFlow(1)
+	if err != nil || flow.SCCM() != 20 {
+		t.Errorf("GasFlow = %v, %v", flow, err)
+	}
+
+	if err := c.SetTemperature(1, units.Celsius(25)); err != nil {
+		t.Fatal(err)
+	}
+	temp, err := c.Temperature(1)
+	if err != nil || math.Abs(temp.Celsius()-25) > 0.01 {
+		t.Errorf("Temperature = %v, %v", temp, err)
+	}
+
+	ph, err := c.PH(1)
+	if err != nil || ph != 7.0 {
+		t.Errorf("PH = %v, %v", ph, err)
+	}
+
+	if err := c.SelectVial(1, "TOP"); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := c.AdvanceVial(1)
+	if err != nil || pos != "BOTTOM" {
+		t.Errorf("AdvanceVial = %q, %v", pos, err)
+	}
+
+	vol, err := c.SyringeVolume(1)
+	if err != nil || vol != 0 {
+		t.Errorf("SyringeVolume = %v, %v", vol, err)
+	}
+
+	status, err := c.Status()
+	if err != nil || !strings.Contains(status, "syringe1") {
+		t.Errorf("Status = %q, %v", status, err)
+	}
+}
+
+func TestClientErrorSurfacing(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	agentPort, sbcPort := serial.Pipe()
+	go sbc.Serve(sbcPort)
+	c := NewClient(agentPort)
+	defer c.Close()
+
+	if err := c.SetSyringePort(1, 77); err == nil {
+		t.Error("invalid port returned nil error")
+	}
+	// Withdrawing from empty cell.
+	c.SetSyringePort(1, 1)
+	if err := c.Withdraw(1, units.Milliliters(1)); err == nil {
+		t.Error("withdraw from empty cell returned nil error")
+	}
+	// The link still works after errors.
+	if err := c.SetSyringePort(1, 8); err != nil {
+		t.Errorf("link broken after ERR responses: %v", err)
+	}
+}
+
+func TestClientPeristalticCommands(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	agentPort, sbcPort := serial.Pipe()
+	go sbc.Serve(sbcPort)
+	c := NewClient(agentPort)
+	defer c.Close()
+
+	if err := c.SetPeristalticRate(1, units.MillilitersPerMinute(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartPeristaltic(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StopPeristaltic(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPeristalticRate(2, units.MillilitersPerMinute(0.01)); err == nil {
+		t.Error("under-range rate accepted")
+	}
+}
+
+func TestSBCTimeScalePacesMotion(t *testing.T) {
+	cell := labstate.DefaultCell()
+	sbc := DefaultSBC(cell)
+	// 6 mL at 5 mL/min is 72 s real; at TimeScale 0.001 → 72 ms.
+	sbc.TimeScale = 0.001
+	sbc.Execute("SYRINGEPUMP_PORT(1,8)")
+	start := time.Now()
+	if resp := sbc.Execute("SYRINGEPUMP_WITHDRAW(1,6.0)"); resp != "OK" {
+		t.Fatal(resp)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("scaled withdraw took %v, want ≥ ~72ms", elapsed)
+	}
+}

@@ -1,0 +1,247 @@
+// Package labstate models the shared physical state of the
+// electrochemistry workstation: the electrochemical cell with its
+// liquid contents, gas headspace, temperature and electrode
+// connections. The J-Kem instrument models mutate this state (filling,
+// withdrawing, purging, heating) and the potentiostat reads it to
+// derive the cell configuration its physics simulation runs against —
+// so an under-filled cell really does produce the distorted
+// voltammograms the paper's ML method flags.
+package labstate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// Errors returned by cell operations.
+var (
+	// ErrOverflow is returned when adding liquid beyond capacity.
+	ErrOverflow = errors.New("labstate: cell overflow")
+	// ErrUnderflow is returned when withdrawing more than is present.
+	ErrUnderflow = errors.New("labstate: not enough liquid in cell")
+	// ErrEmpty is returned when an operation needs liquid but the cell
+	// is empty.
+	ErrEmpty = errors.New("labstate: cell is empty")
+)
+
+// State is an immutable snapshot of the cell.
+type State struct {
+	// Volume currently in the cell.
+	Volume units.Volume
+	// Capacity of the cell body.
+	Capacity units.Volume
+	// Solution describes the liquid; zero-value when the cell is empty
+	// or holds pure solvent after a wash.
+	Solution echem.Solution
+	// HasSolution reports whether analyte solution is loaded.
+	HasSolution bool
+	// GasFlow is the current purge rate.
+	GasFlow units.GasFlow
+	// Gas names the purge gas.
+	Gas string
+	// Temperature of the cell.
+	Temperature units.Temperature
+	// ElectrodesConnected reports whether the three-electrode stack is
+	// wired to the potentiostat leads.
+	ElectrodesConnected bool
+	// Stirring reports whether the stir bar is on.
+	Stirring bool
+}
+
+// Cell is the electrochemical cell. It is safe for concurrent use —
+// instrument servers run in separate goroutines.
+type Cell struct {
+	mu    sync.Mutex
+	state State
+	// minWorking is the volume below which the working electrode is
+	// only partially immersed.
+	minWorking units.Volume
+}
+
+// NewCell returns a cell with the given capacity and minimum working
+// volume (the immersion threshold for the electrode stack).
+func NewCell(capacity, minWorking units.Volume) *Cell {
+	return &Cell{
+		state: State{
+			Capacity:            capacity,
+			Temperature:         units.Celsius(25),
+			Gas:                 "argon",
+			ElectrodesConnected: true,
+		},
+		minWorking: minWorking,
+	}
+}
+
+// DefaultCell returns the bench cell used in the demonstrations:
+// 20 mL capacity, 5 mL minimum working volume.
+func DefaultCell() *Cell {
+	return NewCell(units.Milliliters(20), units.Milliliters(5))
+}
+
+// Snapshot returns the current state.
+func (c *Cell) Snapshot() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// AddSolution dispenses vol of sol into the cell. Mixing rules are
+// simplified: the incoming solution replaces the identity of the cell
+// contents (the workflows always wash between solutions).
+func (c *Cell) AddSolution(sol echem.Solution, vol units.Volume) error {
+	if vol.Liters() < 0 {
+		return fmt.Errorf("labstate: negative volume %v", vol)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := c.state.Volume.Liters() + vol.Liters()
+	if next > c.state.Capacity.Liters()+1e-12 {
+		return fmt.Errorf("%w: %v + %v exceeds %v", ErrOverflow, c.state.Volume, vol, c.state.Capacity)
+	}
+	c.state.Volume = units.Liters(next)
+	c.state.Solution = sol
+	c.state.HasSolution = true
+	return nil
+}
+
+// AddSolvent dispenses pure solvent (wash liquid): it dilutes the cell
+// to effectively no analyte.
+func (c *Cell) AddSolvent(name string, vol units.Volume) error {
+	if vol.Liters() < 0 {
+		return fmt.Errorf("labstate: negative volume %v", vol)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := c.state.Volume.Liters() + vol.Liters()
+	if next > c.state.Capacity.Liters()+1e-12 {
+		return fmt.Errorf("%w: %v + %v exceeds %v", ErrOverflow, c.state.Volume, vol, c.state.Capacity)
+	}
+	c.state.Volume = units.Liters(next)
+	c.state.Solution = echem.Solution{Solvent: name}
+	c.state.HasSolution = false
+	return nil
+}
+
+// Withdraw removes vol from the cell (to a syringe or fraction vial)
+// and returns the solution it contained.
+func (c *Cell) Withdraw(vol units.Volume) (echem.Solution, error) {
+	if vol.Liters() < 0 {
+		return echem.Solution{}, fmt.Errorf("labstate: negative volume %v", vol)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state.Volume.Liters() <= 0 {
+		return echem.Solution{}, ErrEmpty
+	}
+	if vol.Liters() > c.state.Volume.Liters()+1e-12 {
+		return echem.Solution{}, fmt.Errorf("%w: have %v, want %v", ErrUnderflow, c.state.Volume, vol)
+	}
+	c.state.Volume = units.Liters(c.state.Volume.Liters() - vol.Liters())
+	sol := c.state.Solution
+	if c.state.Volume.Liters() < 1e-12 {
+		c.state.Volume = 0
+		c.state.HasSolution = false
+		c.state.Solution = echem.Solution{}
+	}
+	return sol, nil
+}
+
+// Drain empties the cell completely (waste line).
+func (c *Cell) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state.Volume = 0
+	c.state.HasSolution = false
+	c.state.Solution = echem.Solution{}
+}
+
+// SetGasFlow sets the purge gas and flow rate.
+func (c *Cell) SetGasFlow(gas string, flow units.GasFlow) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state.Gas = gas
+	c.state.GasFlow = flow
+}
+
+// SetTemperature sets the cell temperature (chiller/heater action).
+func (c *Cell) SetTemperature(t units.Temperature) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state.Temperature = t
+}
+
+// SetStirring turns the stir bar on or off.
+func (c *Cell) SetStirring(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state.Stirring = on
+}
+
+// SetElectrodesConnected wires or unwires the electrode stack; used to
+// inject the disconnected-electrode fault.
+func (c *Cell) SetElectrodesConnected(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state.ElectrodesConnected = on
+}
+
+// Filled reports whether the cell holds at least the minimum working
+// volume.
+func (c *Cell) Filled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state.Volume.Liters() >= c.minWorking.Liters()
+}
+
+// MeasurementConfig derives the echem.CellConfig the potentiostat
+// should simulate against, translating physical conditions into fault
+// modes:
+//
+//   - disconnected electrodes → FaultDisconnectedElectrode
+//   - volume below the working minimum → FaultLowVolume
+//   - empty or analyte-free cell → open circuit (nothing to oxidise)
+func (c *Cell) MeasurementConfig(area units.Area, noiseSeed int64) echem.CellConfig {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	cfg := echem.DefaultCell()
+	cfg.ElectrodeArea = area
+	cfg.Temperature = c.state.Temperature
+	cfg.NoiseSeed = noiseSeed
+
+	switch {
+	case !c.state.ElectrodesConnected:
+		cfg.Fault = echem.FaultDisconnectedElectrode
+	case !c.state.HasSolution || c.state.Volume.Liters() <= 0:
+		// No analyte: electrically connected but featureless.
+		cfg.Fault = echem.FaultDisconnectedElectrode
+	case c.state.Volume.Liters() < c.minWorking.Liters():
+		cfg.Solution = c.state.Solution
+		cfg.Fault = echem.FaultLowVolume
+	default:
+		cfg.Solution = c.state.Solution
+	}
+	if c.state.Stirring {
+		// A stirred cell establishes a ~25 µm Nernst diffusion layer:
+		// sweeps become sigmoidal at the convective limiting current.
+		cfg.ConvectionDelta = 25e-6
+	}
+	return cfg
+}
+
+// String renders a one-line status, e.g. for GUI panels.
+func (c *Cell) String() string {
+	s := c.Snapshot()
+	label := "empty"
+	if s.HasSolution {
+		label = s.Solution.String()
+	} else if s.Volume.Liters() > 0 {
+		label = s.Solution.Solvent
+	}
+	return fmt.Sprintf("cell[%v/%v %s, %s %v, %v, electrodes=%t]",
+		s.Volume, s.Capacity, label, s.Gas, s.GasFlow, s.Temperature, s.ElectrodesConnected)
+}

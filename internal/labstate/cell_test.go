@@ -1,0 +1,269 @@
+package labstate
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+func TestAddAndWithdraw(t *testing.T) {
+	c := DefaultCell()
+	sol := echem.FerroceneSolution()
+	if err := c.AddSolution(sol, units.Milliliters(8)); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if math.Abs(s.Volume.Milliliters()-8) > 1e-9 {
+		t.Errorf("volume = %v, want 8 mL", s.Volume)
+	}
+	if !s.HasSolution || s.Solution.Analyte.Name != sol.Analyte.Name {
+		t.Errorf("solution not recorded: %+v", s.Solution)
+	}
+	got, err := c.Withdraw(units.Milliliters(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Analyte.Name != sol.Analyte.Name {
+		t.Errorf("withdrawn solution = %v", got)
+	}
+	if v := c.Snapshot().Volume.Milliliters(); math.Abs(v-5) > 1e-9 {
+		t.Errorf("volume after withdraw = %v, want 5", v)
+	}
+}
+
+func TestOverflowRejected(t *testing.T) {
+	c := NewCell(units.Milliliters(10), units.Milliliters(2))
+	if err := c.AddSolution(echem.FerroceneSolution(), units.Milliliters(11)); !errors.Is(err, ErrOverflow) {
+		t.Errorf("overflow add = %v, want ErrOverflow", err)
+	}
+	// Volume unchanged after rejected add.
+	if v := c.Snapshot().Volume; v != 0 {
+		t.Errorf("volume after rejected add = %v, want 0", v)
+	}
+}
+
+func TestUnderflowAndEmpty(t *testing.T) {
+	c := DefaultCell()
+	if _, err := c.Withdraw(units.Milliliters(1)); !errors.Is(err, ErrEmpty) {
+		t.Errorf("withdraw from empty = %v, want ErrEmpty", err)
+	}
+	c.AddSolution(echem.FerroceneSolution(), units.Milliliters(2))
+	if _, err := c.Withdraw(units.Milliliters(5)); !errors.Is(err, ErrUnderflow) {
+		t.Errorf("over-withdraw = %v, want ErrUnderflow", err)
+	}
+}
+
+func TestNegativeVolumesRejected(t *testing.T) {
+	c := DefaultCell()
+	if err := c.AddSolution(echem.FerroceneSolution(), units.Milliliters(-1)); err == nil {
+		t.Error("negative add accepted")
+	}
+	if err := c.AddSolvent("acetonitrile", units.Milliliters(-1)); err == nil {
+		t.Error("negative solvent add accepted")
+	}
+	c.AddSolution(echem.FerroceneSolution(), units.Milliliters(5))
+	if _, err := c.Withdraw(units.Milliliters(-1)); err == nil {
+		t.Error("negative withdraw accepted")
+	}
+}
+
+func TestWithdrawToEmptyClearsSolution(t *testing.T) {
+	c := DefaultCell()
+	c.AddSolution(echem.FerroceneSolution(), units.Milliliters(2))
+	if _, err := c.Withdraw(units.Milliliters(2)); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.HasSolution || s.Volume != 0 {
+		t.Errorf("cell not empty after full withdraw: %+v", s)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	c := DefaultCell()
+	c.AddSolution(echem.FerroceneSolution(), units.Milliliters(7))
+	c.Drain()
+	s := c.Snapshot()
+	if s.Volume != 0 || s.HasSolution {
+		t.Errorf("drain left %+v", s)
+	}
+}
+
+func TestSolventWashClearsAnalyte(t *testing.T) {
+	c := DefaultCell()
+	c.AddSolution(echem.FerroceneSolution(), units.Milliliters(3))
+	c.Drain()
+	if err := c.AddSolvent("acetonitrile", units.Milliliters(5)); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.HasSolution {
+		t.Error("solvent wash should not count as analyte solution")
+	}
+	if s.Solution.Solvent != "acetonitrile" {
+		t.Errorf("solvent = %q", s.Solution.Solvent)
+	}
+}
+
+func TestFilledThreshold(t *testing.T) {
+	c := NewCell(units.Milliliters(20), units.Milliliters(5))
+	c.AddSolution(echem.FerroceneSolution(), units.Milliliters(4.9))
+	if c.Filled() {
+		t.Error("4.9 mL reported filled with 5 mL minimum")
+	}
+	c.AddSolution(echem.FerroceneSolution(), units.Milliliters(0.2))
+	if !c.Filled() {
+		t.Error("5.1 mL reported not filled")
+	}
+}
+
+func TestGasTemperatureStirring(t *testing.T) {
+	c := DefaultCell()
+	c.SetGasFlow("argon", units.SCCM(20))
+	c.SetTemperature(units.Celsius(30))
+	c.SetStirring(true)
+	s := c.Snapshot()
+	if s.Gas != "argon" || s.GasFlow.SCCM() != 20 {
+		t.Errorf("gas state = %q %v", s.Gas, s.GasFlow)
+	}
+	if math.Abs(s.Temperature.Celsius()-30) > 1e-9 {
+		t.Errorf("temperature = %v", s.Temperature)
+	}
+	if !s.Stirring {
+		t.Error("stirring not set")
+	}
+}
+
+func TestMeasurementConfigNormal(t *testing.T) {
+	c := DefaultCell()
+	c.AddSolution(echem.FerroceneSolution(), units.Milliliters(8))
+	cfg := c.MeasurementConfig(units.SquareCentimeters(0.07), 7)
+	if cfg.Fault != echem.FaultNone {
+		t.Errorf("fault = %v, want none", cfg.Fault)
+	}
+	if cfg.Solution.Analyte.Name != "ferrocene/ferrocenium" {
+		t.Errorf("solution = %v", cfg.Solution)
+	}
+	if cfg.NoiseSeed != 7 {
+		t.Errorf("seed = %d", cfg.NoiseSeed)
+	}
+}
+
+func TestMeasurementConfigLowVolume(t *testing.T) {
+	c := DefaultCell()
+	c.AddSolution(echem.FerroceneSolution(), units.Milliliters(2))
+	cfg := c.MeasurementConfig(units.SquareCentimeters(0.07), 1)
+	if cfg.Fault != echem.FaultLowVolume {
+		t.Errorf("fault = %v, want low-volume", cfg.Fault)
+	}
+}
+
+func TestMeasurementConfigDisconnected(t *testing.T) {
+	c := DefaultCell()
+	c.AddSolution(echem.FerroceneSolution(), units.Milliliters(8))
+	c.SetElectrodesConnected(false)
+	cfg := c.MeasurementConfig(units.SquareCentimeters(0.07), 1)
+	if cfg.Fault != echem.FaultDisconnectedElectrode {
+		t.Errorf("fault = %v, want disconnected", cfg.Fault)
+	}
+}
+
+func TestMeasurementConfigEmptyCell(t *testing.T) {
+	c := DefaultCell()
+	cfg := c.MeasurementConfig(units.SquareCentimeters(0.07), 1)
+	if cfg.Fault != echem.FaultDisconnectedElectrode {
+		t.Errorf("empty cell fault = %v, want open-circuit behaviour", cfg.Fault)
+	}
+	// Solvent-only cell is also featureless.
+	c.AddSolvent("acetonitrile", units.Milliliters(8))
+	cfg = c.MeasurementConfig(units.SquareCentimeters(0.07), 1)
+	if cfg.Fault != echem.FaultDisconnectedElectrode {
+		t.Errorf("solvent-only fault = %v", cfg.Fault)
+	}
+}
+
+func TestCellStringVariants(t *testing.T) {
+	c := DefaultCell()
+	if s := c.String(); s == "" {
+		t.Error("empty-cell String is empty")
+	}
+	c.AddSolution(echem.FerroceneSolution(), units.Milliliters(8))
+	if s := c.String(); s == "" {
+		t.Error("filled-cell String is empty")
+	}
+}
+
+func TestConcurrentAccessIsSafe(t *testing.T) {
+	c := NewCell(units.Liters(1), units.Milliliters(5))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.AddSolution(echem.FerroceneSolution(), units.Microliters(10))
+				c.Withdraw(units.Microliters(10))
+				c.Snapshot()
+				c.Filled()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: volume accounting balances — after any sequence of valid
+// adds and withdraws, volume equals the running sum.
+func TestVolumeAccountingProperty(t *testing.T) {
+	f := func(ops []int8) bool {
+		c := NewCell(units.Milliliters(100), units.Milliliters(5))
+		want := 0.0
+		for _, op := range ops {
+			ml := float64(op%10) / 2 // -4.5..4.5 mL
+			if ml >= 0 {
+				if err := c.AddSolution(echem.FerroceneSolution(), units.Milliliters(ml)); err == nil {
+					want += ml
+				}
+			} else {
+				if _, err := c.Withdraw(units.Milliliters(-ml)); err == nil {
+					want += ml
+				}
+			}
+			if want < 1e-9 && c.Snapshot().Volume.Liters() < 1e-12 {
+				want = math.Max(want, 0)
+			}
+		}
+		got := c.Snapshot().Volume.Milliliters()
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: volume never goes negative or above capacity.
+func TestVolumeBoundsProperty(t *testing.T) {
+	f := func(ops []int8) bool {
+		c := NewCell(units.Milliliters(50), units.Milliliters(5))
+		for _, op := range ops {
+			ml := float64(op) / 4
+			if ml >= 0 {
+				c.AddSolution(echem.FerroceneSolution(), units.Milliliters(ml))
+			} else {
+				c.Withdraw(units.Milliliters(-ml))
+			}
+			v := c.Snapshot().Volume.Milliliters()
+			if v < 0 || v > 50+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkGPRFit measures conditioning on 90 points (the feature
+// pipeline's subsample size).
+func BenchmarkGPRFit(b *testing.B) {
+	x := make([]float64, 90)
+	y := make([]float64, 90)
+	for i := range x {
+		x[i] = float64(i) / 90
+		y[i] = math.Sin(6 * x[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGPR(0.1, 1, 1e-4)
+		if err := g.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPRPredict measures posterior evaluation on the feature
+// grid.
+func BenchmarkGPRPredict(b *testing.B) {
+	x := make([]float64, 90)
+	y := make([]float64, 90)
+	for i := range x {
+		x[i] = float64(i) / 90
+		y[i] = math.Sin(6 * x[i])
+	}
+	g := NewGPR(0.1, 1, 1e-4)
+	if err := g.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	grid := make([]float64, FeatureGridPoints)
+	for i := range grid {
+		grid[i] = float64(i) / FeatureGridPoints
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.Predict(grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeFit measures CART training on a 300×50 dataset.
+func BenchmarkTreeFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([][]float64, 300)
+	y := make([]int, 300)
+	for i := range x {
+		row := make([]float64, 50)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		if row[3] > 0.5 {
+			y[i] = 1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := &Tree{MaxDepth: 8, MinLeaf: 1}
+		if err := t.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnsemblePredict measures a 30-tree vote.
+func BenchmarkEnsemblePredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([][]float64, 200)
+	y := make([]int, 200)
+	for i := range x {
+		row := make([]float64, 49)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		if row[0] > 0.5 {
+			y[i] = 1
+		}
+	}
+	e := &Ensemble{Trees: 30, MaxDepth: 8, Seed: 1}
+	if err := e.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Predict(x[i%len(x)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCholesky measures the 90×90 kernel factorisation at the
+// heart of the GPR.
+func BenchmarkCholesky(b *testing.B) {
+	n := 90
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := float64(i-j) / 10
+			m.Set(i, j, math.Exp(-0.5*d*d))
+		}
+	}
+	m.AddDiagonal(1e-4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Cholesky(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// CrossValidate runs k-fold cross-validation of the ensemble
+// hyperparameters over a dataset, returning per-fold accuracies and
+// their mean. Folds are assigned round-robin so class balance is
+// preserved without shuffling.
+func CrossValidate(ds *Dataset, folds int, template Ensemble) (accuracies []float64, mean float64, err error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, 0, fmt.Errorf("ml: cross-validation over empty dataset")
+	}
+	if folds < 2 || folds > ds.Len() {
+		return nil, 0, fmt.Errorf("ml: folds must lie in [2, %d], got %d", ds.Len(), folds)
+	}
+	accuracies = make([]float64, folds)
+	for f := 0; f < folds; f++ {
+		train := &Dataset{}
+		test := &Dataset{}
+		for i := range ds.X {
+			if i%folds == f {
+				test.Append(ds.X[i], ds.Y[i])
+			} else {
+				train.Append(ds.X[i], ds.Y[i])
+			}
+		}
+		clf := template // copy hyperparameters
+		clf.Seed = template.Seed + int64(f)*101
+		if err := clf.Fit(train.X, train.Y); err != nil {
+			return nil, 0, fmt.Errorf("ml: fold %d: %w", f, err)
+		}
+		acc, err := Accuracy(&clf, test.X, test.Y)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ml: fold %d: %w", f, err)
+		}
+		accuracies[f] = acc
+		mean += acc
+	}
+	mean /= float64(folds)
+	return accuracies, mean, nil
+}
+
+// StdDev returns the sample standard deviation of values.
+func StdDev(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	m := sum / float64(len(values))
+	var sum2 float64
+	for _, v := range values {
+		d := v - m
+		sum2 += d * d
+	}
+	return math.Sqrt(sum2 / float64(len(values)-1))
+}

@@ -1,0 +1,83 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// separableDataset builds an easy 2-class problem.
+func separableDataset(n int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{}
+	for i := 0; i < n; i++ {
+		v := rng.Float64()*2 - 1
+		label := 0
+		if v > 0 {
+			label = 1
+		}
+		ds.Append([]float64{v, rng.Float64()}, label)
+	}
+	return ds
+}
+
+func TestCrossValidateSeparableProblem(t *testing.T) {
+	ds := separableDataset(200, 1)
+	accs, mean, err := CrossValidate(ds, 5, Ensemble{Trees: 10, MaxDepth: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 5 {
+		t.Fatalf("folds = %d", len(accs))
+	}
+	if mean < 0.9 {
+		t.Errorf("mean CV accuracy = %v on a separable problem", mean)
+	}
+	for f, a := range accs {
+		if a < 0.7 {
+			t.Errorf("fold %d accuracy = %v", f, a)
+		}
+	}
+}
+
+func TestCrossValidateOnVoltammograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a dataset")
+	}
+	ds, err := Generate(GenerateConfig{PerClass: 10, Samples: 250, BaseSeed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs, mean, err := CrossValidate(ds, 5, Ensemble{Trees: 20, MaxDepth: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < 0.85 {
+		t.Errorf("CV accuracy on voltammograms = %v", mean)
+	}
+	if sd := StdDev(accs); sd > 0.25 {
+		t.Errorf("fold accuracy spread = %v, suspiciously unstable", sd)
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	if _, _, err := CrossValidate(nil, 5, Ensemble{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	ds := separableDataset(10, 1)
+	if _, _, err := CrossValidate(ds, 1, Ensemble{}); err == nil {
+		t.Error("single fold accepted")
+	}
+	if _, _, err := CrossValidate(ds, 11, Ensemble{}); err == nil {
+		t.Error("more folds than samples accepted")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %v, want ≈ 2.138 (sample)", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single value StdDev != 0")
+	}
+}

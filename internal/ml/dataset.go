@@ -1,0 +1,166 @@
+package ml
+
+import (
+	"fmt"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// Class labels for the normality classifier, matching the conditions
+// the paper's demonstration distinguishes.
+const (
+	// ClassNormal is a healthy experiment.
+	ClassNormal = 0
+	// ClassDisconnected is the disconnected-electrode condition.
+	ClassDisconnected = 1
+	// ClassLowVolume is the under-filled-cell condition.
+	ClassLowVolume = 2
+	// NumClasses is the class count.
+	NumClasses = 3
+)
+
+// ClassName names a label.
+func ClassName(c int) string {
+	switch c {
+	case ClassNormal:
+		return "normal"
+	case ClassDisconnected:
+		return "abnormal/disconnected-electrode"
+	case ClassLowVolume:
+		return "abnormal/low-volume"
+	default:
+		return fmt.Sprintf("class(%d)", c)
+	}
+}
+
+// ClassOfFault maps a simulation fault to its label.
+func ClassOfFault(f echem.Fault) int {
+	switch f {
+	case echem.FaultDisconnectedElectrode:
+		return ClassDisconnected
+	case echem.FaultLowVolume:
+		return ClassLowVolume
+	default:
+		return ClassNormal
+	}
+}
+
+// Dataset is a labelled feature set.
+type Dataset struct {
+	// X holds one feature vector per sample.
+	X [][]float64
+	// Y holds the class labels.
+	Y []int
+}
+
+// Append adds one sample.
+func (d *Dataset) Append(features []float64, label int) {
+	d.X = append(d.X, features)
+	d.Y = append(d.Y, label)
+}
+
+// Len returns the sample count.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Split partitions the dataset round-robin into train and test sets
+// with the given test fraction denominator (every k-th sample goes to
+// test). Round-robin keeps class balance without needing a shuffle.
+func (d *Dataset) Split(k int) (train, test *Dataset) {
+	if k < 2 {
+		k = 5
+	}
+	train, test = &Dataset{}, &Dataset{}
+	for i := range d.X {
+		if i%k == 0 {
+			test.Append(d.X[i], d.Y[i])
+		} else {
+			train.Append(d.X[i], d.Y[i])
+		}
+	}
+	return train, test
+}
+
+// GenerateConfig controls synthetic dataset generation.
+type GenerateConfig struct {
+	// PerClass is the number of runs simulated per class.
+	PerClass int
+	// Samples per voltammogram.
+	Samples int
+	// BaseSeed feeds per-run noise seeds.
+	BaseSeed int64
+	// Program is the CV program to run; zero value selects the paper's
+	// demonstration program.
+	Program echem.CVProgram
+}
+
+// Generate simulates labelled voltammograms across the three classes
+// with varied noise seeds and slight concentration jitter, extracting
+// features for each — the training corpus for the EOT classifier.
+func Generate(cfg GenerateConfig) (*Dataset, error) {
+	if cfg.PerClass <= 0 {
+		cfg.PerClass = 20
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 400
+	}
+	prog := cfg.Program
+	if prog.Rate == 0 {
+		prog = echem.CVProgram{
+			Ei: echem.FerroceneSolution().Analyte.FormalPotential - 0.35,
+			E1: echem.FerroceneSolution().Analyte.FormalPotential + 0.40,
+			E2: echem.FerroceneSolution().Analyte.FormalPotential - 0.35,
+			Ef: echem.FerroceneSolution().Analyte.FormalPotential - 0.35,
+		}
+		prog.Rate = 0.05
+		prog.Cycles = 1
+	}
+	w, err := prog.Waveform()
+	if err != nil {
+		return nil, err
+	}
+
+	ds := &Dataset{}
+	faults := []echem.Fault{echem.FaultNone, echem.FaultDisconnectedElectrode, echem.FaultLowVolume}
+	for fi, fault := range faults {
+		for r := 0; r < cfg.PerClass; r++ {
+			cell := echem.DefaultCell()
+			cell.Fault = fault
+			cell.NoiseSeed = cfg.BaseSeed + int64(fi*10_000+r*13+1)
+			// ±15% concentration jitter so the classifier cannot just
+			// memorise one current scale.
+			jitter := 1 + 0.15*float64(r%7-3)/3
+			cell.Solution.Concentration = units.Concentration(cell.Solution.Concentration.Molar() * jitter)
+			vg, err := echem.Simulate(cell, w, cfg.Samples)
+			if err != nil {
+				return nil, fmt.Errorf("ml: generate %v run %d: %w", fault, r, err)
+			}
+			feats, err := Features(vg.Potentials(), vg.Currents())
+			if err != nil {
+				return nil, fmt.Errorf("ml: features for %v run %d: %w", fault, r, err)
+			}
+			ds.Append(feats, ClassOfFault(fault))
+		}
+	}
+	return ds, nil
+}
+
+// TrainNormalityClassifier generates a dataset and trains the EOT
+// classifier on it, returning the classifier and its held-out
+// accuracy — the complete pipeline of the paper's §4.3.3.
+func TrainNormalityClassifier(cfg GenerateConfig) (*Ensemble, float64, error) {
+	ds, err := Generate(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	train, test := ds.Split(5)
+	clf := &Ensemble{Trees: 30, MaxDepth: 8, MinLeaf: 1, Seed: cfg.BaseSeed + 99}
+	if err := clf.Fit(train.X, train.Y); err != nil {
+		return nil, 0, err
+	}
+	acc, err := Accuracy(clf, test.X, test.Y)
+	if err != nil {
+		return nil, 0, err
+	}
+	return clf, acc, nil
+}

@@ -1,0 +1,165 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// FeatureGridPoints is the number of GPR-resampled points per sweep
+// direction in the feature vector.
+const FeatureGridPoints = 20
+
+// maxGPRPoints caps the GPR training size; sweeps are subsampled to
+// keep the O(n³) solve fast.
+const maxGPRPoints = 90
+
+// Features converts an I-V measurement (potential and current arrays
+// in acquisition order) into a fixed-length feature vector, following
+// the GPR-based scheme of the paper's ref [11]:
+//
+//   - the sweep is split at its potential apex into forward and
+//     reverse branches;
+//   - a GPR smooths each branch and is resampled on a uniform
+//     potential grid (normalised by the overall current scale);
+//   - scalar shape features are appended: log current scale, peak
+//     currents and potentials, peak separation, enclosed charge proxy,
+//     GPR residual RMS (noise level) and the potential drift range.
+func Features(potential, current []float64) ([]float64, error) {
+	n := len(potential)
+	if n != len(current) {
+		return nil, fmt.Errorf("ml: %d potentials vs %d currents", n, len(current))
+	}
+	if n < 8 {
+		return nil, fmt.Errorf("ml: need at least 8 samples, got %d", n)
+	}
+
+	// Split at the apex of the potential program.
+	apex := 0
+	for i, e := range potential {
+		if e > potential[apex] {
+			apex = i
+		}
+	}
+	if apex < 2 {
+		apex = n / 2
+	}
+	fwdE, fwdI := potential[:apex+1], current[:apex+1]
+	revE, revI := potential[apex:], current[apex:]
+
+	// Current scale for normalisation.
+	scale := 0.0
+	for _, i := range current {
+		if a := math.Abs(i); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1e-12
+	}
+
+	lo, hi := minMax(potential)
+	span := hi - lo
+	if span <= 0 {
+		span = 1e-3
+	}
+	grid := make([]float64, FeatureGridPoints)
+	for i := range grid {
+		grid[i] = lo + span*float64(i)/float64(FeatureGridPoints-1)
+	}
+
+	gprLength := span / 10
+
+	fwdMean, fwdRes, err := smoothBranch(fwdE, fwdI, grid, gprLength, scale)
+	if err != nil {
+		return nil, err
+	}
+	revMean, revRes, err := smoothBranch(revE, revI, grid, gprLength, scale)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scalar shape features.
+	ipa, epa := -math.MaxFloat64, 0.0
+	ipc, epc := math.MaxFloat64, 0.0
+	for i := range current {
+		if current[i] > ipa {
+			ipa, epa = current[i], potential[i]
+		}
+		if current[i] < ipc {
+			ipc, epc = current[i], potential[i]
+		}
+	}
+	var charge float64
+	for i := 1; i < n; i++ {
+		charge += math.Abs(current[i]) * math.Abs(potential[i]-potential[i-1])
+	}
+
+	features := make([]float64, 0, 2*FeatureGridPoints+9)
+	features = append(features, fwdMean...)
+	features = append(features, revMean...)
+	features = append(features,
+		math.Log10(scale), // overall current magnitude
+		ipa/scale,         // normalised anodic peak
+		ipc/scale,         // normalised cathodic peak
+		epa,               // anodic peak potential
+		epc,               // cathodic peak potential
+		epa-epc,           // peak separation
+		charge/scale,      // normalised swept charge proxy
+		(fwdRes+revRes)/2, // GPR residual RMS (noise level)
+		span,              // potential range actually observed
+	)
+	return features, nil
+}
+
+// smoothBranch fits a GPR to one sweep branch (subsampled) and returns
+// the normalised posterior mean on the grid plus the normalised
+// residual RMS.
+func smoothBranch(e, i []float64, grid []float64, length, scale float64) ([]float64, float64, error) {
+	se, si := subsample(e, i, maxGPRPoints)
+	norm := make([]float64, len(si))
+	for k, v := range si {
+		norm[k] = v / scale
+	}
+	g := NewGPR(length, 1.0, 1e-4)
+	if err := g.Fit(se, norm); err != nil {
+		return nil, 0, err
+	}
+	mean, err := g.Mean(grid)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := g.ResidualRMS(se, norm)
+	if err != nil {
+		return nil, 0, err
+	}
+	return mean, res, nil
+}
+
+// subsample uniformly thins paired arrays to at most max points.
+func subsample(a, b []float64, max int) ([]float64, []float64) {
+	n := len(a)
+	if n <= max {
+		return a, b
+	}
+	oa := make([]float64, max)
+	ob := make([]float64, max)
+	for i := 0; i < max; i++ {
+		j := i * (n - 1) / (max - 1)
+		oa[i] = a[j]
+		ob[i] = b[j]
+	}
+	return oa, ob
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,210 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// simulateClass produces one voltammogram of the given fault class.
+func simulateClass(t *testing.T, fault echem.Fault, seed int64) *echem.Voltammogram {
+	t.Helper()
+	cfg := echem.DefaultCell()
+	cfg.Fault = fault
+	cfg.NoiseSeed = seed
+	prog := echem.CVProgram{
+		Ei: units.Volts(0.05), E1: units.Volts(0.8), E2: units.Volts(0.05), Ef: units.Volts(0.05),
+		Rate: units.MillivoltsPerSecond(50), Cycles: 1,
+	}
+	w, err := prog.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := echem.Simulate(cfg, w, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vg
+}
+
+func TestFeaturesShapeAndDeterminism(t *testing.T) {
+	vg := simulateClass(t, echem.FaultNone, 1)
+	f1, err := Features(vg.Potentials(), vg.Currents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*FeatureGridPoints + 9
+	if len(f1) != want {
+		t.Fatalf("feature length = %d, want %d", len(f1), want)
+	}
+	f2, err := Features(vg.Potentials(), vg.Currents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("features not deterministic at %d", i)
+		}
+	}
+	for i, v := range f1 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("feature %d = %v", i, v)
+		}
+	}
+}
+
+func TestFeaturesValidation(t *testing.T) {
+	if _, err := Features([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Features([]float64{1, 2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("too-short input accepted")
+	}
+}
+
+func TestFeaturesSeparateClasses(t *testing.T) {
+	// The scalar current-magnitude feature alone must separate
+	// disconnected (noise-scale) from normal (µA-scale) runs.
+	normal := simulateClass(t, echem.FaultNone, 1)
+	disc := simulateClass(t, echem.FaultDisconnectedElectrode, 2)
+	low := simulateClass(t, echem.FaultLowVolume, 3)
+
+	fn, err := Features(normal.Potentials(), normal.Currents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := Features(disc.Potentials(), disc.Currents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := Features(low.Potentials(), low.Currents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaleIdx := 2 * FeatureGridPoints // log10 current scale
+	if fn[scaleIdx] <= fd[scaleIdx]+2 {
+		t.Errorf("normal log-scale %v not ≫ disconnected %v", fn[scaleIdx], fd[scaleIdx])
+	}
+	if fl[scaleIdx] >= fn[scaleIdx] {
+		t.Errorf("low-volume log-scale %v not below normal %v", fl[scaleIdx], fn[scaleIdx])
+	}
+}
+
+func TestFeaturesHandleFlatSignal(t *testing.T) {
+	// All-zero current (ideal open circuit) must not divide by zero.
+	e := make([]float64, 50)
+	i := make([]float64, 50)
+	for k := range e {
+		e[k] = float64(k) / 50
+	}
+	f, err := Features(e, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("feature %d = %v on flat signal", idx, v)
+		}
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	a := make([]float64, 1000)
+	b := make([]float64, 1000)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(-i)
+	}
+	sa, sb := subsample(a, b, 90)
+	if len(sa) != 90 || len(sb) != 90 {
+		t.Fatalf("subsample lengths = %d, %d", len(sa), len(sb))
+	}
+	if sa[0] != 0 || sa[89] != 999 {
+		t.Errorf("endpoints = %v, %v", sa[0], sa[89])
+	}
+	// Pairing preserved.
+	for i := range sa {
+		if sa[i] != -sb[i] {
+			t.Fatalf("pairing broken at %d", i)
+		}
+	}
+	// Short inputs pass through.
+	sa, _ = subsample(a[:10], b[:10], 90)
+	if len(sa) != 10 {
+		t.Errorf("short input resampled to %d", len(sa))
+	}
+}
+
+func TestEndToEndClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training pipeline is slow")
+	}
+	clf, acc, err := TrainNormalityClassifier(GenerateConfig{
+		PerClass: 12, Samples: 300, BaseSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Errorf("held-out accuracy = %v, want ≥ 0.8 (chance = 0.33)", acc)
+	}
+	// Classify fresh, unseen runs of each class.
+	for _, tc := range []struct {
+		fault echem.Fault
+		want  int
+	}{
+		{echem.FaultNone, ClassNormal},
+		{echem.FaultDisconnectedElectrode, ClassDisconnected},
+		{echem.FaultLowVolume, ClassLowVolume},
+	} {
+		vg := simulateClass(t, tc.fault, 987_000+int64(tc.want))
+		f, err := Features(vg.Potentials(), vg.Currents())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := clf.Predict(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("fresh %v classified as %s, want %s",
+				tc.fault, ClassName(got), ClassName(tc.want))
+		}
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	ds := &Dataset{}
+	for i := 0; i < 10; i++ {
+		ds.Append([]float64{float64(i)}, i%2)
+	}
+	train, test := ds.Split(5)
+	if train.Len() != 8 || test.Len() != 2 {
+		t.Errorf("split = %d/%d, want 8/2", train.Len(), test.Len())
+	}
+	// Degenerate k falls back to 5.
+	train, test = ds.Split(0)
+	if train.Len()+test.Len() != 10 {
+		t.Error("split lost samples")
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	if ClassName(ClassNormal) != "normal" {
+		t.Error("normal name wrong")
+	}
+	if ClassName(ClassDisconnected) == ClassName(ClassLowVolume) {
+		t.Error("class names collide")
+	}
+	if ClassName(42) != "class(42)" {
+		t.Errorf("unknown class = %q", ClassName(42))
+	}
+	if ClassOfFault(echem.FaultNone) != ClassNormal ||
+		ClassOfFault(echem.FaultDisconnectedElectrode) != ClassDisconnected ||
+		ClassOfFault(echem.FaultLowVolume) != ClassLowVolume ||
+		ClassOfFault(echem.FaultNoisyContact) != ClassNormal {
+		t.Error("fault → class mapping wrong")
+	}
+}

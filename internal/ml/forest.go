@@ -1,0 +1,190 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Ensemble is the EOT (ensemble-of-trees) classifier: bagged CART
+// trees with per-tree feature subsampling and majority voting.
+type Ensemble struct {
+	// Trees is the ensemble size; zero selects 25.
+	Trees int
+	// MaxDepth and MinLeaf are per-tree limits.
+	MaxDepth int
+	MinLeaf  int
+	// FeatureFraction of features each tree may split on; zero selects
+	// sqrt(d)/d.
+	FeatureFraction float64
+	// Seed makes training deterministic.
+	Seed int64
+
+	members []*Tree
+	classes int
+}
+
+// Fit trains the ensemble on samples X with labels y.
+func (e *Ensemble) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("ml: ensemble fit with %d samples and %d labels", len(x), len(y))
+	}
+	nTrees := e.Trees
+	if nTrees <= 0 {
+		nTrees = 25
+	}
+	d := len(x[0])
+	frac := e.FeatureFraction
+	if frac <= 0 {
+		frac = math.Sqrt(float64(d)) / float64(d)
+	}
+	nFeat := int(math.Ceil(frac * float64(d)))
+	if nFeat < 1 {
+		nFeat = 1
+	}
+	if nFeat > d {
+		nFeat = d
+	}
+	maxClass := 0
+	for _, c := range y {
+		if c > maxClass {
+			maxClass = c
+		}
+	}
+	e.classes = maxClass + 1
+
+	rng := rand.New(rand.NewSource(e.Seed + 1))
+	e.members = make([]*Tree, 0, nTrees)
+	n := len(x)
+	for t := 0; t < nTrees; t++ {
+		// Bootstrap sample.
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		// Feature subset.
+		perm := rng.Perm(d)
+		feats := append([]int(nil), perm[:nFeat]...)
+		tree := &Tree{MaxDepth: e.MaxDepth, MinLeaf: e.MinLeaf, Features: feats}
+		if err := tree.Fit(bx, by); err != nil {
+			return fmt.Errorf("ml: tree %d: %w", t, err)
+		}
+		e.members = append(e.members, tree)
+	}
+	return nil
+}
+
+// Predict classifies one sample by majority vote.
+func (e *Ensemble) Predict(sample []float64) (int, error) {
+	votes, err := e.Votes(sample)
+	if err != nil {
+		return 0, err
+	}
+	best, bestN := 0, -1
+	for c, n := range votes {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best, nil
+}
+
+// Votes returns the per-class vote counts for one sample.
+func (e *Ensemble) Votes(sample []float64) ([]int, error) {
+	if len(e.members) == 0 {
+		return nil, fmt.Errorf("ml: ensemble predict before fit")
+	}
+	votes := make([]int, e.classes)
+	for _, t := range e.members {
+		c, err := t.Predict(sample)
+		if err != nil {
+			return nil, err
+		}
+		if c < len(votes) {
+			votes[c]++
+		}
+	}
+	return votes, nil
+}
+
+// Size returns the number of trained trees.
+func (e *Ensemble) Size() int { return len(e.members) }
+
+// FeatureImportance returns the fraction of ensemble split nodes using
+// each feature (normalised to sum to 1), a quick interpretability
+// readout: which parts of the I-V signature the normality check
+// actually relies on.
+func (e *Ensemble) FeatureImportance(features int) ([]float64, error) {
+	if len(e.members) == 0 {
+		return nil, fmt.Errorf("ml: feature importance before fit")
+	}
+	if features < 1 {
+		return nil, fmt.Errorf("ml: features must be positive, got %d", features)
+	}
+	counts := make([]float64, features)
+	total := 0.0
+	for _, t := range e.members {
+		countSplits(t.root, counts, &total)
+	}
+	if total > 0 {
+		for i := range counts {
+			counts[i] /= total
+		}
+	}
+	return counts, nil
+}
+
+func countSplits(n *treeNode, counts []float64, total *float64) {
+	if n == nil || n.isLeaf {
+		return
+	}
+	if n.feature < len(counts) {
+		counts[n.feature]++
+		*total++
+	}
+	countSplits(n.left, counts, total)
+	countSplits(n.right, counts, total)
+}
+
+// Accuracy scores the classifier on a labelled set.
+func Accuracy(clf interface {
+	Predict([]float64) (int, error)
+}, x [][]float64, y []int) (float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, fmt.Errorf("ml: accuracy over %d samples and %d labels", len(x), len(y))
+	}
+	correct := 0
+	for i := range x {
+		c, err := clf.Predict(x[i])
+		if err != nil {
+			return 0, err
+		}
+		if c == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x)), nil
+}
+
+// ConfusionMatrix returns counts[m][n] of true class m predicted as n.
+func ConfusionMatrix(clf interface {
+	Predict([]float64) (int, error)
+}, x [][]float64, y []int, classes int) ([][]int, error) {
+	cm := make([][]int, classes)
+	for i := range cm {
+		cm[i] = make([]int, classes)
+	}
+	for i := range x {
+		c, err := clf.Predict(x[i])
+		if err != nil {
+			return nil, err
+		}
+		if y[i] < classes && c < classes {
+			cm[y[i]][c]++
+		}
+	}
+	return cm, nil
+}

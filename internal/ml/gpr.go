@@ -1,0 +1,118 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// GPR is a Gaussian-process regressor with a squared-exponential (RBF)
+// kernel, used to smooth noisy I-V sweeps into denoised curves and
+// residual statistics.
+type GPR struct {
+	// LengthScale of the RBF kernel, in input units.
+	LengthScale float64
+	// SignalVariance is the kernel amplitude σf².
+	SignalVariance float64
+	// NoiseVariance is the observation noise σn².
+	NoiseVariance float64
+
+	x     []float64
+	alpha []float64
+	chol  *Matrix
+}
+
+// NewGPR returns a regressor with the given hyperparameters.
+func NewGPR(lengthScale, signalVariance, noiseVariance float64) *GPR {
+	return &GPR{LengthScale: lengthScale, SignalVariance: signalVariance, NoiseVariance: noiseVariance}
+}
+
+// kernel is the RBF covariance.
+func (g *GPR) kernel(a, b float64) float64 {
+	d := (a - b) / g.LengthScale
+	return g.SignalVariance * math.Exp(-0.5*d*d)
+}
+
+// Fit conditions the GP on observations (x, y). Inputs are copied.
+func (g *GPR) Fit(x, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("ml: GPR fit with %d inputs and %d targets", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return fmt.Errorf("ml: GPR fit with no data")
+	}
+	if g.LengthScale <= 0 || g.SignalVariance <= 0 || g.NoiseVariance < 0 {
+		return fmt.Errorf("ml: GPR hyperparameters must be positive (noise ≥ 0)")
+	}
+	n := len(x)
+	k := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := g.kernel(x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	k.AddDiagonal(g.NoiseVariance)
+	l, err := k.Cholesky()
+	if err != nil {
+		return err
+	}
+	alpha, err := SolveCholesky(l, y)
+	if err != nil {
+		return err
+	}
+	g.x = append([]float64(nil), x...)
+	g.alpha = alpha
+	g.chol = l
+	return nil
+}
+
+// Predict returns the posterior mean and variance at each query point.
+func (g *GPR) Predict(xs []float64) (mean, variance []float64, err error) {
+	if g.chol == nil {
+		return nil, nil, fmt.Errorf("ml: GPR predict before fit")
+	}
+	n := len(g.x)
+	mean = make([]float64, len(xs))
+	variance = make([]float64, len(xs))
+	ks := make([]float64, n)
+	for q, xq := range xs {
+		for i, xi := range g.x {
+			ks[i] = g.kernel(xq, xi)
+		}
+		mean[q] = Dot(ks, g.alpha)
+		v, err := ForwardSolve(g.chol, ks)
+		if err != nil {
+			return nil, nil, err
+		}
+		variance[q] = g.kernel(xq, xq) - Dot(v, v)
+		if variance[q] < 0 {
+			variance[q] = 0
+		}
+	}
+	return mean, variance, nil
+}
+
+// Mean is Predict returning only the posterior mean.
+func (g *GPR) Mean(xs []float64) ([]float64, error) {
+	m, _, err := g.Predict(xs)
+	return m, err
+}
+
+// ResidualRMS returns the RMS of (y − posterior mean) at the training
+// inputs — an estimate of the observation noise actually present.
+func (g *GPR) ResidualRMS(x, y []float64) (float64, error) {
+	m, err := g.Mean(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(m) != len(y) {
+		return 0, fmt.Errorf("ml: residual length mismatch")
+	}
+	var sum2 float64
+	for i := range y {
+		d := y[i] - m[i]
+		sum2 += d * d
+	}
+	return math.Sqrt(sum2 / float64(len(y))), nil
+}

@@ -1,0 +1,111 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGPRInterpolatesSmoothFunction(t *testing.T) {
+	// Fit y = sin(x) on a coarse grid; predict between knots.
+	var xs, ys []float64
+	for x := 0.0; x <= 6.3; x += 0.3 {
+		xs = append(xs, x)
+		ys = append(ys, math.Sin(x))
+	}
+	g := NewGPR(1.0, 1.0, 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	queries := []float64{0.45, 1.55, 3.14, 5.0}
+	mean, variance, err := g.Predict(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		if math.Abs(mean[i]-math.Sin(q)) > 0.02 {
+			t.Errorf("mean(%v) = %v, want ≈ %v", q, mean[i], math.Sin(q))
+		}
+		if variance[i] < 0 {
+			t.Errorf("variance(%v) = %v negative", q, variance[i])
+		}
+	}
+}
+
+func TestGPRDenoises(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for x := 0.0; x <= 1.0; x += 0.02 {
+		xs = append(xs, x)
+		ys = append(ys, 3*x*x+rng.NormFloat64()*0.05)
+	}
+	g := NewGPR(0.2, 1.0, 0.05*0.05)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	mean, err := g.Mean([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean[0]-0.75) > 0.05 {
+		t.Errorf("denoised mean(0.5) = %v, want ≈ 0.75", mean[0])
+	}
+	// Residual RMS should be near the injected noise level.
+	rms, err := g.ResidualRMS(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms < 0.02 || rms > 0.1 {
+		t.Errorf("residual RMS = %v, want ≈ 0.05", rms)
+	}
+}
+
+func TestGPRVarianceGrowsAwayFromData(t *testing.T) {
+	g := NewGPR(0.5, 1.0, 1e-6)
+	if err := g.Fit([]float64{0, 0.5, 1}, []float64{0, 0.5, 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, v, err := g.Predict([]float64{0.5, 5.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] >= v[1] {
+		t.Errorf("variance at data %v not below variance far away %v", v[0], v[1])
+	}
+	// Far from data the posterior reverts toward the prior variance.
+	if v[1] < 0.9 {
+		t.Errorf("far-field variance = %v, want ≈ prior 1.0", v[1])
+	}
+}
+
+func TestGPRValidation(t *testing.T) {
+	g := NewGPR(1, 1, 0)
+	if err := g.Fit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := g.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, _, err := g.Predict([]float64{0}); err == nil {
+		t.Error("predict before fit accepted")
+	}
+	bad := NewGPR(-1, 1, 0)
+	if err := bad.Fit([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("negative length scale accepted")
+	}
+}
+
+func TestGPRHandlesDuplicateInputs(t *testing.T) {
+	// Duplicate x values make the kernel singular without jitter.
+	g := NewGPR(1, 1, 0)
+	if err := g.Fit([]float64{1, 1, 2}, []float64{3, 3, 5}); err != nil {
+		t.Fatalf("duplicate-input fit failed: %v", err)
+	}
+	mean, err := g.Mean([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean[0]-3) > 0.2 {
+		t.Errorf("mean at duplicated point = %v, want ≈ 3", mean[0])
+	}
+}

@@ -1,0 +1,194 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Error("Set/At broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases data")
+	}
+}
+
+func TestMatrixNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0,1) did not panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(3, 2)
+	// a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		a.Data[i] = v
+	}
+	for i, v := range []float64{7, 8, 9, 10, 11, 12} {
+		b.Data[i] = v
+	}
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Errorf("c[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+	if _, err := b.Mul(b); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, 2, 3, 4})
+	got, err := m.MulVec([]float64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 17 || got[1] != 39 {
+		t.Errorf("MulVec = %v", got)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCholeskyKnownMatrix(t *testing.T) {
+	// A = [4 2; 2 3] → L = [2 0; 1 sqrt(2)]
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{4, 2, 2, 3})
+	l, err := a.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(l.At(1, 1)-math.Sqrt2) > 1e-12 || l.At(0, 1) != 0 {
+		t.Errorf("L = %v", l.Data)
+	}
+}
+
+func TestCholeskyRejectsNonSquareAndIndefinite(t *testing.T) {
+	if _, err := NewMatrix(2, 3).Cholesky(); err == nil {
+		t.Error("non-square accepted")
+	}
+	neg := NewMatrix(2, 2)
+	copy(neg.Data, []float64{-1, 0, 0, -1})
+	if _, err := neg.Cholesky(); err == nil {
+		t.Error("negative-definite matrix accepted")
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	// Solve A x = b for A = [4 2; 2 3], b = [10, 9] → x = [1.5, 2].
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{4, 2, 2, 3})
+	l, err := a.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := SolveCholesky(l, []float64{10, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.5) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+	if _, err := SolveCholesky(l, []float64{1}); err == nil {
+		t.Error("bad RHS length accepted")
+	}
+}
+
+func TestAddDiagonal(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddDiagonal(3)
+	if m.At(0, 0) != 3 || m.At(1, 1) != 3 || m.At(0, 1) != 0 {
+		t.Errorf("AddDiagonal result = %v", m.Data)
+	}
+}
+
+func TestForwardSolve(t *testing.T) {
+	l := NewMatrix(2, 2)
+	copy(l.Data, []float64{2, 0, 1, 3})
+	y, err := ForwardSolve(l, []float64{4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-2) > 1e-12 || math.Abs(y[1]-5.0/3) > 1e-12 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot broken")
+	}
+}
+
+// Property: Cholesky solve inverts SPD systems built as MᵀM + I.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seedVals []float64) bool {
+		if len(seedVals) < 9 {
+			return true
+		}
+		n := 3
+		base := NewMatrix(n, n)
+		for i := 0; i < n*n; i++ {
+			v := seedVals[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			base.Data[i] = math.Mod(v, 10)
+		}
+		// A = baseᵀ·base + I is SPD.
+		bt := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				bt.Set(i, j, base.At(j, i))
+			}
+		}
+		a, err := bt.Mul(base)
+		if err != nil {
+			return false
+		}
+		a.AddDiagonal(1)
+		l, err := a.Cholesky()
+		if err != nil {
+			return false
+		}
+		b := []float64{1, -2, 3}
+		x, err := SolveCholesky(l, b)
+		if err != nil {
+			return false
+		}
+		// Check A·x ≈ b.
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

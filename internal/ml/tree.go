@@ -1,0 +1,203 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// treeNode is one node of a CART classification tree.
+type treeNode struct {
+	// leaf fields
+	isLeaf bool
+	class  int
+	// split fields
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+}
+
+// Tree is a CART decision-tree classifier using Gini-impurity splits.
+type Tree struct {
+	// MaxDepth bounds tree depth (≥ 1).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (≥ 1).
+	MinLeaf int
+	// Features optionally restricts candidate split features (used by
+	// the bagged ensemble); nil means all.
+	Features []int
+
+	root    *treeNode
+	classes int
+}
+
+// FitTree trains a tree on samples X (rows) with labels y.
+func (t *Tree) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("ml: tree fit with %d samples and %d labels", len(x), len(y))
+	}
+	if t.MaxDepth < 1 {
+		t.MaxDepth = 8
+	}
+	if t.MinLeaf < 1 {
+		t.MinLeaf = 1
+	}
+	maxClass := 0
+	for _, c := range y {
+		if c < 0 {
+			return fmt.Errorf("ml: negative class label %d", c)
+		}
+		if c > maxClass {
+			maxClass = c
+		}
+	}
+	t.classes = maxClass + 1
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(x, y, idx, 0)
+	return nil
+}
+
+// majority returns the most frequent class among idx.
+func (t *Tree) majority(y []int, idx []int) int {
+	counts := make([]int, t.classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// gini computes the Gini impurity of the label multiset at idx.
+func (t *Tree) gini(y []int, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	counts := make([]int, t.classes)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	g := 1.0
+	n := float64(len(idx))
+	for _, c := range counts {
+		p := float64(c) / n
+		g -= p * p
+	}
+	return g
+}
+
+func (t *Tree) build(x [][]float64, y []int, idx []int, depth int) *treeNode {
+	if depth >= t.MaxDepth || len(idx) < 2*t.MinLeaf || t.gini(y, idx) == 0 {
+		return &treeNode{isLeaf: true, class: t.majority(y, idx)}
+	}
+
+	features := t.Features
+	if features == nil {
+		features = make([]int, len(x[0]))
+		for i := range features {
+			features[i] = i
+		}
+	}
+
+	// Accept zero-gain splits (bestGain starts below zero): problems
+	// like XOR only become separable after a gain-free first cut.
+	bestGain := -1.0
+	bestFeat := -1
+	bestThresh := 0.0
+	parentGini := t.gini(y, idx)
+
+	vals := make([]float64, 0, len(idx))
+	for _, f := range features {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, x[i][f])
+		}
+		sort.Float64s(vals)
+		for k := 0; k+1 < len(vals); k++ {
+			if vals[k] == vals[k+1] {
+				continue
+			}
+			thresh := (vals[k] + vals[k+1]) / 2
+			var left, right []int
+			for _, i := range idx {
+				if x[i][f] <= thresh {
+					left = append(left, i)
+				} else {
+					right = append(right, i)
+				}
+			}
+			if len(left) < t.MinLeaf || len(right) < t.MinLeaf {
+				continue
+			}
+			n := float64(len(idx))
+			gain := parentGini -
+				float64(len(left))/n*t.gini(y, left) -
+				float64(len(right))/n*t.gini(y, right)
+			if gain > bestGain+1e-12 {
+				bestGain, bestFeat, bestThresh = gain, f, thresh
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{isLeaf: true, class: t.majority(y, idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &treeNode{
+		feature:   bestFeat,
+		threshold: bestThresh,
+		left:      t.build(x, y, left, depth+1),
+		right:     t.build(x, y, right, depth+1),
+	}
+}
+
+// Predict classifies one sample.
+func (t *Tree) Predict(sample []float64) (int, error) {
+	if t.root == nil {
+		return 0, fmt.Errorf("ml: tree predict before fit")
+	}
+	node := t.root
+	for !node.isLeaf {
+		if node.feature >= len(sample) {
+			return 0, fmt.Errorf("ml: sample has %d features, tree needs %d", len(sample), node.feature+1)
+		}
+		v := sample[node.feature]
+		if math.IsNaN(v) {
+			v = 0
+		}
+		if v <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.class, nil
+}
+
+// Depth returns the trained tree's depth, for diagnostics.
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.isLeaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

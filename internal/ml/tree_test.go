@@ -1,0 +1,256 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// axisDataset builds a linearly separable 2-class problem on feature 0.
+func axisDataset(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		v := rng.Float64()*2 - 1
+		x[i] = []float64{v, rng.Float64()}
+		if v > 0 {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func TestTreeLearnsAxisSplit(t *testing.T) {
+	x, y := axisDataset(200, 1)
+	tree := &Tree{MaxDepth: 3, MinLeaf: 1}
+	if err := tree.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(tree, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Errorf("training accuracy = %v on a separable problem", acc)
+	}
+	// Generalises to fresh points.
+	if c, _ := tree.Predict([]float64{0.9, 0.5}); c != 1 {
+		t.Error("Predict(0.9) != 1")
+	}
+	if c, _ := tree.Predict([]float64{-0.9, 0.5}); c != 0 {
+		t.Error("Predict(-0.9) != 0")
+	}
+}
+
+func TestTreeXORNeedsDepth(t *testing.T) {
+	// XOR of two binary features: depth 1 cannot solve, depth 2 can.
+	var x [][]float64
+	var y []int
+	for i := 0; i < 4; i++ {
+		for rep := 0; rep < 5; rep++ {
+			a, b := float64(i&1), float64(i>>1)
+			x = append(x, []float64{a, b})
+			if (i&1)^(i>>1) == 1 {
+				y = append(y, 1)
+			} else {
+				y = append(y, 0)
+			}
+		}
+	}
+	shallow := &Tree{MaxDepth: 1, MinLeaf: 1}
+	shallow.Fit(x, y)
+	accShallow, _ := Accuracy(shallow, x, y)
+	deep := &Tree{MaxDepth: 3, MinLeaf: 1}
+	deep.Fit(x, y)
+	accDeep, _ := Accuracy(deep, x, y)
+	if accDeep != 1 {
+		t.Errorf("depth-3 XOR accuracy = %v, want 1", accDeep)
+	}
+	if accShallow > accDeep {
+		t.Errorf("shallow %v beats deep %v on XOR", accShallow, accDeep)
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	tree := &Tree{}
+	if err := tree.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if err := tree.Fit([][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := tree.Fit([][]float64{{1}}, []int{-1}); err == nil {
+		t.Error("negative label accepted")
+	}
+	if _, err := (&Tree{}).Predict([]float64{1}); err == nil {
+		t.Error("predict before fit accepted")
+	}
+}
+
+func TestTreePureNodeShortCircuits(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	tree := &Tree{MaxDepth: 5, MinLeaf: 1}
+	if err := tree.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 {
+		t.Errorf("pure dataset grew depth %d", tree.Depth())
+	}
+	if c, _ := tree.Predict([]float64{99}); c != 1 {
+		t.Error("pure-class prediction wrong")
+	}
+}
+
+func TestTreeMinLeafRespected(t *testing.T) {
+	x, y := axisDataset(50, 2)
+	tree := &Tree{MaxDepth: 10, MinLeaf: 25}
+	if err := tree.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf half the data, at most one split is possible.
+	if d := tree.Depth(); d > 1 {
+		t.Errorf("depth = %d with MinLeaf 25 over 50 samples", d)
+	}
+}
+
+func TestTreeFeatureRestriction(t *testing.T) {
+	// Class depends only on feature 0; restrict the tree to feature 1
+	// and it must do poorly.
+	x, y := axisDataset(200, 3)
+	restricted := &Tree{MaxDepth: 4, MinLeaf: 1, Features: []int{1}}
+	if err := restricted.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := Accuracy(restricted, x, y)
+	if acc > 0.8 {
+		t.Errorf("feature-blind tree accuracy = %v, should be near chance", acc)
+	}
+}
+
+func TestEnsembleBeatsChanceAndIsDeterministic(t *testing.T) {
+	x, y := axisDataset(300, 4)
+	e1 := &Ensemble{Trees: 15, MaxDepth: 4, Seed: 42}
+	if err := e1.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(e1, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("ensemble accuracy = %v", acc)
+	}
+	if e1.Size() != 15 {
+		t.Errorf("Size = %d", e1.Size())
+	}
+	// Same seed → same predictions.
+	e2 := &Ensemble{Trees: 15, MaxDepth: 4, Seed: 42}
+	e2.Fit(x, y)
+	for i := 0; i < 50; i++ {
+		a, _ := e1.Predict(x[i])
+		b, _ := e2.Predict(x[i])
+		if a != b {
+			t.Fatalf("seeded ensembles disagree at %d", i)
+		}
+	}
+}
+
+func TestEnsembleVotes(t *testing.T) {
+	x, y := axisDataset(100, 5)
+	e := &Ensemble{Trees: 9, MaxDepth: 3, Seed: 1}
+	if err := e.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	votes, err := e.Votes([]float64{0.9, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range votes {
+		total += v
+	}
+	if total != 9 {
+		t.Errorf("votes sum to %d, want 9", total)
+	}
+	if votes[1] <= votes[0] {
+		t.Errorf("votes = %v for a clear class-1 point", votes)
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	e := &Ensemble{}
+	if err := e.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, err := e.Predict([]float64{1}); err == nil {
+		t.Error("predict before fit accepted")
+	}
+	if _, err := Accuracy(e, nil, nil); err == nil {
+		t.Error("empty accuracy accepted")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	x, y := axisDataset(200, 6)
+	e := &Ensemble{Trees: 15, MaxDepth: 4, Seed: 3}
+	e.Fit(x, y)
+	cm, err := ConfusionMatrix(e, x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := cm[0][0] + cm[0][1] + cm[1][0] + cm[1][1]
+	if total != 200 {
+		t.Errorf("confusion matrix total = %d", total)
+	}
+	if cm[0][0] < cm[0][1] || cm[1][1] < cm[1][0] {
+		t.Errorf("diagonal not dominant: %v", cm)
+	}
+}
+
+func TestFeatureImportanceFindsTheSignal(t *testing.T) {
+	// Class depends only on feature 0; feature 1 is noise. Importance
+	// must concentrate on feature 0.
+	x, y := axisDataset(300, 11)
+	e := &Ensemble{Trees: 20, MaxDepth: 4, Seed: 5, FeatureFraction: 1}
+	if err := e.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := e.FeatureImportance(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 2 {
+		t.Fatalf("importance length = %d", len(imp))
+	}
+	sum := imp[0] + imp[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("importances sum to %v", sum)
+	}
+	if imp[0] < 0.6 {
+		t.Errorf("signal feature importance = %v, want dominant", imp[0])
+	}
+	if _, err := e.FeatureImportance(0); err == nil {
+		t.Error("zero features accepted")
+	}
+	if _, err := (&Ensemble{}).FeatureImportance(2); err == nil {
+		t.Error("unfit ensemble accepted")
+	}
+}
+
+// Property: tree predictions are always one of the training classes.
+func TestTreePredictionInRangeProperty(t *testing.T) {
+	x, y := axisDataset(100, 7)
+	tree := &Tree{MaxDepth: 6, MinLeaf: 1}
+	if err := tree.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		c, err := tree.Predict([]float64{a, b})
+		return err == nil && (c == 0 || c == 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

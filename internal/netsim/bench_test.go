@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkDialAcrossGateways measures connection setup over the
+// Fig. 4 two-gateway path (includes routing and firewall checks).
+func BenchmarkDialAcrossGateways(b *testing.B) {
+	n, err := PaperTopology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := n.Listen(HostControlAgent, PaperPorts.Control)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := n.Dial(HostDGX, HostControlAgent+":9690")
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn.Close()
+	}
+}
+
+// BenchmarkShapedTransfer measures a 64 KiB payload across the shaped
+// cross-facility path.
+func BenchmarkShapedTransfer(b *testing.B) {
+	n, err := PaperTopology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := n.Listen(HostControlAgent, PaperPorts.Data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(io.Discard, conn)
+				conn.Close()
+			}()
+		}
+	}()
+	conn, err := n.Dial(HostDGX, HostControlAgent+":4450")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	payload := make([]byte, 64*1024)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,520 @@
+// Package netsim simulates the paper's cross-facility network fabric:
+// dedicated hub networks at the science facility, a gateway computer
+// bridging them to the site network, and the computing facility's own
+// network — with per-hub latency and bandwidth, per-host ingress
+// firewalls, and reachability determined by gateway routing (Fig. 1
+// and Fig. 4 of the paper).
+//
+// Hosts obtain real net.Listener / net.Conn values, so the pyro RPC
+// layer and the data channel run over the simulation unchanged:
+//
+//	n := netsim.New()
+//	n.AddHub("acl-hub", 200*time.Microsecond, 1e9/8)
+//	n.AddHub("site", time.Millisecond, 10e9/8)
+//	n.AddHost("control-agent", "acl-hub")
+//	n.AddGateway("gateway", "acl-hub", "site")
+//	n.AddHost("dgx", "site")
+//	l, _ := n.Listen("control-agent", 9690)
+//	conn, _ := n.Dial("dgx", "control-agent:9690")
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by network operations.
+var (
+	// ErrNoRoute is returned when no gateway path joins two hosts.
+	ErrNoRoute = errors.New("netsim: no route between hosts")
+	// ErrFirewalled is returned when the destination firewall drops
+	// the ingress connection.
+	ErrFirewalled = errors.New("netsim: connection blocked by firewall")
+	// ErrRefused is returned when nothing listens on the target port.
+	ErrRefused = errors.New("netsim: connection refused")
+	// ErrHubDown is returned when a hub on the path is down.
+	ErrHubDown = errors.New("netsim: hub is down")
+)
+
+// hub is one broadcast domain with link characteristics.
+type hub struct {
+	name string
+	// latency is the one-way traversal delay.
+	latency time.Duration
+	// jitter is the uniform ± variation applied per write.
+	jitter time.Duration
+	// bandwidth in bytes/second; 0 = unlimited.
+	bandwidth float64
+	down      bool
+
+	mu       sync.Mutex
+	bytesFwd int64
+	rngState uint64
+}
+
+// jitterSample draws a uniform value in [-jitter, +jitter] from a
+// cheap per-hub xorshift generator.
+func (h *hub) jitterSample() time.Duration {
+	if h.jitter <= 0 {
+		return 0
+	}
+	h.mu.Lock()
+	if h.rngState == 0 {
+		h.rngState = 0x9E3779B97F4A7C15
+	}
+	h.rngState ^= h.rngState << 13
+	h.rngState ^= h.rngState >> 7
+	h.rngState ^= h.rngState << 17
+	r := h.rngState
+	h.mu.Unlock()
+	span := int64(2*h.jitter) + 1
+	return time.Duration(int64(r%uint64(span))) - h.jitter
+}
+
+// Firewall filters ingress connections to a host by destination port.
+type Firewall struct {
+	mu sync.Mutex
+	// defaultDeny blocks ports not explicitly allowed.
+	defaultDeny bool
+	allowed     map[int]bool
+}
+
+// SetDefaultDeny switches the firewall to default-deny ingress (the
+// posture lab workstations start from; the paper opens specific TCP
+// ports).
+func (f *Firewall) SetDefaultDeny(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.defaultDeny = on
+}
+
+// Allow opens ingress TCP ports.
+func (f *Firewall) Allow(ports ...int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.allowed == nil {
+		f.allowed = make(map[int]bool)
+	}
+	for _, p := range ports {
+		f.allowed[p] = true
+	}
+}
+
+// Revoke closes previously allowed ports.
+func (f *Firewall) Revoke(ports ...int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, p := range ports {
+		delete(f.allowed, p)
+	}
+}
+
+// permits reports whether ingress to port is allowed.
+func (f *Firewall) permits(port int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.defaultDeny {
+		return true
+	}
+	return f.allowed[port]
+}
+
+// host is a named machine attached to one or more hubs.
+type host struct {
+	name      string
+	hubs      []string
+	firewall  Firewall
+	mu        sync.Mutex
+	listeners map[int]*listener
+}
+
+// Network is the simulated fabric.
+type Network struct {
+	mu    sync.Mutex
+	hubs  map[string]*hub
+	hosts map[string]*host
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{hubs: make(map[string]*hub), hosts: make(map[string]*host)}
+}
+
+// AddHub creates a hub with the given one-way latency and bandwidth in
+// bytes/second (0 = unlimited).
+func (n *Network) AddHub(name string, latency time.Duration, bandwidth float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hubs[name]; dup {
+		return fmt.Errorf("netsim: hub %q already exists", name)
+	}
+	n.hubs[name] = &hub{name: name, latency: latency, bandwidth: bandwidth}
+	return nil
+}
+
+// AddHost attaches a single-homed host to a hub.
+func (n *Network) AddHost(name, hubName string) error {
+	return n.addHost(name, hubName)
+}
+
+// AddGateway attaches a multi-homed host to two or more hubs; it
+// forwards traffic between them (the paper's gateway computer).
+func (n *Network) AddGateway(name string, hubNames ...string) error {
+	if len(hubNames) < 2 {
+		return fmt.Errorf("netsim: gateway %q needs at least two hubs", name)
+	}
+	return n.addHost(name, hubNames...)
+}
+
+func (n *Network) addHost(name string, hubNames ...string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[name]; dup {
+		return fmt.Errorf("netsim: host %q already exists", name)
+	}
+	for _, h := range hubNames {
+		if _, ok := n.hubs[h]; !ok {
+			return fmt.Errorf("netsim: unknown hub %q", h)
+		}
+	}
+	n.hosts[name] = &host{name: name, hubs: hubNames, listeners: make(map[int]*listener)}
+	return nil
+}
+
+// FirewallOf returns a host's firewall for policy configuration.
+func (n *Network) FirewallOf(hostName string) (*Firewall, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[hostName]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown host %q", hostName)
+	}
+	return &h.firewall, nil
+}
+
+// SetHubJitter sets a hub's uniform ± latency variation, applied per
+// write on connections traversing it.
+func (n *Network) SetHubJitter(hubName string, jitter time.Duration) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hubs[hubName]
+	if !ok {
+		return fmt.Errorf("netsim: unknown hub %q", hubName)
+	}
+	if jitter < 0 {
+		return fmt.Errorf("netsim: jitter must be non-negative")
+	}
+	h.jitter = jitter
+	return nil
+}
+
+// SetHubDown marks a hub up or down; new connections crossing a down
+// hub fail with ErrHubDown.
+func (n *Network) SetHubDown(hubName string, down bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hubs[hubName]
+	if !ok {
+		return fmt.Errorf("netsim: unknown hub %q", hubName)
+	}
+	h.down = down
+	return nil
+}
+
+// HubBytes returns the bytes forwarded through a hub since start.
+func (n *Network) HubBytes(hubName string) (int64, error) {
+	n.mu.Lock()
+	h, ok := n.hubs[hubName]
+	n.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown hub %q", hubName)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bytesFwd, nil
+}
+
+// route finds the hub path between two hosts via BFS over hubs joined
+// by gateways. It returns the hubs traversed in order.
+func (n *Network) route(from, to *host) ([]*hub, error) {
+	// adjacency: hub → hubs reachable through some gateway.
+	type queued struct {
+		hub  string
+		path []string
+	}
+	target := make(map[string]bool)
+	for _, h := range to.hubs {
+		target[h] = true
+	}
+	visited := make(map[string]bool)
+	var queue []queued
+	for _, h := range from.hubs {
+		queue = append(queue, queued{hub: h, path: []string{h}})
+		visited[h] = true
+	}
+	gatewayLinks := make(map[string][]string)
+	for _, hst := range n.hosts {
+		if len(hst.hubs) < 2 {
+			continue
+		}
+		for _, a := range hst.hubs {
+			for _, b := range hst.hubs {
+				if a != b {
+					gatewayLinks[a] = append(gatewayLinks[a], b)
+				}
+			}
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if target[cur.hub] {
+			hubs := make([]*hub, len(cur.path))
+			for i, name := range cur.path {
+				hubs[i] = n.hubs[name]
+			}
+			return hubs, nil
+		}
+		for _, next := range gatewayLinks[cur.hub] {
+			if !visited[next] {
+				visited[next] = true
+				path := append(append([]string(nil), cur.path...), next)
+				queue = append(queue, queued{hub: next, path: path})
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %s → %s", ErrNoRoute, from.name, to.name)
+}
+
+// PathLatency returns the one-way latency between two hosts, for
+// assertions and capacity planning.
+func (n *Network) PathLatency(fromHost, toHost string) (time.Duration, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	from, ok := n.hosts[fromHost]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown host %q", fromHost)
+	}
+	to, ok := n.hosts[toHost]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown host %q", toHost)
+	}
+	hubs, err := n.route(from, to)
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for _, h := range hubs {
+		total += h.latency
+	}
+	return total, nil
+}
+
+// Listen opens a listener on hostName:port.
+func (n *Network) Listen(hostName string, port int) (net.Listener, error) {
+	if port <= 0 || port > 65535 {
+		return nil, fmt.Errorf("netsim: invalid port %d", port)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[hostName]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown host %q", hostName)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, busy := h.listeners[port]; busy {
+		return nil, fmt.Errorf("netsim: %s port %d already in use", hostName, port)
+	}
+	l := &listener{
+		host: h, port: port,
+		backlog: make(chan net.Conn, 16),
+		closed:  make(chan struct{}),
+	}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Dial connects from fromHost to "host:port", applying routing,
+// firewall policy and link characteristics.
+func (n *Network) Dial(fromHost, address string) (net.Conn, error) {
+	toName, portStr, err := net.SplitHostPort(address)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: dial address %q: %v", address, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: dial port %q: %v", portStr, err)
+	}
+
+	n.mu.Lock()
+	from, ok := n.hosts[fromHost]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: unknown host %q", fromHost)
+	}
+	to, ok := n.hosts[toName]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: unknown host %q", toName)
+	}
+	hubs, err := n.route(from, to)
+	n.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	var latency time.Duration
+	bandwidth := 0.0
+	for _, h := range hubs {
+		if h.down {
+			return nil, fmt.Errorf("%w: %s", ErrHubDown, h.name)
+		}
+		latency += h.latency
+		if h.bandwidth > 0 && (bandwidth == 0 || h.bandwidth < bandwidth) {
+			bandwidth = h.bandwidth
+		}
+	}
+	if !to.firewall.permits(port) {
+		return nil, fmt.Errorf("%w: %s:%d", ErrFirewalled, toName, port)
+	}
+	to.mu.Lock()
+	l, ok := to.listeners[port]
+	to.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s:%d", ErrRefused, toName, port)
+	}
+
+	clientRaw, serverRaw := net.Pipe()
+	client := &shapedConn{
+		Conn: clientRaw, latency: latency, bandwidth: bandwidth, hubs: hubs,
+		local: addr{fromHost, 0}, remote: addr{toName, port},
+	}
+	server := &shapedConn{
+		Conn: serverRaw, latency: latency, bandwidth: bandwidth, hubs: hubs,
+		local: addr{toName, port}, remote: addr{fromHost, 0},
+	}
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.closed:
+		clientRaw.Close()
+		return nil, fmt.Errorf("%w: %s:%d (listener closed)", ErrRefused, toName, port)
+	}
+}
+
+// Dialer returns a pyro-compatible dialer that originates connections
+// from fromHost.
+func (n *Network) Dialer(fromHost string) func(address string) (net.Conn, error) {
+	return func(address string) (net.Conn, error) { return n.Dial(fromHost, address) }
+}
+
+// addr implements net.Addr for simulated endpoints.
+type addr struct {
+	host string
+	port int
+}
+
+func (a addr) Network() string { return "ice" }
+func (a addr) String() string {
+	if a.port == 0 {
+		return a.host
+	}
+	return net.JoinHostPort(a.host, strconv.Itoa(a.port))
+}
+
+// listener implements net.Listener over the simulated fabric.
+type listener struct {
+	host      *host
+	port      int
+	backlog   chan net.Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *listener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.host.mu.Lock()
+		delete(l.host.listeners, l.port)
+		l.host.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *listener) Addr() net.Addr { return addr{l.host.name, l.port} }
+
+// shapedConn applies one-way latency and bandwidth pacing to writes
+// and accounts forwarded bytes on the traversed hubs.
+type shapedConn struct {
+	net.Conn
+	latency   time.Duration
+	bandwidth float64 // bytes per second; 0 = unlimited
+	hubs      []*hub
+	local     addr
+	remote    addr
+}
+
+func (c *shapedConn) Write(p []byte) (int, error) {
+	delay := c.latency
+	if c.bandwidth > 0 {
+		delay += time.Duration(float64(len(p)) / c.bandwidth * float64(time.Second))
+	}
+	for _, h := range c.hubs {
+		delay += h.jitterSample()
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	for _, h := range c.hubs {
+		h.mu.Lock()
+		h.bytesFwd += int64(len(p))
+		h.mu.Unlock()
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *shapedConn) LocalAddr() net.Addr  { return c.local }
+func (c *shapedConn) RemoteAddr() net.Addr { return c.remote }
+
+// Hosts returns the registered host names, for diagnostics.
+func (n *Network) Hosts() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.hosts))
+	for k := range n.hosts {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Describe renders the topology as text, one line per host.
+func (n *Network) Describe() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var b strings.Builder
+	for name, h := range n.hosts {
+		role := "host"
+		if len(h.hubs) > 1 {
+			role = "gateway"
+		}
+		fmt.Fprintf(&b, "%s (%s) on %s\n", name, role, strings.Join(h.hubs, ", "))
+	}
+	return b.String()
+}

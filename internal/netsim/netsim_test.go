@@ -1,0 +1,560 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flatNet builds a one-hub network with two hosts.
+func flatNet(t *testing.T) *Network {
+	t.Helper()
+	n := New()
+	if err := n.AddHub("lan", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{"a", "b"} {
+		if err := n.AddHost(h, "lan"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestDialListenRoundTrip(t *testing.T) {
+	n := flatNet(t)
+	l, err := n.Listen("b", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(conn, conn) // echo
+	}()
+
+	conn, err := n.Dial("a", "b:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("hello cross-facility")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func TestDialUnknownHostsAndPorts(t *testing.T) {
+	n := flatNet(t)
+	if _, err := n.Dial("ghost", "b:9000"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := n.Dial("a", "ghost:9000"); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if _, err := n.Dial("a", "b"); err == nil {
+		t.Error("missing port accepted")
+	}
+	if _, err := n.Dial("a", "b:x"); err == nil {
+		t.Error("non-numeric port accepted")
+	}
+	if _, err := n.Dial("a", "b:9000"); !errors.Is(err, ErrRefused) {
+		t.Errorf("no listener = %v, want ErrRefused", err)
+	}
+}
+
+func TestListenValidation(t *testing.T) {
+	n := flatNet(t)
+	if _, err := n.Listen("ghost", 1); err == nil {
+		t.Error("unknown host accepted")
+	}
+	if _, err := n.Listen("a", 0); err == nil {
+		t.Error("port 0 accepted")
+	}
+	if _, err := n.Listen("a", 70000); err == nil {
+		t.Error("port 70000 accepted")
+	}
+	l, err := n.Listen("a", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a", 9000); err == nil {
+		t.Error("duplicate listen accepted")
+	}
+	l.Close()
+	// Port is free again after close.
+	l2, err := n.Listen("a", 9000)
+	if err != nil {
+		t.Errorf("re-listen after close: %v", err)
+	} else {
+		l2.Close()
+	}
+}
+
+func TestAcceptAfterCloseFails(t *testing.T) {
+	n := flatNet(t)
+	l, _ := n.Listen("b", 9000)
+	l.Close()
+	if _, err := l.Accept(); err == nil {
+		t.Error("Accept on closed listener succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestGatewayRouting(t *testing.T) {
+	n, err := PaperTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := n.Listen(HostControlAgent, PaperPorts.Control)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(conn, conn)
+	}()
+
+	// DGX reaches the control agent across two gateways.
+	conn, err := n.Dial(HostDGX, HostControlAgent+":9690")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoRouteWithoutGateway(t *testing.T) {
+	n := New()
+	n.AddHub("h1", 0, 0)
+	n.AddHub("h2", 0, 0)
+	n.AddHost("a", "h1")
+	n.AddHost("b", "h2")
+	n.Listen("b", 9000)
+	if _, err := n.Dial("a", "b:9000"); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("isolated hubs dial = %v, want ErrNoRoute", err)
+	}
+	if _, err := n.PathLatency("a", "b"); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("PathLatency = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestFirewallBlocksUnopenedPorts(t *testing.T) {
+	n, _ := PaperTopology()
+	// An unopened port on the control agent: listener exists but
+	// firewall drops ingress.
+	l, err := n.Listen(HostControlAgent, 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := n.Dial(HostDGX, HostControlAgent+":8080"); !errors.Is(err, ErrFirewalled) {
+		t.Errorf("dial to unopened port = %v, want ErrFirewalled", err)
+	}
+	// Open it and retry.
+	fw, _ := n.FirewallOf(HostControlAgent)
+	fw.Allow(8080)
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	if _, err := n.Dial(HostDGX, HostControlAgent+":8080"); err != nil {
+		t.Errorf("dial after Allow = %v", err)
+	}
+	// Revoke closes it again.
+	fw.Revoke(8080)
+	if _, err := n.Dial(HostDGX, HostControlAgent+":8080"); !errors.Is(err, ErrFirewalled) {
+		t.Errorf("dial after Revoke = %v", err)
+	}
+}
+
+func TestHubDownBlocksNewDials(t *testing.T) {
+	n, _ := PaperTopology()
+	l, _ := n.Listen(HostControlAgent, PaperPorts.Control)
+	defer l.Close()
+	if err := n.SetHubDown(HubSite, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Dial(HostDGX, HostControlAgent+":9690"); !errors.Is(err, ErrHubDown) {
+		t.Errorf("dial across down hub = %v, want ErrHubDown", err)
+	}
+	n.SetHubDown(HubSite, false)
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	if _, err := n.Dial(HostDGX, HostControlAgent+":9690"); err != nil {
+		t.Errorf("dial after hub restored = %v", err)
+	}
+	if err := n.SetHubDown("ghost", true); err == nil {
+		t.Error("unknown hub accepted")
+	}
+}
+
+func TestPathLatencyAccumulates(t *testing.T) {
+	n, _ := PaperTopology()
+	// ACL hub 200µs + site 500µs + K200 200µs = 900µs one way.
+	lat, err := n.PathLatency(HostDGX, HostControlAgent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 900*time.Microsecond {
+		t.Errorf("path latency = %v, want 900µs", lat)
+	}
+	// Same-hub latency is just the hub's.
+	lat, err = n.PathLatency(HostControlAgent, HostACLGateway)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 200*time.Microsecond {
+		t.Errorf("same-hub latency = %v, want 200µs", lat)
+	}
+}
+
+func TestLatencyShapingOnWrites(t *testing.T) {
+	n := New()
+	n.AddHub("slow", 20*time.Millisecond, 0)
+	n.AddHost("a", "slow")
+	n.AddHost("b", "slow")
+	l, _ := n.Listen("b", 9000)
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(conn, conn)
+	}()
+	conn, err := n.Dial("a", "b:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	conn.Write([]byte("x"))
+	buf := make([]byte, 1)
+	io.ReadFull(conn, buf)
+	rtt := time.Since(start)
+	if rtt < 35*time.Millisecond {
+		t.Errorf("RTT = %v, want ≥ ~40ms for 20ms one-way latency", rtt)
+	}
+}
+
+func TestBandwidthShaping(t *testing.T) {
+	n := New()
+	// 1 MB/s: a 100 KB write should take ≥ ~100 ms.
+	n.AddHub("thin", 0, 1e6)
+	n.AddHost("a", "thin")
+	n.AddHost("b", "thin")
+	l, _ := n.Listen("b", 9000)
+	defer l.Close()
+	received := make(chan int, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		total := 0
+		buf := make([]byte, 32*1024)
+		for {
+			k, err := conn.Read(buf)
+			total += k
+			if err != nil {
+				break
+			}
+			if total >= 100*1024 {
+				break
+			}
+		}
+		received <- total
+	}()
+	conn, err := n.Dial("a", "b:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	conn.Write(make([]byte, 100*1024))
+	<-received
+	conn.Close()
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("100KB at 1MB/s took %v, want ≥ ~100ms", elapsed)
+	}
+}
+
+func TestHubByteAccounting(t *testing.T) {
+	n, _ := PaperTopology()
+	l, _ := n.Listen(HostControlAgent, PaperPorts.Control)
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	}()
+	conn, err := n.Dial(HostDGX, HostControlAgent+":9690")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	conn.Write(payload)
+	conn.Close()
+	for _, hubName := range []string{HubACL, HubSite, HubK200} {
+		b, err := n.HubBytes(hubName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b < 4096 {
+			t.Errorf("hub %s forwarded %d bytes, want ≥ 4096", hubName, b)
+		}
+	}
+	if _, err := n.HubBytes("ghost"); err == nil {
+		t.Error("unknown hub accepted")
+	}
+}
+
+func TestHubJitterSpreadsLatency(t *testing.T) {
+	n := New()
+	n.AddHub("jittery", 5*time.Millisecond, 0)
+	if err := n.SetHubJitter("jittery", 4*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	n.AddHost("a", "jittery")
+	n.AddHost("b", "jittery")
+	l, _ := n.Listen("b", 9000)
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	}()
+	conn, err := n.Dial("a", "b:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Measure per-write latency spread.
+	var min, max time.Duration = time.Hour, 0
+	for i := 0; i < 30; i++ {
+		start := time.Now()
+		conn.Write([]byte{1})
+		d := time.Since(start)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max-min < time.Millisecond {
+		t.Errorf("jitter spread = %v, want ≥ 1ms with ±4ms jitter", max-min)
+	}
+	if min < time.Millisecond {
+		t.Errorf("minimum latency %v below 5ms−4ms floor", min)
+	}
+	if err := n.SetHubJitter("ghost", time.Millisecond); err == nil {
+		t.Error("unknown hub accepted")
+	}
+	if err := n.SetHubJitter("jittery", -time.Millisecond); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	n := New()
+	if err := n.AddHub("h", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddHub("h", 0, 0); err == nil {
+		t.Error("duplicate hub accepted")
+	}
+	if err := n.AddHost("a", "ghost"); err == nil {
+		t.Error("host on unknown hub accepted")
+	}
+	if err := n.AddHost("a", "h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddHost("a", "h"); err == nil {
+		t.Error("duplicate host accepted")
+	}
+	if err := n.AddGateway("g", "h"); err == nil {
+		t.Error("single-hub gateway accepted")
+	}
+	if _, err := n.FirewallOf("ghost"); err == nil {
+		t.Error("firewall of unknown host accepted")
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	n := flatNet(t)
+	l, _ := n.Listen("b", 9000)
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(conn)
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := n.Dial("a", "b:9000")
+			if err != nil {
+				t.Errorf("Dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			msg := []byte("ping")
+			conn.Write(msg)
+			buf := make([]byte, len(msg))
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				t.Errorf("read: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAddrsAndDescribe(t *testing.T) {
+	n := flatNet(t)
+	l, _ := n.Listen("b", 9000)
+	defer l.Close()
+	if got := l.Addr().String(); got != "b:9000" {
+		t.Errorf("listener addr = %q", got)
+	}
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if conn.LocalAddr().String() != "b:9000" || conn.RemoteAddr().String() != "a" {
+			t.Errorf("server addrs = %v / %v", conn.LocalAddr(), conn.RemoteAddr())
+		}
+		conn.Close()
+	}()
+	conn, err := n.Dial("a", "b:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.RemoteAddr().String() != "b:9000" {
+		t.Errorf("client remote = %v", conn.RemoteAddr())
+	}
+	if d := n.Describe(); d == "" {
+		t.Error("Describe is empty")
+	}
+	if hosts := n.Hosts(); len(hosts) != 2 {
+		t.Errorf("Hosts = %v", hosts)
+	}
+}
+
+// TestRoutingPropertyRandomTopologies builds random hub chains with
+// random gateway placement and checks reachability matches graph
+// connectivity: a path exists iff consecutive hubs are bridged.
+func TestRoutingPropertyRandomTopologies(t *testing.T) {
+	for seed := 0; seed < 40; seed++ {
+		nHubs := 2 + seed%5
+		missing := seed % nHubs // gateway omitted between hub missing and missing+1
+		n := New()
+		for h := 0; h < nHubs; h++ {
+			if err := n.AddHub(hubName(h), 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bridged := make([]bool, nHubs) // bridged[i]: gateway between i and i+1
+		for h := 0; h+1 < nHubs; h++ {
+			if h == missing && nHubs > 2 {
+				continue
+			}
+			if err := n.AddGateway("gw"+hubName(h), hubName(h), hubName(h+1)); err != nil {
+				t.Fatal(err)
+			}
+			bridged[h] = true
+		}
+		n.AddHost("src", hubName(0))
+		n.AddHost("dst", hubName(nHubs-1))
+		n.Listen("dst", 9000)
+
+		// Connectivity: every consecutive pair up to the destination
+		// hub must be bridged.
+		connected := true
+		for h := 0; h+1 < nHubs; h++ {
+			if !bridged[h] {
+				connected = false
+			}
+		}
+		_, err := n.PathLatency("src", "dst")
+		if connected && err != nil {
+			t.Errorf("seed %d: connected topology unroutable: %v", seed, err)
+		}
+		if !connected && err == nil {
+			t.Errorf("seed %d: partitioned topology routed", seed)
+		}
+	}
+}
+
+func hubName(i int) string { return string(rune('A' + i)) }
+
+func TestDialerAdapter(t *testing.T) {
+	n := flatNet(t)
+	l, _ := n.Listen("b", 9000)
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	dial := n.Dialer("a")
+	conn, err := dial("b:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+}

@@ -1,0 +1,63 @@
+package netsim
+
+import "time"
+
+// Canonical host names in the paper's ORNL topology (Fig. 4).
+const (
+	// HostControlAgent is the Windows control agent at ACL.
+	HostControlAgent = "control-agent"
+	// HostDGX is the NVIDIA DGX workstation at the K200 facility.
+	HostDGX = "dgx"
+	// HostACLGateway is the ACL gateway computer.
+	HostACLGateway = "acl-gateway"
+	// HostK200Gateway is the K200 border host.
+	HostK200Gateway = "k200-gateway"
+)
+
+// Canonical hub names.
+const (
+	// HubACL is the dedicated instrument hub network at ACL.
+	HubACL = "acl-hub"
+	// HubSite is the ORNL site network.
+	HubSite = "site-net"
+	// HubK200 is the K200 computing-facility network.
+	HubK200 = "k200-hub"
+)
+
+// PaperPorts are the ingress TCP ports the paper opens on the control
+// agent: the Pyro control channel and the CIFS data channel.
+var PaperPorts = struct {
+	Control int
+	Data    int
+}{Control: 9690, Data: 4450}
+
+// PaperTopology builds the cross-facility network of the paper's
+// Fig. 4: the ACL instrument hub, the ORNL site network and the K200
+// facility network, joined by two gateways; the control agent sits on
+// the ACL hub with a default-deny firewall opened only on the control
+// and data channel ports.
+func PaperTopology() (*Network, error) {
+	n := New()
+	steps := []func() error{
+		// 1 GbE lab hub, 10 GbE site core, 10 GbE facility network.
+		func() error { return n.AddHub(HubACL, 200*time.Microsecond, 1e9/8) },
+		func() error { return n.AddHub(HubSite, 500*time.Microsecond, 10e9/8) },
+		func() error { return n.AddHub(HubK200, 200*time.Microsecond, 10e9/8) },
+		func() error { return n.AddHost(HostControlAgent, HubACL) },
+		func() error { return n.AddGateway(HostACLGateway, HubACL, HubSite) },
+		func() error { return n.AddGateway(HostK200Gateway, HubSite, HubK200) },
+		func() error { return n.AddHost(HostDGX, HubK200) },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+	fw, err := n.FirewallOf(HostControlAgent)
+	if err != nil {
+		return nil, err
+	}
+	fw.SetDefaultDeny(true)
+	fw.Allow(PaperPorts.Control, PaperPorts.Data)
+	return n, nil
+}

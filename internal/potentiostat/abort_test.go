@@ -1,0 +1,90 @@
+package potentiostat
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAbortPacedAcquisition(t *testing.T) {
+	d, _, sink := filledDevice(t)
+	cfg := DefaultSystemConfig()
+	cfg.TimeScale = 0.05 // 30 s CV → 1.5 s wall
+	if err := d.Initialize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	d.Connect()
+	d.LoadFirmware()
+	cv := DefaultCV()
+	cv.PointsPerCycle = 1200
+	d.ConfigureTechnique(1, cv)
+	d.LoadTechnique(1)
+	if err := d.StartChannel(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // let some chunks stream
+	if err := d.AbortChannel(1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := d.Wait(1)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("Wait after abort = %v, want ErrAborted", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("abort did not take effect promptly")
+	}
+	// The partial measurement file still parses.
+	name, err := d.MeasurementFileName(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := sink.Bytes(name); !ok || len(data) == 0 {
+		t.Error("no partial measurement file after abort")
+	}
+	// The channel is reusable.
+	cv.PointsPerCycle = 100
+	if err := d.ConfigureTechnique(1, cv); err != nil {
+		t.Fatal(err)
+	}
+	d.LoadTechnique(1)
+	if err := d.StartChannel(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Wait(1); err != nil {
+		t.Fatalf("run after abort: %v", err)
+	}
+}
+
+func TestAbortIdleChannelIsNoop(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	d.Initialize(DefaultSystemConfig())
+	if err := d.AbortChannel(1); err != nil {
+		t.Errorf("abort idle channel = %v", err)
+	}
+	if err := d.AbortChannel(9); err == nil {
+		t.Error("abort bad channel accepted")
+	}
+}
+
+func TestDoubleAbortIsSafe(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	cfg := DefaultSystemConfig()
+	cfg.TimeScale = 0.05
+	d.Initialize(cfg)
+	d.Connect()
+	d.LoadFirmware()
+	cv := DefaultCV()
+	cv.PointsPerCycle = 1200
+	d.ConfigureTechnique(1, cv)
+	d.LoadTechnique(1)
+	d.StartChannel(1)
+	time.Sleep(50 * time.Millisecond)
+	if err := d.AbortChannel(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AbortChannel(1); err != nil {
+		t.Fatalf("second abort = %v", err)
+	}
+	d.Wait(1)
+}

@@ -1,0 +1,627 @@
+package potentiostat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ice/internal/echem"
+	"ice/internal/labstate"
+	"ice/internal/units"
+)
+
+// State is the device-level state of the SP200.
+type State int
+
+// Device states, in the order the Fig. 6 pipeline advances them.
+const (
+	// StateOff is the power-on state before Initialize.
+	StateOff State = iota
+	// StateInitialized follows a successful Initialize call.
+	StateInitialized
+	// StateConnected follows Connect.
+	StateConnected
+	// StateFirmwareLoaded follows LoadFirmware; techniques can now be
+	// configured.
+	StateFirmwareLoaded
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateOff:
+		return "off"
+	case StateInitialized:
+		return "initialized"
+	case StateConnected:
+		return "connected"
+	case StateFirmwareLoaded:
+		return "firmware-loaded"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ErrBadState is wrapped by errors returned when a pipeline step is
+// invoked out of order.
+var ErrBadState = errors.New("potentiostat: operation invalid in current state")
+
+// SystemConfig is the Initialize payload (the SP200_config_params of
+// the paper's step 1).
+type SystemConfig struct {
+	// SerialNumber identifies the instrument.
+	SerialNumber string
+	// FirmwarePath is the kernel image to load (e.g. "kernel4.bin").
+	FirmwarePath string
+	// Channels is the number of potentiostat channels; SP200 has 1–2.
+	Channels int
+	// ElectrodeArea of the working electrode in the attached cell.
+	ElectrodeArea units.Area
+	// NoiseSeed seeds measurement noise; successive runs derive
+	// sub-seeds from it.
+	NoiseSeed int64
+	// TimeScale multiplies experiment time for acquisition pacing.
+	// 0 runs instantly; 1.0 is real time.
+	TimeScale float64
+}
+
+// DefaultSystemConfig returns the demonstration configuration.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		SerialNumber:  "SP200-0042",
+		FirmwarePath:  "kernel4.bin",
+		Channels:      2,
+		ElectrodeArea: units.SquareCentimeters(0.07),
+		NoiseSeed:     1,
+	}
+}
+
+// channelState tracks one potentiostat channel through the technique
+// lifecycle.
+type channelState struct {
+	tech     Technique
+	loaded   bool
+	running  bool
+	done     chan struct{}
+	records  []Record
+	fileName string
+	err      error
+	// rangeAmps is the selected current range (full scale); 0 means
+	// autorange.
+	rangeAmps float64
+	// overloads counts samples clipped at the range limit in the last
+	// run.
+	overloads int
+	// abort is closed to cancel an in-flight paced acquisition.
+	abort chan struct{}
+}
+
+// ErrAborted is wrapped by Wait when the run was cancelled with
+// AbortChannel.
+var ErrAborted = errors.New("potentiostat: acquisition aborted")
+
+// AbortChannel cancels a running acquisition. The channel's Wait
+// returns ErrAborted; records streamed so far remain in the
+// measurement file. Aborting an idle channel is a no-op.
+func (d *SP200) AbortChannel(ch int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs, err := d.channel(ch)
+	if err != nil {
+		return err
+	}
+	if !cs.running || cs.abort == nil {
+		return nil
+	}
+	select {
+	case <-cs.abort:
+		// already aborted
+	default:
+		close(cs.abort)
+		d.logf("Channel %d abort requested", ch)
+	}
+	return nil
+}
+
+// CurrentRanges are the selectable full-scale current ranges in
+// amperes (the SP200 hardware offers decade ranges).
+var CurrentRanges = []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// SetCurrentRange selects a channel's full-scale current range;
+// rangeAmps must be one of CurrentRanges, or 0 for autorange.
+// Measurements beyond the range are clipped and counted as overloads.
+func (d *SP200) SetCurrentRange(ch int, rangeAmps float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs, err := d.channel(ch)
+	if err != nil {
+		return err
+	}
+	if rangeAmps != 0 {
+		ok := false
+		for _, r := range CurrentRanges {
+			if r == rangeAmps {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("potentiostat: unsupported current range %g A", rangeAmps)
+		}
+	}
+	cs.rangeAmps = rangeAmps
+	return nil
+}
+
+// Overloads reports how many samples the channel's last run clipped at
+// the range limit (0 in autorange).
+func (d *SP200) Overloads(ch int) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs, err := d.channel(ch)
+	if err != nil {
+		return 0, err
+	}
+	return cs.overloads, nil
+}
+
+// SP200 is the simulated Bio-Logic SP200 potentiostat.
+type SP200 struct {
+	mu       sync.Mutex
+	state    State
+	cfg      SystemConfig
+	cell     *labstate.Cell
+	sink     Sink
+	channels []*channelState
+	events   []string
+	runSeq   int
+}
+
+// NewSP200 returns a powered-on but uninitialised instrument attached
+// to the cell, writing measurement files to sink.
+func NewSP200(cell *labstate.Cell, sink Sink) *SP200 {
+	return &SP200{cell: cell, sink: sink}
+}
+
+// logf appends a line to the instrument event log (the console
+// transcript of the paper's Fig. 6b).
+func (d *SP200) logf(format string, args ...any) {
+	d.events = append(d.events, fmt.Sprintf(format, args...))
+}
+
+// EventLog returns a copy of the instrument's console transcript.
+func (d *SP200) EventLog() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.events))
+	copy(out, d.events)
+	return out
+}
+
+// State returns the device state.
+func (d *SP200) State() State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state
+}
+
+// Initialize performs step 1 of the pipeline: system/firmware and
+// connection parameters.
+func (d *SP200) Initialize(cfg SystemConfig) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != StateOff {
+		return fmt.Errorf("%w: Initialize from %v", ErrBadState, d.state)
+	}
+	if cfg.Channels < 1 {
+		return fmt.Errorf("potentiostat: need at least one channel, got %d", cfg.Channels)
+	}
+	if cfg.ElectrodeArea.SquareMeters() <= 0 {
+		return fmt.Errorf("potentiostat: electrode area must be positive")
+	}
+	if cfg.FirmwarePath == "" {
+		return fmt.Errorf("potentiostat: firmware path required")
+	}
+	d.cfg = cfg
+	d.channels = make([]*channelState, cfg.Channels)
+	for i := range d.channels {
+		d.channels[i] = &channelState{}
+	}
+	d.state = StateInitialized
+	d.logf("Initialization done!!")
+	return nil
+}
+
+// Connect performs step 2: open the instrument link.
+func (d *SP200) Connect() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != StateInitialized {
+		return fmt.Errorf("%w: Connect from %v", ErrBadState, d.state)
+	}
+	d.state = StateConnected
+	d.logf("Connection to the Potentiostat is Done")
+	return nil
+}
+
+// LoadFirmware performs step 3: load the channel kernel.
+func (d *SP200) LoadFirmware() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != StateConnected {
+		return fmt.Errorf("%w: LoadFirmware from %v", ErrBadState, d.state)
+	}
+	d.logf("> Loading %s ...", d.cfg.FirmwarePath)
+	d.state = StateFirmwareLoaded
+	d.logf("> ... firmware loaded")
+	return nil
+}
+
+// ConfigureTechnique performs step 4: install technique parameters on
+// a channel.
+func (d *SP200) ConfigureTechnique(ch int, tech Technique) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != StateFirmwareLoaded {
+		return fmt.Errorf("%w: ConfigureTechnique from %v", ErrBadState, d.state)
+	}
+	cs, err := d.channel(ch)
+	if err != nil {
+		return err
+	}
+	if cs.running {
+		return fmt.Errorf("potentiostat: channel %d is acquiring", ch)
+	}
+	if err := tech.Validate(); err != nil {
+		return err
+	}
+	cs.tech = tech
+	cs.loaded = false
+	d.logf("%s technique initialization is done !!", tech.Name())
+	return nil
+}
+
+// LoadTechnique performs step 5: push the technique firmware to the
+// channel.
+func (d *SP200) LoadTechnique(ch int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs, err := d.channel(ch)
+	if err != nil {
+		return err
+	}
+	if cs.tech == nil {
+		return fmt.Errorf("potentiostat: channel %d has no technique configured", ch)
+	}
+	cs.loaded = true
+	d.logf("Loading technique is done !!")
+	return nil
+}
+
+// StartChannel performs step 6: begin acquisition. The run proceeds
+// asynchronously; Wait blocks for completion (step 7), after which the
+// channel is automatically disconnected (step 8).
+func (d *SP200) StartChannel(ch int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs, err := d.channel(ch)
+	if err != nil {
+		return err
+	}
+	if !cs.loaded {
+		return fmt.Errorf("potentiostat: channel %d technique not loaded", ch)
+	}
+	if cs.running {
+		return fmt.Errorf("potentiostat: channel %d already running", ch)
+	}
+	d.runSeq++
+	runID := d.runSeq
+	cs.running = true
+	cs.done = make(chan struct{})
+	cs.abort = make(chan struct{})
+	cs.err = nil
+	cs.records = nil
+	cs.fileName = fmt.Sprintf("%s_ch%d_run%03d.mpt", cs.tech.Name(), ch, runID)
+	d.logf("Channel connection is initiated")
+
+	tech := cs.tech
+	cfg := d.cfg
+	cell := d.cell
+	sink := d.sink
+	rangeAmps := cs.rangeAmps
+	abort := cs.abort
+	go func() {
+		recs, overloads, err := acquire(cell, sink, cfg, tech, cs.fileName, int64(runID), rangeAmps, abort)
+		d.mu.Lock()
+		cs.records = recs
+		cs.err = err
+		cs.overloads = overloads
+		cs.running = false
+		if err != nil {
+			d.logf("acquisition error: %v", err)
+		} else {
+			d.logf("> data record : %d points", len(recs))
+			if overloads > 0 {
+				d.logf("OVERLOAD: %d samples clipped at %g A range", overloads, rangeAmps)
+			}
+			d.logf("Channel is automatically disconnected")
+		}
+		d.mu.Unlock()
+		close(cs.done)
+	}()
+	return nil
+}
+
+// clipToRange saturates currents at the selected full scale, the way a
+// fixed-range measurement amplifier overloads.
+func clipToRange(recs []Record, rangeAmps float64) ([]Record, int) {
+	overloads := 0
+	for i := range recs {
+		switch {
+		case recs[i].I > rangeAmps:
+			recs[i].I = rangeAmps
+			overloads++
+		case recs[i].I < -rangeAmps:
+			recs[i].I = -rangeAmps
+			overloads++
+		}
+	}
+	return recs, overloads
+}
+
+// Wait blocks until channel ch finishes acquiring and returns its
+// records (step 7 of the pipeline).
+func (d *SP200) Wait(ch int) ([]Record, error) {
+	d.mu.Lock()
+	cs, err := d.channel(ch)
+	if err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	done := cs.done
+	d.mu.Unlock()
+	if done == nil {
+		return nil, fmt.Errorf("potentiostat: channel %d was never started", ch)
+	}
+	<-done
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return cs.records, cs.err
+}
+
+// Busy reports whether channel ch is currently acquiring.
+func (d *SP200) Busy(ch int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs, err := d.channel(ch)
+	return err == nil && cs.running
+}
+
+// MeasurementFileName returns the name of the file the channel's last
+// run streamed to.
+func (d *SP200) MeasurementFileName(ch int) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs, err := d.channel(ch)
+	if err != nil {
+		return "", err
+	}
+	if cs.fileName == "" {
+		return "", fmt.Errorf("potentiostat: channel %d has no measurement file", ch)
+	}
+	return cs.fileName, nil
+}
+
+// Disconnect shuts the instrument link down (workflow task E). Any
+// running channels are waited for first.
+func (d *SP200) Disconnect() error {
+	d.mu.Lock()
+	if d.state == StateOff {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: Disconnect from %v", ErrBadState, StateOff)
+	}
+	var pending []chan struct{}
+	for _, cs := range d.channels {
+		if cs.running {
+			pending = append(pending, cs.done)
+		}
+	}
+	d.mu.Unlock()
+	for _, ch := range pending {
+		<-ch
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.state = StateOff
+	d.logf("Potentiostat disconnected")
+	return nil
+}
+
+// Status renders a short state summary.
+func (d *SP200) Status() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	busy := 0
+	for _, cs := range d.channels {
+		if cs.running {
+			busy++
+		}
+	}
+	return fmt.Sprintf("SP200[%s channels=%d busy=%d firmware=%s]",
+		d.state, len(d.channels), busy, d.cfg.FirmwarePath)
+}
+
+func (d *SP200) channel(ch int) (*channelState, error) {
+	if ch < 1 || ch > len(d.channels) {
+		return nil, fmt.Errorf("potentiostat: channel %d out of range 1..%d", ch, len(d.channels))
+	}
+	return d.channels[ch-1], nil
+}
+
+// streamChunk is the number of records flushed to the sink at a time,
+// so the data channel sees the file grow during acquisition.
+const streamChunk = 128
+
+// acquire runs the technique against the cell, applies the current
+// range, and streams records to the sink. It executes outside the
+// device lock.
+func acquire(cell *labstate.Cell, sink Sink, cfg SystemConfig, tech Technique, fileName string, runID int64, rangeAmps float64, abort <-chan struct{}) ([]Record, int, error) {
+	cellCfg := cell.MeasurementConfig(cfg.ElectrodeArea, cfg.NoiseSeed+runID*7919)
+
+	var recs []Record
+	var err error
+	switch tt := tech.(type) {
+	case potentialTechnique:
+		recs, err = acquirePotential(cellCfg, tt)
+	case OCV:
+		recs = acquireOCV(cellCfg, tt)
+	case CP:
+		recs = acquireCP(cellCfg, tt)
+	default:
+		err = fmt.Errorf("potentiostat: unsupported technique %T", tech)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	overloads := 0
+	if rangeAmps > 0 {
+		recs, overloads = clipToRange(recs, rangeAmps)
+	}
+
+	if sink != nil {
+		w, err := sink.Create(fileName)
+		if err != nil {
+			return nil, 0, fmt.Errorf("potentiostat: create measurement file: %w", err)
+		}
+		defer w.Close()
+		if err := WriteMPTHeader(w, tech.Name(), cellCfg.Fault.String(), len(recs)); err != nil {
+			return nil, 0, err
+		}
+		chunkPause := time.Duration(0)
+		if cfg.TimeScale > 0 && len(recs) > 0 {
+			perRec := tech.Duration() / float64(len(recs)) * cfg.TimeScale
+			chunkPause = time.Duration(perRec * streamChunk * float64(time.Second))
+		}
+		for at := 0; at < len(recs); at += streamChunk {
+			end := at + streamChunk
+			if end > len(recs) {
+				end = len(recs)
+			}
+			if err := WriteMPTRecords(w, recs[at:end]); err != nil {
+				return nil, 0, err
+			}
+			if chunkPause > 0 {
+				select {
+				case <-time.After(chunkPause):
+				case <-abort:
+					return recs[:end], overloads, fmt.Errorf("%w after %d records", ErrAborted, end)
+				}
+			} else if abort != nil {
+				select {
+				case <-abort:
+					return recs[:end], overloads, fmt.Errorf("%w after %d records", ErrAborted, end)
+				default:
+				}
+			}
+		}
+	}
+	return recs, overloads, nil
+}
+
+// acquirePotential drives the diffusion simulator with the technique's
+// waveform.
+func acquirePotential(cellCfg echem.CellConfig, tech potentialTechnique) ([]Record, error) {
+	w, err := tech.waveform()
+	if err != nil {
+		return nil, err
+	}
+	vg, err := echem.Simulate(cellCfg, w, tech.Samples())
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]Record, len(vg.Points))
+	for i, p := range vg.Points {
+		recs[i] = Record{T: p.T, Ewe: p.E.Volts(), I: p.I.Amperes(), Cycle: tech.cycleAt(p.T)}
+	}
+	return recs, nil
+}
+
+// acquireOCV samples the rest potential with no applied current. A
+// mostly-reduced solution rests below the formal potential; the
+// simulated trace adds slow drift and noise.
+func acquireOCV(cellCfg echem.CellConfig, tech OCV) []Record {
+	rng := rand.New(rand.NewSource(cellCfg.NoiseSeed*31 + 17))
+	n := tech.Samples()
+	recs := make([]Record, n+1)
+
+	rest := 0.0
+	connected := cellCfg.Fault != echem.FaultDisconnectedElectrode
+	if connected {
+		// ~1% oxidised impurity: E = E0 + (RT/nF)·ln(0.01).
+		couple := cellCfg.Solution.Analyte
+		rtnf := echem.GasConstant * cellCfg.Temperature.Kelvin() /
+			(float64(couple.Electrons) * echem.Faraday)
+		rest = couple.FormalPotential.Volts() + rtnf*math.Log(0.01)
+	}
+	drift := 0.0
+	for i := 0; i <= n; i++ {
+		t := tech.Seconds * float64(i) / float64(n)
+		scale := 0.0005
+		if !connected {
+			scale = 0.01 // floating input drifts hard
+		}
+		drift += rng.NormFloat64() * scale
+		recs[i] = Record{T: t, Ewe: rest + drift, I: 0, Cycle: 0}
+	}
+	return recs
+}
+
+// acquireCP computes the constant-current potential response from
+// Sand's equation (see the CP type documentation).
+func acquireCP(cellCfg echem.CellConfig, tech CP) []Record {
+	eff := cellCfg.Effective()
+	rng := rand.New(rand.NewSource(eff.NoiseSeed*37 + 11))
+	n := tech.Samples()
+	recs := make([]Record, n+1)
+	i0 := tech.Current.Amperes()
+
+	couple := eff.Solution.Analyte
+	nElec := float64(couple.Electrons)
+	area := eff.ElectrodeArea.SquareMeters()
+	bulk := eff.Solution.Concentration.MolesPerCubicMeter()
+	rtnf := echem.GasConstant * eff.Temperature.Kelvin() / (nElec * echem.Faraday)
+	const rail = 10.0 // compliance limit in volts
+
+	disconnected := eff.Fault == echem.FaultDisconnectedElectrode || bulk <= 0
+	for s := 0; s <= n; s++ {
+		t := tech.Seconds * float64(s) / float64(n)
+		var e float64
+		switch {
+		case disconnected:
+			// Galvanostat cannot push current into an open circuit:
+			// the output rails.
+			e = rail + rng.NormFloat64()*0.05
+		case t == 0:
+			e = couple.FormalPotential.Volts() + rtnf*math.Log(1e-3)
+		default:
+			dep := 2 * math.Abs(i0) * math.Sqrt(t) /
+				(nElec * echem.Faraday * area * math.Sqrt(math.Pi*couple.DiffusionReduced))
+			cr := bulk - dep
+			co := dep
+			if cr <= bulk*1e-6 {
+				e = rail // past the Sand transition time
+			} else {
+				e = couple.FormalPotential.Volts() + rtnf*math.Log(co/cr)
+			}
+		}
+		e += rng.NormFloat64() * 0.0002
+		if e > rail {
+			e = rail
+		}
+		recs[s] = Record{T: t, Ewe: e, I: i0, Cycle: 0}
+	}
+	return recs
+}

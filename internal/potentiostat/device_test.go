@@ -1,0 +1,537 @@
+package potentiostat
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ice/internal/echem"
+	"ice/internal/labstate"
+	"ice/internal/units"
+)
+
+// filledDevice returns an SP200 on a properly filled ferrocene cell.
+func filledDevice(t *testing.T) (*SP200, *labstate.Cell, *MemSink) {
+	t.Helper()
+	cell := labstate.DefaultCell()
+	if err := cell.AddSolution(echem.FerroceneSolution(), units.Milliliters(8)); err != nil {
+		t.Fatal(err)
+	}
+	sink := NewMemSink()
+	return NewSP200(cell, sink), cell, sink
+}
+
+// runPipeline drives the eight-step Fig. 6 pipeline through Wait.
+func runPipeline(t *testing.T, d *SP200, tech Technique) []Record {
+	t.Helper()
+	if err := d.Initialize(DefaultSystemConfig()); err != nil {
+		t.Fatalf("Initialize: %v", err)
+	}
+	if err := d.Connect(); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if err := d.LoadFirmware(); err != nil {
+		t.Fatalf("LoadFirmware: %v", err)
+	}
+	if err := d.ConfigureTechnique(1, tech); err != nil {
+		t.Fatalf("ConfigureTechnique: %v", err)
+	}
+	if err := d.LoadTechnique(1); err != nil {
+		t.Fatalf("LoadTechnique: %v", err)
+	}
+	if err := d.StartChannel(1); err != nil {
+		t.Fatalf("StartChannel: %v", err)
+	}
+	recs, err := d.Wait(1)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	return recs
+}
+
+func TestFullCVPipeline(t *testing.T) {
+	d, _, sink := filledDevice(t)
+	cv := DefaultCV()
+	cv.PointsPerCycle = 600
+	recs := runPipeline(t, d, cv)
+
+	if len(recs) != 601 {
+		t.Fatalf("records = %d, want 601", len(recs))
+	}
+	// Find the anodic peak; it should match Randles–Ševčík within the
+	// simulator's tolerance plus noise.
+	var ip float64
+	for _, r := range recs {
+		if r.I > ip {
+			ip = r.I
+		}
+	}
+	want := echem.RandlesSevcik(1, units.SquareCentimeters(0.07), units.Millimolar(2),
+		units.MillivoltsPerSecond(50), 2.4e-9, units.Celsius(25)).Amperes()
+	if math.Abs(ip-want)/want > 0.08 {
+		t.Errorf("peak %v vs theory %v", ip, want)
+	}
+
+	// The measurement file exists and parses back to the same count.
+	name, err := d.MeasurementFileName(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(name, "CV_ch1_") {
+		t.Errorf("file name = %q", name)
+	}
+	data, ok := sink.Bytes(name)
+	if !ok {
+		t.Fatalf("measurement file %q missing from sink", name)
+	}
+	mf, err := ParseMPT(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mf.Records) != len(recs) {
+		t.Errorf("file records = %d, want %d", len(mf.Records), len(recs))
+	}
+	if mf.Technique != "CV" || mf.Label != "normal" {
+		t.Errorf("file header = %q %q", mf.Technique, mf.Label)
+	}
+}
+
+func TestPipelineStepOrderEnforced(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	if err := d.Connect(); !errors.Is(err, ErrBadState) {
+		t.Errorf("Connect before Initialize = %v, want ErrBadState", err)
+	}
+	if err := d.LoadFirmware(); !errors.Is(err, ErrBadState) {
+		t.Errorf("LoadFirmware before Connect = %v", err)
+	}
+	if err := d.ConfigureTechnique(1, DefaultCV()); !errors.Is(err, ErrBadState) {
+		t.Errorf("ConfigureTechnique before pipeline = %v", err)
+	}
+	if err := d.Initialize(DefaultSystemConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Initialize(DefaultSystemConfig()); !errors.Is(err, ErrBadState) {
+		t.Errorf("double Initialize = %v", err)
+	}
+	if err := d.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadTechnique(1); err == nil {
+		t.Error("LoadTechnique without ConfigureTechnique accepted")
+	}
+	if err := d.LoadFirmware(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartChannel(1); err == nil {
+		t.Error("StartChannel without loaded technique accepted")
+	}
+}
+
+func TestInitializeValidation(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	bad := DefaultSystemConfig()
+	bad.Channels = 0
+	if err := d.Initialize(bad); err == nil {
+		t.Error("zero channels accepted")
+	}
+	bad = DefaultSystemConfig()
+	bad.ElectrodeArea = 0
+	if err := d.Initialize(bad); err == nil {
+		t.Error("zero area accepted")
+	}
+	bad = DefaultSystemConfig()
+	bad.FirmwarePath = ""
+	if err := d.Initialize(bad); err == nil {
+		t.Error("missing firmware accepted")
+	}
+}
+
+func TestChannelRangeChecked(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	d.Initialize(DefaultSystemConfig())
+	d.Connect()
+	d.LoadFirmware()
+	if err := d.ConfigureTechnique(0, DefaultCV()); err == nil {
+		t.Error("channel 0 accepted")
+	}
+	if err := d.ConfigureTechnique(3, DefaultCV()); err == nil {
+		t.Error("channel 3 accepted on 2-channel device")
+	}
+	if _, err := d.Wait(1); err == nil {
+		t.Error("Wait on never-started channel accepted")
+	}
+}
+
+func TestConfigureRejectsInvalidTechnique(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	d.Initialize(DefaultSystemConfig())
+	d.Connect()
+	d.LoadFirmware()
+	bad := DefaultCV()
+	bad.Program.Rate = 0
+	if err := d.ConfigureTechnique(1, bad); err == nil {
+		t.Error("invalid CV accepted")
+	}
+	if err := d.ConfigureTechnique(1, OCV{Seconds: -1}); err == nil {
+		t.Error("invalid OCV accepted")
+	}
+	if err := d.ConfigureTechnique(1, CP{Seconds: 1, Current: 0}); err == nil {
+		t.Error("zero-current CP accepted")
+	}
+}
+
+func TestEventLogMatchesFig6(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	cv := DefaultCV()
+	cv.PointsPerCycle = 200
+	runPipeline(t, d, cv)
+	log := strings.Join(d.EventLog(), "\n")
+	for _, want := range []string{
+		"Initialization done!!",
+		"Connection to the Potentiostat is Done",
+		"> Loading kernel4.bin ...",
+		"> ... firmware loaded",
+		"CV technique initialization is done !!",
+		"Loading technique is done !!",
+		"Channel connection is initiated",
+		"Channel is automatically disconnected",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("event log missing %q\nlog:\n%s", want, log)
+		}
+	}
+}
+
+func TestDisconnectedElectrodeProducesFlatline(t *testing.T) {
+	d, cell, sink := filledDevice(t)
+	cell.SetElectrodesConnected(false)
+	cv := DefaultCV()
+	cv.PointsPerCycle = 300
+	recs := runPipeline(t, d, cv)
+	for _, r := range recs {
+		if math.Abs(r.I) > 1e-6 {
+			t.Fatalf("open-circuit current %v", r.I)
+		}
+	}
+	name, _ := d.MeasurementFileName(1)
+	data, _ := sink.Bytes(name)
+	mf, err := ParseMPT(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Label != "disconnected-electrode" {
+		t.Errorf("file label = %q", mf.Label)
+	}
+}
+
+func TestLowVolumeLabelInFile(t *testing.T) {
+	cell := labstate.DefaultCell()
+	cell.AddSolution(echem.FerroceneSolution(), units.Milliliters(2)) // below 5 mL minimum
+	sink := NewMemSink()
+	d := NewSP200(cell, sink)
+	cv := DefaultCV()
+	cv.PointsPerCycle = 300
+	runPipeline(t, d, cv)
+	name, _ := d.MeasurementFileName(1)
+	data, _ := sink.Bytes(name)
+	mf, _ := ParseMPT(bytes.NewReader(data))
+	if mf.Label != "low-volume" {
+		t.Errorf("file label = %q, want low-volume", mf.Label)
+	}
+}
+
+func TestOCVTechnique(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	recs := runPipeline(t, d, OCV{Seconds: 10, Points: 100})
+	if len(recs) != 101 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.I != 0 {
+			t.Fatalf("OCV passed current %v", r.I)
+		}
+	}
+	// Rest potential of a mostly reduced solution sits below E0'.
+	if recs[0].Ewe >= 0.40 {
+		t.Errorf("rest potential %v ≥ E0'", recs[0].Ewe)
+	}
+	if recs[0].Ewe < 0.40-0.3 {
+		t.Errorf("rest potential %v implausibly low", recs[0].Ewe)
+	}
+}
+
+func TestCPTechniqueShowsSandTransition(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	// Pick a current whose Sand time falls inside the run.
+	i := units.Microamperes(60)
+	tau := SandTransitionTime(1, units.SquareCentimeters(0.07), units.Millimolar(2), 2.4e-9, i)
+	if tau <= 0.5 || tau >= 60 {
+		t.Fatalf("test setup: tau = %v s not in window", tau)
+	}
+	recs := runPipeline(t, d, CP{Current: i, Seconds: tau * 2, Points: 400})
+	// Before τ/2 the potential sits near E0; after 1.5τ it must have
+	// railed upward.
+	var early, late float64
+	for _, r := range recs {
+		if r.T > tau*0.4 && r.T < tau*0.5 {
+			early = r.Ewe
+		}
+		if r.T > tau*1.5 {
+			late = r.Ewe
+			break
+		}
+	}
+	if math.Abs(early-0.40) > 0.1 {
+		t.Errorf("pre-transition potential %v not near E0'", early)
+	}
+	if late < 5 {
+		t.Errorf("post-transition potential %v did not rail", late)
+	}
+}
+
+func TestCPOnOpenCircuitRails(t *testing.T) {
+	d, cell, _ := filledDevice(t)
+	cell.SetElectrodesConnected(false)
+	recs := runPipeline(t, d, CP{Current: units.Microamperes(10), Seconds: 5, Points: 100})
+	for _, r := range recs {
+		if r.Ewe < 5 {
+			t.Fatalf("open-circuit CP potential %v, want railed", r.Ewe)
+		}
+	}
+}
+
+func TestLSVTechnique(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	recs := runPipeline(t, d, LSV{
+		Ei: units.Volts(0.05), Ef: units.Volts(0.8),
+		Rate: units.MillivoltsPerSecond(50), Points: 500,
+	})
+	// LSV forward sweep only: positive peak, no negative peak.
+	var ipa, ipc float64
+	for _, r := range recs {
+		if r.I > ipa {
+			ipa = r.I
+		}
+		if r.I < ipc {
+			ipc = r.I
+		}
+	}
+	if ipa < 1e-5 {
+		t.Errorf("LSV peak %v too small", ipa)
+	}
+	if ipc < -2e-6 {
+		t.Errorf("LSV shows cathodic current %v on a forward sweep", ipc)
+	}
+}
+
+func TestMultiCycleCycleNumbers(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	cv := DefaultCV()
+	cv.Program.Cycles = 3
+	cv.PointsPerCycle = 200
+	recs := runPipeline(t, d, cv)
+	seen := map[int]bool{}
+	for _, r := range recs {
+		seen[r.Cycle] = true
+	}
+	for c := 0; c < 3; c++ {
+		if !seen[c] {
+			t.Errorf("cycle %d never recorded", c)
+		}
+	}
+	if seen[3] {
+		t.Error("cycle 3 recorded on a 3-cycle run")
+	}
+	// Cycle numbers are non-decreasing.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Cycle < recs[i-1].Cycle {
+			t.Fatalf("cycle regressed at %d", i)
+		}
+	}
+}
+
+func TestSecondRunGetsNewFileAndSeed(t *testing.T) {
+	d, _, sink := filledDevice(t)
+	cv := DefaultCV()
+	cv.PointsPerCycle = 150
+	runPipeline(t, d, cv)
+	name1, _ := d.MeasurementFileName(1)
+
+	// Re-run on the same channel without re-initialising.
+	if err := d.ConfigureTechnique(1, cv); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadTechnique(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartChannel(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Wait(1); err != nil {
+		t.Fatal(err)
+	}
+	name2, _ := d.MeasurementFileName(1)
+	if name1 == name2 {
+		t.Errorf("second run reused file name %q", name1)
+	}
+	if len(sink.Names()) != 2 {
+		t.Errorf("sink holds %d files, want 2", len(sink.Names()))
+	}
+}
+
+func TestTwoChannelsRunConcurrently(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	d.Initialize(DefaultSystemConfig())
+	d.Connect()
+	d.LoadFirmware()
+	cv := DefaultCV()
+	cv.PointsPerCycle = 200
+	for _, ch := range []int{1, 2} {
+		if err := d.ConfigureTechnique(ch, cv); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.LoadTechnique(ch); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.StartChannel(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ch := range []int{1, 2} {
+		recs, err := d.Wait(ch)
+		if err != nil {
+			t.Fatalf("channel %d: %v", ch, err)
+		}
+		if len(recs) != 201 {
+			t.Errorf("channel %d records = %d", ch, len(recs))
+		}
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	d.Initialize(DefaultSystemConfig())
+	d.Connect()
+	d.LoadFirmware()
+	cv := DefaultCV()
+	cv.PointsPerCycle = 5000 // long enough to still be running
+	d.ConfigureTechnique(1, cv)
+	d.LoadTechnique(1)
+	if err := d.StartChannel(1); err != nil {
+		t.Fatal(err)
+	}
+	err := d.StartChannel(1)
+	if err == nil && d.Busy(1) {
+		t.Error("double StartChannel accepted while running")
+	}
+	d.Wait(1)
+}
+
+func TestDisconnectWaitsForRuns(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	d.Initialize(DefaultSystemConfig())
+	d.Connect()
+	d.LoadFirmware()
+	cv := DefaultCV()
+	cv.PointsPerCycle = 1000
+	d.ConfigureTechnique(1, cv)
+	d.LoadTechnique(1)
+	d.StartChannel(1)
+	if err := d.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != StateOff {
+		t.Errorf("state after Disconnect = %v", d.State())
+	}
+	if d.Busy(1) {
+		t.Error("channel still busy after Disconnect")
+	}
+	if err := d.Disconnect(); !errors.Is(err, ErrBadState) {
+		t.Errorf("double Disconnect = %v", err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	if s := d.Status(); !strings.Contains(s, "off") {
+		t.Errorf("Status = %q", s)
+	}
+	d.Initialize(DefaultSystemConfig())
+	if s := d.Status(); !strings.Contains(s, "initialized") || !strings.Contains(s, "channels=2") {
+		t.Errorf("Status = %q", s)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateOff: "off", StateInitialized: "initialized",
+		StateConnected: "connected", StateFirmwareLoaded: "firmware-loaded",
+		State(9): "state(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestSandTransitionTime(t *testing.T) {
+	// τ scales inversely with i².
+	tau1 := SandTransitionTime(1, units.SquareCentimeters(0.07), units.Millimolar(2), 2.4e-9, units.Microamperes(60))
+	tau2 := SandTransitionTime(1, units.SquareCentimeters(0.07), units.Millimolar(2), 2.4e-9, units.Microamperes(120))
+	if math.Abs(tau1/tau2-4) > 1e-9 {
+		t.Errorf("tau ratio = %v, want 4", tau1/tau2)
+	}
+	if !math.IsInf(SandTransitionTime(1, units.SquareCentimeters(1), units.Millimolar(1), 1e-9, 0), 1) {
+		t.Error("zero current should give infinite tau")
+	}
+}
+
+func TestTechniqueMetadata(t *testing.T) {
+	cv := DefaultCV()
+	if cv.Name() != "CV" || cv.Samples() != 1500 {
+		t.Errorf("CV metadata: %q %d", cv.Name(), cv.Samples())
+	}
+	if math.Abs(cv.Duration()-30) > 1e-9 {
+		t.Errorf("CV duration = %v, want 30", cv.Duration())
+	}
+	l := LSV{Ei: units.Volts(0), Ef: units.Volts(1), Rate: units.VoltsPerSecond(0.5)}
+	if l.Samples() != 1000 || math.Abs(l.Duration()-2) > 1e-9 {
+		t.Errorf("LSV metadata: %d %v", l.Samples(), l.Duration())
+	}
+	ca := CA{Rest: units.Volts(0), Step: units.Volts(0.8), RestSeconds: 1, StepSeconds: 4}
+	if ca.Name() != "CA" || ca.Duration() != 5 || ca.Samples() != 1000 {
+		t.Errorf("CA metadata: %q %v %d", ca.Name(), ca.Duration(), ca.Samples())
+	}
+	o := OCV{Seconds: 10}
+	if o.Name() != "OCV" || o.Samples() != 200 {
+		t.Errorf("OCV metadata: %q %d", o.Name(), o.Samples())
+	}
+	cp := CP{Current: units.Microamperes(10), Seconds: 5}
+	if cp.Name() != "CP" || cp.Samples() != 500 {
+		t.Errorf("CP metadata: %q %d", cp.Name(), cp.Samples())
+	}
+}
+
+func TestCATechniqueThroughDevice(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	recs := runPipeline(t, d, CA{
+		Rest: units.Volts(0.05), Step: units.Volts(0.9),
+		RestSeconds: 0.5, StepSeconds: 4.5, Points: 500,
+	})
+	// Current decays after the step.
+	var at1, at4 float64
+	for _, r := range recs {
+		if at1 == 0 && r.T >= 1.5 {
+			at1 = r.I
+		}
+		if r.T >= 4.5 {
+			at4 = r.I
+			break
+		}
+	}
+	if at1 <= at4 {
+		t.Errorf("CA current did not decay: i(1.5s)=%v i(4.5s)=%v", at1, at4)
+	}
+}

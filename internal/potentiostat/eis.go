@@ -1,0 +1,193 @@
+package potentiostat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// EIS is the electrochemical impedance spectroscopy technique: a
+// logarithmic frequency sweep returning the complex impedance
+// spectrum. It is one of the "other electrochemical testing
+// techniques" the paper's future work targets.
+type EIS struct {
+	// FreqMinHz and FreqMaxHz bound the sweep.
+	FreqMinHz, FreqMaxHz float64
+	// PointsPerDecade sets spectral resolution; zero selects 10.
+	PointsPerDecade int
+	// AmplitudeMV is the excitation amplitude in mV RMS; zero selects
+	// 10 mV.
+	AmplitudeMV float64
+}
+
+// DefaultEIS returns a 100 kHz → 0.1 Hz sweep at 10 points/decade.
+func DefaultEIS() EIS {
+	return EIS{FreqMinHz: 0.1, FreqMaxHz: 100_000, PointsPerDecade: 10, AmplitudeMV: 10}
+}
+
+// Name implements Technique.
+func (EIS) Name() string { return "PEIS" }
+
+// Validate implements Technique.
+func (e EIS) Validate() error {
+	return e.sweep(0).Validate()
+}
+
+// Samples implements Technique.
+func (e EIS) Samples() int {
+	s := e.sweep(0)
+	if s.FreqMin <= 0 || s.FreqMax <= s.FreqMin {
+		return 0
+	}
+	decades := 0.0
+	for f := s.FreqMin; f < s.FreqMax; f *= 10 {
+		decades++
+	}
+	return int(decades)*s.PointsPerDecade + 1
+}
+
+// Duration implements Technique. A real sweep spends ~5 periods per
+// point; the estimate is dominated by the lowest decade.
+func (e EIS) Duration() float64 {
+	if e.FreqMinHz <= 0 {
+		return 0
+	}
+	return 5 / e.FreqMinHz * float64(e.points())
+}
+
+func (e EIS) points() int {
+	if e.PointsPerDecade > 0 {
+		return e.PointsPerDecade
+	}
+	return 10
+}
+
+func (e EIS) sweep(seed int64) echem.EISSweepConfig {
+	amp := e.AmplitudeMV
+	if amp == 0 {
+		amp = 10
+	}
+	return echem.EISSweepConfig{
+		FreqMin:         e.FreqMinHz,
+		FreqMax:         e.FreqMaxHz,
+		PointsPerDecade: e.points(),
+		AmplitudeRMS:    units.Millivolts(amp),
+		NoiseFraction:   0.002,
+		NoiseSeed:       seed,
+	}
+}
+
+// eisMagic is the banner of the impedance measurement file format.
+const eisMagic = "EC-Lab EIS ASCII FILE (ICE simulated)"
+
+// WriteEIS writes an impedance spectrum file (freq, Re Z, −Im Z, |Z|,
+// phase columns, matching EC-Lab's PEIS export vocabulary).
+func WriteEIS(w io.Writer, label string, points []echem.ImpedancePoint) error {
+	if _, err := fmt.Fprintf(w, "%s\nTechnique : PEIS\nLabel : %s\nNb of data points : %d\nfreq/Hz\tRe(Z)/Ohm\t-Im(Z)/Ohm\t|Z|/Ohm\tPhase(Z)/deg\n",
+		eisMagic, label, len(points)); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%.6e\t%.6e\t%.6e\t%.6e\t%.4f\n",
+			p.Frequency, p.Zre, -p.Zim, p.Magnitude(), p.Phase()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseEIS parses an impedance spectrum file back.
+func ParseEIS(r io.Reader) (label string, points []echem.ImpedancePoint, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != eisMagic {
+		return "", nil, fmt.Errorf("potentiostat: not an EIS file")
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "Technique :"):
+		case strings.HasPrefix(line, "Label :"):
+			label = strings.TrimSpace(strings.TrimPrefix(line, "Label :"))
+		case strings.HasPrefix(line, "Nb of data points :"):
+		case strings.HasPrefix(line, "freq/Hz\t"):
+			goto body
+		default:
+			return "", nil, fmt.Errorf("potentiostat: unexpected EIS header %q", line)
+		}
+	}
+	return "", nil, fmt.Errorf("potentiostat: missing EIS column header")
+
+body:
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), "\t")
+		if len(fields) != 5 {
+			break
+		}
+		f, e1 := strconv.ParseFloat(fields[0], 64)
+		re, e2 := strconv.ParseFloat(fields[1], 64)
+		negIm, e3 := strconv.ParseFloat(fields[2], 64)
+		if e1 != nil || e2 != nil || e3 != nil {
+			break
+		}
+		points = append(points, echem.ImpedancePoint{Frequency: f, Zre: re, Zim: -negIm})
+	}
+	return label, points, sc.Err()
+}
+
+// RunEIS executes an impedance sweep on channel ch: the device must be
+// firmware-loaded. The spectrum is written to the sink and returned.
+func (d *SP200) RunEIS(ch int, tech EIS) ([]echem.ImpedancePoint, string, error) {
+	d.mu.Lock()
+	if d.state != StateFirmwareLoaded {
+		d.mu.Unlock()
+		return nil, "", fmt.Errorf("%w: RunEIS from %v", ErrBadState, d.state)
+	}
+	cs, err := d.channel(ch)
+	if err != nil {
+		d.mu.Unlock()
+		return nil, "", err
+	}
+	if cs.running {
+		d.mu.Unlock()
+		return nil, "", fmt.Errorf("potentiostat: channel %d is acquiring", ch)
+	}
+	if err := tech.Validate(); err != nil {
+		d.mu.Unlock()
+		return nil, "", err
+	}
+	d.runSeq++
+	runID := int64(d.runSeq)
+	fileName := fmt.Sprintf("PEIS_ch%d_run%03d.mpt", ch, runID)
+	cs.fileName = fileName
+	cfg := d.cfg
+	cell := d.cell
+	sink := d.sink
+	d.logf("PEIS sweep started (%g Hz → %g Hz)", tech.FreqMaxHz, tech.FreqMinHz)
+	d.mu.Unlock()
+
+	cellCfg := cell.MeasurementConfig(cfg.ElectrodeArea, cfg.NoiseSeed+runID*104729)
+	points, err := echem.SimulateEIS(cellCfg, tech.sweep(cellCfg.NoiseSeed))
+	if err != nil {
+		return nil, "", err
+	}
+	if sink != nil {
+		w, err := sink.Create(fileName)
+		if err != nil {
+			return nil, "", err
+		}
+		defer w.Close()
+		if err := WriteEIS(w, cellCfg.Fault.String(), points); err != nil {
+			return nil, "", err
+		}
+	}
+	d.mu.Lock()
+	d.logf("PEIS sweep complete: %d points", len(points))
+	d.mu.Unlock()
+	return points, fileName, nil
+}

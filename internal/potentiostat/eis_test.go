@@ -1,0 +1,136 @@
+package potentiostat
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ice/internal/echem"
+	"ice/internal/labstate"
+	"ice/internal/units"
+)
+
+func TestEISTechniqueMetadata(t *testing.T) {
+	e := DefaultEIS()
+	if e.Name() != "PEIS" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if err := e.Validate(); err != nil {
+		t.Errorf("default EIS invalid: %v", err)
+	}
+	if got := e.Samples(); got != 61 {
+		t.Errorf("Samples = %d, want 61 (6 decades × 10 + 1)", got)
+	}
+	if e.Duration() <= 0 {
+		t.Errorf("Duration = %v", e.Duration())
+	}
+	bad := EIS{FreqMinHz: 10, FreqMaxHz: 1, PointsPerDecade: 5}
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted sweep accepted")
+	}
+}
+
+func TestRunEISOnDevice(t *testing.T) {
+	cell := labstate.DefaultCell()
+	cell.AddSolution(echem.FerroceneSolution(), units.Milliliters(8))
+	sink := NewMemSink()
+	d := NewSP200(cell, sink)
+	// EIS needs the pipeline through firmware.
+	if _, _, err := d.RunEIS(1, DefaultEIS()); !errors.Is(err, ErrBadState) {
+		t.Errorf("RunEIS before pipeline = %v, want ErrBadState", err)
+	}
+	d.Initialize(DefaultSystemConfig())
+	d.Connect()
+	d.LoadFirmware()
+
+	points, name, err := d.RunEIS(1, DefaultEIS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 61 {
+		t.Errorf("points = %d", len(points))
+	}
+	if !strings.HasPrefix(name, "PEIS_ch1_") {
+		t.Errorf("file = %q", name)
+	}
+	// The file parses back identically (within print precision).
+	data, ok := sink.Bytes(name)
+	if !ok {
+		t.Fatal("EIS file missing")
+	}
+	label, parsed, err := ParseEIS(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "normal" {
+		t.Errorf("label = %q", label)
+	}
+	if len(parsed) != len(points) {
+		t.Fatalf("parsed %d points, want %d", len(parsed), len(points))
+	}
+	for i := range points {
+		if math.Abs(parsed[i].Frequency-points[i].Frequency)/points[i].Frequency > 1e-5 {
+			t.Fatalf("freq mismatch at %d", i)
+		}
+		if relDiff(parsed[i].Zre, points[i].Zre) > 1e-5 || relDiff(parsed[i].Zim, points[i].Zim) > 1e-5 {
+			t.Fatalf("Z mismatch at %d: %+v vs %+v", i, parsed[i], points[i])
+		}
+	}
+	// Event log recorded the sweep.
+	log := strings.Join(d.EventLog(), "\n")
+	if !strings.Contains(log, "PEIS sweep complete") {
+		t.Errorf("event log missing sweep: %s", log)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestRunEISInvalidTechnique(t *testing.T) {
+	cell := labstate.DefaultCell()
+	cell.AddSolution(echem.FerroceneSolution(), units.Milliliters(8))
+	d := NewSP200(cell, NewMemSink())
+	d.Initialize(DefaultSystemConfig())
+	d.Connect()
+	d.LoadFirmware()
+	if _, _, err := d.RunEIS(1, EIS{FreqMinHz: -1, FreqMaxHz: 1}); err == nil {
+		t.Error("invalid sweep accepted")
+	}
+	if _, _, err := d.RunEIS(9, DefaultEIS()); err == nil {
+		t.Error("bad channel accepted")
+	}
+}
+
+func TestParseEISRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "nope\n", eisMagic + "\nWAT : x\n"} {
+		if _, _, err := ParseEIS(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseEIS(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEISFileNameSequenceAdvances(t *testing.T) {
+	cell := labstate.DefaultCell()
+	cell.AddSolution(echem.FerroceneSolution(), units.Milliliters(8))
+	d := NewSP200(cell, NewMemSink())
+	d.Initialize(DefaultSystemConfig())
+	d.Connect()
+	d.LoadFirmware()
+	_, n1, err := d.RunEIS(1, DefaultEIS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, n2, err := d.RunEIS(1, DefaultEIS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == n2 {
+		t.Errorf("EIS runs reused file name %q", n1)
+	}
+}

@@ -1,0 +1,61 @@
+package potentiostat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseMPT ensures arbitrary bytes never panic the measurement
+// parser.
+func FuzzParseMPT(f *testing.F) {
+	var good bytes.Buffer
+	WriteMPTHeader(&good, "CV", "normal", 2)
+	WriteMPTRecords(&good, sampleRecords())
+	f.Add(good.String())
+	f.Add("")
+	f.Add("EC-Lab ASCII FILE (ICE simulated)\n")
+	f.Add("EC-Lab ASCII FILE (ICE simulated)\nNb of data points : -9\nmode\tt\n2\t1\t2\t3\t4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		mf, err := ParseMPT(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted files must carry internally consistent records.
+		for i, r := range mf.Records {
+			if i > 0 && r.T < mf.Records[i-1].T-1e9 {
+				// wildly non-monotonic time is fine to parse; just
+				// ensure no panic touching fields
+				_ = r
+			}
+		}
+	})
+}
+
+// FuzzDecodeBinary ensures arbitrary bytes never panic or over-allocate
+// the binary record decoder.
+func FuzzDecodeBinary(f *testing.F) {
+	var good bytes.Buffer
+	EncodeBinary(&good, sampleRecords())
+	f.Add(good.Bytes())
+	f.Add([]byte("VMP3"))
+	f.Add([]byte{})
+	f.Add(append([]byte("VMP3"), 0xFF, 0xFF, 0xFF, 0xFF))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		recs, err := DecodeBinary(bytes.NewReader(input))
+		if err == nil && len(input) < 12 && len(recs) > 0 {
+			t.Fatalf("decoded %d records from %d bytes", len(recs), len(input))
+		}
+	})
+}
+
+// FuzzParseEIS ensures the EIS parser is panic-free.
+func FuzzParseEIS(f *testing.F) {
+	var good bytes.Buffer
+	WriteEIS(&good, "normal", nil)
+	f.Add(good.String())
+	f.Add("EC-Lab EIS ASCII FILE (ICE simulated)\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ParseEIS(strings.NewReader(input))
+	})
+}

@@ -1,0 +1,97 @@
+package potentiostat
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCurrentRangeClipsAndCountsOverloads(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	d.Initialize(DefaultSystemConfig())
+	d.Connect()
+	d.LoadFirmware()
+	// The ferrocene peak is ~40 µA; a 10 µA range must clip it.
+	if err := d.SetCurrentRange(1, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	cv := DefaultCV()
+	cv.PointsPerCycle = 400
+	d.ConfigureTechnique(1, cv)
+	d.LoadTechnique(1)
+	d.StartChannel(1)
+	recs, err := d.Wait(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if math.Abs(r.I) > 1e-5+1e-12 {
+			t.Fatalf("current %v beyond 10 µA range", r.I)
+		}
+	}
+	n, err := d.Overloads(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("no overloads counted for a clipped run")
+	}
+	if !strings.Contains(strings.Join(d.EventLog(), "\n"), "OVERLOAD") {
+		t.Error("overload not logged")
+	}
+}
+
+func TestAutorangeDoesNotClip(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	cv := DefaultCV()
+	cv.PointsPerCycle = 400
+	recs := runPipeline(t, d, cv)
+	peak := 0.0
+	for _, r := range recs {
+		if r.I > peak {
+			peak = r.I
+		}
+	}
+	if peak < 3e-5 {
+		t.Errorf("autorange peak %v suspiciously low", peak)
+	}
+	n, _ := d.Overloads(1)
+	if n != 0 {
+		t.Errorf("autorange counted %d overloads", n)
+	}
+}
+
+func TestGenerousRangePassesSignal(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	d.Initialize(DefaultSystemConfig())
+	d.Connect()
+	d.LoadFirmware()
+	if err := d.SetCurrentRange(1, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	cv := DefaultCV()
+	cv.PointsPerCycle = 300
+	d.ConfigureTechnique(1, cv)
+	d.LoadTechnique(1)
+	d.StartChannel(1)
+	if _, err := d.Wait(1); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.Overloads(1); n != 0 {
+		t.Errorf("1 mA range clipped %d samples of a 40 µA signal", n)
+	}
+}
+
+func TestSetCurrentRangeValidation(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	d.Initialize(DefaultSystemConfig())
+	if err := d.SetCurrentRange(1, 3e-5); err == nil {
+		t.Error("non-decade range accepted")
+	}
+	if err := d.SetCurrentRange(1, 0); err != nil {
+		t.Errorf("autorange rejected: %v", err)
+	}
+	if err := d.SetCurrentRange(9, 1e-5); err == nil {
+		t.Error("bad channel accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package potentiostat
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Record is one acquired data point in the EC-Lab column convention:
+// time, working-electrode potential, current and cycle number.
+type Record struct {
+	// T is elapsed time in seconds.
+	T float64
+	// Ewe is the working-electrode potential in volts.
+	Ewe float64
+	// I is the current in amperes.
+	I float64
+	// Cycle is the zero-based cycle number.
+	Cycle int
+}
+
+// MeasurementFile is a parsed measurement file.
+type MeasurementFile struct {
+	// Technique is the short technique name from the header.
+	Technique string
+	// Label carries the run label (fault class in simulated datasets).
+	Label string
+	// Records in acquisition order.
+	Records []Record
+}
+
+// mptMagic is the first header line of the ASCII measurement format,
+// mirroring EC-Lab's export banner.
+const mptMagic = "EC-Lab ASCII FILE (ICE simulated)"
+
+// WriteMPTHeader writes the file banner. The body is streamed with
+// WriteMPTRecords so acquisition can flush incrementally, the way the
+// instrument software appends during a run.
+func WriteMPTHeader(w io.Writer, technique, label string, points int) error {
+	_, err := fmt.Fprintf(w, "%s\nTechnique : %s\nLabel : %s\nNb of data points : %d\nmode\ttime/s\tEwe/V\tI/A\tcycle number\n",
+		mptMagic, technique, label, points)
+	return err
+}
+
+// WriteMPTRecords appends data rows.
+func WriteMPTRecords(w io.Writer, recs []Record) error {
+	var b bytes.Buffer
+	for _, r := range recs {
+		fmt.Fprintf(&b, "2\t%.6f\t%.6f\t%.6e\t%d\n", r.T, r.Ewe, r.I, r.Cycle)
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// ParseMPT parses a measurement file produced by WriteMPTHeader/
+// WriteMPTRecords. It tolerates a truncated final line, so it can be
+// used on files still being written across the data channel.
+func ParseMPT(r io.Reader) (*MeasurementFile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("potentiostat: empty measurement file")
+	}
+	if strings.TrimSpace(sc.Text()) != mptMagic {
+		return nil, fmt.Errorf("potentiostat: bad magic %q", sc.Text())
+	}
+	mf := &MeasurementFile{}
+	declared := -1
+	// Header lines until the column header.
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "Technique :"):
+			mf.Technique = strings.TrimSpace(strings.TrimPrefix(line, "Technique :"))
+		case strings.HasPrefix(line, "Label :"):
+			mf.Label = strings.TrimSpace(strings.TrimPrefix(line, "Label :"))
+		case strings.HasPrefix(line, "Nb of data points :"):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "Nb of data points :")))
+			if err != nil {
+				return nil, fmt.Errorf("potentiostat: bad point count: %v", err)
+			}
+			declared = n
+		case strings.HasPrefix(line, "mode\t"):
+			goto body
+		default:
+			return nil, fmt.Errorf("potentiostat: unexpected header line %q", line)
+		}
+	}
+	return nil, fmt.Errorf("potentiostat: missing column header")
+
+body:
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 5 {
+			// Truncated tail row from an in-flight transfer: stop here.
+			break
+		}
+		t, err1 := strconv.ParseFloat(fields[1], 64)
+		e, err2 := strconv.ParseFloat(fields[2], 64)
+		i, err3 := strconv.ParseFloat(fields[3], 64)
+		cyc, err4 := strconv.Atoi(fields[4])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			break
+		}
+		mf.Records = append(mf.Records, Record{T: t, Ewe: e, I: i, Cycle: cyc})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	_ = declared // informational; in-flight files may hold fewer rows
+	return mf, nil
+}
+
+// vmpMagic marks the binary record block format (loosely modelled on
+// the VMP3 data blocks the paper's Fig. 6b dumps as array('L', ...)).
+var vmpMagic = [4]byte{'V', 'M', 'P', '3'}
+
+// EncodeBinary serialises records into the compact binary block format.
+func EncodeBinary(w io.Writer, recs []Record) error {
+	if _, err := w.Write(vmpMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(recs))); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := binary.Write(w, binary.LittleEndian, r.T); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, r.Ewe); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, r.I); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(r.Cycle)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBinary parses a binary record block.
+func DecodeBinary(r io.Reader) ([]Record, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("potentiostat: binary block magic: %w", err)
+	}
+	if magic != vmpMagic {
+		return nil, fmt.Errorf("potentiostat: bad binary magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxRecords = 50_000_000
+	if count > maxRecords {
+		return nil, fmt.Errorf("potentiostat: implausible record count %d", count)
+	}
+	recs := make([]Record, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var rec Record
+		var cyc uint32
+		if err := binary.Read(r, binary.LittleEndian, &rec.T); err != nil {
+			return nil, fmt.Errorf("potentiostat: record %d: %w", i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &rec.Ewe); err != nil {
+			return nil, fmt.Errorf("potentiostat: record %d: %w", i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &rec.I); err != nil {
+			return nil, fmt.Errorf("potentiostat: record %d: %w", i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &cyc); err != nil {
+			return nil, fmt.Errorf("potentiostat: record %d: %w", i, err)
+		}
+		rec.Cycle = int(cyc)
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}

@@ -1,0 +1,168 @@
+package potentiostat
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{T: 0, Ewe: 0.05, I: 0, Cycle: 0},
+		{T: 0.02, Ewe: 0.051, I: 1.2e-7, Cycle: 0},
+		{T: 0.04, Ewe: 0.052, I: -3.4e-6, Cycle: 1},
+	}
+}
+
+func TestMPTRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleRecords()
+	if err := WriteMPTHeader(&buf, "CV", "normal", len(recs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMPTRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := ParseMPT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Technique != "CV" || mf.Label != "normal" {
+		t.Errorf("header = %q %q", mf.Technique, mf.Label)
+	}
+	if len(mf.Records) != len(recs) {
+		t.Fatalf("records = %d, want %d", len(mf.Records), len(recs))
+	}
+	for i, r := range mf.Records {
+		if math.Abs(r.T-recs[i].T) > 1e-6 || math.Abs(r.Ewe-recs[i].Ewe) > 1e-6 {
+			t.Errorf("record %d = %+v, want %+v", i, r, recs[i])
+		}
+		if r.Cycle != recs[i].Cycle {
+			t.Errorf("record %d cycle = %d, want %d", i, r.Cycle, recs[i].Cycle)
+		}
+		// Currents use %.6e: relative accuracy.
+		if recs[i].I != 0 && math.Abs(r.I-recs[i].I)/math.Abs(recs[i].I) > 1e-5 {
+			t.Errorf("record %d I = %v, want %v", i, r.I, recs[i].I)
+		}
+	}
+}
+
+func TestParseMPTToleratesTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleRecords()
+	WriteMPTHeader(&buf, "CV", "normal", len(recs))
+	WriteMPTRecords(&buf, recs)
+	full := buf.Bytes()
+	// Chop mid-way through the last row, as an in-flight transfer would.
+	cut := full[:len(full)-7]
+	mf, err := ParseMPT(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mf.Records) != len(recs)-1 {
+		t.Errorf("records = %d, want %d (truncated tail dropped)", len(mf.Records), len(recs)-1)
+	}
+}
+
+func TestParseMPTRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not a measurement file\n",
+		"EC-Lab ASCII FILE (ICE simulated)\nTechnique : CV\n", // no column header
+		"EC-Lab ASCII FILE (ICE simulated)\nWAT : x\n",
+	} {
+		if _, err := ParseMPT(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseMPT(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseMPTBadPointCount(t *testing.T) {
+	in := "EC-Lab ASCII FILE (ICE simulated)\nNb of data points : many\nmode\tt\n"
+	if _, err := ParseMPT(strings.NewReader(in)); err == nil {
+		t.Error("non-numeric point count accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleRecords()
+	if err := EncodeBinary(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestDecodeBinaryErrors(t *testing.T) {
+	if _, err := DecodeBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := DecodeBinary(bytes.NewReader([]byte("XXXX\x00\x00\x00\x00"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated record payload.
+	var buf bytes.Buffer
+	EncodeBinary(&buf, sampleRecords())
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := DecodeBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Implausible count.
+	huge := append([]byte("VMP3"), 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeBinary(bytes.NewReader(huge)); err == nil {
+		t.Error("absurd record count accepted")
+	}
+}
+
+// Property: binary encoding is lossless for arbitrary records.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(ts, es, is []float64, cycles []uint8) bool {
+		n := len(ts)
+		for _, other := range []int{len(es), len(is), len(cycles)} {
+			if other < n {
+				n = other
+			}
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{T: ts[i], Ewe: es[i], I: is[i], Cycle: int(cycles[i])}
+		}
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, recs); err != nil {
+			return false
+		}
+		got, err := DecodeBinary(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range recs {
+			a, b := recs[i], got[i]
+			// NaN compares unequal to itself; accept bit-identical NaN.
+			if a.Cycle != b.Cycle ||
+				!floatEqual(a.T, b.T) || !floatEqual(a.Ewe, b.Ewe) || !floatEqual(a.I, b.I) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func floatEqual(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}

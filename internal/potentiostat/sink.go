@@ -1,0 +1,101 @@
+package potentiostat
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Sink receives measurement files as the instrument produces them. The
+// control agent points it at the directory the data channel exports.
+type Sink interface {
+	// Create opens a named measurement file for streaming writes.
+	Create(name string) (io.WriteCloser, error)
+}
+
+// DirSink writes measurement files into a directory.
+type DirSink struct {
+	// Dir is the destination directory; it must exist.
+	Dir string
+}
+
+// Create implements Sink. Names are sanitised to their base component
+// so instrument-supplied names cannot escape the directory.
+func (d DirSink) Create(name string) (io.WriteCloser, error) {
+	base := filepath.Base(name)
+	if base == "." || base == ".." || base == string(filepath.Separator) {
+		return nil, fmt.Errorf("potentiostat: invalid measurement file name %q", name)
+	}
+	return os.Create(filepath.Join(d.Dir, base))
+}
+
+// MemSink keeps measurement files in memory, for tests and for the
+// single-process workbench.
+type MemSink struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+// NewMemSink returns an empty in-memory sink.
+func NewMemSink() *MemSink { return &MemSink{files: make(map[string]*memFile)} }
+
+// Create implements Sink.
+func (m *MemSink) Create(name string) (io.WriteCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{sink: m, name: name}
+	m.files[name] = f
+	return f, nil
+}
+
+// Bytes returns the current contents of a file.
+func (m *MemSink) Bytes(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.buf.Bytes()...), true
+}
+
+// Names returns the file names created so far.
+func (m *MemSink) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for k := range m.files {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Find returns the first file whose name contains substr.
+func (m *MemSink) Find(substr string) ([]byte, string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, f := range m.files {
+		if strings.Contains(name, substr) {
+			return append([]byte(nil), f.buf.Bytes()...), name, true
+		}
+	}
+	return nil, "", false
+}
+
+type memFile struct {
+	sink *MemSink
+	name string
+	buf  bytes.Buffer
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.sink.mu.Lock()
+	defer f.sink.mu.Unlock()
+	return f.buf.Write(p)
+}
+
+func (f *memFile) Close() error { return nil }

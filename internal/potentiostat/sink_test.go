@@ -1,0 +1,73 @@
+package potentiostat
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDirSinkWritesIntoDirectory(t *testing.T) {
+	dir := t.TempDir()
+	sink := DirSink{Dir: dir}
+	w, err := sink.Create("CV_ch1_run001.mpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "CV_ch1_run001.mpt"))
+	if err != nil || string(data) != "data" {
+		t.Errorf("file = %q, %v", data, err)
+	}
+}
+
+func TestDirSinkSanitisesNames(t *testing.T) {
+	dir := t.TempDir()
+	sink := DirSink{Dir: dir}
+	// Path traversal is confined to the directory.
+	w, err := sink.Create("../../etc/evil.mpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := os.Stat(filepath.Join(dir, "evil.mpt")); err != nil {
+		t.Errorf("sanitised file not in sink dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "evil.mpt")); err == nil {
+		t.Error("traversal escaped the sink directory")
+	}
+	// Degenerate names rejected.
+	for _, bad := range []string{".", "..", "/"} {
+		if _, err := sink.Create(bad); err == nil {
+			t.Errorf("Create(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMemSinkFind(t *testing.T) {
+	sink := NewMemSink()
+	w, _ := sink.Create("CV_ch1_run007.mpt")
+	w.Write([]byte("payload"))
+	w.Close()
+	data, name, ok := sink.Find("run007")
+	if !ok || name != "CV_ch1_run007.mpt" || string(data) != "payload" {
+		t.Errorf("Find = %q %q %v", data, name, ok)
+	}
+	if _, _, ok := sink.Find("absent"); ok {
+		t.Error("Find matched an absent file")
+	}
+	if _, ok := sink.Bytes("ghost"); ok {
+		t.Error("Bytes matched an absent file")
+	}
+}
+
+func TestOCVAndCPDurations(t *testing.T) {
+	if got := (OCV{Seconds: 12}).Duration(); got != 12 {
+		t.Errorf("OCV duration = %v", got)
+	}
+	if got := (CP{Seconds: 7}).Duration(); got != 7 {
+		t.Errorf("CP duration = %v", got)
+	}
+}

@@ -1,0 +1,275 @@
+// Package potentiostat simulates the Bio-Logic SP200 potentiostat and
+// the EC-Lab-style developer API the paper wraps: system
+// initialisation, channel connection, firmware loading, technique
+// configuration and loading, channel start, streamed acquisition and
+// automatic disconnection — the eight-step pipeline of the paper's
+// Fig. 6. Measurements are produced by the internal/echem physics
+// engine against the shared internal/labstate cell, and written as
+// EC-Lab-flavoured measurement files that the data channel exposes to
+// remote systems.
+package potentiostat
+
+import (
+	"fmt"
+	"math"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// Technique is an electrochemical technique a channel can run.
+type Technique interface {
+	// Name is the EC-Lab-style short name ("CV", "LSV", "CA", "CP",
+	// "OCV").
+	Name() string
+	// Validate checks the technique parameters.
+	Validate() error
+	// Samples is the number of points to acquire (excluding t = 0).
+	Samples() int
+	// Duration is the technique runtime in experiment seconds.
+	Duration() float64
+}
+
+// potentialTechnique is implemented by techniques that drive the cell
+// with a potential waveform through the diffusion simulator.
+type potentialTechnique interface {
+	Technique
+	waveform() (echem.Waveform, error)
+	// cycleAt maps experiment time to a cycle number.
+	cycleAt(t float64) int
+}
+
+// CV is cyclic voltammetry, the paper's demonstrated technique.
+type CV struct {
+	// Program holds the sweep parameters (Ei, E1, E2, Ef, rate, cycles).
+	Program echem.CVProgram
+	// PointsPerCycle is the number of samples acquired per cycle;
+	// zero selects 1500 (≈ 1 mV resolution at the demo settings).
+	PointsPerCycle int
+}
+
+// DefaultCV returns the paper's demonstration program: 0.05 → 0.8 →
+// 0.05 V at 50 mV/s, one cycle.
+func DefaultCV() CV {
+	return CV{Program: echem.CVProgram{
+		Ei:     units.Volts(0.05),
+		E1:     units.Volts(0.8),
+		E2:     units.Volts(0.05),
+		Ef:     units.Volts(0.05),
+		Rate:   units.MillivoltsPerSecond(50),
+		Cycles: 1,
+	}}
+}
+
+// Name implements Technique.
+func (CV) Name() string { return "CV" }
+
+// Validate implements Technique.
+func (c CV) Validate() error {
+	if err := c.Program.Validate(); err != nil {
+		return err
+	}
+	if c.PointsPerCycle < 0 {
+		return fmt.Errorf("potentiostat: CV points per cycle must be non-negative")
+	}
+	return nil
+}
+
+func (c CV) pointsPerCycle() int {
+	if c.PointsPerCycle > 0 {
+		return c.PointsPerCycle
+	}
+	return 1500
+}
+
+// Samples implements Technique.
+func (c CV) Samples() int { return c.pointsPerCycle() * c.Program.Cycles }
+
+// Duration implements Technique.
+func (c CV) Duration() float64 {
+	w, err := c.Program.Waveform()
+	if err != nil {
+		return 0
+	}
+	return w.Duration()
+}
+
+func (c CV) waveform() (echem.Waveform, error) { return c.Program.Waveform() }
+
+func (c CV) cycleAt(t float64) int {
+	dur := c.Duration()
+	if dur <= 0 {
+		return 0
+	}
+	per := dur / float64(c.Program.Cycles)
+	cyc := int(t / per)
+	if cyc >= c.Program.Cycles {
+		cyc = c.Program.Cycles - 1
+	}
+	if cyc < 0 {
+		cyc = 0
+	}
+	return cyc
+}
+
+// LSV is linear sweep voltammetry: a single ramp.
+type LSV struct {
+	// Ei and Ef are the sweep endpoints.
+	Ei, Ef units.Potential
+	// Rate is the scan rate.
+	Rate units.ScanRate
+	// Points is the sample count; zero selects 1000.
+	Points int
+}
+
+// Name implements Technique.
+func (LSV) Name() string { return "LSV" }
+
+// Validate implements Technique.
+func (l LSV) Validate() error {
+	_, err := echem.LinearSweep(l.Ei, l.Ef, l.Rate)
+	return err
+}
+
+// Samples implements Technique.
+func (l LSV) Samples() int {
+	if l.Points > 0 {
+		return l.Points
+	}
+	return 1000
+}
+
+// Duration implements Technique.
+func (l LSV) Duration() float64 {
+	if l.Rate.VoltsPerSecond() <= 0 {
+		return 0
+	}
+	return math.Abs(l.Ef.Volts()-l.Ei.Volts()) / l.Rate.VoltsPerSecond()
+}
+
+func (l LSV) waveform() (echem.Waveform, error) { return echem.LinearSweep(l.Ei, l.Ef, l.Rate) }
+func (l LSV) cycleAt(float64) int               { return 0 }
+
+// CA is chronoamperometry: a potential step with current sampling,
+// used for Cottrell analysis.
+type CA struct {
+	// Rest is the pre-step potential, Step the applied step.
+	Rest, Step units.Potential
+	// RestSeconds and StepSeconds are the two phase durations.
+	RestSeconds, StepSeconds float64
+	// Points is the sample count; zero selects 1000.
+	Points int
+}
+
+// Name implements Technique.
+func (CA) Name() string { return "CA" }
+
+// Validate implements Technique.
+func (c CA) Validate() error {
+	_, err := c.waveform()
+	return err
+}
+
+// Samples implements Technique.
+func (c CA) Samples() int {
+	if c.Points > 0 {
+		return c.Points
+	}
+	return 1000
+}
+
+// Duration implements Technique.
+func (c CA) Duration() float64 { return c.RestSeconds + c.StepSeconds }
+
+func (c CA) waveform() (echem.Waveform, error) {
+	return echem.StepProgram{
+		Rest: c.Rest, Step: c.Step,
+		RestSeconds: c.RestSeconds, StepSeconds: c.StepSeconds,
+	}.Waveform()
+}
+func (c CA) cycleAt(float64) int { return 0 }
+
+// OCV monitors the open-circuit potential without applying current.
+type OCV struct {
+	// Seconds is the monitoring duration.
+	Seconds float64
+	// Points is the sample count; zero selects 200.
+	Points int
+}
+
+// Name implements Technique.
+func (OCV) Name() string { return "OCV" }
+
+// Validate implements Technique.
+func (o OCV) Validate() error {
+	if o.Seconds <= 0 {
+		return fmt.Errorf("potentiostat: OCV duration must be positive, got %g", o.Seconds)
+	}
+	return nil
+}
+
+// Samples implements Technique.
+func (o OCV) Samples() int {
+	if o.Points > 0 {
+		return o.Points
+	}
+	return 200
+}
+
+// Duration implements Technique.
+func (o OCV) Duration() float64 { return o.Seconds }
+
+// CP is chronopotentiometry: a constant applied current with potential
+// sampling. The response is computed semi-analytically from Sand's
+// equation for a reversible couple: the surface concentrations follow
+//
+//	C_R(0,t) = C* − 2·i·√t / (n·F·A·√(π·D_R))
+//	C_O(0,t) =      2·i·√t / (n·F·A·√(π·D_O))
+//
+// and the potential tracks Nernst until the transition time τ where
+// C_R(0,τ) → 0, after which it slews to the limit.
+type CP struct {
+	// Current is the applied (anodic-positive) current.
+	Current units.Current
+	// Seconds is the electrolysis duration.
+	Seconds float64
+	// Points is the sample count; zero selects 500.
+	Points int
+}
+
+// Name implements Technique.
+func (CP) Name() string { return "CP" }
+
+// Validate implements Technique.
+func (c CP) Validate() error {
+	if c.Seconds <= 0 {
+		return fmt.Errorf("potentiostat: CP duration must be positive, got %g", c.Seconds)
+	}
+	if c.Current.Amperes() == 0 {
+		return fmt.Errorf("potentiostat: CP current must be non-zero")
+	}
+	return nil
+}
+
+// Samples implements Technique.
+func (c CP) Samples() int {
+	if c.Points > 0 {
+		return c.Points
+	}
+	return 500
+}
+
+// Duration implements Technique.
+func (c CP) Duration() float64 { return c.Seconds }
+
+// SandTransitionTime returns τ, the time at which the reduced species
+// is exhausted at the electrode under constant current i:
+//
+//	τ = (n·F·A·C*)²·π·D / (4·i²)
+func SandTransitionTime(n int, area units.Area, conc units.Concentration, d float64, i units.Current) float64 {
+	if i.Amperes() == 0 {
+		return math.Inf(1)
+	}
+	nfac := float64(n) * echem.Faraday * area.SquareMeters() * conc.MolesPerCubicMeter()
+	return nfac * nfac * math.Pi * d / (4 * i.Amperes() * i.Amperes())
+}

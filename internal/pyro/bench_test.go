@@ -1,0 +1,80 @@
+package pyro
+
+import (
+	"net"
+	"testing"
+)
+
+// benchServer exposes Echo-style methods for wire benchmarks.
+type benchServer struct{}
+
+func (benchServer) Ping()                {}
+func (benchServer) Echo(s string) string { return s }
+func (benchServer) Sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func benchProxy(b *testing.B) *Proxy {
+	b.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := NewDaemon(l)
+	uri, err := d.Register("Bench", benchServer{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go d.RequestLoop()
+	b.Cleanup(func() { d.Close() })
+	p, err := Dial(uri, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { p.Close() })
+	return p
+}
+
+// BenchmarkCallVoid measures the minimum RPC round trip over loopback
+// TCP (no netsim shaping).
+func BenchmarkCallVoid(b *testing.B) {
+	p := benchProxy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Call("Ping"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCallEcho1K measures a 1 KiB string argument + result.
+func BenchmarkCallEcho1K(b *testing.B) {
+	p := benchProxy(b)
+	payload := string(make([]byte, 1024))
+	b.SetBytes(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out string
+		if err := p.CallInto(&out, "Echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCallSliceArg measures numeric-slice serialisation, the
+// shape of measurement-array arguments.
+func BenchmarkCallSliceArg(b *testing.B) {
+	p := benchProxy(b)
+	xs := make([]float64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out float64
+		if err := p.CallInto(&out, "Sum", xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

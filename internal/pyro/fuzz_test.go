@@ -1,0 +1,43 @@
+package pyro
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage ensures arbitrary framed bytes never panic the wire
+// decoder or allocate beyond the message cap.
+func FuzzReadMessage(f *testing.F) {
+	var good bytes.Buffer
+	writeMessage(&good, request{ID: 1, Object: "X", Method: "M"})
+	f.Add(good.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		var req request
+		readMessage(bytes.NewReader(input), &req)
+	})
+}
+
+// FuzzParseURI ensures URI parsing is total.
+func FuzzParseURI(f *testing.F) {
+	f.Add("PYRO:ACL_Server@10.2.11.161:9690")
+	f.Add("PYRO:@:")
+	f.Add("")
+	f.Add("PYRO:a@[::1]:80")
+	f.Fuzz(func(t *testing.T, s string) {
+		u, err := ParseURI(s)
+		if err != nil {
+			return
+		}
+		// Valid URIs round trip.
+		again, err := ParseURI(u.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", u.String(), err)
+		}
+		if again != u {
+			t.Fatalf("round trip changed %v → %v", u, again)
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package pyro
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NSObjectName is the well-known object name the name server registers
+// itself under, mirroring Pyro's "Pyro.NameServer".
+const NSObjectName = "Pyro.NameServer"
+
+// NameServer maps logical names to object URIs, so workflows can look
+// instruments up by role ("acl.potentiostat") instead of hard-coding
+// addresses. Expose it through a Daemon like any other object.
+type NameServer struct {
+	mu      sync.Mutex
+	entries map[string]string
+}
+
+// NewNameServer returns an empty registry.
+func NewNameServer() *NameServer {
+	return &NameServer{entries: make(map[string]string)}
+}
+
+// RegisterName binds a logical name to an object URI string. Rebinding
+// an existing name replaces it.
+func (ns *NameServer) RegisterName(name, uri string) error {
+	if name == "" {
+		return fmt.Errorf("pyro ns: empty name")
+	}
+	if _, err := ParseURI(uri); err != nil {
+		return err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.entries[name] = uri
+	return nil
+}
+
+// Lookup resolves a logical name to its URI string.
+func (ns *NameServer) Lookup(name string) (string, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	uri, ok := ns.entries[name]
+	if !ok {
+		return "", fmt.Errorf("pyro ns: unknown name %q", name)
+	}
+	return uri, nil
+}
+
+// Remove deletes a binding.
+func (ns *NameServer) Remove(name string) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if _, ok := ns.entries[name]; !ok {
+		return fmt.Errorf("pyro ns: unknown name %q", name)
+	}
+	delete(ns.entries, name)
+	return nil
+}
+
+// List returns all bindings as "name=uri" strings, sorted.
+func (ns *NameServer) List() []string {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make([]string, 0, len(ns.entries))
+	for k, v := range ns.entries {
+		out = append(out, k+"="+v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupVia resolves a logical name through a name-server proxy and
+// parses the result.
+func LookupVia(nsProxy *Proxy, name string) (URI, error) {
+	var uriStr string
+	if err := nsProxy.CallInto(&uriStr, "Lookup", name); err != nil {
+		return URI{}, err
+	}
+	return ParseURI(uriStr)
+}

@@ -1,0 +1,135 @@
+package pyro
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ReconnectingProxy wraps a Proxy with automatic redial: when a call
+// fails on a transport error (link flap, daemon restart), it re-dials
+// the daemon with backoff and retries the call. Remote application
+// errors (RemoteError) are never retried — they are answers, not
+// transport failures.
+type ReconnectingProxy struct {
+	uri    URI
+	dialer Dialer
+	token  string
+
+	// MaxRetries bounds redial attempts per call (default 3).
+	MaxRetries int
+	// Backoff is the initial redial delay, doubled per attempt
+	// (default 50 ms).
+	Backoff time.Duration
+	// Timeout is applied to the underlying proxy's calls.
+	Timeout time.Duration
+
+	mu     sync.Mutex
+	proxy  *Proxy
+	closed bool
+}
+
+// NewReconnectingProxy returns a handle that dials lazily on first
+// use. dialer may be nil for plain TCP; token is the optional
+// shared-secret credential.
+func NewReconnectingProxy(uri URI, dialer Dialer, token string) *ReconnectingProxy {
+	return &ReconnectingProxy{
+		uri: uri, dialer: dialer, token: token,
+		MaxRetries: 3, Backoff: 50 * time.Millisecond,
+	}
+}
+
+// URI returns the remote object's URI.
+func (r *ReconnectingProxy) URI() URI { return r.uri }
+
+// current returns a live proxy, dialing if necessary.
+func (r *ReconnectingProxy) current() (*Proxy, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrProxyClosed
+	}
+	if r.proxy != nil {
+		return r.proxy, nil
+	}
+	p, err := DialToken(r.uri, r.dialer, r.token)
+	if err != nil {
+		return nil, err
+	}
+	p.Timeout = r.Timeout
+	r.proxy = p
+	return p, nil
+}
+
+// dropIf discards the cached proxy if it is still the failed one.
+func (r *ReconnectingProxy) dropIf(p *Proxy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.proxy == p {
+		r.proxy.Close()
+		r.proxy = nil
+	}
+}
+
+// Call invokes the remote method, redialing across transport failures.
+func (r *ReconnectingProxy) Call(method string, args ...any) (json.RawMessage, error) {
+	backoff := r.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		p, err := r.current()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		raw, err := p.Call(method, args...)
+		if err == nil {
+			return raw, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			// The daemon answered: do not retry application errors.
+			return nil, err
+		}
+		lastErr = err
+		r.dropIf(p)
+	}
+	return nil, fmt.Errorf("pyro: %s failed after %d attempts: %w", method, r.MaxRetries+1, lastErr)
+}
+
+// CallInto is Call decoding the result into out.
+func (r *ReconnectingProxy) CallInto(out any, method string, args ...any) error {
+	raw, err := r.Call(method, args...)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if raw == nil {
+		return fmt.Errorf("pyro: %s returned no result to decode", method)
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Close shuts the handle down; subsequent calls fail.
+func (r *ReconnectingProxy) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.proxy != nil {
+		return r.proxy.Close()
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package pyro
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// restartableDaemon runs a daemon on a fixed port that can be killed
+// and resurrected.
+type restartableDaemon struct {
+	t    *testing.T
+	addr string
+	mu   sync.Mutex
+	d    *Daemon
+}
+
+func newRestartable(t *testing.T) *restartableDaemon {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &restartableDaemon{t: t, addr: l.Addr().String()}
+	r.start(l)
+	return r
+}
+
+func (r *restartableDaemon) start(l net.Listener) {
+	if l == nil {
+		var err error
+		for i := 0; i < 50; i++ {
+			l, err = net.Listen("tcp", r.addr)
+			if err == nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil {
+			r.t.Fatalf("rebind %s: %v", r.addr, err)
+		}
+	}
+	d := NewDaemon(l)
+	if _, err := d.Register("Calc", &calc{}); err != nil {
+		r.t.Fatal(err)
+	}
+	go d.RequestLoop()
+	r.mu.Lock()
+	r.d = d
+	r.mu.Unlock()
+}
+
+func (r *restartableDaemon) stop() {
+	r.mu.Lock()
+	d := r.d
+	r.mu.Unlock()
+	d.Close()
+}
+func (r *restartableDaemon) restart() { r.start(nil) }
+
+func (r *restartableDaemon) uri() URI {
+	host, portStr, _ := net.SplitHostPort(r.addr)
+	port := 0
+	for _, c := range portStr {
+		port = port*10 + int(c-'0')
+	}
+	return URI{Object: "Calc", Host: host, Port: port}
+}
+
+func TestReconnectingProxySurvivesDaemonRestart(t *testing.T) {
+	rd := newRestartable(t)
+	defer rd.stop()
+	p := NewReconnectingProxy(rd.uri(), nil, "")
+	p.Backoff = 20 * time.Millisecond
+	p.MaxRetries = 10
+	defer p.Close()
+
+	var sum int
+	if err := p.CallInto(&sum, "Add", 1, 2); err != nil || sum != 3 {
+		t.Fatalf("first call = %d, %v", sum, err)
+	}
+	// Kill and resurrect the daemon; the next call must recover.
+	rd.stop()
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		rd.restart()
+	}()
+	if err := p.CallInto(&sum, "Add", 20, 22); err != nil || sum != 42 {
+		t.Fatalf("call across restart = %d, %v", sum, err)
+	}
+}
+
+func TestReconnectingProxyDoesNotRetryRemoteErrors(t *testing.T) {
+	rd := newRestartable(t)
+	defer rd.stop()
+	p := NewReconnectingProxy(rd.uri(), nil, "")
+	defer p.Close()
+
+	start := time.Now()
+	_, err := p.Call("Fail")
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("error = %v, want RemoteError", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("remote error took backoff time: it was retried")
+	}
+}
+
+func TestReconnectingProxyGivesUpEventually(t *testing.T) {
+	// Nothing listening at all.
+	p := NewReconnectingProxy(URI{Object: "X", Host: "127.0.0.1", Port: 1}, nil, "")
+	p.MaxRetries = 2
+	p.Backoff = 5 * time.Millisecond
+	defer p.Close()
+	_, err := p.Call("Anything")
+	if err == nil {
+		t.Fatal("call to dead address succeeded")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error = %v, want attempt count", err)
+	}
+}
+
+func TestReconnectingProxyClosed(t *testing.T) {
+	rd := newRestartable(t)
+	defer rd.stop()
+	p := NewReconnectingProxy(rd.uri(), nil, "")
+	p.Close()
+	if _, err := p.Call("Ping"); err == nil {
+		t.Error("call on closed handle succeeded")
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package pyro
+
+import (
+	"crypto/subtle"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// maxMessageBytes bounds a single wire message (16 MiB) so a corrupt
+// length prefix cannot exhaust memory.
+const maxMessageBytes = 16 << 20
+
+// protocolVersion is negotiated in the connection handshake.
+const protocolVersion = 1
+
+// request is a client→daemon method invocation.
+type request struct {
+	// ID correlates the response; unique per connection.
+	ID uint64 `json:"id"`
+	// Object is the registered object name.
+	Object string `json:"object"`
+	// Method is the exported method to invoke.
+	Method string `json:"method"`
+	// Args are the positional arguments, JSON-encoded.
+	Args []json.RawMessage `json:"args,omitempty"`
+}
+
+// response is a daemon→client result.
+type response struct {
+	ID uint64 `json:"id"`
+	// Result is the JSON-encoded return value (absent on error or for
+	// void methods).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error carries the remote error message, empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// hello is the handshake each side exchanges on connect. Token
+// carries the optional shared-secret credential (the paper's future
+// work calls for improving the ecosystem's security posture; lab
+// deployments gate the control channel on per-user credentials).
+type hello struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	Token   string `json:"token,omitempty"`
+}
+
+// writeMessage frames v as 4-byte big-endian length + JSON.
+func writeMessage(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("pyro: encode: %w", err)
+	}
+	if len(body) > maxMessageBytes {
+		return fmt.Errorf("pyro: message of %d bytes exceeds %d limit", len(body), maxMessageBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readMessage reads one framed JSON message into v.
+func readMessage(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxMessageBytes {
+		return fmt.Errorf("pyro: incoming message of %d bytes exceeds %d limit", n, maxMessageBytes)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("pyro: decode: %w", err)
+	}
+	return nil
+}
+
+// sendHello / expectHello implement the two-way handshake.
+func sendHello(w io.Writer) error { return sendHelloToken(w, "") }
+
+func sendHelloToken(w io.Writer, token string) error {
+	return writeMessage(w, hello{Magic: Scheme, Version: protocolVersion, Token: token})
+}
+
+func expectHello(r io.Reader) error { return expectHelloToken(r, "") }
+
+// ErrUnauthorized is wrapped when a handshake presents the wrong
+// credential.
+var ErrUnauthorized = errors.New("pyro: unauthorized")
+
+func expectHelloToken(r io.Reader, wantToken string) error {
+	var h hello
+	if err := readMessage(r, &h); err != nil {
+		return fmt.Errorf("pyro: handshake: %w", err)
+	}
+	if h.Magic != Scheme {
+		return fmt.Errorf("pyro: handshake magic %q", h.Magic)
+	}
+	if h.Version != protocolVersion {
+		return fmt.Errorf("pyro: protocol version %d, want %d", h.Version, protocolVersion)
+	}
+	if wantToken != "" && subtle.ConstantTimeCompare([]byte(h.Token), []byte(wantToken)) != 1 {
+		return fmt.Errorf("%w: bad or missing token", ErrUnauthorized)
+	}
+	return nil
+}

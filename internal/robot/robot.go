@@ -1,0 +1,183 @@
+// Package robot models the mobile robot of the paper's Fig. 1 and
+// future work: an autonomous carrier that moves sample vessels between
+// the ACL stations (synthesis, electrochemistry, characterization,
+// charging dock), with travel times, battery accounting and a task
+// log. The core workflow uses it to close the loop from synthesised
+// batch to filled electrochemical cell.
+package robot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// Location is a named station the robot can dock at.
+type Location string
+
+// Stations of the Autonomous Chemistry Laboratory.
+const (
+	// Dock is the charging dock and home position.
+	Dock Location = "dock"
+	// SynthesisStation is the robotic synthesis workstation.
+	SynthesisStation Location = "synthesis"
+	// ElectrochemistryStation is the electrochemistry workstation.
+	ElectrochemistryStation Location = "electrochemistry"
+	// CharacterizationStation hosts HPLC-MS/GC-MS/XRD.
+	CharacterizationStation Location = "characterization"
+)
+
+// Payload is a carried vessel.
+type Payload struct {
+	// Label identifies the vessel (batch ID).
+	Label string
+	// Solution and Volume describe its contents.
+	Solution echem.Solution
+	Volume   units.Volume
+}
+
+// Errors returned by robot operations.
+var (
+	errBusyHands  = fmt.Errorf("robot: already carrying a payload")
+	errEmptyHands = fmt.Errorf("robot: not carrying anything")
+)
+
+// Robot is the mobile carrier. All methods are safe for one commanding
+// goroutine; state is guarded for concurrent observers.
+type Robot struct {
+	// TravelSeconds is the nominal station-to-station travel time at
+	// TimeScale 1.
+	TravelSeconds float64
+	// TimeScale paces motion (0 = instant).
+	TimeScale float64
+	// MoveCost is the battery fraction consumed per leg.
+	MoveCost float64
+
+	mu       sync.Mutex
+	position Location
+	carrying *Payload
+	battery  float64
+	log      []string
+}
+
+// New returns a robot parked at the dock with a full battery.
+func New() *Robot {
+	return &Robot{
+		TravelSeconds: 30,
+		MoveCost:      0.02,
+		position:      Dock,
+		battery:       1.0,
+	}
+}
+
+// Position returns the current station.
+func (r *Robot) Position() Location {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.position
+}
+
+// Battery returns the remaining charge fraction.
+func (r *Robot) Battery() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.battery
+}
+
+// Carrying returns the payload, if any.
+func (r *Robot) Carrying() (Payload, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.carrying == nil {
+		return Payload{}, false
+	}
+	return *r.carrying, true
+}
+
+// Log returns the task history.
+func (r *Robot) Log() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.log))
+	copy(out, r.log)
+	return out
+}
+
+func (r *Robot) logf(format string, args ...any) {
+	r.log = append(r.log, fmt.Sprintf(format, args...))
+}
+
+// validLocations guards against typo'd destinations.
+var validLocations = map[Location]bool{
+	Dock: true, SynthesisStation: true, ElectrochemistryStation: true, CharacterizationStation: true,
+}
+
+// MoveTo drives to a station, consuming battery and (scaled) time.
+func (r *Robot) MoveTo(loc Location) error {
+	if !validLocations[loc] {
+		return fmt.Errorf("robot: unknown location %q", loc)
+	}
+	r.mu.Lock()
+	if r.position == loc {
+		r.mu.Unlock()
+		return nil
+	}
+	if r.battery < r.MoveCost {
+		r.mu.Unlock()
+		return fmt.Errorf("robot: battery %.0f%% too low to move; return to dock and Charge", r.Battery()*100)
+	}
+	r.mu.Unlock()
+
+	if r.TimeScale > 0 {
+		time.Sleep(time.Duration(r.TravelSeconds * r.TimeScale * float64(time.Second)))
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.battery -= r.MoveCost
+	from := r.position
+	r.position = loc
+	r.logf("moved %s → %s (battery %.0f%%)", from, loc, r.battery*100)
+	return nil
+}
+
+// Pick loads a vessel at the current station.
+func (r *Robot) Pick(p Payload) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.carrying != nil {
+		return errBusyHands
+	}
+	cp := p
+	r.carrying = &cp
+	r.logf("picked %s (%v) at %s", p.Label, p.Volume, r.position)
+	return nil
+}
+
+// Place unloads the carried vessel at the current station.
+func (r *Robot) Place() (Payload, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.carrying == nil {
+		return Payload{}, errEmptyHands
+	}
+	p := *r.carrying
+	r.carrying = nil
+	r.logf("placed %s at %s", p.Label, r.position)
+	return p, nil
+}
+
+// Charge refills the battery; the robot must be at the dock.
+func (r *Robot) Charge() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.position != Dock {
+		return fmt.Errorf("robot: can only charge at the dock, currently at %s", r.position)
+	}
+	r.battery = 1.0
+	r.logf("charged to 100%%")
+	return nil
+}

@@ -1,0 +1,124 @@
+package robot
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+func testPayload() Payload {
+	return Payload{Label: "batch-001", Solution: echem.FerroceneSolution(), Volume: units.Milliliters(10)}
+}
+
+func TestMovePickPlaceCycle(t *testing.T) {
+	r := New()
+	if r.Position() != Dock {
+		t.Fatalf("start = %v", r.Position())
+	}
+	if err := r.MoveTo(SynthesisStation); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Pick(testPayload()); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := r.Carrying(); !ok || p.Label != "batch-001" {
+		t.Errorf("Carrying = %+v, %v", p, ok)
+	}
+	if err := r.MoveTo(ElectrochemistryStation); err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Place()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Volume.Milliliters() != 10 {
+		t.Errorf("placed %+v", p)
+	}
+	if _, ok := r.Carrying(); ok {
+		t.Error("still carrying after Place")
+	}
+	log := strings.Join(r.Log(), "\n")
+	for _, want := range []string{"moved dock → synthesis", "picked batch-001", "placed batch-001"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestHandErrors(t *testing.T) {
+	r := New()
+	if _, err := r.Place(); err == nil {
+		t.Error("Place with empty hands accepted")
+	}
+	r.Pick(testPayload())
+	if err := r.Pick(testPayload()); err == nil {
+		t.Error("double Pick accepted")
+	}
+}
+
+func TestUnknownLocationRejected(t *testing.T) {
+	r := New()
+	if err := r.MoveTo("cafeteria"); err == nil {
+		t.Error("unknown location accepted")
+	}
+}
+
+func TestMoveToSamePlaceIsFree(t *testing.T) {
+	r := New()
+	before := r.Battery()
+	if err := r.MoveTo(Dock); err != nil {
+		t.Fatal(err)
+	}
+	if r.Battery() != before {
+		t.Error("no-op move consumed battery")
+	}
+}
+
+func TestBatteryDrainsAndCharges(t *testing.T) {
+	r := New()
+	r.MoveCost = 0.5
+	if err := r.MoveTo(SynthesisStation); err != nil {
+		t.Fatal(err)
+	}
+	if r.Battery() != 0.5 {
+		t.Errorf("battery = %v", r.Battery())
+	}
+	if err := r.MoveTo(ElectrochemistryStation); err != nil {
+		t.Fatal(err)
+	}
+	// Now empty: further moves refused.
+	if err := r.MoveTo(Dock); err == nil {
+		t.Error("move on empty battery accepted")
+	}
+	// Cannot charge away from dock.
+	if err := r.Charge(); err == nil {
+		t.Error("charge away from dock accepted")
+	}
+	// Walk it home by topping the cost down for the test.
+	r.MoveCost = 0
+	if err := r.MoveTo(Dock); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Charge(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Battery() != 1.0 {
+		t.Errorf("battery after charge = %v", r.Battery())
+	}
+}
+
+func TestMoveTimeScale(t *testing.T) {
+	r := New()
+	r.TravelSeconds = 30
+	r.TimeScale = 0.002 // 60 ms
+	start := time.Now()
+	if err := r.MoveTo(CharacterizationStation); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Error("TimeScale not applied to travel")
+	}
+}

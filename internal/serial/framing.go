@@ -1,0 +1,65 @@
+package serial
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// LineConn frames a serial byte stream into newline-terminated text
+// lines, the convention used by the J-Kem command protocol. It is safe
+// for one reader and one writer goroutine.
+type LineConn struct {
+	port Port
+	r    *bufio.Reader
+}
+
+// NewLineConn wraps port in a line-oriented codec.
+func NewLineConn(port Port) *LineConn {
+	return &LineConn{port: port, r: bufio.NewReader(port)}
+}
+
+// WriteLine sends one line, appending the newline terminator. The line
+// must not itself contain a newline.
+func (c *LineConn) WriteLine(line string) error {
+	if strings.ContainsAny(line, "\r\n") {
+		return fmt.Errorf("serial: line contains newline: %q", line)
+	}
+	_, err := c.port.Write([]byte(line + "\n"))
+	return err
+}
+
+// ReadLine blocks until a full line arrives and returns it without the
+// terminator. Carriage returns are stripped so both "\n" and "\r\n"
+// peers interoperate.
+func (c *LineConn) ReadLine() (string, error) {
+	s, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(s, "\r\n"), nil
+}
+
+// ReadLineTimeout is ReadLine bounded by a deadline d from now. On
+// expiry it returns ErrTimeout. Note that an expired read may leave a
+// partial line buffered; the next ReadLine continues from it.
+func (c *LineConn) ReadLineTimeout(d time.Duration) (string, error) {
+	if err := c.port.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return "", err
+	}
+	defer c.port.SetReadDeadline(time.Time{})
+	return c.ReadLine()
+}
+
+// Transact writes a command line and waits up to d for the single-line
+// response, the request/response pattern of instrument protocols.
+func (c *LineConn) Transact(cmd string, d time.Duration) (string, error) {
+	if err := c.WriteLine(cmd); err != nil {
+		return "", err
+	}
+	return c.ReadLineTimeout(d)
+}
+
+// Close closes the underlying port.
+func (c *LineConn) Close() error { return c.port.Close() }

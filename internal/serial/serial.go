@@ -1,0 +1,158 @@
+// Package serial emulates the point-to-point serial links that connect
+// the control agent to the J-Kem single-board computer and the SP200
+// potentiostat. Real deployments use RS-232/USB; here both endpoints
+// live in the same process (or across the simulated network), so the
+// package provides in-memory duplex ports with the semantics instrument
+// firmware actually relies on: ordered delivery, blocking reads,
+// read deadlines, and optional baud-rate pacing.
+package serial
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// Errors returned by port operations.
+var (
+	// ErrClosed is returned when reading from or writing to a closed port.
+	ErrClosed = errors.New("serial: port closed")
+	// ErrTimeout is returned when a read deadline expires before data
+	// arrives. It satisfies errors.Is(err, ErrTimeout).
+	ErrTimeout = errors.New("serial: read timeout")
+)
+
+// Port is one end of a serial link.
+type Port interface {
+	io.ReadWriteCloser
+	// SetReadDeadline sets the deadline for future Read calls. A zero
+	// time means reads never time out.
+	SetReadDeadline(t time.Time) error
+}
+
+// pipeHalf is a unidirectional byte stream with blocking reads,
+// deadlines and close semantics.
+type pipeHalf struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte
+	closed   bool
+	deadline time.Time
+	timer    *time.Timer
+}
+
+func newPipeHalf() *pipeHalf {
+	h := &pipeHalf{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *pipeHalf) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, ErrClosed
+	}
+	h.buf = append(h.buf, p...)
+	h.cond.Broadcast()
+	return len(p), nil
+}
+
+func (h *pipeHalf) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if len(h.buf) > 0 {
+			n := copy(p, h.buf)
+			h.buf = h.buf[n:]
+			return n, nil
+		}
+		if h.closed {
+			return 0, io.EOF
+		}
+		if !h.deadline.IsZero() && !time.Now().Before(h.deadline) {
+			return 0, ErrTimeout
+		}
+		h.cond.Wait()
+	}
+}
+
+func (h *pipeHalf) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	h.cond.Broadcast()
+}
+
+func (h *pipeHalf) setDeadline(t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.deadline = t
+	if h.timer != nil {
+		h.timer.Stop()
+		h.timer = nil
+	}
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		// Wake any blocked reader when the deadline passes so it can
+		// observe the expiry.
+		h.timer = time.AfterFunc(d, h.cond.Broadcast)
+	}
+	h.cond.Broadcast()
+}
+
+// port is one endpoint of an in-memory duplex serial link.
+type port struct {
+	rx *pipeHalf // data we read
+	tx *pipeHalf // data the peer reads
+	// byteDelay > 0 paces writes to emulate a limited baud rate.
+	byteDelay time.Duration
+
+	closeOnce sync.Once
+}
+
+// Pipe returns the two endpoints of a connected serial link. Data
+// written to one endpoint becomes readable at the other, in order.
+func Pipe() (Port, Port) {
+	a2b := newPipeHalf()
+	b2a := newPipeHalf()
+	return &port{rx: b2a, tx: a2b}, &port{rx: a2b, tx: b2a}
+}
+
+// PipeBaud is like Pipe but paces each endpoint's writes at the given
+// baud rate (10 bits per byte: 8N1 framing). A rate <= 0 disables
+// pacing.
+func PipeBaud(baud int) (Port, Port) {
+	a, b := Pipe()
+	if baud > 0 {
+		delay := time.Duration(float64(time.Second) * 10 / float64(baud))
+		a.(*port).byteDelay = delay
+		b.(*port).byteDelay = delay
+	}
+	return a, b
+}
+
+func (p *port) Read(b []byte) (int, error) { return p.rx.read(b) }
+func (p *port) Write(b []byte) (int, error) {
+	if p.byteDelay > 0 && len(b) > 0 {
+		time.Sleep(p.byteDelay * time.Duration(len(b)))
+	}
+	return p.tx.write(b)
+}
+
+func (p *port) Close() error {
+	p.closeOnce.Do(func() {
+		p.tx.close()
+		p.rx.close()
+	})
+	return nil
+}
+
+func (p *port) SetReadDeadline(t time.Time) error {
+	p.rx.setDeadline(t)
+	return nil
+}

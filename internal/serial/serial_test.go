@@ -1,0 +1,338 @@
+package serial
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	msg := []byte("SYRINGEPUMP_RATE(1,5.000000)\n")
+	if _, err := a.Write(msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("read %q, want %q", got, msg)
+	}
+}
+
+func TestPipeBothDirections(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	if _, err := a.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil || string(buf) != "ping" {
+		t.Errorf("b read %q err %v, want ping", buf, err)
+	}
+	if _, err := io.ReadFull(a, buf); err != nil || string(buf) != "pong" {
+		t.Errorf("a read %q err %v, want pong", buf, err)
+	}
+}
+
+func TestReadBlocksUntilWrite(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 5)
+		n, err := b.Read(buf)
+		if err != nil {
+			done <- "err:" + err.Error()
+			return
+		}
+		done <- string(buf[:n])
+	}()
+	// Give the reader time to block, then write.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := a.Write([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if got != "late" {
+			t.Errorf("read %q, want %q", got, "late")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never woke up")
+	}
+}
+
+func TestCloseUnblocksReader(t *testing.T) {
+	a, b := Pipe()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if err != io.EOF {
+			t.Errorf("read after close = %v, want io.EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not unblock reader")
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	a, b := Pipe()
+	_ = b
+	a.Close()
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Write after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestBufferedDataReadableAfterPeerClose(t *testing.T) {
+	a, b := Pipe()
+	if _, err := a.Write([]byte("final")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if string(buf) != "final" {
+		t.Errorf("read %q, want final", buf)
+	}
+	// After draining, EOF.
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Errorf("drained read = %v, want io.EOF", err)
+	}
+}
+
+func TestReadDeadlineExpires(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := b.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := b.Read(make([]byte, 1))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Read = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v, deadline was 20ms", elapsed)
+	}
+}
+
+func TestClearedDeadlineBlocksAgain(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	b.SetReadDeadline(time.Now().Add(time.Millisecond))
+	if _, err := b.Read(make([]byte, 1)); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	b.SetReadDeadline(time.Time{})
+	done := make(chan struct{})
+	go func() {
+		a.Write([]byte("x"))
+		close(done)
+	}()
+	buf := make([]byte, 1)
+	if _, err := b.Read(buf); err != nil {
+		t.Fatalf("Read after clearing deadline: %v", err)
+	}
+	<-done
+}
+
+func TestPipeBaudPacesWrites(t *testing.T) {
+	// 1000 baud = 100 bytes/s → 10 bytes takes ≥ 100 ms.
+	a, b := PipeBaud(1000)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	if _, err := a.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("10 bytes at 1000 baud took %v, want ≥ ~100ms", elapsed)
+	}
+}
+
+func TestConcurrentWritersDeliverAllBytes(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	const writers, per = 8, 100
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if _, err := a.Write([]byte{'x'}); err != nil {
+					t.Errorf("Write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); a.Close() }()
+	total := 0
+	buf := make([]byte, 64)
+	for {
+		n, err := b.Read(buf)
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}
+	if total != writers*per {
+		t.Errorf("received %d bytes, want %d", total, writers*per)
+	}
+}
+
+func TestLineConnRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	ca, cb := NewLineConn(a), NewLineConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	if err := ca.WriteLine("FRACTIONCOLLECTOR.VIAL(1,BOTTOM)"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cb.ReadLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "FRACTIONCOLLECTOR.VIAL(1,BOTTOM)" {
+		t.Errorf("ReadLine = %q", got)
+	}
+}
+
+func TestLineConnRejectsEmbeddedNewline(t *testing.T) {
+	a, _ := Pipe()
+	c := NewLineConn(a)
+	if err := c.WriteLine("bad\nline"); err == nil {
+		t.Error("WriteLine accepted embedded newline")
+	}
+}
+
+func TestLineConnStripsCRLF(t *testing.T) {
+	a, b := Pipe()
+	cb := NewLineConn(b)
+	a.Write([]byte("OK\r\n"))
+	got, err := cb.ReadLine()
+	if err != nil || got != "OK" {
+		t.Errorf("ReadLine = %q, %v; want OK", got, err)
+	}
+}
+
+func TestLineConnTransact(t *testing.T) {
+	a, b := Pipe()
+	ca, cb := NewLineConn(a), NewLineConn(b)
+	go func() {
+		cmd, err := cb.ReadLine()
+		if err != nil {
+			return
+		}
+		if cmd == "STATUS" {
+			cb.WriteLine("OK")
+		}
+	}()
+	resp, err := ca.Transact("STATUS", time.Second)
+	if err != nil {
+		t.Fatalf("Transact: %v", err)
+	}
+	if resp != "OK" {
+		t.Errorf("Transact = %q, want OK", resp)
+	}
+}
+
+func TestLineConnTransactTimeout(t *testing.T) {
+	a, b := Pipe()
+	_ = b // silent peer
+	ca := NewLineConn(a)
+	if _, err := ca.Transact("STATUS", 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Errorf("Transact with silent peer = %v, want ErrTimeout", err)
+	}
+}
+
+func TestLineConnManyLinesInOrder(t *testing.T) {
+	a, b := Pipe()
+	ca, cb := NewLineConn(a), NewLineConn(b)
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			ca.WriteLine(string(rune('A' + i%26)))
+		}
+		ca.Close()
+	}()
+	for i := 0; i < n; i++ {
+		got, err := cb.ReadLine()
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if want := string(rune('A' + i%26)); got != want {
+			t.Fatalf("line %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// Property: any newline-free payload survives a line round trip.
+func TestLineRoundTripProperty(t *testing.T) {
+	a, b := Pipe()
+	ca, cb := NewLineConn(a), NewLineConn(b)
+	f := func(s string) bool {
+		for _, r := range s {
+			if r == '\n' || r == '\r' {
+				return true // skip
+			}
+		}
+		if err := ca.WriteLine(s); err != nil {
+			return false
+		}
+		got, err := cb.ReadLine()
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bytes are never reordered or corrupted through the pipe.
+func TestPipePreservesBytesProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		a, b := Pipe()
+		defer b.Close()
+		go func() {
+			a.Write(data)
+			a.Close()
+		}()
+		got, err := io.ReadAll(b)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

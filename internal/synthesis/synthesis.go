@@ -1,0 +1,179 @@
+// Package synthesis models the ACL's robotic synthesis workstation
+// (the ChemSpeed-style platform of the paper's Fig. 1): it prepares
+// batches of electrolyte solution from recipes, with realistic yield
+// scatter, and hands finished vessels to the mobile robot for
+// transport to the electrochemistry workstation. Integrating this
+// station is the first item of the paper's future work.
+package synthesis
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ice/internal/echem"
+	"ice/internal/units"
+)
+
+// Recipe describes a solution to prepare.
+type Recipe struct {
+	// Name labels the product, e.g. "ferrocene-2mM".
+	Name string
+	// Analyte is the redox couple to dissolve.
+	Analyte echem.RedoxCouple
+	// Target is the intended analyte concentration.
+	Target units.Concentration
+	// Solvent and Electrolyte name the matrix.
+	Solvent     string
+	Electrolyte string
+	// PrepSeconds is the nominal preparation time at TimeScale 1.
+	PrepSeconds float64
+}
+
+// FerroceneRecipe returns the paper's solution at an arbitrary target
+// concentration.
+func FerroceneRecipe(target units.Concentration) Recipe {
+	return Recipe{
+		Name:        fmt.Sprintf("ferrocene-%.3gmM", target.Millimolar()),
+		Analyte:     echem.Ferrocene(),
+		Target:      target,
+		Solvent:     "acetonitrile",
+		Electrolyte: "0.1 M tetrabutylammonium triflate",
+		PrepSeconds: 120,
+	}
+}
+
+// Validate checks the recipe.
+func (r Recipe) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("synthesis: recipe needs a name")
+	}
+	if err := r.Analyte.Validate(); err != nil {
+		return err
+	}
+	if r.Target.Molar() <= 0 {
+		return fmt.Errorf("synthesis: target concentration must be positive, got %v", r.Target)
+	}
+	if r.Solvent == "" {
+		return fmt.Errorf("synthesis: recipe needs a solvent")
+	}
+	return nil
+}
+
+// Batch is one prepared vessel.
+type Batch struct {
+	// ID is the workstation-assigned batch identifier.
+	ID string
+	// Recipe the batch was made from.
+	Recipe Recipe
+	// Solution actually produced (Achieved concentration embedded).
+	Solution echem.Solution
+	// Achieved is the assayed concentration (target ± yield scatter).
+	Achieved units.Concentration
+	// Volume prepared.
+	Volume units.Volume
+}
+
+// Workstation is the synthesis robot.
+type Workstation struct {
+	// YieldRSD is the relative standard deviation of the achieved
+	// concentration (default 1%).
+	YieldRSD float64
+	// TimeScale paces preparation (0 = instant).
+	TimeScale float64
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	seq       int
+	completed map[string]*Batch
+	log       []string
+}
+
+// NewWorkstation returns a workstation with deterministic yield
+// scatter from seed.
+func NewWorkstation(seed int64) *Workstation {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Workstation{
+		YieldRSD:  0.01,
+		rng:       rand.New(rand.NewSource(seed)),
+		completed: make(map[string]*Batch),
+	}
+}
+
+// Synthesize prepares a batch and parks it for pickup. It blocks for
+// the scaled preparation time.
+func (w *Workstation) Synthesize(r Recipe, volume units.Volume) (*Batch, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if volume.Liters() <= 0 {
+		return nil, fmt.Errorf("synthesis: batch volume must be positive, got %v", volume)
+	}
+	w.mu.Lock()
+	w.seq++
+	id := fmt.Sprintf("batch-%03d", w.seq)
+	scatter := 1 + w.rng.NormFloat64()*w.YieldRSD
+	if scatter < 0.5 {
+		scatter = 0.5
+	}
+	w.mu.Unlock()
+
+	if w.TimeScale > 0 {
+		time.Sleep(time.Duration(r.PrepSeconds * w.TimeScale * float64(time.Second)))
+	}
+
+	achieved := units.Concentration(r.Target.Molar() * scatter)
+	batch := &Batch{
+		ID:     id,
+		Recipe: r,
+		Solution: echem.Solution{
+			Solvent:               r.Solvent,
+			SupportingElectrolyte: r.Electrolyte,
+			Analyte:               r.Analyte,
+			Concentration:         achieved,
+		},
+		Achieved: achieved,
+		Volume:   volume,
+	}
+	w.mu.Lock()
+	w.completed[id] = batch
+	w.log = append(w.log, fmt.Sprintf("%s: %s, %v achieved %v", id, r.Name, volume, achieved))
+	w.mu.Unlock()
+	return batch, nil
+}
+
+// Collect hands a finished batch to whoever picks it up (the mobile
+// robot); the vessel leaves the workstation.
+func (w *Workstation) Collect(id string) (*Batch, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b, ok := w.completed[id]
+	if !ok {
+		return nil, fmt.Errorf("synthesis: no finished batch %q", id)
+	}
+	delete(w.completed, id)
+	return b, nil
+}
+
+// Pending returns the IDs of batches awaiting pickup.
+func (w *Workstation) Pending() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.completed))
+	for id := range w.completed {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Log returns the preparation history.
+func (w *Workstation) Log() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, len(w.log))
+	copy(out, w.log)
+	return out
+}

@@ -1,0 +1,112 @@
+package synthesis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"ice/internal/units"
+)
+
+func TestSynthesizeProducesBatchNearTarget(t *testing.T) {
+	w := NewWorkstation(1)
+	recipe := FerroceneRecipe(units.Millimolar(2))
+	b, err := w.Synthesize(recipe, units.Milliliters(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID == "" || b.Solution.Analyte.Name != "ferrocene/ferrocenium" {
+		t.Errorf("batch = %+v", b)
+	}
+	// Achieved concentration within 10% of target (1% RSD nominal).
+	rel := math.Abs(b.Achieved.Molar()-0.002) / 0.002
+	if rel > 0.1 {
+		t.Errorf("achieved %v, target 2 mM (%.1f%% off)", b.Achieved, rel*100)
+	}
+	if b.Volume.Milliliters() != 10 {
+		t.Errorf("volume = %v", b.Volume)
+	}
+	// Solution carries the achieved concentration.
+	if b.Solution.Concentration != b.Achieved {
+		t.Error("solution concentration != assayed concentration")
+	}
+}
+
+func TestSynthesizeYieldScatterIsDeterministic(t *testing.T) {
+	a := NewWorkstation(7)
+	b := NewWorkstation(7)
+	ba, _ := a.Synthesize(FerroceneRecipe(units.Millimolar(2)), units.Milliliters(5))
+	bb, _ := b.Synthesize(FerroceneRecipe(units.Millimolar(2)), units.Milliliters(5))
+	if ba.Achieved != bb.Achieved {
+		t.Errorf("same seed gave %v vs %v", ba.Achieved, bb.Achieved)
+	}
+	// Different batches scatter differently.
+	ba2, _ := a.Synthesize(FerroceneRecipe(units.Millimolar(2)), units.Milliliters(5))
+	if ba2.Achieved == ba.Achieved {
+		t.Error("consecutive batches identical; scatter not applied")
+	}
+}
+
+func TestCollectAndPending(t *testing.T) {
+	w := NewWorkstation(1)
+	b, _ := w.Synthesize(FerroceneRecipe(units.Millimolar(1)), units.Milliliters(5))
+	if p := w.Pending(); len(p) != 1 || p[0] != b.ID {
+		t.Errorf("Pending = %v", p)
+	}
+	got, err := w.Collect(b.ID)
+	if err != nil || got.ID != b.ID {
+		t.Errorf("Collect = %+v, %v", got, err)
+	}
+	if len(w.Pending()) != 0 {
+		t.Error("batch still pending after Collect")
+	}
+	if _, err := w.Collect(b.ID); err == nil {
+		t.Error("double Collect accepted")
+	}
+	if _, err := w.Collect("ghost"); err == nil {
+		t.Error("unknown batch accepted")
+	}
+}
+
+func TestRecipeValidation(t *testing.T) {
+	w := NewWorkstation(1)
+	bad := FerroceneRecipe(units.Millimolar(2))
+	bad.Name = ""
+	if _, err := w.Synthesize(bad, units.Milliliters(5)); err == nil {
+		t.Error("nameless recipe accepted")
+	}
+	bad = FerroceneRecipe(0)
+	if _, err := w.Synthesize(bad, units.Milliliters(5)); err == nil {
+		t.Error("zero concentration accepted")
+	}
+	bad = FerroceneRecipe(units.Millimolar(2))
+	bad.Solvent = ""
+	if _, err := w.Synthesize(bad, units.Milliliters(5)); err == nil {
+		t.Error("solvent-less recipe accepted")
+	}
+	if _, err := w.Synthesize(FerroceneRecipe(units.Millimolar(2)), 0); err == nil {
+		t.Error("zero volume accepted")
+	}
+}
+
+func TestSynthesizeTimeScale(t *testing.T) {
+	w := NewWorkstation(1)
+	w.TimeScale = 0.0005 // 120 s nominal → 60 ms
+	start := time.Now()
+	if _, err := w.Synthesize(FerroceneRecipe(units.Millimolar(2)), units.Milliliters(5)); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Error("TimeScale not applied")
+	}
+}
+
+func TestWorkstationLog(t *testing.T) {
+	w := NewWorkstation(1)
+	w.Synthesize(FerroceneRecipe(units.Millimolar(2)), units.Milliliters(5))
+	log := w.Log()
+	if len(log) != 1 || !strings.Contains(log[0], "batch-001") {
+		t.Errorf("log = %v", log)
+	}
+}

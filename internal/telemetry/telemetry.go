@@ -1,0 +1,218 @@
+// Package telemetry provides the latency and throughput
+// instrumentation used for the ICE quality-of-service measurements the
+// paper lists as future work: control-channel round-trip histograms
+// and data-channel transfer rates.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records duration samples and reports order statistics. It
+// keeps raw samples (bounded) so percentiles are exact for the sizes
+// used in benchmarks.
+type Histogram struct {
+	mu      sync.Mutex
+	name    string
+	samples []time.Duration
+	max     int
+	dropped int
+}
+
+// NewHistogram returns a histogram retaining at most maxSamples
+// (default 100k when maxSamples <= 0).
+func NewHistogram(name string, maxSamples int) *Histogram {
+	if maxSamples <= 0 {
+		maxSamples = 100_000
+	}
+	return &Histogram{name: name, max: maxSamples}
+}
+
+// Record adds one sample; beyond capacity, samples are dropped but
+// counted.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) < h.max {
+		h.samples = append(h.samples, d)
+	} else {
+		h.dropped++
+	}
+}
+
+// Time runs fn and records its wall time.
+func (h *Histogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.Record(time.Since(start))
+}
+
+// Count returns the number of recorded samples (including dropped).
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples) + h.dropped
+}
+
+// Mean returns the mean of retained samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) of retained
+// samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Min and Max return the extreme retained samples.
+func (h *Histogram) Min() time.Duration { return h.Percentile(0.0001) }
+
+// Max returns the largest retained sample.
+func (h *Histogram) Max() time.Duration { return h.Percentile(100) }
+
+// String renders a one-line summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.name, h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = h.samples[:0]
+	h.dropped = 0
+}
+
+// Throughput accumulates transferred bytes over wall time.
+type Throughput struct {
+	mu    sync.Mutex
+	name  string
+	bytes int64
+	start time.Time
+}
+
+// NewThroughput starts a transfer meter.
+func NewThroughput(name string) *Throughput {
+	return &Throughput{name: name, start: time.Now()}
+}
+
+// Add records transferred bytes.
+func (t *Throughput) Add(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bytes += n
+}
+
+// Bytes returns the total transferred.
+func (t *Throughput) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes
+}
+
+// Rate returns bytes/second since start.
+func (t *Throughput) Rate() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := time.Since(t.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(t.bytes) / elapsed
+}
+
+// String renders a one-line summary.
+func (t *Throughput) String() string {
+	return fmt.Sprintf("%s: %d bytes, %.3g MB/s", t.name, t.Bytes(), t.Rate()/1e6)
+}
+
+// Collector is a named registry of histograms and throughput meters so
+// a workflow can expose all its QoS series at once.
+type Collector struct {
+	mu     sync.Mutex
+	hists  map[string]*Histogram
+	meters map[string]*Throughput
+}
+
+// NewCollector returns an empty registry.
+func NewCollector() *Collector {
+	return &Collector{hists: make(map[string]*Histogram), meters: make(map[string]*Throughput)}
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (c *Collector) Histogram(name string) *Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hists[name]
+	if !ok {
+		h = NewHistogram(name, 0)
+		c.hists[name] = h
+	}
+	return h
+}
+
+// Throughput returns (creating if needed) the named meter.
+func (c *Collector) Throughput(name string) *Throughput {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.meters[name]
+	if !ok {
+		t = NewThroughput(name)
+		c.meters[name] = t
+	}
+	return t
+}
+
+// Report renders every registered series, sorted by name.
+func (c *Collector) Report() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	for n := range c.hists {
+		names = append(names, "h:"+n)
+	}
+	for n := range c.meters {
+		names = append(names, "t:"+n)
+	}
+	sort.Strings(names)
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if h, ok := c.hists[n[2:]]; ok && n[0] == 'h' {
+			out = append(out, h.String())
+			continue
+		}
+		if t, ok := c.meters[n[2:]]; ok && n[0] == 't' {
+			out = append(out, t.String())
+		}
+	}
+	return out
+}

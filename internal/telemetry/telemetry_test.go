@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("rpc", 0)
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := h.Percentile(95); got != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v", got)
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Errorf("min = %v", got)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", got)
+	}
+	if s := h.String(); !strings.Contains(s, "rpc") || !strings.Contains(s, "n=100") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram("empty", 0)
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Count() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramCapacityAndReset(t *testing.T) {
+	h := NewHistogram("small", 10)
+	for i := 0; i < 25; i++ {
+		h.Record(time.Millisecond)
+	}
+	if h.Count() != 25 {
+		t.Errorf("Count with drops = %d, want 25", h.Count())
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Errorf("Count after Reset = %d", h.Count())
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	h := NewHistogram("timed", 0)
+	h.Time(func() { time.Sleep(10 * time.Millisecond) })
+	if h.Count() != 1 || h.Max() < 5*time.Millisecond {
+		t.Errorf("Time recorded %v over %d samples", h.Max(), h.Count())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("conc", 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				h.Record(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 800 {
+		t.Errorf("Count = %d, want 800", h.Count())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	m := NewThroughput("data")
+	m.Add(1000)
+	m.Add(500)
+	if m.Bytes() != 1500 {
+		t.Errorf("Bytes = %d", m.Bytes())
+	}
+	time.Sleep(5 * time.Millisecond)
+	if m.Rate() <= 0 {
+		t.Errorf("Rate = %v", m.Rate())
+	}
+	if s := m.String(); !strings.Contains(s, "data") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	c.Histogram("rpc").Record(time.Millisecond)
+	c.Throughput("bulk").Add(42)
+	// Same name returns same instance.
+	if c.Histogram("rpc").Count() != 1 {
+		t.Error("Histogram not memoised")
+	}
+	if c.Throughput("bulk").Bytes() != 42 {
+		t.Error("Throughput not memoised")
+	}
+	report := c.Report()
+	if len(report) != 2 {
+		t.Fatalf("Report = %v", report)
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "rpc") || !strings.Contains(joined, "bulk") {
+		t.Errorf("Report = %q", joined)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram("prop", 0)
+		for _, v := range raw {
+			h.Record(time.Duration(v) * time.Microsecond)
+		}
+		last := time.Duration(-1)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 100} {
+			cur := h.Percentile(p)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package units provides the physical quantities used throughout the
+// electrochemistry instrument-computing ecosystem (ICE): volumes, flow
+// rates, potentials, currents, concentrations and temperatures.
+//
+// Each quantity is a defined float64 type holding the value in a single
+// canonical SI-derived unit (documented per type). Constructors convert
+// from the units scientists actually use on the bench (mL, mL/min, mV,
+// µA, mM, °C), and String methods render values back with an
+// auto-selected engineering prefix, so instrument transcripts read the
+// way the paper's figures do.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Volume is a liquid volume in liters.
+type Volume float64
+
+// Volume constructors.
+func Liters(v float64) Volume      { return Volume(v) }
+func Milliliters(v float64) Volume { return Volume(v * 1e-3) }
+func Microliters(v float64) Volume { return Volume(v * 1e-6) }
+
+// Liters returns the volume in liters.
+func (v Volume) Liters() float64 { return float64(v) }
+
+// Milliliters returns the volume in milliliters.
+func (v Volume) Milliliters() float64 { return float64(v) * 1e3 }
+
+// Microliters returns the volume in microliters.
+func (v Volume) Microliters() float64 { return float64(v) * 1e6 }
+
+func (v Volume) String() string {
+	return formatScaled(float64(v), "L")
+}
+
+// FlowRate is a volumetric flow rate in liters per second.
+type FlowRate float64
+
+// FlowRate constructors.
+func LitersPerSecond(v float64) FlowRate { return FlowRate(v) }
+func MillilitersPerMinute(v float64) FlowRate {
+	return FlowRate(v * 1e-3 / 60)
+}
+func MicrolitersPerSecond(v float64) FlowRate { return FlowRate(v * 1e-6) }
+
+// MillilitersPerMinute returns the rate in mL/min, the unit used by the
+// J-Kem pump control commands.
+func (f FlowRate) MillilitersPerMinute() float64 { return float64(f) * 1e3 * 60 }
+
+// LitersPerSecond returns the rate in L/s.
+func (f FlowRate) LitersPerSecond() float64 { return float64(f) }
+
+// Over returns the volume transferred at this rate over d seconds.
+func (f FlowRate) Over(seconds float64) Volume {
+	return Volume(float64(f) * seconds)
+}
+
+func (f FlowRate) String() string {
+	return fmt.Sprintf("%.3f mL/min", f.MillilitersPerMinute())
+}
+
+// Potential is an electrode potential in volts.
+type Potential float64
+
+// Potential constructors.
+func Volts(v float64) Potential      { return Potential(v) }
+func Millivolts(v float64) Potential { return Potential(v * 1e-3) }
+
+// Volts returns the potential in volts.
+func (p Potential) Volts() float64 { return float64(p) }
+
+// Millivolts returns the potential in millivolts.
+func (p Potential) Millivolts() float64 { return float64(p) * 1e3 }
+
+func (p Potential) String() string {
+	return formatScaled(float64(p), "V")
+}
+
+// ScanRate is a potential sweep rate in volts per second.
+type ScanRate float64
+
+// ScanRate constructors.
+func VoltsPerSecond(v float64) ScanRate      { return ScanRate(v) }
+func MillivoltsPerSecond(v float64) ScanRate { return ScanRate(v * 1e-3) }
+
+// VoltsPerSecond returns the rate in V/s.
+func (s ScanRate) VoltsPerSecond() float64 { return float64(s) }
+
+// MillivoltsPerSecond returns the rate in mV/s, the unit CV protocols
+// are usually quoted in.
+func (s ScanRate) MillivoltsPerSecond() float64 { return float64(s) * 1e3 }
+
+func (s ScanRate) String() string {
+	return fmt.Sprintf("%g mV/s", s.MillivoltsPerSecond())
+}
+
+// Current is an electric current in amperes.
+type Current float64
+
+// Current constructors.
+func Amperes(v float64) Current      { return Current(v) }
+func Milliamperes(v float64) Current { return Current(v * 1e-3) }
+func Microamperes(v float64) Current { return Current(v * 1e-6) }
+func Nanoamperes(v float64) Current  { return Current(v * 1e-9) }
+
+// Amperes returns the current in amperes.
+func (c Current) Amperes() float64 { return float64(c) }
+
+// Microamperes returns the current in microamperes.
+func (c Current) Microamperes() float64 { return float64(c) * 1e6 }
+
+func (c Current) String() string {
+	return formatScaled(float64(c), "A")
+}
+
+// Concentration is an amount concentration in mol/L (molar).
+type Concentration float64
+
+// Concentration constructors.
+func Molar(v float64) Concentration      { return Concentration(v) }
+func Millimolar(v float64) Concentration { return Concentration(v * 1e-3) }
+
+// Molar returns the concentration in mol/L.
+func (c Concentration) Molar() float64 { return float64(c) }
+
+// MolesPerCubicMeter returns the concentration in mol/m³, the unit the
+// diffusion solver works in (1 mol/L = 1000 mol/m³).
+func (c Concentration) MolesPerCubicMeter() float64 { return float64(c) * 1e3 }
+
+// Millimolar returns the concentration in mmol/L.
+func (c Concentration) Millimolar() float64 { return float64(c) * 1e3 }
+
+func (c Concentration) String() string {
+	return formatScaled(float64(c), "M")
+}
+
+// Temperature is a thermodynamic temperature in kelvin.
+type Temperature float64
+
+// Temperature constructors.
+func Kelvin(v float64) Temperature  { return Temperature(v) }
+func Celsius(v float64) Temperature { return Temperature(v + 273.15) }
+
+// Kelvin returns the temperature in kelvin.
+func (t Temperature) Kelvin() float64 { return float64(t) }
+
+// Celsius returns the temperature in degrees Celsius.
+func (t Temperature) Celsius() float64 { return float64(t) - 273.15 }
+
+func (t Temperature) String() string {
+	return fmt.Sprintf("%.2f °C", t.Celsius())
+}
+
+// GasFlow is a gas flow rate in standard cubic centimeters per minute,
+// the native unit of the mass flow controller.
+type GasFlow float64
+
+// SCCM constructs a gas flow in standard cm³/min.
+func SCCM(v float64) GasFlow { return GasFlow(v) }
+
+// SCCM returns the flow in standard cm³/min.
+func (g GasFlow) SCCM() float64 { return float64(g) }
+
+func (g GasFlow) String() string {
+	return fmt.Sprintf("%.1f sccm", g.SCCM())
+}
+
+// Area is a surface area in square meters (electrode areas).
+type Area float64
+
+// Area constructors.
+func SquareMeters(v float64) Area      { return Area(v) }
+func SquareCentimeters(v float64) Area { return Area(v * 1e-4) }
+func SquareMillimeters(v float64) Area { return Area(v * 1e-6) }
+
+// SquareMeters returns the area in m².
+func (a Area) SquareMeters() float64 { return float64(a) }
+
+// SquareCentimeters returns the area in cm².
+func (a Area) SquareCentimeters() float64 { return float64(a) * 1e4 }
+
+func (a Area) String() string {
+	return fmt.Sprintf("%.4g cm²", a.SquareCentimeters())
+}
+
+// prefixes maps engineering exponents to SI prefixes.
+var prefixes = map[int]string{
+	-15: "f", -12: "p", -9: "n", -6: "µ", -3: "m", 0: "", 3: "k", 6: "M",
+}
+
+// formatScaled renders v with an auto-selected engineering prefix on
+// unit, e.g. 2.5e-5 A → "25 µA".
+func formatScaled(v float64, unit string) string {
+	if v == 0 {
+		return "0 " + unit
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Sprintf("%g %s", v, unit)
+	}
+	exp := int(math.Floor(math.Log10(math.Abs(v))))
+	eng := exp - ((exp%3)+3)%3 // round down to multiple of 3
+	if eng < -15 {
+		eng = -15
+	}
+	if eng > 6 {
+		eng = 6
+	}
+	scaled := v / math.Pow(10, float64(eng))
+	return fmt.Sprintf("%.4g %s%s", scaled, prefixes[eng], unit)
+}

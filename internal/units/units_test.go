@@ -1,0 +1,243 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVolumeConversions(t *testing.T) {
+	v := Milliliters(2.5)
+	if !almost(v.Liters(), 0.0025, 1e-12) {
+		t.Errorf("Liters() = %v, want 0.0025", v.Liters())
+	}
+	if !almost(v.Microliters(), 2500, 1e-6) {
+		t.Errorf("Microliters() = %v, want 2500", v.Microliters())
+	}
+	if !almost(Microliters(500).Milliliters(), 0.5, 1e-12) {
+		t.Errorf("Microliters(500).Milliliters() = %v", Microliters(500).Milliliters())
+	}
+}
+
+func TestFlowRateConversions(t *testing.T) {
+	f := MillilitersPerMinute(5)
+	if !almost(f.MillilitersPerMinute(), 5, 1e-9) {
+		t.Errorf("round trip = %v, want 5", f.MillilitersPerMinute())
+	}
+	// 5 mL/min for 60 s is 5 mL.
+	got := f.Over(60)
+	if !almost(got.Milliliters(), 5, 1e-9) {
+		t.Errorf("Over(60s) = %v mL, want 5", got.Milliliters())
+	}
+}
+
+func TestFlowRateOverZeroSeconds(t *testing.T) {
+	if v := MillilitersPerMinute(10).Over(0); v != 0 {
+		t.Errorf("Over(0) = %v, want 0", v)
+	}
+}
+
+func TestPotentialConversions(t *testing.T) {
+	p := Millivolts(800)
+	if !almost(p.Volts(), 0.8, 1e-12) {
+		t.Errorf("Volts() = %v, want 0.8", p.Volts())
+	}
+	if !almost(Volts(-0.25).Millivolts(), -250, 1e-9) {
+		t.Errorf("Millivolts() = %v, want -250", Volts(-0.25).Millivolts())
+	}
+}
+
+func TestScanRateConversions(t *testing.T) {
+	s := MillivoltsPerSecond(50)
+	if !almost(s.VoltsPerSecond(), 0.05, 1e-12) {
+		t.Errorf("VoltsPerSecond() = %v, want 0.05", s.VoltsPerSecond())
+	}
+	if s.String() != "50 mV/s" {
+		t.Errorf("String() = %q, want %q", s.String(), "50 mV/s")
+	}
+}
+
+func TestCurrentConversions(t *testing.T) {
+	c := Microamperes(25)
+	if !almost(c.Amperes(), 2.5e-5, 1e-18) {
+		t.Errorf("Amperes() = %v, want 2.5e-5", c.Amperes())
+	}
+	if !almost(Nanoamperes(1000).Microamperes(), 1, 1e-9) {
+		t.Errorf("Nanoamperes(1000) = %v µA, want 1", Nanoamperes(1000).Microamperes())
+	}
+	if !almost(Milliamperes(3).Amperes(), 3e-3, 1e-15) {
+		t.Errorf("Milliamperes(3) = %v A", Milliamperes(3).Amperes())
+	}
+}
+
+func TestConcentrationConversions(t *testing.T) {
+	c := Millimolar(2) // the paper's 2 mM ferrocene
+	if !almost(c.Molar(), 0.002, 1e-12) {
+		t.Errorf("Molar() = %v, want 0.002", c.Molar())
+	}
+	if !almost(c.MolesPerCubicMeter(), 2, 1e-9) {
+		t.Errorf("MolesPerCubicMeter() = %v, want 2", c.MolesPerCubicMeter())
+	}
+}
+
+func TestTemperatureConversions(t *testing.T) {
+	tt := Celsius(25)
+	if !almost(tt.Kelvin(), 298.15, 1e-9) {
+		t.Errorf("Kelvin() = %v, want 298.15", tt.Kelvin())
+	}
+	if !almost(Kelvin(273.15).Celsius(), 0, 1e-9) {
+		t.Errorf("Celsius() = %v, want 0", Kelvin(273.15).Celsius())
+	}
+}
+
+func TestCurrentStringUsesEngineeringPrefix(t *testing.T) {
+	cases := []struct {
+		c    Current
+		want string
+	}{
+		{Microamperes(25), "25 µA"},
+		{Milliamperes(1.5), "1.5 mA"},
+		{Amperes(0), "0 A"},
+		{Nanoamperes(-40), "-40 nA"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("(%v A).String() = %q, want %q", float64(tc.c), got, tc.want)
+		}
+	}
+}
+
+func TestVolumeString(t *testing.T) {
+	if got := Milliliters(2).String(); got != "2 mL" {
+		t.Errorf("String() = %q, want %q", got, "2 mL")
+	}
+}
+
+func TestTemperatureString(t *testing.T) {
+	if got := Celsius(25).String(); got != "25.00 °C" {
+		t.Errorf("String() = %q, want %q", got, "25.00 °C")
+	}
+}
+
+func TestFormatScaledExtremes(t *testing.T) {
+	// Values beyond the prefix table still format without panicking.
+	for _, v := range []float64{1e-30, 1e12, math.NaN(), math.Inf(1)} {
+		s := formatScaled(v, "A")
+		if s == "" {
+			t.Errorf("formatScaled(%v) returned empty string", v)
+		}
+	}
+}
+
+func TestAreaConversions(t *testing.T) {
+	a := SquareCentimeters(0.07) // a typical 3 mm disk electrode
+	if !almost(a.SquareMeters(), 7e-6, 1e-15) {
+		t.Errorf("SquareMeters() = %v, want 7e-6", a.SquareMeters())
+	}
+	if !almost(SquareMillimeters(7).SquareCentimeters(), 0.07, 1e-12) {
+		t.Errorf("SquareMillimeters(7) = %v cm²", SquareMillimeters(7).SquareCentimeters())
+	}
+}
+
+func TestGasFlowString(t *testing.T) {
+	if got := SCCM(20).String(); got != "20.0 sccm" {
+		t.Errorf("String() = %q, want %q", got, "20.0 sccm")
+	}
+}
+
+func TestRemainingConstructorsAndStrings(t *testing.T) {
+	if !almost(Liters(0.5).Liters(), 0.5, 1e-15) {
+		t.Error("Liters round trip")
+	}
+	if !almost(LitersPerSecond(2).LitersPerSecond(), 2, 1e-15) {
+		t.Error("LitersPerSecond round trip")
+	}
+	if !almost(MicrolitersPerSecond(1e6).LitersPerSecond(), 1, 1e-12) {
+		t.Error("MicrolitersPerSecond conversion")
+	}
+	if !almost(VoltsPerSecond(0.05).VoltsPerSecond(), 0.05, 1e-15) {
+		t.Error("VoltsPerSecond round trip")
+	}
+	if !almost(Molar(0.1).Molar(), 0.1, 1e-15) {
+		t.Error("Molar round trip")
+	}
+	if !almost(Molar(0.002).Millimolar(), 2, 1e-12) {
+		t.Error("Millimolar accessor")
+	}
+	if !almost(SquareMeters(1e-4).SquareCentimeters(), 1, 1e-12) {
+		t.Error("SquareMeters conversion")
+	}
+	for _, s := range []string{
+		MillilitersPerMinute(5).String(),
+		Millimolar(2).String(),
+		SquareCentimeters(0.07).String(),
+	} {
+		if s == "" {
+			t.Error("empty String rendering")
+		}
+	}
+	if got := Millimolar(2).String(); got != "2 mM" {
+		t.Errorf("Millimolar(2).String() = %q", got)
+	}
+}
+
+// Property: volume round trips through milliliters within float tolerance.
+func TestVolumeRoundTripProperty(t *testing.T) {
+	f := func(ml float64) bool {
+		if math.IsNaN(ml) || math.IsInf(ml, 0) {
+			return true
+		}
+		v := Milliliters(ml)
+		return almost(v.Milliliters(), ml, math.Abs(ml)*1e-12+1e-15)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FlowRate.Over is linear in time.
+func TestFlowOverLinearityProperty(t *testing.T) {
+	f := func(rate, secs float64) bool {
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || math.IsNaN(secs) || math.IsInf(secs, 0) {
+			return true
+		}
+		rate = math.Mod(rate, 1e3)
+		secs = math.Abs(math.Mod(secs, 1e4))
+		fr := MillilitersPerMinute(rate)
+		double := fr.Over(2 * secs).Liters()
+		single := fr.Over(secs).Liters()
+		return almost(double, 2*single, math.Abs(double)*1e-9+1e-18)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: temperature conversion is invertible.
+func TestTemperatureRoundTripProperty(t *testing.T) {
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		c = math.Mod(c, 1e6)
+		return almost(Celsius(c).Celsius(), c, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: formatted strings always contain the unit suffix.
+func TestStringAlwaysHasUnit(t *testing.T) {
+	f := func(v float64) bool {
+		return strings.Contains(Current(v).String(), "A") &&
+			strings.Contains(Volume(v).String(), "L") &&
+			strings.Contains(Potential(v).String(), "V")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

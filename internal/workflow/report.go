@@ -1,0 +1,73 @@
+package workflow
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Report is the serialisable record of a notebook run, for archiving
+// next to the measurement files it produced.
+type Report struct {
+	// Name is the workflow name.
+	Name string `json:"name"`
+	// Tasks holds one entry per task in execution order.
+	Tasks []TaskReport `json:"tasks"`
+	// Transcript is the full notebook output.
+	Transcript []string `json:"transcript"`
+	// Succeeded reports whether every task ended OK.
+	Succeeded bool `json:"succeeded"`
+}
+
+// TaskReport is one task's serialisable outcome.
+type TaskReport struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	Status   string `json:"status"`
+	Output   string `json:"output,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Attempts int    `json:"attempts"`
+	// DurationMS is the task wall time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// Report snapshots the notebook's current state.
+func (nb *Notebook) Report() *Report {
+	results := nb.Results()
+	r := &Report{
+		Name:       nb.Name,
+		Transcript: nb.Transcript(),
+		Succeeded:  len(results) > 0,
+	}
+	for _, res := range results {
+		tr := TaskReport{
+			ID:         res.TaskID,
+			Title:      res.Title,
+			Status:     res.Status.String(),
+			Output:     res.Output,
+			Attempts:   res.Attempts,
+			DurationMS: float64(res.Duration) / float64(time.Millisecond),
+		}
+		if res.Err != nil {
+			tr.Error = res.Err.Error()
+		}
+		if res.Status != OK {
+			r.Succeeded = false
+		}
+		r.Tasks = append(r.Tasks, tr)
+	}
+	return r
+}
+
+// MarshalJSON renders the report with indentation for human review.
+func (r *Report) Marshal() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// ParseReport loads a serialised report.
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,63 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReportCapturesRun(t *testing.T) {
+	nb := New("demo")
+	nb.MustAdd(&Task{ID: "A", Title: "first", Run: func(c *Context) (string, error) { return "OK", nil }})
+	nb.MustAdd(&Task{ID: "B", Title: "second", Run: func(c *Context) (string, error) {
+		return "", errors.New("boom")
+	}})
+	nb.MustAdd(&Task{ID: "C", Title: "third", Run: func(c *Context) (string, error) { return "OK", nil }})
+	nb.Execute(context.Background())
+
+	r := nb.Report()
+	if r.Name != "demo" || r.Succeeded {
+		t.Errorf("report header = %q succeeded=%v", r.Name, r.Succeeded)
+	}
+	if len(r.Tasks) != 3 {
+		t.Fatalf("tasks = %d", len(r.Tasks))
+	}
+	if r.Tasks[0].Status != "OK" || r.Tasks[1].Status != "FAILED" || r.Tasks[2].Status != "skipped" {
+		t.Errorf("statuses = %v %v %v", r.Tasks[0].Status, r.Tasks[1].Status, r.Tasks[2].Status)
+	}
+	if r.Tasks[1].Error != "boom" {
+		t.Errorf("error = %q", r.Tasks[1].Error)
+	}
+
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"boom"`) {
+		t.Error("marshalled report missing error")
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "demo" || len(back.Tasks) != 3 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if _, err := ParseReport([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestReportSucceededOnCleanRun(t *testing.T) {
+	nb := New("clean")
+	nb.MustAdd(&Task{ID: "A", Run: func(c *Context) (string, error) { return "OK", nil }})
+	nb.Execute(context.Background())
+	if r := nb.Report(); !r.Succeeded {
+		t.Error("clean run not marked succeeded")
+	}
+	empty := New("empty")
+	if r := empty.Report(); r.Succeeded {
+		t.Error("empty notebook marked succeeded")
+	}
+}

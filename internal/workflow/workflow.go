@@ -1,0 +1,355 @@
+// Package workflow provides the notebook-style orchestration engine
+// the ICE workflows run on: an ordered sequence of named tasks (the
+// paper composes tasks A–E in a Jupyter notebook), executed with
+// dependency checking, per-task retries, shared state between cells,
+// and a transcript that mirrors the notebook output of Figs. 5a/6a.
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Status is a task's lifecycle state.
+type Status int
+
+// Task statuses.
+const (
+	// Pending tasks have not run yet.
+	Pending Status = iota
+	// Running tasks are executing.
+	Running
+	// OK tasks completed successfully.
+	OK
+	// Failed tasks returned an error after all retries.
+	Failed
+	// Skipped tasks never ran because a dependency failed.
+	Skipped
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case OK:
+		return "OK"
+	case Failed:
+		return "FAILED"
+	case Skipped:
+		return "skipped"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Context is passed to each task: cancellation, shared state and
+// logging into the notebook transcript.
+type Context struct {
+	// Ctx is the cancellation context for the whole run.
+	Ctx context.Context
+
+	nb *Notebook
+	mu sync.Mutex
+	kv map[string]any
+}
+
+// Set stores a value shared across tasks (like a notebook variable).
+func (c *Context) Set(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.kv[key] = v
+}
+
+// Get retrieves a shared value.
+func (c *Context) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.kv[key]
+	return v, ok
+}
+
+// MustGet retrieves a shared value or returns an error naming the key,
+// for tasks that require upstream outputs.
+func (c *Context) MustGet(key string) (any, error) {
+	if v, ok := c.Get(key); ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("workflow: shared value %q not set", key)
+}
+
+// Logf appends a free-form line to the transcript.
+func (c *Context) Logf(format string, args ...any) {
+	c.nb.appendTranscript(fmt.Sprintf(format, args...))
+}
+
+// Task is one notebook cell.
+type Task struct {
+	// ID is the short identifier (the paper uses A–E).
+	ID string
+	// Title describes the cell.
+	Title string
+	// Run executes the cell and returns its output line.
+	Run func(c *Context) (string, error)
+	// DependsOn lists task IDs that must have succeeded first.
+	DependsOn []string
+	// Retries is the number of additional attempts on failure.
+	Retries int
+	// RetryDelay spaces retries; zero retries immediately.
+	RetryDelay time.Duration
+	// Timeout bounds each attempt; zero means unbounded. A timed-out
+	// attempt counts as a failure (and is retried if attempts remain).
+	// The Run func keeps executing in the background after a timeout —
+	// it must be safe to abandon.
+	Timeout time.Duration
+}
+
+// ErrTaskTimeout is wrapped by failures caused by a task exceeding its
+// Timeout.
+var ErrTaskTimeout = errors.New("workflow: task attempt timed out")
+
+// Result records one task's outcome.
+type Result struct {
+	// TaskID and Title identify the cell.
+	TaskID string
+	Title  string
+	// Status is the final state.
+	Status Status
+	// Output is the cell's output line (e.g. "OK").
+	Output string
+	// Err is the final error for failed tasks.
+	Err error
+	// Attempts counts executions (1 = no retries needed).
+	Attempts int
+	// Duration is the total wall time spent.
+	Duration time.Duration
+}
+
+// Notebook is an ordered workflow.
+type Notebook struct {
+	// Name labels the workflow in transcripts.
+	Name string
+	// ContinueOnError keeps executing independent tasks after a
+	// failure; dependent tasks are still skipped.
+	ContinueOnError bool
+
+	mu         sync.Mutex
+	tasks      []*Task
+	results    map[string]*Result
+	transcript []string
+}
+
+// ErrDuplicateTask is wrapped when two tasks share an ID.
+var ErrDuplicateTask = errors.New("workflow: duplicate task id")
+
+// New returns an empty notebook.
+func New(name string) *Notebook {
+	return &Notebook{Name: name, results: make(map[string]*Result)}
+}
+
+// Add appends a task in execution order.
+func (nb *Notebook) Add(t *Task) error {
+	if t == nil || t.ID == "" || t.Run == nil {
+		return errors.New("workflow: task needs an ID and a Run func")
+	}
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	for _, existing := range nb.tasks {
+		if existing.ID == t.ID {
+			return fmt.Errorf("%w: %q", ErrDuplicateTask, t.ID)
+		}
+	}
+	nb.tasks = append(nb.tasks, t)
+	nb.results[t.ID] = &Result{TaskID: t.ID, Title: t.Title, Status: Pending}
+	return nil
+}
+
+// MustAdd is Add that panics on programmer error, for literal workflow
+// definitions.
+func (nb *Notebook) MustAdd(t *Task) {
+	if err := nb.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// appendTranscript adds a line under the lock.
+func (nb *Notebook) appendTranscript(line string) {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	nb.transcript = append(nb.transcript, line)
+}
+
+// Transcript returns a copy of the notebook output so far.
+func (nb *Notebook) Transcript() []string {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	out := make([]string, len(nb.transcript))
+	copy(out, nb.transcript)
+	return out
+}
+
+// Result returns the recorded outcome for a task ID.
+func (nb *Notebook) Result(id string) (Result, bool) {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	r, ok := nb.results[id]
+	if !ok {
+		return Result{}, false
+	}
+	return *r, true
+}
+
+// Results returns all outcomes in execution order.
+func (nb *Notebook) Results() []Result {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	out := make([]Result, 0, len(nb.tasks))
+	for _, t := range nb.tasks {
+		out = append(out, *nb.results[t.ID])
+	}
+	return out
+}
+
+// Execute runs the notebook top to bottom. It returns the first task
+// error unless ContinueOnError is set, in which case it returns a
+// joined error of all failures (nil if none).
+func (nb *Notebook) Execute(ctx context.Context) error {
+	nb.mu.Lock()
+	tasks := append([]*Task(nil), nb.tasks...)
+	nb.mu.Unlock()
+
+	wctx := &Context{Ctx: ctx, nb: nb, kv: make(map[string]any)}
+	var failures []error
+
+	for i, t := range tasks {
+		if err := ctx.Err(); err != nil {
+			nb.setResult(t.ID, Skipped, "", err, 0, 0)
+			continue
+		}
+		if dep, ok := nb.failedDependency(t); ok {
+			nb.setResult(t.ID, Skipped, "", fmt.Errorf("workflow: dependency %q did not succeed", dep), 0, 0)
+			nb.appendTranscript(fmt.Sprintf("In [%d]: %s — skipped (dependency %q)", i+1, t.Title, dep))
+			continue
+		}
+
+		nb.setStatus(t.ID, Running)
+		nb.appendTranscript(fmt.Sprintf("In [%d]: %s", i+1, t.Title))
+		start := time.Now()
+		output, err, attempts := runWithRetries(wctx, t)
+		elapsed := time.Since(start)
+
+		if err != nil {
+			nb.setResult(t.ID, Failed, output, err, attempts, elapsed)
+			nb.appendTranscript(fmt.Sprintf("Out[%d]: FAILED: %v", i+1, err))
+			if !nb.ContinueOnError {
+				nb.skipRemaining(tasks[i+1:])
+				return fmt.Errorf("workflow %s task %s: %w", nb.Name, t.ID, err)
+			}
+			failures = append(failures, fmt.Errorf("task %s: %w", t.ID, err))
+			continue
+		}
+		nb.setResult(t.ID, OK, output, nil, attempts, elapsed)
+		nb.appendTranscript(fmt.Sprintf("Out[%d]: %s", i+1, output))
+	}
+	return errors.Join(failures...)
+}
+
+// runWithRetries executes a task with its retry and timeout policy.
+func runWithRetries(wctx *Context, t *Task) (output string, err error, attempts int) {
+	for attempts = 1; ; attempts++ {
+		output, err = runAttempt(wctx, t)
+		if err == nil || attempts > t.Retries {
+			return output, err, attempts
+		}
+		if t.RetryDelay > 0 {
+			select {
+			case <-time.After(t.RetryDelay):
+			case <-wctx.Ctx.Done():
+				return output, wctx.Ctx.Err(), attempts
+			}
+		}
+		if wctx.Ctx.Err() != nil {
+			return output, wctx.Ctx.Err(), attempts
+		}
+	}
+}
+
+// runAttempt executes one attempt, enforcing the task timeout.
+func runAttempt(wctx *Context, t *Task) (string, error) {
+	if t.Timeout <= 0 {
+		return t.Run(wctx)
+	}
+	type result struct {
+		output string
+		err    error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := t.Run(wctx)
+		ch <- result{out, err}
+	}()
+	timer := time.NewTimer(t.Timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.output, r.err
+	case <-timer.C:
+		return "", fmt.Errorf("%w after %v", ErrTaskTimeout, t.Timeout)
+	case <-wctx.Ctx.Done():
+		return "", wctx.Ctx.Err()
+	}
+}
+
+func (nb *Notebook) failedDependency(t *Task) (string, bool) {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	for _, dep := range t.DependsOn {
+		r, ok := nb.results[dep]
+		if !ok || r.Status != OK {
+			return dep, true
+		}
+	}
+	return "", false
+}
+
+func (nb *Notebook) setStatus(id string, s Status) {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	nb.results[id].Status = s
+}
+
+func (nb *Notebook) setResult(id string, s Status, output string, err error, attempts int, d time.Duration) {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	r := nb.results[id]
+	r.Status = s
+	r.Output = output
+	r.Err = err
+	r.Attempts = attempts
+	r.Duration = d
+}
+
+func (nb *Notebook) skipRemaining(tasks []*Task) {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	for _, t := range tasks {
+		if r := nb.results[t.ID]; r.Status == Pending {
+			r.Status = Skipped
+		}
+	}
+}
+
+// Summary renders one line per task: "A  OK  (12ms)  Establish comms".
+func (nb *Notebook) Summary() []string {
+	results := nb.Results()
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = fmt.Sprintf("%-4s %-8s %-12s %s", r.TaskID, r.Status, r.Duration.Round(time.Millisecond), r.Title)
+	}
+	return out
+}

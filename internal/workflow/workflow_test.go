@@ -1,0 +1,296 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okTask(id string) *Task {
+	return &Task{ID: id, Title: "task " + id, Run: func(c *Context) (string, error) { return "OK", nil }}
+}
+
+func TestSequentialExecution(t *testing.T) {
+	nb := New("demo")
+	var order []string
+	for _, id := range []string{"A", "B", "C"} {
+		id := id
+		nb.MustAdd(&Task{ID: id, Title: id, Run: func(c *Context) (string, error) {
+			order = append(order, id)
+			return "OK", nil
+		}})
+	}
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, "") != "ABC" {
+		t.Errorf("order = %v", order)
+	}
+	for _, r := range nb.Results() {
+		if r.Status != OK || r.Output != "OK" || r.Attempts != 1 {
+			t.Errorf("result = %+v", r)
+		}
+	}
+}
+
+func TestFailureStopsAndSkips(t *testing.T) {
+	nb := New("demo")
+	nb.MustAdd(okTask("A"))
+	nb.MustAdd(&Task{ID: "B", Title: "boom", Run: func(c *Context) (string, error) {
+		return "", errors.New("instrument offline")
+	}})
+	nb.MustAdd(okTask("C"))
+	err := nb.Execute(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "instrument offline") {
+		t.Fatalf("Execute = %v", err)
+	}
+	if r, _ := nb.Result("A"); r.Status != OK {
+		t.Errorf("A = %v", r.Status)
+	}
+	if r, _ := nb.Result("B"); r.Status != Failed {
+		t.Errorf("B = %v", r.Status)
+	}
+	if r, _ := nb.Result("C"); r.Status != Skipped {
+		t.Errorf("C = %v, want skipped", r.Status)
+	}
+}
+
+func TestContinueOnError(t *testing.T) {
+	nb := New("demo")
+	nb.ContinueOnError = true
+	nb.MustAdd(&Task{ID: "A", Run: func(c *Context) (string, error) { return "", errors.New("a failed") }})
+	nb.MustAdd(okTask("B"))
+	nb.MustAdd(&Task{ID: "C", DependsOn: []string{"A"}, Run: func(c *Context) (string, error) { return "OK", nil }})
+	err := nb.Execute(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "a failed") {
+		t.Fatalf("Execute = %v", err)
+	}
+	if r, _ := nb.Result("B"); r.Status != OK {
+		t.Errorf("independent B = %v", r.Status)
+	}
+	if r, _ := nb.Result("C"); r.Status != Skipped {
+		t.Errorf("dependent C = %v", r.Status)
+	}
+}
+
+func TestDependencies(t *testing.T) {
+	nb := New("demo")
+	nb.MustAdd(okTask("A"))
+	nb.MustAdd(&Task{ID: "B", DependsOn: []string{"A"}, Run: func(c *Context) (string, error) { return "OK", nil }})
+	// Dependency on unknown task counts as unmet.
+	nb.MustAdd(&Task{ID: "X", DependsOn: []string{"GHOST"}, Run: func(c *Context) (string, error) { return "OK", nil }})
+	nb.ContinueOnError = true
+	nb.Execute(context.Background())
+	if r, _ := nb.Result("B"); r.Status != OK {
+		t.Errorf("B = %v", r.Status)
+	}
+	if r, _ := nb.Result("X"); r.Status != Skipped {
+		t.Errorf("X = %v, want skipped on unknown dep", r.Status)
+	}
+}
+
+func TestRetries(t *testing.T) {
+	nb := New("demo")
+	calls := 0
+	nb.MustAdd(&Task{ID: "A", Retries: 2, Run: func(c *Context) (string, error) {
+		calls++
+		if calls < 3 {
+			return "", fmt.Errorf("transient %d", calls)
+		}
+		return "OK after retries", nil
+	}})
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := nb.Result("A")
+	if r.Attempts != 3 || r.Status != OK {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	nb := New("demo")
+	calls := 0
+	nb.MustAdd(&Task{ID: "A", Retries: 1, Run: func(c *Context) (string, error) {
+		calls++
+		return "", errors.New("permanent")
+	}})
+	if err := nb.Execute(context.Background()); err == nil {
+		t.Fatal("expected failure")
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2", calls)
+	}
+}
+
+func TestTaskTimeout(t *testing.T) {
+	nb := New("demo")
+	nb.MustAdd(&Task{ID: "A", Timeout: 30 * time.Millisecond, Run: func(c *Context) (string, error) {
+		time.Sleep(5 * time.Second)
+		return "too late", nil
+	}})
+	start := time.Now()
+	err := nb.Execute(context.Background())
+	if !errors.Is(err, ErrTaskTimeout) {
+		t.Fatalf("Execute = %v, want ErrTaskTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout not enforced promptly")
+	}
+}
+
+func TestTaskTimeoutRetriesThenSucceeds(t *testing.T) {
+	nb := New("demo")
+	// The abandoned first attempt keeps running concurrently with the
+	// retry (documented contract), so the counter must be atomic.
+	var calls atomic.Int32
+	nb.MustAdd(&Task{ID: "A", Timeout: 50 * time.Millisecond, Retries: 1, Run: func(c *Context) (string, error) {
+		if calls.Add(1) == 1 {
+			time.Sleep(time.Second) // first attempt hangs
+		}
+		return "OK", nil
+	}})
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatalf("Execute = %v", err)
+	}
+	r, _ := nb.Result("A")
+	if r.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", r.Attempts)
+	}
+}
+
+func TestTaskWithoutTimeoutUnbounded(t *testing.T) {
+	nb := New("demo")
+	nb.MustAdd(&Task{ID: "A", Run: func(c *Context) (string, error) {
+		time.Sleep(50 * time.Millisecond)
+		return "OK", nil
+	}})
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedState(t *testing.T) {
+	nb := New("demo")
+	nb.MustAdd(&Task{ID: "A", Run: func(c *Context) (string, error) {
+		c.Set("filename", "CV_ch1_run001.mpt")
+		return "OK", nil
+	}})
+	nb.MustAdd(&Task{ID: "B", DependsOn: []string{"A"}, Run: func(c *Context) (string, error) {
+		v, err := c.MustGet("filename")
+		if err != nil {
+			return "", err
+		}
+		return v.(string), nil
+	}})
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := nb.Result("B")
+	if r.Output != "CV_ch1_run001.mpt" {
+		t.Errorf("B output = %q", r.Output)
+	}
+}
+
+func TestMustGetMissing(t *testing.T) {
+	nb := New("demo")
+	nb.MustAdd(&Task{ID: "A", Run: func(c *Context) (string, error) {
+		_, err := c.MustGet("nothing")
+		return "", err
+	}})
+	if err := nb.Execute(context.Background()); err == nil || !strings.Contains(err.Error(), "nothing") {
+		t.Errorf("Execute = %v", err)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	nb := New("demo")
+	ctx, cancel := context.WithCancel(context.Background())
+	nb.MustAdd(&Task{ID: "A", Run: func(c *Context) (string, error) {
+		cancel()
+		return "OK", nil
+	}})
+	nb.MustAdd(okTask("B"))
+	nb.ContinueOnError = true
+	nb.Execute(ctx)
+	if r, _ := nb.Result("B"); r.Status != Skipped {
+		t.Errorf("B after cancel = %v", r.Status)
+	}
+}
+
+func TestRetryDelayRespectsCancel(t *testing.T) {
+	nb := New("demo")
+	ctx, cancel := context.WithCancel(context.Background())
+	nb.MustAdd(&Task{ID: "A", Retries: 5, RetryDelay: time.Hour, Run: func(c *Context) (string, error) {
+		cancel()
+		return "", errors.New("always")
+	}})
+	start := time.Now()
+	nb.Execute(ctx)
+	if time.Since(start) > 5*time.Second {
+		t.Error("retry delay ignored cancellation")
+	}
+}
+
+func TestTranscript(t *testing.T) {
+	nb := New("demo")
+	nb.MustAdd(&Task{ID: "A", Title: "Fill cell", Run: func(c *Context) (string, error) {
+		c.Logf("custom log line")
+		return "OK", nil
+	}})
+	nb.Execute(context.Background())
+	tr := strings.Join(nb.Transcript(), "\n")
+	for _, want := range []string{"In [1]: Fill cell", "custom log line", "Out[1]: OK"} {
+		if !strings.Contains(tr, want) {
+			t.Errorf("transcript missing %q:\n%s", want, tr)
+		}
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	nb := New("demo")
+	if err := nb.Add(nil); err == nil {
+		t.Error("nil task accepted")
+	}
+	if err := nb.Add(&Task{ID: "A"}); err == nil {
+		t.Error("task without Run accepted")
+	}
+	nb.MustAdd(okTask("A"))
+	if err := nb.Add(okTask("A")); !errors.Is(err, ErrDuplicateTask) {
+		t.Errorf("duplicate = %v", err)
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd did not panic")
+		}
+	}()
+	New("demo").MustAdd(nil)
+}
+
+func TestSummaryAndStatusStrings(t *testing.T) {
+	nb := New("demo")
+	nb.MustAdd(okTask("A"))
+	nb.Execute(context.Background())
+	sum := nb.Summary()
+	if len(sum) != 1 || !strings.Contains(sum[0], "OK") {
+		t.Errorf("Summary = %v", sum)
+	}
+	for s, want := range map[Status]string{
+		Pending: "pending", Running: "running", OK: "OK", Failed: "FAILED", Skipped: "skipped",
+		Status(9): "status(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q", int(s), s.String())
+		}
+	}
+	if _, ok := nb.Result("GHOST"); ok {
+		t.Error("Result of unknown task reported ok")
+	}
+}
