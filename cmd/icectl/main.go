@@ -6,6 +6,9 @@
 //	icectl -agent localhost fill
 //	icectl -agent localhost cv
 //	icectl -agent localhost workflow   # full tasks A–E
+//	icectl -agent localhost -journal cv.journal workflow            # checkpoint progress
+//	icectl -agent localhost -journal cv.journal -resume workflow    # resume after a crash
+//	icectl -agent localhost -reliable -timeout 15m workflow         # chaos-tolerant session
 //	icectl -agent localhost campaign   # adaptive target-peak search (agent needs -lab)
 //	icectl -agent localhost qos        # control-RTT histogram + data throughput
 //	icectl -agent localhost abort      # emergency-stop a running acquisition
@@ -19,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"path/filepath"
 	"time"
 
 	"ice/internal/analysis"
@@ -28,6 +33,7 @@ import (
 	"ice/internal/potentiostat"
 	"ice/internal/pyro"
 	"ice/internal/units"
+	"ice/internal/workflow"
 )
 
 func main() {
@@ -38,15 +44,32 @@ func main() {
 	rate := flag.Float64("scan-rate", 50, "CV scan rate in mV/s")
 	token := flag.String("token", "", "control-channel credential (must match the agent's -token)")
 	targetUA := flag.Float64("target-peak", 30, "campaign target anodic peak in µA")
+	timeout := flag.Duration("timeout", 0, "overall command deadline (0 = none), e.g. 15m")
+	reliable := flag.Bool("reliable", false, "retry commands across transport faults with exactly-once semantics")
+	journalPath := flag.String("journal", "", "workflow: checkpoint task progress to this file")
+	resume := flag.Bool("resume", false, "workflow: restore completed tasks from -journal before executing")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: icectl [flags] status|fill|cv|eis|workflow|campaign|qos|abort|retain|replay|files")
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	uri := pyro.URI{Object: core.JKemObject, Host: *agentHost, Port: *controlPort}
-	session, err := core.ConnectSessionToken(uri, nil, *token)
-	if err != nil {
-		log.Fatalf("control channel: %v", err)
+	var session *core.RemoteSession
+	if *reliable {
+		session = core.ConnectSessionReliable(uri, nil, core.SessionOptions{Token: *token})
+	} else {
+		var err error
+		session, err = core.ConnectSessionToken(uri, nil, *token)
+		if err != nil {
+			log.Fatalf("control channel: %v", err)
+		}
 	}
 	defer session.Close()
 
@@ -136,7 +159,42 @@ func main() {
 		cfg.WaitPoll = 100 * time.Millisecond
 		cfg.WaitTimeout = 10 * time.Minute
 		nb, outcome := core.BuildCVWorkflow(session, mount, cfg)
-		if err := nb.Execute(context.Background()); err != nil {
+		if *resume {
+			if *journalPath == "" {
+				log.Fatal("-resume requires -journal")
+			}
+			data, err := os.ReadFile(*journalPath)
+			if err != nil && !os.IsNotExist(err) {
+				log.Fatalf("read journal: %v", err)
+			}
+			if err == nil {
+				records, err := workflow.ReadJournal(bytes.NewReader(data))
+				if err != nil {
+					log.Fatalf("parse journal: %v", err)
+				}
+				if n := nb.Restore(records); n > 0 {
+					fmt.Printf("resuming: %d completed task(s) restored from %s\n", n, *journalPath)
+				}
+			}
+			// The crash may have left the instrument mid-pipeline, where
+			// the resumed acquisition task could not legally re-run.
+			if err := session.ResetSP200(); err != nil {
+				log.Fatalf("reset instrument before resume: %v", err)
+			}
+		}
+		if *journalPath != "" {
+			dir, name := filepath.Split(*journalPath)
+			if dir == "" {
+				dir = "."
+			}
+			j, err := core.OpenAppendFile(dir, name)
+			if err != nil {
+				log.Fatalf("open journal: %v", err)
+			}
+			defer j.Close()
+			nb.SetJournal(j)
+		}
+		if err := nb.Execute(ctx); err != nil {
 			for _, line := range nb.Transcript() {
 				fmt.Println(line)
 			}

@@ -105,6 +105,14 @@ func (a *ControlAgent) MeasurementDir() string { return a.cfg.MeasurementDir }
 // SBC exposes the J-Kem single-board computer (for transcript access).
 func (a *ControlAgent) SBC() *jkem.SBC { return a.sbc }
 
+// Daemon exposes the control channel's Pyro daemon once ServeControl
+// has run (nil before), for reply-cache sizing and telemetry wiring.
+func (a *ControlAgent) Daemon() *pyro.Daemon {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.daemon
+}
+
 // SP200 exposes the potentiostat (for event-log access).
 func (a *ControlAgent) SP200() *potentiostat.SP200 { return a.sp200 }
 

@@ -6,21 +6,27 @@ import (
 	"sync"
 )
 
-// appendFile is a mutex-guarded append-only file for journal writes.
-type appendFile struct {
+// AppendFile is a mutex-guarded append-only file for journal writes:
+// every Write is serialized and fsynced, so records survive a crash of
+// the writing process — the durability the audit trail and workflow
+// checkpoint journals are built on.
+type AppendFile struct {
 	mu sync.Mutex
 	f  *os.File
 }
 
-func newAppendFile(dir, name string) (*appendFile, error) {
+// OpenAppendFile opens (creating if needed) dir/name for append-only
+// writes.
+func OpenAppendFile(dir, name string) (*AppendFile, error) {
 	f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &appendFile{f: f}, nil
+	return &AppendFile{f: f}, nil
 }
 
-func (a *appendFile) Write(p []byte) (int, error) {
+// Write appends p, syncing to stable storage on success.
+func (a *AppendFile) Write(p []byte) (int, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	n, err := a.f.Write(p)
@@ -28,4 +34,11 @@ func (a *appendFile) Write(p []byte) (int, error) {
 		a.f.Sync()
 	}
 	return n, err
+}
+
+// Close releases the underlying file.
+func (a *AppendFile) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.f.Close()
 }

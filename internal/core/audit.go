@@ -76,7 +76,7 @@ func (a *ControlAgent) EnableAudit() error {
 	if daemon == nil {
 		return fmt.Errorf("core: control channel not serving yet")
 	}
-	f, err := newAppendFile(a.cfg.MeasurementDir, AuditFileName)
+	f, err := OpenAppendFile(a.cfg.MeasurementDir, AuditFileName)
 	if err != nil {
 		return err
 	}

@@ -86,6 +86,20 @@ func (d *Deployment) ConnectFrom(host string) (*RemoteSession, *datachan.Mount, 
 	return session, datachan.NewMount(conn), nil
 }
 
+// ConnectReliableFrom opens a chaos-tolerant session and data mount
+// from the named host: instrument commands retry across transport
+// faults with exactly-once semantics for the non-idempotent ones.
+func (d *Deployment) ConnectReliableFrom(host string, opts SessionOptions) (*RemoteSession, *datachan.Mount, error) {
+	dialer := pyro.Dialer(d.Network.Dialer(host))
+	session := ConnectSessionReliable(d.DaemonURI, dialer, opts)
+	conn, err := d.Network.Dial(host, d.DataAddr)
+	if err != nil {
+		session.Close()
+		return nil, nil, fmt.Errorf("core: mount data channel: %w", err)
+	}
+	return session, datachan.NewMount(conn), nil
+}
+
 // AttachLab adds the extended Fig. 1 stations (synthesis workstation
 // and mobile robot) to a deployed ICE. timeScale paces synthesis and
 // robot motion.

@@ -2,17 +2,44 @@ package core
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"ice/internal/pyro"
+	"ice/internal/telemetry"
 )
 
 // RemoteSession is the client-side handle a remote computing system
 // (the DGX) holds on the control agent: typed wrappers over the two
-// Pyro proxies, mirroring the notebook calls of Figs. 5a and 6a.
+// Pyro proxies, mirroring the notebook calls of Figs. 5a and 6a. The
+// proxies may be plain (ConnectSession) or self-healing with
+// exactly-once command semantics (ConnectSessionReliable).
 type RemoteSession struct {
-	jkem  *pyro.Proxy
-	sp200 *pyro.Proxy
+	jkem  pyro.Caller
+	sp200 pyro.Caller
+
+	// watchdog state; see watchdog.go.
+	watchMu     sync.Mutex
+	watchStop   chan struct{}
+	misses      int
+	degraded    bool
+	lastContact time.Time
+}
+
+// NonIdempotentJKemMethods are the J-Kem commands whose retry must not
+// re-execute: each moves physical liquid (or forwards an arbitrary
+// protocol command that might).
+var NonIdempotentJKemMethods = []string{
+	"WithdrawSyringePump", "DispenseSyringePump", "DrainCell", "Raw",
+}
+
+// NonIdempotentSP200Methods are the SP200 commands whose retry must
+// not re-execute: each starts an acquisition (duplicating it would
+// consume analyte and skew the record set) or deletes files.
+var NonIdempotentSP200Methods = []string{
+	"StartChannelSP200", "RunOCV", "RunCA", "RunEIS", "RunSWV",
+	"RetainMeasurements",
 }
 
 // ConnectSession dials both instrument objects on the control agent's
@@ -38,8 +65,50 @@ func ConnectSessionToken(daemonURI pyro.URI, dialer pyro.Dialer, token string) (
 	return &RemoteSession{jkem: jk, sp200: sp}, nil
 }
 
-// Close tears down both proxies (task E's connection shutdown).
+// SessionOptions tunes a reliable session's retry behavior.
+type SessionOptions struct {
+	// Token is the control channel's shared-secret credential.
+	Token string
+	// MaxRetries bounds redials per call (0 = the proxy default).
+	MaxRetries int
+	// Backoff is the initial redial delay (0 = the proxy default).
+	Backoff time.Duration
+	// Metrics receives "pyro.retries" / "pyro.redials" counts.
+	Metrics *telemetry.Collector
+}
+
+// ConnectSessionReliable opens a session over reconnecting proxies:
+// transport failures (lost replies, link flaps, agent restarts) are
+// retried with jittered backoff, and the non-idempotent instrument
+// commands carry call IDs so the agent executes each at most once —
+// a retried DispenseSyringePump returns the first execution's result
+// instead of dispensing twice. The proxies dial lazily: configuration
+// errors surface on the first call.
+func ConnectSessionReliable(daemonURI pyro.URI, dialer pyro.Dialer, opts SessionOptions) *RemoteSession {
+	build := func(object string, timeout time.Duration, marked []string) *pyro.ReconnectingProxy {
+		p := pyro.NewReconnectingProxy(daemonURI.WithObject(object), dialer, opts.Token)
+		p.Timeout = timeout
+		if opts.MaxRetries > 0 {
+			p.MaxRetries = opts.MaxRetries
+		}
+		if opts.Backoff > 0 {
+			p.Backoff = opts.Backoff
+		}
+		if opts.Metrics != nil {
+			p.SetMetrics(opts.Metrics)
+		}
+		p.MarkExactlyOnce(marked...)
+		return p
+	}
+	jk := build(JKemObject, 30*time.Second, NonIdempotentJKemMethods)
+	sp := build(SP200Object, 10*time.Minute, NonIdempotentSP200Methods)
+	return &RemoteSession{jkem: jk, sp200: sp}
+}
+
+// Close tears down both proxies (task E's connection shutdown) and
+// stops the watchdog if running.
 func (s *RemoteSession) Close() error {
+	s.stopWatchdog()
 	err1 := s.jkem.Close()
 	err2 := s.sp200.Close()
 	if err1 != nil {
@@ -49,7 +118,7 @@ func (s *RemoteSession) Close() error {
 }
 
 // call is a helper returning the string result of a remote method.
-func call(p *pyro.Proxy, method string, args ...any) (string, error) {
+func call(p pyro.Caller, method string, args ...any) (string, error) {
 	var out string
 	if err := p.CallInto(&out, method, args...); err != nil {
 		return "", err
@@ -177,6 +246,20 @@ func (s *RemoteSession) CallDisconnectSP200() (string, error) {
 // SP200Status returns the instrument state line.
 func (s *RemoteSession) SP200Status() (string, error) {
 	return call(s.sp200, "StatusSP200")
+}
+
+// ResetSP200 forces the potentiostat back to its power-on state. A
+// client that crashed mid-acquisition leaves the instrument partway
+// through the eight-step pipeline, where re-running Initialize is
+// illegal; Disconnect is valid from every powered state, and an
+// instrument that is already off needs no reset, so this is the safe
+// preamble before resuming a checkpointed workflow.
+func (s *RemoteSession) ResetSP200() error {
+	_, err := s.CallDisconnectSP200()
+	if err != nil && strings.Contains(err.Error(), "invalid in current state") {
+		return nil // already off
+	}
+	return err
 }
 
 // RetainMeasurements prunes the agent's measurement directory to the

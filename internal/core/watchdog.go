@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// SessionHealth is the watchdog's liveness assessment of the control
+// agent at the far end of the session.
+type SessionHealth struct {
+	// Degraded is set after missThreshold consecutive failed
+	// heartbeats: the control agent is unreachable and commands should
+	// be held rather than queued blindly.
+	Degraded bool
+	// ConsecutiveMisses counts heartbeats failed in a row.
+	ConsecutiveMisses int
+	// LastContact is when the agent last answered a heartbeat (zero if
+	// it never has).
+	LastContact time.Time
+}
+
+// StartWatchdog begins heartbeating the control agent: every interval
+// the session issues a cheap status read, and after missThreshold
+// consecutive failures the session reports Degraded until the agent
+// answers again. Stop it with StopWatchdog or Close. Heartbeats share
+// the session's J-Kem proxy, so on a reliable session each probe
+// itself retries briefly before counting as a miss.
+func (s *RemoteSession) StartWatchdog(interval time.Duration, missThreshold int) error {
+	if interval <= 0 || missThreshold <= 0 {
+		return fmt.Errorf("core: watchdog needs positive interval and miss threshold")
+	}
+	s.watchMu.Lock()
+	if s.watchStop != nil {
+		s.watchMu.Unlock()
+		return fmt.Errorf("core: watchdog already running")
+	}
+	stop := make(chan struct{})
+	s.watchStop = stop
+	s.watchMu.Unlock()
+
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			_, err := s.JKemStatus()
+			s.watchMu.Lock()
+			if err != nil {
+				s.misses++
+				if s.misses >= missThreshold {
+					s.degraded = true
+				}
+			} else {
+				s.misses = 0
+				s.degraded = false
+				s.lastContact = time.Now()
+			}
+			s.watchMu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// StopWatchdog halts the heartbeat loop (idempotent).
+func (s *RemoteSession) StopWatchdog() { s.stopWatchdog() }
+
+func (s *RemoteSession) stopWatchdog() {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	if s.watchStop != nil {
+		close(s.watchStop)
+		s.watchStop = nil
+	}
+}
+
+// Health reports the watchdog's current assessment. Without a running
+// watchdog it reports a healthy session with no contact history.
+func (s *RemoteSession) Health() SessionHealth {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	return SessionHealth{
+		Degraded:          s.degraded,
+		ConsecutiveMisses: s.misses,
+		LastContact:       s.lastContact,
+	}
+}

@@ -1,0 +1,212 @@
+// Fault injection: scripted, reproducible network chaos for the
+// cross-facility fabric. Each hub carries a FaultSpec — per-write
+// packet-loss probability (tearing the connection down the way a WAN
+// kills a TCP stream), byte corruption, and direction/port scoping so
+// a test can break only the control channel's replies. Sampling draws
+// from one seeded generator, so a chaos run replays identically.
+
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"ice/internal/telemetry"
+)
+
+// FaultSpec scripts fault injection on one hub.
+type FaultSpec struct {
+	// Loss is the per-write probability that the write is lost and the
+	// connection torn down (both ends fail with net.ErrClosed-style
+	// errors). 0 disables.
+	Loss float64
+	// Corrupt is the per-write probability that one payload byte is
+	// zeroed in transit, surfacing as a framing/decode error at the
+	// receiver. 0 disables.
+	Corrupt float64
+	// ReplyOnly scopes faults to server→client writes — the "reply
+	// lost after the command executed" case exactly-once RPC exists
+	// for.
+	ReplyOnly bool
+	// Ports, when non-empty, scopes faults to connections targeting
+	// these service ports (e.g. only the control channel).
+	Ports []int
+}
+
+// enabled reports whether the spec can fire at all.
+func (f FaultSpec) enabled() bool { return f.Loss > 0 || f.Corrupt > 0 }
+
+// applies reports whether the spec covers this connection direction
+// and service port.
+func (f FaultSpec) applies(c *shapedConn) bool {
+	if f.ReplyOnly && !c.server {
+		return false
+	}
+	if len(f.Ports) == 0 {
+		return true
+	}
+	for _, p := range f.Ports {
+		if p == c.servicePort {
+			return true
+		}
+	}
+	return false
+}
+
+// SetSeed reseeds the fault-sampling generator so chaos schedules are
+// reproducible run to run.
+func (n *Network) SetSeed(seed int64) {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	if seed == 0 {
+		seed = 1
+	}
+	n.faultRng = uint64(seed)
+}
+
+// SetMetrics attaches a telemetry collector; the network counts
+// injected faults ("netsim.faults.*") and recoveries
+// ("netsim.recoveries") on it.
+func (n *Network) SetMetrics(c *telemetry.Collector) {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	n.metrics = c
+}
+
+// SetHubFaults installs (or, with a zero FaultSpec, clears) the fault
+// plan of a hub. It applies to live and future connections.
+func (n *Network) SetHubFaults(hubName string, spec FaultSpec) error {
+	if spec.Loss < 0 || spec.Loss > 1 || spec.Corrupt < 0 || spec.Corrupt > 1 {
+		return fmt.Errorf("netsim: fault probabilities must be in [0,1]")
+	}
+	n.mu.Lock()
+	h, ok := n.hubs[hubName]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("netsim: unknown hub %q", hubName)
+	}
+	h.mu.Lock()
+	h.faults = spec
+	h.mu.Unlock()
+	return nil
+}
+
+// DropHubConnections kills every live connection traversing the hub
+// mid-stream — the abrupt "link reset" fault — and returns how many
+// were dropped. The hub stays up for new dials.
+func (n *Network) DropHubConnections(hubName string) (int, error) {
+	n.mu.Lock()
+	h, ok := n.hubs[hubName]
+	n.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown hub %q", hubName)
+	}
+	h.mu.Lock()
+	victims := make([]*shapedConn, 0, len(h.conns))
+	for c := range h.conns {
+		victims = append(victims, c)
+	}
+	h.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+	if len(victims) > 0 {
+		h.mu.Lock()
+		h.faultsInjected++
+		h.mu.Unlock()
+		n.countFault("netsim.faults.drop", 1)
+	}
+	return len(victims), nil
+}
+
+// ScheduleFlaps scripts count link flaps on a hub: after each period
+// the hub goes down (killing live connections) for downFor, then comes
+// back. It returns immediately; the schedule runs in the background.
+func (n *Network) ScheduleFlaps(hubName string, period, downFor time.Duration, count int) error {
+	n.mu.Lock()
+	_, ok := n.hubs[hubName]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("netsim: unknown hub %q", hubName)
+	}
+	if period <= 0 || downFor <= 0 || count <= 0 {
+		return fmt.Errorf("netsim: flap schedule needs positive period, duration and count")
+	}
+	go func() {
+		for i := 0; i < count; i++ {
+			time.Sleep(period)
+			n.SetHubDown(hubName, true)
+			time.Sleep(downFor)
+			n.SetHubDown(hubName, false)
+		}
+	}()
+	return nil
+}
+
+// InjectedFaults reports how many loss/corruption/drop/outage events
+// a hub has injected since start.
+func (n *Network) InjectedFaults(hubName string) (int64, error) {
+	n.mu.Lock()
+	h, ok := n.hubs[hubName]
+	n.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown hub %q", hubName)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.faultsInjected, nil
+}
+
+// faultSample draws the next value from the seeded xorshift64
+// generator.
+func (n *Network) faultSample() uint64 {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	n.faultRng ^= n.faultRng << 13
+	n.faultRng ^= n.faultRng >> 7
+	n.faultRng ^= n.faultRng << 17
+	return n.faultRng
+}
+
+// faultProb draws a uniform float in [0,1).
+func (n *Network) faultProb() float64 {
+	return float64(n.faultSample()>>11) / float64(1<<53)
+}
+
+// sampleFaults decides whether this write suffers loss or corruption
+// on hub h, and accounts the injected fault.
+func (n *Network) sampleFaults(h *hub, c *shapedConn, size int) (loss, corrupt bool) {
+	h.mu.Lock()
+	spec := h.faults
+	h.mu.Unlock()
+	if !spec.enabled() || !spec.applies(c) {
+		return false, false
+	}
+	if spec.Loss > 0 && n.faultProb() < spec.Loss {
+		loss = true
+	} else if spec.Corrupt > 0 && size > 4 && n.faultProb() < spec.Corrupt {
+		corrupt = true
+	}
+	if loss || corrupt {
+		h.mu.Lock()
+		h.faultsInjected++
+		h.mu.Unlock()
+		if loss {
+			n.countFault("netsim.faults.loss", 1)
+		} else {
+			n.countFault("netsim.faults.corrupt", 1)
+		}
+	}
+	return loss, corrupt
+}
+
+// countFault increments a fault/recovery counter on the attached
+// collector, if any.
+func (n *Network) countFault(name string, delta int64) {
+	n.faultMu.Lock()
+	c := n.metrics
+	n.faultMu.Unlock()
+	if c != nil {
+		c.Counter(name).Add(delta)
+	}
+}

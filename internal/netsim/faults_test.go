@@ -1,0 +1,403 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"ice/internal/telemetry"
+)
+
+// echoServer accepts one connection on l and echoes until it fails.
+func echoServer(l net.Listener) {
+	conn, err := l.Accept()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	io.Copy(conn, conn)
+}
+
+func TestSetHubDownKillsInFlightReadsAndWrites(t *testing.T) {
+	n := flatNet(t)
+	l, err := n.Listen("b", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go echoServer(l)
+
+	conn, err := n.Dial("a", "b:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Prove the link works, then park a Read mid-stream.
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(buf) // blocks: nothing more is coming
+		readErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	if err := n.SetHubDown("lan", true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("in-flight Read err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight Read still blocked after SetHubDown")
+	}
+
+	// Writes on the killed connection fail immediately too.
+	if _, err := conn.Write([]byte("more")); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("post-outage Write err = %v, want net.ErrClosed", err)
+	}
+
+	// The hub recovers for new dials.
+	if err := n.SetHubDown("lan", false); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := n.Listen("b", 9001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	go echoServer(l2)
+	conn2, err := n.Dial("a", "b:9001")
+	if err != nil {
+		t.Fatalf("dial after recovery: %v", err)
+	}
+	conn2.Close()
+}
+
+func TestSetHubDownKillsSlowWriteInTransit(t *testing.T) {
+	n := New()
+	if err := n.AddHub("wan", 500*time.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{"a", "b"} {
+		if err := n.AddHost(h, "wan"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := n.Listen("b", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go echoServer(l)
+	conn, err := n.Dial("a", "b:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	writeErr := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := conn.Write([]byte("slow")) // 500 ms latency sleep
+		writeErr <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := n.SetHubDown("wan", true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-writeErr:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("in-transit Write err = %v, want net.ErrClosed", err)
+		}
+		if time.Since(start) > 400*time.Millisecond {
+			t.Error("Write waited out its full latency despite the outage")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-transit Write still blocked after SetHubDown")
+	}
+}
+
+func TestInjectedLossTearsConnection(t *testing.T) {
+	n := flatNet(t)
+	n.SetSeed(42)
+	metrics := telemetry.NewCollector()
+	n.SetMetrics(metrics)
+	if err := n.SetHubFaults("lan", FaultSpec{Loss: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := n.Listen("b", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go echoServer(l)
+	conn, err := n.Dial("a", "b:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Write([]byte("doomed")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write under Loss=1 err = %v, want net.ErrClosed", err)
+	}
+	if v := metrics.CounterValue("netsim.faults.loss"); v != 1 {
+		t.Errorf("netsim.faults.loss = %d, want 1", v)
+	}
+	if injected, _ := n.InjectedFaults("lan"); injected != 1 {
+		t.Errorf("InjectedFaults = %d, want 1", injected)
+	}
+}
+
+func TestInjectedCorruptionFlipsPayloadByte(t *testing.T) {
+	n := flatNet(t)
+	n.SetSeed(7)
+	if err := n.SetHubFaults("lan", FaultSpec{Corrupt: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := n.Listen("b", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go echoServer(l)
+	conn, err := n.Dial("a", "b:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// >4 bytes so the frame-header region stays intact.
+	msg := []byte("0123456789")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:4]) != "0123" {
+		t.Errorf("header region corrupted: %q", got[:4])
+	}
+	zeros := 0
+	for _, b := range got[4:] {
+		if b == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Error("no corrupted byte observed under Corrupt=1")
+	}
+	// The sender's buffer must be untouched (copy-on-write).
+	if string(msg) != "0123456789" {
+		t.Errorf("caller buffer mutated: %q", msg)
+	}
+}
+
+func TestFaultSpecScoping(t *testing.T) {
+	n := flatNet(t)
+	n.SetSeed(3)
+	// Faults scoped to port 9690 replies only.
+	if err := n.SetHubFaults("lan", FaultSpec{Loss: 1.0, ReplyOnly: true, Ports: []int{9690}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Other ports are untouched.
+	l, err := n.Listen("b", 4450)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go echoServer(l)
+	conn, err := n.Dial("a", "b:4450")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("data-channel")); err != nil {
+		t.Fatalf("unscoped port suffered faults: %v", err)
+	}
+
+	// On the scoped port, client→server writes pass; the server's
+	// reply is the one that dies.
+	l2, err := n.Listen("b", 9690)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	go echoServer(l2)
+	c2, err := n.Dial("a", "b:9690")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("command")); err != nil {
+		t.Fatalf("client-side write hit ReplyOnly faults: %v", err)
+	}
+	// The echo server's reply write is lost, killing the connection:
+	// our read fails rather than returning data.
+	buf := make([]byte, 7)
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c2, buf); err == nil {
+		t.Fatal("reply survived Loss=1 on its port/direction")
+	}
+}
+
+func TestFaultValidationAndUnknownHubs(t *testing.T) {
+	n := flatNet(t)
+	if err := n.SetHubFaults("lan", FaultSpec{Loss: 1.5}); err == nil {
+		t.Error("Loss > 1 accepted")
+	}
+	if err := n.SetHubFaults("ghost", FaultSpec{}); err == nil {
+		t.Error("unknown hub accepted")
+	}
+	if _, err := n.DropHubConnections("ghost"); err == nil {
+		t.Error("DropHubConnections on unknown hub accepted")
+	}
+	if _, err := n.InjectedFaults("ghost"); err == nil {
+		t.Error("InjectedFaults on unknown hub accepted")
+	}
+	if err := n.ScheduleFlaps("ghost", time.Millisecond, time.Millisecond, 1); err == nil {
+		t.Error("ScheduleFlaps on unknown hub accepted")
+	}
+	if err := n.ScheduleFlaps("lan", 0, time.Millisecond, 1); err == nil {
+		t.Error("non-positive flap period accepted")
+	}
+}
+
+func TestSeededFaultsAreDeterministic(t *testing.T) {
+	// The server side only drains: its own writes would also draw from
+	// the fault generator, interleaving nondeterministically.
+	drainServer := func(l net.Listener) {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn)
+	}
+	run := func() []bool {
+		n := flatNet(t)
+		n.SetSeed(99)
+		if err := n.SetHubFaults("lan", FaultSpec{Loss: 0.3}); err != nil {
+			t.Fatal(err)
+		}
+		var outcomes []bool
+		for i := 0; i < 30; i++ {
+			l, err := n.Listen("b", 9000+i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			go drainServer(l)
+			conn, err := n.Dial("a", net.JoinHostPort("b", itoa(9000+i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, werr := conn.Write([]byte("probe"))
+			outcomes = append(outcomes, werr == nil)
+			conn.Close()
+			l.Close()
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	sawLoss := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault schedule diverged at write %d: %v vs %v", i, a, b)
+		}
+		if !a[i] {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Error("Loss=0.3 injected nothing across 30 writes")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestDropHubConnectionsKillsLiveStreams(t *testing.T) {
+	n := flatNet(t)
+	metrics := telemetry.NewCollector()
+	n.SetMetrics(metrics)
+	l, err := n.Listen("b", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go echoServer(l)
+	conn, err := n.Dial("a", "b:9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	dropped, err := n.DropHubConnections("lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 { // both ends of the stream traverse the hub
+		t.Errorf("dropped = %d, want 2", dropped)
+	}
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("write after drop err = %v, want net.ErrClosed", err)
+	}
+	if v := metrics.CounterValue("netsim.faults.drop"); v != 1 {
+		t.Errorf("netsim.faults.drop = %d, want 1", v)
+	}
+	// Idempotent on an empty hub.
+	if n2, _ := n.DropHubConnections("lan"); n2 != 0 {
+		t.Errorf("second drop = %d, want 0", n2)
+	}
+}
+
+func TestScheduleFlapsCyclesHub(t *testing.T) {
+	n := flatNet(t)
+	metrics := telemetry.NewCollector()
+	n.SetMetrics(metrics)
+	if err := n.ScheduleFlaps("lan", 20*time.Millisecond, 20*time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if metrics.CounterValue("netsim.recoveries") >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v := metrics.CounterValue("netsim.faults.hub_down"); v != 2 {
+		t.Errorf("netsim.faults.hub_down = %d, want 2", v)
+	}
+	if v := metrics.CounterValue("netsim.recoveries"); v != 2 {
+		t.Errorf("netsim.recoveries = %d, want 2", v)
+	}
+	// Hub ends up usable.
+	if _, err := n.Listen("b", 9000); err != nil {
+		t.Fatal(err)
+	}
+}

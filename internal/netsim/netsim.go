@@ -26,6 +26,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ice/internal/telemetry"
 )
 
 // Errors returned by network operations.
@@ -55,6 +57,13 @@ type hub struct {
 	mu       sync.Mutex
 	bytesFwd int64
 	rngState uint64
+	// faults is the scripted fault-injection plan for this hub.
+	faults FaultSpec
+	// conns tracks live connections traversing this hub so outages and
+	// injected drops can kill them mid-stream.
+	conns map[*shapedConn]struct{}
+	// faultsInjected counts loss/corruption/drop events on this hub.
+	faultsInjected int64
 }
 
 // jitterSample draws a uniform value in [-jitter, +jitter] from a
@@ -138,11 +147,18 @@ type Network struct {
 	mu    sync.Mutex
 	hubs  map[string]*hub
 	hosts map[string]*host
+
+	// faultRng drives fault sampling; seedable for reproducible chaos.
+	faultMu  sync.Mutex
+	faultRng uint64
+
+	// metrics optionally counts injected faults and recoveries.
+	metrics *telemetry.Collector
 }
 
 // New returns an empty network.
 func New() *Network {
-	return &Network{hubs: make(map[string]*hub), hosts: make(map[string]*host)}
+	return &Network{hubs: make(map[string]*hub), hosts: make(map[string]*host), faultRng: 0x9E3779B97F4A7C15}
 }
 
 // AddHub creates a hub with the given one-way latency and bandwidth in
@@ -153,7 +169,7 @@ func (n *Network) AddHub(name string, latency time.Duration, bandwidth float64) 
 	if _, dup := n.hubs[name]; dup {
 		return fmt.Errorf("netsim: hub %q already exists", name)
 	}
-	n.hubs[name] = &hub{name: name, latency: latency, bandwidth: bandwidth}
+	n.hubs[name] = &hub{name: name, latency: latency, bandwidth: bandwidth, conns: make(map[*shapedConn]struct{})}
 	return nil
 }
 
@@ -213,16 +229,36 @@ func (n *Network) SetHubJitter(hubName string, jitter time.Duration) error {
 	return nil
 }
 
-// SetHubDown marks a hub up or down; new connections crossing a down
-// hub fail with ErrHubDown.
+// SetHubDown marks a hub up or down. New connections crossing a down
+// hub fail with ErrHubDown, and live connections traversing it are
+// killed promptly: their in-flight Reads and Writes fail with an error
+// matching net.ErrClosed instead of hanging until a deadline.
 func (n *Network) SetHubDown(hubName string, down bool) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	h, ok := n.hubs[hubName]
+	n.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("netsim: unknown hub %q", hubName)
 	}
+	h.mu.Lock()
+	was := h.down
 	h.down = down
+	var victims []*shapedConn
+	if down {
+		for c := range h.conns {
+			victims = append(victims, c)
+		}
+	}
+	h.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+	if down && !was {
+		n.countFault("netsim.faults.hub_down", int64(1))
+	}
+	if !down && was {
+		n.countFault("netsim.recoveries", 1)
+	}
 	return nil
 }
 
@@ -371,7 +407,10 @@ func (n *Network) Dial(fromHost, address string) (net.Conn, error) {
 	var latency time.Duration
 	bandwidth := 0.0
 	for _, h := range hubs {
-		if h.down {
+		h.mu.Lock()
+		down := h.down
+		h.mu.Unlock()
+		if down {
 			return nil, fmt.Errorf("%w: %s", ErrHubDown, h.name)
 		}
 		latency += h.latency
@@ -391,18 +430,28 @@ func (n *Network) Dial(fromHost, address string) (net.Conn, error) {
 
 	clientRaw, serverRaw := net.Pipe()
 	client := &shapedConn{
-		Conn: clientRaw, latency: latency, bandwidth: bandwidth, hubs: hubs,
+		Conn: clientRaw, network: n, latency: latency, bandwidth: bandwidth, hubs: hubs,
 		local: addr{fromHost, 0}, remote: addr{toName, port},
+		servicePort: port, closedCh: make(chan struct{}),
 	}
 	server := &shapedConn{
-		Conn: serverRaw, latency: latency, bandwidth: bandwidth, hubs: hubs,
+		Conn: serverRaw, network: n, latency: latency, bandwidth: bandwidth, hubs: hubs,
 		local: addr{toName, port}, remote: addr{fromHost, 0},
+		servicePort: port, server: true, closedCh: make(chan struct{}),
+	}
+	client.peer, server.peer = server, client
+	for _, h := range hubs {
+		h.mu.Lock()
+		h.conns[client] = struct{}{}
+		h.conns[server] = struct{}{}
+		h.mu.Unlock()
 	}
 	select {
 	case l.backlog <- server:
 		return client, nil
 	case <-l.closed:
-		clientRaw.Close()
+		client.Close()
+		server.Close()
 		return nil, fmt.Errorf("%w: %s:%d (listener closed)", ErrRefused, toName, port)
 	}
 }
@@ -457,18 +506,35 @@ func (l *listener) Close() error {
 
 func (l *listener) Addr() net.Addr { return addr{l.host.name, l.port} }
 
-// shapedConn applies one-way latency and bandwidth pacing to writes
-// and accounts forwarded bytes on the traversed hubs.
+// shapedConn applies one-way latency and bandwidth pacing to writes,
+// accounts forwarded bytes on the traversed hubs, and carries the
+// scripted fault injection (packet loss, byte corruption, mid-stream
+// drops) of the hubs it crosses.
 type shapedConn struct {
 	net.Conn
+	network   *Network
 	latency   time.Duration
 	bandwidth float64 // bytes per second; 0 = unlimited
 	hubs      []*hub
 	local     addr
 	remote    addr
+	// servicePort is the listener port this connection targets; fault
+	// plans can be scoped to it (e.g. control channel only).
+	servicePort int
+	// server marks the accept side; replies travel server→client.
+	server bool
+	peer   *shapedConn
+
+	closedCh  chan struct{}
+	closeOnce sync.Once
 }
 
 func (c *shapedConn) Write(p []byte) (int, error) {
+	select {
+	case <-c.closedCh:
+		return 0, fmt.Errorf("netsim: write on closed connection: %w", net.ErrClosed)
+	default:
+	}
 	delay := c.latency
 	if c.bandwidth > 0 {
 		delay += time.Duration(float64(len(p)) / c.bandwidth * float64(time.Second))
@@ -480,14 +546,74 @@ func (c *shapedConn) Write(p []byte) (int, error) {
 		delay = 0
 	}
 	if delay > 0 {
-		time.Sleep(delay)
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-c.closedCh:
+			timer.Stop()
+			return 0, fmt.Errorf("netsim: connection lost in transit: %w", net.ErrClosed)
+		}
+	}
+	// Sample the fault plan of every hub on the path; a loss event
+	// tears the connection down (what a WAN does to a TCP stream after
+	// enough dropped segments), corruption flips a payload byte.
+	payload := p
+	for _, h := range c.hubs {
+		loss, corrupt := c.network.sampleFaults(h, c, len(p))
+		if loss {
+			c.Close()
+			c.peer.Close()
+			return 0, fmt.Errorf("netsim: injected packet loss on %s: %w", h.name, net.ErrClosed)
+		}
+		if corrupt && len(p) > 4 {
+			if &payload[0] == &p[0] {
+				payload = append([]byte(nil), p...)
+			}
+			// A zero byte is invalid anywhere inside a JSON frame, so
+			// the receiver detects the damage instead of acting on it.
+			payload[4+int(c.network.faultSample()%uint64(len(p)-4))] = 0x00
+		}
 	}
 	for _, h := range c.hubs {
 		h.mu.Lock()
 		h.bytesFwd += int64(len(p))
 		h.mu.Unlock()
 	}
-	return c.Conn.Write(p)
+	n, err := c.Conn.Write(payload)
+	if err != nil {
+		select {
+		case <-c.closedCh:
+			return n, fmt.Errorf("netsim: connection lost in transit: %w", net.ErrClosed)
+		default:
+		}
+	}
+	return n, err
+}
+
+func (c *shapedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if err != nil {
+		select {
+		case <-c.closedCh:
+			return n, fmt.Errorf("netsim: connection lost in transit: %w", net.ErrClosed)
+		default:
+		}
+	}
+	return n, err
+}
+
+// Close tears the connection down, deregistering it from its hubs; any
+// blocked Read or Write on either side fails promptly.
+func (c *shapedConn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closedCh)
+		for _, h := range c.hubs {
+			h.mu.Lock()
+			delete(h.conns, c)
+			h.mu.Unlock()
+		}
+	})
+	return c.Conn.Close()
 }
 
 func (c *shapedConn) LocalAddr() net.Addr  { return c.local }

@@ -1,0 +1,21 @@
+package pyro
+
+import "encoding/json"
+
+// Caller is the client-side calling surface shared by Proxy and
+// ReconnectingProxy, so session layers can hold either a plain
+// connection or a self-healing one behind the same field.
+type Caller interface {
+	// Call invokes a remote method and returns the raw JSON result.
+	Call(method string, args ...any) (json.RawMessage, error)
+	// CallInto invokes a remote method and decodes the result into out
+	// (out may be nil to discard it).
+	CallInto(out any, method string, args ...any) error
+	// Close releases the connection.
+	Close() error
+}
+
+var (
+	_ Caller = (*Proxy)(nil)
+	_ Caller = (*ReconnectingProxy)(nil)
+)

@@ -8,6 +8,8 @@ import (
 	"reflect"
 	"strconv"
 	"sync"
+
+	"ice/internal/telemetry"
 )
 
 // exposed is one registered object with its callable method set.
@@ -42,6 +44,13 @@ type Daemon struct {
 	// its raw arguments — the hook provenance journals hang off.
 	// It runs on the dispatch goroutine; keep it fast.
 	Audit func(object, method string, args []json.RawMessage)
+
+	// replies dedups requests carrying a CallID so a retried
+	// non-idempotent command is executed exactly once.
+	replies *replyCache
+
+	// metrics optionally counts dedup hits ("pyro.dedup_hits").
+	metrics *telemetry.Collector
 }
 
 // NewDaemon wraps a listener. The advertised host/port for URIs are
@@ -53,6 +62,7 @@ func NewDaemon(l net.Listener) *Daemon {
 		listener: l,
 		objects:  make(map[string]*exposed),
 		conns:    make(map[net.Conn]struct{}),
+		replies:  newReplyCache(0),
 	}
 	if host, portStr, err := net.SplitHostPort(l.Addr().String()); err == nil {
 		d.host = host
@@ -67,6 +77,40 @@ func (d *Daemon) SetAdvertised(host string, port int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.host, d.port = host, port
+}
+
+// SetReplyCacheCapacity bounds the exactly-once reply cache (default
+// 1024 outcomes). Call before RequestLoop; cached outcomes are
+// discarded.
+func (d *Daemon) SetReplyCacheCapacity(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.replies = newReplyCache(n)
+}
+
+// SetMetrics attaches a telemetry collector; the daemon counts
+// exactly-once replays on its "pyro.dedup_hits" counter.
+func (d *Daemon) SetMetrics(c *telemetry.Collector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.metrics = c
+}
+
+// DedupHits reports how many duplicate requests were answered from the
+// reply cache instead of re-executing.
+func (d *Daemon) DedupHits() int64 {
+	d.mu.Lock()
+	rc := d.replies
+	d.mu.Unlock()
+	return rc.Hits()
+}
+
+// dedupCacheLen reports the number of cached outcomes, for tests.
+func (d *Daemon) dedupCacheLen() int {
+	d.mu.Lock()
+	rc := d.replies
+	d.mu.Unlock()
+	return rc.Len()
 }
 
 // errType is the reflected error interface type.
@@ -215,12 +259,38 @@ func (d *Daemon) serveConn(conn net.Conn) {
 		wg.Add(1)
 		go func(req request) {
 			defer wg.Done()
-			resp := d.dispatch(&req)
+			resp := d.dispatchDedup(&req)
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			_ = writeMessage(conn, resp)
 		}(req)
 	}
+}
+
+// dispatchDedup routes requests carrying a CallID through the reply
+// cache so each logical call executes at most once: the first arrival
+// runs the method, duplicates (retries whose predecessor's reply was
+// lost, or concurrent resends) wait for it and replay its outcome.
+// Plain requests dispatch unconditionally.
+func (d *Daemon) dispatchDedup(req *request) response {
+	if req.CallID == "" {
+		return d.dispatch(req)
+	}
+	d.mu.Lock()
+	rc := d.replies
+	metrics := d.metrics
+	d.mu.Unlock()
+	e, first := rc.begin(req.CallID)
+	if !first {
+		<-e.done
+		if metrics != nil {
+			metrics.Counter("pyro.dedup_hits").Inc()
+		}
+		return response{ID: req.ID, Result: e.result, Error: e.errMsg}
+	}
+	resp := d.dispatch(req)
+	e.complete(resp.Result, resp.Error)
+	return resp
 }
 
 // dispatch resolves and invokes a request, converting panics and type

@@ -1,0 +1,107 @@
+package pyro
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// dedupEntry is the recorded outcome of one logical call. Duplicates
+// arriving while the first execution is in flight block on done and
+// then replay the stored outcome.
+type dedupEntry struct {
+	done   chan struct{}
+	result json.RawMessage
+	errMsg string
+}
+
+// replyCache is the daemon's bounded exactly-once store: callID →
+// first outcome, evicted FIFO once the bound is exceeded. A duplicate
+// of an evicted callID re-executes — the bound trades memory for a
+// replay window, which is ample because retries follow failures within
+// seconds while eviction takes capacity further calls.
+type replyCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*dedupEntry
+	order   []string
+	hits    int64
+}
+
+// defaultReplyCacheCap bounds the daemon reply cache when the user
+// does not choose a size.
+const defaultReplyCacheCap = 1024
+
+func newReplyCache(capacity int) *replyCache {
+	if capacity <= 0 {
+		capacity = defaultReplyCacheCap
+	}
+	return &replyCache{cap: capacity, entries: make(map[string]*dedupEntry)}
+}
+
+// begin claims a callID. It returns the entry and whether the caller
+// is the first executor: the first executor must run the call and
+// complete() the entry; everyone else waits on entry.done.
+func (rc *replyCache) begin(callID string) (e *dedupEntry, first bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if e, ok := rc.entries[callID]; ok {
+		rc.hits++
+		return e, false
+	}
+	e = &dedupEntry{done: make(chan struct{})}
+	rc.entries[callID] = e
+	rc.order = append(rc.order, callID)
+	rc.evictLocked()
+	return e, true
+}
+
+// evictLocked drops the oldest completed entries beyond capacity.
+// In-flight entries are skipped so a concurrent duplicate never
+// observes a half-built outcome.
+func (rc *replyCache) evictLocked() {
+	for len(rc.entries) > rc.cap && len(rc.order) > 0 {
+		evicted := false
+		for i, id := range rc.order {
+			e, ok := rc.entries[id]
+			if !ok {
+				rc.order = append(rc.order[:i], rc.order[i+1:]...)
+				evicted = true
+				break
+			}
+			select {
+			case <-e.done:
+				delete(rc.entries, id)
+				rc.order = append(rc.order[:i], rc.order[i+1:]...)
+				evicted = true
+			default:
+				continue
+			}
+			break
+		}
+		if !evicted {
+			return // everything in flight; allow temporary overshoot
+		}
+	}
+}
+
+// complete publishes the first execution's outcome and wakes waiting
+// duplicates.
+func (e *dedupEntry) complete(result json.RawMessage, errMsg string) {
+	e.result = result
+	e.errMsg = errMsg
+	close(e.done)
+}
+
+// Hits returns how many duplicate requests were answered from cache.
+func (rc *replyCache) Hits() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.hits
+}
+
+// Len returns the number of cached outcomes (for bound assertions).
+func (rc *replyCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.entries)
+}

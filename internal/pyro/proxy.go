@@ -1,6 +1,7 @@
 package pyro
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -134,6 +135,24 @@ func (p *Proxy) Close() error {
 // Call invokes a remote method and returns the raw JSON result (nil
 // for void methods).
 func (p *Proxy) Call(method string, args ...any) (json.RawMessage, error) {
+	return p.call(context.Background(), "", method, args...)
+}
+
+// CallWithID is Call carrying a logical call ID the daemon dedups on:
+// retrying the same callID after a transport failure returns the first
+// execution's result instead of re-executing the method.
+func (p *Proxy) CallWithID(callID, method string, args ...any) (json.RawMessage, error) {
+	return p.call(context.Background(), callID, method, args...)
+}
+
+// CallCtx is Call bounded by ctx in addition to the proxy Timeout.
+func (p *Proxy) CallCtx(ctx context.Context, method string, args ...any) (json.RawMessage, error) {
+	return p.call(ctx, "", method, args...)
+}
+
+// call sends one request and waits for its response, the call ID and
+// context threaded through.
+func (p *Proxy) call(ctx context.Context, callID, method string, args ...any) (json.RawMessage, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -150,7 +169,7 @@ func (p *Proxy) Call(method string, args ...any) (json.RawMessage, error) {
 	p.pending[id] = ch
 	p.mu.Unlock()
 
-	req := request{ID: id, Object: p.uri.Object, Method: method}
+	req := request{ID: id, CallID: callID, Object: p.uri.Object, Method: method}
 	for i, a := range args {
 		raw, err := json.Marshal(a)
 		if err != nil {
@@ -192,6 +211,9 @@ func (p *Proxy) Call(method string, args ...any) (json.RawMessage, error) {
 	case <-timeout:
 		p.abandon(id)
 		return nil, fmt.Errorf("pyro: call %s timed out after %v", method, p.Timeout)
+	case <-ctx.Done():
+		p.abandon(id)
+		return nil, fmt.Errorf("pyro: call %s: %w", method, ctx.Err())
 	}
 }
 

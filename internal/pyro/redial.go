@@ -1,18 +1,31 @@
 package pyro
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/big"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"ice/internal/telemetry"
 )
 
 // ReconnectingProxy wraps a Proxy with automatic redial: when a call
 // fails on a transport error (link flap, daemon restart), it re-dials
-// the daemon with backoff and retries the call. Remote application
-// errors (RemoteError) are never retried — they are answers, not
-// transport failures.
+// the daemon with jittered exponential backoff and retries the call.
+// Remote application errors (RemoteError) are never retried — they are
+// answers, not transport failures.
+//
+// Methods marked via MarkExactlyOnce carry a client-generated call ID
+// so the daemon executes them at most once even when a reply is lost
+// in transit and the call is retried: the retry returns the first
+// execution's cached result instead of re-running the command (the
+// guarantee a remote DispenseSyringePump needs on a WAN).
 type ReconnectingProxy struct {
 	uri    URI
 	dialer Dialer
@@ -20,15 +33,29 @@ type ReconnectingProxy struct {
 
 	// MaxRetries bounds redial attempts per call (default 3).
 	MaxRetries int
-	// Backoff is the initial redial delay, doubled per attempt
+	// Backoff is the initial redial delay, doubled per attempt with
+	// ±50% jitter so concurrent clients don't redial in lockstep
 	// (default 50 ms).
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2 s).
+	MaxBackoff time.Duration
 	// Timeout is applied to the underlying proxy's calls.
 	Timeout time.Duration
 
-	mu     sync.Mutex
-	proxy  *Proxy
-	closed bool
+	// callPrefix makes this handle's call IDs globally unique.
+	callPrefix string
+	callSeq    atomic.Uint64
+
+	mu          sync.Mutex
+	proxy       *Proxy
+	closed      bool
+	dialed      bool
+	exactlyOnce map[string]bool
+	metrics     *telemetry.Collector
+	rngState    uint64
+
+	// done unblocks backoff sleeps when the handle is closed.
+	done chan struct{}
 }
 
 // NewReconnectingProxy returns a handle that dials lazily on first
@@ -37,12 +64,66 @@ type ReconnectingProxy struct {
 func NewReconnectingProxy(uri URI, dialer Dialer, token string) *ReconnectingProxy {
 	return &ReconnectingProxy{
 		uri: uri, dialer: dialer, token: token,
-		MaxRetries: 3, Backoff: 50 * time.Millisecond,
+		MaxRetries: 3, Backoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second,
+		callPrefix: newCallPrefix(),
+		done:       make(chan struct{}),
 	}
+}
+
+// newCallPrefix draws a random identity for this client handle so call
+// IDs from different clients (or restarts) never collide in the
+// daemon's reply cache.
+func newCallPrefix() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a time-derived prefix; collisions would need two
+		// handles created in the same nanosecond.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // URI returns the remote object's URI.
 func (r *ReconnectingProxy) URI() URI { return r.uri }
+
+// MarkExactlyOnce declares methods non-idempotent: their retries carry
+// a stable call ID and are deduplicated by the daemon instead of
+// re-executed. Idempotent methods (status reads, absolute setpoints)
+// should stay unmarked so they don't occupy reply-cache slots.
+func (r *ReconnectingProxy) MarkExactlyOnce(methods ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.exactlyOnce == nil {
+		r.exactlyOnce = make(map[string]bool, len(methods))
+	}
+	for _, m := range methods {
+		r.exactlyOnce[m] = true
+	}
+}
+
+// SetMetrics attaches a telemetry collector; the handle counts retried
+// calls ("pyro.retries") and re-dials ("pyro.redials").
+func (r *ReconnectingProxy) SetMetrics(c *telemetry.Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = c
+}
+
+func (r *ReconnectingProxy) counterInc(name string) {
+	r.mu.Lock()
+	c := r.metrics
+	r.mu.Unlock()
+	if c != nil {
+		c.Counter(name).Inc()
+	}
+}
+
+// needsCallID reports whether method was marked exactly-once.
+func (r *ReconnectingProxy) needsCallID(method string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.exactlyOnce[method]
+}
 
 // current returns a live proxy, dialing if necessary.
 func (r *ReconnectingProxy) current() (*Proxy, error) {
@@ -54,7 +135,14 @@ func (r *ReconnectingProxy) current() (*Proxy, error) {
 	if r.proxy != nil {
 		return r.proxy, nil
 	}
+	if r.dialed {
+		// Re-dial after a dropped connection.
+		if r.metrics != nil {
+			r.metrics.Counter("pyro.redials").Inc()
+		}
+	}
 	p, err := DialToken(r.uri, r.dialer, r.token)
+	r.dialed = true
 	if err != nil {
 		return nil, err
 	}
@@ -73,30 +161,94 @@ func (r *ReconnectingProxy) dropIf(p *Proxy) {
 	}
 }
 
+// jitter spreads d uniformly over [d/2, 3d/2) with a cheap xorshift
+// generator so a fleet of clients recovering from the same outage
+// doesn't hammer the daemon in lockstep.
+func (r *ReconnectingProxy) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	if r.rngState == 0 {
+		seed, err := rand.Int(rand.Reader, big.NewInt(1<<62))
+		if err == nil && seed.Int64() != 0 {
+			r.rngState = uint64(seed.Int64())
+		} else {
+			r.rngState = uint64(time.Now().UnixNano()) | 1
+		}
+	}
+	r.rngState ^= r.rngState << 13
+	r.rngState ^= r.rngState >> 7
+	r.rngState ^= r.rngState << 17
+	u := r.rngState
+	r.mu.Unlock()
+	if int64(d) <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(u%uint64(d))
+}
+
 // Call invokes the remote method, redialing across transport failures.
 func (r *ReconnectingProxy) Call(method string, args ...any) (json.RawMessage, error) {
+	return r.CallCtx(context.Background(), method, args...)
+}
+
+// CallCtx is Call honoring ctx: backoff sleeps, dial waits and the
+// in-flight request all abort when ctx is done or the handle closed.
+func (r *ReconnectingProxy) CallCtx(ctx context.Context, method string, args ...any) (json.RawMessage, error) {
 	backoff := r.Backoff
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
+	maxBackoff := r.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	callID := ""
+	if r.needsCallID(method) {
+		callID = fmt.Sprintf("%s-%d", r.callPrefix, r.callSeq.Add(1))
+	}
 	var lastErr error
 	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			r.counterInc("pyro.retries")
+			delay := r.jitter(backoff)
 			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, fmt.Errorf("pyro: %s interrupted during backoff: %w", method, ctx.Err())
+			case <-r.done:
+				timer.Stop()
+				return nil, ErrProxyClosed
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pyro: %s: %w", method, err)
 		}
 		p, err := r.current()
 		if err != nil {
 			lastErr = err
+			if errors.Is(err, ErrProxyClosed) {
+				return nil, err
+			}
 			continue
 		}
-		raw, err := p.Call(method, args...)
+		raw, err := p.call(ctx, callID, method, args...)
 		if err == nil {
 			return raw, nil
 		}
 		var remote *RemoteError
 		if errors.As(err, &remote) {
 			// The daemon answered: do not retry application errors.
+			return nil, err
+		}
+		if ctx.Err() != nil {
 			return nil, err
 		}
 		lastErr = err
@@ -107,7 +259,12 @@ func (r *ReconnectingProxy) Call(method string, args ...any) (json.RawMessage, e
 
 // CallInto is Call decoding the result into out.
 func (r *ReconnectingProxy) CallInto(out any, method string, args ...any) error {
-	raw, err := r.Call(method, args...)
+	return r.CallIntoCtx(context.Background(), out, method, args...)
+}
+
+// CallIntoCtx is CallInto honoring ctx.
+func (r *ReconnectingProxy) CallIntoCtx(ctx context.Context, out any, method string, args ...any) error {
+	raw, err := r.CallCtx(ctx, method, args...)
 	if err != nil {
 		return err
 	}
@@ -120,16 +277,20 @@ func (r *ReconnectingProxy) CallInto(out any, method string, args ...any) error 
 	return json.Unmarshal(raw, out)
 }
 
-// Close shuts the handle down; subsequent calls fail.
+// Close shuts the handle down; subsequent calls fail and in-flight
+// backoff sleeps abort.
 func (r *ReconnectingProxy) Close() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return nil
 	}
 	r.closed = true
-	if r.proxy != nil {
-		return r.proxy.Close()
+	proxy := r.proxy
+	r.mu.Unlock()
+	close(r.done)
+	if proxy != nil {
+		return proxy.Close()
 	}
 	return nil
 }

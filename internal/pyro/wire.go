@@ -20,6 +20,12 @@ const protocolVersion = 1
 type request struct {
 	// ID correlates the response; unique per connection.
 	ID uint64 `json:"id"`
+	// CallID, when non-empty, identifies the logical call across
+	// connections and retries: the daemon executes each CallID at most
+	// once and replays the first result to duplicates (exactly-once
+	// semantics for non-idempotent instrument commands whose reply was
+	// lost in transit). Empty CallIDs are dispatched unconditionally.
+	CallID string `json:"call_id,omitempty"`
 	// Object is the registered object name.
 	Object string `json:"object"`
 	// Method is the exported method to invoke.

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -155,17 +156,47 @@ func (t *Throughput) String() string {
 	return fmt.Sprintf("%s: %d bytes, %.3g MB/s", t.name, t.Bytes(), t.Rate()/1e6)
 }
 
-// Collector is a named registry of histograms and throughput meters so
-// a workflow can expose all its QoS series at once.
+// Counter is a monotonically increasing event count (retries, redials,
+// dedup hits, injected faults) safe for concurrent use.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Inc adds one event.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add records n events.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// String renders a one-line summary.
+func (c *Counter) String() string { return fmt.Sprintf("%s: %d", c.name, c.Value()) }
+
+// Collector is a named registry of histograms, throughput meters and
+// counters so a workflow can expose all its QoS series at once.
 type Collector struct {
-	mu     sync.Mutex
-	hists  map[string]*Histogram
-	meters map[string]*Throughput
+	mu       sync.Mutex
+	hists    map[string]*Histogram
+	meters   map[string]*Throughput
+	counters map[string]*Counter
 }
 
 // NewCollector returns an empty registry.
 func NewCollector() *Collector {
-	return &Collector{hists: make(map[string]*Histogram), meters: make(map[string]*Throughput)}
+	return &Collector{
+		hists:    make(map[string]*Histogram),
+		meters:   make(map[string]*Throughput),
+		counters: make(map[string]*Counter),
+	}
 }
 
 // Histogram returns (creating if needed) the named histogram.
@@ -192,6 +223,30 @@ func (c *Collector) Throughput(name string) *Throughput {
 	return t
 }
 
+// Counter returns (creating if needed) the named counter.
+func (c *Collector) Counter(name string) *Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctr, ok := c.counters[name]
+	if !ok {
+		ctr = NewCounter(name)
+		c.counters[name] = ctr
+	}
+	return ctr
+}
+
+// CounterValue returns the named counter's count, zero if it was never
+// touched — for assertions that a series stayed silent.
+func (c *Collector) CounterValue(name string) int64 {
+	c.mu.Lock()
+	ctr, ok := c.counters[name]
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return ctr.Value()
+}
+
 // Report renders every registered series, sorted by name.
 func (c *Collector) Report() []string {
 	c.mu.Lock()
@@ -203,9 +258,18 @@ func (c *Collector) Report() []string {
 	for n := range c.meters {
 		names = append(names, "t:"+n)
 	}
+	for n := range c.counters {
+		names = append(names, "c:"+n)
+	}
 	sort.Strings(names)
 	out := make([]string, 0, len(names))
 	for _, n := range names {
+		if n[0] == 'c' {
+			if ctr, ok := c.counters[n[2:]]; ok {
+				out = append(out, ctr.String())
+			}
+			continue
+		}
 		if h, ok := c.hists[n[2:]]; ok && n[0] == 'h' {
 			out = append(out, h.String())
 			continue

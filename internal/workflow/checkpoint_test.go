@@ -1,0 +1,275 @@
+package workflow
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// journaledNotebook builds an A→B→C notebook that counts executions
+// per task.
+func journaledNotebook(counts *map[string]*atomic.Int64, failOn string) *Notebook {
+	nb := New("fig5")
+	*counts = make(map[string]*atomic.Int64)
+	prev := ""
+	for _, id := range []string{"A", "B", "C"} {
+		id := id
+		n := &atomic.Int64{}
+		(*counts)[id] = n
+		t := &Task{ID: id, Title: "task " + id, Run: func(c *Context) (string, error) {
+			n.Add(1)
+			if id == failOn {
+				return "", errors.New("link down")
+			}
+			return "OK", nil
+		}}
+		if prev != "" {
+			t.DependsOn = []string{prev}
+		}
+		nb.MustAdd(t)
+		prev = id
+	}
+	return nb
+}
+
+func TestJournalRecordsTransitions(t *testing.T) {
+	var counts map[string]*atomic.Int64
+	nb := journaledNotebook(&counts, "")
+	var buf bytes.Buffer
+	nb.SetJournal(&buf)
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each task journals "running" then "OK".
+	if len(records) != 6 {
+		t.Fatalf("records = %d, want 6: %+v", len(records), records)
+	}
+	for i, id := range []string{"A", "B", "C"} {
+		if records[2*i].TaskID != id || records[2*i].Status != "running" {
+			t.Errorf("record %d = %+v, want %s running", 2*i, records[2*i], id)
+		}
+		if records[2*i+1].TaskID != id || records[2*i+1].Status != "OK" {
+			t.Errorf("record %d = %+v, want %s OK", 2*i+1, records[2*i+1], id)
+		}
+		if records[2*i+1].Workflow != "fig5" || records[2*i+1].Attempts != 1 {
+			t.Errorf("record %d metadata = %+v", 2*i+1, records[2*i+1])
+		}
+	}
+}
+
+func TestResumeSkipsCompletedTasks(t *testing.T) {
+	// First run: B fails, journal holds A=OK, B=FAILED.
+	var counts map[string]*atomic.Int64
+	nb := journaledNotebook(&counts, "B")
+	var journal bytes.Buffer
+	nb.SetJournal(&journal)
+	if err := nb.Execute(context.Background()); err == nil {
+		t.Fatal("first run should fail on B")
+	}
+	if counts["A"].Load() != 1 || counts["C"].Load() != 0 {
+		t.Fatalf("first run counts: A=%d C=%d", counts["A"].Load(), counts["C"].Load())
+	}
+
+	// "Restart": fresh notebook, resume from the journal.
+	records, err := ReadJournal(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts2 map[string]*atomic.Int64
+	nb2 := journaledNotebook(&counts2, "")
+	if n := nb2.Restore(records); n != 1 {
+		t.Fatalf("Restore = %d, want 1 (only A)", n)
+	}
+	if err := nb2.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if counts2["A"].Load() != 0 {
+		t.Errorf("A re-ran %d times after restore", counts2["A"].Load())
+	}
+	if counts2["B"].Load() != 1 || counts2["C"].Load() != 1 {
+		t.Errorf("resume counts: B=%d C=%d, want 1 each", counts2["B"].Load(), counts2["C"].Load())
+	}
+	ra, _ := nb2.Result("A")
+	if ra.Status != OK || !ra.Restored {
+		t.Errorf("A result = %+v, want restored OK", ra)
+	}
+	rb, _ := nb2.Result("B")
+	if rb.Status != OK || rb.Restored {
+		t.Errorf("B result = %+v, want executed OK", rb)
+	}
+	found := false
+	for _, line := range nb2.Transcript() {
+		if strings.Contains(line, "restored from checkpoint") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("transcript does not mention checkpoint restore")
+	}
+}
+
+func TestResumeEntryPoint(t *testing.T) {
+	records := []TaskRecord{
+		{Workflow: "fig5", TaskID: "A", Status: "OK", Output: "OK", Attempts: 1},
+	}
+	var counts map[string]*atomic.Int64
+	nb := journaledNotebook(&counts, "")
+	if err := nb.Resume(context.Background(), records); err != nil {
+		t.Fatal(err)
+	}
+	if counts["A"].Load() != 0 || counts["B"].Load() != 1 {
+		t.Errorf("counts after Resume: A=%d B=%d", counts["A"].Load(), counts["B"].Load())
+	}
+}
+
+func TestReadJournalToleratesTruncatedTail(t *testing.T) {
+	good := `{"workflow":"fig5","task":"A","status":"OK","output":"OK"}` + "\n"
+	truncated := good + `{"workflow":"fig5","task":"B","sta`
+	records, err := ReadJournal(strings.NewReader(truncated))
+	if err != nil {
+		t.Fatalf("truncated tail should be tolerated: %v", err)
+	}
+	if len(records) != 1 || records[0].TaskID != "A" {
+		t.Fatalf("records = %+v", records)
+	}
+
+	// Corruption before the end is a real error.
+	corrupt := `{"bogus` + "\n" + good
+	if _, err := ReadJournal(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("mid-journal corruption not reported")
+	}
+}
+
+func TestRestoreIgnoresForeignRecords(t *testing.T) {
+	var counts map[string]*atomic.Int64
+	nb := journaledNotebook(&counts, "")
+	records := []TaskRecord{
+		{Workflow: "other", TaskID: "A", Status: "OK"}, // wrong workflow
+		{Workflow: "fig5", TaskID: "Z", Status: "OK"},  // unknown task
+		{Workflow: "fig5", TaskID: "B", Status: "FAILED", Error: "nope"},
+	}
+	if n := nb.Restore(records); n != 0 {
+		t.Fatalf("Restore = %d, want 0", n)
+	}
+}
+
+func TestRestoreLatestRecordWins(t *testing.T) {
+	var counts map[string]*atomic.Int64
+	nb := journaledNotebook(&counts, "")
+	records := []TaskRecord{
+		{Workflow: "fig5", TaskID: "A", Status: "running"},
+		{Workflow: "fig5", TaskID: "A", Status: "OK", Output: "done", Attempts: 2, DurationMS: 40},
+	}
+	if n := nb.Restore(records); n != 1 {
+		t.Fatalf("Restore = %d, want 1", n)
+	}
+	r, _ := nb.Result("A")
+	if r.Output != "done" || r.Attempts != 2 || r.Duration != 40*time.Millisecond {
+		t.Errorf("restored result = %+v", r)
+	}
+}
+
+func TestJournalWriteErrorDoesNotFailWorkflow(t *testing.T) {
+	var counts map[string]*atomic.Int64
+	nb := journaledNotebook(&counts, "")
+	nb.SetJournal(failingWriter{})
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatalf("journal write error aborted workflow: %v", err)
+	}
+	found := false
+	for _, line := range nb.Transcript() {
+		if strings.Contains(line, "checkpoint: write") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("journal write error not surfaced in transcript")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
+// TestTimeoutCancelsAttemptContext is the regression test for the
+// goroutine-leak contract: a Run func blocked on c.Ctx.Done() must be
+// released when its attempt times out, not leak until process exit.
+func TestTimeoutCancelsAttemptContext(t *testing.T) {
+	released := make(chan struct{})
+	nb := New("demo")
+	nb.MustAdd(&Task{
+		ID:      "S",
+		Title:   "stuck",
+		Timeout: 20 * time.Millisecond,
+		Run: func(c *Context) (string, error) {
+			<-c.Ctx.Done() // well-behaved: wait on the attempt context
+			close(released)
+			return "", c.Ctx.Err()
+		},
+	})
+	err := nb.Execute(context.Background())
+	if !errors.Is(err, ErrTaskTimeout) {
+		t.Fatalf("err = %v, want ErrTaskTimeout", err)
+	}
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run goroutine not released after timeout — leak")
+	}
+}
+
+// TestTimeoutAttemptSharesState checks the per-attempt Context still
+// sees (and mutates) the same notebook variables as untimed tasks.
+func TestTimeoutAttemptSharesState(t *testing.T) {
+	nb := New("demo")
+	nb.MustAdd(&Task{ID: "A", Title: "set", Run: func(c *Context) (string, error) {
+		c.Set("k", 42)
+		return "OK", nil
+	}})
+	nb.MustAdd(&Task{ID: "B", Title: "get", Timeout: time.Second, DependsOn: []string{"A"}, Run: func(c *Context) (string, error) {
+		v, err := c.MustGet("k")
+		if err != nil {
+			return "", err
+		}
+		c.Set("k2", v.(int)+1)
+		return "OK", nil
+	}})
+	nb.MustAdd(&Task{ID: "C", Title: "check", DependsOn: []string{"B"}, Run: func(c *Context) (string, error) {
+		if v, _ := c.Get("k2"); v != 43 {
+			return "", fmt.Errorf("k2 = %v", v)
+		}
+		return "OK", nil
+	}})
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOuterCancelPropagatesThroughTimeout checks that cancelling the
+// Execute context (not the per-attempt timeout) reports the outer
+// cancellation error.
+func TestOuterCancelPropagatesThroughTimeout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	nb := New("demo")
+	nb.MustAdd(&Task{ID: "A", Title: "wait", Timeout: 5 * time.Second, Run: func(c *Context) (string, error) {
+		cancel()
+		<-c.Ctx.Done()
+		return "", c.Ctx.Err()
+	}})
+	err := nb.Execute(ctx)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrTaskTimeout) {
+		t.Fatalf("outer cancel misreported as timeout: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 )
@@ -51,26 +52,35 @@ func (s Status) String() string {
 // Context is passed to each task: cancellation, shared state and
 // logging into the notebook transcript.
 type Context struct {
-	// Ctx is the cancellation context for the whole run.
+	// Ctx is the cancellation context for this attempt. For tasks with
+	// a Timeout it is cancelled when the attempt times out (or the run
+	// is cancelled), so a well-behaved Run func observes Ctx.Done() and
+	// returns instead of leaking its goroutine.
 	Ctx context.Context
 
-	nb *Notebook
+	nb    *Notebook
+	state *kvState
+}
+
+// kvState is the notebook-variable store shared by every attempt's
+// Context.
+type kvState struct {
 	mu sync.Mutex
 	kv map[string]any
 }
 
 // Set stores a value shared across tasks (like a notebook variable).
 func (c *Context) Set(key string, v any) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.kv[key] = v
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	c.state.kv[key] = v
 }
 
 // Get retrieves a shared value.
 func (c *Context) Get(key string) (any, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.kv[key]
+	c.state.mu.Lock()
+	defer c.state.mu.Unlock()
+	v, ok := c.state.kv[key]
 	return v, ok
 }
 
@@ -104,8 +114,13 @@ type Task struct {
 	RetryDelay time.Duration
 	// Timeout bounds each attempt; zero means unbounded. A timed-out
 	// attempt counts as a failure (and is retried if attempts remain).
-	// The Run func keeps executing in the background after a timeout —
-	// it must be safe to abandon.
+	//
+	// Contract: a timed-out attempt's goroutine is abandoned by the
+	// engine, but its Context.Ctx is cancelled at the moment of the
+	// timeout — a well-behaved Run func selects on c.Ctx.Done() inside
+	// long waits (or passes c.Ctx to its RPC layer) so the goroutine
+	// exits promptly instead of leaking until process end. Run funcs
+	// that ignore c.Ctx must at minimum be safe to abandon.
 	Timeout time.Duration
 }
 
@@ -128,6 +143,9 @@ type Result struct {
 	Attempts int
 	// Duration is the total wall time spent.
 	Duration time.Duration
+	// Restored marks results recovered from a checkpoint journal
+	// rather than executed in this process.
+	Restored bool
 }
 
 // Notebook is an ordered workflow.
@@ -142,6 +160,7 @@ type Notebook struct {
 	tasks      []*Task
 	results    map[string]*Result
 	transcript []string
+	journal    io.Writer
 }
 
 // ErrDuplicateTask is wrapped when two tasks share an ID.
@@ -217,16 +236,23 @@ func (nb *Notebook) Results() []Result {
 
 // Execute runs the notebook top to bottom. It returns the first task
 // error unless ContinueOnError is set, in which case it returns a
-// joined error of all failures (nil if none).
+// joined error of all failures (nil if none). Tasks already marked OK
+// (restored from a checkpoint journal via Restore/Resume) are not
+// re-run. When a journal is attached, every task transition is
+// checkpointed so a crashed run can resume.
 func (nb *Notebook) Execute(ctx context.Context) error {
 	nb.mu.Lock()
 	tasks := append([]*Task(nil), nb.tasks...)
 	nb.mu.Unlock()
 
-	wctx := &Context{Ctx: ctx, nb: nb, kv: make(map[string]any)}
+	wctx := &Context{Ctx: ctx, nb: nb, state: &kvState{kv: make(map[string]any)}}
 	var failures []error
 
 	for i, t := range tasks {
+		if r, ok := nb.Result(t.ID); ok && r.Status == OK && r.Restored {
+			nb.appendTranscript(fmt.Sprintf("In [%d]: %s — restored from checkpoint", i+1, t.Title))
+			continue
+		}
 		if err := ctx.Err(); err != nil {
 			nb.setResult(t.ID, Skipped, "", err, 0, 0)
 			continue
@@ -238,6 +264,7 @@ func (nb *Notebook) Execute(ctx context.Context) error {
 		}
 
 		nb.setStatus(t.ID, Running)
+		nb.journalTask(t.ID)
 		nb.appendTranscript(fmt.Sprintf("In [%d]: %s", i+1, t.Title))
 		start := time.Now()
 		output, err, attempts := runWithRetries(wctx, t)
@@ -245,6 +272,7 @@ func (nb *Notebook) Execute(ctx context.Context) error {
 
 		if err != nil {
 			nb.setResult(t.ID, Failed, output, err, attempts, elapsed)
+			nb.journalTask(t.ID)
 			nb.appendTranscript(fmt.Sprintf("Out[%d]: FAILED: %v", i+1, err))
 			if !nb.ContinueOnError {
 				nb.skipRemaining(tasks[i+1:])
@@ -254,6 +282,7 @@ func (nb *Notebook) Execute(ctx context.Context) error {
 			continue
 		}
 		nb.setResult(t.ID, OK, output, nil, attempts, elapsed)
+		nb.journalTask(t.ID)
 		nb.appendTranscript(fmt.Sprintf("Out[%d]: %s", i+1, output))
 	}
 	return errors.Join(failures...)
@@ -279,29 +308,34 @@ func runWithRetries(wctx *Context, t *Task) (output string, err error, attempts 
 	}
 }
 
-// runAttempt executes one attempt, enforcing the task timeout.
+// runAttempt executes one attempt, enforcing the task timeout. The
+// attempt runs with a derived Context whose Ctx is cancelled on
+// timeout, so Run funcs that honor cancellation release their
+// goroutine instead of leaking it (see Task.Timeout's contract).
 func runAttempt(wctx *Context, t *Task) (string, error) {
 	if t.Timeout <= 0 {
 		return t.Run(wctx)
 	}
+	actx, cancel := context.WithTimeout(wctx.Ctx, t.Timeout)
+	defer cancel()
+	attemptCtx := &Context{Ctx: actx, nb: wctx.nb, state: wctx.state}
 	type result struct {
 		output string
 		err    error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		out, err := t.Run(wctx)
+		out, err := t.Run(attemptCtx)
 		ch <- result{out, err}
 	}()
-	timer := time.NewTimer(t.Timeout)
-	defer timer.Stop()
 	select {
 	case r := <-ch:
 		return r.output, r.err
-	case <-timer.C:
+	case <-actx.Done():
+		if err := wctx.Ctx.Err(); err != nil {
+			return "", err
+		}
 		return "", fmt.Errorf("%w after %v", ErrTaskTimeout, t.Timeout)
-	case <-wctx.Ctx.Done():
-		return "", wctx.Ctx.Err()
 	}
 }
 
