@@ -58,6 +58,9 @@ func main() {
 	if err := agent.ServeData(dataL); err != nil {
 		log.Fatal(err)
 	}
+	// A flaky client connection must not take the export down; log each
+	// failure so operators can spot a degrading fabric.
+	agent.DataExport().SetLogf(log.Printf)
 	if *audit {
 		if err := agent.EnableAudit(); err != nil {
 			log.Fatal(err)

@@ -9,6 +9,7 @@
 //	icectl -agent localhost -journal cv.journal workflow            # checkpoint progress
 //	icectl -agent localhost -journal cv.journal -resume workflow    # resume after a crash
 //	icectl -agent localhost -reliable -timeout 15m workflow         # chaos-tolerant session
+//	icectl -agent localhost -reliable -reliable-data workflow       # both channels self-heal
 //	icectl -agent localhost campaign   # adaptive target-peak search (agent needs -lab)
 //	icectl -agent localhost qos        # control-RTT histogram + data throughput
 //	icectl -agent localhost abort      # emergency-stop a running acquisition
@@ -46,6 +47,7 @@ func main() {
 	targetUA := flag.Float64("target-peak", 30, "campaign target anodic peak in µA")
 	timeout := flag.Duration("timeout", 0, "overall command deadline (0 = none), e.g. 15m")
 	reliable := flag.Bool("reliable", false, "retry commands across transport faults with exactly-once semantics")
+	reliableData := flag.Bool("reliable-data", false, "self-healing data mount: redial the share and resume interrupted transfers from the last verified offset")
 	journalPath := flag.String("journal", "", "workflow: checkpoint task progress to this file")
 	resume := flag.Bool("resume", false, "workflow: restore completed tasks from -journal before executing")
 	flag.Parse()
@@ -73,11 +75,19 @@ func main() {
 	}
 	defer session.Close()
 
-	mountConn, err := net.Dial("tcp", fmt.Sprintf("%s:%d", *agentHost, *dataPort))
-	if err != nil {
-		log.Fatalf("data channel: %v", err)
+	dataAddr := fmt.Sprintf("%s:%d", *agentHost, *dataPort)
+	var mount datachan.Share
+	if *reliableData {
+		mount = datachan.NewReliableMount(func() (net.Conn, error) {
+			return net.Dial("tcp", dataAddr)
+		})
+	} else {
+		mountConn, err := net.Dial("tcp", dataAddr)
+		if err != nil {
+			log.Fatalf("data channel: %v", err)
+		}
+		mount = datachan.NewMount(mountConn)
 	}
-	mount := datachan.NewMount(mountConn)
 	defer mount.Close()
 
 	switch cmd := flag.Arg(0); cmd {

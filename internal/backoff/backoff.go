@@ -1,0 +1,118 @@
+// Package backoff implements the jittered, capped exponential retry
+// delay policy shared by the reliability layers of both ICE channels:
+// the control channel's reconnecting Pyro proxy and the data channel's
+// reconnecting mount. Jitter spreads a fleet of clients recovering
+// from the same facility outage over [d/2, 3d/2) so they do not redial
+// the control agent in lockstep.
+package backoff
+
+import (
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"time"
+)
+
+// Defaults applied when a Policy field is zero.
+const (
+	// DefaultInitial is the first retry delay.
+	DefaultInitial = 50 * time.Millisecond
+	// DefaultMax caps the exponential growth.
+	DefaultMax = 2 * time.Second
+)
+
+// Policy describes one exponential-backoff schedule. The zero value is
+// usable and applies the defaults.
+type Policy struct {
+	// Initial is the first delay, doubled per attempt.
+	Initial time.Duration
+	// Max caps the doubling.
+	Max time.Duration
+
+	mu       sync.Mutex
+	rngState uint64
+}
+
+// Jitter spreads d uniformly over [d/2, 3d/2) with a cheap xorshift
+// generator seeded once from crypto/rand.
+func (p *Policy) Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	if p.rngState == 0 {
+		seed, err := rand.Int(rand.Reader, big.NewInt(1<<62))
+		if err == nil && seed.Int64() != 0 {
+			p.rngState = uint64(seed.Int64())
+		} else {
+			p.rngState = uint64(time.Now().UnixNano()) | 1
+		}
+	}
+	p.rngState ^= p.rngState << 13
+	p.rngState ^= p.rngState >> 7
+	p.rngState ^= p.rngState << 17
+	u := p.rngState
+	p.mu.Unlock()
+	if int64(d) <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(u%uint64(d))
+}
+
+// Start begins one retry sequence under the policy.
+func (p *Policy) Start() *Sequence { return p.StartWith(p.Initial, p.Max) }
+
+// StartWith begins a retry sequence with explicit bounds, overriding
+// the policy's fields (zero values fall back to the defaults). It lets
+// concurrent retry loops share one jitter generator without mutating
+// shared configuration.
+func (p *Policy) StartWith(initial, max time.Duration) *Sequence {
+	if initial <= 0 {
+		initial = DefaultInitial
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	return &Sequence{policy: p, next: initial, max: max}
+}
+
+// Sequence yields the successive delays of one retry loop.
+type Sequence struct {
+	policy *Policy
+	next   time.Duration
+	max    time.Duration
+}
+
+// Next returns the jittered delay for the coming attempt and advances
+// the schedule (doubling, capped at the policy max).
+func (s *Sequence) Next() time.Duration {
+	d := s.policy.Jitter(s.next)
+	s.next *= 2
+	if s.next > s.max {
+		s.next = s.max
+	}
+	return d
+}
+
+// Sleep blocks for the sequence's next delay, aborting early if either
+// channel closes first. It returns false when interrupted. Nil
+// channels never fire, so callers without a cancel signal pass nil.
+func (s *Sequence) Sleep(cancel ...<-chan struct{}) bool {
+	timer := time.NewTimer(s.Next())
+	defer timer.Stop()
+	var a, b <-chan struct{}
+	if len(cancel) > 0 {
+		a = cancel[0]
+	}
+	if len(cancel) > 1 {
+		b = cancel[1]
+	}
+	select {
+	case <-timer.C:
+		return true
+	case <-a:
+		return false
+	case <-b:
+		return false
+	}
+}

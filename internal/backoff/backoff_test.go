@@ -1,0 +1,67 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJitterBounds(t *testing.T) {
+	var p Policy
+	d := 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		j := p.Jitter(d)
+		if j < d/2 || j >= d+d/2 {
+			t.Fatalf("jitter %v outside [%v, %v)", j, d/2, d+d/2)
+		}
+	}
+	if p.Jitter(0) != 0 {
+		t.Error("jitter of 0 should be 0")
+	}
+	if p.Jitter(1) != 1 {
+		t.Error("jitter of 1ns should be 1ns")
+	}
+}
+
+func TestSequenceDoublesAndCaps(t *testing.T) {
+	p := Policy{Initial: 10 * time.Millisecond, Max: 35 * time.Millisecond}
+	s := p.Start()
+	// Raw (pre-jitter) schedule: 10, 20, 35, 35, ... Jitter keeps each
+	// delay within [d/2, 3d/2).
+	for i, want := range []time.Duration{10, 20, 35, 35, 35} {
+		want *= time.Millisecond
+		got := s.Next()
+		if got < want/2 || got >= want+want/2 {
+			t.Fatalf("delay %d = %v, want within [%v, %v)", i, got, want/2, want+want/2)
+		}
+	}
+}
+
+func TestSequenceDefaults(t *testing.T) {
+	var p Policy
+	s := p.Start()
+	if s.next != DefaultInitial || s.max != DefaultMax {
+		t.Errorf("defaults not applied: next=%v max=%v", s.next, s.max)
+	}
+}
+
+func TestSleepInterruptible(t *testing.T) {
+	p := Policy{Initial: 10 * time.Second, Max: 10 * time.Second}
+	s := p.Start()
+	cancel := make(chan struct{})
+	close(cancel)
+	start := time.Now()
+	if s.Sleep(cancel) {
+		t.Error("Sleep completed despite closed cancel channel")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Sleep did not abort promptly")
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	p := Policy{Initial: time.Millisecond, Max: time.Millisecond}
+	s := p.Start()
+	if !s.Sleep(nil, nil) {
+		t.Error("Sleep with nil cancels did not complete")
+	}
+}

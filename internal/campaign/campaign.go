@@ -57,9 +57,10 @@ type Planner interface {
 // rounds, goes through the control channel, so an executor can run
 // from any machine that can reach the control agent.
 type Executor struct {
-	// Session and Mount are open cross-facility handles.
+	// Session and Mount are open cross-facility handles. Mount may be a
+	// plain or reliable mount (any datachan.Share).
 	Session *core.LabSession
-	Mount   *datachan.Mount
+	Mount   datachan.Share
 	// MaxRounds bounds runaway planners (default 20).
 	MaxRounds int
 	// CVPoints per acquisition (default 600).

@@ -167,6 +167,14 @@ func (a *ControlAgent) ServeData(l net.Listener) error {
 	return nil
 }
 
+// DataExport returns the running data-channel export (nil before
+// ServeData), for wiring logging or reading its failure counters.
+func (a *ControlAgent) DataExport() *datachan.Export {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.export
+}
+
 // RetainMeasurements deletes the oldest measurement files, keeping the
 // newest keep files — the housekeeping a long-lived control agent
 // needs so the shared directory does not grow without bound. It

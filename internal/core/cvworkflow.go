@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"time"
 
@@ -53,6 +56,9 @@ func PaperCVWorkflowConfig() CVWorkflowConfig {
 type CVOutcome struct {
 	// FileName is the measurement file retrieved over the data channel.
 	FileName string
+	// SHA256 is the hex digest of the retrieved file's bytes, verified
+	// against the export-side checksum before analysis.
+	SHA256 string
 	// Records are the parsed measurements.
 	Records []potentiostat.Record
 	// Summary is the remote-side peak analysis.
@@ -64,10 +70,16 @@ type CVOutcome struct {
 	ClassName string
 }
 
+// mountStats is satisfied by a ReliableMount: the workflow uses it to
+// notice the data channel flapping during a retrieval.
+type mountStats interface {
+	Stats() datachan.MountStats
+}
+
 // BuildCVWorkflow composes the paper's tasks A–E against an open
-// session and data mount. The returned outcome is populated as the
-// notebook executes.
-func BuildCVWorkflow(session *RemoteSession, mount *datachan.Mount, cfg CVWorkflowConfig) (*workflow.Notebook, *CVOutcome) {
+// session and data mount (plain or reliable — any datachan.Share).
+// The returned outcome is populated as the notebook executes.
+func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflowConfig) (*workflow.Notebook, *CVOutcome) {
 	nb := workflow.New("electrochemical-cv")
 	outcome := &CVOutcome{}
 	if cfg.WaitPoll <= 0 {
@@ -197,11 +209,44 @@ func BuildCVWorkflow(session *RemoteSession, mount *datachan.Mount, cfg CVWorkfl
 			}
 			c.Logf("(7) measurements are collected: %s", fileName)
 
-			// Retrieve over the data channel (CIFS-mounted files).
-			data, gotName, err := mount.WaitFor(fileName, cfg.WaitPoll, cfg.WaitTimeout)
+			// Retrieve over the data channel (CIFS-mounted files). On a
+			// reliable mount this rides out link faults, resuming from
+			// the last verified offset; note the health baseline so
+			// flapping during this retrieval is reported.
+			var statsBefore datachan.MountStats
+			if sr, ok := mount.(mountStats); ok {
+				statsBefore = sr.Stats()
+			}
+			waitCtx, cancelWait := context.WithTimeout(c.Ctx, cfg.WaitTimeout)
+			data, gotName, err := mount.WaitForContext(waitCtx, fileName, cfg.WaitPoll)
+			cancelWait()
 			if err != nil {
 				return "", fmt.Errorf("data channel: %w", err)
 			}
+
+			// Final end-to-end integrity check before any analysis: the
+			// local bytes must match the export-side SHA-256 right now.
+			localSum := sha256.Sum256(data)
+			outcome.SHA256 = hex.EncodeToString(localSum[:])
+			remoteSum, remoteSize, err := mount.Checksum(gotName)
+			if err != nil {
+				return "", fmt.Errorf("data channel checksum: %w", err)
+			}
+			if remoteSum != outcome.SHA256 || remoteSize != int64(len(data)) {
+				return "", fmt.Errorf("measurement file %q failed end-to-end verification (local %d bytes sha %.8s, remote %d bytes sha %.8s)",
+					gotName, len(data), outcome.SHA256, remoteSize, remoteSum)
+			}
+			c.Logf("end-to-end verified %d bytes (sha256 %.16s…)", len(data), outcome.SHA256)
+
+			if sr, ok := mount.(mountStats); ok {
+				s := sr.Stats()
+				if redials := s.Redials - statsBefore.Redials; redials > 0 {
+					session.SetDataChannelDegraded(true)
+					c.Logf("data channel degraded during retrieval: %d redials, %d resumes (%d verified bytes preserved)",
+						redials, s.Resumes-statsBefore.Resumes, s.BytesResumed-statsBefore.BytesResumed)
+				}
+			}
+
 			mf, err := potentiostat.ParseMPT(bytes.NewReader(data))
 			if err != nil {
 				return "", fmt.Errorf("parse measurements: %w", err)

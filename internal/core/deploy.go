@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"net"
 
 	"ice/internal/datachan"
 	"ice/internal/netsim"
@@ -88,16 +89,27 @@ func (d *Deployment) ConnectFrom(host string) (*RemoteSession, *datachan.Mount, 
 
 // ConnectReliableFrom opens a chaos-tolerant session and data mount
 // from the named host: instrument commands retry across transport
-// faults with exactly-once semantics for the non-idempotent ones.
-func (d *Deployment) ConnectReliableFrom(host string, opts SessionOptions) (*RemoteSession, *datachan.Mount, error) {
+// faults with exactly-once semantics for the non-idempotent ones, and
+// the data mount self-heals symmetrically — redialing with the same
+// jittered backoff policy and resuming interrupted transfers from the
+// last verified offset. opts.MaxRetries/Backoff/Metrics govern both
+// channels.
+func (d *Deployment) ConnectReliableFrom(host string, opts SessionOptions) (*RemoteSession, *datachan.ReliableMount, error) {
 	dialer := pyro.Dialer(d.Network.Dialer(host))
 	session := ConnectSessionReliable(d.DaemonURI, dialer, opts)
-	conn, err := d.Network.Dial(host, d.DataAddr)
-	if err != nil {
-		session.Close()
-		return nil, nil, fmt.Errorf("core: mount data channel: %w", err)
+	mount := datachan.NewReliableMount(func() (net.Conn, error) {
+		return d.Network.Dial(host, d.DataAddr)
+	})
+	if opts.MaxRetries > 0 {
+		mount.MaxRetries = opts.MaxRetries
 	}
-	return session, datachan.NewMount(conn), nil
+	if opts.Backoff > 0 {
+		mount.Backoff = opts.Backoff
+	}
+	if opts.Metrics != nil {
+		mount.SetMetrics(opts.Metrics)
+	}
+	return session, mount, nil
 }
 
 // AttachLab adds the extended Fig. 1 stations (synthesis workstation

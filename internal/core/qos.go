@@ -32,7 +32,7 @@ func (r *QoSReport) Lines() []string {
 // rttSamples control round trips (a cheap ReadTemperature call) and
 // dataReads retrievals of the named file (pass a measurement file that
 // already exists; empty name skips the data probe).
-func MeasureQoS(session *RemoteSession, mount *datachan.Mount, rttSamples int, fileName string, dataReads int) (*QoSReport, error) {
+func MeasureQoS(session *RemoteSession, mount datachan.Share, rttSamples int, fileName string, dataReads int) (*QoSReport, error) {
 	if rttSamples < 1 {
 		rttSamples = 1
 	}

@@ -20,11 +20,12 @@ type RemoteSession struct {
 	sp200 pyro.Caller
 
 	// watchdog state; see watchdog.go.
-	watchMu     sync.Mutex
-	watchStop   chan struct{}
-	misses      int
-	degraded    bool
-	lastContact time.Time
+	watchMu      sync.Mutex
+	watchStop    chan struct{}
+	misses       int
+	degraded     bool
+	dataDegraded bool
+	lastContact  time.Time
 }
 
 // NonIdempotentJKemMethods are the J-Kem commands whose retry must not

@@ -17,6 +17,11 @@ type SessionHealth struct {
 	// LastContact is when the agent last answered a heartbeat (zero if
 	// it never has).
 	LastContact time.Time
+	// DataChannelDegraded is set when the data channel flapped during a
+	// retrieval (the reliable mount had to redial mid-workflow). Unlike
+	// Degraded it is sticky: clear it with SetDataChannelDegraded(false)
+	// once the fabric is trusted again.
+	DataChannelDegraded bool
 }
 
 // StartWatchdog begins heartbeating the control agent: every interval
@@ -83,8 +88,17 @@ func (s *RemoteSession) Health() SessionHealth {
 	s.watchMu.Lock()
 	defer s.watchMu.Unlock()
 	return SessionHealth{
-		Degraded:          s.degraded,
-		ConsecutiveMisses: s.misses,
-		LastContact:       s.lastContact,
+		Degraded:            s.degraded,
+		ConsecutiveMisses:   s.misses,
+		LastContact:         s.lastContact,
+		DataChannelDegraded: s.dataDegraded,
 	}
+}
+
+// SetDataChannelDegraded records (or clears) data-channel flapping
+// observed by workflow code fetching over a reliable mount.
+func (s *RemoteSession) SetDataChannelDegraded(v bool) {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	s.dataDegraded = v
 }

@@ -10,10 +10,13 @@
 package datachan
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"os"
@@ -27,7 +30,14 @@ const (
 	opList byte = iota + 1
 	opStat
 	opRead
+	// opChecksum returns a whole-file SHA-256 and size so a client can
+	// verify a multi-chunk transfer end to end.
+	opChecksum
 )
+
+// castagnoli is the CRC32C table used for per-chunk payload checksums;
+// the polynomial hardware-accelerated on most platforms.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // maxFrameBytes bounds request/response headers and read payloads.
 const maxFrameBytes = 8 << 20
@@ -58,6 +68,12 @@ type reply struct {
 	File    *FileInfo  `json:"file,omitempty"`
 	Payload int        `json:"payload,omitempty"` // bytes following
 	EOF     bool       `json:"eof,omitempty"`
+	// CRC is the CRC32C of the following payload bytes, so the client
+	// detects in-transit corruption per chunk instead of parsing
+	// garbage downstream.
+	CRC uint32 `json:"crc,omitempty"`
+	// Sum is the whole-file SHA-256 (hex) in opChecksum replies.
+	Sum string `json:"sum,omitempty"`
 }
 
 // writeFrame frames v as uint32 length + JSON.
@@ -107,10 +123,12 @@ type Export struct {
 	dir      string
 	listener net.Listener
 
-	mu          sync.Mutex
-	closed      bool
-	conns       map[net.Conn]struct{}
-	bytesServed int64
+	mu           sync.Mutex
+	closed       bool
+	conns        map[net.Conn]struct{}
+	bytesServed  int64
+	connFailures int64
+	logf         func(format string, args ...any)
 }
 
 // NewExport shares dir over l. Call Serve to start handling clients.
@@ -172,6 +190,36 @@ func (e *Export) BytesServed() int64 {
 	return e.bytesServed
 }
 
+// ConnFailures reports how many client connections terminated on a
+// transport or framing error rather than a clean disconnect. The
+// export itself survives every such failure; each costs only the one
+// client its connection.
+func (e *Export) ConnFailures() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.connFailures
+}
+
+// SetLogf attaches a logger for per-connection failures (nil keeps the
+// export silent, the test default).
+func (e *Export) SetLogf(f func(format string, args ...any)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.logf = f
+}
+
+// noteConnFailure records one failed client connection.
+func (e *Export) noteConnFailure(conn net.Conn, err error) {
+	e.mu.Lock()
+	e.connFailures++
+	logf := e.logf
+	closed := e.closed
+	e.mu.Unlock()
+	if logf != nil && !closed {
+		logf("datachan: connection %v failed: %v", conn.RemoteAddr(), err)
+	}
+}
+
 func (e *Export) serveConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -182,9 +230,15 @@ func (e *Export) serveConn(conn net.Conn) {
 	for {
 		var req request
 		if err := readFrame(conn, &req); err != nil {
+			// io.EOF on a frame boundary is the clean "client detached"
+			// case; anything else is a failure worth accounting.
+			if !errors.Is(err, io.EOF) {
+				e.noteConnFailure(conn, err)
+			}
 			return
 		}
 		if err := e.handle(conn, &req); err != nil {
+			e.noteConnFailure(conn, err)
 			return
 		}
 	}
@@ -245,7 +299,7 @@ func (e *Export) handle(conn net.Conn, req *request) error {
 		if err != nil && !eof {
 			return fail(err)
 		}
-		if err := writeFrame(conn, &reply{Payload: n, EOF: eof}); err != nil {
+		if err := writeFrame(conn, &reply{Payload: n, EOF: eof, CRC: crc32.Checksum(buf[:n], castagnoli)}); err != nil {
 			return err
 		}
 		if n > 0 {
@@ -260,6 +314,25 @@ func (e *Export) handle(conn net.Conn, req *request) error {
 			}
 		}
 		return nil
+
+	case opChecksum:
+		if err := validName(req.Name); err != nil {
+			return fail(err)
+		}
+		f, err := os.Open(filepath.Join(e.dir, req.Name))
+		if err != nil {
+			return fail(err)
+		}
+		h := sha256.New()
+		size, err := io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+		return writeFrame(conn, &reply{
+			Sum:  hex.EncodeToString(h.Sum(nil)),
+			File: &FileInfo{Name: req.Name, Size: size},
+		})
 
 	default:
 		return fail(fmt.Errorf("datachan: unknown op %d", req.Op))

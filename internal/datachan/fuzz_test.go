@@ -1,0 +1,79 @@
+package datachan
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary wire bytes to the frame decoder: it
+// must reject oversized length headers, truncated bodies and invalid
+// JSON without panicking or over-allocating.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(body []byte) []byte {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+		return append(hdr[:], body...)
+	}
+	f.Add(frame([]byte(`{"op":1}`)))
+	f.Add(frame([]byte(`{"op":3,"name":"cv.mpt","offset":0,"length":1024}`)))
+	f.Add(frame([]byte(`{`)))     // truncated JSON
+	f.Add(frame(nil))             // empty body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // absurd length header
+	f.Add([]byte{0, 0})           // truncated header
+	f.Add(frame([]byte(`{"op":1,"name":"` + string(bytes.Repeat([]byte("a"), 100)) + `"}`)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Claimed frame lengths above the cap must be refused before
+		// any allocation of that size.
+		if len(data) >= 4 {
+			if n := binary.BigEndian.Uint32(data[:4]); n > maxFrameBytes {
+				var req request
+				if err := readFrame(bytes.NewReader(data), &req); err == nil {
+					t.Fatalf("oversized frame of %d bytes accepted", n)
+				}
+				return
+			}
+		}
+		var req request
+		if err := readFrame(bytes.NewReader(data), &req); err != nil {
+			return
+		}
+		// A frame that decoded must re-encode and decode identically.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, &req); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		var again request
+		if err := readFrame(&buf, &again); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if req != again {
+			t.Fatalf("frame round trip diverged: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip drives writeFrame/readFrame with arbitrary
+// request field values: whatever goes in must come out.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(1), "", int64(0), 0)
+	f.Add(byte(3), "CV_ch1_run001.mpt", int64(1<<40), 256*1024)
+	f.Add(byte(255), "päth/with/ünïcode\x00", int64(-1), -5)
+
+	f.Fuzz(func(t *testing.T, op byte, name string, offset int64, length int) {
+		in := request{Op: op, Name: name, Offset: offset, Length: length}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, &in); err != nil {
+			t.Skip() // e.g. unencodable string; not a framing concern
+		}
+		var out request
+		if err := readFrame(&buf, &out); err != nil {
+			t.Fatalf("decode of freshly encoded frame failed: %v", err)
+		}
+		// JSON escapes invalid UTF-8; compare through the same lens.
+		if in.Op != out.Op || in.Offset != out.Offset || in.Length != out.Length {
+			t.Fatalf("round trip diverged: %+v vs %+v", in, out)
+		}
+	})
+}

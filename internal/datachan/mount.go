@@ -2,13 +2,52 @@ package datachan
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sort"
 	"sync"
 	"time"
 )
+
+// ErrMountBroken marks a mount whose connection suffered a transport
+// error mid-exchange. The request/reply stream may be desynchronized
+// (a reply header could be read as payload bytes, silently corrupting
+// a measurement), so the mount refuses all further use: errors.Is
+// against this sentinel tells callers to redial, which ReliableMount
+// does automatically.
+var ErrMountBroken = errors.New("datachan: mount broken")
+
+// RemoteError is an error the export answered with — the share is
+// reachable and the stream intact; the operation itself failed (file
+// missing, invalid name). It is never grounds for redialing.
+type RemoteError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return "datachan: remote: " + e.Msg }
+
+// Share is the read-side contract both mount flavors satisfy: the
+// plain single-connection Mount and the reconnecting ReliableMount.
+// Workflow code holds a Share so swapping reliability in or out is a
+// construction-time choice.
+type Share interface {
+	List() ([]FileInfo, error)
+	Stat(name string) (FileInfo, error)
+	ReadAt(name string, offset int64, length int) ([]byte, bool, error)
+	ReadAll(name string) ([]byte, error)
+	ReadAllVerified(name string) ([]byte, error)
+	Checksum(name string) (string, int64, error)
+	WaitFor(substr string, poll, timeout time.Duration) ([]byte, string, error)
+	WaitForContext(ctx context.Context, substr string, poll time.Duration) ([]byte, string, error)
+	Watch(interval time.Duration) *Watcher
+	Broken() bool
+	Close() error
+}
 
 // Mount is the remote side of the share — the moral equivalent of the
 // CIFS mount point on the DGX. It is safe for concurrent use; requests
@@ -17,6 +56,7 @@ type Mount struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	closed bool
+	broken error // sticky transport failure; see ErrMountBroken
 }
 
 // NewMount attaches to an export over an established connection.
@@ -33,29 +73,50 @@ func (m *Mount) Close() error {
 	return m.conn.Close()
 }
 
+// Broken reports whether the mount's transport is permanently
+// unusable — poisoned by a mid-exchange error, or closed.
+func (m *Mount) Broken() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.broken != nil || m.closed
+}
+
 // roundTrip sends a request and reads the reply header plus any
-// payload.
+// payload. Any transport failure mid-exchange poisons the mount: a
+// partially-read reply leaves the stream desynchronized, and reusing
+// it could hand the next caller another request's bytes.
 func (m *Mount) roundTrip(req *request) (*reply, []byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, nil, fmt.Errorf("datachan: mount closed")
 	}
+	if m.broken != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrMountBroken, m.broken)
+	}
+	poison := func(err error) (*reply, []byte, error) {
+		m.broken = err
+		m.conn.Close()
+		return nil, nil, err
+	}
 	if err := writeFrame(m.conn, req); err != nil {
-		return nil, nil, fmt.Errorf("datachan: send: %w", err)
+		return poison(fmt.Errorf("datachan: send: %w", err))
 	}
 	var rep reply
 	if err := readFrame(m.conn, &rep); err != nil {
-		return nil, nil, fmt.Errorf("datachan: receive: %w", err)
+		return poison(fmt.Errorf("datachan: receive: %w", err))
 	}
 	if rep.Error != "" {
-		return nil, nil, fmt.Errorf("datachan: remote: %s", rep.Error)
+		return nil, nil, &RemoteError{Msg: rep.Error}
 	}
 	var payload []byte
 	if rep.Payload > 0 {
 		payload = make([]byte, rep.Payload)
 		if _, err := io.ReadFull(m.conn, payload); err != nil {
-			return nil, nil, fmt.Errorf("datachan: payload: %w", err)
+			return poison(fmt.Errorf("datachan: payload: %w", err))
+		}
+		if crc := crc32.Checksum(payload, castagnoli); crc != rep.CRC {
+			return poison(fmt.Errorf("datachan: payload CRC mismatch (got %08x, want %08x)", crc, rep.CRC))
 		}
 	}
 	return &rep, payload, nil
@@ -84,10 +145,25 @@ func (m *Mount) Stat(name string) (FileInfo, error) {
 	return *rep.File, nil
 }
 
+// Checksum returns the whole-file SHA-256 (hex) and size as the export
+// sees them — the end-to-end integrity reference for a completed
+// transfer.
+func (m *Mount) Checksum(name string) (string, int64, error) {
+	rep, _, err := m.roundTrip(&request{Op: opChecksum, Name: name})
+	if err != nil {
+		return "", 0, err
+	}
+	if rep.File == nil || rep.Sum == "" {
+		return "", 0, fmt.Errorf("datachan: checksum %q: empty reply", name)
+	}
+	return rep.Sum, rep.File.Size, nil
+}
+
 // readChunk is the transfer unit for whole-file reads.
 const readChunk = 256 * 1024
 
-// ReadAt reads up to length bytes from offset.
+// ReadAt reads up to length bytes from offset. The chunk's CRC32C has
+// been verified against the reply header by the time it returns.
 func (m *Mount) ReadAt(name string, offset int64, length int) ([]byte, bool, error) {
 	rep, payload, err := m.roundTrip(&request{Op: opRead, Name: name, Offset: offset, Length: length})
 	if err != nil {
@@ -111,6 +187,56 @@ func (m *Mount) ReadAll(name string) ([]byte, error) {
 			return buf.Bytes(), nil
 		}
 	}
+}
+
+// verifyAttempts bounds ReadAllVerified's re-reads: a file that keeps
+// changing (still streaming) or keeps failing verification is an
+// error, not a retry loop.
+const verifyAttempts = 3
+
+// ReadAllVerified fetches a whole file and proves it intact end to
+// end: the assembled bytes must match the export-side SHA-256 and
+// size. A size mismatch (the file grew mid-read) re-reads; a digest
+// mismatch at matching size is corruption and fails.
+func (m *Mount) ReadAllVerified(name string) ([]byte, error) {
+	return readAllVerified(name, m.ReadAll, m.Checksum, nil)
+}
+
+// readAllVerified implements end-to-end verification over any
+// readAll/checksum pair; onMismatch (optional) observes digest
+// failures for telemetry.
+func readAllVerified(
+	name string,
+	readAll func(string) ([]byte, error),
+	checksum func(string) (string, int64, error),
+	onMismatch func(),
+) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < verifyAttempts; attempt++ {
+		data, err := readAll(name)
+		if err != nil {
+			return nil, err
+		}
+		sum, size, err := checksum(name)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(data)) != size {
+			// The file changed between read and checksum (e.g. still
+			// streaming): re-read rather than fail.
+			lastErr = fmt.Errorf("datachan: %q changed during transfer (read %d bytes, share now %d)", name, len(data), size)
+			continue
+		}
+		got := sha256.Sum256(data)
+		if hex.EncodeToString(got[:]) == sum {
+			return data, nil
+		}
+		if onMismatch != nil {
+			onMismatch()
+		}
+		lastErr = fmt.Errorf("datachan: end-to-end SHA-256 mismatch for %q", name)
+	}
+	return nil, fmt.Errorf("datachan: verified read of %q failed after %d attempts: %w", name, verifyAttempts, lastErr)
 }
 
 // EventType classifies a watch event.
@@ -149,7 +275,9 @@ type Watcher struct {
 	events chan Event
 	stop   chan struct{}
 	once   sync.Once
-	err    error
+
+	mu  sync.Mutex
+	err error
 }
 
 // Events returns the change stream. It is closed when the watcher
@@ -160,34 +288,79 @@ func (w *Watcher) Events() <-chan Event { return w.events }
 func (w *Watcher) Stop() { w.once.Do(func() { close(w.stop) }) }
 
 // Err returns the error that terminated the watcher, if any.
-func (w *Watcher) Err() error { return w.err }
+func (w *Watcher) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
 
-// Watch starts polling at the given interval.
+func (w *Watcher) setErr(err error) {
+	w.mu.Lock()
+	w.err = err
+	w.mu.Unlock()
+}
+
+// Watch starts polling at the given interval. Transient listing errors
+// are retried for a default grace window of 30 poll intervals (at
+// least one second) before the watcher gives up; use WatchGrace to
+// choose the window.
 func (m *Mount) Watch(interval time.Duration) *Watcher {
+	grace := 30 * interval
+	if grace < time.Second {
+		grace = time.Second
+	}
+	return m.WatchGrace(interval, grace)
+}
+
+// WatchGrace is Watch with an explicit error-grace window: a List
+// failure only terminates the watcher once errors have persisted for
+// the window (grace <= 0 retries forever). A poisoned mount terminates
+// immediately — it can never heal, so waiting out the grace would only
+// delay the report.
+func (m *Mount) WatchGrace(interval, grace time.Duration) *Watcher {
+	return startWatcher(m.List, m.Broken, interval, grace)
+}
+
+// startWatcher runs the shared poll loop over any lister. permanent
+// reports conditions no retry can heal (poisoned or closed transport).
+func startWatcher(list func() ([]FileInfo, error), permanent func() bool, interval, grace time.Duration) *Watcher {
 	w := &Watcher{events: make(chan Event, 64), stop: make(chan struct{})}
 	go func() {
 		defer close(w.events)
 		seen := make(map[string]FileInfo)
 		// Prime with the current listing so only subsequent changes
-		// are reported.
-		if files, err := m.List(); err == nil {
+		// are reported. The seen set survives reconnects, so a re-list
+		// after an outage never re-announces files already reported.
+		if files, err := list(); err == nil {
 			for _, f := range files {
 				seen[f.Name] = f
 			}
 		}
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
+		var failingSince time.Time
 		for {
 			select {
 			case <-w.stop:
 				return
 			case <-ticker.C:
 			}
-			files, err := m.List()
+			files, err := list()
 			if err != nil {
-				w.err = err
-				return
+				if permanent != nil && permanent() {
+					w.setErr(err)
+					return
+				}
+				if failingSince.IsZero() {
+					failingSince = time.Now()
+				}
+				if grace > 0 && time.Since(failingSince) >= grace {
+					w.setErr(err)
+					return
+				}
+				continue
 			}
+			failingSince = time.Time{}
 			for _, f := range files {
 				prev, ok := seen[f.Name]
 				switch {
@@ -213,41 +386,72 @@ func (m *Mount) Watch(interval time.Duration) *Watcher {
 }
 
 // WaitFor polls until a file whose name contains substr exists and its
-// size is stable across two polls, then returns its contents. It is
-// how the workflow retrieves a measurement file that may still be
-// streaming.
-func (m *Mount) WaitFor(substr string, poll time.Duration, timeout time.Duration) ([]byte, string, error) {
-	deadline := time.Now().Add(timeout)
+// size is stable across two polls, then returns its verified contents.
+// It is how the workflow retrieves a measurement file that may still
+// be streaming.
+func (m *Mount) WaitFor(substr string, poll, timeout time.Duration) ([]byte, string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return m.WaitForContext(ctx, substr, poll)
+}
+
+// WaitForContext is WaitFor bounded by a context instead of a fixed
+// timeout: the poll loop aborts promptly on cancellation, and
+// transient listing errors are tolerated until the deadline.
+func (m *Mount) WaitForContext(ctx context.Context, substr string, poll time.Duration) ([]byte, string, error) {
+	return waitFor(ctx, m, substr, poll)
+}
+
+// waitFor is the shared stable-file wait loop over any Share.
+func waitFor(ctx context.Context, s Share, substr string, poll time.Duration) ([]byte, string, error) {
 	lastSize := int64(-1)
 	lastName := ""
 	stable := 0
+	var lastErr error
 	// Two consecutive unchanged observations guard against sampling a
 	// writer mid-burst.
 	const stableNeeded = 2
-	for time.Now().Before(deadline) {
-		files, err := m.List()
-		if err != nil {
-			return nil, "", err
-		}
-		for _, f := range files {
-			if !containsName(f.Name, substr) {
-				continue
-			}
-			if f.Name == lastName && f.Size == lastSize && f.Size > 0 {
-				stable++
-				if stable >= stableNeeded {
-					data, err := m.ReadAll(f.Name)
-					return data, f.Name, err
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
+	for {
+		files, err := s.List()
+		switch {
+		case err == nil:
+			for _, f := range files {
+				if !containsName(f.Name, substr) {
+					continue
 				}
-			} else {
-				stable = 0
-				lastName, lastSize = f.Name, f.Size
+				if f.Name == lastName && f.Size == lastSize && f.Size > 0 {
+					stable++
+					if stable >= stableNeeded {
+						data, err := s.ReadAllVerified(f.Name)
+						return data, f.Name, err
+					}
+				} else {
+					stable = 0
+					lastName, lastSize = f.Name, f.Size
+				}
+				break
 			}
-			break
+		case s.Broken():
+			// The transport can never heal on its own; a plain mount
+			// reports immediately rather than spinning out the clock.
+			return nil, "", err
+		default:
+			// Transient: keep polling until the deadline.
+			lastErr = err
+			stable = 0
 		}
-		time.Sleep(poll)
+		timer.Reset(poll)
+		select {
+		case <-ctx.Done():
+			if lastErr != nil {
+				return nil, "", fmt.Errorf("datachan: timed out waiting for file matching %q (last error: %v)", substr, lastErr)
+			}
+			return nil, "", fmt.Errorf("datachan: timed out waiting for file matching %q", substr)
+		case <-timer.C:
+		}
 	}
-	return nil, "", fmt.Errorf("datachan: timed out waiting for file matching %q", substr)
 }
 
 func containsName(name, substr string) bool {

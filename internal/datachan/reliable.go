@@ -1,0 +1,352 @@
+package datachan
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ice/internal/backoff"
+	"ice/internal/telemetry"
+)
+
+// ErrReliableMountClosed is returned by every operation after Close.
+var ErrReliableMountClosed = errors.New("datachan: reliable mount closed")
+
+// MountStats counts the reliability machinery's interventions on one
+// ReliableMount. All zeros on a healthy fabric.
+type MountStats struct {
+	// Redials counts reconnections after the initial dial.
+	Redials int64
+	// Resumes counts interrupted whole-file reads continued from their
+	// last verified offset instead of restarting.
+	Resumes int64
+	// ChecksumFailures counts end-to-end SHA-256 verification failures.
+	ChecksumFailures int64
+	// BytesResumed totals the already-verified bytes that did not need
+	// re-reading across all resumes.
+	BytesResumed int64
+}
+
+// ReliableMount is a self-healing data-channel mount: the reliability
+// layer symmetric to the control channel's ReconnectingProxy. It
+// redials the export with jittered capped backoff after transport
+// failures, never reuses a desynchronized stream (any mid-frame error
+// poisons the underlying Mount, which is then replaced), resumes
+// interrupted whole-file reads from the last verified offset, and
+// verifies completed transfers end to end against the export-side
+// SHA-256. Remote application errors (missing file, bad name) are
+// answers, not transport failures, and are never retried.
+//
+// It is safe for concurrent use.
+type ReliableMount struct {
+	dial func() (net.Conn, error)
+
+	// MaxRetries bounds redial attempts per operation (default 3).
+	MaxRetries int
+	// Backoff is the initial redial delay, doubled per attempt with
+	// ±50% jitter (default 50 ms).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2 s).
+	MaxBackoff time.Duration
+	// ChunkBytes is the whole-file read transfer unit (default 256 KiB).
+	// Smaller chunks checkpoint verified progress more often under a
+	// lossy link at the cost of more round trips.
+	ChunkBytes int
+
+	rng backoff.Policy
+
+	mu     sync.Mutex
+	mount  *Mount
+	closed bool
+	dialed bool
+
+	redials          atomic.Int64
+	resumes          atomic.Int64
+	checksumFailures atomic.Int64
+	bytesResumed     atomic.Int64
+	metrics          atomic.Pointer[telemetry.Collector]
+
+	// done unblocks backoff sleeps when the handle is closed.
+	done chan struct{}
+}
+
+// NewReliableMount returns a handle that dials lazily on first use.
+func NewReliableMount(dial func() (net.Conn, error)) *ReliableMount {
+	return &ReliableMount{
+		dial:       dial,
+		MaxRetries: 3,
+		Backoff:    50 * time.Millisecond,
+		MaxBackoff: 2 * time.Second,
+		done:       make(chan struct{}),
+	}
+}
+
+// SetMetrics attaches a telemetry collector; the mount counts
+// "datachan.redials", "datachan.resumes", "datachan.checksum_failures"
+// and "datachan.bytes_resumed".
+func (r *ReliableMount) SetMetrics(c *telemetry.Collector) { r.metrics.Store(c) }
+
+func (r *ReliableMount) count(name string, delta int64) {
+	if c := r.metrics.Load(); c != nil {
+		c.Counter(name).Add(delta)
+	}
+}
+
+// Stats snapshots the reliability counters.
+func (r *ReliableMount) Stats() MountStats {
+	return MountStats{
+		Redials:          r.redials.Load(),
+		Resumes:          r.resumes.Load(),
+		ChecksumFailures: r.checksumFailures.Load(),
+		BytesResumed:     r.bytesResumed.Load(),
+	}
+}
+
+// Broken reports whether the mount is permanently unusable, which for
+// a self-healing mount means closed.
+func (r *ReliableMount) Broken() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// Close shuts the handle down; subsequent operations fail and
+// in-flight backoff sleeps abort.
+func (r *ReliableMount) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	m := r.mount
+	r.mount = nil
+	r.mu.Unlock()
+	close(r.done)
+	if m != nil {
+		return m.Close()
+	}
+	return nil
+}
+
+// current returns a live underlying mount, dialing (and counting a
+// redial after the first dial) if the previous one broke.
+func (r *ReliableMount) current() (*Mount, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrReliableMountClosed
+	}
+	if r.mount != nil && !r.mount.Broken() {
+		return r.mount, nil
+	}
+	if r.mount != nil {
+		r.mount.Close()
+		r.mount = nil
+	}
+	if r.dialed {
+		r.redials.Add(1)
+		r.count("datachan.redials", 1)
+	}
+	conn, err := r.dial()
+	r.dialed = true
+	if err != nil {
+		return nil, err
+	}
+	r.mount = NewMount(conn)
+	return r.mount, nil
+}
+
+// dropIf discards the cached mount if it is still the failed one.
+func (r *ReliableMount) dropIf(m *Mount) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.mount == m {
+		r.mount.Close()
+		r.mount = nil
+	}
+}
+
+// retryable reports whether err is a transport failure worth a redial
+// (remote application errors and handle closure are not).
+func retryable(err error) bool {
+	var remote *RemoteError
+	return err != nil && !errors.As(err, &remote) && !errors.Is(err, ErrReliableMountClosed)
+}
+
+// do runs op against a live mount, redialing across transport
+// failures up to MaxRetries times.
+func (r *ReliableMount) do(op func(*Mount) error) error {
+	seq := r.rng.StartWith(r.Backoff, r.MaxBackoff)
+	var lastErr error
+	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if !seq.Sleep(r.done) {
+				return ErrReliableMountClosed
+			}
+		}
+		m, err := r.current()
+		if err != nil {
+			if errors.Is(err, ErrReliableMountClosed) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		err = op(m)
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		lastErr = err
+		r.dropIf(m)
+	}
+	return fmt.Errorf("datachan: operation failed after %d attempts: %w", r.MaxRetries+1, lastErr)
+}
+
+// List returns the shared files sorted by name.
+func (r *ReliableMount) List() ([]FileInfo, error) {
+	var files []FileInfo
+	err := r.do(func(m *Mount) error {
+		var err error
+		files, err = m.List()
+		return err
+	})
+	return files, err
+}
+
+// Stat returns metadata for one file.
+func (r *ReliableMount) Stat(name string) (FileInfo, error) {
+	var fi FileInfo
+	err := r.do(func(m *Mount) error {
+		var err error
+		fi, err = m.Stat(name)
+		return err
+	})
+	return fi, err
+}
+
+// Checksum returns the export-side whole-file SHA-256 (hex) and size.
+func (r *ReliableMount) Checksum(name string) (string, int64, error) {
+	var sum string
+	var size int64
+	err := r.do(func(m *Mount) error {
+		var err error
+		sum, size, err = m.Checksum(name)
+		return err
+	})
+	return sum, size, err
+}
+
+// ReadAt reads up to length bytes from offset (CRC-verified per
+// chunk), retrying across transport failures.
+func (r *ReliableMount) ReadAt(name string, offset int64, length int) ([]byte, bool, error) {
+	var payload []byte
+	var eof bool
+	err := r.do(func(m *Mount) error {
+		var err error
+		payload, eof, err = m.ReadAt(name, offset, length)
+		return err
+	})
+	return payload, eof, err
+}
+
+// ReadAll fetches a whole file. A transport failure mid-transfer
+// redials and resumes from the last CRC-verified offset: bytes already
+// received are never re-fetched, so at most one in-flight chunk is
+// read twice per interruption.
+func (r *ReliableMount) ReadAll(name string) ([]byte, error) {
+	chunk := r.ChunkBytes
+	if chunk <= 0 {
+		chunk = readChunk
+	}
+	seq := r.rng.StartWith(r.Backoff, r.MaxBackoff)
+	var buf bytes.Buffer
+	var off int64
+	failures := 0
+	for {
+		m, err := r.current()
+		if err != nil {
+			if errors.Is(err, ErrReliableMountClosed) {
+				return nil, err
+			}
+			failures++
+			if failures > r.MaxRetries {
+				return nil, fmt.Errorf("datachan: read of %q failed after %d attempts: %w", name, failures, err)
+			}
+			if !seq.Sleep(r.done) {
+				return nil, ErrReliableMountClosed
+			}
+			continue
+		}
+		payload, eof, err := m.ReadAt(name, off, chunk)
+		if err != nil {
+			if !retryable(err) {
+				return nil, err
+			}
+			r.dropIf(m)
+			failures++
+			if failures > r.MaxRetries {
+				return nil, fmt.Errorf("datachan: read of %q failed after %d attempts: %w", name, failures, err)
+			}
+			if off > 0 {
+				// The next attempt continues at off instead of byte 0.
+				r.resumes.Add(1)
+				r.count("datachan.resumes", 1)
+				r.bytesResumed.Add(off)
+				r.count("datachan.bytes_resumed", off)
+			}
+			if !seq.Sleep(r.done) {
+				return nil, ErrReliableMountClosed
+			}
+			continue
+		}
+		// Progress resets the retry budget and backoff: a long transfer
+		// over a flaky link should survive many separated interruptions,
+		// just never spin on a link that is down outright.
+		failures = 0
+		seq = r.rng.StartWith(r.Backoff, r.MaxBackoff)
+		buf.Write(payload)
+		off += int64(len(payload))
+		if eof || len(payload) == 0 {
+			return buf.Bytes(), nil
+		}
+	}
+}
+
+// ReadAllVerified is ReadAll plus end-to-end SHA-256 verification
+// against the export; digest mismatches are counted and re-read.
+func (r *ReliableMount) ReadAllVerified(name string) ([]byte, error) {
+	return readAllVerified(name, r.ReadAll, r.Checksum, func() {
+		r.checksumFailures.Add(1)
+		r.count("datachan.checksum_failures", 1)
+	})
+}
+
+// WaitFor polls until a file matching substr is stable, then returns
+// its verified contents, riding out transport failures throughout.
+func (r *ReliableMount) WaitFor(substr string, poll, timeout time.Duration) ([]byte, string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return r.WaitForContext(ctx, substr, poll)
+}
+
+// WaitForContext is WaitFor bounded by a context.
+func (r *ReliableMount) WaitForContext(ctx context.Context, substr string, poll time.Duration) ([]byte, string, error) {
+	return waitFor(ctx, r, substr, poll)
+}
+
+// Watch starts a self-healing watcher: polls ride through redials, the
+// seen-set survives reconnects so a re-list after an outage reports
+// each file exactly once, and the watcher only stops on Stop or Close
+// (it never gives up on a link that might heal).
+func (r *ReliableMount) Watch(interval time.Duration) *Watcher {
+	return startWatcher(r.List, r.Broken, interval, 0)
+}

@@ -7,11 +7,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/big"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ice/internal/backoff"
 	"ice/internal/telemetry"
 )
 
@@ -52,7 +52,7 @@ type ReconnectingProxy struct {
 	dialed      bool
 	exactlyOnce map[string]bool
 	metrics     *telemetry.Collector
-	rngState    uint64
+	rng         backoff.Policy
 
 	// done unblocks backoff sleeps when the handle is closed.
 	done chan struct{}
@@ -161,33 +161,6 @@ func (r *ReconnectingProxy) dropIf(p *Proxy) {
 	}
 }
 
-// jitter spreads d uniformly over [d/2, 3d/2) with a cheap xorshift
-// generator so a fleet of clients recovering from the same outage
-// doesn't hammer the daemon in lockstep.
-func (r *ReconnectingProxy) jitter(d time.Duration) time.Duration {
-	if d <= 0 {
-		return 0
-	}
-	r.mu.Lock()
-	if r.rngState == 0 {
-		seed, err := rand.Int(rand.Reader, big.NewInt(1<<62))
-		if err == nil && seed.Int64() != 0 {
-			r.rngState = uint64(seed.Int64())
-		} else {
-			r.rngState = uint64(time.Now().UnixNano()) | 1
-		}
-	}
-	r.rngState ^= r.rngState << 13
-	r.rngState ^= r.rngState >> 7
-	r.rngState ^= r.rngState << 17
-	u := r.rngState
-	r.mu.Unlock()
-	if int64(d) <= 1 {
-		return d
-	}
-	return d/2 + time.Duration(u%uint64(d))
-}
-
 // Call invokes the remote method, redialing across transport failures.
 func (r *ReconnectingProxy) Call(method string, args ...any) (json.RawMessage, error) {
 	return r.CallCtx(context.Background(), method, args...)
@@ -196,14 +169,7 @@ func (r *ReconnectingProxy) Call(method string, args ...any) (json.RawMessage, e
 // CallCtx is Call honoring ctx: backoff sleeps, dial waits and the
 // in-flight request all abort when ctx is done or the handle closed.
 func (r *ReconnectingProxy) CallCtx(ctx context.Context, method string, args ...any) (json.RawMessage, error) {
-	backoff := r.Backoff
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
-	maxBackoff := r.MaxBackoff
-	if maxBackoff <= 0 {
-		maxBackoff = 2 * time.Second
-	}
+	seq := r.rng.StartWith(r.Backoff, r.MaxBackoff)
 	callID := ""
 	if r.needsCallID(method) {
 		callID = fmt.Sprintf("%s-%d", r.callPrefix, r.callSeq.Add(1))
@@ -212,12 +178,7 @@ func (r *ReconnectingProxy) CallCtx(ctx context.Context, method string, args ...
 	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
 		if attempt > 0 {
 			r.counterInc("pyro.retries")
-			delay := r.jitter(backoff)
-			backoff *= 2
-			if backoff > maxBackoff {
-				backoff = maxBackoff
-			}
-			timer := time.NewTimer(delay)
+			timer := time.NewTimer(seq.Next())
 			select {
 			case <-timer.C:
 			case <-ctx.Done():
