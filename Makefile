@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-parallel bench-parallel-quick fuzz
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
+
+# Full benchmark sweep (figures + ablations + parallelism).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate BENCH_parallel.json — the fleet/pipelining/ML parallelism record.
+bench-parallel:
+	$(GO) run ./cmd/benchparallel -o BENCH_parallel.json
+
+# Fast variant for CI smoke: small transfers, single repetitions.
+bench-parallel-quick:
+	$(GO) run ./cmd/benchparallel -quick -o BENCH_parallel.json
+
+fuzz:
+	for pkg in $$($(GO) list ./...); do \
+		for target in $$($(GO) test -list '^Fuzz' "$$pkg" | grep '^Fuzz' || true); do \
+			$(GO) test -run "^$$target$$" -fuzz "^$$target$$" -fuzztime=10s "$$pkg" || exit 1; \
+		done; \
+	done

@@ -223,6 +223,58 @@ func BenchmarkDataChannelThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkReadAllReadahead quantifies data-channel pipelining on the
+// netsim WAN: the same 1 MiB retrieval at 64 KiB chunks with 1 (strict
+// request/reply), 4 and 8 chunk requests in flight. Serial pays one
+// round trip per chunk; the windowed read pays it once, so throughput
+// approaches the link's bandwidth limit.
+func BenchmarkReadAllReadahead(b *testing.B) {
+	dir, err := os.MkdirTemp("", "ice-ra-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	const size = 4 << 20
+	if err := os.WriteFile(filepath.Join(dir, "bulk.mpt"), bytes.Repeat([]byte{0x42}, size), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	for _, window := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			network, err := netsim.PaperTopology()
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, err := network.Listen(netsim.HostControlAgent, netsim.PaperPorts.Data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exp := datachan.NewExport(dir, l)
+			go exp.Serve()
+			b.Cleanup(func() { exp.Close() })
+			conn, err := network.Dial(netsim.HostDGX, fmt.Sprintf("%s:%d", netsim.HostControlAgent, netsim.PaperPorts.Data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			mount := datachan.NewMount(conn)
+			b.Cleanup(func() { mount.Close() })
+			mount.SetReadahead(window)
+			mount.SetChunkBytes(64 << 10)
+
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := mount.ReadAll("bulk.mpt")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(data) != size {
+					b.Fatalf("got %d bytes", len(data))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkChannelSeparation quantifies the design choice the paper
 // motivates in §3.1: control-command latency while the data channel is
 // saturated with bulk transfers. Compare against
@@ -430,6 +482,84 @@ func BenchmarkCampaignRound(b *testing.B) {
 		if _, err := exec.Run(campaign.ScanRateLadder{RatesMVs: []float64{50}, ConcentrationMM: 2}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCampaignFleet compares N campaigns run back-to-back against
+// the same N run as a concurrent fleet over one deployment. The
+// speedup comes from overlap, not cores: while one cell holds the
+// instrument gate, its siblings' WAN retrievals and analyses proceed —
+// so the fleet wins even at GOMAXPROCS=1.
+func BenchmarkCampaignFleet(b *testing.B) {
+	ladder := func() campaign.Planner {
+		return campaign.ScanRateLadder{RatesMVs: []float64{50}, ConcentrationMM: 2}
+	}
+	const cells = 3
+	for _, mode := range []string{"serial", "fleet"} {
+		b.Run(fmt.Sprintf("%s-%dcells", mode, cells), func(b *testing.B) {
+			dep, err := core.Deploy(b.TempDir(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { dep.Close() })
+			if err := dep.AttachLab(1, 0); err != nil {
+				b.Fatal(err)
+			}
+			planners := make([]campaign.Planner, cells)
+			for i := range planners {
+				planners[i] = ladder()
+			}
+			fleet, cleanup, err := campaign.ConnectFleet(dep, netsim.HostDGX, planners)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(cleanup)
+			for _, cell := range fleet.Cells {
+				cell.Executor.CVPoints = 400
+			}
+			if mode == "serial" {
+				fleet.Workers = 1
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := fleet.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnsembleFitWorkers measures EOT training across worker
+// counts (the model is identical for all of them). Scaling tracks
+// available cores; at GOMAXPROCS=1 the parallel path only adds handoff
+// overhead, which this benchmark also quantifies.
+func BenchmarkEnsembleFitWorkers(b *testing.B) {
+	x := make([][]float64, 300)
+	y := make([]int, 300)
+	for i := range x {
+		row := make([]float64, 49)
+		for j := range row {
+			row[j] = math.Sin(float64(i*7+j*13)) + float64(i%3)
+		}
+		x[i] = row
+		y[i] = i % 3
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := &ml.Ensemble{Trees: 30, MaxDepth: 8, MinLeaf: 1, Seed: 5, Workers: workers}
+				if err := e.Fit(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -45,6 +45,8 @@ func main() {
 	rate := flag.Float64("scan-rate", 50, "CV scan rate in mV/s")
 	token := flag.String("token", "", "control-channel credential (must match the agent's -token)")
 	targetUA := flag.Float64("target-peak", 30, "campaign target anodic peak in µA")
+	fleetN := flag.Int("fleet", 1, "campaign: run N concurrent campaigns sharing the lab (targets spread ±20% around -target-peak)")
+	readahead := flag.Int("readahead", datachan.DefaultReadahead, "data channel: chunk requests kept in flight per whole-file read (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "overall command deadline (0 = none), e.g. 15m")
 	reliable := flag.Bool("reliable", false, "retry commands across transport faults with exactly-once semantics")
 	reliableData := flag.Bool("reliable-data", false, "self-healing data mount: redial the share and resume interrupted transfers from the last verified offset")
@@ -76,17 +78,25 @@ func main() {
 	defer session.Close()
 
 	dataAddr := fmt.Sprintf("%s:%d", *agentHost, *dataPort)
-	var mount datachan.Share
-	if *reliableData {
-		mount = datachan.NewReliableMount(func() (net.Conn, error) {
-			return net.Dial("tcp", dataAddr)
-		})
-	} else {
+	newMount := func() (datachan.Share, error) {
+		if *reliableData {
+			rm := datachan.NewReliableMount(func() (net.Conn, error) {
+				return net.Dial("tcp", dataAddr)
+			})
+			rm.Readahead = *readahead
+			return rm, nil
+		}
 		mountConn, err := net.Dial("tcp", dataAddr)
 		if err != nil {
-			log.Fatalf("data channel: %v", err)
+			return nil, err
 		}
-		mount = datachan.NewMount(mountConn)
+		m := datachan.NewMount(mountConn)
+		m.SetReadahead(*readahead)
+		return m, nil
+	}
+	mount, err := newMount()
+	if err != nil {
+		log.Fatalf("data channel: %v", err)
 	}
 	defer mount.Close()
 
@@ -253,26 +263,75 @@ func main() {
 
 	case "campaign":
 		// Requires the agent to run with -lab.
-		lab, err := core.ConnectLabSessionToken(uri, nil, *token)
+		if *fleetN <= 1 {
+			lab, err := core.ConnectLabSessionToken(uri, nil, *token)
+			if err != nil {
+				log.Fatalf("lab stations unreachable (start the agent with -lab): %v", err)
+			}
+			defer lab.Close()
+			exec := &campaign.Executor{Session: lab, Mount: mount, CVPoints: 800}
+			planner := &campaign.TargetPeakSearch{
+				TargetPeakUA: *targetUA, MinMM: 0.25, MaxMM: 5,
+			}
+			history, err := exec.Run(planner)
+			if err != nil {
+				log.Fatalf("campaign after %d rounds: %v", len(history), err)
+			}
+			fmt.Println("round  conc(mM)  peak")
+			for _, obs := range history {
+				fmt.Printf("%5d  %8.3f  %v\n", obs.Round, obs.Params.ConcentrationMM, obs.Peak)
+			}
+			last := history[len(history)-1]
+			fmt.Printf("converged: %.3f mM gives %v (target %.1f µA)\n",
+				last.Params.ConcentrationMM, last.Peak, *targetUA)
+			break
+		}
+
+		// Fleet mode: N concurrent target-peak searches share the lab.
+		// The instrument phase serialises on the fleet gate while each
+		// cell's WAN retrieval and analysis overlap its siblings'
+		// acquisitions. Targets spread ±20% around -target-peak so the
+		// fleet maps the concentration–peak curve, not one point N times.
+		fleet := &campaign.Fleet{History: &campaign.SharedHistory{}}
+		for i := 0; i < *fleetN; i++ {
+			lab, err := core.ConnectLabSessionToken(uri, nil, *token)
+			if err != nil {
+				log.Fatalf("fleet cell %d: lab stations unreachable (start the agent with -lab): %v", i+1, err)
+			}
+			defer lab.Close()
+			cellMount, err := newMount()
+			if err != nil {
+				log.Fatalf("fleet cell %d: data channel: %v", i+1, err)
+			}
+			defer cellMount.Close()
+			spread := 1.0
+			if *fleetN > 1 {
+				spread = 0.8 + 0.4*float64(i)/float64(*fleetN-1)
+			}
+			fleet.Cells = append(fleet.Cells, campaign.FleetCell{
+				Executor: &campaign.Executor{Session: lab, Mount: cellMount, CVPoints: 800},
+				Planner: &campaign.TargetPeakSearch{
+					TargetPeakUA: *targetUA * spread, MinMM: 0.25, MaxMM: 5,
+				},
+			})
+		}
+		start := time.Now()
+		results, err := fleet.Run(ctx)
 		if err != nil {
-			log.Fatalf("lab stations unreachable (start the agent with -lab): %v", err)
+			log.Fatal(err)
 		}
-		defer lab.Close()
-		exec := &campaign.Executor{Session: lab, Mount: mount, CVPoints: 800}
-		planner := &campaign.TargetPeakSearch{
-			TargetPeakUA: *targetUA, MinMM: 0.25, MaxMM: 5,
+		fmt.Printf("fleet of %d campaigns finished in %v (%d observations)\n",
+			len(results), time.Since(start).Round(time.Millisecond), fleet.History.Len())
+		fmt.Println("cell     rounds  conc(mM)  peak")
+		for _, res := range results {
+			if res.Err != nil {
+				fmt.Printf("%-8s FAILED after %d rounds: %v\n", res.Name, len(res.History), res.Err)
+				continue
+			}
+			last := res.History[len(res.History)-1]
+			fmt.Printf("%-8s %6d  %8.3f  %v\n",
+				res.Name, len(res.History), last.Params.ConcentrationMM, last.Peak)
 		}
-		history, err := exec.Run(planner)
-		if err != nil {
-			log.Fatalf("campaign after %d rounds: %v", len(history), err)
-		}
-		fmt.Println("round  conc(mM)  peak")
-		for _, obs := range history {
-			fmt.Printf("%5d  %8.3f  %v\n", obs.Round, obs.Params.ConcentrationMM, obs.Peak)
-		}
-		last := history[len(history)-1]
-		fmt.Printf("converged: %.3f mM gives %v (target %.1f µA)\n",
-			last.Params.ConcentrationMM, last.Peak, *targetUA)
 
 	case "qos":
 		files, err := mount.List()

@@ -10,7 +10,10 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"ice/internal/analysis"
@@ -67,6 +70,19 @@ type Executor struct {
 	CVPoints int
 	// VolumeML synthesised per round (default 8).
 	VolumeML float64
+	// InstrumentGate, when set, serialises the physical phase of a
+	// round (cell prep, instrument bring-up, acquisition) against other
+	// executors driving the same lab. The gate is released as soon as
+	// the measurement file is complete on the agent's disk, so one
+	// campaign's WAN retrieval and analysis overlap the next campaign's
+	// instrument time — the concurrency a fleet exploits.
+	InstrumentGate sync.Locker
+	// PlannerLock, when set, guards planner calls; required when one
+	// stateful planner instance steers several concurrent campaigns.
+	PlannerLock sync.Locker
+	// Observe, when set, is called after every completed round (fleets
+	// use it to maintain a shared cross-cell history).
+	Observe func(Observation)
 
 	potentiostatUp bool
 }
@@ -75,6 +91,13 @@ type Executor struct {
 // potentiostat is brought up lazily on the first round and left
 // connected between rounds.
 func (e *Executor) Run(p Planner) ([]Observation, error) {
+	return e.RunContext(context.Background(), p)
+}
+
+// RunContext is Run bounded by a context: cancellation stops the
+// campaign at the next phase boundary, returning the rounds completed
+// so far alongside the context's error.
+func (e *Executor) RunContext(ctx context.Context, p Planner) ([]Observation, error) {
 	if e.Session == nil || e.Mount == nil {
 		return nil, fmt.Errorf("campaign: executor needs session and mount")
 	}
@@ -93,48 +116,83 @@ func (e *Executor) Run(p Planner) ([]Observation, error) {
 
 	var history []Observation
 	for round := 1; round <= maxRounds; round++ {
-		params, done, err := p.Next(history)
+		if err := ctx.Err(); err != nil {
+			return history, fmt.Errorf("campaign: %w", err)
+		}
+		params, done, err := e.plan(p, history)
 		if err != nil {
 			return history, fmt.Errorf("campaign: planner %s: %w", p.Name(), err)
 		}
 		if done {
 			return history, nil
 		}
-		obs, err := e.runRound(round, params, points, volume)
+		obs, err := e.runRound(ctx, round, params, points, volume)
 		if err != nil {
 			return history, fmt.Errorf("campaign: round %d: %w", round, err)
 		}
 		history = append(history, *obs)
+		if e.Observe != nil {
+			e.Observe(*obs)
+		}
 	}
 	return history, fmt.Errorf("campaign: planner %s did not converge in %d rounds", p.Name(), maxRounds)
 }
 
-func (e *Executor) runRound(round int, params Params, points int, volumeML float64) (*Observation, error) {
+// plan consults the planner, under the planner lock when one is set.
+func (e *Executor) plan(p Planner, history []Observation) (Params, bool, error) {
+	if e.PlannerLock != nil {
+		e.PlannerLock.Lock()
+		defer e.PlannerLock.Unlock()
+	}
+	return p.Next(history)
+}
+
+func (e *Executor) runRound(ctx context.Context, round int, params Params, points int, volumeML float64) (*Observation, error) {
 	obs := &Observation{Round: round, Params: params}
+	name, err := e.acquireRound(ctx, obs, params, points, volumeML)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.retrieveRound(ctx, obs, name); err != nil {
+		return nil, err
+	}
+	return obs, nil
+}
+
+// acquireRound is the physical phase of a round — everything that
+// needs exclusive use of the cell and instrument. It returns the name
+// of the completed measurement file. GetTechPathRslt blocks until
+// acquisition has finished streaming to the agent's disk, so when this
+// returns the lab is free for the next campaign even though this
+// round's data has not yet crossed the WAN.
+func (e *Executor) acquireRound(ctx context.Context, obs *Observation, params Params, points int, volumeML float64) (string, error) {
+	if e.InstrumentGate != nil {
+		e.InstrumentGate.Lock()
+		defer e.InstrumentGate.Unlock()
+	}
+	// The gate wait can be long in a busy fleet; honor cancellation
+	// before touching the cell.
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 
 	if params.ConcentrationMM > 0 {
 		if _, err := e.Session.DrainCell(); err != nil {
-			return nil, fmt.Errorf("drain: %w", err)
+			return "", fmt.Errorf("drain: %w", err)
 		}
 		batch, err := e.Session.SynthesizeFerrocene(params.ConcentrationMM, volumeML)
 		if err != nil {
-			return nil, fmt.Errorf("synthesis: %w", err)
+			return "", fmt.Errorf("synthesis: %w", err)
 		}
 		if _, err := e.Session.TransferBatchToCell(batch.ID); err != nil {
-			return nil, fmt.Errorf("transfer: %w", err)
+			return "", fmt.Errorf("transfer: %w", err)
 		}
 		obs.AchievedMM = batch.AchievedMM
 	}
 
 	if !e.potentiostatUp {
-		if _, err := e.Session.CallInitializeSP200API(core.PaperSystemParams()); err != nil {
-			return nil, err
-		}
-		if _, err := e.Session.CallConnectSP200(); err != nil {
-			return nil, err
-		}
-		if _, err := e.Session.CallLoadFirmwareSP200(); err != nil {
-			return nil, err
+		if err := e.bringUp(); err != nil {
+			return "", err
 		}
 		e.potentiostatUp = true
 	}
@@ -145,32 +203,59 @@ func (e *Executor) runRound(round int, params Params, points int, volumeML float
 	}
 	cv.Points = points
 	if _, err := e.Session.CallInitializeCVTechSP200(cv); err != nil {
-		return nil, err
+		return "", err
 	}
 	if _, err := e.Session.CallLoadTechniqueSP200(); err != nil {
-		return nil, err
+		return "", err
 	}
 	if _, err := e.Session.CallStartChannelSP200(); err != nil {
-		return nil, err
+		return "", err
 	}
-	name, err := e.Session.CallGetTechPathRslt()
-	if err != nil {
-		return nil, err
+	return e.Session.CallGetTechPathRslt()
+}
+
+// bringUp walks the SP200 through Initialize→Connect→LoadFirmware. In
+// a fleet, another campaign may already have brought the shared
+// instrument up — Initialize from any state but off fails with
+// ErrBadState — so a firmware-loaded instrument is taken as ready
+// rather than an error.
+func (e *Executor) bringUp() error {
+	if status, err := e.Session.SP200Status(); err == nil &&
+		strings.Contains(status, potentiostat.StateFirmwareLoaded.String()) {
+		return nil
 	}
-	data, _, err := e.Mount.WaitFor(name, 10*time.Millisecond, 2*time.Minute)
+	if _, err := e.Session.CallInitializeSP200API(core.PaperSystemParams()); err != nil {
+		return err
+	}
+	if _, err := e.Session.CallConnectSP200(); err != nil {
+		return err
+	}
+	if _, err := e.Session.CallLoadFirmwareSP200(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// retrieveRound is the data phase of a round: pull the measurement
+// file across the WAN (digest-verified) and analyze it. It runs
+// outside the instrument gate.
+func (e *Executor) retrieveRound(ctx context.Context, obs *Observation, name string) error {
+	waitCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	data, _, err := e.Mount.WaitForContext(waitCtx, name, 10*time.Millisecond)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	mf, err := potentiostat.ParseMPT(bytes.NewReader(data))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	pot, cur := analysis.FromRecords(mf.Records)
 	summary, err := analysis.AnalyzeCV(pot, cur, units.Celsius(25))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	obs.Peak = summary.AnodicPeak
 	obs.Summary = summary
-	return obs, nil
+	return nil
 }

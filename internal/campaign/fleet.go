@@ -1,0 +1,177 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ice/internal/core"
+)
+
+// FleetCell is one member of a fleet: a named campaign with its own
+// cross-facility handles and planner, sharing the deployment's lab
+// with its siblings.
+type FleetCell struct {
+	// Name labels the cell in results and logs.
+	Name string
+	// Executor holds the cell's session and mount. Fleet.Run installs
+	// the shared instrument gate, planner lock and history hook on it.
+	Executor *Executor
+	// Planner steers this cell. Distinct cells may share one stateful
+	// planner instance; Fleet serialises its calls via PlannerLock.
+	Planner Planner
+}
+
+// FleetResult is one cell's outcome: its per-cell observation history
+// and terminal error, if any.
+type FleetResult struct {
+	Name    string
+	History []Observation
+	Err     error
+}
+
+// SharedHistory is a concurrency-safe observation log a fleet feeds
+// through each executor's Observe hook, so a shared planner or a live
+// monitor sees every cell's completed rounds as they land.
+type SharedHistory struct {
+	mu  sync.Mutex
+	obs []Observation
+}
+
+// Append records one completed observation.
+func (h *SharedHistory) Append(o Observation) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.obs = append(h.obs, o)
+}
+
+// Snapshot returns the observations in completion order.
+func (h *SharedHistory) Snapshot() []Observation {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Observation, len(h.obs))
+	copy(out, h.obs)
+	return out
+}
+
+// Len reports how many observations have landed.
+func (h *SharedHistory) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.obs)
+}
+
+// Fleet runs several campaigns concurrently over one deployment. The
+// physical phase of each round (cell prep, acquisition) is serialised
+// on a shared instrument gate, while WAN retrieval and analysis of one
+// cell's round overlap the next cell's instrument time — so a fleet of
+// N campaigns finishes well ahead of N sequential ones even with a
+// single potentiostat.
+type Fleet struct {
+	// Cells are the member campaigns.
+	Cells []FleetCell
+	// Workers bounds how many campaigns run concurrently (default: all
+	// cells). Excess cells queue for a free worker.
+	Workers int
+	// Gate serialises instrument access across cells. Left nil, Run
+	// installs one shared mutex — the correct default when every cell
+	// drives the same deployment. Executors that already carry a gate
+	// keep it.
+	Gate sync.Locker
+	// History, when set, accumulates every cell's observations (in
+	// completion order) alongside the per-cell histories.
+	History *SharedHistory
+}
+
+// Run executes all cells and returns one result per cell, in Cells
+// order. Cancelling ctx stops every campaign at its next phase
+// boundary; the partial histories are still returned. Run itself only
+// errors on misconfiguration — per-cell failures land in the results,
+// so one cell's dead planner does not discard its siblings' science.
+func (f *Fleet) Run(ctx context.Context) ([]FleetResult, error) {
+	if len(f.Cells) == 0 {
+		return nil, fmt.Errorf("campaign: fleet has no cells")
+	}
+	for i := range f.Cells {
+		if f.Cells[i].Executor == nil || f.Cells[i].Planner == nil {
+			return nil, fmt.Errorf("campaign: fleet cell %d needs executor and planner", i)
+		}
+		if f.Cells[i].Name == "" {
+			f.Cells[i].Name = fmt.Sprintf("cell-%02d", i+1)
+		}
+	}
+	gate := f.Gate
+	if gate == nil {
+		gate = &sync.Mutex{}
+	}
+	// One fleet-wide planner lock: a stateful planner instance shared
+	// between cells is never consulted concurrently. Planner calls are
+	// pure computation, so the serialisation costs nothing next to a
+	// round's instrument and WAN time.
+	plannerLock := &sync.Mutex{}
+	for i := range f.Cells {
+		ex := f.Cells[i].Executor
+		if ex.InstrumentGate == nil {
+			ex.InstrumentGate = gate
+		}
+		if ex.PlannerLock == nil {
+			ex.PlannerLock = plannerLock
+		}
+		if f.History != nil && ex.Observe == nil {
+			ex.Observe = f.History.Append
+		}
+	}
+
+	workers := f.Workers
+	if workers <= 0 || workers > len(f.Cells) {
+		workers = len(f.Cells)
+	}
+	results := make([]FleetResult, len(f.Cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				cell := f.Cells[i]
+				history, err := cell.Executor.RunContext(ctx, cell.Planner)
+				results[i] = FleetResult{Name: cell.Name, History: history, Err: err}
+			}
+		}()
+	}
+	for i := range f.Cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, nil
+}
+
+// ConnectFleet opens one lab session and data mount per planner from
+// host and assembles a Fleet over the deployment, with a shared
+// instrument gate and shared history pre-wired. Close the returned
+// fleet's handles with the cleanup function.
+func ConnectFleet(d *core.Deployment, host string, planners []Planner) (*Fleet, func(), error) {
+	fleet := &Fleet{History: &SharedHistory{}}
+	var cleanups []func()
+	cleanup := func() {
+		for _, c := range cleanups {
+			c()
+		}
+	}
+	for i, p := range planners {
+		session, mount, err := d.ConnectLabFrom(host)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("campaign: connect fleet cell %d: %w", i+1, err)
+		}
+		cleanups = append(cleanups, func() { session.Close(); mount.Close() })
+		fleet.Cells = append(fleet.Cells, FleetCell{
+			Name:     fmt.Sprintf("cell-%02d", i+1),
+			Executor: &Executor{Session: session, Mount: mount},
+			Planner:  p,
+		})
+	}
+	return fleet, cleanup, nil
+}

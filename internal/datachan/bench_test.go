@@ -2,6 +2,7 @@ package datachan
 
 import (
 	"bytes"
+	"fmt"
 	"net"
 	"os"
 	"path/filepath"
@@ -58,4 +59,37 @@ func BenchmarkReadAll1MB(b *testing.B) {
 			b.Fatal("short read")
 		}
 	}
+}
+
+// BenchmarkReadAllAllocs is the allocation regression gate for the
+// size-prefetch path: ReadAll asks the export for the file size up
+// front and allocates the result buffer once, so per-read allocations
+// must stay flat in file size (no append-doubling of a multi-megabyte
+// buffer). A regression here roughly doubles transient garbage per
+// retrieved measurement.
+func BenchmarkReadAllAllocs(b *testing.B) {
+	for _, size := range []int{64 << 10, 1 << 20, 4 << 20} {
+		b.Run(byteLabel(size), func(b *testing.B) {
+			m := benchMount(b, size)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := m.ReadAll("f.mpt")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(data) != size {
+					b.Fatal("short read")
+				}
+			}
+		})
+	}
+}
+
+func byteLabel(n int) string {
+	if n >= 1<<20 {
+		return fmt.Sprintf("%dMiB", n>>20)
+	}
+	return fmt.Sprintf("%dKiB", n>>10)
 }

@@ -58,6 +58,12 @@ type request struct {
 	Name   string `json:"name,omitempty"`
 	Offset int64  `json:"offset,omitempty"`
 	Length int    `json:"length,omitempty"`
+	// Tag correlates a reply with its request. The export echoes it
+	// verbatim, which is what lets a client keep several requests in
+	// flight (readahead) and still prove each reply answers the request
+	// it expects — a silent stream desynchronization becomes a detected
+	// tag mismatch instead of corrupt data.
+	Tag uint64 `json:"tag,omitempty"`
 }
 
 // reply is the server→client header; binary payload (for reads)
@@ -74,10 +80,21 @@ type reply struct {
 	CRC uint32 `json:"crc,omitempty"`
 	// Sum is the whole-file SHA-256 (hex) in opChecksum replies.
 	Sum string `json:"sum,omitempty"`
+	// Tag echoes the request's tag.
+	Tag uint64 `json:"tag,omitempty"`
 }
 
-// writeFrame frames v as uint32 length + JSON.
+// writeFrame frames v as uint32 length + JSON, emitted as a single
+// Write so a frame costs one transport operation (one latency charge
+// on a simulated link, one syscall on a real one).
 func writeFrame(w io.Writer, v any) error {
+	return writeFrameAndPayload(w, v, nil)
+}
+
+// writeFrameAndPayload frames v and appends an opaque payload in the
+// same Write. Coalescing header and payload matters on high-latency
+// links: a chunk reply is one transport operation instead of three.
+func writeFrameAndPayload(w io.Writer, v any, payload []byte) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return err
@@ -85,12 +102,11 @@ func writeFrame(w io.Writer, v any) error {
 	if len(body) > maxFrameBytes {
 		return fmt.Errorf("datachan: frame of %d bytes too large", len(body))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	frame := make([]byte, 4+len(body)+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+	copy(frame[4+len(body):], payload)
+	_, err = w.Write(frame)
 	return err
 }
 
@@ -246,7 +262,7 @@ func (e *Export) serveConn(conn net.Conn) {
 
 func (e *Export) handle(conn net.Conn, req *request) error {
 	fail := func(err error) error {
-		return writeFrame(conn, &reply{Error: err.Error()})
+		return writeFrame(conn, &reply{Error: err.Error(), Tag: req.Tag})
 	}
 	switch req.Op {
 	case opList:
@@ -267,7 +283,7 @@ func (e *Export) handle(conn net.Conn, req *request) error {
 				Name: ent.Name(), Size: info.Size(), ModTimeUnixNano: info.ModTime().UnixNano(),
 			})
 		}
-		return writeFrame(conn, &reply{Files: files})
+		return writeFrame(conn, &reply{Files: files, Tag: req.Tag})
 
 	case opStat:
 		if err := validName(req.Name); err != nil {
@@ -279,7 +295,7 @@ func (e *Export) handle(conn net.Conn, req *request) error {
 		}
 		return writeFrame(conn, &reply{File: &FileInfo{
 			Name: req.Name, Size: info.Size(), ModTimeUnixNano: info.ModTime().UnixNano(),
-		}})
+		}, Tag: req.Tag})
 
 	case opRead:
 		if err := validName(req.Name); err != nil {
@@ -299,9 +315,7 @@ func (e *Export) handle(conn net.Conn, req *request) error {
 		if err != nil && !eof {
 			return fail(err)
 		}
-		if err := writeFrame(conn, &reply{Payload: n, EOF: eof, CRC: crc32.Checksum(buf[:n], castagnoli)}); err != nil {
-			return err
-		}
+		rep := &reply{Payload: n, EOF: eof, CRC: crc32.Checksum(buf[:n], castagnoli), Tag: req.Tag}
 		if n > 0 {
 			// Count before the write: a client that has received the
 			// payload must observe the accounting (the write blocks
@@ -309,11 +323,8 @@ func (e *Export) handle(conn net.Conn, req *request) error {
 			e.mu.Lock()
 			e.bytesServed += int64(n)
 			e.mu.Unlock()
-			if _, err := conn.Write(buf[:n]); err != nil {
-				return err
-			}
 		}
-		return nil
+		return writeFrameAndPayload(conn, rep, buf[:n])
 
 	case opChecksum:
 		if err := validName(req.Name); err != nil {
@@ -332,6 +343,7 @@ func (e *Export) handle(conn net.Conn, req *request) error {
 		return writeFrame(conn, &reply{
 			Sum:  hex.EncodeToString(h.Sum(nil)),
 			File: &FileInfo{Name: req.Name, Size: size},
+			Tag:  req.Tag,
 		})
 
 	default:

@@ -17,10 +17,10 @@ func FuzzReadFrame(f *testing.F) {
 	}
 	f.Add(frame([]byte(`{"op":1}`)))
 	f.Add(frame([]byte(`{"op":3,"name":"cv.mpt","offset":0,"length":1024}`)))
-	f.Add(frame([]byte(`{`)))     // truncated JSON
-	f.Add(frame(nil))             // empty body
+	f.Add(frame([]byte(`{`)))             // truncated JSON
+	f.Add(frame(nil))                     // empty body
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // absurd length header
-	f.Add([]byte{0, 0})           // truncated header
+	f.Add([]byte{0, 0})                   // truncated header
 	f.Add(frame([]byte(`{"op":1,"name":"` + string(bytes.Repeat([]byte("a"), 100)) + `"}`)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -49,6 +49,12 @@ type Share interface {
 	Close() error
 }
 
+// DefaultReadahead is the number of chunk requests a whole-file read
+// keeps in flight. On a high-latency link each additional in-flight
+// request hides one round trip; 4 covers the netsim WAN's
+// latency×bandwidth product at the default chunk size with margin.
+const DefaultReadahead = 4
+
 // Mount is the remote side of the share — the moral equivalent of the
 // CIFS mount point on the DGX. It is safe for concurrent use; requests
 // on the single connection are serialised.
@@ -57,10 +63,34 @@ type Mount struct {
 	conn   net.Conn
 	closed bool
 	broken error // sticky transport failure; see ErrMountBroken
+	// tag numbers requests so every reply is provably the answer to
+	// the request the client expects (see request.Tag).
+	tag uint64
+	// readahead is the whole-file read window (0 = DefaultReadahead,
+	// ≤1 = strictly serial request/reply).
+	readahead int
+	// chunkBytes is the whole-file read transfer unit (0 = readChunk).
+	chunkBytes int
 }
 
 // NewMount attaches to an export over an established connection.
 func NewMount(conn net.Conn) *Mount { return &Mount{conn: conn} }
+
+// SetReadahead sets how many chunk requests ReadAll keeps in flight
+// (≤1 disables pipelining, 0 restores the default).
+func (m *Mount) SetReadahead(k int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.readahead = k
+}
+
+// SetChunkBytes sets the whole-file read transfer unit (0 restores the
+// default).
+func (m *Mount) SetChunkBytes(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.chunkBytes = n
+}
 
 // Close detaches the mount.
 func (m *Mount) Close() error {
@@ -81,30 +111,43 @@ func (m *Mount) Broken() bool {
 	return m.broken != nil || m.closed
 }
 
-// roundTrip sends a request and reads the reply header plus any
-// payload. Any transport failure mid-exchange poisons the mount: a
-// partially-read reply leaves the stream desynchronized, and reusing
-// it could hand the next caller another request's bytes.
-func (m *Mount) roundTrip(req *request) (*reply, []byte, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// usableLocked reports whether the mount can carry a request.
+func (m *Mount) usableLocked() error {
 	if m.closed {
-		return nil, nil, fmt.Errorf("datachan: mount closed")
+		return fmt.Errorf("datachan: mount closed")
 	}
 	if m.broken != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrMountBroken, m.broken)
+		return fmt.Errorf("%w: %v", ErrMountBroken, m.broken)
 	}
-	poison := func(err error) (*reply, []byte, error) {
-		m.broken = err
-		m.conn.Close()
-		return nil, nil, err
-	}
-	if err := writeFrame(m.conn, req); err != nil {
-		return poison(fmt.Errorf("datachan: send: %w", err))
-	}
+	return nil
+}
+
+// poisonLocked records a sticky transport failure and kills the
+// connection; every later operation fails with ErrMountBroken.
+func (m *Mount) poisonLocked(err error) error {
+	m.broken = err
+	m.conn.Close()
+	return err
+}
+
+// nextTagLocked issues the next request tag.
+func (m *Mount) nextTagLocked() uint64 {
+	m.tag++
+	return m.tag
+}
+
+// readReplyLocked reads one reply header plus any payload and verifies
+// it: the echoed tag must match the request the caller is waiting for
+// and the payload must match its CRC32C. Any transport failure, tag
+// mismatch or CRC mismatch poisons the mount — the stream can no
+// longer be trusted. A RemoteError leaves the stream intact.
+func (m *Mount) readReplyLocked(wantTag uint64) (*reply, []byte, error) {
 	var rep reply
 	if err := readFrame(m.conn, &rep); err != nil {
-		return poison(fmt.Errorf("datachan: receive: %w", err))
+		return nil, nil, m.poisonLocked(fmt.Errorf("datachan: receive: %w", err))
+	}
+	if rep.Tag != wantTag {
+		return nil, nil, m.poisonLocked(fmt.Errorf("datachan: reply tag %d does not answer request %d", rep.Tag, wantTag))
 	}
 	if rep.Error != "" {
 		return nil, nil, &RemoteError{Msg: rep.Error}
@@ -113,13 +156,34 @@ func (m *Mount) roundTrip(req *request) (*reply, []byte, error) {
 	if rep.Payload > 0 {
 		payload = make([]byte, rep.Payload)
 		if _, err := io.ReadFull(m.conn, payload); err != nil {
-			return poison(fmt.Errorf("datachan: payload: %w", err))
+			return nil, nil, m.poisonLocked(fmt.Errorf("datachan: payload: %w", err))
 		}
 		if crc := crc32.Checksum(payload, castagnoli); crc != rep.CRC {
-			return poison(fmt.Errorf("datachan: payload CRC mismatch (got %08x, want %08x)", crc, rep.CRC))
+			return nil, nil, m.poisonLocked(fmt.Errorf("datachan: payload CRC mismatch (got %08x, want %08x)", crc, rep.CRC))
 		}
 	}
 	return &rep, payload, nil
+}
+
+// roundTrip sends a request and reads the reply header plus any
+// payload. Any transport failure mid-exchange poisons the mount: a
+// partially-read reply leaves the stream desynchronized, and reusing
+// it could hand the next caller another request's bytes.
+func (m *Mount) roundTrip(req *request) (*reply, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.roundTripLocked(req)
+}
+
+func (m *Mount) roundTripLocked(req *request) (*reply, []byte, error) {
+	if err := m.usableLocked(); err != nil {
+		return nil, nil, err
+	}
+	req.Tag = m.nextTagLocked()
+	if err := writeFrame(m.conn, req); err != nil {
+		return nil, nil, m.poisonLocked(fmt.Errorf("datachan: send: %w", err))
+	}
+	return m.readReplyLocked(req.Tag)
 }
 
 // List returns the shared files sorted by name.
@@ -172,21 +236,175 @@ func (m *Mount) ReadAt(name string, offset int64, length int) ([]byte, bool, err
 	return payload, rep.EOF, nil
 }
 
-// ReadAll fetches a whole file.
+// ReadAll fetches a whole file. The transfer is pipelined: a size
+// prefetch (opChecksum) preallocates the destination once, then up to
+// SetReadahead chunk requests stay in flight so the WAN round-trip
+// time is paid once, not once per chunk. Per-chunk CRC32C
+// verification, reply-tag matching and sticky poisoning semantics are
+// identical to the serial path.
 func (m *Mount) ReadAll(name string) ([]byte, error) {
-	var buf bytes.Buffer
-	var off int64
-	for {
-		chunk, eof, err := m.ReadAt(name, off, readChunk)
-		if err != nil {
-			return nil, err
-		}
-		buf.Write(chunk)
-		off += int64(len(chunk))
-		if eof || len(chunk) == 0 {
-			return buf.Bytes(), nil
+	data, _, err := m.readAllFrom(name, 0, nil, 0, 0)
+	return data, err
+}
+
+// readAllFrom continues a whole-file read at offset off, appending to
+// buf (the bytes verified so far — ReliableMount uses this to resume
+// across redials). It returns the accumulated bytes, the new verified
+// offset, and the first error; on error the returned buf/off reflect
+// verified progress. chunk/window of 0 use the mount's settings.
+func (m *Mount) readAllFrom(name string, off int64, buf []byte, chunk, window int) ([]byte, int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if chunk <= 0 {
+		chunk = m.chunkBytes
+	}
+	if chunk <= 0 {
+		chunk = readChunk
+	}
+	if window <= 0 {
+		window = m.readahead
+	}
+	if window <= 0 {
+		window = DefaultReadahead
+	}
+	if err := m.usableLocked(); err != nil {
+		return buf, off, err
+	}
+	// Size prefetch: one round trip tells us how much data is already
+	// there, so the destination is allocated exactly once and the
+	// pipelined window knows its bounds.
+	rep, _, err := m.roundTripLocked(&request{Op: opChecksum, Name: name})
+	if err != nil {
+		return buf, off, err
+	}
+	var size int64
+	if rep.File != nil {
+		size = rep.File.Size
+	}
+	if size > off && int64(cap(buf)-len(buf)) < size-off {
+		grown := make([]byte, len(buf), int64(len(buf))+(size-off))
+		copy(grown, buf)
+		buf = grown
+	}
+	if window > 1 && size > off {
+		if buf, off, err = m.readWindowLocked(name, off, size, buf, chunk, window); err != nil {
+			return buf, off, err
 		}
 	}
+	// Serial tail: covers window ≤ 1, bytes appended to the file after
+	// the size prefetch (still streaming), and the final EOF probe.
+	for {
+		rep, payload, err := m.roundTripLocked(&request{Op: opRead, Name: name, Offset: off, Length: chunk})
+		if err != nil {
+			return buf, off, err
+		}
+		buf = append(buf, payload...)
+		off += int64(len(payload))
+		if rep.EOF || len(payload) == 0 {
+			return buf, off, nil
+		}
+	}
+}
+
+// readWindowLocked fetches [off, size) keeping up to window chunk
+// requests in flight. Requests are written by a companion goroutine —
+// a synchronous transport like net.Pipe would deadlock a single
+// thread that writes ahead of reading — while this goroutine consumes
+// replies in request order, verifying each tag and CRC as the serial
+// path does. The export serves one request at a time per connection,
+// so replies arrive in request order by construction; a reordered or
+// desynchronized stream surfaces as a tag mismatch and poisons the
+// mount.
+func (m *Mount) readWindowLocked(name string, off, size int64, buf []byte, chunk, window int) ([]byte, int64, error) {
+	type chunkReq struct {
+		tag    uint64
+		offset int64
+		length int
+	}
+	var plan []chunkReq
+	for at := off; at < size; {
+		length := chunk
+		if rem := size - at; rem < int64(length) {
+			length = int(rem)
+		}
+		plan = append(plan, chunkReq{tag: m.nextTagLocked(), offset: at, length: length})
+		at += int64(length)
+	}
+
+	conn := m.conn
+	slots := make(chan struct{}, window)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopWriter := func() { stopOnce.Do(func() { close(stop) }) }
+	defer stopWriter()
+	// sentCh carries each request the writer actually put on the wire
+	// (closed when the writer exits); it is what the reader trusts to
+	// know how many replies are owed, so the stream stays synchronized
+	// even when the read stops early.
+	sentCh := make(chan chunkReq, len(plan))
+	go func() {
+		defer close(sentCh)
+		for _, cr := range plan {
+			select {
+			case slots <- struct{}{}:
+			case <-stop:
+				return
+			}
+			req := request{Op: opRead, Name: name, Offset: cr.offset, Length: cr.length, Tag: cr.tag}
+			if err := writeFrame(conn, &req); err != nil {
+				// The reader sees the same dead transport on its next
+				// reply and poisons the mount there.
+				return
+			}
+			sentCh <- cr
+		}
+	}()
+
+	// drain consumes replies for requests already on the wire after an
+	// early stop, keeping the stream request/reply-aligned. Remote
+	// errors are answers (discarded); transport failures poison.
+	drain := func() error {
+		stopWriter()
+		for cr := range sentCh {
+			_, _, err := m.readReplyLocked(cr.tag)
+			<-slots
+			if err != nil {
+				var remote *RemoteError
+				if !errors.As(err, &remote) {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	for cr := range sentCh {
+		rep, payload, err := m.readReplyLocked(cr.tag)
+		<-slots
+		if err != nil {
+			var remote *RemoteError
+			if !errors.As(err, &remote) {
+				return buf, off, err // transport: mount already poisoned
+			}
+			if derr := drain(); derr != nil {
+				return buf, off, derr
+			}
+			return buf, off, err
+		}
+		buf = append(buf, payload...)
+		off += int64(len(payload))
+		if len(payload) < cr.length || rep.EOF {
+			// The file ended or shrank below the size snapshot; later
+			// requested offsets no longer line up with the verified
+			// stream — discard their replies and let the serial tail
+			// re-probe from the verified offset.
+			if derr := drain(); derr != nil {
+				return buf, off, derr
+			}
+			return buf, off, nil
+		}
+	}
+	return buf, off, nil
 }
 
 // verifyAttempts bounds ReadAllVerified's re-reads: a file that keeps

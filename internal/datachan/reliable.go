@@ -1,7 +1,6 @@
 package datachan
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -57,6 +56,12 @@ type ReliableMount struct {
 	// Smaller chunks checkpoint verified progress more often under a
 	// lossy link at the cost of more round trips.
 	ChunkBytes int
+	// Readahead is how many chunk requests a whole-file read keeps in
+	// flight (default DefaultReadahead; 1 = strictly serial). Each
+	// in-flight request hides one WAN round trip; resume-from-verified-
+	// offset semantics are unchanged because chunks are verified in
+	// request order.
+	Readahead int
 
 	rng backoff.Policy
 
@@ -258,17 +263,21 @@ func (r *ReliableMount) ReadAt(name string, offset int64, length int) ([]byte, b
 	return payload, eof, err
 }
 
-// ReadAll fetches a whole file. A transport failure mid-transfer
-// redials and resumes from the last CRC-verified offset: bytes already
-// received are never re-fetched, so at most one in-flight chunk is
-// read twice per interruption.
+// ReadAll fetches a whole file through the pipelined windowed read. A
+// transport failure mid-transfer redials and resumes from the last
+// CRC-verified offset: bytes already received are never re-fetched, so
+// at most the in-flight window is read twice per interruption.
 func (r *ReliableMount) ReadAll(name string) ([]byte, error) {
 	chunk := r.ChunkBytes
 	if chunk <= 0 {
 		chunk = readChunk
 	}
+	window := r.Readahead
+	if window <= 0 {
+		window = DefaultReadahead
+	}
 	seq := r.rng.StartWith(r.Backoff, r.MaxBackoff)
-	var buf bytes.Buffer
+	var buf []byte
 	var off int64
 	failures := 0
 	for {
@@ -286,37 +295,37 @@ func (r *ReliableMount) ReadAll(name string) ([]byte, error) {
 			}
 			continue
 		}
-		payload, eof, err := m.ReadAt(name, off, chunk)
-		if err != nil {
-			if !retryable(err) {
-				return nil, err
-			}
-			r.dropIf(m)
-			failures++
-			if failures > r.MaxRetries {
-				return nil, fmt.Errorf("datachan: read of %q failed after %d attempts: %w", name, failures, err)
-			}
-			if off > 0 {
-				// The next attempt continues at off instead of byte 0.
-				r.resumes.Add(1)
-				r.count("datachan.resumes", 1)
-				r.bytesResumed.Add(off)
-				r.count("datachan.bytes_resumed", off)
-			}
-			if !seq.Sleep(r.done) {
-				return nil, ErrReliableMountClosed
-			}
-			continue
+		newBuf, newOff, err := m.readAllFrom(name, off, buf, chunk, window)
+		progressed := newOff > off
+		buf, off = newBuf, newOff
+		if err == nil {
+			return buf, nil
 		}
-		// Progress resets the retry budget and backoff: a long transfer
-		// over a flaky link should survive many separated interruptions,
-		// just never spin on a link that is down outright.
-		failures = 0
-		seq = r.rng.StartWith(r.Backoff, r.MaxBackoff)
-		buf.Write(payload)
-		off += int64(len(payload))
-		if eof || len(payload) == 0 {
-			return buf.Bytes(), nil
+		if !retryable(err) {
+			return nil, err
+		}
+		r.dropIf(m)
+		if progressed {
+			// Progress resets the retry budget and backoff: a long
+			// transfer over a flaky link should survive many separated
+			// interruptions, just never spin on a link that is down
+			// outright.
+			failures = 0
+			seq = r.rng.StartWith(r.Backoff, r.MaxBackoff)
+		}
+		failures++
+		if failures > r.MaxRetries {
+			return nil, fmt.Errorf("datachan: read of %q failed after %d attempts: %w", name, failures, err)
+		}
+		if off > 0 {
+			// The next attempt continues at off instead of byte 0.
+			r.resumes.Add(1)
+			r.count("datachan.resumes", 1)
+			r.bytesResumed.Add(off)
+			r.count("datachan.bytes_resumed", off)
+		}
+		if !seq.Sleep(r.done) {
+			return nil, ErrReliableMountClosed
 		}
 	}
 }

@@ -3,6 +3,7 @@ package echem
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ice/internal/units"
 )
@@ -169,6 +170,28 @@ const stabilityFactor = 0.45
 // cannot exhaust memory.
 const maxGridPoints = 20000
 
+// gridPool recycles concentration-grid scratch between simulations.
+// Parallel dataset generation runs thousands of simulations whose four
+// grids otherwise dominate allocation.
+var gridPool = sync.Pool{}
+
+// getGrid returns a zeroed scratch slice of length n.
+func getGrid(n int) []float64 {
+	if p, _ := gridPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		g := (*p)[:n]
+		for i := range g {
+			g[i] = 0
+		}
+		return g
+	}
+	return make([]float64, n)
+}
+
+// putGrid returns a scratch slice to the pool.
+func putGrid(g []float64) {
+	gridPool.Put(&g)
+}
+
 // Simulate integrates the cell response to the waveform and returns
 // samples+1 points (including t = 0). It is the physics engine behind
 // the potentiostat simulator.
@@ -242,10 +265,16 @@ func Simulate(cfg CellConfig, w Waveform, samples int) (*Voltammogram, error) {
 	lamR := dR * dts / (dx * dx)
 	lamO := dO * dts / (dx * dx)
 
-	cR := make([]float64, n)
-	cO := make([]float64, n)
-	nR := make([]float64, n)
-	nO := make([]float64, n)
+	cR := getGrid(n)
+	cO := getGrid(n)
+	nR := getGrid(n)
+	nO := getGrid(n)
+	defer func() {
+		putGrid(cR)
+		putGrid(cO)
+		putGrid(nR)
+		putGrid(nO)
+	}()
 	for i := range cR {
 		cR[i] = bulk
 	}
@@ -255,6 +284,42 @@ func Simulate(cfg CellConfig, w Waveform, samples int) (*Voltammogram, error) {
 
 	iPrev := 0.0
 	ePrev := w.Potential(0).Volts()
+
+	// The electrode-boundary solver is hoisted out of the substep loop:
+	// it reads the per-substep state (surface-adjacent concentrations,
+	// charging current) through captured variables, so only the scalars
+	// below change between calls and no closure is re-allocated per
+	// substep. boundary evaluates the Butler–Volmer/diffusion balance at
+	// a trial interfacial potential — solving the 2×2 linear system
+	//   (D_R/dx + ka)·C_R0 − kc·C_O0 = D_R/dx·C_R1
+	//   −ka·C_R0 + (D_O/dx + kc)·C_O0 = D_O/dx·C_O1
+	// — and returns surface concentrations, rate constants and total
+	// current.
+	gR := dR / dx
+	gO := dO / dx
+	var iC float64
+	boundary := func(eInt float64) (cR0, cO0, ka, kc, iTot float64) {
+		eta := eInt - e0
+		ka = k0 * math.Exp((1-alpha)*fRT*eta)
+		kc = k0 * math.Exp(-alpha*fRT*eta)
+		a11 := gR + ka
+		a12 := -kc
+		a21 := -ka
+		a22 := gO + kc
+		b1 := gR * nR[1]
+		b2 := gO * nO[1]
+		det := a11*a22 - a12*a21
+		cR0 = (b1*a22 - a12*b2) / det
+		cO0 = (a11*b2 - b1*a21) / det
+		if cR0 < 0 {
+			cR0 = 0
+		}
+		if cO0 < 0 {
+			cO0 = 0
+		}
+		iTot = nElec*Faraday*area*(ka*cR0-kc*cO0) + iC
+		return cR0, cO0, ka, kc, iTot
+	}
 	for s := 1; s <= samples; s++ {
 		var iTotal float64
 		for k := 0; k < sub; k++ {
@@ -276,45 +341,13 @@ func Simulate(cfg CellConfig, w Waveform, samples int) (*Voltammogram, error) {
 				nO[n-1] = 0
 			}
 
-			// Electrode boundary: Butler–Volmer flux balanced against
-			// diffusion to the first grid node. Solving the 2×2 linear
-			// system for the surface concentrations:
-			//   (D_R/dx + ka)·C_R0 − kc·C_O0 = D_R/dx·C_R1
-			//   −ka·C_R0 + (D_O/dx + kc)·C_O0 = D_O/dx·C_O1
-			// The interfacial potential couples back through the
-			// ohmic drop (E_int = E_app − i·Ru), so the boundary is
-			// solved by damped fixed-point iteration — the explicit
-			// one-step-lag form oscillates at large Ru·di/dE gain.
-			gR := dR / dx
-			gO := dO / dx
+			// Electrode boundary via the hoisted solver. The interfacial
+			// potential couples back through the ohmic drop
+			// (E_int = E_app − i·Ru), so with Ru > 0 the boundary is
+			// found by bisection — the explicit one-step-lag form
+			// oscillates at large Ru·di/dE gain.
 			dEdt := (eApp - ePrev) / dts
-			iC := cfg.DoubleLayerCapacitance * area * dEdt
-
-			// boundary evaluates the BV/diffusion balance at a trial
-			// interfacial potential, returning surface concentrations,
-			// rate constants and total current.
-			boundary := func(eInt float64) (cR0, cO0, ka, kc, iTot float64) {
-				eta := eInt - e0
-				ka = k0 * math.Exp((1-alpha)*fRT*eta)
-				kc = k0 * math.Exp(-alpha*fRT*eta)
-				a11 := gR + ka
-				a12 := -kc
-				a21 := -ka
-				a22 := gO + kc
-				b1 := gR * nR[1]
-				b2 := gO * nO[1]
-				det := a11*a22 - a12*a21
-				cR0 = (b1*a22 - a12*b2) / det
-				cO0 = (a11*b2 - b1*a21) / det
-				if cR0 < 0 {
-					cR0 = 0
-				}
-				if cO0 < 0 {
-					cO0 = 0
-				}
-				iTot = nElec*Faraday*area*(ka*cR0-kc*cO0) + iC
-				return cR0, cO0, ka, kc, iTot
-			}
+			iC = cfg.DoubleLayerCapacitance * area * dEdt
 
 			var cR0, cO0, ka, kc float64
 			if cfg.UncompensatedResistance == 0 {

@@ -2,6 +2,8 @@ package ml
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"ice/internal/echem"
 	"ice/internal/units"
@@ -92,6 +94,10 @@ type GenerateConfig struct {
 	// Program is the CV program to run; zero value selects the paper's
 	// demonstration program.
 	Program echem.CVProgram
+	// Workers bounds simulation/feature-extraction parallelism: 1 is
+	// serial, 0 selects GOMAXPROCS. Each run is seeded independently,
+	// so the dataset is identical for any worker count.
+	Workers int
 }
 
 // Generate simulates labelled voltammograms across the three classes
@@ -120,28 +126,76 @@ func Generate(cfg GenerateConfig) (*Dataset, error) {
 		return nil, err
 	}
 
-	ds := &Dataset{}
+	// Every (fault, run) pair is an independent, independently seeded
+	// simulation — the natural fan-out unit. Results land at fixed
+	// indices so the dataset order (and thus every downstream split and
+	// seed-dependent fit) matches the serial construction exactly.
 	faults := []echem.Fault{echem.FaultNone, echem.FaultDisconnectedElectrode, echem.FaultLowVolume}
-	for fi, fault := range faults {
-		for r := 0; r < cfg.PerClass; r++ {
-			cell := echem.DefaultCell()
-			cell.Fault = fault
-			cell.NoiseSeed = cfg.BaseSeed + int64(fi*10_000+r*13+1)
-			// ±15% concentration jitter so the classifier cannot just
-			// memorise one current scale.
-			jitter := 1 + 0.15*float64(r%7-3)/3
-			cell.Solution.Concentration = units.Concentration(cell.Solution.Concentration.Molar() * jitter)
-			vg, err := echem.Simulate(cell, w, cfg.Samples)
-			if err != nil {
-				return nil, fmt.Errorf("ml: generate %v run %d: %w", fault, r, err)
-			}
-			feats, err := Features(vg.Potentials(), vg.Currents())
-			if err != nil {
-				return nil, fmt.Errorf("ml: features for %v run %d: %w", fault, r, err)
-			}
-			ds.Append(feats, ClassOfFault(fault))
+	total := len(faults) * cfg.PerClass
+	features := make([][]float64, total)
+	labels := make([]int, total)
+	errs := make([]error, total)
+
+	run := func(idx int) {
+		fi := idx / cfg.PerClass
+		r := idx % cfg.PerClass
+		fault := faults[fi]
+		cell := echem.DefaultCell()
+		cell.Fault = fault
+		cell.NoiseSeed = cfg.BaseSeed + int64(fi*10_000+r*13+1)
+		// ±15% concentration jitter so the classifier cannot just
+		// memorise one current scale.
+		jitter := 1 + 0.15*float64(r%7-3)/3
+		cell.Solution.Concentration = units.Concentration(cell.Solution.Concentration.Molar() * jitter)
+		vg, err := echem.Simulate(cell, w, cfg.Samples)
+		if err != nil {
+			errs[idx] = fmt.Errorf("ml: generate %v run %d: %w", fault, r, err)
+			return
+		}
+		feats, err := Features(vg.Potentials(), vg.Currents())
+		if err != nil {
+			errs[idx] = fmt.Errorf("ml: features for %v run %d: %w", fault, r, err)
+			return
+		}
+		features[idx] = feats
+		labels[idx] = ClassOfFault(fault)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for idx := 0; idx < total; idx++ {
+			run(idx)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range jobs {
+					run(idx)
+				}
+			}()
+		}
+		for idx := 0; idx < total; idx++ {
+			jobs <- idx
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
+	ds := &Dataset{X: features, Y: labels}
 	return ds, nil
 }
 

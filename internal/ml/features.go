@@ -3,6 +3,8 @@ package ml
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 )
 
 // FeatureGridPoints is the number of GPR-resampled points per sweep
@@ -109,6 +111,57 @@ func Features(potential, current []float64) ([]float64, error) {
 		span,              // potential range actually observed
 	)
 	return features, nil
+}
+
+// ExtractFeaturesBatch runs Features over many sweeps concurrently —
+// the fleet-scale hot path when a batch of measurements lands at once.
+// Results keep input order. workers ≤ 0 selects GOMAXPROCS; 1 is
+// serial. The first error (with its sweep index) aborts the batch.
+func ExtractFeaturesBatch(potentials, currents [][]float64, workers int) ([][]float64, error) {
+	if len(potentials) != len(currents) {
+		return nil, fmt.Errorf("ml: batch of %d potential sweeps vs %d current sweeps",
+			len(potentials), len(currents))
+	}
+	n := len(potentials)
+	if n == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([][]float64, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := range potentials {
+			out[i], errs[i] = Features(potentials[i], currents[i])
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					out[i], errs[i] = Features(potentials[i], currents[i])
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ml: batch sweep %d: %w", i, err)
+		}
+	}
+	return out, nil
 }
 
 // smoothBranch fits a GPR to one sweep branch (subsampled) and returns

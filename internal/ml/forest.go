@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // Ensemble is the EOT (ensemble-of-trees) classifier: bagged CART
@@ -19,9 +21,29 @@ type Ensemble struct {
 	FeatureFraction float64
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers bounds training/voting parallelism: 1 forces serial
+	// execution, 0 selects GOMAXPROCS. The trained model is bit-for-bit
+	// identical for any worker count — all randomness (bootstrap
+	// samples, feature subsets) is drawn serially before trees fan out.
+	Workers int
 
 	members []*Tree
 	classes int
+}
+
+// workerCount resolves Workers against the machine.
+func (e *Ensemble) workerCount(jobs int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Fit trains the ensemble on samples X with labels y.
@@ -53,9 +75,17 @@ func (e *Ensemble) Fit(x [][]float64, y []int) error {
 	}
 	e.classes = maxClass + 1
 
+	// Draw all randomness serially from the single seeded source so the
+	// trained ensemble is identical for any Workers setting, then fit
+	// the (deterministic) trees in parallel.
 	rng := rand.New(rand.NewSource(e.Seed + 1))
-	e.members = make([]*Tree, 0, nTrees)
 	n := len(x)
+	trees := make([]*Tree, nTrees)
+	type bootstrap struct {
+		bx [][]float64
+		by []int
+	}
+	boots := make([]bootstrap, nTrees)
 	for t := 0; t < nTrees; t++ {
 		// Bootstrap sample.
 		bx := make([][]float64, n)
@@ -65,15 +95,43 @@ func (e *Ensemble) Fit(x [][]float64, y []int) error {
 			bx[i] = x[j]
 			by[i] = y[j]
 		}
+		boots[t] = bootstrap{bx: bx, by: by}
 		// Feature subset.
 		perm := rng.Perm(d)
 		feats := append([]int(nil), perm[:nFeat]...)
-		tree := &Tree{MaxDepth: e.MaxDepth, MinLeaf: e.MinLeaf, Features: feats}
-		if err := tree.Fit(bx, by); err != nil {
+		trees[t] = &Tree{MaxDepth: e.MaxDepth, MinLeaf: e.MinLeaf, Features: feats}
+	}
+
+	errs := make([]error, nTrees)
+	workers := e.workerCount(nTrees)
+	if workers == 1 {
+		for t := 0; t < nTrees; t++ {
+			errs[t] = trees[t].Fit(boots[t].bx, boots[t].by)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range jobs {
+					errs[t] = trees[t].Fit(boots[t].bx, boots[t].by)
+				}
+			}()
+		}
+		for t := 0; t < nTrees; t++ {
+			jobs <- t
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for t, err := range errs {
+		if err != nil {
 			return fmt.Errorf("ml: tree %d: %w", t, err)
 		}
-		e.members = append(e.members, tree)
 	}
+	e.members = trees
 	return nil
 }
 
@@ -92,19 +150,68 @@ func (e *Ensemble) Predict(sample []float64) (int, error) {
 	return best, nil
 }
 
-// Votes returns the per-class vote counts for one sample.
+// Votes returns the per-class vote counts for one sample. With
+// Workers > 1 the trees vote in parallel chunks with per-worker
+// counts merged at the end; the result is identical to a serial tally.
 func (e *Ensemble) Votes(sample []float64) ([]int, error) {
 	if len(e.members) == 0 {
 		return nil, fmt.Errorf("ml: ensemble predict before fit")
 	}
 	votes := make([]int, e.classes)
-	for _, t := range e.members {
-		c, err := t.Predict(sample)
-		if err != nil {
-			return nil, err
+	workers := e.workerCount(len(e.members))
+	// A tree descent is a handful of comparisons; fan out only when
+	// there is more than one chunk's worth of trees to amortise the
+	// goroutine handoff.
+	if workers <= 1 || len(e.members) < 2*workers {
+		for _, t := range e.members {
+			c, err := t.Predict(sample)
+			if err != nil {
+				return nil, err
+			}
+			if c < len(votes) {
+				votes[c]++
+			}
 		}
-		if c < len(votes) {
-			votes[c]++
+		return votes, nil
+	}
+
+	chunk := (len(e.members) + workers - 1) / workers
+	counts := make([][]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(e.members) {
+			hi = len(e.members)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make([]int, e.classes)
+			for _, t := range e.members[lo:hi] {
+				c, err := t.Predict(sample)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if c < len(local) {
+					local[c]++
+				}
+			}
+			counts[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := range errs {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		for c, n := range counts[w] {
+			votes[c] += n
 		}
 	}
 	return votes, nil

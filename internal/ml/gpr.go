@@ -75,14 +75,17 @@ func (g *GPR) Predict(xs []float64) (mean, variance []float64, err error) {
 	n := len(g.x)
 	mean = make([]float64, len(xs))
 	variance = make([]float64, len(xs))
+	// One kernel-row and one solve scratch reused across all query
+	// points: the per-query ForwardSolve allocation dominated this
+	// loop's garbage on long grids.
 	ks := make([]float64, n)
+	v := make([]float64, n)
 	for q, xq := range xs {
 		for i, xi := range g.x {
 			ks[i] = g.kernel(xq, xi)
 		}
 		mean[q] = Dot(ks, g.alpha)
-		v, err := ForwardSolve(g.chol, ks)
-		if err != nil {
+		if err := ForwardSolveInto(g.chol, ks, v); err != nil {
 			return nil, nil, err
 		}
 		variance[q] = g.kernel(xq, xq) - Dot(v, v)

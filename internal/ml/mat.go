@@ -166,19 +166,46 @@ func SolveCholesky(l *Matrix, b []float64) ([]float64, error) {
 
 // ForwardSolve solves L·y = b for lower-triangular L.
 func ForwardSolve(l *Matrix, b []float64) ([]float64, error) {
-	n := l.Rows
-	if len(b) != n {
-		return nil, fmt.Errorf("ml: forward solve dimension mismatch")
-	}
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		sum := b[i]
-		for k := 0; k < i; k++ {
-			sum -= l.At(i, k) * y[k]
-		}
-		y[i] = sum / l.At(i, i)
+	y := make([]float64, l.Rows)
+	if err := ForwardSolveInto(l, b, y); err != nil {
+		return nil, err
 	}
 	return y, nil
+}
+
+// ForwardSolveInto solves L·y = b into dst, which must have length
+// L.Rows. The allocation-free variant for hot loops that solve against
+// one factor many times (e.g. GPR posterior variance per query point).
+func ForwardSolveInto(l *Matrix, b, dst []float64) error {
+	n := l.Rows
+	if len(b) != n || len(dst) != n {
+		return fmt.Errorf("ml: forward solve dimension mismatch")
+	}
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := l.Data[i*l.Cols : i*l.Cols+i]
+		for k, v := range row {
+			sum -= v * dst[k]
+		}
+		dst[i] = sum / l.At(i, i)
+	}
+	return nil
+}
+
+// MulVecInto computes m·v into dst (length Rows) without allocating.
+func (m *Matrix) MulVecInto(v, dst []float64) error {
+	if len(v) != m.Cols || len(dst) != m.Rows {
+		return fmt.Errorf("ml: mulvec %d×%d by len %d into len %d", m.Rows, m.Cols, len(v), len(dst))
+	}
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		dst[i] = s
+	}
+	return nil
 }
 
 // Dot returns the inner product of equal-length vectors.

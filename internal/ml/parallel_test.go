@@ -1,0 +1,168 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// syntheticSet builds a small three-class dataset with class-dependent
+// structure.
+func syntheticSet(n, d int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		c := i % 3
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64() + float64(c)*0.8*math.Sin(float64(j))
+		}
+		x[i] = row
+		y[i] = c
+	}
+	return x, y
+}
+
+func TestEnsembleFitDeterministicAcrossWorkers(t *testing.T) {
+	x, y := syntheticSet(120, 12, 3)
+	probe, _ := syntheticSet(40, 12, 4)
+
+	fit := func(workers int) *Ensemble {
+		e := &Ensemble{Trees: 20, MaxDepth: 6, MinLeaf: 1, Seed: 7, Workers: workers}
+		if err := e.Fit(x, y); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return e
+	}
+	serial := fit(1)
+	for _, workers := range []int{2, 4, 0} {
+		par := fit(workers)
+		if par.Size() != serial.Size() {
+			t.Fatalf("workers=%d trained %d trees, serial %d", workers, par.Size(), serial.Size())
+		}
+		for i, sample := range probe {
+			a, err := serial.Votes(sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := par.Votes(sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("workers=%d sample %d: votes %v vs serial %v", workers, i, b, a)
+			}
+		}
+	}
+}
+
+func TestVotesParallelMatchesSerial(t *testing.T) {
+	x, y := syntheticSet(90, 10, 5)
+	e := &Ensemble{Trees: 40, MaxDepth: 6, MinLeaf: 1, Seed: 11}
+	if err := e.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := syntheticSet(25, 10, 6)
+	for _, sample := range probe {
+		e.Workers = 1
+		serial, err := e.Votes(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Workers = 4
+		parallel, err := e.Votes(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("votes diverged: serial %v parallel %v", serial, parallel)
+		}
+		total := 0
+		for _, n := range parallel {
+			total += n
+		}
+		if total != e.Size() {
+			t.Fatalf("parallel tally counted %d votes from %d trees", total, e.Size())
+		}
+	}
+}
+
+func TestExtractFeaturesBatchMatchesSerial(t *testing.T) {
+	const sweeps = 6
+	pots := make([][]float64, sweeps)
+	curs := make([][]float64, sweeps)
+	rng := rand.New(rand.NewSource(9))
+	for s := range pots {
+		n := 60 + 10*s
+		p := make([]float64, n)
+		c := make([]float64, n)
+		for i := range p {
+			// Triangle sweep with a noisy peak.
+			frac := float64(i) / float64(n-1)
+			if frac < 0.5 {
+				p[i] = -0.3 + 1.4*frac
+			} else {
+				p[i] = -0.3 + 1.4*(1-frac)
+			}
+			c[i] = 1e-6*math.Exp(-20*(p[i]-0.2)*(p[i]-0.2)) + 1e-8*rng.NormFloat64()
+		}
+		pots[s] = p
+		curs[s] = c
+	}
+
+	serial, err := ExtractFeaturesBatch(pots, curs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ExtractFeaturesBatch(pots, curs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel batch features diverged from serial")
+	}
+	for s := range serial {
+		direct, err := Features(pots[s], curs[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial[s], direct) {
+			t.Fatalf("sweep %d: batch features diverged from Features", s)
+		}
+	}
+
+	// Errors carry the failing sweep index and abort the batch.
+	pots[3] = pots[3][:4]
+	curs[3] = curs[3][:4]
+	if _, err := ExtractFeaturesBatch(pots, curs, 4); err == nil {
+		t.Fatal("undersized sweep accepted")
+	}
+	if _, err := ExtractFeaturesBatch(pots[:2], curs, 4); err == nil {
+		t.Fatal("mismatched batch accepted")
+	}
+}
+
+func TestGenerateParallelMatchesSerial(t *testing.T) {
+	cfg := GenerateConfig{PerClass: 4, Samples: 120, BaseSeed: 21}
+	cfg.Workers = 1
+	serial, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	parallel, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() != parallel.Len() {
+		t.Fatalf("parallel generated %d samples, serial %d", parallel.Len(), serial.Len())
+	}
+	if !reflect.DeepEqual(serial.Y, parallel.Y) {
+		t.Fatal("label order diverged under parallel generation")
+	}
+	if !reflect.DeepEqual(serial.X, parallel.X) {
+		t.Fatal("feature vectors diverged under parallel generation")
+	}
+}

@@ -108,7 +108,7 @@ func (n *Network) DropHubConnections(hubName string) (int, error) {
 	}
 	h.mu.Unlock()
 	for _, c := range victims {
-		c.Close()
+		c.abort()
 	}
 	if len(victims) > 0 {
 		h.mu.Lock()

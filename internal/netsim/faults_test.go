@@ -85,7 +85,7 @@ func TestSetHubDownKillsInFlightReadsAndWrites(t *testing.T) {
 	conn2.Close()
 }
 
-func TestSetHubDownKillsSlowWriteInTransit(t *testing.T) {
+func TestSetHubDownDropsFrameInTransit(t *testing.T) {
 	n := New()
 	if err := n.AddHub("wan", 500*time.Millisecond, 0); err != nil {
 		t.Fatal(err)
@@ -107,26 +107,36 @@ func TestSetHubDownKillsSlowWriteInTransit(t *testing.T) {
 	}
 	defer conn.Close()
 
-	writeErr := make(chan error, 1)
+	// The frame is accepted immediately (latency applies on delivery)
+	// and is still in flight across the 500 ms hub when the outage
+	// hits: it must be dropped, not delivered late, and subsequent I/O
+	// must fail promptly instead of waiting out the latency.
 	start := time.Now()
-	go func() {
-		_, err := conn.Write([]byte("slow")) // 500 ms latency sleep
-		writeErr <- err
-	}()
+	if _, err := conn.Write([]byte("slow")); err != nil {
+		t.Fatalf("Write before outage: %v", err)
+	}
 	time.Sleep(30 * time.Millisecond)
 	if err := n.SetHubDown("wan", true); err != nil {
 		t.Fatal(err)
 	}
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(conn, make([]byte, 4))
+		readErr <- err
+	}()
 	select {
-	case err := <-writeErr:
-		if !errors.Is(err, net.ErrClosed) {
-			t.Errorf("in-transit Write err = %v, want net.ErrClosed", err)
+	case err := <-readErr:
+		if err == nil {
+			t.Error("echo of in-transit frame delivered despite the outage")
 		}
 		if time.Since(start) > 400*time.Millisecond {
-			t.Error("Write waited out its full latency despite the outage")
+			t.Error("Read waited out the full latency despite the outage")
 		}
 	case <-time.After(2 * time.Second):
-		t.Fatal("in-transit Write still blocked after SetHubDown")
+		t.Fatal("Read still blocked after SetHubDown")
+	}
+	if _, err := conn.Write([]byte("after")); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("Write after outage err = %v, want net.ErrClosed", err)
 	}
 }
 

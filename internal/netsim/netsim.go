@@ -251,7 +251,7 @@ func (n *Network) SetHubDown(hubName string, down bool) error {
 	}
 	h.mu.Unlock()
 	for _, c := range victims {
-		c.Close()
+		c.abort()
 	}
 	if down && !was {
 		n.countFault("netsim.faults.hub_down", int64(1))
@@ -429,16 +429,10 @@ func (n *Network) Dial(fromHost, address string) (net.Conn, error) {
 	}
 
 	clientRaw, serverRaw := net.Pipe()
-	client := &shapedConn{
-		Conn: clientRaw, network: n, latency: latency, bandwidth: bandwidth, hubs: hubs,
-		local: addr{fromHost, 0}, remote: addr{toName, port},
-		servicePort: port, closedCh: make(chan struct{}),
-	}
-	server := &shapedConn{
-		Conn: serverRaw, network: n, latency: latency, bandwidth: bandwidth, hubs: hubs,
-		local: addr{toName, port}, remote: addr{fromHost, 0},
-		servicePort: port, server: true, closedCh: make(chan struct{}),
-	}
+	client := newShapedConn(clientRaw, n, latency, bandwidth, hubs,
+		addr{fromHost, 0}, addr{toName, port}, port, false)
+	server := newShapedConn(serverRaw, n, latency, bandwidth, hubs,
+		addr{toName, port}, addr{fromHost, 0}, port, true)
 	client.peer, server.peer = server, client
 	for _, h := range hubs {
 		h.mu.Lock()
@@ -506,10 +500,19 @@ func (l *listener) Close() error {
 
 func (l *listener) Addr() net.Addr { return addr{l.host.name, l.port} }
 
-// shapedConn applies one-way latency and bandwidth pacing to writes,
-// accounts forwarded bytes on the traversed hubs, and carries the
-// scripted fault injection (packet loss, byte corruption, mid-stream
-// drops) of the hubs it crosses.
+// shapedConn applies transmission pacing and propagation latency to
+// writes, accounts forwarded bytes on the traversed hubs, and carries
+// the scripted fault injection (packet loss, byte corruption,
+// mid-stream drops) of the hubs it crosses.
+//
+// The two delay components are modelled separately, the way a real
+// link behaves: serialisation time (size/bandwidth) blocks the sender
+// — a link transmits one frame at a time — while propagation latency
+// is applied on the delivery side by a per-connection FIFO delivery
+// loop, so back-to-back writes overlap their flight time. This is what
+// lets a pipelined protocol (K requests in flight) beat a strict
+// request/reply exchange across the WAN instead of serialising on
+// latency per write.
 type shapedConn struct {
 	net.Conn
 	network   *Network
@@ -525,8 +528,105 @@ type shapedConn struct {
 	server bool
 	peer   *shapedConn
 
+	// sendMu serialises Write pacing so concurrent writers transmit
+	// frames one at a time in a stable order.
+	sendMu sync.Mutex
+	// txFree is when the link finishes serialising the frames accepted
+	// so far (guarded by sendMu): frame i+1 cannot start transmitting
+	// before frame i has fully left the sender, which is what spaces
+	// back-to-back deliveries by size/bandwidth.
+	txFree time.Time
+	// queue carries in-flight frames to the delivery loop; its capacity
+	// bounds the bytes buffered "on the wire" (flow control).
+	queue chan deliverItem
+	// kick wakes the delivery loop after a graceful Close so it can
+	// flush remaining frames and shut the transport down.
+	kick chan struct{}
+	// closing marks a graceful Close: no new writes, in-flight frames
+	// still delivered.
+	closingMu sync.Mutex
+	closing   bool
+
 	closedCh  chan struct{}
 	closeOnce sync.Once
+}
+
+// deliverItem is one in-flight frame with its arrival time.
+type deliverItem struct {
+	payload []byte
+	at      time.Time
+}
+
+// deliveryWindow bounds the frames buffered in flight per connection;
+// writers block (backpressure) once the window is full.
+const deliveryWindow = 64
+
+func newShapedConn(raw net.Conn, n *Network, latency time.Duration, bandwidth float64,
+	hubs []*hub, local, remote addr, port int, server bool) *shapedConn {
+	c := &shapedConn{
+		Conn: raw, network: n, latency: latency, bandwidth: bandwidth, hubs: hubs,
+		local: local, remote: remote, servicePort: port, server: server,
+		queue:    make(chan deliverItem, deliveryWindow),
+		kick:     make(chan struct{}, 1),
+		closedCh: make(chan struct{}),
+	}
+	go c.deliverLoop()
+	return c
+}
+
+func (c *shapedConn) isClosing() bool {
+	c.closingMu.Lock()
+	defer c.closingMu.Unlock()
+	return c.closing
+}
+
+// deliverLoop carries queued frames to the receiving side after their
+// propagation delay, preserving FIFO order. An abortive close (fault
+// injection, hub outage) drops in-flight frames; a graceful Close
+// flushes them first, like a TCP FIN after buffered data.
+func (c *shapedConn) deliverLoop() {
+	deliver := func(item deliverItem) bool {
+		if d := time.Until(item.at); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-c.closedCh:
+				timer.Stop()
+				return false
+			}
+		}
+		_, err := c.Conn.Write(item.payload)
+		return err == nil
+	}
+	for {
+		select {
+		case <-c.closedCh:
+			c.Conn.Close()
+			return
+		case item := <-c.queue:
+			if !deliver(item) {
+				c.abort()
+				return
+			}
+		case <-c.kick:
+		}
+		if c.isClosing() {
+			// Flush whatever is still queued, then shut the pipe down.
+			for {
+				select {
+				case item := <-c.queue:
+					if !deliver(item) {
+						c.abort()
+						return
+					}
+				default:
+					c.markClosed()
+					c.Conn.Close()
+					return
+				}
+			}
+		}
+	}
 }
 
 func (c *shapedConn) Write(p []byte) (int, error) {
@@ -535,59 +635,65 @@ func (c *shapedConn) Write(p []byte) (int, error) {
 		return 0, fmt.Errorf("netsim: write on closed connection: %w", net.ErrClosed)
 	default:
 	}
-	delay := c.latency
-	if c.bandwidth > 0 {
-		delay += time.Duration(float64(len(p)) / c.bandwidth * float64(time.Second))
+	if c.isClosing() {
+		return 0, fmt.Errorf("netsim: write on closed connection: %w", net.ErrClosed)
 	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	// Serialisation: the link transmits one frame at a time at
+	// size/bandwidth. Rather than blocking the sender for it (a real
+	// sender blocks only when the socket buffer fills, which the
+	// bounded delivery queue models), the busy interval advances the
+	// frame's scheduled departure, so consecutive deliveries are spaced
+	// by their transmission time and a burst of writes drains at
+	// exactly the link rate.
+	now := time.Now()
+	if c.txFree.Before(now) {
+		c.txFree = now
+	}
+	if c.bandwidth > 0 {
+		c.txFree = c.txFree.Add(time.Duration(float64(len(p)) / c.bandwidth * float64(time.Second)))
+	}
+	// Sample the fault plan of every hub on the path; a loss event
+	// tears the connection down (what a WAN does to a TCP stream after
+	// enough dropped segments), corruption flips a payload byte.
+	// The payload is copied regardless: delivery happens after Write
+	// returns, and the caller may reuse its buffer.
+	payload := append([]byte(nil), p...)
+	for _, h := range c.hubs {
+		loss, corrupt := c.network.sampleFaults(h, c, len(p))
+		if loss {
+			c.abort()
+			c.peer.abort()
+			return 0, fmt.Errorf("netsim: injected packet loss on %s: %w", h.name, net.ErrClosed)
+		}
+		if corrupt && len(p) > 4 {
+			// A zero byte is invalid anywhere inside a JSON frame, so
+			// the receiver detects the damage instead of acting on it.
+			payload[4+int(c.network.faultSample()%uint64(len(p)-4))] = 0x00
+		}
+	}
+	// Propagation: the frame arrives once fully transmitted (txFree)
+	// plus the path latency and jitter — the same L + size/B arrival a
+	// blocking sender would produce, but overlappable across frames.
+	delay := c.latency
 	for _, h := range c.hubs {
 		delay += h.jitterSample()
 	}
 	if delay < 0 {
 		delay = 0
 	}
-	if delay > 0 {
-		timer := time.NewTimer(delay)
-		select {
-		case <-timer.C:
-		case <-c.closedCh:
-			timer.Stop()
-			return 0, fmt.Errorf("netsim: connection lost in transit: %w", net.ErrClosed)
-		}
-	}
-	// Sample the fault plan of every hub on the path; a loss event
-	// tears the connection down (what a WAN does to a TCP stream after
-	// enough dropped segments), corruption flips a payload byte.
-	payload := p
-	for _, h := range c.hubs {
-		loss, corrupt := c.network.sampleFaults(h, c, len(p))
-		if loss {
-			c.Close()
-			c.peer.Close()
-			return 0, fmt.Errorf("netsim: injected packet loss on %s: %w", h.name, net.ErrClosed)
-		}
-		if corrupt && len(p) > 4 {
-			if &payload[0] == &p[0] {
-				payload = append([]byte(nil), p...)
-			}
-			// A zero byte is invalid anywhere inside a JSON frame, so
-			// the receiver detects the damage instead of acting on it.
-			payload[4+int(c.network.faultSample()%uint64(len(p)-4))] = 0x00
-		}
-	}
 	for _, h := range c.hubs {
 		h.mu.Lock()
 		h.bytesFwd += int64(len(p))
 		h.mu.Unlock()
 	}
-	n, err := c.Conn.Write(payload)
-	if err != nil {
-		select {
-		case <-c.closedCh:
-			return n, fmt.Errorf("netsim: connection lost in transit: %w", net.ErrClosed)
-		default:
-		}
+	select {
+	case c.queue <- deliverItem{payload: payload, at: c.txFree.Add(delay)}:
+	case <-c.closedCh:
+		return 0, fmt.Errorf("netsim: connection lost in transit: %w", net.ErrClosed)
 	}
-	return n, err
+	return len(p), nil
 }
 
 func (c *shapedConn) Read(p []byte) (int, error) {
@@ -602,9 +708,8 @@ func (c *shapedConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Close tears the connection down, deregistering it from its hubs; any
-// blocked Read or Write on either side fails promptly.
-func (c *shapedConn) Close() error {
+// markClosed closes closedCh and deregisters from hubs, exactly once.
+func (c *shapedConn) markClosed() {
 	c.closeOnce.Do(func() {
 		close(c.closedCh)
 		for _, h := range c.hubs {
@@ -613,7 +718,34 @@ func (c *shapedConn) Close() error {
 			h.mu.Unlock()
 		}
 	})
+}
+
+// abort tears the connection down immediately, dropping any frames
+// still in flight — injected loss and hub outages behave like a cut
+// cable, not a polite shutdown. Blocked Reads and Writes on this side
+// fail promptly with an error matching net.ErrClosed.
+func (c *shapedConn) abort() error {
+	c.markClosed()
 	return c.Conn.Close()
+}
+
+// Close shuts the connection down gracefully: frames already accepted
+// by Write are still delivered to the peer (like a TCP FIN queued
+// behind buffered data), then the transport closes and the connection
+// deregisters from its hubs. New Writes fail immediately.
+func (c *shapedConn) Close() error {
+	c.closingMu.Lock()
+	already := c.closing
+	c.closing = true
+	c.closingMu.Unlock()
+	if already {
+		return nil
+	}
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	return nil
 }
 
 func (c *shapedConn) LocalAddr() net.Addr  { return c.local }

@@ -358,24 +358,24 @@ func TestHubJitterSpreadsLatency(t *testing.T) {
 	n.AddHost("b", "jittery")
 	l, _ := n.Listen("b", 9000)
 	defer l.Close()
-	go func() {
-		conn, err := l.Accept()
-		if err != nil {
-			return
-		}
-		defer conn.Close()
-		io.Copy(io.Discard, conn)
-	}()
+	go echoServer(l)
 	conn, err := n.Dial("a", "b:9000")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	// Measure per-write latency spread.
+	// Latency is applied on delivery, not in Write, so measure the
+	// round trip of a one-byte echo: two jittered legs per sample.
+	buf := make([]byte, 1)
 	var min, max time.Duration = time.Hour, 0
 	for i := 0; i < 30; i++ {
 		start := time.Now()
-		conn.Write([]byte{1})
+		if _, err := conn.Write([]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Fatal(err)
+		}
 		d := time.Since(start)
 		if d < min {
 			min = d
@@ -385,10 +385,10 @@ func TestHubJitterSpreadsLatency(t *testing.T) {
 		}
 	}
 	if max-min < time.Millisecond {
-		t.Errorf("jitter spread = %v, want ≥ 1ms with ±4ms jitter", max-min)
+		t.Errorf("jitter spread = %v, want ≥ 1ms with ±4ms jitter per leg", max-min)
 	}
-	if min < time.Millisecond {
-		t.Errorf("minimum latency %v below 5ms−4ms floor", min)
+	if min < 2*time.Millisecond {
+		t.Errorf("minimum RTT %v below 2×(5ms−4ms) floor", min)
 	}
 	if err := n.SetHubJitter("ghost", time.Millisecond); err == nil {
 		t.Error("unknown hub accepted")
