@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-parallel-quick fuzz
+.PHONY: all build vet test race bench bench-parallel bench-parallel-quick fuzz gateway-smoke
 
 all: build vet test
 
@@ -27,6 +27,11 @@ bench-parallel:
 # Fast variant for CI smoke: small transfers, single repetitions.
 bench-parallel-quick:
 	$(GO) run ./cmd/benchparallel -quick -o BENCH_parallel.json
+
+# End-to-end gateway check: icegated on a self-deployed lab, two
+# tenants' jobs through the HTTP API, leases verified clean.
+gateway-smoke:
+	$(GO) run ./cmd/icegated -smoke
 
 fuzz:
 	for pkg in $$($(GO) list ./...); do \

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ice/internal/backoff"
+	"ice/internal/sched"
+)
+
+// runGateway is icectl's client mode against an icegated scheduling
+// gateway: instead of driving the lab directly, experiments are
+// submitted as jobs and the gateway arbitrates tenants.
+//
+//	icectl -gateway http://host:9700 -tenant acl submit            # cv job from flags
+//	icectl -gateway http://host:9700 -tenant acl submit spec.json  # spec from file ("-" = stdin)
+//	icectl -gateway http://host:9700 status [jobID]
+//	icectl -gateway http://host:9700 wait jobID
+//	icectl -gateway http://host:9700 cancel jobID
+//
+// Submissions retry through the shared backoff policy: transport
+// errors redial with jittered exponential delays, and 429 responses
+// honor the gateway's Retry-After hint.
+func runGateway(ctx context.Context, base, verb string, args []string, tenant string, scanRate float64) {
+	base = strings.TrimRight(base, "/")
+	switch verb {
+	case "submit":
+		var spec []byte
+		switch {
+		case len(args) >= 1:
+			var err error
+			if args[0] == "-" {
+				spec, err = io.ReadAll(os.Stdin)
+			} else {
+				spec, err = os.ReadFile(args[0])
+			}
+			if err != nil {
+				log.Fatalf("read spec: %v", err)
+			}
+		case tenant == "":
+			log.Fatal("submit needs -tenant (or a spec file)")
+		default:
+			spec, _ = json.Marshal(sched.JobSpec{Tenant: tenant, Kind: sched.KindCV, ScanRateMVs: scanRate})
+		}
+		job := submitWithRetry(ctx, base, spec)
+		fmt.Printf("%s %s submitted for tenant %s\n", job.ID, job.Spec.Kind, job.Tenant)
+
+	case "status":
+		if len(args) >= 1 {
+			job := getJob(base, args[0])
+			printJob(job)
+			return
+		}
+		resp, err := http.Get(base + "/v1/jobs")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var list struct {
+			Jobs []sched.Job `json:"jobs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("job       tenant        kind      state")
+		for _, j := range list.Jobs {
+			fmt.Printf("%-9s %-13s %-9s %s\n", j.ID, j.Tenant, j.Spec.Kind, j.State)
+		}
+
+	case "wait":
+		if len(args) < 1 {
+			log.Fatal("wait needs a job ID")
+		}
+		id := args[0]
+		for {
+			job := getJob(base, id)
+			if job.State.Terminal() {
+				printJob(job)
+				if job.State != sched.StateDone {
+					os.Exit(1)
+				}
+				return
+			}
+			select {
+			case <-ctx.Done():
+				log.Fatalf("wait: %v", ctx.Err())
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
+
+	case "cancel":
+		if len(args) < 1 {
+			log.Fatal("cancel needs a job ID")
+		}
+		resp, err := http.Post(base+"/v1/jobs/"+args[0]+"/cancel", "application/json", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusAccepted {
+			log.Fatalf("cancel: %s: %s", resp.Status, body)
+		}
+		fmt.Printf("%s cancel requested\n", args[0])
+
+	default:
+		log.Fatalf("unknown gateway verb %q (want submit|status|wait|cancel)", verb)
+	}
+}
+
+// submitWithRetry posts the spec until the gateway admits it: 429s
+// sleep out the Retry-After hint, transport errors follow the jittered
+// exponential policy, and 4xx validation errors fail immediately.
+func submitWithRetry(ctx context.Context, base string, spec []byte) sched.Job {
+	var policy backoff.Policy
+	seq := policy.StartWith(200*time.Millisecond, 5*time.Second)
+	for {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(spec)))
+		if err != nil {
+			d := seq.Next()
+			log.Printf("submit: %v (retrying in %v)", err, d.Round(time.Millisecond))
+			sleepCtx(ctx, d)
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var job sched.Job
+			if err := json.Unmarshal(body, &job); err != nil {
+				log.Fatalf("submit: bad response: %v", err)
+			}
+			return job
+		case http.StatusTooManyRequests:
+			d := seq.Next()
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				d = time.Duration(secs) * time.Second
+			}
+			log.Printf("gateway busy: %s (retrying in %v)", strings.TrimSpace(string(body)), d)
+			sleepCtx(ctx, d)
+		default:
+			log.Fatalf("submit rejected: %s: %s", resp.Status, body)
+		}
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	select {
+	case <-ctx.Done():
+		log.Fatalf("aborted: %v", ctx.Err())
+	case <-time.After(d):
+	}
+}
+
+func getJob(base, id string) sched.Job {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("status: %s: %s", resp.Status, body)
+	}
+	var job sched.Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		log.Fatal(err)
+	}
+	return job
+}
+
+func printJob(job sched.Job) {
+	fmt.Printf("%s  tenant=%s kind=%s state=%s attempts=%d\n",
+		job.ID, job.Tenant, job.Spec.Kind, job.State, job.Attempts)
+	if job.Error != "" {
+		fmt.Printf("  error: %s\n", job.Error)
+	}
+	if len(job.Result) > 0 {
+		fmt.Printf("  result: %s\n", job.Result)
+	}
+}

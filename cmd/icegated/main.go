@@ -1,0 +1,256 @@
+// Icegated is the experiment-scheduling gateway: a daemon that admits
+// job submissions from many tenants over HTTP/JSON, orders them with
+// per-tenant fair sharing, guards the shared instruments with TTL'd
+// leases, and journals every job transition so a crashed gateway
+// restarts without losing or duplicating work.
+//
+//	icegated -selflab                                  # simulated lab, HTTP on :9700
+//	icegated -selflab -dir /var/lib/icegated           # durable state directory
+//	icegated -agent acl-host -token s3cret -reliable   # schedule onto a real control agent
+//	icegated -smoke                                    # one-shot self-test: two tenants, then exit
+//
+// Submit with icectl:
+//
+//	icectl -gateway http://localhost:9700 submit -tenant acl -kind cv
+//	icectl -gateway http://localhost:9700 wait j-000001
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ice/internal/core"
+	"ice/internal/netsim"
+	"ice/internal/sched"
+)
+
+func main() {
+	listen := flag.String("listen", "localhost:9700", "HTTP listen address (host:port; :0 picks a free port)")
+	dir := flag.String("dir", "icegated_state", "state directory: job WAL plus per-job workflow journals")
+	queueCap := flag.Int("queue", 64, "queued-job capacity across all tenants; beyond it submissions get 429 + Retry-After")
+	workers := flag.Int("workers", 2, "concurrent jobs (instrument access still serialises on the lease)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "instrument lease TTL; a holder that stops heartbeating loses the lab")
+	retryAfter := flag.Duration("retry-after", 2*time.Second, "back-off hint attached to full-queue rejections")
+	weights := flag.String("weights", "", "per-tenant fair-share weights, e.g. acl=3,dgx=1 (default weight 1)")
+	campaignPoints := flag.Int("campaign-points", 300, "CV points acquired per campaign round")
+
+	selflab := flag.Bool("selflab", false, "serve an in-process simulated lab (netsim) instead of dialing an agent")
+	seed := flag.Int64("seed", 1, "selflab: synthesis noise seed")
+	timeScale := flag.Float64("timescale", 0, "selflab: instrument pacing (0 = instant)")
+
+	agentHost := flag.String("agent", "", "control agent host (real-TCP mode; mutually exclusive with -selflab)")
+	controlPort := flag.Int("control-port", 9690, "control channel port")
+	dataPort := flag.Int("data-port", 4450, "data channel port")
+	token := flag.String("token", "", "control-channel credential (must match the agent's -token)")
+	reliable := flag.Bool("reliable", false, "retry instrument commands across transport faults with exactly-once semantics")
+	reliableData := flag.Bool("reliable-data", false, "self-healing data mount: redial and resume interrupted transfers")
+
+	smoke := flag.Bool("smoke", false, "one-shot self-test: selflab gateway, two tenants submit, wait, report, exit")
+	flag.Parse()
+
+	if *smoke {
+		*selflab = true
+		*listen = "127.0.0.1:0"
+	}
+
+	var connector sched.Connector
+	switch {
+	case *selflab && *agentHost != "":
+		log.Fatal("choose -selflab or -agent, not both")
+	case *selflab:
+		labDir := filepath.Join(*dir, "lab")
+		if err := os.MkdirAll(labDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		d, err := core.Deploy(labDir, *timeScale)
+		if err != nil {
+			log.Fatalf("deploy simulated lab: %v", err)
+		}
+		defer d.Close()
+		if err := d.AttachLab(*seed, *timeScale); err != nil {
+			log.Fatalf("attach lab stations: %v", err)
+		}
+		connector = &sched.DeploymentConnector{D: d, Host: netsim.HostDGX}
+		log.Printf("selflab: simulated lab up (seed %d, timescale %g)", *seed, *timeScale)
+	case *agentHost != "":
+		connector = &sched.NetConnector{
+			Agent:        *agentHost,
+			ControlPort:  *controlPort,
+			DataPort:     *dataPort,
+			Token:        *token,
+			Reliable:     *reliable,
+			ReliableData: *reliableData,
+		}
+	default:
+		log.Fatal("need a lab: -selflab or -agent HOST")
+	}
+
+	tenants, err := parseWeights(*weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sched.New(sched.Config{
+		Dir:           *dir,
+		QueueCapacity: *queueCap,
+		RetryAfter:    *retryAfter,
+		Workers:       *workers,
+		LeaseTTL:      *leaseTTL,
+		Tenants:       tenants,
+	})
+	if err != nil {
+		log.Fatalf("open job store: %v", err)
+	}
+	s.SetRunner(&sched.LabRunner{
+		Connector:        connector,
+		Leases:           s.Leases(),
+		Dir:              s.Dir(),
+		CampaignCVPoints: *campaignPoints,
+	})
+	if err := s.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	srv := &http.Server{Handler: sched.NewGateway(s)}
+	go func() {
+		if err := srv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+	log.Printf("icegated: listening on http://%s (state in %s, queue %d, %d workers, lease TTL %v)",
+		l.Addr(), *dir, *queueCap, *workers, *leaseTTL)
+
+	if *smoke {
+		err := runSmoke("http://" + l.Addr().String())
+		srv.Shutdown(context.Background())
+		s.Stop()
+		if err != nil {
+			log.Fatalf("smoke: %v", err)
+		}
+		log.Print("smoke: OK")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Print("icegated: shutting down (queued jobs stay PENDING in the WAL)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	s.Stop()
+}
+
+// parseWeights turns "acl=3,dgx=1" into per-tenant limits.
+func parseWeights(s string) (map[string]sched.TenantLimits, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]sched.TenantLimits)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -weights entry %q (want tenant=weight)", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight %q for tenant %s", val, name)
+		}
+		out[name] = sched.TenantLimits{Weight: w}
+	}
+	return out, nil
+}
+
+// runSmoke drives the gateway the way two tenants would: each submits
+// a job over HTTP, both complete, and the lease table drains — the
+// make gateway-smoke acceptance path.
+func runSmoke(base string) error {
+	submit := func(spec string) (sched.Job, error) {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			return sched.Job{}, err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusAccepted {
+			return sched.Job{}, fmt.Errorf("submit: %s: %s", resp.Status, body)
+		}
+		var job sched.Job
+		if err := json.Unmarshal(body, &job); err != nil {
+			return sched.Job{}, err
+		}
+		return job, nil
+	}
+
+	jobA, err := submit(`{"tenant": "acl", "kind": "cv", "points": 600}`)
+	if err != nil {
+		return err
+	}
+	jobB, err := submit(`{"tenant": "dgx", "kind": "campaign", "cells": [
+		{"name": "smoke-cell", "rounds": [{"concentration_mm": 2}, {"scan_rate_mvs": 100}]}
+	]}`)
+	if err != nil {
+		return err
+	}
+	log.Printf("smoke: submitted %s (acl/cv) and %s (dgx/campaign)", jobA.ID, jobB.ID)
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, id := range []string{jobA.ID, jobB.ID} {
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %s did not finish in time", id)
+			}
+			resp, err := http.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				return err
+			}
+			var job sched.Job
+			err = json.NewDecoder(resp.Body).Decode(&job)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if job.State.Terminal() {
+				if job.State != sched.StateDone {
+					return fmt.Errorf("job %s ended %s: %s", id, job.State, job.Error)
+				}
+				log.Printf("smoke: %s DONE: %s", id, job.Result)
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/leases")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var leases struct {
+		Leases []sched.LeaseInfo `json:"leases"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&leases); err != nil {
+		return err
+	}
+	if len(leases.Leases) != 0 {
+		return fmt.Errorf("leaked leases after completion: %+v", leases.Leases)
+	}
+	return nil
+}

@@ -83,8 +83,6 @@ type Executor struct {
 	// Observe, when set, is called after every completed round (fleets
 	// use it to maintain a shared cross-cell history).
 	Observe func(Observation)
-
-	potentiostatUp bool
 }
 
 // Run executes the campaign and returns the observation history. The
@@ -190,11 +188,12 @@ func (e *Executor) acquireRound(ctx context.Context, obs *Observation, params Pa
 		obs.AchievedMM = batch.AchievedMM
 	}
 
-	if !e.potentiostatUp {
-		if err := e.bringUp(); err != nil {
-			return "", err
-		}
-		e.potentiostatUp = true
+	// Readiness is re-checked under the gate every round, not cached:
+	// between our rounds another tenant sharing the instrument may have
+	// torn it down (a cv workflow's shutdown task) or crashed partway
+	// through the pipeline.
+	if err := e.bringUp(); err != nil {
+		return "", err
 	}
 
 	cv := core.PaperCVParams()
@@ -218,11 +217,18 @@ func (e *Executor) acquireRound(ctx context.Context, obs *Observation, params Pa
 // a fleet, another campaign may already have brought the shared
 // instrument up — Initialize from any state but off fails with
 // ErrBadState — so a firmware-loaded instrument is taken as ready
-// rather than an error.
+// rather than an error. A device stranded elsewhere in the pipeline
+// (a tenant crashed mid-acquisition) is reset before initialising.
 func (e *Executor) bringUp() error {
-	if status, err := e.Session.SP200Status(); err == nil &&
-		strings.Contains(status, potentiostat.StateFirmwareLoaded.String()) {
-		return nil
+	if status, err := e.Session.SP200Status(); err == nil {
+		if strings.Contains(status, potentiostat.StateFirmwareLoaded.String()) {
+			return nil
+		}
+		if !strings.Contains(status, "["+potentiostat.StateOff.String()+" ") {
+			if err := e.Session.ResetSP200(); err != nil {
+				return err
+			}
+		}
 	}
 	if _, err := e.Session.CallInitializeSP200API(core.PaperSystemParams()); err != nil {
 		return err

@@ -13,23 +13,9 @@ import (
 	"ice/internal/telemetry"
 )
 
-// fixedPlan is a deterministic planner: it proposes a pre-built list of
-// rounds and converges when the list is exhausted. Every round carries
-// its own concentration, so sibling campaigns interleaving on the
-// shared cell cannot contaminate each other's chemistry.
-type fixedPlan struct {
-	name   string
-	rounds []Params
-}
-
-func (p fixedPlan) Name() string { return p.name }
-
-func (p fixedPlan) Next(history []Observation) (Params, bool, error) {
-	if len(history) >= len(p.rounds) {
-		return Params{}, true, nil
-	}
-	return p.rounds[len(history)], false, nil
-}
+// The fleet tests drive FixedRounds planners: every round carries its
+// own concentration, so sibling campaigns interleaving on the shared
+// cell cannot contaminate each other's chemistry.
 
 // deployLab stands up one ICE with lab stations attached.
 func deployLab(t *testing.T) *core.Deployment {
@@ -48,15 +34,15 @@ func deployLab(t *testing.T) *core.Deployment {
 func TestFleetRunsCampaignsConcurrently(t *testing.T) {
 	d := deployLab(t)
 	planners := []Planner{
-		fixedPlan{name: "low", rounds: []Params{
+		FixedRounds{Label: "low", Rounds: []Params{
 			{ConcentrationMM: 1, ScanRateMVs: 100},
 			{ConcentrationMM: 1, ScanRateMVs: 100},
 		}},
-		fixedPlan{name: "mid", rounds: []Params{
+		FixedRounds{Label: "mid", Rounds: []Params{
 			{ConcentrationMM: 2, ScanRateMVs: 100},
 			{ConcentrationMM: 2, ScanRateMVs: 100},
 		}},
-		fixedPlan{name: "high", rounds: []Params{
+		FixedRounds{Label: "high", Rounds: []Params{
 			{ConcentrationMM: 4, ScanRateMVs: 100},
 			{ConcentrationMM: 4, ScanRateMVs: 100},
 		}},
@@ -130,8 +116,8 @@ func TestFleetWorkerCapAndValidation(t *testing.T) {
 	// Workers=1 degrades gracefully to sequential execution.
 	d := deployLab(t)
 	planners := []Planner{
-		fixedPlan{name: "a", rounds: []Params{{ConcentrationMM: 2, ScanRateMVs: 100}}},
-		fixedPlan{name: "b", rounds: []Params{{ConcentrationMM: 2, ScanRateMVs: 200}}},
+		FixedRounds{Label: "a", Rounds: []Params{{ConcentrationMM: 2, ScanRateMVs: 100}}},
+		FixedRounds{Label: "b", Rounds: []Params{{ConcentrationMM: 2, ScanRateMVs: 200}}},
 	}
 	fleet, cleanup, err := ConnectFleet(d, netsim.HostDGX, planners)
 	if err != nil {
@@ -232,11 +218,11 @@ func TestFleetChaosParallelCampaignsUnderLoss(t *testing.T) {
 	fleet := &Fleet{History: &SharedHistory{}}
 	var mounts []*datachan.ReliableMount
 	planners := []Planner{
-		fixedPlan{name: "low", rounds: []Params{
+		FixedRounds{Label: "low", Rounds: []Params{
 			{ConcentrationMM: 1, ScanRateMVs: 100},
 			{ConcentrationMM: 1, ScanRateMVs: 100},
 		}},
-		fixedPlan{name: "high", rounds: []Params{
+		FixedRounds{Label: "high", Rounds: []Params{
 			{ConcentrationMM: 4, ScanRateMVs: 100},
 			{ConcentrationMM: 4, ScanRateMVs: 100},
 		}},

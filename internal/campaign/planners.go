@@ -33,6 +33,33 @@ func (l ScanRateLadder) Next(history []Observation) (Params, bool, error) {
 	return p, false, nil
 }
 
+// FixedRounds replays a predeclared list of rounds and converges when
+// the list is exhausted — the declarative job shape tenants submit
+// through the scheduling gateway, and the deterministic workload the
+// fleet tests drive.
+type FixedRounds struct {
+	// Label names the plan in logs (default "fixed-rounds").
+	Label string
+	// Rounds are executed in order.
+	Rounds []Params
+}
+
+// Name implements Planner.
+func (p FixedRounds) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "fixed-rounds"
+}
+
+// Next implements Planner.
+func (p FixedRounds) Next(history []Observation) (Params, bool, error) {
+	if len(history) >= len(p.Rounds) {
+		return Params{}, true, nil
+	}
+	return p.Rounds[len(history)], false, nil
+}
+
 // TargetPeakSearch adapts the synthesised concentration by bisection
 // until the measured anodic peak hits a target current — a minimal
 // real-time steering loop: each round's measurement decides the next

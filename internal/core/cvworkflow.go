@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sync"
 	"time"
 
 	"ice/internal/analysis"
@@ -38,6 +39,20 @@ type CVWorkflowConfig struct {
 	// the transcript while acquisition is in flight (real-time
 	// monitoring over the pipelined control/data channels).
 	ProgressPoll time.Duration
+	// OnMeasured, when set, is called inside task D the moment
+	// call_Get_Tech_Path_Rslt returns — acquisition has finished
+	// streaming to the agent's disk and the instruments are free, but
+	// the WAN retrieval and analysis are still ahead. The scheduling
+	// gateway releases its instrument lease here, the same point a
+	// fleet's shared gate releases, so one tenant's data phase overlaps
+	// the next tenant's instrument time.
+	OnMeasured func(fileName string)
+	// TeardownGate, when set, is held around task E's instrument
+	// shutdown. A multi-tenant scheduler that released its instrument
+	// lease at OnMeasured re-acquires it here, so one tenant's
+	// disconnect cannot fire inside another tenant's acquisition
+	// pipeline on the shared instrument.
+	TeardownGate sync.Locker
 }
 
 // PaperCVWorkflowConfig returns the demonstration parameters.
@@ -208,6 +223,9 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 				return "", fmt.Errorf("step 7 call_Get_Tech_Path_Rslt: %w", err)
 			}
 			c.Logf("(7) measurements are collected: %s", fileName)
+			if cfg.OnMeasured != nil {
+				cfg.OnMeasured(fileName)
+			}
 
 			// Retrieve over the data channel (CIFS-mounted files). On a
 			// reliable mount this rides out link faults, resuming from
@@ -284,6 +302,10 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 		ID: "E", Title: "Shut down cross-facility connections",
 		DependsOn: []string{"A"},
 		Run: func(c *workflow.Context) (string, error) {
+			if cfg.TeardownGate != nil {
+				cfg.TeardownGate.Lock()
+				defer cfg.TeardownGate.Unlock()
+			}
 			out, err := session.CallExitJKemAPI()
 			if err != nil {
 				return "", err

@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Gateway exposes a Scheduler over HTTP/JSON — the multi-tenant intake
+// the paper's remote operators submit experiments through:
+//
+//	POST /v1/jobs             submit a JobSpec  → 202 + job, 429 + Retry-After when saturated
+//	GET  /v1/jobs             list jobs (?tenant= filters)
+//	GET  /v1/jobs/{id}        one job's state and result
+//	GET  /v1/jobs/{id}/events live progress as server-sent events
+//	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /v1/leases           active instrument leases
+//	GET  /v1/metrics          the gateway's QoS counters, plain text
+type Gateway struct {
+	S   *Scheduler
+	mux *http.ServeMux
+}
+
+// NewGateway wires the routes.
+func NewGateway(s *Scheduler) *Gateway {
+	g := &Gateway{S: s, mux: http.NewServeMux()}
+	g.mux.HandleFunc("POST /v1/jobs", g.submit)
+	g.mux.HandleFunc("GET /v1/jobs", g.list)
+	g.mux.HandleFunc("GET /v1/jobs/{id}", g.job)
+	g.mux.HandleFunc("GET /v1/jobs/{id}/events", g.events)
+	g.mux.HandleFunc("POST /v1/jobs/{id}/cancel", g.cancel)
+	g.mux.HandleFunc("GET /v1/leases", g.leases)
+	g.mux.HandleFunc("GET /v1/metrics", g.metrics)
+	return g
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error      string  `json:"error"`
+	RetryAfter float64 `json:"retry_after_s,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+// submit is the admission edge: *Busy rejections become 429 with a
+// Retry-After header so well-behaved clients back off instead of
+// hammering a saturated gateway.
+func (g *Gateway) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxJobSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	spec, err := DecodeJobSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, err := g.S.Submit(spec)
+	if err != nil {
+		var busy *Busy
+		switch {
+		case errors.As(err, &busy):
+			secs := int(busy.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, apiError{
+				Error:      busy.Reason,
+				RetryAfter: busy.RetryAfter.Seconds(),
+			})
+		case errors.Is(err, ErrStopped):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (g *Gateway) list(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	jobs := g.S.Jobs()
+	if tenant != "" {
+		filtered := jobs[:0]
+		for _, j := range jobs {
+			if j.Tenant == tenant {
+				filtered = append(filtered, j)
+			}
+		}
+		jobs = filtered
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []Job `json:"jobs"`
+	}{Jobs: jobs})
+}
+
+func (g *Gateway) job(w http.ResponseWriter, r *http.Request) {
+	job, ok := g.S.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// events streams the job's progress as server-sent events: the full
+// backlog first, then live events until the job reaches a terminal
+// state or the client disconnects.
+func (g *Gateway) events(w http.ResponseWriter, r *http.Request) {
+	past, live, unsub, err := g.S.Events(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	defer unsub()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, ev := range past {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-live:
+			if !ok {
+				fmt.Fprint(w, "event: end\ndata: {}\n\n")
+				flusher.Flush()
+				return
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		}
+	}
+}
+
+func (g *Gateway) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := g.S.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	job, _ := g.S.Job(id)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (g *Gateway) leases(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Leases []LeaseInfo `json:"leases"`
+	}{Leases: g.S.Leases().Active()})
+}
+
+func (g *Gateway) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, strings.Join(g.S.Metrics().Report(), "\n"))
+}

@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// MaxJobSpecBytes bounds the JSON a tenant may submit; the gateway
+// enforces it before decoding so a hostile body cannot balloon memory.
+const MaxJobSpecBytes = 64 * 1024
+
+// Job spec shape limits: declarative requests are small by
+// construction, so anything outside these bounds is rejected at
+// admission rather than discovered mid-experiment.
+const (
+	maxTenantLen = 64
+	maxLabelLen  = 64
+	maxCells     = 16
+	maxRounds    = 64
+	maxCVPoints  = 100_000
+	maxPriority  = 9
+)
+
+// RoundSpec is one declarative campaign round.
+type RoundSpec struct {
+	// ConcentrationMM to synthesise before measuring; 0 reuses the cell
+	// contents.
+	ConcentrationMM float64 `json:"concentration_mm,omitempty"`
+	// ScanRateMVs is the CV scan rate (0 = the paper's default).
+	ScanRateMVs float64 `json:"scan_rate_mvs,omitempty"`
+}
+
+// CellSpec is one campaign within a job: either a fixed list of rounds
+// or a target-peak search (exactly one of the two).
+type CellSpec struct {
+	// Name labels the cell in results and events (optional).
+	Name string `json:"name,omitempty"`
+	// Rounds, when set, replays these rounds in order.
+	Rounds []RoundSpec `json:"rounds,omitempty"`
+	// TargetPeakUA, when > 0, runs the bisection search for the
+	// concentration hitting this anodic peak.
+	TargetPeakUA float64 `json:"target_peak_ua,omitempty"`
+	// MinMM and MaxMM bound the search (required with TargetPeakUA).
+	MinMM float64 `json:"min_mm,omitempty"`
+	MaxMM float64 `json:"max_mm,omitempty"`
+}
+
+// JobSpec is the declarative experiment request a tenant submits to
+// the gateway.
+type JobSpec struct {
+	// Tenant identifies the submitting tenant (required).
+	Tenant string `json:"tenant"`
+	// Kind selects the workload: "cv" (the paper's tasks A–E), or
+	// "campaign" (closed-loop rounds over the lab stations; one cell
+	// runs alone, several cells run as a fleet sharing the instrument).
+	Kind string `json:"kind"`
+	// Priority orders a tenant's own jobs (0–9, higher first). It does
+	// not jump the fair-share ordering across tenants.
+	Priority int `json:"priority,omitempty"`
+	// ScanRateMVs and Points parameterise a cv job.
+	ScanRateMVs float64 `json:"scan_rate_mvs,omitempty"`
+	Points      int     `json:"points,omitempty"`
+	// Cells parameterise a campaign job (1..16 cells).
+	Cells []CellSpec `json:"cells,omitempty"`
+}
+
+// Job kinds.
+const (
+	KindCV       = "cv"
+	KindCampaign = "campaign"
+)
+
+// DecodeJobSpec parses and validates a tenant-submitted job spec. It
+// is strict — unknown fields, trailing garbage, oversized bodies, and
+// out-of-range values are all errors — and never panics on malformed
+// input (FuzzDecodeJobSpec holds it to that).
+func DecodeJobSpec(data []byte) (JobSpec, error) {
+	var spec JobSpec
+	if len(data) > MaxJobSpecBytes {
+		return spec, fmt.Errorf("sched: job spec exceeds %d bytes", MaxJobSpecBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return JobSpec{}, fmt.Errorf("sched: decode job spec: %w", err)
+	}
+	// A second document after the first is garbage, not a request.
+	if dec.More() {
+		return JobSpec{}, fmt.Errorf("sched: trailing data after job spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return JobSpec{}, err
+	}
+	return spec, nil
+}
+
+// Validate checks the spec's shape and ranges.
+func (s *JobSpec) Validate() error {
+	if err := validateName("tenant", s.Tenant, maxTenantLen, true); err != nil {
+		return err
+	}
+	if s.Priority < 0 || s.Priority > maxPriority {
+		return fmt.Errorf("sched: priority %d outside 0..%d", s.Priority, maxPriority)
+	}
+	switch s.Kind {
+	case KindCV:
+		if len(s.Cells) != 0 {
+			return fmt.Errorf("sched: cv job does not take cells")
+		}
+		if !finiteIn(s.ScanRateMVs, 0, 10_000) {
+			return fmt.Errorf("sched: scan rate %v mV/s outside 0..10000", s.ScanRateMVs)
+		}
+		if s.Points < 0 || s.Points > maxCVPoints {
+			return fmt.Errorf("sched: points %d outside 0..%d", s.Points, maxCVPoints)
+		}
+	case KindCampaign:
+		if s.ScanRateMVs != 0 || s.Points != 0 {
+			return fmt.Errorf("sched: campaign job takes per-round scan rates, not top-level cv fields")
+		}
+		if len(s.Cells) == 0 || len(s.Cells) > maxCells {
+			return fmt.Errorf("sched: campaign needs 1..%d cells, got %d", maxCells, len(s.Cells))
+		}
+		for i := range s.Cells {
+			if err := s.Cells[i].validate(); err != nil {
+				return fmt.Errorf("sched: cell %d: %w", i+1, err)
+			}
+		}
+	case "":
+		return fmt.Errorf("sched: job spec needs a kind")
+	default:
+		return fmt.Errorf("sched: unknown job kind %q", s.Kind)
+	}
+	return nil
+}
+
+func (c *CellSpec) validate() error {
+	if err := validateName("cell name", c.Name, maxLabelLen, false); err != nil {
+		return err
+	}
+	hasRounds := len(c.Rounds) > 0
+	hasSearch := c.TargetPeakUA != 0 || c.MinMM != 0 || c.MaxMM != 0
+	switch {
+	case hasRounds && hasSearch:
+		return fmt.Errorf("needs rounds or a target-peak search, not both")
+	case hasRounds:
+		if len(c.Rounds) > maxRounds {
+			return fmt.Errorf("more than %d rounds", maxRounds)
+		}
+		for j, r := range c.Rounds {
+			if !finiteIn(r.ConcentrationMM, 0, 1000) {
+				return fmt.Errorf("round %d: concentration %v mM outside 0..1000", j+1, r.ConcentrationMM)
+			}
+			if !finiteIn(r.ScanRateMVs, 0, 10_000) {
+				return fmt.Errorf("round %d: scan rate %v mV/s outside 0..10000", j+1, r.ScanRateMVs)
+			}
+		}
+	case hasSearch:
+		if !finiteIn(c.TargetPeakUA, 0, 1e6) || c.TargetPeakUA <= 0 {
+			return fmt.Errorf("target peak %v µA outside (0, 1e6]", c.TargetPeakUA)
+		}
+		if !finiteIn(c.MinMM, 0, 1000) || !finiteIn(c.MaxMM, 0, 1000) ||
+			c.MinMM <= 0 || c.MaxMM <= c.MinMM {
+			return fmt.Errorf("search bounds [%v, %v] mM invalid", c.MinMM, c.MaxMM)
+		}
+	default:
+		return fmt.Errorf("needs rounds or a target-peak search")
+	}
+	return nil
+}
+
+// validateName bounds a label's length and restricts it to printable
+// ASCII without whitespace, so identifiers are safe in logs, file
+// names and SSE frames.
+func validateName(what, s string, maxLen int, required bool) error {
+	if s == "" {
+		if required {
+			return fmt.Errorf("sched: %s required", what)
+		}
+		return nil
+	}
+	if len(s) > maxLen {
+		return fmt.Errorf("sched: %s longer than %d bytes", what, maxLen)
+	}
+	for _, r := range s {
+		if r <= ' ' || r > '~' || r == '/' || r == '\\' || r == '"' {
+			return fmt.Errorf("sched: %s contains disallowed character %q", what, r)
+		}
+	}
+	return nil
+}
+
+// finiteIn reports whether v is a finite number inside [lo, hi].
+func finiteIn(v, lo, hi float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= lo && v <= hi
+}

@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDecodeJobSpecValid(t *testing.T) {
+	cases := []string{
+		`{"tenant": "acl", "kind": "cv"}`,
+		`{"tenant": "acl", "kind": "cv", "priority": 9, "scan_rate_mvs": 100, "points": 600}`,
+		`{"tenant": "dgx", "kind": "campaign", "cells": [{"rounds": [{"concentration_mm": 2}]}]}`,
+		`{"tenant": "dgx", "kind": "campaign", "cells": [
+			{"name": "a", "rounds": [{"concentration_mm": 1, "scan_rate_mvs": 50}]},
+			{"name": "b", "target_peak_ua": 30, "min_mm": 0.25, "max_mm": 5}
+		]}`,
+	}
+	for _, c := range cases {
+		if _, err := DecodeJobSpec([]byte(c)); err != nil {
+			t.Errorf("valid spec rejected: %v\n  %s", err, c)
+		}
+	}
+}
+
+func TestDecodeJobSpecInvalid(t *testing.T) {
+	cases := map[string]string{
+		"empty":              ``,
+		"not json":           `nope`,
+		"no tenant":          `{"kind": "cv"}`,
+		"no kind":            `{"tenant": "acl"}`,
+		"unknown kind":       `{"tenant": "acl", "kind": "eis"}`,
+		"unknown field":      `{"tenant": "acl", "kind": "cv", "bogus": 1}`,
+		"trailing garbage":   `{"tenant": "acl", "kind": "cv"} {"more": true}`,
+		"priority range":     `{"tenant": "acl", "kind": "cv", "priority": 10}`,
+		"negative points":    `{"tenant": "acl", "kind": "cv", "points": -1}`,
+		"huge points":        `{"tenant": "acl", "kind": "cv", "points": 1000000}`,
+		"cv with cells":      `{"tenant": "acl", "kind": "cv", "cells": [{"rounds": [{}]}]}`,
+		"campaign no cells":  `{"tenant": "acl", "kind": "campaign"}`,
+		"cell empty":         `{"tenant": "acl", "kind": "campaign", "cells": [{}]}`,
+		"rounds and search":  `{"tenant": "acl", "kind": "campaign", "cells": [{"rounds": [{}], "target_peak_ua": 30, "min_mm": 1, "max_mm": 2}]}`,
+		"bad search bounds":  `{"tenant": "acl", "kind": "campaign", "cells": [{"target_peak_ua": 30, "min_mm": 5, "max_mm": 1}]}`,
+		"tenant with slash":  `{"tenant": "a/b", "kind": "cv"}`,
+		"tenant with quote":  `{"tenant": "a\"b", "kind": "cv"}`,
+		"tenant with space":  `{"tenant": "a b", "kind": "cv"}`,
+		"tenant too long":    `{"tenant": "` + strings.Repeat("x", 65) + `", "kind": "cv"}`,
+		"oversized":          `{"tenant": "acl", "kind": "cv", "points": ` + strings.Repeat(" ", MaxJobSpecBytes) + `1}`,
+		"nan via string":     `{"tenant": "acl", "kind": "cv", "scan_rate_mvs": 1e999}`,
+		"campaign cv fields": `{"tenant": "acl", "kind": "campaign", "points": 100, "cells": [{"rounds": [{}]}]}`,
+	}
+	for name, c := range cases {
+		if _, err := DecodeJobSpec([]byte(c)); err == nil {
+			t.Errorf("%s: invalid spec accepted: %s", name, c)
+		}
+	}
+}
+
+// FuzzDecodeJobSpec holds the gateway's intake parser to its contract:
+// arbitrary bytes never panic, and anything it accepts re-validates
+// and survives a marshal/decode round trip (so the WAL can persist
+// what was admitted).
+func FuzzDecodeJobSpec(f *testing.F) {
+	f.Add([]byte(`{"tenant": "acl", "kind": "cv"}`))
+	f.Add([]byte(`{"tenant": "acl", "kind": "cv", "priority": 3, "scan_rate_mvs": 100.5, "points": 1200}`))
+	f.Add([]byte(`{"tenant": "dgx", "kind": "campaign", "cells": [{"name": "c1", "rounds": [{"concentration_mm": 2, "scan_rate_mvs": 50}]}]}`))
+	f.Add([]byte(`{"tenant": "dgx", "kind": "campaign", "cells": [{"target_peak_ua": 30, "min_mm": 0.25, "max_mm": 5}]}`))
+	f.Add([]byte(`{"tenant":"a","kind":"cv","points":1e4}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"tenant": "nul", "kind": "cv"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(data)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails re-validation: %v", err)
+		}
+		encoded, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		again, err := DecodeJobSpec(encoded)
+		if err != nil {
+			t.Fatalf("round-tripped spec rejected: %v\n  %s", err, encoded)
+		}
+		if again.Tenant != spec.Tenant || again.Kind != spec.Kind || again.Priority != spec.Priority ||
+			len(again.Cells) != len(spec.Cells) {
+			t.Fatalf("round trip changed the spec: %+v != %+v", again, spec)
+		}
+	})
+}

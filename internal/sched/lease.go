@@ -1,0 +1,369 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ice/internal/telemetry"
+)
+
+// Default instrument resources the gateway leases out. A deployment
+// with more channels or units registers more names; the manager
+// creates resources lazily on first acquisition.
+const (
+	// ResourceSP200 is the potentiostat's channel 1.
+	ResourceSP200 = "sp200/ch1"
+	// ResourceJKem is J-Kem unit 1 (syringe pumps, gas, collector).
+	ResourceJKem = "jkem/u1"
+)
+
+// ErrLeaseRevoked is returned by Renew after the manager has revoked
+// the lease (TTL expired without a heartbeat, or the manager closed).
+var ErrLeaseRevoked = errors.New("sched: lease revoked")
+
+// LeaseInfo is the externally visible state of one active lease.
+type LeaseInfo struct {
+	// Resource is the leased instrument.
+	Resource string `json:"resource"`
+	// Holder identifies the leaseholder (job or cell).
+	Holder string `json:"holder"`
+	// ExpiresUnixNano is when the lease lapses without renewal.
+	ExpiresUnixNano int64 `json:"expires"`
+}
+
+// Leases hands out exclusive, TTL'd leases over instrument resources.
+// Holders renew by heartbeat; a holder that stops heartbeating — a
+// crashed worker, a wedged network — loses the lease when its TTL
+// lapses, and the next waiter acquires the instrument instead of the
+// lab staying wedged forever.
+type Leases struct {
+	ttl     time.Duration
+	now     func() time.Time
+	metrics *telemetry.Collector
+
+	mu        sync.Mutex
+	closed    bool
+	resources map[string]*leaseState
+}
+
+// leaseState is one resource's slot: the current grant (if any) and a
+// wake channel closed whenever the slot may have freed.
+type leaseState struct {
+	grant   *Lease
+	expires time.Time
+	wake    chan struct{}
+}
+
+// Lease is one exclusive grant. The holder renews it with Renew and
+// returns it with Release; both are safe after revocation. The handle
+// itself is immutable — whether it still owns the slot is decided
+// under the manager's lock, so a heartbeat goroutine and a revoking
+// manager never race on shared state.
+type Lease struct {
+	// Resource and Holder identify the grant.
+	Resource string
+	Holder   string
+
+	m *Leases
+}
+
+// NewLeases returns a manager granting leases with the given TTL
+// (default 10s when ttl <= 0).
+func NewLeases(ttl time.Duration) *Leases {
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	return &Leases{
+		ttl:       ttl,
+		now:       time.Now,
+		resources: make(map[string]*leaseState),
+	}
+}
+
+// SetMetrics attaches a collector: the "sched.leases.active" gauge
+// tracks grants, and "sched.leases.expired" counts TTL revocations.
+func (m *Leases) SetMetrics(c *telemetry.Collector) { m.metrics = c }
+
+// TTL returns the configured lease duration.
+func (m *Leases) TTL() time.Duration { return m.ttl }
+
+// Acquire blocks until the resource is free (or its current lease
+// expires un-renewed), then grants an exclusive lease to holder.
+func (m *Leases) Acquire(ctx context.Context, resource, holder string) (*Lease, error) {
+	for {
+		lease, wake, remaining, err := m.tryAcquire(resource, holder)
+		if err != nil {
+			return nil, err
+		}
+		if lease != nil {
+			return lease, nil
+		}
+		// Wait for a release/revocation signal, the incumbent's TTL, or
+		// cancellation — whichever lands first.
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// TryAcquire grants the lease immediately or reports the incumbent.
+func (m *Leases) TryAcquire(resource, holder string) (*Lease, error) {
+	lease, _, _, err := m.tryAcquire(resource, holder)
+	if err != nil {
+		return nil, err
+	}
+	if lease == nil {
+		return nil, fmt.Errorf("sched: %s is leased", resource)
+	}
+	return lease, nil
+}
+
+// tryAcquire attempts the grant. When the resource is held it returns
+// the slot's wake channel and the incumbent's remaining TTL so the
+// caller can wait precisely.
+func (m *Leases) tryAcquire(resource, holder string) (*Lease, chan struct{}, time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, nil, 0, fmt.Errorf("sched: lease manager closed")
+	}
+	st, ok := m.resources[resource]
+	if !ok {
+		st = &leaseState{wake: make(chan struct{})}
+		m.resources[resource] = st
+	}
+	m.expireLocked(resource, st)
+	if st.grant != nil {
+		return nil, st.wake, st.expires.Sub(m.now()), nil
+	}
+	lease := &Lease{Resource: resource, Holder: holder, m: m}
+	st.grant = lease
+	st.expires = m.now().Add(m.ttl)
+	if m.metrics != nil {
+		m.metrics.Gauge("sched.leases.active").Inc()
+	}
+	return lease, nil, 0, nil
+}
+
+// expireLocked revokes the resource's grant if its TTL has lapsed.
+// The stale holder's handle is not touched — its next Renew or
+// Release finds st.grant no longer pointing at it and fails or no-ops.
+func (m *Leases) expireLocked(resource string, st *leaseState) {
+	if st.grant == nil || m.now().Before(st.expires) {
+		return
+	}
+	st.grant = nil
+	m.wakeLocked(st)
+	if m.metrics != nil {
+		m.metrics.Gauge("sched.leases.active").Dec()
+		m.metrics.Counter("sched.leases.expired").Inc()
+	}
+	_ = resource
+}
+
+// wakeLocked signals waiters that the slot may have freed.
+func (m *Leases) wakeLocked(st *leaseState) {
+	close(st.wake)
+	st.wake = make(chan struct{})
+}
+
+// Renew extends the lease by a full TTL. It fails with ErrLeaseRevoked
+// once the manager has expired or released the grant — the signal for
+// a slow worker that it no longer owns the instrument.
+func (l *Lease) Renew() error {
+	if l == nil {
+		return ErrLeaseRevoked
+	}
+	m := l.m
+	if m == nil {
+		return ErrLeaseRevoked
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.resources[l.Resource]
+	if !ok || st.grant != l {
+		return ErrLeaseRevoked
+	}
+	m.expireLocked(l.Resource, st)
+	if st.grant != l {
+		return ErrLeaseRevoked
+	}
+	st.expires = m.now().Add(m.ttl)
+	return nil
+}
+
+// Release returns the lease. Releasing an already-revoked lease is a
+// no-op.
+func (l *Lease) Release() {
+	if l == nil {
+		return
+	}
+	m := l.m
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.resources[l.Resource]
+	if !ok || st.grant != l {
+		return
+	}
+	st.grant = nil
+	m.wakeLocked(st)
+	if m.metrics != nil {
+		m.metrics.Gauge("sched.leases.active").Dec()
+	}
+}
+
+// Active lists current grants (expired ones are swept first), sorted
+// by resource for stable output.
+func (m *Leases) Active() []LeaseInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []LeaseInfo
+	for name, st := range m.resources {
+		m.expireLocked(name, st)
+		if st.grant == nil {
+			continue
+		}
+		out = append(out, LeaseInfo{
+			Resource:        name,
+			Holder:          st.grant.Holder,
+			ExpiresUnixNano: st.expires.UnixNano(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out
+}
+
+// Close revokes every grant and fails future acquisitions.
+func (m *Leases) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, st := range m.resources {
+		if st.grant != nil {
+			st.grant = nil
+			if m.metrics != nil {
+				m.metrics.Gauge("sched.leases.active").Dec()
+			}
+		}
+		m.wakeLocked(st)
+	}
+}
+
+// InstrumentGate adapts lease acquisition to the sync.Locker contract
+// campaign executors and fleets already speak: Lock acquires every
+// configured resource (in sorted order, so concurrent gates cannot
+// deadlock) and starts a heartbeat that renews the leases while held;
+// Unlock stops the heartbeat and releases them. Installing one as
+// Executor.InstrumentGate (or Fleet.Gate) makes the instrument lease
+// release at exactly the point the fleet gate releases — right after
+// GetTechPathRslt — so one tenant's WAN retrieval and analysis overlap
+// the next tenant's instrument time.
+type InstrumentGate struct {
+	// M is the lease manager.
+	M *Leases
+	// Resources are the instruments to lease (default: SP200 + J-Kem).
+	Resources []string
+	// Holder identifies the leaseholder in LeaseInfo.
+	Holder string
+	// HeartbeatEvery paces renewal (default TTL/3).
+	HeartbeatEvery time.Duration
+	// OnEvent, when set, receives "acquired <res>" / "released <res>"
+	// notifications (the gateway forwards them to the job's SSE stream).
+	OnEvent func(msg string)
+
+	mu     sync.Mutex
+	held   []*Lease
+	stopHB chan struct{}
+}
+
+// Lock implements sync.Locker: it blocks until every resource is
+// leased.
+func (g *InstrumentGate) Lock() {
+	resources := append([]string(nil), g.Resources...)
+	if len(resources) == 0 {
+		resources = []string{ResourceSP200, ResourceJKem}
+	}
+	sort.Strings(resources)
+	leases := make([]*Lease, 0, len(resources))
+	for _, res := range resources {
+		lease, err := g.M.Acquire(context.Background(), res, g.Holder)
+		if err != nil {
+			// Manager closed mid-shutdown: surrender what we hold and
+			// park; the campaign's context is being cancelled anyway.
+			for _, l := range leases {
+				l.Release()
+			}
+			leases = nil
+			break
+		}
+		leases = append(leases, lease)
+		if g.OnEvent != nil {
+			g.OnEvent("acquired " + res)
+		}
+	}
+	hb := g.HeartbeatEvery
+	if hb <= 0 {
+		hb = g.M.TTL() / 3
+	}
+	stop := make(chan struct{})
+	go heartbeat(leases, hb, stop)
+	g.mu.Lock()
+	g.held = leases
+	g.stopHB = stop
+	g.mu.Unlock()
+}
+
+// Unlock implements sync.Locker: it stops the heartbeat and releases
+// the leases.
+func (g *InstrumentGate) Unlock() {
+	g.mu.Lock()
+	held, stop := g.held, g.stopHB
+	g.held, g.stopHB = nil, nil
+	g.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	for _, l := range held {
+		l.Release()
+		if g.OnEvent != nil {
+			g.OnEvent("released " + l.Resource)
+		}
+	}
+}
+
+// heartbeat renews the leases every interval until stopped. A renewal
+// failure means the manager revoked us (the TTL lapsed, e.g. under a
+// stop-the-world pause); nothing to do but stop renewing — the next
+// Acquire will queue afresh.
+func heartbeat(leases []*Lease, every time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			for _, l := range leases {
+				if err := l.Renew(); err != nil {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ice/internal/telemetry"
+)
+
+// fakeClock drives the lease manager's notion of time so expiry tests
+// need no sleeps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestLeases(ttl time.Duration) (*Leases, *fakeClock) {
+	m := NewLeases(ttl)
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	m.now = clock.now
+	return m, clock
+}
+
+func TestLeaseExclusive(t *testing.T) {
+	m, _ := newTestLeases(time.Minute)
+	l, err := m.TryAcquire(ResourceSP200, "job-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TryAcquire(ResourceSP200, "job-b"); err == nil {
+		t.Fatal("second acquisition of a held lease succeeded")
+	}
+	// A different resource is independent.
+	if _, err := m.TryAcquire(ResourceJKem, "job-b"); err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+	if _, err := m.TryAcquire(ResourceSP200, "job-b"); err != nil {
+		t.Fatalf("acquisition after release: %v", err)
+	}
+}
+
+// TestLeaseExpiryWithoutHeartbeat is the ISSUE's lease property: a
+// holder whose heartbeat stops loses the instrument after the TTL, the
+// next tenant acquires it, and the stale handle can neither renew nor
+// release the new grant.
+func TestLeaseExpiryWithoutHeartbeat(t *testing.T) {
+	metrics := telemetry.NewCollector()
+	m, clock := newTestLeases(time.Minute)
+	m.SetMetrics(metrics)
+
+	stale, err := m.TryAcquire(ResourceSP200, "crashed-worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within the TTL the lease holds.
+	clock.advance(59 * time.Second)
+	if _, err := m.TryAcquire(ResourceSP200, "next"); err == nil {
+		t.Fatal("lease fell before its TTL")
+	}
+	// Past the TTL with no renewal the lease is revoked.
+	clock.advance(2 * time.Second)
+	fresh, err := m.TryAcquire(ResourceSP200, "next")
+	if err != nil {
+		t.Fatalf("expired lease not revoked: %v", err)
+	}
+	if !errors.Is(stale.Renew(), ErrLeaseRevoked) {
+		t.Fatal("stale handle renewed after revocation")
+	}
+	stale.Release() // must not disturb the fresh grant
+	if err := fresh.Renew(); err != nil {
+		t.Fatalf("fresh grant lost to a stale release: %v", err)
+	}
+	if n := metrics.CounterValue("sched.leases.expired"); n != 1 {
+		t.Fatalf("expired counter = %d, want 1", n)
+	}
+	active := m.Active()
+	if len(active) != 1 || active[0].Holder != "next" {
+		t.Fatalf("active leases = %+v, want one held by next", active)
+	}
+}
+
+func TestLeaseRenewExtends(t *testing.T) {
+	m, clock := newTestLeases(time.Minute)
+	l, _ := m.TryAcquire(ResourceSP200, "steady")
+	for i := 0; i < 5; i++ {
+		clock.advance(45 * time.Second)
+		if err := l.Renew(); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	// 3m45s of wall time, renewed throughout: still held.
+	if _, err := m.TryAcquire(ResourceSP200, "other"); err == nil {
+		t.Fatal("renewed lease was revoked")
+	}
+}
+
+// TestLeaseAcquireWaitsOutExpiredIncumbent exercises the blocking
+// path against real time: Acquire parks on the incumbent's TTL timer
+// and wins the lease without anyone calling Release.
+func TestLeaseAcquireWaitsOutExpiredIncumbent(t *testing.T) {
+	m := NewLeases(50 * time.Millisecond)
+	if _, err := m.TryAcquire(ResourceSP200, "crashed"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	l, err := m.Acquire(ctx, ResourceSP200, "patient")
+	if err != nil {
+		t.Fatalf("acquire after incumbent expiry: %v", err)
+	}
+	if waited := time.Since(start); waited < 30*time.Millisecond {
+		t.Fatalf("acquired after %v, before the incumbent's TTL could lapse", waited)
+	}
+	l.Release()
+}
+
+func TestLeaseAcquireHonorsContext(t *testing.T) {
+	m := NewLeases(time.Minute)
+	if _, err := m.TryAcquire(ResourceSP200, "holder"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := m.Acquire(ctx, ResourceSP200, "blocked"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestInstrumentGateHeartbeatKeepsLease drives the sync.Locker adapter
+// with a TTL much shorter than the hold time: the background heartbeat
+// must keep the leases alive until Unlock, and Unlock must drain them.
+func TestInstrumentGateHeartbeatKeepsLease(t *testing.T) {
+	m := NewLeases(60 * time.Millisecond)
+	var events []string
+	var mu sync.Mutex
+	g := &InstrumentGate{M: m, Holder: "j-000001", OnEvent: func(msg string) {
+		mu.Lock()
+		events = append(events, msg)
+		mu.Unlock()
+	}}
+	g.Lock()
+	time.Sleep(200 * time.Millisecond) // > 3 TTLs
+	active := m.Active()
+	if len(active) != 2 {
+		t.Fatalf("leases dropped while heartbeating: %+v", active)
+	}
+	for _, l := range active {
+		if l.Holder != "j-000001" {
+			t.Fatalf("unexpected holder %q", l.Holder)
+		}
+	}
+	g.Unlock()
+	if active := m.Active(); len(active) != 0 {
+		t.Fatalf("leases leaked after Unlock: %+v", active)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 4 { // acquired ×2, released ×2
+		t.Fatalf("gate events = %v, want 2 acquisitions and 2 releases", events)
+	}
+}
+
+// TestInstrumentGateSerialisesTenants: two gates contending for the
+// default resource pair must never overlap their critical sections.
+func TestInstrumentGateSerialisesTenants(t *testing.T) {
+	m := NewLeases(time.Minute)
+	var inside, maxInside int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		g := &InstrumentGate{M: m, Holder: "tenant"}
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				g.Lock()
+				mu.Lock()
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				inside--
+				mu.Unlock()
+				g.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInside != 1 {
+		t.Fatalf("%d holders inside the instrument section at once", maxInside)
+	}
+	if active := m.Active(); len(active) != 0 {
+		t.Fatalf("leases leaked: %+v", active)
+	}
+}

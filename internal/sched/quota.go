@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// TenantLimits are one tenant's admission-control knobs. The zero
+// value means "defaults": weight 1, 16 outstanding jobs, no rate
+// limit.
+type TenantLimits struct {
+	// Weight is the fair-share weight (default 1). A weight-2 tenant
+	// receives twice the dispatch share of a weight-1 tenant under
+	// contention.
+	Weight float64 `json:"weight,omitempty"`
+	// MaxOutstanding bounds the tenant's queued + running jobs
+	// (default 16).
+	MaxOutstanding int `json:"max_outstanding,omitempty"`
+	// RatePerSec is the sustained submission rate (token-bucket refill;
+	// 0 = unlimited).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the token-bucket capacity (default: max(1, RatePerSec)).
+	Burst float64 `json:"burst,omitempty"`
+}
+
+func (l TenantLimits) weight() float64 {
+	if l.Weight <= 0 {
+		return 1
+	}
+	return l.Weight
+}
+
+func (l TenantLimits) maxOutstanding() int {
+	if l.MaxOutstanding <= 0 {
+		return 16
+	}
+	return l.MaxOutstanding
+}
+
+func (l TenantLimits) burst() float64 {
+	if l.Burst > 0 {
+		return l.Burst
+	}
+	if l.RatePerSec > 1 {
+		return l.RatePerSec
+	}
+	return 1
+}
+
+// rateLimiter holds one token bucket per tenant.
+type rateLimiter struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(now func() time.Time) *rateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	return &rateLimiter{now: now, buckets: make(map[string]*bucket)}
+}
+
+// take spends one token from the tenant's bucket. When the bucket is
+// empty it reports false and how long until the next token refills —
+// the Retry-After the gateway hands back.
+func (r *rateLimiter) take(tenant string, limits TenantLimits) (ok bool, retryAfter time.Duration) {
+	if limits.RatePerSec <= 0 {
+		return true, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	b, found := r.buckets[tenant]
+	if !found {
+		b = &bucket{tokens: limits.burst(), last: now}
+		r.buckets[tenant] = b
+	}
+	burst := limits.burst()
+	b.tokens += now.Sub(b.last).Seconds() * limits.RatePerSec
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / limits.RatePerSec * float64(time.Second))
+}

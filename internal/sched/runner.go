@@ -1,0 +1,455 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ice/internal/campaign"
+	"ice/internal/core"
+	"ice/internal/datachan"
+	"ice/internal/pyro"
+	"ice/internal/workflow"
+)
+
+// Connector opens cross-facility handles for one job. The gateway
+// daemon uses a TCP connector towards a real control agent; tests and
+// the smoke target use a Deployment connector over netsim.
+type Connector interface {
+	// ConnectSession opens instrument handles (cv jobs).
+	ConnectSession() (*core.RemoteSession, datachan.Share, error)
+	// ConnectLab opens extended-lab handles (campaign jobs; the agent
+	// must be serving the synthesis and robot stations).
+	ConnectLab() (*core.LabSession, datachan.Share, error)
+}
+
+// DeploymentConnector serves jobs from an in-process netsim
+// Deployment — the shape every test and the smoke target use.
+type DeploymentConnector struct {
+	// D is the deployed ICE.
+	D *core.Deployment
+	// Host is the remote end of the connections (e.g. netsim.HostDGX).
+	Host string
+	// NewMount, when set, replaces the default data mount — chaos tests
+	// hand out reliable mounts that ride out injected faults.
+	NewMount func() (datachan.Share, error)
+}
+
+// ConnectSession implements Connector.
+func (c *DeploymentConnector) ConnectSession() (*core.RemoteSession, datachan.Share, error) {
+	session, mount, err := c.D.ConnectFrom(c.Host)
+	if err != nil {
+		return nil, nil, err
+	}
+	share, err := c.replaceMount(mount)
+	if err != nil {
+		session.Close()
+		return nil, nil, err
+	}
+	return session, share, nil
+}
+
+// ConnectLab implements Connector.
+func (c *DeploymentConnector) ConnectLab() (*core.LabSession, datachan.Share, error) {
+	session, mount, err := c.D.ConnectLabFrom(c.Host)
+	if err != nil {
+		return nil, nil, err
+	}
+	share, err := c.replaceMount(mount)
+	if err != nil {
+		session.Close()
+		return nil, nil, err
+	}
+	return session, share, nil
+}
+
+func (c *DeploymentConnector) replaceMount(mount *datachan.Mount) (datachan.Share, error) {
+	if c.NewMount == nil {
+		return mount, nil
+	}
+	mount.Close()
+	return c.NewMount()
+}
+
+// NetConnector reaches a control agent over real TCP — the daemon's
+// production path (cmd/icegated -agent).
+type NetConnector struct {
+	// Agent is the control agent's host.
+	Agent string
+	// ControlPort and DataPort are the paper's channel ports.
+	ControlPort, DataPort int
+	// Token is the control-channel credential.
+	Token string
+	// Reliable retries control commands with exactly-once semantics.
+	Reliable bool
+	// ReliableData self-heals the data mount across redials.
+	ReliableData bool
+}
+
+func (c *NetConnector) uri() pyro.URI {
+	return pyro.URI{Object: core.JKemObject, Host: c.Agent, Port: c.ControlPort}
+}
+
+func (c *NetConnector) dataAddr() string {
+	return fmt.Sprintf("%s:%d", c.Agent, c.DataPort)
+}
+
+func (c *NetConnector) mount() (datachan.Share, error) {
+	if c.ReliableData {
+		addr := c.dataAddr()
+		return datachan.NewReliableMount(func() (net.Conn, error) {
+			return net.Dial("tcp", addr)
+		}), nil
+	}
+	conn, err := net.Dial("tcp", c.dataAddr())
+	if err != nil {
+		return nil, err
+	}
+	return datachan.NewMount(conn), nil
+}
+
+// ConnectSession implements Connector.
+func (c *NetConnector) ConnectSession() (*core.RemoteSession, datachan.Share, error) {
+	var session *core.RemoteSession
+	if c.Reliable {
+		session = core.ConnectSessionReliable(c.uri(), nil, core.SessionOptions{Token: c.Token})
+	} else {
+		var err error
+		session, err = core.ConnectSessionToken(c.uri(), nil, c.Token)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	mount, err := c.mount()
+	if err != nil {
+		session.Close()
+		return nil, nil, err
+	}
+	return session, mount, nil
+}
+
+// ConnectLab implements Connector.
+func (c *NetConnector) ConnectLab() (*core.LabSession, datachan.Share, error) {
+	session, err := core.ConnectLabSessionToken(c.uri(), nil, c.Token)
+	if err != nil {
+		return nil, nil, err
+	}
+	mount, err := c.mount()
+	if err != nil {
+		session.Close()
+		return nil, nil, err
+	}
+	return session, mount, nil
+}
+
+// CVResult is a cv job's JSON result: the digest-verified measurement
+// and its analysis.
+type CVResult struct {
+	File         string  `json:"file"`
+	SHA256       string  `json:"sha256"`
+	Points       int     `json:"points"`
+	AnodicPeakUA float64 `json:"anodic_peak_ua"`
+}
+
+// RoundResult is one completed campaign round.
+type RoundResult struct {
+	Round           int     `json:"round"`
+	ConcentrationMM float64 `json:"concentration_mm"`
+	AchievedMM      float64 `json:"achieved_mm,omitempty"`
+	ScanRateMVs     float64 `json:"scan_rate_mvs"`
+	PeakUA          float64 `json:"peak_ua"`
+}
+
+// CellResult is one campaign cell's outcome.
+type CellResult struct {
+	Name   string        `json:"name"`
+	Rounds []RoundResult `json:"rounds"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// CampaignResult is a campaign job's JSON result.
+type CampaignResult struct {
+	Cells []CellResult `json:"cells"`
+}
+
+// LabRunner executes admitted jobs against the lab: cv jobs through
+// the paper's tasks A–E (crash-recoverable via the workflow checkpoint
+// journal), campaign jobs through campaign.Fleet. Instrument access is
+// guarded by lease-backed gates that release post-GetTechPathRslt, so
+// one tenant's WAN retrieval and analysis overlap the next tenant's
+// instrument time.
+type LabRunner struct {
+	// Connector opens per-job handles.
+	Connector Connector
+	// Leases is the gateway's lease manager.
+	Leases *Leases
+	// Dir holds per-job workflow checkpoint journals ("<job>.journal").
+	Dir string
+	// CampaignCVPoints is the per-round acquisition size for campaign
+	// cells (default 300).
+	CampaignCVPoints int
+	// WaitPoll and WaitTimeout bound cv measurement retrieval.
+	WaitPoll    time.Duration
+	WaitTimeout time.Duration
+	// OnTask, when set, observes every workflow checkpoint record as it
+	// is journaled, synchronously — crash drills use it to cut the
+	// daemon down at an exact task boundary.
+	OnTask func(jobID string, rec workflow.TaskRecord)
+}
+
+// Run implements Runner.
+func (r *LabRunner) Run(ctx context.Context, job Job, emit func(string, string)) (json.RawMessage, error) {
+	switch job.Spec.Kind {
+	case KindCV:
+		return r.runCV(ctx, job, emit)
+	case KindCampaign:
+		return r.runCampaign(ctx, job, emit)
+	default:
+		return nil, fmt.Errorf("sched: no runner for job kind %q", job.Spec.Kind)
+	}
+}
+
+// journalPath names the job's workflow checkpoint journal.
+func (r *LabRunner) journalPath(jobID string) string {
+	return filepath.Join(r.Dir, jobID+".journal")
+}
+
+// journalTee forwards every checkpoint line to the underlying journal
+// file and mirrors it into the job's event stream (and the OnTask
+// crash seam), synchronously with the workflow engine.
+type journalTee struct {
+	file   *core.AppendFile
+	jobID  string
+	emit   func(string, string)
+	onTask func(string, workflow.TaskRecord)
+}
+
+func (t *journalTee) Write(p []byte) (int, error) {
+	n, err := t.file.Write(p)
+	if err != nil {
+		return n, err
+	}
+	var rec workflow.TaskRecord
+	if jsonErr := json.Unmarshal(p, &rec); jsonErr == nil && rec.TaskID != "" {
+		if t.emit != nil {
+			t.emit("workflow", fmt.Sprintf("task %s %s", rec.TaskID, rec.Status))
+		}
+		if t.onTask != nil {
+			t.onTask(t.jobID, rec)
+		}
+	}
+	return n, nil
+}
+
+// runCV executes the paper's tasks A–E for one tenant, resuming from
+// the checkpoint journal when the job was cut down by a daemon crash.
+func (r *LabRunner) runCV(ctx context.Context, job Job, emit func(string, string)) (json.RawMessage, error) {
+	session, mount, err := r.Connector.ConnectSession()
+	if err != nil {
+		return nil, fmt.Errorf("connect: %w", err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	cfg := core.PaperCVWorkflowConfig()
+	if job.Spec.ScanRateMVs > 0 {
+		cfg.CV.RateMVs = job.Spec.ScanRateMVs
+	}
+	if job.Spec.Points > 0 {
+		cfg.CV.Points = job.Spec.Points
+	}
+	if r.WaitPoll > 0 {
+		cfg.WaitPoll = r.WaitPoll
+	}
+	if r.WaitTimeout > 0 {
+		cfg.WaitTimeout = r.WaitTimeout
+	}
+
+	gate := &InstrumentGate{
+		M:      r.Leases,
+		Holder: job.ID,
+		OnEvent: func(msg string) {
+			emit("lease", msg)
+		},
+	}
+	var unlockOnce sync.Once
+	unlock := func() { unlockOnce.Do(gate.Unlock) }
+	defer unlock()
+	// Release the instruments the moment acquisition has landed on the
+	// agent's disk — the WAN retrieval and analysis that follow do not
+	// need the lab, so the next tenant's job takes the lease now.
+	cfg.OnMeasured = func(fileName string) {
+		emit("measured", fileName)
+		unlock()
+	}
+	// Task E's instrument shutdown re-acquires the lease: a disconnect
+	// must not fire inside another tenant's acquisition on the shared
+	// instrument. The pre-lock release covers the resume path where
+	// task D was restored from the journal and OnMeasured never fired.
+	cfg.TeardownGate = &relockGate{pre: unlock, gate: gate}
+
+	nb, outcome := core.BuildCVWorkflow(session, mount, cfg)
+
+	// Crash recovery: restore completed tasks from the journal the
+	// previous daemon incarnation checkpointed.
+	if job.Resumed || job.Attempts > 1 {
+		if data, err := os.ReadFile(r.journalPath(job.ID)); err == nil {
+			records, err := workflow.ReadJournal(bytes.NewReader(data))
+			if err != nil {
+				return nil, fmt.Errorf("parse journal: %w", err)
+			}
+			if n := nb.Restore(records); n > 0 {
+				emit("resumed", fmt.Sprintf("%d completed task(s) restored from checkpoint journal", n))
+			}
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("read journal: %w", err)
+		}
+	}
+
+	journal, err := core.OpenAppendFile(r.Dir, job.ID+".journal")
+	if err != nil {
+		return nil, fmt.Errorf("open journal: %w", err)
+	}
+	defer journal.Close()
+	nb.SetJournal(&journalTee{file: journal, jobID: job.ID, emit: emit, onTask: r.OnTask})
+
+	gate.Lock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The shared potentiostat may be mid-pipeline — a previous tenant's
+	// campaign, or this job's own crashed attempt. Force it back to its
+	// power-on state under the gate, so task D's full bring-up starts
+	// from a known baseline. (Resetting outside the gate would disconnect
+	// the instrument under another tenant's acquisition.)
+	if err := session.ResetSP200(); err != nil {
+		return nil, fmt.Errorf("reset instrument: %w", err)
+	}
+	if err := nb.Execute(ctx); err != nil {
+		return nil, err
+	}
+	result := CVResult{
+		File:   outcome.FileName,
+		SHA256: outcome.SHA256,
+		Points: len(outcome.Records),
+	}
+	if outcome.Summary != nil {
+		result.AnodicPeakUA = outcome.Summary.AnodicPeak.Microamperes()
+	}
+	return json.Marshal(result)
+}
+
+// relockGate is the teardown locker: Lock releases any still-held
+// leases (at most once, shared with the runner's deferred unlock) and
+// then re-acquires the gate; Unlock releases it again.
+type relockGate struct {
+	pre  func()
+	gate *InstrumentGate
+}
+
+func (r *relockGate) Lock() {
+	r.pre()
+	r.gate.Lock()
+}
+
+func (r *relockGate) Unlock() { r.gate.Unlock() }
+
+// runCampaign executes one or more closed-loop campaigns as a fleet
+// sharing the lease-backed instrument gate.
+func (r *LabRunner) runCampaign(ctx context.Context, job Job, emit func(string, string)) (json.RawMessage, error) {
+	points := r.CampaignCVPoints
+	if points <= 0 {
+		points = 300
+	}
+	gate := &InstrumentGate{
+		M:      r.Leases,
+		Holder: job.ID,
+		OnEvent: func(msg string) {
+			emit("lease", msg)
+		},
+	}
+	fleet := &campaign.Fleet{Gate: gate}
+	var cleanups []func()
+	defer func() {
+		for _, c := range cleanups {
+			c()
+		}
+	}()
+	for i, cell := range job.Spec.Cells {
+		name := cell.Name
+		if name == "" {
+			name = fmt.Sprintf("cell-%02d", i+1)
+		}
+		session, mount, err := r.Connector.ConnectLab()
+		if err != nil {
+			return nil, fmt.Errorf("connect cell %s: %w", name, err)
+		}
+		cleanups = append(cleanups, func() { session.Close(); mount.Close() })
+		cellName := name
+		fleet.Cells = append(fleet.Cells, campaign.FleetCell{
+			Name: name,
+			Executor: &campaign.Executor{
+				Session:  session,
+				Mount:    mount,
+				CVPoints: points,
+				Observe: func(obs campaign.Observation) {
+					emit("round", fmt.Sprintf("%s round %d: %.3f mM → %.2f µA",
+						cellName, obs.Round, obs.Params.ConcentrationMM, obs.Peak.Microamperes()))
+				},
+			},
+			Planner: plannerFor(cell),
+		})
+	}
+
+	results, err := fleet.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := CampaignResult{}
+	var failures []error
+	for _, res := range results {
+		cr := CellResult{Name: res.Name}
+		for _, obs := range res.History {
+			cr.Rounds = append(cr.Rounds, RoundResult{
+				Round:           obs.Round,
+				ConcentrationMM: obs.Params.ConcentrationMM,
+				AchievedMM:      obs.AchievedMM,
+				ScanRateMVs:     obs.Params.ScanRateMVs,
+				PeakUA:          obs.Peak.Microamperes(),
+			})
+		}
+		if res.Err != nil {
+			cr.Error = res.Err.Error()
+			failures = append(failures, fmt.Errorf("cell %s: %w", res.Name, res.Err))
+		}
+		out.Cells = append(out.Cells, cr)
+	}
+	if len(failures) > 0 {
+		return nil, errors.Join(failures...)
+	}
+	return json.Marshal(out)
+}
+
+// plannerFor builds the cell's planner from its declarative spec
+// (Validate guarantees exactly one of the two shapes).
+func plannerFor(cell CellSpec) campaign.Planner {
+	if len(cell.Rounds) > 0 {
+		rounds := make([]campaign.Params, len(cell.Rounds))
+		for i, r := range cell.Rounds {
+			rounds[i] = campaign.Params{ConcentrationMM: r.ConcentrationMM, ScanRateMVs: r.ScanRateMVs}
+		}
+		return campaign.FixedRounds{Label: cell.Name, Rounds: rounds}
+	}
+	return &campaign.TargetPeakSearch{
+		TargetPeakUA: cell.TargetPeakUA,
+		MinMM:        cell.MinMM,
+		MaxMM:        cell.MaxMM,
+	}
+}

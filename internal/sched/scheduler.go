@@ -1,0 +1,575 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ice/internal/telemetry"
+)
+
+// Runner executes one admitted job against the lab. The scheduler
+// hands it a cancellable context (cancelled on Cancel/Stop/Kill), a
+// snapshot of the job (Resumed/Attempts tell a restarted daemon to
+// pick up the workflow journal instead of starting over), and an emit
+// callback for progress events. It returns the job's JSON result.
+type Runner interface {
+	Run(ctx context.Context, job Job, emit func(eventType, message string)) (json.RawMessage, error)
+}
+
+// RunnerFunc adapts a function to Runner.
+type RunnerFunc func(ctx context.Context, job Job, emit func(eventType, message string)) (json.RawMessage, error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(ctx context.Context, job Job, emit func(string, string)) (json.RawMessage, error) {
+	return f(ctx, job, emit)
+}
+
+// Config parameterises a Scheduler. The zero value of every field is
+// a usable default.
+type Config struct {
+	// Dir is the gateway state directory: the job WAL plus per-job
+	// workflow journals live here. Required.
+	Dir string
+	// QueueCapacity bounds queued jobs across all tenants (default 64).
+	// At capacity, submissions are rejected with a retry-after.
+	QueueCapacity int
+	// RetryAfter is the back-off hint attached to full-queue
+	// rejections (default 2s).
+	RetryAfter time.Duration
+	// Workers is how many jobs may run concurrently (default 2 — one
+	// tenant's WAN retrieval and analysis overlap the next tenant's
+	// instrument time, serialised by the lease manager).
+	Workers int
+	// LeaseTTL is the instrument lease duration (default 10s).
+	LeaseTTL time.Duration
+	// DefaultLimits apply to tenants absent from Tenants.
+	DefaultLimits TenantLimits
+	// Tenants carries per-tenant overrides (weights, quotas, rates).
+	Tenants map[string]TenantLimits
+	// Metrics receives the gateway's QoS series (optional).
+	Metrics *telemetry.Collector
+}
+
+// jobEntry is the scheduler's in-memory record of one job: its state,
+// its event log, and any live SSE subscribers.
+type jobEntry struct {
+	job    Job
+	events []Event
+	subs   []chan Event
+	// cancelRequested distinguishes a user Cancel from a failure when
+	// the runner returns a context error.
+	cancelRequested bool
+}
+
+// Scheduler is the multi-tenant experiment scheduler: admission
+// control in front, fair-share queue in the middle, lease-guarded
+// execution behind, everything journaled through the WAL.
+type Scheduler struct {
+	cfg     Config
+	runner  Runner
+	queue   *fairQueue
+	leases  *Leases
+	wal     *WAL
+	limiter *rateLimiter
+	metrics *telemetry.Collector
+
+	mu        sync.Mutex
+	jobs      map[string]*jobEntry
+	cancels   map[string]context.CancelFunc
+	recovered []*Job
+	nextSeq   int
+	started   bool
+	stopped   bool
+
+	killed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New opens (or creates) the job store under cfg.Dir and replays it:
+// terminal jobs become queryable history, while PENDING and RUNNING
+// jobs are staged for re-enqueue when Start runs. Attach a Runner
+// with SetRunner before Start.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("sched: config needs a state dir")
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 2 * time.Second
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewCollector()
+	}
+	wal, replayed, err := OpenWAL(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		queue:   newFairQueue(cfg.QueueCapacity),
+		leases:  NewLeases(cfg.LeaseTTL),
+		wal:     wal,
+		limiter: newRateLimiter(nil),
+		metrics: cfg.Metrics,
+		jobs:    make(map[string]*jobEntry),
+		cancels: make(map[string]context.CancelFunc),
+	}
+	s.leases.SetMetrics(s.metrics)
+	s.nextSeq = highestJobSeq(replayed)
+	sortJobsBySubmission(replayed)
+	for _, job := range replayed {
+		entry := &jobEntry{job: *job}
+		s.jobs[job.ID] = entry
+		if job.State.Terminal() {
+			continue
+		}
+		// An interrupted job: PENDING never started, RUNNING was cut
+		// down mid-flight. Both re-enqueue; RUNNING ones resume through
+		// their workflow journal.
+		entry.job.Resumed = entry.job.State == StateRunning
+		entry.job.State = StatePending
+		s.recovered = append(s.recovered, &entry.job)
+	}
+	return s, nil
+}
+
+// SetRunner attaches the job executor. Must be called before Start.
+func (s *Scheduler) SetRunner(r Runner) { s.runner = r }
+
+// Leases returns the instrument lease manager (runners install it as
+// their campaign gate; the gateway serves it at /v1/leases).
+func (s *Scheduler) Leases() *Leases { return s.leases }
+
+// Metrics returns the scheduler's QoS collector.
+func (s *Scheduler) Metrics() *telemetry.Collector { return s.metrics }
+
+// Dir returns the state directory (runners keep workflow journals
+// there).
+func (s *Scheduler) Dir() string { return s.cfg.Dir }
+
+// Start launches the worker pool and re-enqueues jobs recovered from
+// the WAL.
+func (s *Scheduler) Start() error {
+	s.mu.Lock()
+	if s.started || s.stopped {
+		s.mu.Unlock()
+		return fmt.Errorf("sched: scheduler already started or stopped")
+	}
+	if s.runner == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("sched: no runner attached")
+	}
+	s.started = true
+	recovered := s.recovered
+	s.recovered = nil
+	s.mu.Unlock()
+
+	for _, job := range recovered {
+		limits := s.tenantLimits(job.Tenant)
+		if !s.queue.Push(job, limits.weight()) {
+			// Can only happen if the WAL holds more live jobs than the
+			// (shrunken) queue capacity; keep the job visible as FAILED
+			// rather than silently dropping it.
+			s.completeOrphan(job.ID, "recovered job exceeds queue capacity")
+			continue
+		}
+		s.metrics.Gauge("sched.queue.depth").Inc()
+		s.metrics.Counter("sched.jobs.recovered").Inc()
+		if job.Resumed {
+			s.emit(job.ID, "resumed", fmt.Sprintf("re-enqueued after daemon restart (attempt %d begun before crash)", job.Attempts))
+		} else {
+			s.emit(job.ID, "queued", "re-enqueued after daemon restart")
+		}
+		// Journal the re-enqueue so a second crash replays the same way.
+		s.wal.Append(WALRecord{Job: job.ID, State: StatePending, Attempt: job.Attempts})
+	}
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return nil
+}
+
+// Submit runs admission control and enqueues the job: spec validation,
+// per-tenant quota, token-bucket rate limit, then bounded queue push.
+// Rejections for load return *Busy so the gateway can answer 429 with
+// Retry-After instead of blocking the intake.
+func (s *Scheduler) Submit(spec JobSpec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return Job{}, ErrStopped
+	}
+	limits := s.tenantLimitsLocked(spec.Tenant)
+	outstanding := 0
+	for _, e := range s.jobs {
+		if e.job.Tenant == spec.Tenant && !e.job.State.Terminal() {
+			outstanding++
+		}
+	}
+	if outstanding >= limits.maxOutstanding() {
+		s.mu.Unlock()
+		s.metrics.Counter("sched.jobs.rejected.quota").Inc()
+		return Job{}, &Busy{Reason: fmt.Sprintf("tenant quota (%d outstanding jobs)", outstanding), RetryAfter: s.cfg.RetryAfter}
+	}
+	s.mu.Unlock()
+
+	if ok, retryAfter := s.limiter.take(spec.Tenant, limits); !ok {
+		s.metrics.Counter("sched.jobs.rejected.rate").Inc()
+		if retryAfter < time.Second {
+			retryAfter = time.Second
+		}
+		return Job{}, &Busy{Reason: "rate limit", RetryAfter: retryAfter}
+	}
+
+	s.mu.Lock()
+	s.nextSeq++
+	job := Job{
+		ID:                fmt.Sprintf("j-%06d", s.nextSeq),
+		Tenant:            spec.Tenant,
+		Spec:              spec,
+		State:             StatePending,
+		SubmittedUnixNano: time.Now().UnixNano(),
+	}
+	entry := &jobEntry{job: job}
+	s.jobs[job.ID] = entry
+	s.mu.Unlock()
+
+	if !s.queue.Push(&entry.job, limits.weight()) {
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.mu.Unlock()
+		s.metrics.Counter("sched.jobs.rejected.full").Inc()
+		return Job{}, &Busy{Reason: fmt.Sprintf("queue full (%d jobs)", s.cfg.QueueCapacity), RetryAfter: s.cfg.RetryAfter}
+	}
+	s.metrics.Gauge("sched.queue.depth").Inc()
+	s.metrics.Counter("sched.jobs.submitted").Inc()
+	// The fsynced PENDING record makes the admission durable: after
+	// this append, a crashed daemon re-enqueues the job on restart.
+	if err := s.wal.Append(WALRecord{Job: job.ID, Tenant: job.Tenant, State: StatePending, Spec: &spec}); err != nil {
+		s.queue.Remove(job.ID)
+		s.metrics.Gauge("sched.queue.depth").Dec()
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.mu.Unlock()
+		return Job{}, err
+	}
+	s.emit(job.ID, "queued", fmt.Sprintf("admitted %s job for tenant %s", spec.Kind, spec.Tenant))
+	return job, nil
+}
+
+// Cancel stops a job: queued jobs are dropped before dispatch, running
+// jobs have their context cancelled and finish as CANCELLED.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	entry, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownJob
+	}
+	if entry.job.State.Terminal() {
+		s.mu.Unlock()
+		return nil
+	}
+	entry.cancelRequested = true
+	cancel := s.cancels[id]
+	s.mu.Unlock()
+
+	if cancel != nil {
+		cancel() // running: the runner unwinds, completion records CANCELLED
+		return nil
+	}
+	if s.queue.Remove(id) {
+		s.metrics.Gauge("sched.queue.depth").Dec()
+		s.complete(id, StateCancelled, nil, nil)
+	}
+	return nil
+}
+
+// Job returns a snapshot of the job's current state.
+func (s *Scheduler) Job(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return entry.job, true
+}
+
+// Jobs lists all known jobs, newest last.
+func (s *Scheduler) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, e := range s.jobs {
+		out = append(out, e.job)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Events returns the job's event log so far plus a live subscription
+// for what follows; the channel closes when the job reaches a
+// terminal state. Call the returned cancel func to unsubscribe early.
+func (s *Scheduler) Events(id string) ([]Event, <-chan Event, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, nil, ErrUnknownJob
+	}
+	past := append([]Event(nil), entry.events...)
+	if entry.job.State.Terminal() {
+		ch := make(chan Event)
+		close(ch)
+		return past, ch, func() {}, nil
+	}
+	ch := make(chan Event, 256)
+	entry.subs = append(entry.subs, ch)
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, sub := range entry.subs {
+			if sub == ch {
+				entry.subs = append(entry.subs[:i], entry.subs[i+1:]...)
+				return
+			}
+		}
+	}
+	return past, ch, cancel, nil
+}
+
+// WaitTerminal blocks until the job reaches a terminal state.
+func (s *Scheduler) WaitTerminal(ctx context.Context, id string) (Job, error) {
+	_, ch, cancel, err := s.Events(id)
+	if err != nil {
+		return Job{}, err
+	}
+	defer cancel()
+	for {
+		select {
+		case <-ctx.Done():
+			return Job{}, ctx.Err()
+		case _, ok := <-ch:
+			if !ok {
+				job, _ := s.Job(id)
+				return job, nil
+			}
+		}
+	}
+}
+
+// Stop refuses new submissions, cancels running jobs, and waits for
+// the workers. Queued jobs stay PENDING in the WAL and re-enqueue on
+// the next start.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	cancels := make([]context.CancelFunc, 0, len(s.cancels))
+	for _, c := range s.cancels {
+		cancels = append(cancels, c)
+	}
+	s.mu.Unlock()
+	s.queue.Close()
+	for _, c := range cancels {
+		c()
+	}
+	s.wg.Wait()
+	s.leases.Close()
+	s.wal.Close()
+}
+
+// Kill simulates a crash (kill -9) for recovery drills: in-flight
+// work is abandoned without completion records or events — the WAL
+// keeps whatever was fsynced before the "power went out", exactly the
+// state a restarted daemon must recover from. The in-process lab the
+// job was driving does get its context cancelled, standing in for the
+// instrument commands that stop arriving when the real process dies.
+func (s *Scheduler) Kill() {
+	s.killed.Store(true)
+	s.mu.Lock()
+	s.stopped = true
+	cancels := make([]context.CancelFunc, 0, len(s.cancels))
+	for _, c := range s.cancels {
+		cancels = append(cancels, c)
+	}
+	s.mu.Unlock()
+	s.queue.Close()
+	for _, c := range cancels {
+		c()
+	}
+	s.wg.Wait()
+	s.leases.Close()
+	s.wal.Close()
+}
+
+// worker pulls fair-share winners off the queue until it closes.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		job, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.runJob(job)
+	}
+}
+
+// runJob drives one job through RUNNING to a terminal state.
+func (s *Scheduler) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	s.mu.Lock()
+	entry, ok := s.jobs[job.ID]
+	if !ok || entry.job.State.Terminal() {
+		s.mu.Unlock()
+		return // cancelled between Pop and here
+	}
+	entry.job.State = StateRunning
+	entry.job.Attempts++
+	entry.job.StartedUnixNano = time.Now().UnixNano()
+	s.cancels[job.ID] = cancel
+	snapshot := entry.job
+	s.mu.Unlock()
+
+	s.metrics.Gauge("sched.queue.depth").Dec()
+	s.metrics.Gauge("sched.jobs.running").Inc()
+	s.wal.Append(WALRecord{Job: snapshot.ID, State: StateRunning, Attempt: snapshot.Attempts})
+	if snapshot.Resumed {
+		s.emit(snapshot.ID, "started", fmt.Sprintf("resuming (attempt %d)", snapshot.Attempts))
+	} else {
+		s.emit(snapshot.ID, "started", fmt.Sprintf("dispatched to worker (attempt %d)", snapshot.Attempts))
+	}
+
+	result, err := s.runner.Run(ctx, snapshot, func(eventType, message string) {
+		if s.killed.Load() {
+			return
+		}
+		s.emit(snapshot.ID, eventType, message)
+	})
+
+	s.metrics.Gauge("sched.jobs.running").Dec()
+	if s.killed.Load() {
+		return // crashed: no completion record — the WAL says RUNNING
+	}
+	s.mu.Lock()
+	cancelled := entry.cancelRequested
+	delete(s.cancels, job.ID)
+	s.mu.Unlock()
+
+	switch {
+	case err == nil:
+		s.complete(job.ID, StateDone, result, nil)
+	case cancelled && errors.Is(err, context.Canceled):
+		s.complete(job.ID, StateCancelled, nil, err)
+	default:
+		s.complete(job.ID, StateFailed, nil, err)
+	}
+}
+
+// complete records a terminal transition: WAL, state, event,
+// counters, and subscriber shutdown.
+func (s *Scheduler) complete(id string, state State, result json.RawMessage, cause error) {
+	rec := WALRecord{Job: id, State: state, Result: result}
+	if cause != nil && state == StateFailed {
+		rec.Error = cause.Error()
+	}
+	s.wal.Append(rec)
+
+	s.mu.Lock()
+	entry := s.jobs[id]
+	entry.job.State = state
+	entry.job.Result = result
+	entry.job.FinishedUnixNano = time.Now().UnixNano()
+	if rec.Error != "" {
+		entry.job.Error = rec.Error
+	}
+	s.mu.Unlock()
+
+	switch state {
+	case StateDone:
+		s.metrics.Counter("sched.jobs.done").Inc()
+		s.emit(id, "done", "job complete")
+	case StateFailed:
+		s.metrics.Counter("sched.jobs.failed").Inc()
+		s.emit(id, "failed", rec.Error)
+	case StateCancelled:
+		s.metrics.Counter("sched.jobs.cancelled").Inc()
+		s.emit(id, "cancelled", "job cancelled")
+	}
+
+	s.mu.Lock()
+	subs := entry.subs
+	entry.subs = nil
+	s.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+}
+
+// completeOrphan fails a recovered job that could not re-enqueue.
+func (s *Scheduler) completeOrphan(id, reason string) {
+	s.complete(id, StateFailed, nil, fmt.Errorf("%s", reason))
+}
+
+// emit appends an event to the job's log and fans it out to
+// subscribers (non-blocking: a stalled SSE client drops events rather
+// than stalling the lab).
+func (s *Scheduler) emit(id, eventType, message string) {
+	s.mu.Lock()
+	entry, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	ev := Event{
+		Seq:          len(entry.events) + 1,
+		TimeUnixNano: time.Now().UnixNano(),
+		Job:          id,
+		Type:         eventType,
+		Message:      message,
+	}
+	entry.events = append(entry.events, ev)
+	subs := append([]chan Event(nil), entry.subs...)
+	s.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// tenantLimits resolves a tenant's limits outside the lock.
+func (s *Scheduler) tenantLimits(tenant string) TenantLimits {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenantLimitsLocked(tenant)
+}
+
+func (s *Scheduler) tenantLimitsLocked(tenant string) TenantLimits {
+	if l, ok := s.cfg.Tenants[tenant]; ok {
+		return l
+	}
+	return s.cfg.DefaultLimits
+}

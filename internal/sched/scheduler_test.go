@@ -1,0 +1,441 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubRunner is a controllable Runner: it reports dispatches and
+// blocks each job until released.
+type stubRunner struct {
+	mu       sync.Mutex
+	order    []string // job IDs in dispatch order
+	runs     map[string]int
+	release  chan struct{} // closed (or fed) to let jobs finish
+	started  chan string   // receives each job ID at dispatch
+	result   json.RawMessage
+	failWith error
+	lastCtx  context.Context
+	blockCtx bool // when set, block until the job's ctx is cancelled
+}
+
+func newStubRunner() *stubRunner {
+	return &stubRunner{
+		runs:    make(map[string]int),
+		release: make(chan struct{}),
+		started: make(chan string, 64),
+		result:  json.RawMessage(`{"ok":true}`),
+	}
+}
+
+func (r *stubRunner) Run(ctx context.Context, job Job, emit func(string, string)) (json.RawMessage, error) {
+	r.mu.Lock()
+	r.order = append(r.order, job.ID)
+	r.runs[job.ID]++
+	r.lastCtx = ctx
+	blockCtx := r.blockCtx
+	r.mu.Unlock()
+	r.started <- job.ID
+	if blockCtx {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-r.release:
+	}
+	if r.failWith != nil {
+		return nil, r.failWith
+	}
+	return r.result, nil
+}
+
+func (r *stubRunner) dispatched() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+func newTestScheduler(t *testing.T, dir string, cfg Config, r Runner) *Scheduler {
+	t.Helper()
+	cfg.Dir = dir
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRunner(r)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchedulerSubmitRunDone(t *testing.T) {
+	runner := newStubRunner()
+	close(runner.release) // jobs finish immediately
+	s := newTestScheduler(t, t.TempDir(), Config{Workers: 1}, runner)
+	defer s.Stop()
+
+	job, err := s.Submit(JobSpec{Tenant: "acl", Kind: KindCV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	final, err := s.WaitTerminal(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || string(final.Result) != `{"ok":true}` || final.Attempts != 1 {
+		t.Fatalf("final job = %+v", final)
+	}
+	events, _, _, err := s.Events(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	for _, e := range events {
+		types = append(types, e.Type)
+	}
+	if len(types) < 3 || types[0] != "queued" || types[len(types)-1] != "done" {
+		t.Fatalf("event types = %v, want queued…done", types)
+	}
+}
+
+func TestSchedulerQueueFullRejectsWithRetryAfter(t *testing.T) {
+	runner := newStubRunner() // never released: worker stays busy
+	s := newTestScheduler(t, t.TempDir(), Config{Workers: 1, QueueCapacity: 2, RetryAfter: 3 * time.Second}, runner)
+	defer func() {
+		close(runner.release)
+		s.Stop()
+	}()
+
+	// First job occupies the worker; K=2 more fill the queue.
+	if _, err := s.Submit(JobSpec{Tenant: "acl", Kind: KindCV}); err != nil {
+		t.Fatal(err)
+	}
+	<-runner.started
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(JobSpec{Tenant: "acl", Kind: KindCV}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	// The (K+1)th queued submission must bounce with a retry hint.
+	_, err := s.Submit(JobSpec{Tenant: "acl", Kind: KindCV})
+	var busy *Busy
+	if !errors.As(err, &busy) {
+		t.Fatalf("overflow submit: err = %v, want *Busy", err)
+	}
+	if busy.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s", busy.RetryAfter)
+	}
+}
+
+func TestSchedulerTenantQuota(t *testing.T) {
+	runner := newStubRunner()
+	s := newTestScheduler(t, t.TempDir(), Config{
+		Workers:       1,
+		DefaultLimits: TenantLimits{MaxOutstanding: 1},
+	}, runner)
+	defer func() {
+		close(runner.release)
+		s.Stop()
+	}()
+
+	if _, err := s.Submit(JobSpec{Tenant: "greedy", Kind: KindCV}); err != nil {
+		t.Fatal(err)
+	}
+	var busy *Busy
+	if _, err := s.Submit(JobSpec{Tenant: "greedy", Kind: KindCV}); !errors.As(err, &busy) {
+		t.Fatalf("quota overflow: err = %v, want *Busy", err)
+	}
+	// Another tenant is unaffected.
+	if _, err := s.Submit(JobSpec{Tenant: "other", Kind: KindCV}); err != nil {
+		t.Fatalf("independent tenant rejected: %v", err)
+	}
+}
+
+func TestSchedulerRateLimit(t *testing.T) {
+	runner := newStubRunner()
+	close(runner.release)
+	s := newTestScheduler(t, t.TempDir(), Config{
+		Workers: 1,
+		Tenants: map[string]TenantLimits{
+			"bursty": {RatePerSec: 0.5, Burst: 2},
+		},
+	}, runner)
+	defer s.Stop()
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(JobSpec{Tenant: "bursty", Kind: KindCV}); err != nil {
+			t.Fatalf("within burst %d: %v", i, err)
+		}
+	}
+	_, err := s.Submit(JobSpec{Tenant: "bursty", Kind: KindCV})
+	var busy *Busy
+	if !errors.As(err, &busy) {
+		t.Fatalf("rate overflow: err = %v, want *Busy", err)
+	}
+	if busy.RetryAfter <= 0 {
+		t.Fatalf("rate rejection without a retry hint: %+v", busy)
+	}
+}
+
+// TestSchedulerFairShareAcrossTenants is the scheduler-level starvation
+// property: with one worker and a 10:1 submission imbalance, the light
+// tenant's jobs are dispatched at their fair interleave, not after the
+// heavy tenant's backlog.
+func TestSchedulerFairShareAcrossTenants(t *testing.T) {
+	runner := newStubRunner()
+	s := newTestScheduler(t, t.TempDir(), Config{
+		Workers:       1,
+		QueueCapacity: 64,
+		DefaultLimits: TenantLimits{MaxOutstanding: 32},
+	}, runner)
+	defer s.Stop()
+
+	jobs := make(map[string]string) // job ID → tenant
+	for i := 0; i < 20; i++ {
+		job, err := s.Submit(JobSpec{Tenant: "heavy", Kind: KindCV})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[job.ID] = "heavy"
+	}
+	for i := 0; i < 2; i++ {
+		job, err := s.Submit(JobSpec{Tenant: "light", Kind: KindCV})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[job.ID] = "light"
+	}
+	// Release jobs one at a time and record the dispatch order.
+	var order []string
+	for i := 0; i < 22; i++ {
+		id := <-runner.started
+		order = append(order, jobs[id])
+		runner.release <- struct{}{}
+	}
+	lightSeen, lastLight := 0, -1
+	for i, tenant := range order {
+		if tenant == "light" {
+			lightSeen++
+			lastLight = i
+		}
+	}
+	if lightSeen != 2 {
+		t.Fatalf("light tenant ran %d of 2 jobs", lightSeen)
+	}
+	// The first dispatch happened before light submitted (the worker was
+	// idle), but both light jobs must land within the first handful.
+	if lastLight > 6 {
+		t.Fatalf("light tenant's last job at position %d of %v — starved", lastLight, order)
+	}
+}
+
+func TestSchedulerCancelQueuedAndRunning(t *testing.T) {
+	runner := newStubRunner()
+	runner.blockCtx = true // running jobs end only by cancellation
+	s := newTestScheduler(t, t.TempDir(), Config{Workers: 1}, runner)
+	defer s.Stop()
+
+	running, err := s.Submit(JobSpec{Tenant: "acl", Kind: KindCV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-runner.started
+	queued, err := s.Submit(JobSpec{Tenant: "acl", Kind: KindCV})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if job, _ := s.Job(queued.ID); job.State != StateCancelled {
+		t.Fatalf("queued job after cancel = %+v", job)
+	}
+	if err := s.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	final, err := s.WaitTerminal(ctx, running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCancelled {
+		t.Fatalf("running job after cancel = %+v", final)
+	}
+	if err := s.Cancel("j-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("cancel unknown: %v", err)
+	}
+}
+
+// TestSchedulerCrashReplay is the WAL property test: kill the daemon
+// mid-job, restart over the same directory, and the job re-runs to
+// completion exactly once — while already-completed jobs stay
+// completed and are not re-dispatched.
+func TestSchedulerCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+
+	runner1 := newStubRunner()
+	s1 := newTestScheduler(t, dir, Config{Workers: 1}, runner1)
+
+	// Job 1 completes before the crash.
+	done1, err := s1.Submit(JobSpec{Tenant: "acl", Kind: KindCV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-runner1.started
+	runner1.release <- struct{}{}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if final, err := s1.WaitTerminal(ctx, done1.ID); err != nil || final.State != StateDone {
+		t.Fatalf("pre-crash job: %v %+v", err, final)
+	}
+
+	// Job 2 is RUNNING and job 3 PENDING when the power goes out.
+	crashed, err := s1.Submit(JobSpec{Tenant: "acl", Kind: KindCV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-runner1.started
+	pending, err := s1.Submit(JobSpec{Tenant: "dgx", Kind: KindCampaign,
+		Cells: []CellSpec{{Rounds: []RoundSpec{{ConcentrationMM: 1}}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Kill()
+
+	// A new daemon over the same state directory.
+	runner2 := newStubRunner()
+	close(runner2.release)
+	s2 := newTestScheduler(t, dir, Config{Workers: 1}, runner2)
+	defer s2.Stop()
+
+	for _, id := range []string{crashed.ID, pending.ID} {
+		final, err := s2.WaitTerminal(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != StateDone {
+			t.Fatalf("recovered job %s = %+v", id, final)
+		}
+	}
+	// The RUNNING job resumed (attempt 2, Resumed flag); the PENDING one
+	// started fresh.
+	if job, _ := s2.Job(crashed.ID); job.Attempts != 2 || !job.Resumed {
+		t.Fatalf("crashed job after recovery = %+v", job)
+	}
+	if job, _ := s2.Job(pending.ID); job.Attempts != 1 {
+		t.Fatalf("pending job after recovery = %+v", job)
+	}
+	// Exactly-once dispatch per incarnation: the completed job must not
+	// re-run, each recovered job ran once on s2.
+	if n := runner2.runs[done1.ID]; n != 0 {
+		t.Fatalf("completed job re-dispatched %d times after restart", n)
+	}
+	if runner2.runs[crashed.ID] != 1 || runner2.runs[pending.ID] != 1 {
+		t.Fatalf("recovered dispatch counts = %v", runner2.runs)
+	}
+	// Completed history survives the restart.
+	if job, ok := s2.Job(done1.ID); !ok || job.State != StateDone {
+		t.Fatalf("pre-crash job lost after restart: %+v", job)
+	}
+	// A fresh submission does not collide with replayed IDs.
+	fresh, err := s2.Submit(JobSpec{Tenant: "acl", Kind: KindCV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == done1.ID || fresh.ID == crashed.ID || fresh.ID == pending.ID {
+		t.Fatalf("job ID %s reused after restart", fresh.ID)
+	}
+	if final, err := s2.WaitTerminal(ctx, fresh.ID); err != nil || final.State != StateDone {
+		t.Fatalf("fresh job after restart: %v %+v", err, final)
+	}
+}
+
+func TestSchedulerStopKeepsQueuedJobsPending(t *testing.T) {
+	dir := t.TempDir()
+	runner := newStubRunner()
+	runner.blockCtx = true
+	s := newTestScheduler(t, dir, Config{Workers: 1}, runner)
+
+	if _, err := s.Submit(JobSpec{Tenant: "acl", Kind: KindCV}); err != nil {
+		t.Fatal(err)
+	}
+	<-runner.started
+	queued, err := s.Submit(JobSpec{Tenant: "acl", Kind: KindCV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	if _, err := s.Submit(JobSpec{Tenant: "acl", Kind: KindCV}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("submit after stop: %v", err)
+	}
+
+	// The queued job survives as PENDING and completes after restart.
+	runner2 := newStubRunner()
+	close(runner2.release)
+	s2 := newTestScheduler(t, dir, Config{Workers: 1}, runner2)
+	defer s2.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if final, err := s2.WaitTerminal(ctx, queued.ID); err != nil || final.State != StateDone {
+		t.Fatalf("queued job after restart: %v %+v", err, final)
+	}
+}
+
+func TestSchedulerEventsStream(t *testing.T) {
+	runner := newStubRunner()
+	s := newTestScheduler(t, t.TempDir(), Config{Workers: 1}, runner)
+	defer s.Stop()
+
+	job, err := s.Submit(JobSpec{Tenant: "acl", Kind: KindCV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-runner.started
+	past, live, unsub, err := s.Events(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+	if len(past) < 1 || past[0].Type != "queued" {
+		t.Fatalf("past events = %+v", past)
+	}
+	runner.release <- struct{}{}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return // closed at terminal state: the contract
+			}
+			if ev.Job != job.ID {
+				t.Fatalf("event for wrong job: %+v", ev)
+			}
+		case <-deadline:
+			t.Fatal("live channel never closed after completion")
+		}
+	}
+}
+
+func TestSchedulerRejectsInvalidSpec(t *testing.T) {
+	runner := newStubRunner()
+	close(runner.release)
+	s := newTestScheduler(t, t.TempDir(), Config{}, runner)
+	defer s.Stop()
+	if _, err := s.Submit(JobSpec{Tenant: "acl", Kind: "warp-drive"}); err == nil {
+		t.Fatal("invalid spec admitted")
+	}
+	if _, err := s.Submit(JobSpec{Kind: KindCV}); err == nil {
+		t.Fatal("tenantless spec admitted")
+	}
+}

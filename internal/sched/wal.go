@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ice/internal/core"
+)
+
+// WALFileName is the job store's file inside the gateway's state
+// directory.
+const WALFileName = "icegated_jobs.jsonl"
+
+// WALRecord is one job transition, appended as a JSON line. The spec
+// travels with the first (PENDING) record so a restarted daemon can
+// reconstruct and re-enqueue the job from the WAL alone.
+type WALRecord struct {
+	// TimeUnixNano is the transition wall time.
+	TimeUnixNano int64 `json:"t,omitempty"`
+	// Job is the job ID.
+	Job string `json:"job"`
+	// Tenant identifies the submitter (on the PENDING record).
+	Tenant string `json:"tenant,omitempty"`
+	// State is the new lifecycle state.
+	State State `json:"state"`
+	// Spec is the admitted request (on the PENDING record).
+	Spec *JobSpec `json:"spec,omitempty"`
+	// Attempt counts executions begun (on RUNNING records).
+	Attempt int `json:"attempt,omitempty"`
+	// Result is the runner's output (on the DONE record).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error carries the failure message (on FAILED records).
+	Error string `json:"error,omitempty"`
+}
+
+// WAL is the append-only, fsynced job journal. Every Append survives
+// a kill -9 of the daemon; OpenWAL replays what the previous
+// incarnation had admitted.
+type WAL struct {
+	mu sync.Mutex
+	f  *core.AppendFile
+}
+
+// OpenWAL opens (creating if needed) the job store under dir and
+// replays its records into the last-known state of every job, in
+// first-submission order.
+func OpenWAL(dir string) (*WAL, []*Job, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("sched: wal dir: %w", err)
+	}
+	var jobs []*Job
+	if f, err := os.Open(filepath.Join(dir, WALFileName)); err == nil {
+		jobs, err = ReplayWAL(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("sched: open wal: %w", err)
+	}
+	af, err := core.OpenAppendFile(dir, WALFileName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sched: append wal: %w", err)
+	}
+	return &WAL{f: af}, jobs, nil
+}
+
+// Append writes one fsynced record.
+func (w *WAL) Append(rec WALRecord) error {
+	if rec.TimeUnixNano == 0 {
+		rec.TimeUnixNano = time.Now().UnixNano()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sched: encode wal record: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("sched: wal closed")
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("sched: append wal: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// ReplayWAL folds a journal into each job's latest state, in
+// first-submission order. A truncated trailing line — the signature
+// of a crash mid-append — is tolerated and dropped; corruption
+// anywhere else is an error, because silently skipping interior
+// records could resurrect an already-completed job.
+func ReplayWAL(r io.Reader) ([]*Job, error) {
+	byID := make(map[string]*Job)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	var pendingErr error
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The bad line was not the last one: real corruption.
+			return nil, pendingErr
+		}
+		var rec WALRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			pendingErr = fmt.Errorf("sched: wal line %d: %w", line, err)
+			continue
+		}
+		if rec.Job == "" {
+			pendingErr = fmt.Errorf("sched: wal line %d: record without job id", line)
+			continue
+		}
+		job, ok := byID[rec.Job]
+		if !ok {
+			job = &Job{ID: rec.Job}
+			byID[rec.Job] = job
+			order = append(order, rec.Job)
+		}
+		applyRecord(job, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sched: read wal: %w", err)
+	}
+	jobs := make([]*Job, 0, len(order))
+	for _, id := range order {
+		jobs = append(jobs, byID[id])
+	}
+	return jobs, nil
+}
+
+// applyRecord folds one transition into the job.
+func applyRecord(job *Job, rec WALRecord) {
+	job.State = rec.State
+	if rec.Tenant != "" {
+		job.Tenant = rec.Tenant
+	}
+	if rec.Spec != nil {
+		job.Spec = *rec.Spec
+	}
+	if rec.Attempt > job.Attempts {
+		job.Attempts = rec.Attempt
+	}
+	switch rec.State {
+	case StatePending:
+		if job.SubmittedUnixNano == 0 {
+			job.SubmittedUnixNano = rec.TimeUnixNano
+		}
+	case StateRunning:
+		job.StartedUnixNano = rec.TimeUnixNano
+	case StateDone:
+		job.Result = rec.Result
+		job.FinishedUnixNano = rec.TimeUnixNano
+	case StateFailed:
+		job.Error = rec.Error
+		job.FinishedUnixNano = rec.TimeUnixNano
+	case StateCancelled:
+		job.FinishedUnixNano = rec.TimeUnixNano
+	}
+}
+
+// highestJobSeq returns the largest numeric suffix among replayed job
+// IDs so a restarted daemon keeps allocating fresh ones.
+func highestJobSeq(jobs []*Job) int {
+	max := 0
+	for _, j := range jobs {
+		if i := strings.LastIndexByte(j.ID, '-'); i >= 0 {
+			if n, err := strconv.Atoi(j.ID[i+1:]); err == nil && n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}
+
+// sortJobsBySubmission orders jobs oldest-first for re-enqueueing.
+func sortJobsBySubmission(jobs []*Job) {
+	sort.SliceStable(jobs, func(i, j int) bool {
+		return jobs[i].SubmittedUnixNano < jobs[j].SubmittedUnixNano
+	})
+}

@@ -181,13 +181,44 @@ func (c *Counter) Reset() { c.v.Store(0) }
 // String renders a one-line summary.
 func (c *Counter) String() string { return fmt.Sprintf("%s: %d", c.name, c.Value()) }
 
-// Collector is a named registry of histograms, throughput meters and
-// counters so a workflow can expose all its QoS series at once.
+// Gauge is an instantaneous level (queue depth, running jobs, active
+// leases) safe for concurrent use: unlike a Counter it moves both ways
+// and can be overwritten outright.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge returns a zeroed gauge.
+func NewGauge(name string) *Gauge { return &Gauge{name: name} }
+
+// Set overwrites the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc raises the level by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec lowers the level by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// String renders a one-line summary.
+func (g *Gauge) String() string { return fmt.Sprintf("%s: %d", g.name, g.Value()) }
+
+// Collector is a named registry of histograms, throughput meters,
+// counters and gauges so a workflow can expose all its QoS series at
+// once.
 type Collector struct {
 	mu       sync.Mutex
 	hists    map[string]*Histogram
 	meters   map[string]*Throughput
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 }
 
 // NewCollector returns an empty registry.
@@ -196,6 +227,7 @@ func NewCollector() *Collector {
 		hists:    make(map[string]*Histogram),
 		meters:   make(map[string]*Throughput),
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 	}
 }
 
@@ -235,6 +267,30 @@ func (c *Collector) Counter(name string) *Counter {
 	return ctr
 }
 
+// Gauge returns (creating if needed) the named gauge.
+func (c *Collector) Gauge(name string) *Gauge {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.gauges[name]
+	if !ok {
+		g = NewGauge(name)
+		c.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeValue returns the named gauge's level, zero if it was never
+// touched.
+func (c *Collector) GaugeValue(name string) int64 {
+	c.mu.Lock()
+	g, ok := c.gauges[name]
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return g.Value()
+}
+
 // CounterValue returns the named counter's count, zero if it was never
 // touched — for assertions that a series stayed silent.
 func (c *Collector) CounterValue(name string) int64 {
@@ -261,21 +317,29 @@ func (c *Collector) Report() []string {
 	for n := range c.counters {
 		names = append(names, "c:"+n)
 	}
+	for n := range c.gauges {
+		names = append(names, "g:"+n)
+	}
 	sort.Strings(names)
 	out := make([]string, 0, len(names))
 	for _, n := range names {
-		if n[0] == 'c' {
+		switch n[0] {
+		case 'c':
 			if ctr, ok := c.counters[n[2:]]; ok {
 				out = append(out, ctr.String())
 			}
-			continue
-		}
-		if h, ok := c.hists[n[2:]]; ok && n[0] == 'h' {
-			out = append(out, h.String())
-			continue
-		}
-		if t, ok := c.meters[n[2:]]; ok && n[0] == 't' {
-			out = append(out, t.String())
+		case 'g':
+			if g, ok := c.gauges[n[2:]]; ok {
+				out = append(out, g.String())
+			}
+		case 'h':
+			if h, ok := c.hists[n[2:]]; ok {
+				out = append(out, h.String())
+			}
+		case 't':
+			if t, ok := c.meters[n[2:]]; ok {
+				out = append(out, t.String())
+			}
 		}
 	}
 	return out
