@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-parallel-quick fuzz gateway-smoke
+.PHONY: all build vet test race bench bench-parallel bench-parallel-quick fuzz gateway-smoke trace-smoke
 
 all: build vet test
 
@@ -32,6 +32,14 @@ bench-parallel-quick:
 # tenants' jobs through the HTTP API, leases verified clean.
 gateway-smoke:
 	$(GO) run ./cmd/icegated -smoke
+
+# Tracing acceptance drill: a two-cell campaign job through the
+# gateway, its trace fetched by ID and checked for a parent-complete
+# span tree and a critical-path partition that sums to the wall time.
+# The JSONL export lands in trace_smoke.jsonl for offline icetrace
+# inspection (CI uploads it when the drill fails).
+trace-smoke:
+	$(GO) run ./cmd/icegated -trace-smoke -trace-export trace_smoke.jsonl
 
 fuzz:
 	for pkg in $$($(GO) list ./...); do \

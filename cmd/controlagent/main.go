@@ -15,10 +15,12 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ice/internal/core"
 	"ice/internal/robot"
 	"ice/internal/synthesis"
+	"ice/internal/trace"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 	token := flag.String("token", "", "shared-secret credential required on the control channel (empty = open)")
 	lab := flag.Bool("lab", false, "attach the extended lab stations (synthesis workstation + mobile robot)")
 	audit := flag.Bool("audit", true, "journal every control-channel command to control_audit.jsonl on the share")
+	traceExport := flag.String("trace-export", "", "append daemon-side trace spans to this JSONL file; requests carrying a traceparent join the caller's trace")
 	flag.Parse()
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -50,6 +53,18 @@ func main() {
 	jkemURI, sp200URI, err := agent.ServeControl(controlL)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceExport != "" {
+		exp, err := trace.NewJSONLExporter(*traceExport, time.Second)
+		if err != nil {
+			log.Fatalf("open trace export: %v", err)
+		}
+		defer exp.Close()
+		agent.Daemon().SetTracer(trace.New(
+			trace.WithExporter(exp),
+			trace.WithRecorder(trace.NewRecorder(512)),
+		))
+		fmt.Println("  tracing:         exporting daemon-side spans to", *traceExport)
 	}
 	dataL, err := net.Listen("tcp", *dataAddr)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 
 	"ice/internal/backoff"
 	"ice/internal/sched"
+	"ice/internal/trace"
 )
 
 // runGateway is icectl's client mode against an icegated scheduling
@@ -24,6 +25,7 @@ import (
 //	icectl -gateway http://host:9700 -tenant acl submit spec.json  # spec from file ("-" = stdin)
 //	icectl -gateway http://host:9700 status [jobID]
 //	icectl -gateway http://host:9700 wait jobID
+//	icectl -gateway http://host:9700 trace jobID    # span tree + critical path
 //	icectl -gateway http://host:9700 cancel jobID
 //
 // Submissions retry through the shared backoff policy: transport
@@ -96,6 +98,36 @@ func runGateway(ctx context.Context, base, verb string, args []string, tenant st
 			}
 		}
 
+	case "trace":
+		if len(args) < 1 {
+			log.Fatal("trace needs a job ID or trace ID")
+		}
+		// A job ID resolves to its trace; a 32-hex trace ID passes
+		// straight through.
+		id := args[0]
+		if len(id) != 32 {
+			job := getJob(base, id)
+			if job.TraceID == "" {
+				log.Fatalf("job %s carries no trace ID (daemon predates tracing?)", id)
+			}
+			id = job.TraceID
+		}
+		resp, err := http.Get(base + "/v1/traces/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("trace: %s: %s", resp.Status, body)
+		}
+		var tr sched.TraceResponse
+		if err := json.Unmarshal(body, &tr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(trace.RenderTree(tr.Spans))
+		fmt.Print(trace.RenderBreakdown(tr.Breakdown))
+
 	case "cancel":
 		if len(args) < 1 {
 			log.Fatal("cancel needs a job ID")
@@ -112,7 +144,7 @@ func runGateway(ctx context.Context, base, verb string, args []string, tenant st
 		fmt.Printf("%s cancel requested\n", args[0])
 
 	default:
-		log.Fatalf("unknown gateway verb %q (want submit|status|wait|cancel)", verb)
+		log.Fatalf("unknown gateway verb %q (want submit|status|wait|trace|cancel)", verb)
 	}
 }
 

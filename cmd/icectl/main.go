@@ -52,12 +52,12 @@ func main() {
 	reliableData := flag.Bool("reliable-data", false, "self-healing data mount: redial the share and resume interrupted transfers from the last verified offset")
 	journalPath := flag.String("journal", "", "workflow: checkpoint task progress to this file")
 	resume := flag.Bool("resume", false, "workflow: restore completed tasks from -journal before executing")
-	gateway := flag.String("gateway", "", "icegated URL: verbs become submit|status|wait|cancel against the scheduling gateway")
+	gateway := flag.String("gateway", "", "icegated URL: verbs become submit|status|wait|trace|cancel against the scheduling gateway")
 	tenant := flag.String("tenant", "", "gateway: tenant identity for submit")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: icectl [flags] status|fill|cv|eis|workflow|campaign|qos|abort|retain|replay|files\n" +
-			"       icectl -gateway URL [flags] submit|status|wait|cancel [args]")
+			"       icectl -gateway URL [flags] submit|status|wait|trace|cancel [args]")
 	}
 
 	ctx := context.Background()

@@ -36,6 +36,7 @@ import (
 	"ice/internal/core"
 	"ice/internal/netsim"
 	"ice/internal/sched"
+	"ice/internal/trace"
 )
 
 func main() {
@@ -59,10 +60,14 @@ func main() {
 	reliable := flag.Bool("reliable", false, "retry instrument commands across transport faults with exactly-once semantics")
 	reliableData := flag.Bool("reliable-data", false, "self-healing data mount: redial and resume interrupted transfers")
 
+	traceExport := flag.String("trace-export", "", "append finished trace spans to this JSONL file (crash-safe batched writes; view with icetrace)")
+	traceSample := flag.Float64("trace-sample", 1, "head-sampling ratio for traces (errors and flight-recorder dumps are always kept)")
+
 	smoke := flag.Bool("smoke", false, "one-shot self-test: selflab gateway, two tenants submit, wait, report, exit")
+	traceSmoke := flag.Bool("trace-smoke", false, "one-shot trace self-test: selflab two-cell campaign, fetch its trace, verify the span tree and critical-path partition, exit")
 	flag.Parse()
 
-	if *smoke {
+	if *smoke || *traceSmoke {
 		*selflab = true
 		*listen = "127.0.0.1:0"
 	}
@@ -99,6 +104,25 @@ func main() {
 		log.Fatal("need a lab: -selflab or -agent HOST")
 	}
 
+	// The tracer always keeps an in-memory store (the gateway's
+	// /v1/traces) and a flight recorder; -trace-export adds a durable
+	// JSONL feed for offline icetrace analysis.
+	traceOpts := []trace.Option{
+		trace.WithStore(trace.NewStore(0, 0)),
+		trace.WithRecorder(trace.NewRecorder(512)),
+		trace.WithSampler(trace.Ratio(*traceSample)),
+	}
+	if *traceExport != "" {
+		exp, err := trace.NewJSONLExporter(*traceExport, time.Second)
+		if err != nil {
+			log.Fatalf("open trace export: %v", err)
+		}
+		defer exp.Close()
+		traceOpts = append(traceOpts, trace.WithExporter(exp))
+		log.Printf("tracing: exporting spans to %s", *traceExport)
+	}
+	tracer := trace.New(traceOpts...)
+
 	tenants, err := parseWeights(*weights)
 	if err != nil {
 		log.Fatal(err)
@@ -110,6 +134,7 @@ func main() {
 		Workers:       *workers,
 		LeaseTTL:      *leaseTTL,
 		Tenants:       tenants,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		log.Fatalf("open job store: %v", err)
@@ -147,6 +172,16 @@ func main() {
 		log.Print("smoke: OK")
 		return
 	}
+	if *traceSmoke {
+		err := runTraceSmoke("http://" + l.Addr().String())
+		srv.Shutdown(context.Background())
+		s.Stop()
+		if err != nil {
+			log.Fatalf("trace-smoke: %v", err)
+		}
+		log.Print("trace-smoke: OK")
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -156,6 +191,118 @@ func main() {
 	defer cancel()
 	srv.Shutdown(shutdownCtx)
 	s.Stop()
+}
+
+// runTraceSmoke is the tracing acceptance drill: submit a two-cell
+// campaign (the fleet shape whose WAN retrieval pipelines under the
+// sibling cell's instrument hold), fetch its trace by the ID the
+// submission returned, and verify the span tree is parent-complete and
+// the critical-path segments partition the job's wall time.
+func runTraceSmoke(base string) error {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(`{
+		"tenant": "acl", "kind": "campaign", "cells": [
+			{"name": "cell-a", "rounds": [{"concentration_mm": 1}, {"concentration_mm": 2}]},
+			{"name": "cell-b", "rounds": [{"concentration_mm": 4}, {"concentration_mm": 8}]}
+		]}`))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: %s: %s", resp.Status, body)
+	}
+	var job sched.Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		return err
+	}
+	if job.TraceID == "" {
+		return fmt.Errorf("job %s carries no trace ID", job.ID)
+	}
+	log.Printf("trace-smoke: submitted %s, trace %s", job.ID, job.TraceID)
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s did not finish in time", job.ID)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			return err
+		}
+		var cur sched.Job
+		err = json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if cur.State.Terminal() {
+			if cur.State != sched.StateDone {
+				return fmt.Errorf("job %s ended %s: %s", job.ID, cur.State, cur.Error)
+			}
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The root span lands in the store when the scheduler finalises the
+	// job, a hair after the state flips to DONE.
+	var tr sched.TraceResponse
+	for {
+		resp, err := http.Get(base + "/v1/traces/" + job.TraceID)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &tr); err != nil {
+				return err
+			}
+			if hasRoot(tr.Spans, "job "+job.ID) {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("trace %s never served a root span (last: %s %s)", job.TraceID, resp.Status, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	for _, want := range []string{"sched.run", "campaign.round 1", "campaign.acquire", "campaign.retrieve", "campaign.analyze"} {
+		found := false
+		for _, rec := range tr.Spans {
+			if rec.Name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("trace is missing span %q (%d spans)", want, len(tr.Spans))
+		}
+	}
+	if orphans := trace.Orphans(tr.Spans); len(orphans) != 0 {
+		return fmt.Errorf("trace has %d orphaned spans: %v", len(orphans), orphans)
+	}
+	b := tr.Breakdown
+	if b.Wall <= 0 || b.Instrument <= 0 || b.Data <= 0 || b.Sched <= 0 {
+		return fmt.Errorf("critical path has empty phases:\n%s", trace.RenderBreakdown(b))
+	}
+	sum := b.Instrument + b.Data + b.Analysis + b.Sched + b.Control + b.Other + b.Idle
+	if diff := sum - b.Wall; diff < -b.Wall/20 || diff > b.Wall/20 {
+		return fmt.Errorf("segments sum to %v against wall %v:\n%s", sum, b.Wall, trace.RenderBreakdown(b))
+	}
+	log.Printf("trace-smoke: %d spans, partition holds\n%s", len(tr.Spans), trace.RenderBreakdown(b))
+	return nil
+}
+
+func hasRoot(recs []trace.Record, name string) bool {
+	for _, rec := range recs {
+		if rec.Name == name && rec.Parent == "" {
+			return true
+		}
+	}
+	return false
 }
 
 // parseWeights turns "acl=3,dgx=1" into per-tenant limits.

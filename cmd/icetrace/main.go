@@ -1,0 +1,100 @@
+// Icetrace is the offline trace viewer: it reads the JSONL span
+// exports the daemons append (crash-safe, so a file cut off mid-write
+// still parses) and renders each trace as an indented span tree plus
+// the critical-path breakdown the paper's bottleneck analysis needs.
+//
+//	icetrace traces.jsonl                 # every trace in the export
+//	icetrace -trace 4f1a...c2 traces.jsonl # one trace
+//	icetrace -breakdown traces.jsonl      # tables only, no trees
+//	cat traces.jsonl | icetrace -         # from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"ice/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	traceID := flag.String("trace", "", "show only this trace ID")
+	breakdownOnly := flag.Bool("breakdown", false, "print only the critical-path tables, not the span trees")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: icetrace [-trace ID] [-breakdown] FILE.jsonl... ('-' = stdin)")
+	}
+
+	var recs []trace.Record
+	for _, path := range flag.Args() {
+		var r io.Reader
+		if path == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		got, err := trace.ReadSpans(r)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		recs = append(recs, got...)
+	}
+
+	byTrace := make(map[string][]trace.Record)
+	for _, rec := range recs {
+		byTrace[rec.TraceID] = append(byTrace[rec.TraceID], rec)
+	}
+	if *traceID != "" {
+		one, ok := byTrace[*traceID]
+		if !ok {
+			log.Fatalf("trace %s not in the export (%d traces read)", *traceID, len(byTrace))
+		}
+		byTrace = map[string][]trace.Record{*traceID: one}
+	}
+	if len(byTrace) == 0 {
+		log.Fatal("no spans read")
+	}
+
+	// Oldest trace first, so a tail of the export reads chronologically.
+	ids := make([]string, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := byTrace[ids[i]], byTrace[ids[j]]
+		return earliest(a).Before(earliest(b))
+	})
+
+	for _, id := range ids {
+		spans := byTrace[id]
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+		if !*breakdownOnly {
+			fmt.Print(trace.RenderTree(spans))
+			if orphans := trace.Orphans(spans); len(orphans) > 0 {
+				fmt.Printf("  ! %d orphaned spans (parents missing from export): %v\n", len(orphans), orphans)
+			}
+		}
+		fmt.Print(trace.RenderBreakdown(trace.Analyze(spans)))
+		fmt.Println()
+	}
+}
+
+func earliest(recs []trace.Record) time.Time {
+	t0 := recs[0].Start
+	for _, r := range recs[1:] {
+		if r.Start.Before(t0) {
+			t0 = r.Start
+		}
+	}
+	return t0
+}

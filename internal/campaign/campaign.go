@@ -20,6 +20,7 @@ import (
 	"ice/internal/core"
 	"ice/internal/datachan"
 	"ice/internal/potentiostat"
+	"ice/internal/trace"
 	"ice/internal/units"
 )
 
@@ -83,6 +84,10 @@ type Executor struct {
 	// Observe, when set, is called after every completed round (fleets
 	// use it to maintain a shared cross-cell history).
 	Observe func(Observation)
+	// Label names this executor in trace phase spans (a fleet sets the
+	// cell name); the critical-path analyzer uses it to attribute one
+	// cell's data phase overlapping another's instrument phase.
+	Label string
 }
 
 // Run executes the campaign and returns the observation history. The
@@ -145,7 +150,22 @@ func (e *Executor) plan(p Planner, history []Observation) (Params, bool, error) 
 	return p.Next(history)
 }
 
-func (e *Executor) runRound(ctx context.Context, round int, params Params, points int, volumeML float64) (*Observation, error) {
+// phase opens a classed sub-span stamped with this executor's holder
+// label for the critical-path analyzer.
+func (e *Executor) phase(ctx context.Context, name, class string) (context.Context, *trace.Span) {
+	ctx, span := trace.Start(ctx, name, class)
+	if e.Label != "" {
+		span.SetAttr("holder", e.Label)
+	}
+	return ctx, span
+}
+
+func (e *Executor) runRound(ctx context.Context, round int, params Params, points int, volumeML float64) (o *Observation, err error) {
+	ctx, span := trace.Start(ctx, fmt.Sprintf("campaign.round %d", round), "")
+	if e.Label != "" {
+		span.SetAttr("cell", e.Label)
+	}
+	defer func() { span.EndErr(err) }()
 	obs := &Observation{Round: round, Params: params}
 	name, err := e.acquireRound(ctx, obs, params, points, volumeML)
 	if err != nil {
@@ -163,11 +183,18 @@ func (e *Executor) runRound(ctx context.Context, round int, params Params, point
 // acquisition has finished streaming to the agent's disk, so when this
 // returns the lab is free for the next campaign even though this
 // round's data has not yet crossed the WAN.
-func (e *Executor) acquireRound(ctx context.Context, obs *Observation, params Params, points int, volumeML float64) (string, error) {
+func (e *Executor) acquireRound(ctx context.Context, obs *Observation, params Params, points int, volumeML float64) (name string, err error) {
 	if e.InstrumentGate != nil {
 		e.InstrumentGate.Lock()
 		defer e.InstrumentGate.Unlock()
 	}
+	// The instrument-hold span starts only after the gate is won:
+	// waiting for another cell's acquisition is queueing, not
+	// instrument time, and counting it would fake overlap.
+	acqCtx, span := e.phase(ctx, "campaign.acquire", trace.ClassInstrument)
+	defer func() { span.EndErr(err) }()
+	e.Session.BindTraceContext(acqCtx)
+	defer e.Session.BindTraceContext(ctx)
 	// The gate wait can be long in a busy fleet; honor cancellation
 	// before touching the cell.
 	if err := ctx.Err(); err != nil {
@@ -246,18 +273,32 @@ func (e *Executor) bringUp() error {
 // file across the WAN (digest-verified) and analyze it. It runs
 // outside the instrument gate.
 func (e *Executor) retrieveRound(ctx context.Context, obs *Observation, name string) error {
-	waitCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
-	defer cancel()
-	data, _, err := e.Mount.WaitForContext(waitCtx, name, 10*time.Millisecond)
+	data, err := func() (data []byte, err error) {
+		retrCtx, span := e.phase(ctx, "campaign.retrieve", trace.ClassData)
+		span.SetAttr("file", name)
+		defer func() { span.EndErr(err) }()
+		if binder, ok := e.Mount.(interface{ SetSpan(*trace.Span) }); ok {
+			binder.SetSpan(span)
+			defer binder.SetSpan(nil)
+		}
+		waitCtx, cancel := context.WithTimeout(retrCtx, 2*time.Minute)
+		defer cancel()
+		data, _, err = e.Mount.WaitForContext(waitCtx, name, 10*time.Millisecond)
+		return data, err
+	}()
 	if err != nil {
 		return err
 	}
-	mf, err := potentiostat.ParseMPT(bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	pot, cur := analysis.FromRecords(mf.Records)
-	summary, err := analysis.AnalyzeCV(pot, cur, units.Celsius(25))
+	summary, err := func() (s *analysis.CVSummary, err error) {
+		_, span := e.phase(ctx, "campaign.analyze", trace.ClassAnalysis)
+		defer func() { span.EndErr(err) }()
+		mf, err := potentiostat.ParseMPT(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		pot, cur := analysis.FromRecords(mf.Records)
+		return analysis.AnalyzeCV(pot, cur, units.Celsius(25))
+	}()
 	if err != nil {
 		return err
 	}

@@ -120,6 +120,9 @@ func (f *Fleet) Run(ctx context.Context) ([]FleetResult, error) {
 		if f.History != nil && ex.Observe == nil {
 			ex.Observe = f.History.Append
 		}
+		if ex.Label == "" {
+			ex.Label = f.Cells[i].Name
+		}
 	}
 
 	workers := f.Workers

@@ -13,6 +13,7 @@ import (
 	"ice/internal/datachan"
 	"ice/internal/ml"
 	"ice/internal/potentiostat"
+	"ice/internal/trace"
 	"ice/internal/units"
 	"ice/internal/workflow"
 )
@@ -53,6 +54,11 @@ type CVWorkflowConfig struct {
 	// disconnect cannot fire inside another tenant's acquisition
 	// pipeline on the shared instrument.
 	TeardownGate sync.Locker
+	// TraceLabel names this workflow's holder in phase spans (usually
+	// the job or cell ID); the critical-path analyzer uses it to tell
+	// one tenant's data phase from another's instrument phase when
+	// measuring overlap.
+	TraceLabel string
 }
 
 // PaperCVWorkflowConfig returns the demonstration parameters.
@@ -91,6 +97,12 @@ type mountStats interface {
 	Stats() datachan.MountStats
 }
 
+// spanBinder is satisfied by a ReliableMount: the workflow binds the
+// current retrieval's span so redials/resumes land on it as events.
+type spanBinder interface {
+	SetSpan(*trace.Span)
+}
+
 // BuildCVWorkflow composes the paper's tasks A–E against an open
 // session and data mount (plain or reliable — any datachan.Share).
 // The returned outcome is populated as the notebook executes.
@@ -104,9 +116,21 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 		cfg.WaitTimeout = 2 * time.Minute
 	}
 
+	// phase opens a classed sub-span under the running task's span,
+	// stamped with the workflow's holder label so the critical-path
+	// analyzer can attribute instrument/data/analysis time per tenant.
+	phase := func(c *workflow.Context, name, class string) (context.Context, *trace.Span) {
+		ctx, span := trace.Start(c.Ctx, name, class)
+		if cfg.TraceLabel != "" {
+			span.SetAttr("holder", cfg.TraceLabel)
+		}
+		return ctx, span
+	}
+
 	nb.MustAdd(&workflow.Task{
 		ID: "A", Title: "Establish Pyro communications across ICE",
 		Run: func(c *workflow.Context) (string, error) {
+			session.BindTraceContext(c.Ctx)
 			if _, err := session.JKemStatus(); err != nil {
 				return "", fmt.Errorf("J-Kem object unreachable: %w", err)
 			}
@@ -121,6 +145,7 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 		ID: "B", Title: "Configure and connect J-Kem instrument setup",
 		DependsOn: []string{"A"},
 		Run: func(c *workflow.Context) (string, error) {
+			session.BindTraceContext(c.Ctx)
 			if cfg.GasSCCM > 0 {
 				if _, err := session.SetGasFlow(1, cfg.GasSCCM); err != nil {
 					return "", err
@@ -141,7 +166,12 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 	nb.MustAdd(&workflow.Task{
 		ID: "C", Title: "Fill electrochemical cell with ferrocene solution",
 		DependsOn: []string{"B"},
-		Run: func(c *workflow.Context) (string, error) {
+		Run: func(c *workflow.Context) (st string, err error) {
+			// The fill moves physical liquid under exclusive J-Kem
+			// control: instrument-class time for the breakdown.
+			fillCtx, fillSpan := phase(c, "cv.fill", trace.ClassInstrument)
+			session.BindTraceContext(fillCtx)
+			defer func() { fillSpan.EndErr(err) }()
 			f := cfg.Fill
 			steps := []struct {
 				label string
@@ -168,93 +198,126 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 		ID: "D", Title: "Run CV on SP200 and collect I-V measurements",
 		DependsOn: []string{"C"},
 		Run: func(c *workflow.Context) (string, error) {
-			steps := []struct {
-				label string
-				call  func() (string, error)
-			}{
-				{"call_Initialize_SP200_API", func() (string, error) { return session.CallInitializeSP200API(cfg.System) }},
-				{"call_Connect_SP200", session.CallConnectSP200},
-				{"call_Load_Firmware_SP200", session.CallLoadFirmwareSP200},
-				{"call_Initialize_CV_Tech_SP200", func() (string, error) { return session.CallInitializeCVTechSP200(cfg.CV) }},
-				{"call_Load_Technique_SP200", session.CallLoadTechniqueSP200},
-				{"call_Start_Channel_SP200", session.CallStartChannelSP200},
-			}
-			for i, s := range steps {
-				out, err := s.call()
-				if err != nil {
-					return "", fmt.Errorf("step %d %s: %w", i+1, s.label, err)
+			// Phase 1 — instrument hold: the eight-step SP200 pipeline
+			// through call_Get_Tech_Path_Rslt. The span ends the moment
+			// the instruments are free (the same point OnMeasured
+			// releases the gateway's lease), so instrument-hold time in
+			// the trace matches the lease the scheduler accounts.
+			acquireCtx, acquireSpan := phase(c, "cv.acquire", trace.ClassInstrument)
+			session.BindTraceContext(acquireCtx)
+			fileName, err := func() (string, error) {
+				steps := []struct {
+					label string
+					call  func() (string, error)
+				}{
+					{"call_Initialize_SP200_API", func() (string, error) { return session.CallInitializeSP200API(cfg.System) }},
+					{"call_Connect_SP200", session.CallConnectSP200},
+					{"call_Load_Firmware_SP200", session.CallLoadFirmwareSP200},
+					{"call_Initialize_CV_Tech_SP200", func() (string, error) { return session.CallInitializeCVTechSP200(cfg.CV) }},
+					{"call_Load_Technique_SP200", session.CallLoadTechniqueSP200},
+					{"call_Start_Channel_SP200", session.CallStartChannelSP200},
 				}
-				c.Logf("(%d) %s → %s", i+1, s.label, out)
-			}
-			// While the blocking wait is in flight on the pipelined
-			// control channel, optionally watch the data channel for
-			// the growing measurement file and narrate progress.
-			var stopProgress chan struct{}
-			if cfg.ProgressPoll > 0 {
-				stopProgress = make(chan struct{})
-				go func() {
-					var lastSize int64 = -1
-					ticker := time.NewTicker(cfg.ProgressPoll)
-					defer ticker.Stop()
-					for {
-						select {
-						case <-stopProgress:
-							return
-						case <-ticker.C:
-						}
-						files, err := mount.List()
-						if err != nil {
-							return
-						}
-						for _, f := range files {
-							if f.Size != lastSize && f.Size > 0 {
-								lastSize = f.Size
-								c.Logf("… acquiring: %s now %d bytes", f.Name, f.Size)
+				for i, s := range steps {
+					out, err := s.call()
+					if err != nil {
+						return "", fmt.Errorf("step %d %s: %w", i+1, s.label, err)
+					}
+					c.Logf("(%d) %s → %s", i+1, s.label, out)
+				}
+				// While the blocking wait is in flight on the pipelined
+				// control channel, optionally watch the data channel for
+				// the growing measurement file and narrate progress.
+				var stopProgress chan struct{}
+				if cfg.ProgressPoll > 0 {
+					stopProgress = make(chan struct{})
+					go func() {
+						var lastSize int64 = -1
+						ticker := time.NewTicker(cfg.ProgressPoll)
+						defer ticker.Stop()
+						for {
+							select {
+							case <-stopProgress:
+								return
+							case <-ticker.C:
+							}
+							files, err := mount.List()
+							if err != nil {
+								return
+							}
+							for _, f := range files {
+								if f.Size != lastSize && f.Size > 0 {
+									lastSize = f.Size
+									c.Logf("… acquiring: %s now %d bytes", f.Name, f.Size)
+								}
 							}
 						}
-					}
-				}()
-			}
-			fileName, err := session.CallGetTechPathRslt()
-			if stopProgress != nil {
-				close(stopProgress)
-			}
+					}()
+				}
+				fileName, err := session.CallGetTechPathRslt()
+				if stopProgress != nil {
+					close(stopProgress)
+				}
+				if err != nil {
+					return "", fmt.Errorf("step 7 call_Get_Tech_Path_Rslt: %w", err)
+				}
+				return fileName, nil
+			}()
+			acquireSpan.EndErr(err)
+			session.BindTraceContext(c.Ctx)
 			if err != nil {
-				return "", fmt.Errorf("step 7 call_Get_Tech_Path_Rslt: %w", err)
+				return "", err
 			}
 			c.Logf("(7) measurements are collected: %s", fileName)
 			if cfg.OnMeasured != nil {
 				cfg.OnMeasured(fileName)
 			}
 
-			// Retrieve over the data channel (CIFS-mounted files). On a
-			// reliable mount this rides out link faults, resuming from
-			// the last verified offset; note the health baseline so
-			// flapping during this retrieval is reported.
+			// Phase 2 — data channel: retrieve over the (CIFS-mounted)
+			// share. On a reliable mount this rides out link faults,
+			// resuming from the last verified offset; the mount's
+			// redials/resumes land as events on this span, and the
+			// health baseline notices flapping during this retrieval.
+			_, retrSpan := phase(c, "cv.retrieve", trace.ClassData)
+			if sb, ok := mount.(spanBinder); ok {
+				sb.SetSpan(retrSpan)
+				defer sb.SetSpan(nil)
+			}
 			var statsBefore datachan.MountStats
 			if sr, ok := mount.(mountStats); ok {
 				statsBefore = sr.Stats()
 			}
-			waitCtx, cancelWait := context.WithTimeout(c.Ctx, cfg.WaitTimeout)
-			data, gotName, err := mount.WaitForContext(waitCtx, fileName, cfg.WaitPoll)
-			cancelWait()
-			if err != nil {
-				return "", fmt.Errorf("data channel: %w", err)
-			}
+			data, gotName, err := func() ([]byte, string, error) {
+				waitCtx, cancelWait := context.WithTimeout(c.Ctx, cfg.WaitTimeout)
+				defer cancelWait()
+				data, gotName, err := mount.WaitForContext(waitCtx, fileName, cfg.WaitPoll)
+				if err != nil {
+					return nil, "", fmt.Errorf("data channel: %w", err)
+				}
 
-			// Final end-to-end integrity check before any analysis: the
-			// local bytes must match the export-side SHA-256 right now.
-			localSum := sha256.Sum256(data)
-			outcome.SHA256 = hex.EncodeToString(localSum[:])
-			remoteSum, remoteSize, err := mount.Checksum(gotName)
+				// Final end-to-end integrity check before any analysis:
+				// the local bytes must match the export-side SHA-256
+				// right now.
+				localSum := sha256.Sum256(data)
+				outcome.SHA256 = hex.EncodeToString(localSum[:])
+				remoteSum, remoteSize, err := mount.Checksum(gotName)
+				if err != nil {
+					return nil, "", fmt.Errorf("data channel checksum: %w", err)
+				}
+				if remoteSum != outcome.SHA256 || remoteSize != int64(len(data)) {
+					return nil, "", fmt.Errorf("measurement file %q failed end-to-end verification (local %d bytes sha %.8s, remote %d bytes sha %.8s)",
+						gotName, len(data), outcome.SHA256, remoteSize, remoteSum)
+				}
+				c.Logf("end-to-end verified %d bytes (sha256 %.16s…)", len(data), outcome.SHA256)
+				return data, gotName, nil
+			}()
+			if sb, ok := mount.(spanBinder); ok {
+				sb.SetSpan(nil)
+			}
+			retrSpan.SetAttr("file", fileName)
+			retrSpan.EndErr(err)
 			if err != nil {
-				return "", fmt.Errorf("data channel checksum: %w", err)
+				return "", err
 			}
-			if remoteSum != outcome.SHA256 || remoteSize != int64(len(data)) {
-				return "", fmt.Errorf("measurement file %q failed end-to-end verification (local %d bytes sha %.8s, remote %d bytes sha %.8s)",
-					gotName, len(data), outcome.SHA256, remoteSize, remoteSum)
-			}
-			c.Logf("end-to-end verified %d bytes (sha256 %.16s…)", len(data), outcome.SHA256)
 
 			if sr, ok := mount.(mountStats); ok {
 				s := sr.Stats()
@@ -265,33 +328,50 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 				}
 			}
 
-			mf, err := potentiostat.ParseMPT(bytes.NewReader(data))
+			// Phase 3 — analysis: parse and analyze locally.
+			_, anaSpan := phase(c, "cv.analyze", trace.ClassAnalysis)
+			mf, summary, err := func() (*potentiostat.MeasurementFile, *analysis.CVSummary, error) {
+				mf, err := potentiostat.ParseMPT(bytes.NewReader(data))
+				if err != nil {
+					return nil, nil, fmt.Errorf("parse measurements: %w", err)
+				}
+				e, i := analysis.FromRecords(mf.Records)
+				summary, err := analysis.AnalyzeCV(e, i, units.Celsius(25))
+				if err != nil {
+					return nil, nil, fmt.Errorf("analysis: %w", err)
+				}
+				return mf, summary, nil
+			}()
+			anaSpan.EndErr(err)
 			if err != nil {
-				return "", fmt.Errorf("parse measurements: %w", err)
+				return "", err
 			}
 			outcome.FileName = gotName
 			outcome.Records = mf.Records
-
-			e, i := analysis.FromRecords(mf.Records)
-			summary, err := analysis.AnalyzeCV(e, i, units.Celsius(25))
-			if err != nil {
-				return "", fmt.Errorf("analysis: %w", err)
-			}
 			outcome.Summary = summary
 			c.Logf("I-V analysis: %v", summary)
 
 			if cfg.Classifier != nil {
-				feats, err := ml.Features(e, i)
+				_, mlSpan := phase(c, "ml.classify", trace.ClassAnalysis)
+				err := func() error {
+					e, i := analysis.FromRecords(mf.Records)
+					feats, err := ml.Features(e, i)
+					if err != nil {
+						return fmt.Errorf("feature extraction: %w", err)
+					}
+					class, err := cfg.Classifier.Predict(feats)
+					if err != nil {
+						return fmt.Errorf("classification: %w", err)
+					}
+					outcome.Classified = true
+					outcome.Class = class
+					outcome.ClassName = ml.ClassName(class)
+					return nil
+				}()
+				mlSpan.EndErr(err)
 				if err != nil {
-					return "", fmt.Errorf("feature extraction: %w", err)
+					return "", err
 				}
-				class, err := cfg.Classifier.Predict(feats)
-				if err != nil {
-					return "", fmt.Errorf("classification: %w", err)
-				}
-				outcome.Classified = true
-				outcome.Class = class
-				outcome.ClassName = ml.ClassName(class)
 				c.Logf("ML normality check: %s", outcome.ClassName)
 			}
 			return fmt.Sprintf("OK %d points", len(mf.Records)), nil
@@ -302,6 +382,7 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 		ID: "E", Title: "Shut down cross-facility connections",
 		DependsOn: []string{"A"},
 		Run: func(c *workflow.Context) (string, error) {
+			session.BindTraceContext(c.Ctx)
 			if cfg.TeardownGate != nil {
 				cfg.TeardownGate.Lock()
 				defer cfg.TeardownGate.Unlock()

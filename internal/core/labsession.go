@@ -56,49 +56,49 @@ func (s *LabSession) Close() error {
 // SynthesizeFerrocene orders a batch and returns its description.
 func (s *LabSession) SynthesizeFerrocene(targetMM, volumeML float64) (BatchInfo, error) {
 	var out BatchInfo
-	err := s.synth.CallInto(&out, "SynthesizeFerrocene", targetMM, volumeML)
+	err := s.callInto(s.synth, &out, "SynthesizeFerrocene", targetMM, volumeML)
 	return out, err
 }
 
 // PendingBatches lists batches awaiting pickup.
 func (s *LabSession) PendingBatches() ([]string, error) {
 	var out []string
-	err := s.synth.CallInto(&out, "PendingBatches")
+	err := s.callInto(s.synth, &out, "PendingBatches")
 	return out, err
 }
 
 // TransferBatchToCell has the robot move a batch into the cell.
 func (s *LabSession) TransferBatchToCell(batchID string) (string, error) {
-	return call(s.robot, "TransferBatchToCell", batchID)
+	return s.call(s.robot, "TransferBatchToCell", batchID)
 }
 
 // RobotPosition reports the robot's station.
 func (s *LabSession) RobotPosition() (string, error) {
-	return call(s.robot, "Position")
+	return s.call(s.robot, "Position")
 }
 
 // RobotBattery reports the robot's charge fraction.
 func (s *LabSession) RobotBattery() (float64, error) {
 	var out float64
-	err := s.robot.CallInto(&out, "Battery")
+	err := s.callInto(s.robot, &out, "Battery")
 	return out, err
 }
 
 // RobotMoveTo drives the robot to a station.
 func (s *LabSession) RobotMoveTo(location string) (string, error) {
-	return call(s.robot, "MoveTo", location)
+	return s.call(s.robot, "MoveTo", location)
 }
 
 // RobotCharge recharges the robot at the dock.
 func (s *LabSession) RobotCharge() (string, error) {
-	return call(s.robot, "Charge")
+	return s.call(s.robot, "Charge")
 }
 
 // TransferVialToAssay has the robot carry a collected fraction to the
 // characterization station and returns the assay.
 func (s *LabSession) TransferVialToAssay(position string) (AssayResult, error) {
 	var out AssayResult
-	err := s.robot.CallInto(&out, "TransferVialToAssay", position)
+	err := s.callInto(s.robot, &out, "TransferVialToAssay", position)
 	return out, err
 }
 
@@ -106,6 +106,6 @@ func (s *LabSession) TransferVialToAssay(position string) (AssayResult, error) {
 // chromatograph and returns the chromatographic quantification.
 func (s *LabSession) TransferVialToHPLC(position string) (HPLCResult, error) {
 	var out HPLCResult
-	err := s.robot.CallInto(&out, "TransferVialToHPLC", position)
+	err := s.callInto(s.robot, &out, "TransferVialToHPLC", position)
 	return out, err
 }

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ice/internal/pyro"
 	"ice/internal/telemetry"
+	"ice/internal/trace"
 )
 
 // RemoteSession is the client-side handle a remote computing system
@@ -26,6 +29,52 @@ type RemoteSession struct {
 	degraded     bool
 	dataDegraded bool
 	lastContact  time.Time
+
+	// traceCtx is the ambient trace context bound by BindTraceContext;
+	// the typed RPC wrappers parent their client spans under it.
+	traceCtx atomic.Value // boundCtx
+}
+
+// boundCtx wraps the bound context so atomic.Value always stores one
+// concrete type.
+type boundCtx struct{ ctx context.Context }
+
+// BindTraceContext makes the span in ctx the ambient parent for this
+// session's RPC wrappers, which predate context plumbing and take no
+// ctx of their own. Only the span identity is captured — never ctx's
+// deadline or cancellation — so binding cannot abort or outlive a
+// call. Workflow tasks re-bind at their start so each task's RPCs
+// parent under that task's span; binding a context with no span (or
+// nil) clears the parent.
+func (s *RemoteSession) BindTraceContext(ctx context.Context) {
+	var span *trace.Span
+	if ctx != nil {
+		span = trace.SpanFromContext(ctx)
+	}
+	s.traceCtx.Store(boundCtx{trace.ContextWithSpan(context.Background(), span)})
+}
+
+// rpcCtx returns the ambient trace context for wrapper calls.
+func (s *RemoteSession) rpcCtx() context.Context {
+	if b, ok := s.traceCtx.Load().(boundCtx); ok {
+		return b.ctx
+	}
+	return context.Background()
+}
+
+// call is a helper returning the string result of a remote method,
+// carrying the session's ambient trace context.
+func (s *RemoteSession) call(p pyro.Caller, method string, args ...any) (string, error) {
+	var out string
+	if err := p.CallIntoCtx(s.rpcCtx(), &out, method, args...); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// callInto is CallInto through the ambient trace context.
+func (s *RemoteSession) callInto(p pyro.Caller, out any, method string, args ...any) error {
+	return p.CallIntoCtx(s.rpcCtx(), out, method, args...)
 }
 
 // NonIdempotentJKemMethods are the J-Kem commands whose retry must not
@@ -118,135 +167,126 @@ func (s *RemoteSession) Close() error {
 	return err2
 }
 
-// call is a helper returning the string result of a remote method.
-func call(p pyro.Caller, method string, args ...any) (string, error) {
-	var out string
-	if err := p.CallInto(&out, method, args...); err != nil {
-		return "", err
-	}
-	return out, nil
-}
-
 // J-Kem wrappers (Fig. 5a cells).
 
 // SetRateSyringePump sets the pump rate in mL/min.
 func (s *RemoteSession) SetRateSyringePump(addr int, rateMLMin float64) (string, error) {
-	return call(s.jkem, "SetRateSyringePump", addr, rateMLMin)
+	return s.call(s.jkem, "SetRateSyringePump", addr, rateMLMin)
 }
 
 // SetPortSyringePump selects a valve port.
 func (s *RemoteSession) SetPortSyringePump(addr, port int) (string, error) {
-	return call(s.jkem, "SetPortSyringePump", addr, port)
+	return s.call(s.jkem, "SetPortSyringePump", addr, port)
 }
 
 // WithdrawSyringePump draws liquid.
 func (s *RemoteSession) WithdrawSyringePump(addr int, volumeML float64) (string, error) {
-	return call(s.jkem, "WithdrawSyringePump", addr, volumeML)
+	return s.call(s.jkem, "WithdrawSyringePump", addr, volumeML)
 }
 
 // DispenseSyringePump dispenses liquid.
 func (s *RemoteSession) DispenseSyringePump(addr int, volumeML float64) (string, error) {
-	return call(s.jkem, "DispenseSyringePump", addr, volumeML)
+	return s.call(s.jkem, "DispenseSyringePump", addr, volumeML)
 }
 
 // SetVialFractionCollector parks the collector arm.
 func (s *RemoteSession) SetVialFractionCollector(addr int, position string) (string, error) {
-	return call(s.jkem, "SetVialFractionCollector", addr, position)
+	return s.call(s.jkem, "SetVialFractionCollector", addr, position)
 }
 
 // SetGasFlow sets the MFC purge in sccm.
 func (s *RemoteSession) SetGasFlow(addr int, sccm float64) (string, error) {
-	return call(s.jkem, "SetGasFlow", addr, sccm)
+	return s.call(s.jkem, "SetGasFlow", addr, sccm)
 }
 
 // SetTemperature commands the jacket setpoint in °C.
 func (s *RemoteSession) SetTemperature(addr int, celsius float64) (string, error) {
-	return call(s.jkem, "SetTemperature", addr, celsius)
+	return s.call(s.jkem, "SetTemperature", addr, celsius)
 }
 
 // ReadTemperature reads the cell temperature in °C.
 func (s *RemoteSession) ReadTemperature(addr int) (float64, error) {
 	var out float64
-	err := s.jkem.CallInto(&out, "ReadTemperature", addr)
+	err := s.callInto(s.jkem, &out, "ReadTemperature", addr)
 	return out, err
 }
 
 // SetStirring turns the cell's stir bar on or off; stirring switches
 // the next sweep into the hydrodynamic (steady-state) regime.
 func (s *RemoteSession) SetStirring(addr int, on bool) (string, error) {
-	return call(s.jkem, "SetStirring", addr, on)
+	return s.call(s.jkem, "SetStirring", addr, on)
 }
 
 // ReadPH reads the pH probe.
 func (s *RemoteSession) ReadPH(addr int) (float64, error) {
 	var out float64
-	err := s.jkem.CallInto(&out, "ReadPH", addr)
+	err := s.callInto(s.jkem, &out, "ReadPH", addr)
 	return out, err
 }
 
 // JKemStatus returns the SBC inventory line.
-func (s *RemoteSession) JKemStatus() (string, error) { return call(s.jkem, "Status") }
+func (s *RemoteSession) JKemStatus() (string, error) { return s.call(s.jkem, "Status") }
 
 // RawJKem forwards a literal protocol command.
-func (s *RemoteSession) RawJKem(cmd string) (string, error) { return call(s.jkem, "Raw", cmd) }
+func (s *RemoteSession) RawJKem(cmd string) (string, error) { return s.call(s.jkem, "Raw", cmd) }
 
 // CallExitJKemAPI is the Fig. 5a teardown cell.
-func (s *RemoteSession) CallExitJKemAPI() (string, error) { return call(s.jkem, "ExitJKemAPI") }
+func (s *RemoteSession) CallExitJKemAPI() (string, error) { return s.call(s.jkem, "ExitJKemAPI") }
 
 // DrainCell empties the cell to waste.
-func (s *RemoteSession) DrainCell() (string, error) { return call(s.jkem, "DrainCell") }
+func (s *RemoteSession) DrainCell() (string, error) { return s.call(s.jkem, "DrainCell") }
 
 // SP200 wrappers (Fig. 6a cells, steps 1–7).
 
 // CallInitializeSP200API is step 1.
 func (s *RemoteSession) CallInitializeSP200API(p SystemParams) (string, error) {
-	return call(s.sp200, "InitializeSP200API", p)
+	return s.call(s.sp200, "InitializeSP200API", p)
 }
 
 // CallConnectSP200 is step 2.
 func (s *RemoteSession) CallConnectSP200() (string, error) {
-	return call(s.sp200, "ConnectSP200")
+	return s.call(s.sp200, "ConnectSP200")
 }
 
 // CallLoadFirmwareSP200 is step 3.
 func (s *RemoteSession) CallLoadFirmwareSP200() (string, error) {
-	return call(s.sp200, "LoadFirmwareSP200")
+	return s.call(s.sp200, "LoadFirmwareSP200")
 }
 
 // CallInitializeCVTechSP200 is step 4.
 func (s *RemoteSession) CallInitializeCVTechSP200(p CVParams) (string, error) {
-	return call(s.sp200, "InitializeCVTechSP200", p)
+	return s.call(s.sp200, "InitializeCVTechSP200", p)
 }
 
 // CallLoadTechniqueSP200 is step 5.
 func (s *RemoteSession) CallLoadTechniqueSP200() (string, error) {
-	return call(s.sp200, "LoadTechniqueSP200")
+	return s.call(s.sp200, "LoadTechniqueSP200")
 }
 
 // CallStartChannelSP200 is step 6.
 func (s *RemoteSession) CallStartChannelSP200() (string, error) {
-	return call(s.sp200, "StartChannelSP200")
+	return s.call(s.sp200, "StartChannelSP200")
 }
 
 // CallGetTechPathRslt is step 7: wait for acquisition and learn the
 // measurement file name.
 func (s *RemoteSession) CallGetTechPathRslt() (string, error) {
-	return call(s.sp200, "GetTechPathRslt")
+	return s.call(s.sp200, "GetTechPathRslt")
 }
 
 // AbortSP200 cancels a running acquisition (remote emergency stop).
 func (s *RemoteSession) AbortSP200() (string, error) {
-	return call(s.sp200, "AbortSP200")
+	return s.call(s.sp200, "AbortSP200")
 }
 
 // CallDisconnectSP200 is the task-E instrument teardown.
 func (s *RemoteSession) CallDisconnectSP200() (string, error) {
-	return call(s.sp200, "DisconnectSP200")
+	return s.call(s.sp200, "DisconnectSP200")
 }
 
 // SP200Status returns the instrument state line.
 func (s *RemoteSession) SP200Status() (string, error) {
-	return call(s.sp200, "StatusSP200")
+	return s.call(s.sp200, "StatusSP200")
 }
 
 // ResetSP200 forces the potentiostat back to its power-on state. A
@@ -267,35 +307,35 @@ func (s *RemoteSession) ResetSP200() error {
 // newest keep files.
 func (s *RemoteSession) RetainMeasurements(keep int) (int, error) {
 	var out int
-	err := s.sp200.CallInto(&out, "RetainMeasurements", keep)
+	err := s.callInto(s.sp200, &out, "RetainMeasurements", keep)
 	return out, err
 }
 
 // ListMeasurements fetches the remote measurement catalog.
 func (s *RemoteSession) ListMeasurements() ([]MeasurementInfo, error) {
 	var out []MeasurementInfo
-	err := s.sp200.CallInto(&out, "ListMeasurements")
+	err := s.callInto(s.sp200, &out, "ListMeasurements")
 	return out, err
 }
 
 // RunOCV runs an open-circuit monitor on the auxiliary channel.
 func (s *RemoteSession) RunOCV(seconds float64, points int) (string, error) {
-	return call(s.sp200, "RunOCV", seconds, points)
+	return s.call(s.sp200, "RunOCV", seconds, points)
 }
 
 // RunCA runs a chronoamperometry step on the auxiliary channel.
 func (s *RemoteSession) RunCA(restV, stepV, restS, stepS float64, points int) (string, error) {
-	return call(s.sp200, "RunCA", restV, stepV, restS, stepS, points)
+	return s.call(s.sp200, "RunCA", restV, stepV, restS, stepS, points)
 }
 
 // RunEIS runs an impedance sweep on the auxiliary channel and returns
 // the spectrum file name.
 func (s *RemoteSession) RunEIS(p EISParams) (string, error) {
-	return call(s.sp200, "RunEIS", p)
+	return s.call(s.sp200, "RunEIS", p)
 }
 
 // RunSWV runs a square-wave voltammetry sweep on the auxiliary channel
 // and returns the differential voltammogram's file name.
 func (s *RemoteSession) RunSWV(p SWVParams) (string, error) {
-	return call(s.sp200, "RunSWV", p)
+	return s.call(s.sp200, "RunSWV", p)
 }

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ice/internal/backoff"
 	"ice/internal/telemetry"
+	"ice/internal/trace"
 )
 
 // ErrReliableMountClosed is returned by every operation after Close.
@@ -75,6 +77,7 @@ type ReliableMount struct {
 	checksumFailures atomic.Int64
 	bytesResumed     atomic.Int64
 	metrics          atomic.Pointer[telemetry.Collector]
+	span             atomic.Pointer[trace.Span]
 
 	// done unblocks backoff sleeps when the handle is closed.
 	done chan struct{}
@@ -100,6 +103,18 @@ func (r *ReliableMount) count(name string, delta int64) {
 	if c := r.metrics.Load(); c != nil {
 		c.Counter(name).Add(delta)
 	}
+}
+
+// SetSpan binds (or, with nil, unbinds) the trace span that receives
+// this mount's reliability events: every redial and resume is noted
+// on the bound span, so a trace shows exactly which retrieval healed
+// which fault. Bind around a retrieval window and unbind before the
+// span ends — events after a span finishes are dropped.
+func (r *ReliableMount) SetSpan(s *trace.Span) { r.span.Store(s) }
+
+// note records a reliability event on the bound span, if any.
+func (r *ReliableMount) note(event string, kv ...string) {
+	r.span.Load().Event(event, kv...)
 }
 
 // Stats snapshots the reliability counters.
@@ -157,6 +172,7 @@ func (r *ReliableMount) current() (*Mount, error) {
 	if r.dialed {
 		r.redials.Add(1)
 		r.count("datachan.redials", 1)
+		r.note("datachan.redial")
 	}
 	conn, err := r.dial()
 	r.dialed = true
@@ -323,6 +339,7 @@ func (r *ReliableMount) ReadAll(name string) ([]byte, error) {
 			r.count("datachan.resumes", 1)
 			r.bytesResumed.Add(off)
 			r.count("datachan.bytes_resumed", off)
+			r.note("datachan.resume", "file", name, "offset", strconv.FormatInt(off, 10))
 		}
 		if !seq.Sleep(r.done) {
 			return nil, ErrReliableMountClosed
@@ -336,6 +353,7 @@ func (r *ReliableMount) ReadAllVerified(name string) ([]byte, error) {
 	return readAllVerified(name, r.ReadAll, r.Checksum, func() {
 		r.checksumFailures.Add(1)
 		r.count("datachan.checksum_failures", 1)
+		r.note("datachan.checksum_failure", "file", name)
 	})
 }
 

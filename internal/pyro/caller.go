@@ -1,6 +1,9 @@
 package pyro
 
-import "encoding/json"
+import (
+	"context"
+	"encoding/json"
+)
 
 // Caller is the client-side calling surface shared by Proxy and
 // ReconnectingProxy, so session layers can hold either a plain
@@ -11,6 +14,9 @@ type Caller interface {
 	// CallInto invokes a remote method and decodes the result into out
 	// (out may be nil to discard it).
 	CallInto(out any, method string, args ...any) error
+	// CallIntoCtx is CallInto bounded by ctx; a trace span in ctx is
+	// propagated into the request envelope as a traceparent.
+	CallIntoCtx(ctx context.Context, out any, method string, args ...any) error
 	// Close releases the connection.
 	Close() error
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"ice/internal/telemetry"
+	"ice/internal/trace"
 )
 
 // exposed is one registered object with its callable method set.
@@ -51,6 +52,10 @@ type Daemon struct {
 
 	// metrics optionally counts dedup hits ("pyro.dedup_hits").
 	metrics *telemetry.Collector
+
+	// tracer, when set, opens a server-side span for every request
+	// carrying a traceparent, parented under the remote client span.
+	tracer *trace.Tracer
 }
 
 // NewDaemon wraps a listener. The advertised host/port for URIs are
@@ -94,6 +99,15 @@ func (d *Daemon) SetMetrics(c *telemetry.Collector) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.metrics = c
+}
+
+// SetTracer attaches a tracer; requests whose envelope carries a
+// traceparent then get daemon-side spans in the same trace as the
+// caller — the server half of the cross-facility trace.
+func (d *Daemon) SetTracer(tr *trace.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracer = tr
 }
 
 // DedupHits reports how many duplicate requests were answered from the
@@ -273,6 +287,38 @@ func (d *Daemon) serveConn(conn net.Conn) {
 // lost, or concurrent resends) wait for it and replay its outcome.
 // Plain requests dispatch unconditionally.
 func (d *Daemon) dispatchDedup(req *request) response {
+	span := d.serveSpan(req)
+	resp := d.dispatchDedupInner(req, span)
+	if resp.Error != "" {
+		span.SetError(errors.New(resp.Error))
+	}
+	span.End()
+	return resp
+}
+
+// serveSpan opens the daemon-side span for a traced request (nil when
+// the daemon has no tracer or the request no traceparent).
+func (d *Daemon) serveSpan(req *request) *trace.Span {
+	if req.TP == "" {
+		return nil
+	}
+	d.mu.Lock()
+	tr := d.tracer
+	d.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	remote, ok := trace.ParseTraceparent(req.TP)
+	if !ok {
+		return nil
+	}
+	span := tr.StartRemote(remote, "serve "+req.Object+"."+req.Method, trace.ClassControl)
+	span.SetAttr("object", req.Object)
+	span.SetAttr("method", req.Method)
+	return span
+}
+
+func (d *Daemon) dispatchDedupInner(req *request, span *trace.Span) response {
 	if req.CallID == "" {
 		return d.dispatch(req)
 	}
@@ -286,6 +332,7 @@ func (d *Daemon) dispatchDedup(req *request) response {
 		if metrics != nil {
 			metrics.Counter("pyro.dedup_hits").Inc()
 		}
+		span.Event("dedup.replay", "call_id", req.CallID)
 		return response{ID: req.ID, Result: e.result, Error: e.errMsg}
 	}
 	resp := d.dispatch(req)

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"ice/internal/trace"
 )
 
 // Dialer opens a connection to a daemon address. nil selects plain
@@ -151,8 +153,16 @@ func (p *Proxy) CallCtx(ctx context.Context, method string, args ...any) (json.R
 }
 
 // call sends one request and waits for its response, the call ID and
-// context threaded through.
-func (p *Proxy) call(ctx context.Context, callID, method string, args ...any) (json.RawMessage, error) {
+// context threaded through. When ctx carries a trace span, the call
+// gets a client-side child span whose traceparent rides the request
+// envelope so the daemon's server span parents under it.
+func (p *Proxy) call(ctx context.Context, callID, method string, args ...any) (raw json.RawMessage, err error) {
+	_, span := trace.Start(ctx, "call "+p.uri.Object+"."+method, trace.ClassControl)
+	if span != nil {
+		span.SetAttr("object", p.uri.Object)
+		span.SetAttr("method", method)
+		defer func() { span.EndErr(err) }()
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -169,7 +179,7 @@ func (p *Proxy) call(ctx context.Context, callID, method string, args ...any) (j
 	p.pending[id] = ch
 	p.mu.Unlock()
 
-	req := request{ID: id, CallID: callID, Object: p.uri.Object, Method: method}
+	req := request{ID: id, CallID: callID, Object: p.uri.Object, Method: method, TP: span.Context().Traceparent()}
 	for i, a := range args {
 		raw, err := json.Marshal(a)
 		if err != nil {
@@ -180,7 +190,7 @@ func (p *Proxy) call(ctx context.Context, callID, method string, args ...any) (j
 	}
 
 	p.writeMu.Lock()
-	err := writeMessage(p.conn, &req)
+	err = writeMessage(p.conn, &req)
 	p.writeMu.Unlock()
 	if err != nil {
 		p.abandon(id)
@@ -227,7 +237,13 @@ func (p *Proxy) abandon(id uint64) {
 // CallInto invokes a remote method and decodes the result into out
 // (which must be a pointer). Pass nil out for void methods.
 func (p *Proxy) CallInto(out any, method string, args ...any) error {
-	raw, err := p.Call(method, args...)
+	return p.CallIntoCtx(context.Background(), out, method, args...)
+}
+
+// CallIntoCtx is CallInto bounded by ctx; a trace span in ctx is
+// propagated into the request envelope.
+func (p *Proxy) CallIntoCtx(ctx context.Context, out any, method string, args ...any) error {
+	raw, err := p.call(ctx, "", method, args...)
 	if err != nil {
 		return err
 	}

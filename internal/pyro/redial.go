@@ -7,12 +7,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ice/internal/backoff"
 	"ice/internal/telemetry"
+	"ice/internal/trace"
 )
 
 // ReconnectingProxy wraps a Proxy with automatic redial: when a call
@@ -178,6 +180,11 @@ func (r *ReconnectingProxy) CallCtx(ctx context.Context, method string, args ...
 	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
 		if attempt > 0 {
 			r.counterInc("pyro.retries")
+			// A retry is a visible fault-healing act: note it on the
+			// enclosing span (each attempt's own client span is minted
+			// inside call, so the event lands on the task/phase above).
+			trace.SpanFromContext(ctx).Event("pyro.retry",
+				"method", method, "attempt", strconv.Itoa(attempt))
 			timer := time.NewTimer(seq.Next())
 			select {
 			case <-timer.C:

@@ -32,6 +32,11 @@ type request struct {
 	Method string `json:"method"`
 	// Args are the positional arguments, JSON-encoded.
 	Args []json.RawMessage `json:"args,omitempty"`
+	// TP is the W3C-style traceparent of the calling span, so the
+	// daemon parents its server-side span under the client's and one
+	// trace ID follows a job across the simulated WAN. Empty when the
+	// caller is untraced.
+	TP string `json:"tp,omitempty"`
 }
 
 // response is a daemon→client result.

@@ -9,6 +9,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ice/internal/telemetry"
+	"ice/internal/trace"
 )
 
 // Gateway exposes a Scheduler over HTTP/JSON — the multi-tenant intake
@@ -20,15 +23,24 @@ import (
 //	GET  /v1/jobs/{id}/events live progress as server-sent events
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
 //	GET  /v1/leases           active instrument leases
-//	GET  /v1/metrics          the gateway's QoS counters, plain text
+//	GET  /v1/metrics          one coherent snapshot of every series
+//	                          (text by default, ?format=json for JSON)
+//	GET  /v1/traces           stored trace summaries, newest first
+//	GET  /v1/traces/{id}      one trace: spans + critical-path breakdown
 type Gateway struct {
 	S   *Scheduler
+	reg *telemetry.Registry
 	mux *http.ServeMux
 }
 
-// NewGateway wires the routes.
+// NewGateway wires the routes and assembles the metrics registry: the
+// scheduler's QoS collector plus the tracer's span, store, and
+// flight-recorder counters, all served from one Snapshot.
 func NewGateway(s *Scheduler) *Gateway {
-	g := &Gateway{S: s, mux: http.NewServeMux()}
+	reg := telemetry.NewRegistry()
+	reg.AddCollector("", s.Metrics())
+	reg.AddSource(traceSource(s.Tracer()))
+	g := &Gateway{S: s, reg: reg, mux: http.NewServeMux()}
 	g.mux.HandleFunc("POST /v1/jobs", g.submit)
 	g.mux.HandleFunc("GET /v1/jobs", g.list)
 	g.mux.HandleFunc("GET /v1/jobs/{id}", g.job)
@@ -36,7 +48,39 @@ func NewGateway(s *Scheduler) *Gateway {
 	g.mux.HandleFunc("POST /v1/jobs/{id}/cancel", g.cancel)
 	g.mux.HandleFunc("GET /v1/leases", g.leases)
 	g.mux.HandleFunc("GET /v1/metrics", g.metrics)
+	g.mux.HandleFunc("GET /v1/traces", g.traces)
+	g.mux.HandleFunc("GET /v1/traces/{id}", g.traceByID)
 	return g
+}
+
+// traceSource exposes the tracer's counters as metric series.
+func traceSource(tr *trace.Tracer) telemetry.Source {
+	return func() map[string]int64 {
+		st := tr.Stats()
+		out := map[string]int64{
+			"trace.spans.started":  st.Started,
+			"trace.spans.finished": st.Finished,
+			"trace.spans.sampled":  st.Sampled,
+			"trace.spans.dropped":  st.Dropped,
+			"trace.spans.errors":   st.Errors,
+			"trace.tail_rescued":   st.TailRescued,
+			"trace.recorder.dumps": st.RecorderDump,
+		}
+		if store := tr.Store(); store != nil {
+			ss := store.Stats()
+			out["trace.store.traces"] = int64(ss.Traces)
+			out["trace.store.spans"] = int64(ss.Spans)
+			out["trace.store.evicted_traces"] = ss.EvictedTraces
+			out["trace.store.dropped_spans"] = ss.DroppedSpans
+		}
+		if rec := tr.Recorder(); rec != nil {
+			rs := rec.Stats()
+			out["trace.recorder.held"] = int64(rs.Held)
+			out["trace.recorder.noted"] = rs.Noted
+			out["trace.recorder.evicted"] = rs.Evicted
+		}
+		return out
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -195,6 +239,49 @@ func (g *Gateway) leases(w http.ResponseWriter, r *http.Request) {
 }
 
 func (g *Gateway) metrics(w http.ResponseWriter, r *http.Request) {
+	snap := g.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, strings.Join(g.S.Metrics().Report(), "\n"))
+	fmt.Fprintln(w, strings.Join(snap.Render(), "\n"))
+}
+
+// TraceResponse is GET /v1/traces/{id}: the trace's spans in start
+// order plus the critical-path decomposition of its wall time.
+type TraceResponse struct {
+	TraceID   string          `json:"trace_id"`
+	Spans     []trace.Record  `json:"spans"`
+	Breakdown trace.Breakdown `json:"breakdown"`
+}
+
+func (g *Gateway) traces(w http.ResponseWriter, r *http.Request) {
+	store := g.S.Tracer().Store()
+	if store == nil {
+		writeError(w, http.StatusNotFound, "tracing has no store attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Traces []trace.Summary `json:"traces"`
+	}{Traces: store.Summaries()})
+}
+
+func (g *Gateway) traceByID(w http.ResponseWriter, r *http.Request) {
+	store := g.S.Tracer().Store()
+	if store == nil {
+		writeError(w, http.StatusNotFound, "tracing has no store attached")
+		return
+	}
+	id := r.PathValue("id")
+	recs := store.Trace(id)
+	if len(recs) == 0 {
+		writeError(w, http.StatusNotFound, "unknown trace")
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{
+		TraceID:   id,
+		Spans:     recs,
+		Breakdown: trace.Analyze(recs),
+	})
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ice/internal/telemetry"
+	"ice/internal/trace"
 )
 
 // Default instrument resources the gateway leases out. A deployment
@@ -286,10 +287,18 @@ type InstrumentGate struct {
 	// OnEvent, when set, receives "acquired <res>" / "released <res>"
 	// notifications (the gateway forwards them to the job's SSE stream).
 	OnEvent func(msg string)
+	// TraceCtx, when set, parents the gate's spans: each Lock opens a
+	// "lease.acquire" (sched-class) span covering the wait for the
+	// instruments and then a "lease.held" (instrument-class) span, ended
+	// by the matching Unlock. The held span carries the holder attr, so
+	// the critical-path analyzer can measure one holder's data phase
+	// overlapping another's instrument hold.
+	TraceCtx context.Context
 
-	mu     sync.Mutex
-	held   []*Lease
-	stopHB chan struct{}
+	mu       sync.Mutex
+	held     []*Lease
+	stopHB   chan struct{}
+	heldSpan *trace.Span
 }
 
 // Lock implements sync.Locker: it blocks until every resource is
@@ -300,6 +309,11 @@ func (g *InstrumentGate) Lock() {
 		resources = []string{ResourceSP200, ResourceJKem}
 	}
 	sort.Strings(resources)
+	var acqSpan *trace.Span
+	if g.TraceCtx != nil {
+		_, acqSpan = trace.Start(g.TraceCtx, "lease.acquire", trace.ClassSched)
+		acqSpan.SetAttr("holder", g.Holder)
+	}
 	leases := make([]*Lease, 0, len(resources))
 	for _, res := range resources {
 		lease, err := g.M.Acquire(context.Background(), res, g.Holder)
@@ -317,6 +331,12 @@ func (g *InstrumentGate) Lock() {
 			g.OnEvent("acquired " + res)
 		}
 	}
+	acqSpan.End()
+	var heldSpan *trace.Span
+	if g.TraceCtx != nil && len(leases) > 0 {
+		_, heldSpan = trace.Start(g.TraceCtx, "lease.held", trace.ClassInstrument)
+		heldSpan.SetAttr("holder", g.Holder)
+	}
 	hb := g.HeartbeatEvery
 	if hb <= 0 {
 		hb = g.M.TTL() / 3
@@ -326,6 +346,7 @@ func (g *InstrumentGate) Lock() {
 	g.mu.Lock()
 	g.held = leases
 	g.stopHB = stop
+	g.heldSpan = heldSpan
 	g.mu.Unlock()
 }
 
@@ -333,9 +354,10 @@ func (g *InstrumentGate) Lock() {
 // the leases.
 func (g *InstrumentGate) Unlock() {
 	g.mu.Lock()
-	held, stop := g.held, g.stopHB
-	g.held, g.stopHB = nil, nil
+	held, stop, heldSpan := g.held, g.stopHB, g.heldSpan
+	g.held, g.stopHB, g.heldSpan = nil, nil, nil
 	g.mu.Unlock()
+	heldSpan.End()
 	if stop != nil {
 		close(stop)
 	}

@@ -16,6 +16,7 @@ import (
 	"ice/internal/core"
 	"ice/internal/datachan"
 	"ice/internal/pyro"
+	"ice/internal/trace"
 	"ice/internal/workflow"
 )
 
@@ -251,14 +252,20 @@ func (t *journalTee) Write(p []byte) (int, error) {
 // runCV executes the paper's tasks A–E for one tenant, resuming from
 // the checkpoint journal when the job was cut down by a daemon crash.
 func (r *LabRunner) runCV(ctx context.Context, job Job, emit func(string, string)) (json.RawMessage, error) {
+	_, connSpan := trace.Start(ctx, "sched.connect", trace.ClassControl)
 	session, mount, err := r.Connector.ConnectSession()
+	connSpan.EndErr(err)
 	if err != nil {
 		return nil, fmt.Errorf("connect: %w", err)
 	}
 	defer session.Close()
 	defer mount.Close()
+	// RPCs issued outside any task/phase (the pre-execute reset) parent
+	// under the attempt's run span.
+	session.BindTraceContext(ctx)
 
 	cfg := core.PaperCVWorkflowConfig()
+	cfg.TraceLabel = job.ID
 	if job.Spec.ScanRateMVs > 0 {
 		cfg.CV.RateMVs = job.Spec.ScanRateMVs
 	}
@@ -273,8 +280,9 @@ func (r *LabRunner) runCV(ctx context.Context, job Job, emit func(string, string
 	}
 
 	gate := &InstrumentGate{
-		M:      r.Leases,
-		Holder: job.ID,
+		M:        r.Leases,
+		Holder:   job.ID,
+		TraceCtx: ctx,
 		OnEvent: func(msg string) {
 			emit("lease", msg)
 		},
@@ -369,8 +377,9 @@ func (r *LabRunner) runCampaign(ctx context.Context, job Job, emit func(string, 
 		points = 300
 	}
 	gate := &InstrumentGate{
-		M:      r.Leases,
-		Holder: job.ID,
+		M:        r.Leases,
+		Holder:   job.ID,
+		TraceCtx: ctx,
 		OnEvent: func(msg string) {
 			emit("lease", msg)
 		},
@@ -382,30 +391,37 @@ func (r *LabRunner) runCampaign(ctx context.Context, job Job, emit func(string, 
 			c()
 		}
 	}()
-	for i, cell := range job.Spec.Cells {
-		name := cell.Name
-		if name == "" {
-			name = fmt.Sprintf("cell-%02d", i+1)
-		}
-		session, mount, err := r.Connector.ConnectLab()
-		if err != nil {
-			return nil, fmt.Errorf("connect cell %s: %w", name, err)
-		}
-		cleanups = append(cleanups, func() { session.Close(); mount.Close() })
-		cellName := name
-		fleet.Cells = append(fleet.Cells, campaign.FleetCell{
-			Name: name,
-			Executor: &campaign.Executor{
-				Session:  session,
-				Mount:    mount,
-				CVPoints: points,
-				Observe: func(obs campaign.Observation) {
-					emit("round", fmt.Sprintf("%s round %d: %.3f mM → %.2f µA",
-						cellName, obs.Round, obs.Params.ConcentrationMM, obs.Peak.Microamperes()))
+	if err := func() (err error) {
+		_, connSpan := trace.Start(ctx, "sched.connect", trace.ClassControl)
+		defer func() { connSpan.EndErr(err) }()
+		for i, cell := range job.Spec.Cells {
+			name := cell.Name
+			if name == "" {
+				name = fmt.Sprintf("cell-%02d", i+1)
+			}
+			session, mount, err := r.Connector.ConnectLab()
+			if err != nil {
+				return fmt.Errorf("connect cell %s: %w", name, err)
+			}
+			cleanups = append(cleanups, func() { session.Close(); mount.Close() })
+			cellName := name
+			fleet.Cells = append(fleet.Cells, campaign.FleetCell{
+				Name: name,
+				Executor: &campaign.Executor{
+					Session:  session,
+					Mount:    mount,
+					CVPoints: points,
+					Observe: func(obs campaign.Observation) {
+						emit("round", fmt.Sprintf("%s round %d: %.3f mM → %.2f µA",
+							cellName, obs.Round, obs.Params.ConcentrationMM, obs.Peak.Microamperes()))
+					},
 				},
-			},
-			Planner: plannerFor(cell),
-		})
+				Planner: plannerFor(cell),
+			})
+		}
+		return nil
+	}(); err != nil {
+		return nil, err
 	}
 
 	results, err := fleet.Run(ctx)

@@ -57,6 +57,10 @@ type Job struct {
 	Tenant string `json:"tenant"`
 	// Spec is the declarative request as admitted.
 	Spec JobSpec `json:"spec"`
+	// TraceID names the job's distributed trace — every span the job
+	// produces, across daemon restarts, lands in this trace, served at
+	// GET /v1/traces/{trace_id}.
+	TraceID string `json:"trace_id,omitempty"`
 	// State is the current lifecycle state.
 	State State `json:"state"`
 	// Attempts counts executions begun (2+ after a crash resume).

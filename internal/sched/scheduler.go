@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ice/internal/telemetry"
+	"ice/internal/trace"
 )
 
 // Runner executes one admitted job against the lab. The scheduler
@@ -54,6 +55,10 @@ type Config struct {
 	Tenants map[string]TenantLimits
 	// Metrics receives the gateway's QoS series (optional).
 	Metrics *telemetry.Collector
+	// Tracer records the scheduler's distributed traces. Left nil, New
+	// installs one with a bounded in-memory store and flight recorder,
+	// so GET /v1/traces works out of the box.
+	Tracer *trace.Tracer
 }
 
 // jobEntry is the scheduler's in-memory record of one job: its state,
@@ -62,6 +67,11 @@ type jobEntry struct {
 	job    Job
 	events []Event
 	subs   []chan Event
+	// span is the job's root trace span, open from admission (or WAL
+	// re-enqueue) until the terminal transition.
+	span *trace.Span
+	// queued covers the fair-share queue wait: admission to dispatch.
+	queued *trace.Span
 	// cancelRequested distinguishes a user Cancel from a failure when
 	// the runner returns a context error.
 	cancelRequested bool
@@ -78,6 +88,7 @@ type Scheduler struct {
 	wal     *WAL
 	limiter *rateLimiter
 	metrics *telemetry.Collector
+	tracer  *trace.Tracer
 
 	mu        sync.Mutex
 	jobs      map[string]*jobEntry
@@ -111,6 +122,12 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.NewCollector()
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.New(
+			trace.WithStore(trace.NewStore(0, 0)),
+			trace.WithRecorder(trace.NewRecorder(512)),
+		)
+	}
 	wal, replayed, err := OpenWAL(cfg.Dir)
 	if err != nil {
 		return nil, err
@@ -122,6 +139,7 @@ func New(cfg Config) (*Scheduler, error) {
 		wal:     wal,
 		limiter: newRateLimiter(nil),
 		metrics: cfg.Metrics,
+		tracer:  cfg.Tracer,
 		jobs:    make(map[string]*jobEntry),
 		cancels: make(map[string]context.CancelFunc),
 	}
@@ -154,6 +172,10 @@ func (s *Scheduler) Leases() *Leases { return s.leases }
 // Metrics returns the scheduler's QoS collector.
 func (s *Scheduler) Metrics() *telemetry.Collector { return s.metrics }
 
+// Tracer returns the scheduler's tracer (the gateway serves its store
+// at /v1/traces).
+func (s *Scheduler) Tracer() *trace.Tracer { return s.tracer }
+
 // Dir returns the state directory (runners keep workflow journals
 // there).
 func (s *Scheduler) Dir() string { return s.cfg.Dir }
@@ -177,6 +199,17 @@ func (s *Scheduler) Start() error {
 
 	for _, job := range recovered {
 		limits := s.tenantLimits(job.Tenant)
+		// Re-root the recovered job into the trace ID persisted in the
+		// WAL: the new incarnation's spans land next to the crashed
+		// attempt's, stitching the trace across the restart.
+		span := s.rootSpan(job)
+		span.SetAttr("recovered", "true")
+		queued := s.queuedSpan(span)
+		s.mu.Lock()
+		if e, ok := s.jobs[job.ID]; ok {
+			e.span, e.queued = span, queued
+		}
+		s.mu.Unlock()
 		if !s.queue.Push(job, limits.weight()) {
 			// Can only happen if the WAL holds more live jobs than the
 			// (shrunken) queue capacity; keep the job visible as FAILED
@@ -192,7 +225,7 @@ func (s *Scheduler) Start() error {
 			s.emit(job.ID, "queued", "re-enqueued after daemon restart")
 		}
 		// Journal the re-enqueue so a second crash replays the same way.
-		s.wal.Append(WALRecord{Job: job.ID, State: StatePending, Attempt: job.Attempts})
+		s.wal.Append(WALRecord{Job: job.ID, State: StatePending, Attempt: job.Attempts, TraceID: job.TraceID})
 	}
 	for w := 0; w < s.cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -245,14 +278,24 @@ func (s *Scheduler) Submit(spec JobSpec) (Job, error) {
 		State:             StatePending,
 		SubmittedUnixNano: time.Now().UnixNano(),
 	}
-	entry := &jobEntry{job: job}
+	// The job's root span opens at admission and ends at the terminal
+	// transition; its trace ID is returned to the submitter and survives
+	// in the WAL, so the whole lifecycle — across daemon restarts — is
+	// one trace.
+	span := s.rootSpan(&job)
+	entry := &jobEntry{job: job, span: span, queued: s.queuedSpan(span)}
 	s.jobs[job.ID] = entry
 	s.mu.Unlock()
 
-	if !s.queue.Push(&entry.job, limits.weight()) {
+	reject := func() {
 		s.mu.Lock()
 		delete(s.jobs, job.ID)
 		s.mu.Unlock()
+		entry.queued.End()
+		span.EndErr(fmt.Errorf("rejected at admission"))
+	}
+	if !s.queue.Push(&entry.job, limits.weight()) {
+		reject()
 		s.metrics.Counter("sched.jobs.rejected.full").Inc()
 		return Job{}, &Busy{Reason: fmt.Sprintf("queue full (%d jobs)", s.cfg.QueueCapacity), RetryAfter: s.cfg.RetryAfter}
 	}
@@ -260,12 +303,10 @@ func (s *Scheduler) Submit(spec JobSpec) (Job, error) {
 	s.metrics.Counter("sched.jobs.submitted").Inc()
 	// The fsynced PENDING record makes the admission durable: after
 	// this append, a crashed daemon re-enqueues the job on restart.
-	if err := s.wal.Append(WALRecord{Job: job.ID, Tenant: job.Tenant, State: StatePending, Spec: &spec}); err != nil {
+	if err := s.wal.Append(WALRecord{Job: job.ID, Tenant: job.Tenant, State: StatePending, Spec: &spec, TraceID: job.TraceID}); err != nil {
 		s.queue.Remove(job.ID)
 		s.metrics.Gauge("sched.queue.depth").Dec()
-		s.mu.Lock()
-		delete(s.jobs, job.ID)
-		s.mu.Unlock()
+		reject()
 		return Job{}, err
 	}
 	s.emit(job.ID, "queued", fmt.Sprintf("admitted %s job for tenant %s", spec.Kind, spec.Tenant))
@@ -396,6 +437,7 @@ func (s *Scheduler) Stop() {
 	s.wg.Wait()
 	s.leases.Close()
 	s.wal.Close()
+	s.sweepSpans(nil)
 }
 
 // Kill simulates a crash (kill -9) for recovery drills: in-flight
@@ -420,6 +462,25 @@ func (s *Scheduler) Kill() {
 	s.wg.Wait()
 	s.leases.Close()
 	s.wal.Close()
+	s.sweepSpans(errors.New("daemon killed"))
+}
+
+// sweepSpans closes any still-open job spans at shutdown. A real
+// crash would simply lose them; the in-process drills share one
+// tracer with the next incarnation, so dangling parents here would
+// show up as orphans in the stitched trace.
+func (s *Scheduler) sweepSpans(cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.jobs {
+		e.queued.End()
+		if cause != nil {
+			e.span.EndErr(cause)
+		} else {
+			e.span.End()
+		}
+		e.span, e.queued = nil, nil
+	}
 }
 
 // worker pulls fair-share winners off the queue until it closes.
@@ -450,8 +511,11 @@ func (s *Scheduler) runJob(job *Job) {
 	entry.job.StartedUnixNano = time.Now().UnixNano()
 	s.cancels[job.ID] = cancel
 	snapshot := entry.job
+	rootSpan, queued := entry.span, entry.queued
+	entry.queued = nil
 	s.mu.Unlock()
 
+	queued.End()
 	s.metrics.Gauge("sched.queue.depth").Dec()
 	s.metrics.Gauge("sched.jobs.running").Inc()
 	s.wal.Append(WALRecord{Job: snapshot.ID, State: StateRunning, Attempt: snapshot.Attempts})
@@ -461,12 +525,18 @@ func (s *Scheduler) runJob(job *Job) {
 		s.emit(snapshot.ID, "started", fmt.Sprintf("dispatched to worker (attempt %d)", snapshot.Attempts))
 	}
 
-	result, err := s.runner.Run(ctx, snapshot, func(eventType, message string) {
+	// The run span carries the attempt; the runner's context carries it
+	// downstream, so every task, lease, RPC and retrieval span in this
+	// attempt parents under it.
+	runCtx, runSpan := trace.Start(trace.ContextWithSpan(ctx, rootSpan), "sched.run", trace.ClassSched)
+	runSpan.SetAttr("attempt", fmt.Sprintf("%d", snapshot.Attempts))
+	result, err := s.runner.Run(runCtx, snapshot, func(eventType, message string) {
 		if s.killed.Load() {
 			return
 		}
 		s.emit(snapshot.ID, eventType, message)
 	})
+	runSpan.EndErr(err)
 
 	s.metrics.Gauge("sched.jobs.running").Dec()
 	if s.killed.Load() {
@@ -504,7 +574,19 @@ func (s *Scheduler) complete(id string, state State, result json.RawMessage, cau
 	if rec.Error != "" {
 		entry.job.Error = rec.Error
 	}
+	span, queued := entry.span, entry.queued
+	entry.span, entry.queued = nil, nil
 	s.mu.Unlock()
+
+	// Close out the trace: the queue-wait child first (still open when
+	// a job dies queued), then the root with the terminal state.
+	queued.End()
+	span.SetAttr("state", string(state))
+	if state == StateFailed {
+		span.EndErr(cause)
+	} else {
+		span.End()
+	}
 
 	switch state {
 	case StateDone:
@@ -558,6 +640,27 @@ func (s *Scheduler) emit(id, eventType, message string) {
 		default:
 		}
 	}
+}
+
+// rootSpan opens the job's root span and stamps the job with its
+// trace ID (reusing an ID a previous daemon incarnation persisted in
+// the WAL, so recovered attempts share the original trace).
+func (s *Scheduler) rootSpan(job *Job) *trace.Span {
+	span := s.tracer.StartTrace(job.TraceID, "job "+job.ID, trace.ClassSched)
+	span.SetAttr("job", job.ID)
+	span.SetAttr("tenant", job.Tenant)
+	span.SetAttr("kind", string(job.Spec.Kind))
+	if id := span.TraceID(); id != "" {
+		job.TraceID = id
+	}
+	return span
+}
+
+// queuedSpan opens the queue-wait child under the job's root span; it
+// ends when a worker dispatches (or the job dies queued).
+func (s *Scheduler) queuedSpan(root *trace.Span) *trace.Span {
+	_, queued := trace.Start(trace.ContextWithSpan(context.Background(), root), "sched.queued", trace.ClassSched)
+	return queued
 }
 
 // tenantLimits resolves a tenant's limits outside the lock.

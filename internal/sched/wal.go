@@ -34,6 +34,10 @@ type WALRecord struct {
 	State State `json:"state"`
 	// Spec is the admitted request (on the PENDING record).
 	Spec *JobSpec `json:"spec,omitempty"`
+	// TraceID travels with the PENDING record so a restarted daemon
+	// re-roots the job's spans into the same trace, stitching attempts
+	// together instead of starting a fresh, disconnected trace.
+	TraceID string `json:"trace_id,omitempty"`
 	// Attempt counts executions begun (on RUNNING records).
 	Attempt int `json:"attempt,omitempty"`
 	// Result is the runner's output (on the DONE record).
@@ -164,6 +168,9 @@ func applyRecord(job *Job, rec WALRecord) {
 	}
 	if rec.Spec != nil {
 		job.Spec = *rec.Spec
+	}
+	if rec.TraceID != "" {
+		job.TraceID = rec.TraceID
 	}
 	if rec.Attempt > job.Attempts {
 		job.Attempts = rec.Attempt

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HistogramSnapshot is one histogram's point-in-time summary,
+// including the latency percentiles operators actually page on.
+type HistogramSnapshot struct {
+	Count  int   `json:"count"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// ThroughputSnapshot is one meter's point-in-time summary.
+type ThroughputSnapshot struct {
+	Bytes       int64   `json:"bytes"`
+	RateBytesPS float64 `json:"rate_bps"`
+}
+
+// Snapshot is a single coherent exposition of every registered series:
+// what GET /v1/metrics serves, in one read, instead of callers
+// stitching together per-collector reports.
+type Snapshot struct {
+	TimeUnixNano int64                         `json:"t"`
+	Counters     map[string]int64              `json:"counters,omitempty"`
+	Gauges       map[string]int64              `json:"gauges,omitempty"`
+	Histograms   map[string]HistogramSnapshot  `json:"histograms,omitempty"`
+	Throughputs  map[string]ThroughputSnapshot `json:"throughputs,omitempty"`
+}
+
+// Render formats the snapshot as sorted "name: value" text lines —
+// the same shape Collector.Report produced, so text scrapers keep
+// working, plus percentile suffixes for histograms.
+func (s Snapshot) Render() []string {
+	var out []string
+	for name, v := range s.Counters {
+		out = append(out, fmt.Sprintf("%s: %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		out = append(out, fmt.Sprintf("%s: %d", name, v))
+	}
+	for name, h := range s.Histograms {
+		out = append(out, fmt.Sprintf("%s: n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+			name, h.Count,
+			time.Duration(h.MeanNs), time.Duration(h.P50Ns),
+			time.Duration(h.P90Ns), time.Duration(h.P99Ns), time.Duration(h.MaxNs)))
+	}
+	for name, t := range s.Throughputs {
+		out = append(out, fmt.Sprintf("%s: %d bytes (%.0f B/s)", name, t.Bytes, t.RateBytesPS))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source contributes external series to a snapshot — subsystems that
+// keep their own atomic counters (the tracer, the flight recorder, a
+// reliable mount) expose them here without adopting Collector.
+type Source func() map[string]int64
+
+// Registry aggregates named collectors and ad-hoc sources into one
+// Snapshot. It is safe for concurrent use, including registration
+// racing exposition.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []registered
+	sources    []Source
+	now        func() time.Time
+}
+
+type registered struct {
+	prefix string
+	c      *Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{now: time.Now}
+}
+
+// AddCollector registers a collector; every series it holds at
+// snapshot time is exposed under prefix+name.
+func (r *Registry) AddCollector(prefix string, c *Collector) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, registered{prefix: prefix, c: c})
+}
+
+// AddSource registers a counter source evaluated at snapshot time.
+func (r *Registry) AddSource(src Source) {
+	if src == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources = append(r.sources, src)
+}
+
+// Snapshot reads every registered series into one exposition.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	collectors := append([]registered(nil), r.collectors...)
+	sources := append([]Source(nil), r.sources...)
+	now := r.now
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		TimeUnixNano: now().UnixNano(),
+		Counters:     make(map[string]int64),
+		Gauges:       make(map[string]int64),
+		Histograms:   make(map[string]HistogramSnapshot),
+		Throughputs:  make(map[string]ThroughputSnapshot),
+	}
+	for _, reg := range collectors {
+		reg.c.snapshotInto(reg.prefix, &snap)
+	}
+	for _, src := range sources {
+		for name, v := range src() {
+			snap.Counters[name] = v
+		}
+	}
+	return snap
+}
+
+// snapshotInto copies the collector's series into the snapshot under
+// the prefix. Later collectors win name collisions — register with
+// distinct prefixes when that matters.
+func (c *Collector) snapshotInto(prefix string, snap *Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, ctr := range c.counters {
+		snap.Counters[prefix+name] = ctr.Value()
+	}
+	for name, g := range c.gauges {
+		snap.Gauges[prefix+name] = g.Value()
+	}
+	for name, h := range c.hists {
+		snap.Histograms[prefix+name] = HistogramSnapshot{
+			Count:  h.Count(),
+			MeanNs: h.Mean().Nanoseconds(),
+			P50Ns:  h.Percentile(50).Nanoseconds(),
+			P90Ns:  h.Percentile(90).Nanoseconds(),
+			P99Ns:  h.Percentile(99).Nanoseconds(),
+			MaxNs:  h.Max().Nanoseconds(),
+		}
+	}
+	for name, t := range c.meters {
+		snap.Throughputs[prefix+name] = ThroughputSnapshot{
+			Bytes:       t.Bytes(),
+			RateBytesPS: t.Rate(),
+		}
+	}
+}

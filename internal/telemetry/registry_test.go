@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistrySnapshot(t *testing.T) {
+	c := NewCollector()
+	c.Counter("jobs.done").Add(3)
+	c.Gauge("queue.depth").Set(7)
+	for i := 1; i <= 100; i++ {
+		c.Histogram("rpc.latency").Record(time.Duration(i) * time.Millisecond)
+	}
+	c.Throughput("wan.bytes").Add(4096)
+
+	r := NewRegistry()
+	r.AddCollector("sched.", c)
+	r.AddSource(func() map[string]int64 {
+		return map[string]int64{"trace.spans.finished": 42}
+	})
+
+	snap := r.Snapshot()
+	if snap.Counters["sched.jobs.done"] != 3 {
+		t.Fatalf("counter = %d, want 3", snap.Counters["sched.jobs.done"])
+	}
+	if snap.Counters["trace.spans.finished"] != 42 {
+		t.Fatalf("source counter = %d, want 42", snap.Counters["trace.spans.finished"])
+	}
+	if snap.Gauges["sched.queue.depth"] != 7 {
+		t.Fatalf("gauge = %d, want 7", snap.Gauges["sched.queue.depth"])
+	}
+	h, ok := snap.Histograms["sched.rpc.latency"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if h.Count != 100 {
+		t.Fatalf("histogram count = %d, want 100", h.Count)
+	}
+	p50, p99 := time.Duration(h.P50Ns), time.Duration(h.P99Ns)
+	if p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~50ms", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	if tp := snap.Throughputs["sched.wan.bytes"]; tp.Bytes != 4096 {
+		t.Fatalf("throughput bytes = %d, want 4096", tp.Bytes)
+	}
+	if snap.TimeUnixNano == 0 {
+		t.Fatal("snapshot has no timestamp")
+	}
+
+	text := strings.Join(snap.Render(), "\n")
+	for _, want := range []string{"sched.jobs.done: 3", "sched.queue.depth: 7", "trace.spans.finished: 42", "p99="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered snapshot missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	c := NewCollector()
+	r := NewRegistry()
+	r.AddCollector("", c)
+	const workers, perWorker = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Counter("spins").Inc()
+				c.Histogram("lat").Record(time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		r.Snapshot().Render()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Counters["spins"]; got != workers*perWorker {
+		t.Fatalf("spins = %d, want %d", got, workers*perWorker)
+	}
+}

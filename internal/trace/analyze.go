@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Breakdown is the critical-path decomposition of one trace: where
+// the job's wall time went, partitioned so the segments plus idle sum
+// exactly to the wall — the paper's instrument-hold vs data-channel
+// vs analysis table.
+type Breakdown struct {
+	TraceID string        `json:"trace_id"`
+	Wall    time.Duration `json:"wall_ns"` // root (or envelope) span wall time
+
+	// Per-class time, a strict partition of Wall: at every instant the
+	// highest-priority active class (instrument > data > analysis >
+	// sched > control) owns that instant; Idle is wall time with no
+	// span active. Instrument+Data+Analysis+Sched+Control+Other+Idle
+	// == Wall exactly.
+	Instrument time.Duration `json:"instrument_ns"`
+	Data       time.Duration `json:"data_ns"`
+	Analysis   time.Duration `json:"analysis_ns"`
+	Sched      time.Duration `json:"sched_ns"`
+	Control    time.Duration `json:"control_ns"`
+	Other      time.Duration `json:"other_ns"`
+	Idle       time.Duration `json:"idle_ns"`
+
+	// Overlap is cross-holder pipelining: time one holder's data
+	// retrieval ran while a different holder held the instrument — the
+	// gain from releasing the gate at OnMeasured (PR 3/4).
+	Overlap time.Duration `json:"overlap_ns"`
+
+	Spans  int `json:"spans"`
+	Errors int `json:"errors"`
+}
+
+// classPriority orders classes for the timeline partition; when spans
+// of several classes are simultaneously active, the instant belongs
+// to the highest.
+var classPriority = map[string]int{
+	ClassInstrument: 6,
+	ClassData:       5,
+	ClassAnalysis:   4,
+	ClassSched:      3,
+	ClassControl:    2,
+}
+
+type interval struct {
+	start, end time.Time
+	holder     string
+}
+
+// Analyze decomposes a trace's spans into the Breakdown. The wall
+// reference is the envelope of root spans (a crash-recovered trace
+// has one root per attempt); with no roots it falls back to the
+// envelope of all spans.
+func Analyze(recs []Record) Breakdown {
+	var b Breakdown
+	if len(recs) == 0 {
+		return b
+	}
+	b.TraceID = recs[0].TraceID
+	b.Spans = len(recs)
+
+	var wallStart, wallEnd time.Time
+	haveRoot := false
+	for _, r := range recs {
+		if r.Error != "" {
+			b.Errors++
+		}
+		if r.Parent == "" {
+			if !haveRoot || r.Start.Before(wallStart) {
+				wallStart = r.Start
+			}
+			if !haveRoot || r.End.After(wallEnd) {
+				wallEnd = r.End
+			}
+			haveRoot = true
+		}
+	}
+	if !haveRoot {
+		wallStart, wallEnd = recs[0].Start, recs[0].End
+		for _, r := range recs {
+			if r.Start.Before(wallStart) {
+				wallStart = r.Start
+			}
+			if r.End.After(wallEnd) {
+				wallEnd = r.End
+			}
+		}
+	}
+	if !wallEnd.After(wallStart) {
+		return b
+	}
+	b.Wall = wallEnd.Sub(wallStart)
+
+	// Boundary sweep: cut the wall at every span start/end, assign
+	// each slice to the highest-priority class active during it. The
+	// slices are a partition, so the class sums plus idle equal the
+	// wall exactly.
+	cuts := []time.Time{wallStart, wallEnd}
+	type classed struct {
+		start, end time.Time
+		prio       int
+		class      string
+	}
+	var active []classed
+	for _, r := range recs {
+		s, e := clamp(r.Start, wallStart, wallEnd), clamp(r.End, wallStart, wallEnd)
+		if !e.After(s) {
+			continue
+		}
+		cuts = append(cuts, s, e)
+		active = append(active, classed{s, e, classPriority[r.Class], r.Class})
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i].Before(cuts[j]) })
+	for i := 0; i+1 < len(cuts); i++ {
+		s, e := cuts[i], cuts[i+1]
+		if !e.After(s) {
+			continue
+		}
+		best, bestClass := -1, ""
+		for _, a := range active {
+			if a.start.After(s) || a.end.Before(e) {
+				continue
+			}
+			if a.prio > best {
+				best, bestClass = a.prio, a.class
+			}
+		}
+		d := e.Sub(s)
+		switch bestClass {
+		case ClassInstrument:
+			b.Instrument += d
+		case ClassData:
+			b.Data += d
+		case ClassAnalysis:
+			b.Analysis += d
+		case ClassSched:
+			b.Sched += d
+		case ClassControl:
+			b.Control += d
+		default:
+			if best >= 0 {
+				b.Other += d
+			} else {
+				b.Idle += d
+			}
+		}
+	}
+
+	b.Overlap = CrossHolderOverlap(recs)
+	return b
+}
+
+// CrossHolderOverlap measures pipelining across tenants/cells: the
+// total time some holder's data-class phase span ran while a
+// *different* holder's instrument-class phase span was active. Only
+// spans carrying a "holder" attr participate — these are the
+// acquire/retrieve phase spans — so nested RPC and gate bookkeeping
+// spans cannot double-count.
+func CrossHolderOverlap(recs []Record) time.Duration {
+	var instr, data []interval
+	for _, r := range recs {
+		h := r.Attrs["holder"]
+		if h == "" || !r.End.After(r.Start) {
+			continue
+		}
+		iv := interval{r.Start, r.End, h}
+		switch r.Class {
+		case ClassInstrument:
+			instr = append(instr, iv)
+		case ClassData:
+			data = append(data, iv)
+		}
+	}
+	var total time.Duration
+	for _, d := range data {
+		// Merge the instrument intervals of other holders that
+		// intersect d, then sum — avoids double counting when two
+		// other holders' instrument time overlaps (can't happen with
+		// an exclusive gate, but the metric shouldn't rely on that).
+		var cut []interval
+		for _, in := range instr {
+			if in.holder == d.holder {
+				continue
+			}
+			s, e := maxTime(in.start, d.start), minTime(in.end, d.end)
+			if e.After(s) {
+				cut = append(cut, interval{start: s, end: e})
+			}
+		}
+		total += mergedLength(cut)
+	}
+	return total
+}
+
+func mergedLength(ivs []interval) time.Duration {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start.Before(ivs[j].start) })
+	var total time.Duration
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.start.After(cur.end) {
+			total += cur.end.Sub(cur.start)
+			cur = iv
+			continue
+		}
+		if iv.end.After(cur.end) {
+			cur.end = iv.end
+		}
+	}
+	total += cur.end.Sub(cur.start)
+	return total
+}
+
+func clamp(t, lo, hi time.Time) time.Time {
+	if t.Before(lo) {
+		return lo
+	}
+	if t.After(hi) {
+		return hi
+	}
+	return t
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}
+
+// Orphans returns spans whose parent ID does not resolve to another
+// span in the same slice — the trace-integrity check used by the
+// chaos drill (roots, with no parent, are never orphans).
+func Orphans(recs []Record) []Record {
+	ids := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		ids[r.SpanID] = true
+	}
+	var out []Record
+	for _, r := range recs {
+		if r.Parent != "" && !ids[r.Parent] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

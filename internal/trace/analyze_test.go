@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// mkRec builds a record offset in milliseconds from a fixed origin.
+func mkRec(tid, id, parent, name, class string, startMs, endMs int, attrs map[string]string) Record {
+	origin := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	return Record{
+		TraceID: tid, SpanID: id, Parent: parent, Name: name, Class: class,
+		Start: origin.Add(time.Duration(startMs) * time.Millisecond),
+		End:   origin.Add(time.Duration(endMs) * time.Millisecond),
+		Attrs: attrs,
+	}
+}
+
+func TestAnalyzePartitionSumsToWall(t *testing.T) {
+	tid := strings.Repeat("a", 32)
+	recs := []Record{
+		mkRec(tid, "r000000000000000", "", "job", ClassSched, 0, 100, nil),
+		mkRec(tid, "a000000000000000", "r000000000000000", "acquire", ClassInstrument, 10, 50, nil),
+		// Control RPC nested inside the instrument hold: instrument
+		// wins the partition for 10..50.
+		mkRec(tid, "c000000000000000", "a000000000000000", "rpc", ClassControl, 20, 30, nil),
+		mkRec(tid, "d000000000000000", "r000000000000000", "retrieve", ClassData, 50, 80, nil),
+		mkRec(tid, "e000000000000000", "r000000000000000", "analyze", ClassAnalysis, 80, 95, nil),
+	}
+	b := Analyze(recs)
+	if b.Wall != 100*time.Millisecond {
+		t.Fatalf("wall %v", b.Wall)
+	}
+	sum := b.Instrument + b.Data + b.Analysis + b.Sched + b.Control + b.Other + b.Idle
+	if sum != b.Wall {
+		t.Fatalf("partition %v != wall %v", sum, b.Wall)
+	}
+	if b.Instrument != 40*time.Millisecond {
+		t.Errorf("instrument %v, want 40ms (RPC nested under hold must not subtract)", b.Instrument)
+	}
+	if b.Data != 30*time.Millisecond || b.Analysis != 15*time.Millisecond {
+		t.Errorf("data %v analysis %v", b.Data, b.Analysis)
+	}
+	if b.Sched != 15*time.Millisecond { // 0-10 plus 95-100 under the root
+		t.Errorf("sched %v", b.Sched)
+	}
+	if b.Idle != 0 {
+		t.Errorf("idle %v inside a fully-covered root", b.Idle)
+	}
+}
+
+func TestCrossHolderOverlap(t *testing.T) {
+	tid := strings.Repeat("b", 32)
+	recs := []Record{
+		// Tenant A retrieves 50..90 while tenant B holds the
+		// instrument 60..100: overlap is 30ms. A's own instrument time
+		// must not count against its own retrieval.
+		mkRec(tid, "1000000000000000", "", "job", ClassSched, 0, 120, nil),
+		mkRec(tid, "2000000000000000", "1000000000000000", "A acquire", ClassInstrument, 0, 50, map[string]string{"holder": "A"}),
+		mkRec(tid, "3000000000000000", "1000000000000000", "A retrieve", ClassData, 50, 90, map[string]string{"holder": "A"}),
+		mkRec(tid, "4000000000000000", "1000000000000000", "B acquire", ClassInstrument, 60, 100, map[string]string{"holder": "B"}),
+		// A data span with no holder attr (a raw mount read) is
+		// ignored by the overlap metric.
+		mkRec(tid, "5000000000000000", "3000000000000000", "read", ClassData, 55, 85, nil),
+	}
+	if got := CrossHolderOverlap(recs); got != 30*time.Millisecond {
+		t.Fatalf("overlap %v, want 30ms", got)
+	}
+	b := Analyze(recs)
+	if b.Overlap != 30*time.Millisecond {
+		t.Fatalf("breakdown overlap %v", b.Overlap)
+	}
+
+	// Serial execution (B waits for A's retrieval): zero overlap.
+	serial := []Record{
+		mkRec(tid, "1000000000000000", "", "job", ClassSched, 0, 140, nil),
+		mkRec(tid, "2000000000000000", "1000000000000000", "A acquire", ClassInstrument, 0, 50, map[string]string{"holder": "A"}),
+		mkRec(tid, "3000000000000000", "1000000000000000", "A retrieve", ClassData, 50, 90, map[string]string{"holder": "A"}),
+		mkRec(tid, "4000000000000000", "1000000000000000", "B acquire", ClassInstrument, 90, 130, map[string]string{"holder": "B"}),
+	}
+	if got := CrossHolderOverlap(serial); got != 0 {
+		t.Fatalf("serial overlap %v, want 0", got)
+	}
+}
+
+func TestOrphans(t *testing.T) {
+	tid := strings.Repeat("c", 32)
+	recs := []Record{
+		mkRec(tid, "1000000000000000", "", "root", "", 0, 10, nil),
+		mkRec(tid, "2000000000000000", "1000000000000000", "child", "", 1, 9, nil),
+		mkRec(tid, "3000000000000000", "feedfacefeedface", "lost", "", 2, 8, nil),
+	}
+	got := Orphans(recs)
+	if len(got) != 1 || got[0].Name != "lost" {
+		t.Fatalf("orphans = %v", got)
+	}
+}
+
+func TestRenderSmoke(t *testing.T) {
+	tid := strings.Repeat("e", 32)
+	recs := []Record{
+		mkRec(tid, "1000000000000000", "", "job", ClassSched, 0, 100, nil),
+		mkRec(tid, "2000000000000000", "1000000000000000", "task D", ClassInstrument, 10, 60, nil),
+	}
+	recs[1].Events = []Event{{Name: "redial", Time: recs[1].Start.Add(5 * time.Millisecond), Attrs: map[string]string{"attempt": "1"}}}
+	recs[1].Error = "conn reset"
+	tree := RenderTree(recs)
+	for _, want := range []string{"job", "task D", "redial", "attempt=1", "ERROR: conn reset"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	table := RenderBreakdown(Analyze(recs))
+	for _, want := range []string{"instrument-hold", "data-channel", "analysis/ml", "wall", "overlap"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

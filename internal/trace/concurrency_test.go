@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentFinishDumpExport is the ISSUE's -race drill: many
+// goroutines finishing spans (some with errors, triggering flight
+// dumps) while others read the store, recorder, and stats. Run with
+// `go test -race ./internal/trace`.
+func TestConcurrentFinishDumpExport(t *testing.T) {
+	exp, err := NewJSONLExporter(filepath.Join(t.TempDir(), "spans.jsonl"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	store := NewStore(64, 4096)
+	rec := NewRecorder(128)
+	tr := New(WithStore(store), WithRecorder(rec), WithExporter(exp), WithSampler(Ratio(0.5)))
+
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				root := tr.StartTrace("", "job", ClassSched)
+				child := tr.StartRemote(root.Context(), "rpc", ClassControl)
+				child.SetAttr("i", "x")
+				child.Event("retry", "attempt", "1")
+				if i%7 == 0 {
+					child.SetError(errors.New("injected"))
+				}
+				// Finish child and root from different goroutines to
+				// race finish against finish within one trace.
+				done := make(chan struct{})
+				go func() {
+					child.End()
+					close(done)
+				}()
+				if i%5 == 0 {
+					root.SetError(errors.New("tail"))
+				}
+				root.End()
+				<-done
+			}
+		}(w)
+	}
+	// Concurrent readers: store queries, recorder dumps, stats.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, s := range store.Summaries() {
+					store.Trace(s.TraceID)
+					rec.Dump(s.TraceID)
+				}
+				tr.Stats()
+				rec.Stats()
+				store.Stats()
+				exp.Stats()
+				exp.Flush()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := tr.Stats()
+	if st.Started != st.Finished || st.Started != workers*perWorker*2 {
+		t.Fatalf("span accounting off: %+v", st)
+	}
+	if st.Errors == 0 || st.Sampled == 0 {
+		t.Fatalf("drill did not exercise error/sampled paths: %+v", st)
+	}
+}
+
+// TestDoubleEndAndPostFinishMutation locks in that End is idempotent
+// and post-finish mutation cannot corrupt an exported record.
+func TestDoubleEndAndPostFinishMutation(t *testing.T) {
+	store := NewStore(4, 16)
+	tr := New(WithStore(store))
+	s := tr.StartTrace("", "once", ClassAnalysis)
+	tid := s.TraceID()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.End()
+			s.SetAttr("late", "yes")
+			s.Event("late")
+			s.SetError(errors.New("late"))
+		}()
+	}
+	wg.Wait()
+	recs := store.Trace(tid)
+	if len(recs) != 1 {
+		t.Fatalf("span exported %d times", len(recs))
+	}
+	if recs[0].Attrs["late"] != "" || recs[0].Error != "" || len(recs[0].Events) != 0 {
+		t.Fatalf("post-finish mutation leaked into the record: %+v", recs[0])
+	}
+	if got := tr.Stats().Finished; got != 1 {
+		t.Fatalf("finished %d, want 1", got)
+	}
+}

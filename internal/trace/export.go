@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Exporter receives finished span records. Export must be safe for
+// concurrent callers and must not block span completion for long.
+type Exporter interface {
+	Export(Record)
+}
+
+// EncodeSpan renders one record as a single JSONL line (no trailing
+// newline).
+func EncodeSpan(rec Record) ([]byte, error) {
+	return json.Marshal(rec)
+}
+
+// DecodeSpan parses one JSONL line back into a record, rejecting
+// structurally invalid spans so a corrupted export cannot poison the
+// analyzer. This is the fuzz target's entry point.
+func DecodeSpan(line []byte) (Record, error) {
+	var rec Record
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, err
+	}
+	if dec.More() {
+		return Record{}, errors.New("trailing data after span record")
+	}
+	if rec.TraceID == "" || rec.SpanID == "" {
+		return Record{}, errors.New("span record missing trace or span ID")
+	}
+	if len(rec.TraceID) != 32 || !isHex(rec.TraceID) {
+		return Record{}, fmt.Errorf("bad trace ID %q", rec.TraceID)
+	}
+	if len(rec.SpanID) != 16 || !isHex(rec.SpanID) {
+		return Record{}, fmt.Errorf("bad span ID %q", rec.SpanID)
+	}
+	if rec.Parent != "" && (len(rec.Parent) != 16 || !isHex(rec.Parent)) {
+		return Record{}, fmt.Errorf("bad parent ID %q", rec.Parent)
+	}
+	if rec.End.Before(rec.Start) {
+		return Record{}, errors.New("span ends before it starts")
+	}
+	return rec, nil
+}
+
+// ReadSpans parses a JSONL export, tolerating a truncated trailing
+// line (the crash-safety contract: a crash mid-write loses at most
+// the final record) and skipping blank lines. Any other malformed
+// line is an error.
+func ReadSpans(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var recs []Record
+	var pendingErr error
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// A bad line followed by more data is corruption, not a
+			// truncated tail.
+			return nil, pendingErr
+		}
+		rec, err := DecodeSpan(line)
+		if err != nil {
+			pendingErr = fmt.Errorf("span record %d: %w", len(recs)+1, err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// JSONLExporter batches finished spans and appends them to a JSONL
+// file. Writes are batched for throughput but crash-safe: every flush
+// ends on a record boundary, and Flush (or the flush interval) bounds
+// how much a crash can lose. A write error poisons the exporter
+// (recorded in DroppedWrites) rather than blocking experiments.
+type JSONLExporter struct {
+	mu       sync.Mutex
+	f        *os.File
+	buf      []byte
+	maxBatch int
+	dropped  int64
+	exported int64
+	closed   bool
+
+	flushEvery time.Duration
+	stopFlush  chan struct{}
+	flushDone  chan struct{}
+}
+
+// NewJSONLExporter opens (appending) the export file. flushEvery ≤ 0
+// disables the background flusher; batches then flush only when full
+// or on Flush/Close.
+func NewJSONLExporter(path string, flushEvery time.Duration) (*JSONLExporter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	e := &JSONLExporter{
+		f:          f,
+		maxBatch:   64 * 1024,
+		flushEvery: flushEvery,
+	}
+	if flushEvery > 0 {
+		e.stopFlush = make(chan struct{})
+		e.flushDone = make(chan struct{})
+		go e.flushLoop()
+	}
+	return e, nil
+}
+
+func (e *JSONLExporter) flushLoop() {
+	defer close(e.flushDone)
+	t := time.NewTicker(e.flushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			e.Flush()
+		case <-e.stopFlush:
+			return
+		}
+	}
+}
+
+// Export implements Exporter.
+func (e *JSONLExporter) Export(rec Record) {
+	line, err := EncodeSpan(rec)
+	if err != nil {
+		e.mu.Lock()
+		e.dropped++
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		e.dropped++
+		return
+	}
+	e.buf = append(e.buf, line...)
+	e.buf = append(e.buf, '\n')
+	e.exported++
+	if len(e.buf) >= e.maxBatch {
+		e.flushLocked()
+	}
+}
+
+// Flush writes any buffered records to disk.
+func (e *JSONLExporter) Flush() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flushLocked()
+}
+
+func (e *JSONLExporter) flushLocked() {
+	if len(e.buf) == 0 || e.f == nil {
+		return
+	}
+	if _, err := e.f.Write(e.buf); err != nil {
+		e.dropped++
+	}
+	e.buf = e.buf[:0]
+}
+
+// Stats reports exporter health.
+func (e *JSONLExporter) Stats() (exported, dropped int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.exported, e.dropped
+}
+
+// Close flushes, fsyncs, and closes the file.
+func (e *JSONLExporter) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.flushLocked()
+	stop := e.stopFlush
+	e.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-e.flushDone
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return nil
+	}
+	err1 := e.f.Sync()
+	err2 := e.f.Close()
+	e.f = nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// FuncExporter adapts a function to Exporter (handy in tests).
+type FuncExporter func(Record)
+
+// Export implements Exporter.
+func (f FuncExporter) Export(rec Record) { f(rec) }

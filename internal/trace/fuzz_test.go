@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeSpan hammers the JSONL span codec: any input must either
+// be rejected or decode into a record that re-encodes and re-decodes
+// to the same value (the exporter/viewer round-trip invariant). Wired
+// into CI through the Makefile fuzz target's ^Fuzz discovery.
+func FuzzDecodeSpan(f *testing.F) {
+	valid, _ := EncodeSpan(Record{
+		TraceID: strings.Repeat("a", 32),
+		SpanID:  strings.Repeat("b", 16),
+		Parent:  strings.Repeat("c", 16),
+		Name:    "task D",
+		Class:   ClassInstrument,
+		Start:   time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC),
+		End:     time.Date(2026, 8, 6, 12, 0, 1, 0, time.UTC),
+		Attrs:   map[string]string{"holder": "acl"},
+		Events:  []Event{{Name: "redial", Time: time.Date(2026, 8, 6, 12, 0, 0, 500, time.UTC)}},
+		Error:   "boom",
+	})
+	f.Add(valid)
+	f.Add([]byte(`{"trace_id":"` + strings.Repeat("a", 32) + `","span_id":"` + strings.Repeat("b", 16) + `","name":"x","start":"2026-01-01T00:00:00Z","end":"2026-01-01T00:00:01Z"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"trace_id":"short","span_id":"short"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"trace_id":"` + strings.Repeat("a", 32) + `","span_id":"` + strings.Repeat("b", 16) + `","start":"2026-01-01T00:00:01Z","end":"2026-01-01T00:00:00Z"}`))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		rec, err := DecodeSpan(line)
+		if err != nil {
+			return
+		}
+		// Decoded spans are structurally valid...
+		if len(rec.TraceID) != 32 || len(rec.SpanID) != 16 {
+			t.Fatalf("accepted malformed IDs: %+v", rec)
+		}
+		if rec.End.Before(rec.Start) {
+			t.Fatalf("accepted span ending before start: %+v", rec)
+		}
+		// ...and round-trip bit-stable through the codec.
+		enc, err := EncodeSpan(rec)
+		if err != nil {
+			t.Fatalf("re-encode of accepted span failed: %v", err)
+		}
+		again, err := DecodeSpan(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded span failed: %v\n%s", err, enc)
+		}
+		enc2, err := EncodeSpan(again)
+		if err != nil || string(enc) != string(enc2) {
+			t.Fatalf("codec not stable:\n%s\n%s (err %v)", enc, enc2, err)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package trace
+
+import "sync"
+
+// Recorder is the flight recorder: a bounded ring of the most recent
+// finished spans, including ones head sampling dropped. When a span
+// errors, the tracer dumps the ring entries for that trace so the
+// lead-up to the failure is preserved even at low sampling ratios —
+// the black-box-recorder pattern for experiments that die mid-WAN.
+//
+// Note/Dump race freely with concurrent span finishes; all state is
+// guarded by one mutex and Dump returns copies.
+type Recorder struct {
+	mu      sync.Mutex
+	ring    []recEntry
+	next    int
+	size    int
+	noted   int64
+	dumped  int64
+	evicted int64
+}
+
+type recEntry struct {
+	rec      Record
+	exported bool // already in store/exporter; Dump skips these
+	valid    bool
+}
+
+// RecorderStats is the recorder's health exposition.
+type RecorderStats struct {
+	Capacity int   `json:"capacity"`
+	Held     int   `json:"held"`
+	Noted    int64 `json:"noted"`
+	Dumped   int64 `json:"dumped"`
+	Evicted  int64 `json:"evicted"`
+}
+
+// NewRecorder builds a ring holding the last n spans (minimum 1).
+func NewRecorder(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{ring: make([]recEntry, n)}
+}
+
+// Note records a finished span. exported marks spans that already
+// reached the store/exporter so a later Dump will not duplicate them.
+func (r *Recorder) Note(rec Record, exported bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ring[r.next].valid {
+		r.evicted++
+	} else {
+		r.size++
+	}
+	r.ring[r.next] = recEntry{rec: rec, exported: exported, valid: true}
+	r.next = (r.next + 1) % len(r.ring)
+	r.noted++
+}
+
+// Dump returns (and marks exported) every un-exported ring entry for
+// traceID, oldest first. The entries stay in the ring as context for
+// later errors but will not be dumped twice.
+func (r *Recorder) Dump(traceID string) []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Record
+	n := len(r.ring)
+	for i := 0; i < n; i++ {
+		idx := (r.next + i) % n // oldest first
+		e := &r.ring[idx]
+		if !e.valid || e.exported || e.rec.TraceID != traceID {
+			continue
+		}
+		out = append(out, e.rec)
+		e.exported = true
+	}
+	r.dumped += int64(len(out))
+	return out
+}
+
+// Stats returns a copy of the recorder's counters.
+func (r *Recorder) Stats() RecorderStats {
+	if r == nil {
+		return RecorderStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RecorderStats{
+		Capacity: len(r.ring),
+		Held:     r.size,
+		Noted:    r.noted,
+		Dumped:   r.dumped,
+		Evicted:  r.evicted,
+	}
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTree renders a trace's spans as an indented tree with
+// durations, classes, and events — the `icectl -gateway trace` and
+// cmd/icetrace view.
+func RenderTree(recs []Record) string {
+	if len(recs) == 0 {
+		return "(empty trace)\n"
+	}
+	children := make(map[string][]Record)
+	ids := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		ids[r.SpanID] = true
+	}
+	var roots []Record
+	for _, r := range recs {
+		if r.Parent == "" || !ids[r.Parent] {
+			roots = append(roots, r) // treat orphans as roots so they stay visible
+		} else {
+			children[r.Parent] = append(children[r.Parent], r)
+		}
+	}
+	sortByStart := func(s []Record) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Start.Before(s[j].Start) })
+	}
+	sortByStart(roots)
+	for _, c := range children {
+		sortByStart(c)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s (%d spans)\n", recs[0].TraceID, len(recs))
+	var walk func(r Record, depth int)
+	walk = func(r Record, depth int) {
+		indent := strings.Repeat("  ", depth)
+		status := ""
+		if r.Error != "" {
+			status = "  ERROR: " + r.Error
+		}
+		class := r.Class
+		if class == "" {
+			class = "-"
+		}
+		fmt.Fprintf(&sb, "%s%-*s %10s  [%s]%s\n", indent, 46-2*depth, r.Name, fmtDur(r.Duration()), class, status)
+		for _, ev := range r.Events {
+			off := ev.Time.Sub(r.Start)
+			var attrs []string
+			for k, v := range ev.Attrs {
+				attrs = append(attrs, k+"="+v)
+			}
+			sort.Strings(attrs)
+			extra := ""
+			if len(attrs) > 0 {
+				extra = " " + strings.Join(attrs, " ")
+			}
+			fmt.Fprintf(&sb, "%s  · %s @%s%s\n", indent, ev.Name, fmtDur(off), extra)
+		}
+		for _, c := range children[r.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 1)
+	}
+	return sb.String()
+}
+
+// RenderBreakdown renders the critical-path table.
+func RenderBreakdown(b Breakdown) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "critical path for trace %s (%d spans", b.TraceID, b.Spans)
+	if b.Errors > 0 {
+		fmt.Fprintf(&sb, ", %d errors", b.Errors)
+	}
+	sb.WriteString(")\n")
+	row := func(name string, d time.Duration) {
+		if b.Wall <= 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "  %-16s %10s  %5.1f%%\n", name, fmtDur(d), 100*float64(d)/float64(b.Wall))
+	}
+	row("instrument-hold", b.Instrument)
+	row("data-channel", b.Data)
+	row("analysis/ml", b.Analysis)
+	row("scheduling", b.Sched)
+	row("control-rpc", b.Control)
+	if b.Other > 0 {
+		row("other", b.Other)
+	}
+	row("idle", b.Idle)
+	fmt.Fprintf(&sb, "  %-16s %10s\n", "wall", fmtDur(b.Wall))
+	fmt.Fprintf(&sb, "  %-16s %10s  (data-channel time pipelined under another tenant's instrument hold)\n",
+		"overlap", fmtDur(b.Overlap))
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", d/time.Microsecond)
+	}
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Sampler decides, per trace, whether spans are exported (head
+// sampling). The decision is a pure function of the trace ID so every
+// span of a trace — including daemon-side spans minted from a
+// traceparent — agrees without coordination. Tail sampling (errors
+// always kept, flight-recorder dumps) is layered on top by the Tracer
+// and cannot be disabled.
+type Sampler interface {
+	Sample(traceID string) bool
+}
+
+// Always samples every trace.
+type Always struct{}
+
+// Sample implements Sampler.
+func (Always) Sample(string) bool { return true }
+
+// Never head-samples no trace; only tail sampling (errors) survives.
+type Never struct{}
+
+// Sample implements Sampler.
+func (Never) Sample(string) bool { return false }
+
+// Ratio samples the given fraction of traces, deterministically by
+// trace ID: the low 8 bytes of the ID are treated as a uniform 64-bit
+// value and compared against the threshold, the same scheme
+// OpenTelemetry's TraceIdRatioBased uses.
+type Ratio float64
+
+// Sample implements Sampler.
+func (r Ratio) Sample(traceID string) bool {
+	if r >= 1 {
+		return true
+	}
+	if r <= 0 {
+		return false
+	}
+	raw, err := hex.DecodeString(traceID)
+	if err != nil || len(raw) < 8 {
+		return false
+	}
+	v := binary.BigEndian.Uint64(raw[len(raw)-8:])
+	return float64(v) < float64(r)*float64(^uint64(0))
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Store holds finished spans in memory, bounded per trace and across
+// traces (oldest trace evicted first), and serves the gateway's
+// GET /v1/traces endpoints.
+type Store struct {
+	mu        sync.Mutex
+	traces    map[string]*storedTrace
+	order     []string // trace IDs, oldest first
+	maxTraces int
+	maxSpans  int // per trace
+	evictedTr int64
+	dropped   int64 // spans beyond per-trace cap
+}
+
+type storedTrace struct {
+	spans []Record
+	first time.Time
+	last  time.Time
+	errs  int
+}
+
+// Summary describes one stored trace for the list endpoint.
+type Summary struct {
+	TraceID string    `json:"trace_id"`
+	Root    string    `json:"root,omitempty"`
+	Spans   int       `json:"spans"`
+	Errors  int       `json:"errors"`
+	Start   time.Time `json:"start"`
+	End     time.Time `json:"end"`
+}
+
+// StoreStats is the store's health exposition.
+type StoreStats struct {
+	Traces        int   `json:"traces"`
+	Spans         int   `json:"spans"`
+	EvictedTraces int64 `json:"evicted_traces"`
+	DroppedSpans  int64 `json:"dropped_spans"`
+}
+
+// NewStore bounds the store at maxTraces traces of maxSpans spans
+// each (defaults 256 and 4096).
+func NewStore(maxTraces, maxSpans int) *Store {
+	if maxTraces < 1 {
+		maxTraces = 256
+	}
+	if maxSpans < 1 {
+		maxSpans = 4096
+	}
+	return &Store{
+		traces:    make(map[string]*storedTrace),
+		maxTraces: maxTraces,
+		maxSpans:  maxSpans,
+	}
+}
+
+// Add records a finished span.
+func (s *Store) Add(rec Record) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr := s.traces[rec.TraceID]
+	if tr == nil {
+		if len(s.order) >= s.maxTraces {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.traces, oldest)
+			s.evictedTr++
+		}
+		tr = &storedTrace{first: rec.Start, last: rec.End}
+		s.traces[rec.TraceID] = tr
+		s.order = append(s.order, rec.TraceID)
+	}
+	if len(tr.spans) >= s.maxSpans {
+		s.dropped++
+		return
+	}
+	tr.spans = append(tr.spans, rec)
+	if rec.Start.Before(tr.first) {
+		tr.first = rec.Start
+	}
+	if rec.End.After(tr.last) {
+		tr.last = rec.End
+	}
+	if rec.Error != "" {
+		tr.errs++
+	}
+}
+
+// Trace returns all spans of one trace, start-ordered, or nil if
+// unknown.
+func (s *Store) Trace(traceID string) []Record {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	tr := s.traces[traceID]
+	var out []Record
+	if tr != nil {
+		out = make([]Record, len(tr.spans))
+		copy(out, tr.spans)
+	}
+	s.mu.Unlock()
+	SortRecords(out)
+	return out
+}
+
+// Summaries lists stored traces, newest first.
+func (s *Store) Summaries() []Summary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]Summary, 0, len(s.order))
+	for _, id := range s.order {
+		tr := s.traces[id]
+		sum := Summary{
+			TraceID: id,
+			Spans:   len(tr.spans),
+			Errors:  tr.errs,
+			Start:   tr.first,
+			End:     tr.last,
+		}
+		for _, sp := range tr.spans {
+			if sp.Parent == "" {
+				sum.Root = sp.Name
+				break
+			}
+		}
+		out = append(out, sum)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spans := 0
+	for _, tr := range s.traces {
+		spans += len(tr.spans)
+	}
+	return StoreStats{
+		Traces:        len(s.traces),
+		Spans:         spans,
+		EvictedTraces: s.evictedTr,
+		DroppedSpans:  s.dropped,
+	}
+}

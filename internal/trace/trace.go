@@ -1,0 +1,482 @@
+// Package trace is a dependency-free distributed-tracing subsystem
+// for the ice stack: one trace ID follows a tenant job from
+// POST /v1/jobs through workflow tasks A–E, individual pyro RPCs over
+// the simulated WAN, and datachan reads, so the critical-path
+// analyzer (analyze.go) can decompose a job into instrument-hold vs
+// data-channel vs analysis time — the paper's timing breakdown.
+//
+// The design mirrors W3C trace-context/OpenTelemetry in miniature:
+// spans carry 128-bit trace IDs and 64-bit span IDs, propagate
+// in-process via context.Context and across the pyro control channel
+// via a traceparent string in the request envelope. Sampling is
+// head-ratio with a tail override: error spans are always kept, and a
+// bounded flight-recorder ring (recorder.go) retains the most recent
+// spans so an error can dump the lead-up even when head sampling
+// dropped it.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span classes label where time went; the analyzer groups spans into
+// the paper's three buckets (instrument / data / analysis) by class.
+const (
+	ClassInstrument = "instrument" // exclusive potentiostat/J-Kem hold
+	ClassData       = "data"       // datachan transfers over the WAN
+	ClassAnalysis   = "analysis"   // parsing, CV analysis, ML
+	ClassSched      = "sched"      // queueing, lease waits
+	ClassControl    = "control"    // pyro RPCs on the control channel
+)
+
+// SpanContext identifies a span's position in a trace. It is what
+// crosses process (and simulated-WAN) boundaries.
+type SpanContext struct {
+	TraceID string // 32 hex chars
+	SpanID  string // 16 hex chars
+}
+
+// Valid reports whether both IDs are present.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID != "" }
+
+// Traceparent renders the W3C-style header carried in the pyro
+// request envelope: version-traceid-spanid-flags.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent inverts Traceparent. Unknown versions are accepted
+// as long as the field shape holds, matching the W3C forward-compat
+// rule.
+func ParseTraceparent(tp string) (SpanContext, bool) {
+	parts := strings.Split(tp, "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return SpanContext{}, false
+	}
+	for _, p := range parts[:3] {
+		if !isHex(p) {
+			return SpanContext{}, false
+		}
+	}
+	return SpanContext{TraceID: parts[1], SpanID: parts[2]}, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Event is a timed annotation on a span — a datachan redial, a lease
+// heartbeat, a dedup-replayed RPC.
+type Event struct {
+	Name  string            `json:"name"`
+	Time  time.Time         `json:"time"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Span is one timed operation. A nil *Span is a valid no-op: every
+// method tolerates a nil receiver, so instrumented code pays nothing
+// when no tracer is installed.
+type Span struct {
+	tracer *Tracer
+
+	mu       sync.Mutex
+	name     string
+	class    string
+	ctx      SpanContext
+	parent   string // parent span ID, "" for roots
+	start    time.Time
+	end      time.Time
+	attrs    map[string]string
+	events   []Event
+	err      string
+	finished bool
+	sampled  bool
+}
+
+// Context returns the span's identity for propagation.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// TraceID is shorthand for Context().TraceID.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.ctx.TraceID
+}
+
+// SetAttr records a key/value attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+}
+
+// Event appends a timed annotation. Attrs are optional "k=v" pairs.
+func (s *Span) Event(name string, kv ...string) {
+	if s == nil {
+		return
+	}
+	var attrs map[string]string
+	if len(kv) > 0 {
+		attrs = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			attrs[kv[i]] = kv[i+1]
+		}
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return
+	}
+	s.events = append(s.events, Event{Name: name, Time: now, Attrs: attrs})
+}
+
+// SetError marks the span failed. Error spans defeat ratio sampling
+// (tail keep-errors) and trigger a flight-recorder dump on End.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return
+	}
+	s.err = err.Error()
+}
+
+// End finishes the span and hands it to the tracer for recording and
+// export. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.finished = true
+	s.end = time.Now()
+	rec := s.snapshotLocked()
+	hadErr := s.err != ""
+	tr := s.tracer
+	s.mu.Unlock()
+	if tr != nil {
+		tr.finish(rec, hadErr, s.sampled)
+	}
+}
+
+// EndErr is End with an error attached first — convenient in defers:
+//
+//	defer func() { span.EndErr(err) }()
+func (s *Span) EndErr(err error) {
+	s.SetError(err)
+	s.End()
+}
+
+// snapshotLocked copies the span into its immutable exported record.
+// Caller holds s.mu.
+func (s *Span) snapshotLocked() Record {
+	attrs := make(map[string]string, len(s.attrs))
+	for k, v := range s.attrs {
+		attrs[k] = v
+	}
+	events := make([]Event, len(s.events))
+	copy(events, s.events)
+	return Record{
+		TraceID: s.ctx.TraceID,
+		SpanID:  s.ctx.SpanID,
+		Parent:  s.parent,
+		Name:    s.name,
+		Class:   s.class,
+		Start:   s.start,
+		End:     s.end,
+		Attrs:   attrs,
+		Events:  events,
+		Error:   s.err,
+	}
+}
+
+// Record is the immutable, exported form of a finished span — what
+// the JSONL exporter writes and the store/analyzer read.
+type Record struct {
+	TraceID string            `json:"trace_id"`
+	SpanID  string            `json:"span_id"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Class   string            `json:"class,omitempty"`
+	Start   time.Time         `json:"start"`
+	End     time.Time         `json:"end"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	Events  []Event           `json:"events,omitempty"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// Duration is the span's wall time.
+func (r Record) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Stats is the tracer's own health exposition, surfaced through the
+// gateway's metrics endpoint.
+type Stats struct {
+	Started      int64 `json:"started"`
+	Finished     int64 `json:"finished"`
+	Sampled      int64 `json:"sampled"`
+	Dropped      int64 `json:"dropped"` // head-sampled out, no tail rescue
+	Errors       int64 `json:"errors"`
+	TailRescued  int64 `json:"tail_rescued"` // kept only because of an error
+	RecorderDump int64 `json:"recorder_dumps"`
+}
+
+// Tracer mints spans, applies sampling, and fans finished spans out
+// to the store, the exporter, and the flight recorder.
+type Tracer struct {
+	sampler  Sampler
+	store    *Store
+	exporter Exporter
+	recorder *Recorder
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithSampler installs a head sampler (default: Always).
+func WithSampler(s Sampler) Option { return func(t *Tracer) { t.sampler = s } }
+
+// WithStore attaches a bounded in-memory span store (serves
+// GET /v1/traces).
+func WithStore(s *Store) Option { return func(t *Tracer) { t.store = s } }
+
+// WithExporter attaches a span exporter (e.g. the JSONL exporter).
+func WithExporter(e Exporter) Option { return func(t *Tracer) { t.exporter = e } }
+
+// WithRecorder attaches a flight-recorder ring.
+func WithRecorder(r *Recorder) Option { return func(t *Tracer) { t.recorder = r } }
+
+// New builds a tracer. With no options it records nothing but still
+// mints valid IDs — propagation works even before a store is wired.
+func New(opts ...Option) *Tracer {
+	t := &Tracer{sampler: Always{}}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Store returns the attached span store (nil if none).
+func (t *Tracer) Store() *Store {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// Recorder returns the attached flight recorder (nil if none).
+func (t *Tracer) Recorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.recorder
+}
+
+// Stats returns a copy of the tracer's counters.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// NewTraceID mints a 128-bit trace ID.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID mints a 64-bit span ID.
+func NewSpanID() string { return randHex(8) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on the platforms we target; fall
+		// back to a fixed pattern rather than panicking mid-experiment.
+		for i := range b {
+			b[i] = byte(i + 1)
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// StartTrace opens a root span in trace traceID (minted when empty).
+// Roots have no parent; a crash-recovered job re-roots into the same
+// trace ID persisted in the scheduler WAL, stitching the attempts
+// together without orphaning either.
+func (t *Tracer) StartTrace(traceID, name, class string) *Span {
+	if t == nil {
+		return nil
+	}
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	return t.newSpan(SpanContext{TraceID: traceID, SpanID: NewSpanID()}, "", name, class)
+}
+
+// StartRemote opens a server-side span parented under a remote
+// SpanContext recovered from a traceparent — the daemon half of a
+// pyro RPC.
+func (t *Tracer) StartRemote(remote SpanContext, name, class string) *Span {
+	if t == nil || !remote.Valid() {
+		return nil
+	}
+	return t.newSpan(SpanContext{TraceID: remote.TraceID, SpanID: NewSpanID()}, remote.SpanID, name, class)
+}
+
+func (t *Tracer) newSpan(ctx SpanContext, parent, name, class string) *Span {
+	t.mu.Lock()
+	t.stats.Started++
+	t.mu.Unlock()
+	return &Span{
+		tracer:  t,
+		name:    name,
+		class:   class,
+		ctx:     ctx,
+		parent:  parent,
+		start:   time.Now(),
+		sampled: t.sampler.Sample(ctx.TraceID),
+	}
+}
+
+// finish routes a completed span record: error spans always survive
+// (tail sampling) and dump the flight recorder's recent ring so the
+// lead-up is preserved; sampled spans go to store+exporter; everything
+// else lands only in the recorder ring, available for a later dump.
+func (t *Tracer) finish(rec Record, hadErr, sampled bool) {
+	keep := sampled || hadErr
+	t.mu.Lock()
+	t.stats.Finished++
+	if hadErr {
+		t.stats.Errors++
+		if !sampled {
+			t.stats.TailRescued++
+		}
+	}
+	if keep {
+		t.stats.Sampled++
+	} else {
+		t.stats.Dropped++
+	}
+	t.mu.Unlock()
+
+	if keep {
+		if t.store != nil {
+			t.store.Add(rec)
+		}
+		if t.exporter != nil {
+			t.exporter.Export(rec)
+		}
+		if t.recorder != nil {
+			t.recorder.Note(rec, true)
+		}
+	} else if t.recorder != nil {
+		t.recorder.Note(rec, false)
+	}
+
+	if hadErr && t.recorder != nil {
+		dumped := t.recorder.Dump(rec.TraceID)
+		if len(dumped) > 0 {
+			t.mu.Lock()
+			t.stats.RecorderDump++
+			t.mu.Unlock()
+		}
+		for _, d := range dumped {
+			if t.store != nil {
+				t.store.Add(d)
+			}
+			if t.exporter != nil {
+				t.exporter.Export(d)
+			}
+		}
+	}
+}
+
+type ctxKey struct{}
+
+// ContextWithSpan binds span as the current span in ctx.
+func ContextWithSpan(ctx context.Context, span *Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// SpanFromContext returns the current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Start opens a child of the current span in ctx. With no span in
+// ctx (or a nil tracer behind it) it returns (ctx, nil) — the nil
+// span's methods are all no-ops, so call sites need no guards.
+func Start(ctx context.Context, name, class string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil || parent.tracer == nil {
+		return ctx, nil
+	}
+	child := parent.tracer.newSpan(
+		SpanContext{TraceID: parent.ctx.TraceID, SpanID: NewSpanID()},
+		parent.ctx.SpanID, name, class)
+	return ContextWithSpan(ctx, child), child
+}
+
+// SortRecords orders spans by start time (stable for rendering).
+func SortRecords(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Start.Equal(recs[j].Start) {
+			return recs[i].SpanID < recs[j].SpanID
+		}
+		return recs[i].Start.Before(recs[j].Start)
+	})
+}
+
+// String implements fmt.Stringer for debugging.
+func (r Record) String() string {
+	return fmt.Sprintf("%s %s [%s] %s (%s)", r.TraceID[:8], r.SpanID, r.Class, r.Name, r.Duration())
+}

@@ -12,6 +12,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"ice/internal/trace"
 )
 
 // Status is a task's lifecycle state.
@@ -245,12 +247,21 @@ func (nb *Notebook) Execute(ctx context.Context) error {
 	tasks := append([]*Task(nil), nb.tasks...)
 	nb.mu.Unlock()
 
-	wctx := &Context{Ctx: ctx, nb: nb, state: &kvState{kv: make(map[string]any)}}
+	// Shared notebook-variable state outlives each task's Context; the
+	// Context itself is per-task so each task's Ctx carries that task's
+	// span and its RPCs parent correctly.
+	state := &kvState{kv: make(map[string]any)}
 	var failures []error
+	runSpan := trace.SpanFromContext(ctx)
 
 	for i, t := range tasks {
 		if r, ok := nb.Result(t.ID); ok && r.Status == OK && r.Restored {
 			nb.appendTranscript(fmt.Sprintf("In [%d]: %s — restored from checkpoint", i+1, t.Title))
+			// Checkpoint-resume stitching: the restored task ran in a
+			// previous attempt (same trace ID via the scheduler WAL);
+			// this attempt notes the skip so the trace shows where the
+			// resumed run picked up.
+			runSpan.Event("task.restored", "task", t.ID)
 			continue
 		}
 		if err := ctx.Err(); err != nil {
@@ -266,11 +277,18 @@ func (nb *Notebook) Execute(ctx context.Context) error {
 		nb.setStatus(t.ID, Running)
 		nb.journalTask(t.ID)
 		nb.appendTranscript(fmt.Sprintf("In [%d]: %s", i+1, t.Title))
+		taskCtx, taskSpan := trace.Start(ctx, "task "+t.ID, "")
+		taskSpan.SetAttr("title", t.Title)
+		wctx := &Context{Ctx: taskCtx, nb: nb, state: state}
 		start := time.Now()
 		output, err, attempts := runWithRetries(wctx, t)
 		elapsed := time.Since(start)
+		if attempts > 1 {
+			taskSpan.SetAttr("attempts", fmt.Sprint(attempts))
+		}
 
 		if err != nil {
+			taskSpan.EndErr(err)
 			nb.setResult(t.ID, Failed, output, err, attempts, elapsed)
 			nb.journalTask(t.ID)
 			nb.appendTranscript(fmt.Sprintf("Out[%d]: FAILED: %v", i+1, err))
@@ -281,6 +299,7 @@ func (nb *Notebook) Execute(ctx context.Context) error {
 			failures = append(failures, fmt.Errorf("task %s: %w", t.ID, err))
 			continue
 		}
+		taskSpan.End()
 		nb.setResult(t.ID, OK, output, nil, attempts, elapsed)
 		nb.journalTask(t.ID)
 		nb.appendTranscript(fmt.Sprintf("Out[%d]: %s", i+1, output))
