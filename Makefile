@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-parallel-quick fuzz gateway-smoke trace-smoke
+.PHONY: all build vet test race bench bench-parallel bench-parallel-quick fuzz gateway-smoke trace-smoke cluster-smoke
 
 all: build vet test
 
@@ -40,6 +40,14 @@ gateway-smoke:
 # inspection (CI uploads it when the drill fails).
 trace-smoke:
 	$(GO) run ./cmd/icegated -trace-smoke -trace-export trace_smoke.jsonl
+
+# Federation acceptance drill: two facility gateways over one lab, one
+# killed mid-CV (kill -9 semantics); the peer must adopt the job from
+# the replicated WAL within 10s and finish it exactly once (audit
+# verified). State, replicated WALs, and the trace JSONL land in
+# cluster_smoke_state/ (CI uploads them when the drill fails).
+cluster-smoke:
+	$(GO) run ./cmd/icegated -cluster-smoke
 
 fuzz:
 	for pkg in $$($(GO) list ./...); do \

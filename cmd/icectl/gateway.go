@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -23,16 +24,22 @@ import (
 //
 //	icectl -gateway http://host:9700 -tenant acl submit            # cv job from flags
 //	icectl -gateway http://host:9700 -tenant acl submit spec.json  # spec from file ("-" = stdin)
+//	icectl -gateway http://host-a:9700,http://host-b:9700 wait jobID
 //	icectl -gateway http://host:9700 status [jobID]
-//	icectl -gateway http://host:9700 wait jobID
 //	icectl -gateway http://host:9700 trace jobID    # span tree + critical path
 //	icectl -gateway http://host:9700 cancel jobID
 //
-// Submissions retry through the shared backoff policy: transport
-// errors redial with jittered exponential delays, and 429 responses
-// honor the gateway's Retry-After hint.
-func runGateway(ctx context.Context, base, verb string, args []string, tenant string, scanRate float64) {
-	base = strings.TrimRight(base, "/")
+// -gateway takes one or more comma-separated endpoints — the federated
+// cluster's gateways. Requests retry through the shared backoff
+// policy: transport errors and 503 + Retry-After responses rotate to
+// the next endpoint before sleeping (so a surviving peer answers
+// immediately after a failover), and 429 responses honor the
+// gateway's Retry-After hint in place.
+func runGateway(ctx context.Context, gateways, verb string, args []string, tenant string, scanRate float64) {
+	gc, err := newGatewayClient(gateways)
+	if err != nil {
+		log.Fatal(err)
+	}
 	switch verb {
 	case "submit":
 		var spec []byte
@@ -52,24 +59,25 @@ func runGateway(ctx context.Context, base, verb string, args []string, tenant st
 		default:
 			spec, _ = json.Marshal(sched.JobSpec{Tenant: tenant, Kind: sched.KindCV, ScanRateMVs: scanRate})
 		}
-		job := submitWithRetry(ctx, base, spec)
+		job, err := gc.submit(ctx, spec)
+		if err != nil {
+			log.Fatalf("submit: %v", err)
+		}
 		fmt.Printf("%s %s submitted for tenant %s\n", job.ID, job.Spec.Kind, job.Tenant)
 
 	case "status":
 		if len(args) >= 1 {
-			job := getJob(base, args[0])
-			printJob(job)
+			printJob(gc.job(ctx, args[0]))
 			return
 		}
-		resp, err := http.Get(base + "/v1/jobs")
+		body, err := gc.get(ctx, "/v1/jobs")
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer resp.Body.Close()
 		var list struct {
 			Jobs []sched.Job `json:"jobs"`
 		}
-		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		if err := json.Unmarshal(body, &list); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("job       tenant        kind      state")
@@ -83,7 +91,7 @@ func runGateway(ctx context.Context, base, verb string, args []string, tenant st
 		}
 		id := args[0]
 		for {
-			job := getJob(base, id)
+			job := gc.job(ctx, id)
 			if job.State.Terminal() {
 				printJob(job)
 				if job.State != sched.StateDone {
@@ -106,20 +114,15 @@ func runGateway(ctx context.Context, base, verb string, args []string, tenant st
 		// straight through.
 		id := args[0]
 		if len(id) != 32 {
-			job := getJob(base, id)
+			job := gc.job(ctx, id)
 			if job.TraceID == "" {
 				log.Fatalf("job %s carries no trace ID (daemon predates tracing?)", id)
 			}
 			id = job.TraceID
 		}
-		resp, err := http.Get(base + "/v1/traces/" + id)
+		body, err := gc.get(ctx, "/v1/traces/"+id)
 		if err != nil {
-			log.Fatal(err)
-		}
-		defer resp.Body.Close()
-		body, _ := io.ReadAll(resp.Body)
-		if resp.StatusCode != http.StatusOK {
-			log.Fatalf("trace: %s: %s", resp.Status, body)
+			log.Fatalf("trace: %v", err)
 		}
 		var tr sched.TraceResponse
 		if err := json.Unmarshal(body, &tr); err != nil {
@@ -132,12 +135,10 @@ func runGateway(ctx context.Context, base, verb string, args []string, tenant st
 		if len(args) < 1 {
 			log.Fatal("cancel needs a job ID")
 		}
-		resp, err := http.Post(base+"/v1/jobs/"+args[0]+"/cancel", "application/json", nil)
+		resp, body, err := gc.do(ctx, http.MethodPost, "/v1/jobs/"+args[0]+"/cancel", nil)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("cancel: %v", err)
 		}
-		defer resp.Body.Close()
-		body, _ := io.ReadAll(resp.Body)
 		if resp.StatusCode != http.StatusAccepted {
 			log.Fatalf("cancel: %s: %s", resp.Status, body)
 		}
@@ -148,59 +149,162 @@ func runGateway(ctx context.Context, base, verb string, args []string, tenant st
 	}
 }
 
-// submitWithRetry posts the spec until the gateway admits it: 429s
-// sleep out the Retry-After hint, transport errors follow the jittered
-// exponential policy, and 4xx validation errors fail immediately.
-func submitWithRetry(ctx context.Context, base string, spec []byte) sched.Job {
+// gatewayClient talks to a federated gateway cluster through one or
+// more endpoints. It pins the endpoint that answered last and
+// re-resolves on failure: a transport error (gateway dead) or a 503 +
+// Retry-After (facility unreachable from that gateway) rotates to the
+// next endpoint immediately; only after every endpoint has failed in a
+// row does the client sleep — honoring the largest Retry-After hint it
+// was handed, or the jittered exponential policy when there was none.
+// 429 (queue full) is not a failover signal: the client stays on the
+// same endpoint and sleeps out the hint.
+type gatewayClient struct {
+	bases  []string
+	cur    int
+	client *http.Client
+}
+
+func newGatewayClient(spec string) (*gatewayClient, error) {
+	var bases []string
+	for _, b := range strings.Split(spec, ",") {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("gateway: no endpoints in %q", spec)
+	}
+	return &gatewayClient{bases: bases, client: http.DefaultClient}, nil
+}
+
+// do issues the request against the pinned endpoint, failing over
+// across the others until one answers with something other than a
+// transport error, 503, or 429. The response is returned with its
+// body already read.
+func (g *gatewayClient) do(ctx context.Context, method, path string, body []byte) (*http.Response, []byte, error) {
 	var policy backoff.Policy
 	seq := policy.StartWith(200*time.Millisecond, 5*time.Second)
+	failed := 0           // consecutive endpoints that failed
+	var hint time.Duration // largest Retry-After seen this sweep
 	for {
-		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(spec)))
+		base := g.bases[g.cur]
+		req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(body))
 		if err != nil {
-			d := seq.Next()
-			log.Printf("submit: %v (retrying in %v)", err, d.Round(time.Millisecond))
-			sleepCtx(ctx, d)
+			return nil, nil, err
+		}
+		if len(body) > 0 {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			log.Printf("gateway %s: %v", base, err)
+			if err := g.advance(ctx, &failed, &hint, seq); err != nil {
+				return nil, nil, err
+			}
 			continue
 		}
-		body, _ := io.ReadAll(resp.Body)
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 		resp.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
 		switch resp.StatusCode {
-		case http.StatusAccepted:
-			var job sched.Job
-			if err := json.Unmarshal(body, &job); err != nil {
-				log.Fatalf("submit: bad response: %v", err)
+		case http.StatusServiceUnavailable:
+			if d := retryAfterHint(resp); d > hint {
+				hint = d
 			}
-			return job
+			log.Printf("gateway %s unavailable: %s", base, strings.TrimSpace(string(data)))
+			if err := g.advance(ctx, &failed, &hint, seq); err != nil {
+				return nil, nil, err
+			}
 		case http.StatusTooManyRequests:
 			d := seq.Next()
-			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-				d = time.Duration(secs) * time.Second
+			if h := retryAfterHint(resp); h > 0 {
+				d = h
 			}
-			log.Printf("gateway busy: %s (retrying in %v)", strings.TrimSpace(string(body)), d)
-			sleepCtx(ctx, d)
+			log.Printf("gateway busy: %s (retrying in %v)", strings.TrimSpace(string(data)), d)
+			if err := sleepOrDone(ctx, d); err != nil {
+				return nil, nil, err
+			}
+			failed = 0
 		default:
-			log.Fatalf("submit rejected: %s: %s", resp.Status, body)
+			return resp, data, nil
 		}
 	}
 }
 
-func sleepCtx(ctx context.Context, d time.Duration) {
+// advance rotates to the next endpoint; once the whole list has failed
+// in a row it sleeps (Retry-After hint or backoff) before the next
+// sweep.
+func (g *gatewayClient) advance(ctx context.Context, failed *int, hint *time.Duration, seq *backoff.Sequence) error {
+	g.cur = (g.cur + 1) % len(g.bases)
+	*failed++
+	if *failed < len(g.bases) {
+		return nil
+	}
+	d := seq.Next()
+	if *hint > d {
+		d = *hint
+	}
+	log.Printf("all %d gateway endpoints unavailable (retrying in %v)", len(g.bases), d)
+	*failed, *hint = 0, 0
+	return sleepOrDone(ctx, d)
+}
+
+func retryAfterHint(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+func sleepOrDone(ctx context.Context, d time.Duration) error {
 	select {
 	case <-ctx.Done():
-		log.Fatalf("aborted: %v", ctx.Err())
+		return ctx.Err()
 	case <-time.After(d):
+		return nil
 	}
 }
 
-func getJob(base, id string) sched.Job {
-	resp, err := http.Get(base + "/v1/jobs/" + id)
+// submit posts the spec until a gateway admits it; 4xx validation
+// errors fail immediately.
+func (g *gatewayClient) submit(ctx context.Context, spec []byte) (sched.Job, error) {
+	resp, body, err := g.do(ctx, http.MethodPost, "/v1/jobs", spec)
 	if err != nil {
-		log.Fatal(err)
+		return sched.Job{}, err
 	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return sched.Job{}, fmt.Errorf("rejected: %s: %s", resp.Status, body)
+	}
+	var job sched.Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		return sched.Job{}, fmt.Errorf("bad response: %w", err)
+	}
+	return job, nil
+}
+
+// get fetches a path, following the failover policy, and returns the
+// body of a 200.
+func (g *gatewayClient) get(ctx context.Context, path string) ([]byte, error) {
+	resp, body, err := g.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
 	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("status: %s: %s", resp.Status, body)
+		return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, body)
+	}
+	return body, nil
+}
+
+func (g *gatewayClient) job(ctx context.Context, id string) sched.Job {
+	body, err := g.get(ctx, "/v1/jobs/"+id)
+	if err != nil {
+		log.Fatalf("status: %v", err)
 	}
 	var job sched.Job
 	if err := json.Unmarshal(body, &job); err != nil {

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ice/internal/sched"
+)
+
+func acceptSubmit(t *testing.T) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/jobs" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(sched.Job{ID: "facb-000001", Tenant: "acl", State: sched.StatePending})
+	}
+}
+
+// TestGatewayClientFailsOverOn503 is the satellite's contract: a
+// gateway answering 503 + Retry-After (its peer facility is
+// unreachable from there) must not stall the client for the hint —
+// the next endpoint is tried immediately and, once it answers, stays
+// pinned.
+func TestGatewayClientFailsOverOn503(t *testing.T) {
+	busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"facility facb unreachable (partitioned)"}`))
+	}))
+	defer busy.Close()
+	var served atomic.Int64
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		acceptSubmit(t)(w, r)
+	}))
+	defer alive.Close()
+
+	gc, err := newGatewayClient(busy.URL + ", " + alive.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	job, err := gc.submit(ctx, []byte(`{"tenant":"acl","kind":"cv"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "facb-000001" {
+		t.Fatalf("job = %+v", job)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("failover took %v: client slept out the 30s Retry-After instead of rotating", elapsed)
+	}
+
+	// The surviving endpoint is pinned: the next call goes there
+	// directly, no repeat visit to the 503ing gateway.
+	if _, err := gc.submit(ctx, []byte(`{"tenant":"acl","kind":"cv"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := served.Load(); got != 2 {
+		t.Fatalf("surviving endpoint served %d requests, want 2 (pinned after failover)", got)
+	}
+}
+
+// TestGatewayClientFailsOverOnTransportError covers the killed-gateway
+// shape: the first endpoint's TCP port is dead, the client must
+// re-resolve to the surviving peer transparently.
+func TestGatewayClientFailsOverOnTransportError(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // port now refuses connections
+
+	alive := httptest.NewServer(acceptSubmit(t))
+	defer alive.Close()
+
+	gc, err := newGatewayClient(deadURL + "," + alive.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	job, err := gc.submit(ctx, []byte(`{"tenant":"acl","kind":"cv"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "facb-000001" {
+		t.Fatalf("job = %+v", job)
+	}
+}
+
+// TestGatewayClientHonorsRetryAfterWhenAllUnavailable: when every
+// endpoint 503s, the client sleeps out the hint before the next sweep
+// instead of hot-looping.
+func TestGatewayClientHonorsRetryAfterWhenAllUnavailable(t *testing.T) {
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		acceptSubmit(t)(w, r)
+	}))
+	defer flaky.Close()
+
+	gc, err := newGatewayClient(flaky.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := gc.submit(ctx, []byte(`{"tenant":"acl","kind":"cv"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v, want >= ~1s (the Retry-After hint)", elapsed)
+	}
+}
+
+// TestGatewayClientRejectsValidationErrors: a 4xx is final, not a
+// failover trigger.
+func TestGatewayClientRejectsValidationErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "sched: job spec needs a kind", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	gc, err := newGatewayClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gc.submit(context.Background(), []byte(`{"tenant":"acl"}`)); err == nil {
+		t.Fatal("validation error did not surface")
+	}
+}

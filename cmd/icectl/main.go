@@ -52,7 +52,7 @@ func main() {
 	reliableData := flag.Bool("reliable-data", false, "self-healing data mount: redial the share and resume interrupted transfers from the last verified offset")
 	journalPath := flag.String("journal", "", "workflow: checkpoint task progress to this file")
 	resume := flag.Bool("resume", false, "workflow: restore completed tasks from -journal before executing")
-	gateway := flag.String("gateway", "", "icegated URL: verbs become submit|status|wait|trace|cancel against the scheduling gateway")
+	gateway := flag.String("gateway", "", "icegated URL(s), comma-separated for a federated cluster: verbs become submit|status|wait|trace|cancel against the scheduling gateway (503s and dead endpoints fail over to the next)")
 	tenant := flag.String("tenant", "", "gateway: tenant identity for submit")
 	flag.Parse()
 	if flag.NArg() < 1 {

@@ -9,6 +9,12 @@
 //	icegated -agent acl-host -token s3cret -reliable   # schedule onto a real control agent
 //	icegated -smoke                                    # one-shot self-test: two tenants, then exit
 //
+// Federate gateways across facilities (replicated WAL, leader
+// failover, partition-tolerant routing):
+//
+//	icegated -selflab -facility faca -peer facb=http://b:9700 -peer-lab facb=b-lab:9690
+//	icegated -cluster-smoke                            # one-shot failover drill, then exit
+//
 // Submit with icectl:
 //
 //	icectl -gateway http://localhost:9700 submit -tenant acl -kind cv
@@ -36,6 +42,7 @@ import (
 	"ice/internal/core"
 	"ice/internal/netsim"
 	"ice/internal/sched"
+	"ice/internal/sched/cluster"
 	"ice/internal/trace"
 )
 
@@ -63,9 +70,24 @@ func main() {
 	traceExport := flag.String("trace-export", "", "append finished trace spans to this JSONL file (crash-safe batched writes; view with icetrace)")
 	traceSample := flag.Float64("trace-sample", 1, "head-sampling ratio for traces (errors and flight-recorder dumps are always kept)")
 
+	facility := flag.String("facility", "", "federated cluster: this gateway's home facility name; job IDs get the facility prefix and -peer gateways receive synchronous WAL replication")
+	peers := assignments{}
+	flag.Var(peers, "peer", "federated cluster: a peer gateway as facility=http://host:9700 (repeatable)")
+	peerLabs := assignments{}
+	flag.Var(peerLabs, "peer-lab", "federated cluster: a peer facility's lab address as facility=host:port, dialed as the failover fencing probe (repeatable; omitted = never adopt that peer's jobs)")
+
 	smoke := flag.Bool("smoke", false, "one-shot self-test: selflab gateway, two tenants submit, wait, report, exit")
 	traceSmoke := flag.Bool("trace-smoke", false, "one-shot trace self-test: selflab two-cell campaign, fetch its trace, verify the span tree and critical-path partition, exit")
+	clusterSmoke := flag.Bool("cluster-smoke", false, "one-shot federation self-test: two in-process facility gateways over one lab, kill one mid-CV, the peer must adopt via the replicated WAL within 10s and finish exactly once, exit")
 	flag.Parse()
+
+	if *clusterSmoke {
+		if err := runClusterSmoke("cluster_smoke_state"); err != nil {
+			log.Fatalf("cluster-smoke: %v", err)
+		}
+		log.Print("cluster-smoke: OK")
+		return
+	}
 
 	if *smoke || *traceSmoke {
 		*selflab = true
@@ -127,6 +149,46 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *facility != "" {
+		peerList, err := clusterPeers(peers, peerLabs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		node, err := cluster.NewNode(cluster.Config{
+			Facility: *facility,
+			Peers:    peerList,
+			Sched: sched.Config{
+				Dir:           *dir,
+				QueueCapacity: *queueCap,
+				RetryAfter:    *retryAfter,
+				Workers:       *workers,
+				LeaseTTL:      *leaseTTL,
+				Tenants:       tenants,
+				Tracer:        tracer,
+			},
+			NewRunner: func(n *cluster.Node, fac string) sched.Runner {
+				return &sched.LabRunner{
+					Connector:        connector,
+					Leases:           n.Scheduler().Leases(),
+					Dir:              n.Scheduler().Dir(),
+					Resources:        cluster.FacilityResources(fac),
+					MirrorJournal:    n.MirrorJournal,
+					CampaignCVPoints: *campaignPoints,
+				}
+			},
+			RetryAfter: *retryAfter,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		serveCluster(*listen, node)
+		return
+	}
+	if len(peers) > 0 || len(peerLabs) > 0 {
+		log.Fatal("-peer/-peer-lab require -facility")
+	}
+
 	s, err := sched.New(sched.Config{
 		Dir:           *dir,
 		QueueCapacity: *queueCap,

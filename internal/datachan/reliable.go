@@ -62,7 +62,10 @@ type ReliableMount struct {
 	// flight (default DefaultReadahead; 1 = strictly serial). Each
 	// in-flight request hides one WAN round trip; resume-from-verified-
 	// offset semantics are unchanged because chunks are verified in
-	// request order.
+	// request order. Under a streak of interruptions that verify no new
+	// chunk, the window temporarily degrades toward 1 so the transfer
+	// cannot starve on a link lossy enough to kill every full-width
+	// burst; it restores to full width after the next verified chunk.
 	Readahead int
 
 	rng backoff.Policy
@@ -296,6 +299,7 @@ func (r *ReliableMount) ReadAll(name string) ([]byte, error) {
 	var buf []byte
 	var off int64
 	failures := 0
+	stalls := 0
 	for {
 		m, err := r.current()
 		if err != nil {
@@ -311,7 +315,20 @@ func (r *ReliableMount) ReadAll(name string) ([]byte, error) {
 			}
 			continue
 		}
-		newBuf, newOff, err := m.readAllFrom(name, off, buf, chunk, window)
+		// A zero-progress streak degrades the readahead window toward
+		// stop-and-wait. Pipelining fires a whole window of chunk
+		// requests back to back, and on a lossy link any one of them can
+		// tear the connection down before the first response lands — so
+		// a wide window can starve indefinitely, every interruption
+		// arriving before a single chunk verifies. Halving the window
+		// per stall (floor 1) guarantees that one surviving round trip
+		// makes progress, which resets both the streak and the retry
+		// budget; the next attempt after progress runs at full width.
+		w := window >> stalls
+		if w < 1 {
+			w = 1
+		}
+		newBuf, newOff, err := m.readAllFrom(name, off, buf, chunk, w)
 		progressed := newOff > off
 		buf, off = newBuf, newOff
 		if err == nil {
@@ -327,7 +344,10 @@ func (r *ReliableMount) ReadAll(name string) ([]byte, error) {
 			// interruptions, just never spin on a link that is down
 			// outright.
 			failures = 0
+			stalls = 0
 			seq = r.rng.StartWith(r.Backoff, r.MaxBackoff)
+		} else {
+			stalls++
 		}
 		failures++
 		if failures > r.MaxRetries {

@@ -170,6 +170,81 @@ func TestReliableMountResumesFromVerifiedOffset(t *testing.T) {
 	}
 }
 
+// killNthWriteConn closes the connection on its nth Write, before any
+// bytes go out — the netsim loss model, where losing one pipelined
+// chunk request tears the whole stream down before the first response
+// lands.
+type killNthWriteConn struct {
+	net.Conn
+	mu     sync.Mutex
+	writes int
+	fatal  int
+}
+
+func (c *killNthWriteConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	kill := c.writes == c.fatal
+	c.mu.Unlock()
+	if kill {
+		c.Conn.Close()
+		return 0, fmt.Errorf("killnth: injected write loss")
+	}
+	return c.Conn.Write(p)
+}
+
+func TestReliableMountDegradesWindowUnderBurstLoss(t *testing.T) {
+	// Every connection dies on its third write: the size prefetch and
+	// the first chunk request get through, the second chunk request
+	// kills the stream. A pipelined window fires its requests back to
+	// back, so at any width ≥ 2 the connection is torn down before the
+	// first chunk's response arrives — zero verified progress, forever.
+	// Only the zero-progress-streak fallback to a stop-and-wait window
+	// (one request, one response, one verified chunk per connection)
+	// lets the transfer complete.
+	dir := t.TempDir()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExport(dir, l)
+	go exp.Serve()
+	t.Cleanup(func() { exp.Close() })
+
+	rm := NewReliableMount(func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		return &killNthWriteConn{Conn: conn, fatal: 3}, nil
+	})
+	t.Cleanup(func() { rm.Close() })
+	rm.Backoff = time.Millisecond
+	rm.MaxBackoff = 5 * time.Millisecond
+	rm.MaxRetries = 5
+	rm.ChunkBytes = 512
+	rm.Readahead = 8
+
+	big := make([]byte, 5*512)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "burst.bin"), big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := rm.ReadAll("burst.bin")
+	if err != nil {
+		t.Fatalf("ReadAll under burst loss: %v (a fixed-width window starves: every burst dies on its second chunk request before the first response lands)", err)
+	}
+	if !bytes.Equal(data, big) {
+		t.Fatal("degraded-window read returned wrong bytes")
+	}
+	if s := rm.Stats(); s.Resumes == 0 {
+		t.Errorf("transfer completed without resuming from a verified offset: %+v", s)
+	}
+}
+
 func TestReliableMountVerifiedRead(t *testing.T) {
 	h := newReliableHarness(t)
 	content := []byte("EC-Lab ASCII FILE\nmode 2\n")

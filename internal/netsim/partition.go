@@ -1,0 +1,17 @@
+package netsim
+
+// Partition severs the named hub: new dials whose path crosses it
+// fail with ErrHubDown and established connections traversing it are
+// aborted. Taking down the WAN hub between two facility LANs models
+// the cross-facility partition of the cluster drills — each side's
+// local traffic keeps flowing while everything between them goes
+// dark.
+func (n *Network) Partition(hubName string) error {
+	return n.SetHubDown(hubName, true)
+}
+
+// Heal restores a hub severed by Partition. Connections killed while
+// it was down stay dead; callers redial.
+func (n *Network) Heal(hubName string) error {
+	return n.SetHubDown(hubName, false)
+}

@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"ice/internal/netsim"
+	"ice/internal/sched"
+)
+
+// The drills run two facility gateways over a simulated WAN:
+//
+//	user-a  icegated-a  lab-a            lab-b  icegated-b  user-b
+//	   \        |        /                 \        |        /
+//	    [lan-a hub] -- edge-a -- [wan hub] -- edge-b -- [lan-b hub]
+//
+// Taking the wan hub down partitions the facilities from each other
+// while each LAN keeps working — the exact failure the cluster must
+// degrade through without split-brain.
+const (
+	gwPort    = 9700
+	probePort = 7
+
+	hostGwA   = "icegated-a"
+	hostGwB   = "icegated-b"
+	hostLabA  = "lab-a"
+	hostLabB  = "lab-b"
+	hostUserA = "user-a"
+	hostUserB = "user-b"
+
+	urlGwA = "http://icegated-a:9700"
+	urlGwB = "http://icegated-b:9700"
+)
+
+// newFabric builds the two-facility WAN topology.
+func newFabric(t *testing.T) *netsim.Network {
+	t.Helper()
+	nw := netsim.New()
+	steps := []error{
+		nw.AddHub("lan-a", 200*time.Microsecond, 0),
+		nw.AddHub("wan", 2*time.Millisecond, 0),
+		nw.AddHub("lan-b", 200*time.Microsecond, 0),
+		nw.AddGateway("edge-a", "lan-a", "wan"),
+		nw.AddGateway("edge-b", "lan-b", "wan"),
+		nw.AddHost(hostGwA, "lan-a"),
+		nw.AddHost(hostGwB, "lan-b"),
+		nw.AddHost(hostLabA, "lan-a"),
+		nw.AddHost(hostLabB, "lan-b"),
+		nw.AddHost(hostUserA, "lan-a"),
+		nw.AddHost(hostUserB, "lan-b"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+// labProbeTarget runs a bare accept-and-close listener on a lab host:
+// the fencing probe's "is the facility alive" signal.
+func labProbeTarget(t *testing.T, nw *netsim.Network, host string) {
+	t.Helper()
+	lis, err := nw.Listen(host, probePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+}
+
+// probeVia returns a fencing probe that dials a lab host from the
+// node's own gateway host, across the simulated fabric.
+func probeVia(nw *netsim.Network, fromHost, labHost string) func(ctx context.Context) error {
+	addr := net.JoinHostPort(labHost, fmt.Sprintf("%d", probePort))
+	return func(ctx context.Context) error {
+		c, err := nw.Dial(fromHost, addr)
+		if err != nil {
+			return err
+		}
+		c.Close()
+		return nil
+	}
+}
+
+// nsTransport carries a node's peer traffic over the simulated WAN.
+// Keep-alives are off so a healed partition never reuses a connection
+// the hub outage already aborted.
+func nsTransport(nw *netsim.Network, fromHost string) http.RoundTripper {
+	return &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			return nw.Dial(fromHost, addr)
+		},
+		DisableKeepAlives: true,
+	}
+}
+
+// nsClient is an HTTP client originating at a user host.
+func nsClient(nw *netsim.Network, fromHost string) *http.Client {
+	return &http.Client{
+		Transport: nsTransport(nw, fromHost),
+		Timeout:   15 * time.Second,
+	}
+}
+
+// serveNode exposes a node over the simulated network.
+func serveNode(t *testing.T, nw *netsim.Network, host string, node *Node) *http.Server {
+	t.Helper()
+	lis, err := nw.Listen(host, gwPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: node}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// submitJob POSTs a spec to a gateway and returns the admitted job.
+func submitJob(t *testing.T, client *http.Client, base string, spec sched.JobSpec) sched.Job {
+	t.Helper()
+	job, status, err := trySubmit(client, base, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusAccepted {
+		t.Fatalf("submit to %s = HTTP %d, want 202", base, status)
+	}
+	return job
+}
+
+// trySubmit POSTs a spec and reports the status code without failing
+// the test — partition drills expect rejections.
+func trySubmit(client *http.Client, base string, spec sched.JobSpec) (sched.Job, int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return sched.Job{}, 0, err
+	}
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sched.Job{}, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return sched.Job{}, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return sched.Job{}, resp.StatusCode, nil
+	}
+	var job sched.Job
+	if err := json.Unmarshal(data, &job); err != nil {
+		return sched.Job{}, resp.StatusCode, fmt.Errorf("decode submit response: %w (%s)", err, data)
+	}
+	return job, resp.StatusCode, nil
+}
+
+// fetchJob GETs a job's status through a gateway.
+func fetchJob(client *http.Client, base, id string) (sched.Job, int, error) {
+	resp, err := client.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return sched.Job{}, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return sched.Job{}, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sched.Job{}, resp.StatusCode, nil
+	}
+	var job sched.Job
+	if err := json.Unmarshal(data, &job); err != nil {
+		return sched.Job{}, resp.StatusCode, err
+	}
+	return job, resp.StatusCode, nil
+}
+
+// awaitJobDone polls a gateway until the job reaches a terminal state.
+func awaitJobDone(t *testing.T, client *http.Client, base, id string, within time.Duration) sched.Job {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	var last sched.Job
+	var lastStatus int
+	for time.Now().Before(deadline) {
+		job, status, err := fetchJob(client, base, id)
+		if err == nil && status == http.StatusOK {
+			last, lastStatus = job, status
+			if job.State.Terminal() {
+				return job
+			}
+		} else if err == nil {
+			lastStatus = status
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("job %s not terminal within %s via %s (last state %q, HTTP %d)",
+		id, within, base, last.State, lastStatus)
+	return sched.Job{}
+}
+
+// awaitTrue polls a condition with a deadline.
+func awaitTrue(t *testing.T, within time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("condition %q not reached within %s", what, within)
+}
+
+// grabRunner wraps a runner and captures each job's context so a crash
+// seam can wait for the kill to land (mirrors the single-facility
+// recovery drill's idiom).
+type grabRunner struct {
+	inner sched.Runner
+	mu    sync.Mutex
+	ctxs  map[string]context.Context
+}
+
+func newGrabRunner(inner sched.Runner) *grabRunner {
+	return &grabRunner{inner: inner, ctxs: make(map[string]context.Context)}
+}
+
+func (r *grabRunner) Run(ctx context.Context, job sched.Job, emit func(string, string)) (json.RawMessage, error) {
+	r.mu.Lock()
+	r.ctxs[job.ID] = ctx
+	r.mu.Unlock()
+	return r.inner.Run(ctx, job, emit)
+}
+
+func (r *grabRunner) ctx(id string) context.Context {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctxs[id]
+}

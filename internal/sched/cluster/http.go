@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ice/internal/sched"
+)
+
+// maxReplicateBytes bounds a replication batch body.
+const maxReplicateBytes = 8 << 20
+
+// stateMsg is the node's advertised cluster state: heartbeat payload,
+// heartbeat response, and GET /v1/cluster/state body.
+type stateMsg struct {
+	Facility string            `json:"facility"`
+	Term     uint64            `json:"term"`
+	Seq      uint64            `json:"seq"`
+	Leading  map[string]uint64 `json:"leading"`
+	// Adopted lists, per foreign facility this node leads, the live
+	// job IDs it adopted — a restarting gateway disowns exactly these.
+	Adopted map[string][]string `json:"adopted,omitempty"`
+}
+
+// state snapshots the node's advertisement.
+func (n *Node) state() stateMsg {
+	n.mu.Lock()
+	leading := make(map[string]uint64, len(n.leading))
+	for fac, term := range n.leading {
+		leading[fac] = term
+	}
+	term := n.leading[n.cfg.Facility]
+	n.mu.Unlock()
+
+	adopted := make(map[string][]string)
+	for _, job := range n.sch.Jobs() {
+		if job.State.Terminal() {
+			continue
+		}
+		fac := facilityOfJob(job.ID)
+		if fac == "" || fac == n.cfg.Facility {
+			continue
+		}
+		adopted[fac] = append(adopted[fac], job.ID)
+	}
+	return stateMsg{
+		Facility: n.cfg.Facility,
+		Term:     term,
+		Seq:      n.sch.WAL().LastSeq(),
+		Leading:  leading,
+		Adopted:  adopted,
+	}
+}
+
+func (n *Node) handleState(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.state())
+}
+
+// handleHeartbeat receives a peer's state and answers with ours; both
+// sides learn liveness and leadership from the exchange.
+func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var msg stateMsg
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&msg); err != nil {
+		writeError(w, http.StatusBadRequest, "decode heartbeat: "+err.Error())
+		return
+	}
+	if msg.Facility == "" || !n.knowsPeer(msg.Facility) {
+		writeError(w, http.StatusBadRequest, "unknown peer facility")
+		return
+	}
+	n.observeState(msg.Facility, msg)
+	writeJSON(w, http.StatusOK, n.state())
+}
+
+// handleReplicate persists a peer's replication batch and returns the
+// acknowledged high-water mark.
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var batch repBatch
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxReplicateBytes)).Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "decode batch: "+err.Error())
+		return
+	}
+	if batch.From == "" || !n.knowsPeer(batch.From) {
+		writeError(w, http.StatusBadRequest, "unknown peer facility")
+		return
+	}
+	acked, err := n.store.Apply(batch.From, batch.Items)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	n.markSeen(batch.From)
+	writeJSON(w, http.StatusOK, repAck{Acked: acked})
+}
+
+func (n *Node) knowsPeer(facility string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.peers[facility]
+	return ok
+}
+
+// route is the federated front door: submissions go to the target
+// facility's leader, job queries follow the ID's facility prefix,
+// and everything else is local.
+func (n *Node) route(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+		n.routeSubmit(w, r)
+		return
+	}
+	if rest, ok := strings.CutPrefix(r.URL.Path, "/v1/jobs/"); ok && rest != "" {
+		id := rest
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			id = rest[:i]
+		}
+		n.routeJob(w, r, id)
+		return
+	}
+	n.gw.ServeHTTP(w, r)
+}
+
+// routeSubmit decodes the spec, pins its facility (empty means the
+// facility it was submitted to), and either admits locally or
+// forwards to the facility's current leader.
+func (n *Node) routeSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, sched.MaxJobSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	spec, err := sched.DecodeJobSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if spec.Facility == "" {
+		spec.Facility = n.cfg.Facility
+	}
+	rewritten, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(rewritten))
+	r.ContentLength = int64(len(rewritten))
+
+	if n.leads(spec.Facility) {
+		n.gw.ServeHTTP(w, r)
+		return
+	}
+	ps, status := n.leaderPeer(spec.Facility)
+	if ps == nil {
+		n.writeUnavailable(w, fmt.Sprintf("facility %s %s", spec.Facility, status))
+		return
+	}
+	ps.proxy.ServeHTTP(w, r)
+}
+
+// routeJob serves a job-scoped request (status, events, cancel)
+// locally when the job is known here, otherwise proxies to the
+// facility leader the ID's prefix names.
+func (n *Node) routeJob(w http.ResponseWriter, r *http.Request, id string) {
+	if _, ok := n.sch.Job(id); ok {
+		n.gw.ServeHTTP(w, r)
+		return
+	}
+	fac := facilityOfJob(id)
+	if fac == "" || fac == n.cfg.Facility || n.leads(fac) {
+		n.gw.ServeHTTP(w, r) // ours (404s naturally if truly unknown)
+		return
+	}
+	ps, status := n.leaderPeer(fac)
+	if ps == nil {
+		n.writeUnavailable(w, fmt.Sprintf("facility %s %s", fac, status))
+		return
+	}
+	ps.proxy.ServeHTTP(w, r)
+}
+
+// leads reports whether this node currently leads the facility.
+func (n *Node) leads(facility string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.leading[facility]
+	return ok
+}
+
+// leaderPeer resolves the reachable peer currently serving a
+// facility: a peer explicitly leading it (possibly a third facility
+// that adopted it), else the facility's own gateway when reachable.
+// A nil result carries the reason ("partitioned" vs "unreachable")
+// for the 503 body.
+func (n *Node) leaderPeer(facility string) (*peerState, string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ps := range n.peers {
+		if _, ok := ps.leading[facility]; ok && ps.reachable {
+			return ps, ""
+		}
+	}
+	if ps, ok := n.peers[facility]; ok {
+		if ps.reachable {
+			return ps, ""
+		}
+		if ps.partitioned {
+			return nil, "unreachable (partitioned)"
+		}
+		return nil, "unreachable"
+	}
+	return nil, "unknown"
+}
+
+// writeUnavailable answers 503 + Retry-After: the facility exists but
+// cannot be reached from here right now — the caller should back off
+// and retry (or resubmit to the surviving peer directly).
+func (n *Node) writeUnavailable(w http.ResponseWriter, msg string) {
+	secs := int(n.cfg.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, struct {
+		Error      string  `json:"error"`
+		RetryAfter float64 `json:"retry_after_s"`
+	}{Error: msg, RetryAfter: n.cfg.RetryAfter.Seconds()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}

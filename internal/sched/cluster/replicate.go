@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"ice/internal/sched"
+)
+
+// Replication item kinds.
+const (
+	kindWAL     = "wal"
+	kindJournal = "journal"
+)
+
+// repItem is one replicated unit: a WAL record or a workflow
+// checkpoint journal line, stamped with a per-origin monotonic
+// replication sequence so replicas deduplicate retransmissions.
+type repItem struct {
+	RepSeq uint64           `json:"rep_seq"`
+	Kind   string           `json:"kind"`
+	WAL    *sched.WALRecord `json:"wal,omitempty"`
+	Job    string           `json:"job,omitempty"`
+	Line   json.RawMessage  `json:"line,omitempty"`
+}
+
+// repBatch is the POST /v1/cluster/replicate body.
+type repBatch struct {
+	From  string    `json:"from"`
+	Items []repItem `json:"items"`
+}
+
+// repAck is the replicate response: the highest replication sequence
+// the replica has fsynced.
+type repAck struct {
+	Acked uint64 `json:"acked"`
+}
+
+// repPeer is the outbound cursor towards one peer.
+type repPeer struct {
+	url   string
+	acked uint64
+	up    bool
+	// sendMu serialises pushes to this peer so batches arrive in
+	// order even when several appenders mirror concurrently.
+	sendMu sync.Mutex
+}
+
+// replicator ships the node's WAL records and checkpoint lines to
+// its peers. While a peer is up, mirror calls block until the peer
+// acknowledges — synchronous replication, the admission/checkpoint
+// is not confirmed before the copy is durable remotely. While a peer
+// is down (crash or partition), items accumulate and flush when the
+// peer returns; mirror never fails the local operation, so a
+// partition degrades replication to async catch-up instead of
+// halting the facility.
+type replicator struct {
+	from    string
+	client  *http.Client
+	timeout time.Duration
+
+	mu    sync.Mutex
+	next  uint64
+	items []repItem
+	peers map[string]*repPeer
+}
+
+func newReplicator(client *http.Client, from string, timeout time.Duration) *replicator {
+	return &replicator{
+		from:    from,
+		client:  client,
+		timeout: timeout,
+		peers:   make(map[string]*repPeer),
+	}
+}
+
+func (r *replicator) addPeer(facility, baseURL string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peers[facility] = &repPeer{url: baseURL}
+}
+
+// mirrorWAL replicates one WAL record (the sched.Config.WALMirror
+// hook).
+func (r *replicator) mirrorWAL(rec sched.WALRecord) error {
+	return r.mirror(repItem{Kind: kindWAL, WAL: &rec})
+}
+
+// mirrorJournal replicates one checkpoint journal line.
+func (r *replicator) mirrorJournal(jobID string, line []byte) error {
+	return r.mirror(repItem{Kind: kindJournal, Job: jobID, Line: line})
+}
+
+func (r *replicator) mirror(it repItem) error {
+	r.mu.Lock()
+	r.next++
+	it.RepSeq = r.next
+	r.items = append(r.items, it)
+	targets := make([]*repPeer, 0, len(r.peers))
+	for _, p := range r.peers {
+		if p.up {
+			targets = append(targets, p)
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range targets {
+		r.push(p) // degraded-mode errors mark the peer down, never fail the mirror
+	}
+	return nil
+}
+
+// push sends the peer's unacknowledged suffix and advances its
+// cursor. On any transport failure the peer is marked down; the
+// node's heartbeat monitor marks it up again, which re-runs push as
+// the catch-up flush.
+func (r *replicator) push(p *repPeer) {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	for {
+		r.mu.Lock()
+		var batch []repItem
+		for _, it := range r.items {
+			if it.RepSeq > p.acked {
+				batch = append(batch, it)
+			}
+		}
+		r.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		ack, err := r.send(p.url, batch)
+		r.mu.Lock()
+		if err != nil {
+			p.up = false
+			r.mu.Unlock()
+			return
+		}
+		if ack > p.acked {
+			p.acked = ack
+		}
+		done := p.acked >= r.next
+		r.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}
+
+func (r *replicator) send(baseURL string, items []repItem) (uint64, error) {
+	body, err := json.Marshal(repBatch{From: r.from, Items: items})
+	if err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/cluster/replicate", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("replicate: %s", resp.Status)
+	}
+	var ack repAck
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&ack); err != nil {
+		return 0, err
+	}
+	return ack.Acked, nil
+}
+
+// markUp flips a peer's replication link and, when it just came back,
+// flushes the backlog accumulated while it was away.
+func (r *replicator) markUp(facility string, up bool) {
+	r.mu.Lock()
+	p, ok := r.peers[facility]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	was := p.up
+	p.up = up
+	r.mu.Unlock()
+	if up && !was {
+		r.push(p)
+	}
+}
+
+// lag is the number of items not yet acknowledged by every peer.
+func (r *replicator) lag() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	min := r.next
+	for _, p := range r.peers {
+		if p.acked < min {
+			min = p.acked
+		}
+	}
+	return int64(r.next - min)
+}

@@ -28,9 +28,26 @@ import (
 //	GET  /v1/traces           stored trace summaries, newest first
 //	GET  /v1/traces/{id}      one trace: spans + critical-path breakdown
 type Gateway struct {
-	S   *Scheduler
-	reg *telemetry.Registry
-	mux *http.ServeMux
+	S     *Scheduler
+	reg   *telemetry.Registry
+	mux   *http.ServeMux
+	ready func() ReadyStatus
+}
+
+// ReadyStatus is GET /v1/readyz: whether this gateway is serving its
+// facility, in which role, and how far its replication stream lags.
+// A standalone gateway is always the leader of its own (unnamed)
+// facility with no replication; a cluster node installs its own
+// provider with SetReady.
+type ReadyStatus struct {
+	Ready    bool   `json:"ready"`
+	Role     string `json:"role"` // "leader" or "replica"
+	Facility string `json:"facility,omitempty"`
+	Term     uint64 `json:"term,omitempty"`
+	// ReplicationLag counts records accepted locally but not yet
+	// acknowledged by all peers (0 when fully replicated).
+	ReplicationLag int64           `json:"replication_lag"`
+	Peers          map[string]bool `json:"peers,omitempty"`
 }
 
 // NewGateway wires the routes and assembles the metrics registry: the
@@ -50,7 +67,43 @@ func NewGateway(s *Scheduler) *Gateway {
 	g.mux.HandleFunc("GET /v1/metrics", g.metrics)
 	g.mux.HandleFunc("GET /v1/traces", g.traces)
 	g.mux.HandleFunc("GET /v1/traces/{id}", g.traceByID)
+	g.mux.HandleFunc("GET /v1/healthz", g.healthz)
+	g.mux.HandleFunc("GET /v1/readyz", g.readyz)
 	return g
+}
+
+// Registry returns the gateway's metrics registry; a cluster node
+// adds its replication/leadership gauges to it so /v1/metrics and
+// /v1/readyz tell one coherent story.
+func (g *Gateway) Registry() *telemetry.Registry { return g.reg }
+
+// SetReady installs the readiness provider (cluster role, term,
+// replication lag). Without one, readyz reports a standalone leader
+// whose lag comes from the collector's cluster.replication.lag gauge
+// (zero when no cluster is attached).
+func (g *Gateway) SetReady(f func() ReadyStatus) { g.ready = f }
+
+// healthz is pure liveness: the process is up and answering.
+func (g *Gateway) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK bool `json:"ok"`
+	}{OK: true})
+}
+
+// readyz reports role and replication health; 503 while not ready so
+// load balancers and peers stop routing here.
+func (g *Gateway) readyz(w http.ResponseWriter, r *http.Request) {
+	st := ReadyStatus{Ready: true, Role: "leader"}
+	if g.ready != nil {
+		st = g.ready()
+	} else {
+		st.ReplicationLag = g.S.Metrics().GaugeValue("cluster.replication.lag")
+	}
+	code := http.StatusOK
+	if !st.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
 }
 
 // traceSource exposes the tracer's counters as metric series.

@@ -59,6 +59,12 @@ type JobSpec struct {
 	// Priority orders a tenant's own jobs (0–9, higher first). It does
 	// not jump the fair-share ordering across tenants.
 	Priority int `json:"priority,omitempty"`
+	// Facility targets the experiment at a specific facility's
+	// instruments in a federated cluster. Empty means the facility of
+	// the gateway the job was submitted to; a foreign facility makes
+	// the receiving gateway forward the job to that facility's leader
+	// and proxy status/SSE back to the submitter.
+	Facility string `json:"facility,omitempty"`
 	// ScanRateMVs and Points parameterise a cv job.
 	ScanRateMVs float64 `json:"scan_rate_mvs,omitempty"`
 	Points      int     `json:"points,omitempty"`
@@ -103,6 +109,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Priority < 0 || s.Priority > maxPriority {
 		return fmt.Errorf("sched: priority %d outside 0..%d", s.Priority, maxPriority)
+	}
+	if err := validateName("facility", s.Facility, maxLabelLen, false); err != nil {
+		return err
 	}
 	switch s.Kind {
 	case KindCV:

@@ -203,6 +203,17 @@ type LabRunner struct {
 	// is journaled, synchronously — crash drills use it to cut the
 	// daemon down at an exact task boundary.
 	OnTask func(jobID string, rec workflow.TaskRecord)
+	// Resources overrides the instrument lease names the runner's gates
+	// contend on (default: the shared sp200/jkem pair). A cluster node
+	// scopes them per facility ("facA/sp200/ch1") so adopted foreign
+	// jobs never collide with local ones in the lease table.
+	Resources []string
+	// MirrorJournal, when set, replicates each workflow checkpoint line
+	// to the cluster's peer(s) synchronously — the workflow engine does
+	// not proceed past a task boundary until the checkpoint is
+	// acknowledged remotely, which is what makes exactly-once resume
+	// after failover possible.
+	MirrorJournal func(jobID string, line []byte) error
 }
 
 // Run implements Runner.
@@ -230,12 +241,18 @@ type journalTee struct {
 	jobID  string
 	emit   func(string, string)
 	onTask func(string, workflow.TaskRecord)
+	mirror func(string, []byte) error
 }
 
 func (t *journalTee) Write(p []byte) (int, error) {
 	n, err := t.file.Write(p)
 	if err != nil {
 		return n, err
+	}
+	if t.mirror != nil {
+		if err := t.mirror(t.jobID, p); err != nil {
+			return n, fmt.Errorf("mirror journal: %w", err)
+		}
 	}
 	var rec workflow.TaskRecord
 	if jsonErr := json.Unmarshal(p, &rec); jsonErr == nil && rec.TaskID != "" {
@@ -280,9 +297,10 @@ func (r *LabRunner) runCV(ctx context.Context, job Job, emit func(string, string
 	}
 
 	gate := &InstrumentGate{
-		M:        r.Leases,
-		Holder:   job.ID,
-		TraceCtx: ctx,
+		M:         r.Leases,
+		Resources: r.Resources,
+		Holder:    job.ID,
+		TraceCtx:  ctx,
 		OnEvent: func(msg string) {
 			emit("lease", msg)
 		},
@@ -326,7 +344,7 @@ func (r *LabRunner) runCV(ctx context.Context, job Job, emit func(string, string
 		return nil, fmt.Errorf("open journal: %w", err)
 	}
 	defer journal.Close()
-	nb.SetJournal(&journalTee{file: journal, jobID: job.ID, emit: emit, onTask: r.OnTask})
+	nb.SetJournal(&journalTee{file: journal, jobID: job.ID, emit: emit, onTask: r.OnTask, mirror: r.MirrorJournal})
 
 	gate.Lock()
 	if err := ctx.Err(); err != nil {
@@ -377,9 +395,10 @@ func (r *LabRunner) runCampaign(ctx context.Context, job Job, emit func(string, 
 		points = 300
 	}
 	gate := &InstrumentGate{
-		M:        r.Leases,
-		Holder:   job.ID,
-		TraceCtx: ctx,
+		M:         r.Leases,
+		Resources: r.Resources,
+		Holder:    job.ID,
+		TraceCtx:  ctx,
 		OnEvent: func(msg string) {
 			emit("lease", msg)
 		},

@@ -59,6 +59,19 @@ type Config struct {
 	// installs one with a bounded in-memory store and flight recorder,
 	// so GET /v1/traces works out of the box.
 	Tracer *trace.Tracer
+	// IDPrefix namespaces job IDs (default "j", yielding "j-000042").
+	// A federated cluster node sets its facility name here, so IDs are
+	// collision-free fleet-wide and any gateway can route a status
+	// query from the ID alone.
+	IDPrefix string
+	// WALCommitWindow widens WAL group-commit batches: each fsync
+	// waits this long for more records. Zero fsyncs immediately (still
+	// batching whatever arrived while the previous fsync ran).
+	WALCommitWindow time.Duration
+	// WALMirror, when set, replicates every WAL record to the
+	// cluster's peer(s): it runs after the record is durable locally
+	// and before the append is acknowledged.
+	WALMirror func(WALRecord) error
 }
 
 // jobEntry is the scheduler's in-memory record of one job: its state,
@@ -128,10 +141,15 @@ func New(cfg Config) (*Scheduler, error) {
 			trace.WithRecorder(trace.NewRecorder(512)),
 		)
 	}
+	if cfg.IDPrefix == "" {
+		cfg.IDPrefix = "j"
+	}
 	wal, replayed, err := OpenWAL(cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
+	wal.SetCommitWindow(cfg.WALCommitWindow)
+	wal.SetMirror(cfg.WALMirror)
 	s := &Scheduler{
 		cfg:     cfg,
 		queue:   newFairQueue(cfg.QueueCapacity),
@@ -179,6 +197,99 @@ func (s *Scheduler) Tracer() *trace.Tracer { return s.tracer }
 // Dir returns the state directory (runners keep workflow journals
 // there).
 func (s *Scheduler) Dir() string { return s.cfg.Dir }
+
+// WAL returns the job store; a cluster node stamps leadership terms
+// and reads sequence positions through it.
+func (s *Scheduler) WAL() *WAL { return s.wal }
+
+// Recovered snapshots the WAL-replayed non-terminal jobs staged for
+// re-enqueue (valid between New and Start). A cluster node inspects
+// them at join time: jobs a peer already adopted are Disowned instead
+// of re-enqueued, so a job never runs at two facilities.
+func (s *Scheduler) Recovered() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.recovered))
+	for _, j := range s.recovered {
+		out = append(out, *j)
+	}
+	return out
+}
+
+// Disown drops a staged recovered job from the re-enqueue list (it
+// stays queryable with its replayed state). Must be called between
+// New and Start.
+func (s *Scheduler) Disown(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, j := range s.recovered {
+		if j.ID == id {
+			s.recovered = append(s.recovered[:i], s.recovered[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Adopt enqueues a foreign job reconstructed from a replicated peer
+// WAL after that peer's gateway died. The job keeps its identity —
+// ID, trace, tenant, attempt count — so its spans stitch into the
+// original trace and its workflow journal (installed into Dir by the
+// caller) resumes it exactly once. A job that had begun running on
+// the dead peer resumes; a queued one starts fresh.
+func (s *Scheduler) Adopt(job Job) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	if !s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("sched: adopt before start")
+	}
+	if _, dup := s.jobs[job.ID]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("sched: job %s already known", job.ID)
+	}
+	job.Resumed = job.Resumed || job.State == StateRunning
+	job.State = StatePending
+	entry := &jobEntry{job: job}
+	s.jobs[job.ID] = entry
+	s.mu.Unlock()
+
+	// Re-root into the job's persisted trace and mark the handoff: the
+	// stitched trace shows the crashed attempt and the adopted resume
+	// as one story, joined by the failover event.
+	span := s.rootSpan(&entry.job)
+	span.SetAttr("adopted", "true")
+	span.Event("cluster.failover", "job", job.ID)
+	queued := s.queuedSpan(span)
+	s.mu.Lock()
+	entry.span, entry.queued = span, queued
+	snapshot := entry.job
+	s.mu.Unlock()
+
+	limits := s.tenantLimits(snapshot.Tenant)
+	if !s.queue.Push(&entry.job, limits.weight()) {
+		s.mu.Lock()
+		delete(s.jobs, snapshot.ID)
+		s.mu.Unlock()
+		queued.End()
+		span.EndErr(fmt.Errorf("adoption rejected: queue full"))
+		return &Busy{Reason: "queue full", RetryAfter: s.cfg.RetryAfter}
+	}
+	s.metrics.Gauge("sched.queue.depth").Inc()
+	s.metrics.Counter("sched.jobs.adopted").Inc()
+	s.emit(snapshot.ID, "adopted", fmt.Sprintf("adopted from failed peer gateway (attempt %d begun before crash)", snapshot.Attempts))
+	return s.wal.Append(WALRecord{
+		Job:     snapshot.ID,
+		Tenant:  snapshot.Tenant,
+		State:   StatePending,
+		Spec:    &snapshot.Spec,
+		TraceID: snapshot.TraceID,
+		Attempt: snapshot.Attempts,
+	})
+}
 
 // Start launches the worker pool and re-enqueues jobs recovered from
 // the WAL.
@@ -272,7 +383,7 @@ func (s *Scheduler) Submit(spec JobSpec) (Job, error) {
 	s.mu.Lock()
 	s.nextSeq++
 	job := Job{
-		ID:                fmt.Sprintf("j-%06d", s.nextSeq),
+		ID:                fmt.Sprintf("%s-%06d", s.cfg.IDPrefix, s.nextSeq),
 		Tenant:            spec.Tenant,
 		Spec:              spec,
 		State:             StatePending,

@@ -12,8 +12,6 @@ import (
 	"strings"
 	"sync"
 	"time"
-
-	"ice/internal/core"
 )
 
 // WALFileName is the job store's file inside the gateway's state
@@ -26,6 +24,17 @@ const WALFileName = "icegated_jobs.jsonl"
 type WALRecord struct {
 	// TimeUnixNano is the transition wall time.
 	TimeUnixNano int64 `json:"t,omitempty"`
+	// Seq is the record's position in this WAL stream, assigned by
+	// Append. Replication ships records with their sequence numbers so
+	// a replica can deduplicate retransmissions and order a merge
+	// deterministically; replay drops duplicate sequences, keeping the
+	// highest-term occurrence.
+	Seq uint64 `json:"seq,omitempty"`
+	// Term is the leadership term the record was written under. A
+	// facility's term increases by one at every failover/handback, so
+	// after a partition heals, conflicting records for the same
+	// sequence resolve to the higher term.
+	Term uint64 `json:"term,omitempty"`
 	// Job is the job ID.
 	Job string `json:"job"`
 	// Tenant identifies the submitter (on the PENDING record).
@@ -46,12 +55,53 @@ type WALRecord struct {
 	Error string `json:"error,omitempty"`
 }
 
+// WALStats counts append and fsync activity; the group-commit test
+// asserts Syncs stays well below Appends under concurrent load.
+type WALStats struct {
+	// Appends is the number of records durably acknowledged.
+	Appends int64
+	// Syncs is the number of fsync calls issued — one per commit batch.
+	Syncs int64
+}
+
+// walBatch is one group-commit unit: the concatenated JSON lines of
+// every record that joined while the previous batch was on its way to
+// disk (or during the commit window), flushed with a single fsync.
+type walBatch struct {
+	buf  []byte
+	done chan struct{}
+	err  error
+	// leader marks that an appender has taken responsibility for
+	// flushing this batch; later arrivals just wait on done.
+	leader bool
+}
+
 // WAL is the append-only, fsynced job journal. Every Append survives
 // a kill -9 of the daemon; OpenWAL replays what the previous
 // incarnation had admitted.
+//
+// Appends are group-committed: the first appender of a batch becomes
+// its leader, waits out the (optional) commit window, and flushes the
+// batch with one write+fsync while followers block on the batch's
+// done channel. While a flush is in flight, new appenders form the
+// next batch — so under concurrency one fsync serves many records,
+// without weakening durability: Append still returns only after the
+// record's batch is on disk (and, when a mirror is attached, after
+// the mirror has acknowledged it).
 type WAL struct {
-	mu sync.Mutex
-	f  *core.AppendFile
+	// fileMu serialises batch flushes in batch-creation order; a new
+	// batch can only form after the previous one detached, and its
+	// leader cannot write until the previous flush finished.
+	fileMu sync.Mutex
+
+	mu     sync.Mutex
+	f      *os.File
+	cur    *walBatch
+	seq    uint64
+	term   uint64
+	window time.Duration
+	mirror func(WALRecord) error
+	stats  WALStats
 }
 
 // OpenWAL opens (creating if needed) the job store under dir and
@@ -61,9 +111,9 @@ func OpenWAL(dir string) (*WAL, []*Job, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("sched: wal dir: %w", err)
 	}
-	var jobs []*Job
+	var recs []WALRecord
 	if f, err := os.Open(filepath.Join(dir, WALFileName)); err == nil {
-		jobs, err = ReplayWAL(f)
+		recs, err = ReadWALRecords(f)
 		f.Close()
 		if err != nil {
 			return nil, nil, err
@@ -71,54 +121,196 @@ func OpenWAL(dir string) (*WAL, []*Job, error) {
 	} else if !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("sched: open wal: %w", err)
 	}
-	af, err := core.OpenAppendFile(dir, WALFileName)
+	f, err := os.OpenFile(filepath.Join(dir, WALFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sched: append wal: %w", err)
 	}
-	return &WAL{f: af}, jobs, nil
+	w := &WAL{f: f}
+	for _, rec := range recs {
+		if rec.Seq > w.seq {
+			w.seq = rec.Seq
+		}
+		if rec.Term > w.term {
+			w.term = rec.Term
+		}
+	}
+	return w, FoldWALRecords(recs), nil
 }
 
-// Append writes one fsynced record.
+// SetCommitWindow widens group-commit batches: a batch leader waits
+// this long for more records before flushing. Zero (the default)
+// flushes immediately — batching still happens naturally while a
+// previous flush is in flight.
+func (w *WAL) SetCommitWindow(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.window = d
+}
+
+// SetTerm stamps subsequent records with the given leadership term.
+func (w *WAL) SetTerm(term uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.term = term
+}
+
+// Term returns the current leadership term.
+func (w *WAL) Term() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.term
+}
+
+// LastSeq returns the sequence number of the most recent record.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// SetMirror attaches the replication hook: it is called with every
+// record, after the record is durable locally and before Append
+// returns — a cluster node uses it to replicate the record to its
+// peer(s) synchronously, so admission is only confirmed once the
+// record is acknowledged remotely (or the replicator has explicitly
+// degraded to async catch-up during a partition).
+func (w *WAL) SetMirror(mirror func(WALRecord) error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.mirror = mirror
+}
+
+// Stats returns append/fsync counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Append writes one record, returning after it is fsynced (as part of
+// a group-commit batch) and mirrored.
 func (w *WAL) Append(rec WALRecord) error {
 	if rec.TimeUnixNano == 0 {
 		rec.TimeUnixNano = time.Now().UnixNano()
 	}
-	line, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("sched: encode wal record: %w", err)
-	}
-	line = append(line, '\n')
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.f == nil {
+		w.mu.Unlock()
 		return fmt.Errorf("sched: wal closed")
 	}
-	if _, err := w.f.Write(line); err != nil {
-		return fmt.Errorf("sched: append wal: %w", err)
+	w.seq++
+	rec.Seq = w.seq
+	if rec.Term == 0 {
+		rec.Term = w.term
+	}
+	mirror := w.mirror
+	line, err := json.Marshal(rec)
+	if err != nil {
+		w.seq--
+		w.mu.Unlock()
+		return fmt.Errorf("sched: encode wal record: %w", err)
+	}
+	if w.cur == nil {
+		w.cur = &walBatch{done: make(chan struct{})}
+	}
+	b := w.cur
+	b.buf = append(b.buf, line...)
+	b.buf = append(b.buf, '\n')
+	lead := !b.leader
+	b.leader = true
+	window := w.window
+	w.mu.Unlock()
+
+	if lead {
+		if window > 0 {
+			time.Sleep(window)
+		}
+		w.flushBatch(b)
+	} else {
+		<-b.done
+	}
+	if b.err != nil {
+		return fmt.Errorf("sched: append wal: %w", b.err)
+	}
+	w.mu.Lock()
+	w.stats.Appends++
+	w.mu.Unlock()
+	if mirror != nil {
+		if err := mirror(rec); err != nil {
+			return fmt.Errorf("sched: mirror wal record: %w", err)
+		}
 	}
 	return nil
 }
 
-// Close releases the journal file.
-func (w *WAL) Close() error {
+// flushBatch detaches b (if still current) and commits it with one
+// write+fsync. fileMu guarantees batches hit the file in creation
+// order.
+func (w *WAL) flushBatch(b *walBatch) {
+	w.fileMu.Lock()
+	defer w.fileMu.Unlock()
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.f == nil {
-		return nil
+	if w.cur == b {
+		w.cur = nil
 	}
-	err := w.f.Close()
-	w.f = nil
-	return err
+	f := w.f
+	w.mu.Unlock()
+	select {
+	case <-b.done:
+		return // already flushed (by Close)
+	default:
+	}
+	if f == nil {
+		b.err = fmt.Errorf("wal closed")
+	} else {
+		if _, err := f.Write(b.buf); err != nil {
+			b.err = err
+		} else if err := f.Sync(); err != nil {
+			b.err = err
+		}
+		w.mu.Lock()
+		w.stats.Syncs++
+		w.mu.Unlock()
+	}
+	close(b.done)
 }
 
-// ReplayWAL folds a journal into each job's latest state, in
-// first-submission order. A truncated trailing line — the signature
-// of a crash mid-append — is tolerated and dropped; corruption
-// anywhere else is an error, because silently skipping interior
-// records could resurrect an already-completed job.
-func ReplayWAL(r io.Reader) ([]*Job, error) {
-	byID := make(map[string]*Job)
-	var order []string
+// Close flushes any pending batch and releases the journal file.
+func (w *WAL) Close() error {
+	w.fileMu.Lock()
+	w.mu.Lock()
+	b := w.cur
+	w.cur = nil
+	f := w.f
+	w.f = nil
+	w.mu.Unlock()
+	if b != nil && f != nil {
+		if _, err := f.Write(b.buf); err != nil {
+			b.err = err
+		} else if err := f.Sync(); err != nil {
+			b.err = err
+		}
+		w.mu.Lock()
+		w.stats.Syncs++
+		w.mu.Unlock()
+		close(b.done)
+	} else if b != nil {
+		b.err = fmt.Errorf("wal closed")
+		close(b.done)
+	}
+	w.fileMu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f.Close()
+}
+
+// ReadWALRecords parses a journal into its records. A truncated
+// trailing line — the signature of a crash mid-append — is tolerated
+// and dropped; corruption anywhere else is an error, because silently
+// skipping interior records could resurrect an already-completed job.
+func ReadWALRecords(r io.Reader) ([]WALRecord, error) {
+	var recs []WALRecord
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
@@ -142,6 +334,56 @@ func ReplayWAL(r io.Reader) ([]*Job, error) {
 			pendingErr = fmt.Errorf("sched: wal line %d: record without job id", line)
 			continue
 		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sched: read wal: %w", err)
+	}
+	return recs, nil
+}
+
+// ReplayWAL folds a journal into each job's latest state, in
+// first-submission order.
+func ReplayWAL(r io.Reader) ([]*Job, error) {
+	recs, err := ReadWALRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	return FoldWALRecords(recs), nil
+}
+
+// FoldWALRecords merges a record stream into each job's latest state,
+// in first-submission order. The fold is deterministic even when the
+// stream is a post-partition merge of two divergent histories:
+//
+//   - records are ordered by sequence number (legacy records without
+//     one keep their file position, which sorts them first — they can
+//     only come from a pre-federation WAL prefix);
+//   - duplicate sequence numbers — retransmissions, or the same slot
+//     written under two leaders across a partition — collapse to one
+//     winner: the highest term, ties broken by the later occurrence
+//     (last-writer-wins, safe because duplicated slots only ever carry
+//     idempotent status records for the same job).
+func FoldWALRecords(recs []WALRecord) []*Job {
+	ordered := make([]WALRecord, len(recs))
+	copy(ordered, recs)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Seq < ordered[j].Seq })
+
+	byID := make(map[string]*Job)
+	var order []string
+	// winner per duplicated sequence slot: highest term, then latest.
+	lastTerm := make(map[uint64]uint64)
+	for _, rec := range ordered {
+		if rec.Seq != 0 {
+			if t, dup := lastTerm[rec.Seq]; !dup || rec.Term >= t {
+				lastTerm[rec.Seq] = rec.Term
+			}
+		}
+	}
+	for _, rec := range ordered {
+		if rec.Seq != 0 && rec.Term < lastTerm[rec.Seq] {
+			continue // lost the slot to a higher term
+		}
 		job, ok := byID[rec.Job]
 		if !ok {
 			job = &Job{ID: rec.Job}
@@ -150,14 +392,11 @@ func ReplayWAL(r io.Reader) ([]*Job, error) {
 		}
 		applyRecord(job, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("sched: read wal: %w", err)
-	}
 	jobs := make([]*Job, 0, len(order))
 	for _, id := range order {
 		jobs = append(jobs, byID[id])
 	}
-	return jobs, nil
+	return jobs
 }
 
 // applyRecord folds one transition into the job.

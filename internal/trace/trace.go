@@ -34,6 +34,7 @@ const (
 	ClassAnalysis   = "analysis"   // parsing, CV analysis, ML
 	ClassSched      = "sched"      // queueing, lease waits
 	ClassControl    = "control"    // pyro RPCs on the control channel
+	ClassCluster    = "cluster"    // gateway federation: replication, failover, partitions
 )
 
 // SpanContext identifies a span's position in a trace. It is what
