@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-parallel-quick fuzz gateway-smoke trace-smoke cluster-smoke
+.PHONY: all build vet test race bench bench-parallel bench-parallel-quick fuzz gateway-smoke trace-smoke cluster-smoke health-smoke
 
 all: build vet test
 
@@ -48,6 +48,16 @@ trace-smoke:
 # cluster_smoke_state/ (CI uploads them when the drill fails).
 cluster-smoke:
 	$(GO) run ./cmd/icegated -cluster-smoke
+
+# Instrument-health acceptance drill: the simulated potentiostat
+# wedges mid-acquisition; the breaker must quarantine it, fence the
+# wedged run with an emergency abort, checkpoint-requeue the job,
+# recover via a half-open probe and finish exactly once (audit
+# verified, goroutine-leak checked). An unmeetable deadline_ms must be
+# rejected at admission with 503 + Retry-After. State and the trace
+# JSONL land in health_smoke_state/ (CI uploads them on failure).
+health-smoke:
+	$(GO) run ./cmd/icegated -health-smoke
 
 fuzz:
 	for pkg in $$($(GO) list ./...); do \

@@ -35,7 +35,7 @@ import (
 // the next endpoint before sleeping (so a surviving peer answers
 // immediately after a failover), and 429 responses honor the
 // gateway's Retry-After hint in place.
-func runGateway(ctx context.Context, gateways, verb string, args []string, tenant string, scanRate float64) {
+func runGateway(ctx context.Context, gateways, verb string, args []string, tenant string, scanRate float64, deadline time.Duration) {
 	gc, err := newGatewayClient(gateways)
 	if err != nil {
 		log.Fatal(err)
@@ -57,7 +57,12 @@ func runGateway(ctx context.Context, gateways, verb string, args []string, tenan
 		case tenant == "":
 			log.Fatal("submit needs -tenant (or a spec file)")
 		default:
-			spec, _ = json.Marshal(sched.JobSpec{Tenant: tenant, Kind: sched.KindCV, ScanRateMVs: scanRate})
+			spec, _ = json.Marshal(sched.JobSpec{
+				Tenant:      tenant,
+				Kind:        sched.KindCV,
+				ScanRateMVs: scanRate,
+				DeadlineMS:  deadline.Milliseconds(),
+			})
 		}
 		job, err := gc.submit(ctx, spec)
 		if err != nil {
@@ -185,7 +190,8 @@ func newGatewayClient(spec string) (*gatewayClient, error) {
 func (g *gatewayClient) do(ctx context.Context, method, path string, body []byte) (*http.Response, []byte, error) {
 	var policy backoff.Policy
 	seq := policy.StartWith(200*time.Millisecond, 5*time.Second)
-	failed := 0           // consecutive endpoints that failed
+	failed := 0            // consecutive endpoints that failed
+	perm := 0              // consecutive permanent rejections
 	var hint time.Duration // largest Retry-After seen this sweep
 	for {
 		base := g.bases[g.cur]
@@ -217,11 +223,23 @@ func (g *gatewayClient) do(ctx context.Context, method, path string, body []byte
 			if d := retryAfterHint(resp); d > hint {
 				hint = d
 			}
+			// A permanent rejection (deadline below the facility floor)
+			// cannot be cured by resubmitting the same request: fail
+			// over, but once every endpoint has said so, give up
+			// instead of sleeping on Retry-After forever.
+			if permanentReject(data) {
+				if perm++; perm >= len(g.bases) {
+					return nil, nil, fmt.Errorf("rejected by every gateway: %s", strings.TrimSpace(string(data)))
+				}
+			} else {
+				perm = 0
+			}
 			log.Printf("gateway %s unavailable: %s", base, strings.TrimSpace(string(data)))
 			if err := g.advance(ctx, &failed, &hint, seq); err != nil {
 				return nil, nil, err
 			}
 		case http.StatusTooManyRequests:
+			perm = 0
 			d := seq.Next()
 			if h := retryAfterHint(resp); h > 0 {
 				d = h
@@ -253,6 +271,15 @@ func (g *gatewayClient) advance(ctx context.Context, failed *int, hint *time.Dur
 	log.Printf("all %d gateway endpoints unavailable (retrying in %v)", len(g.bases), d)
 	*failed, *hint = 0, 0
 	return sleepOrDone(ctx, d)
+}
+
+// permanentReject reports whether a 503 body carries the gateway's
+// permanent marker (the request itself can never be admitted there).
+func permanentReject(data []byte) bool {
+	var e struct {
+		Permanent bool `json:"permanent"`
+	}
+	return json.Unmarshal(data, &e) == nil && e.Permanent
 }
 
 func retryAfterHint(resp *http.Response) time.Duration {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -139,5 +140,37 @@ func TestGatewayClientRejectsValidationErrors(t *testing.T) {
 	}
 	if _, err := gc.submit(context.Background(), []byte(`{"tenant":"acl"}`)); err == nil {
 		t.Fatal("validation error did not surface")
+	}
+}
+
+// A permanent 503 (deadline below the facility floor) fails over —
+// another facility may have a lower floor — but once every endpoint
+// has permanently rejected the request the client gives up instead of
+// sleeping out Retry-After forever.
+func TestGatewayClientGivesUpWhenAllRejectPermanently(t *testing.T) {
+	reject := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"deadline 100ms below this facility's minimum 500ms","retry_after_s":30,"permanent":true}`))
+	}
+	a := httptest.NewServer(http.HandlerFunc(reject))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(reject))
+	defer b.Close()
+
+	gc, err := newGatewayClient(a.URL + "," + b.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := gc.submit(ctx, []byte(`{"tenant":"acl","kind":"cv","deadline_ms":100}`)); err == nil {
+		t.Fatal("permanently rejected submit reported success")
+	} else if !strings.Contains(err.Error(), "rejected by every gateway") {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("gave up after %v: the client slept on a permanent rejection", elapsed)
 	}
 }

@@ -54,6 +54,7 @@ func main() {
 	resume := flag.Bool("resume", false, "workflow: restore completed tasks from -journal before executing")
 	gateway := flag.String("gateway", "", "icegated URL(s), comma-separated for a federated cluster: verbs become submit|status|wait|trace|cancel against the scheduling gateway (503s and dead endpoints fail over to the next)")
 	tenant := flag.String("tenant", "", "gateway: tenant identity for submit")
+	deadline := flag.Duration("deadline", 0, "gateway submit: end-to-end deadline from admission (0 = none); unmeetable deadlines are rejected with 503 + Retry-After instead of occupying a lease")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("usage: icectl [flags] status|fill|cv|eis|workflow|campaign|qos|abort|retain|replay|files\n" +
@@ -68,7 +69,7 @@ func main() {
 	}
 
 	if *gateway != "" {
-		runGateway(ctx, *gateway, flag.Arg(0), flag.Args()[1:], *tenant, *rate)
+		runGateway(ctx, *gateway, flag.Arg(0), flag.Args()[1:], *tenant, *rate, *deadline)
 		return
 	}
 

@@ -52,6 +52,8 @@ func main() {
 	queueCap := flag.Int("queue", 64, "queued-job capacity across all tenants; beyond it submissions get 429 + Retry-After")
 	workers := flag.Int("workers", 2, "concurrent jobs (instrument access still serialises on the lease)")
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "instrument lease TTL; a holder that stops heartbeating loses the lab")
+	probeInterval := flag.Duration("probe-interval", time.Second, "instrument health probe cadence; an open breaker quarantines the instrument and checkpoint-requeues its jobs (0 disables health supervision)")
+	minDeadline := flag.Duration("min-deadline", 500*time.Millisecond, "admission floor for job deadline_ms: shorter deadlines get 503 + Retry-After at submit instead of occupying a lease (0 disables the floor)")
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "back-off hint attached to full-queue rejections")
 	weights := flag.String("weights", "", "per-tenant fair-share weights, e.g. acl=3,dgx=1 (default weight 1)")
 	campaignPoints := flag.Int("campaign-points", 300, "CV points acquired per campaign round")
@@ -79,7 +81,16 @@ func main() {
 	smoke := flag.Bool("smoke", false, "one-shot self-test: selflab gateway, two tenants submit, wait, report, exit")
 	traceSmoke := flag.Bool("trace-smoke", false, "one-shot trace self-test: selflab two-cell campaign, fetch its trace, verify the span tree and critical-path partition, exit")
 	clusterSmoke := flag.Bool("cluster-smoke", false, "one-shot federation self-test: two in-process facility gateways over one lab, kill one mid-CV, the peer must adopt via the replicated WAL within 10s and finish exactly once, exit")
+	healthSmoke := flag.Bool("health-smoke", false, "one-shot health drill: wedge the simulated potentiostat mid-acquisition, the breaker must quarantine it, checkpoint-requeue the job, recover via a probe and finish exactly once, exit")
 	flag.Parse()
+
+	if *healthSmoke {
+		if err := runHealthSmoke("health_smoke_state"); err != nil {
+			log.Fatalf("health-smoke: %v", err)
+		}
+		log.Print("health-smoke: OK")
+		return
+	}
 
 	if *clusterSmoke {
 		if err := runClusterSmoke("cluster_smoke_state"); err != nil {
@@ -166,6 +177,7 @@ func main() {
 				LeaseTTL:      *leaseTTL,
 				Tenants:       tenants,
 				Tracer:        tracer,
+				Health:        healthConfig(*probeInterval, *minDeadline),
 			},
 			NewRunner: func(n *cluster.Node, fac string) sched.Runner {
 				return &sched.LabRunner{
@@ -182,6 +194,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		prober := wireProber(node.Scheduler(), node.Gateway(), connector,
+			cluster.FacilityResources(*facility)...)
+		defer prober.Close()
 		serveCluster(*listen, node)
 		return
 	}
@@ -197,6 +212,7 @@ func main() {
 		LeaseTTL:      *leaseTTL,
 		Tenants:       tenants,
 		Tracer:        tracer,
+		Health:        healthConfig(*probeInterval, *minDeadline),
 	})
 	if err != nil {
 		log.Fatalf("open job store: %v", err)
@@ -207,6 +223,9 @@ func main() {
 		Dir:              s.Dir(),
 		CampaignCVPoints: *campaignPoints,
 	})
+	gw := sched.NewGateway(s)
+	prober := wireProber(s, gw, connector, sched.ResourceSP200, sched.ResourceJKem)
+	defer prober.Close()
 	if err := s.Start(); err != nil {
 		log.Fatal(err)
 	}
@@ -215,7 +234,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	srv := &http.Server{Handler: sched.NewGateway(s)}
+	srv := &http.Server{Handler: gw}
 	go func() {
 		if err := srv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("serve: %v", err)
@@ -365,6 +384,30 @@ func hasRoot(recs []trace.Record, name string) bool {
 		}
 	}
 	return false
+}
+
+// healthConfig builds the scheduler's health supervision config from
+// the -probe-interval and -min-deadline flags (probe interval 0
+// disables supervision entirely; the admission floor survives that,
+// since rejecting an unmeetable deadline needs no probes).
+func healthConfig(probeInterval, minDeadline time.Duration) sched.HealthConfig {
+	if probeInterval <= 0 {
+		return sched.HealthConfig{Disabled: true, MinDeadline: minDeadline}
+	}
+	return sched.HealthConfig{ProbeInterval: probeInterval, MinDeadline: minDeadline}
+}
+
+// wireProber attaches lab-backed health probes, the quarantine fence,
+// and the probe/session-liveness metrics to a scheduler and its
+// gateway. Call before Start so the first probe tick has probers.
+func wireProber(s *sched.Scheduler, gw *sched.Gateway, connector sched.Connector, resources ...string) *sched.LabProber {
+	p := &sched.LabProber{Connector: connector}
+	for _, res := range resources {
+		s.RegisterProber(res, p.ProberFor(res))
+	}
+	s.SetFence(p.FenceFor)
+	gw.Registry().AddSource(p.HealthSource())
+	return p
 }
 
 // parseWeights turns "acl=3,dgx=1" into per-tenant limits.

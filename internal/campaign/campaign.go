@@ -20,6 +20,7 @@ import (
 	"ice/internal/core"
 	"ice/internal/datachan"
 	"ice/internal/potentiostat"
+	"ice/internal/telemetry"
 	"ice/internal/trace"
 	"ice/internal/units"
 )
@@ -88,6 +89,11 @@ type Executor struct {
 	// cell name); the critical-path analyzer uses it to attribute one
 	// cell's data phase overlapping another's instrument phase.
 	Label string
+	// Metrics, when set, counts operational anomalies — currently
+	// campaign.stranded_resets, incremented when bringUp finds the
+	// shared potentiostat stranded mid-pipeline by another tenant and
+	// has to force it back to power-on state.
+	Metrics *telemetry.Collector
 }
 
 // Run executes the campaign and returns the observation history. The
@@ -219,7 +225,7 @@ func (e *Executor) acquireRound(ctx context.Context, obs *Observation, params Pa
 	// between our rounds another tenant sharing the instrument may have
 	// torn it down (a cv workflow's shutdown task) or crashed partway
 	// through the pipeline.
-	if err := e.bringUp(); err != nil {
+	if err := e.bringUp(acqCtx); err != nil {
 		return "", err
 	}
 
@@ -246,12 +252,21 @@ func (e *Executor) acquireRound(ctx context.Context, obs *Observation, params Pa
 // ErrBadState — so a firmware-loaded instrument is taken as ready
 // rather than an error. A device stranded elsewhere in the pipeline
 // (a tenant crashed mid-acquisition) is reset before initialising.
-func (e *Executor) bringUp() error {
+func (e *Executor) bringUp(ctx context.Context) error {
 	if status, err := e.Session.SP200Status(); err == nil {
 		if strings.Contains(status, potentiostat.StateFirmwareLoaded.String()) {
 			return nil
 		}
 		if !strings.Contains(status, "["+potentiostat.StateOff.String()+" ") {
+			// A stranded reset is evidence of a crashed or cut-down
+			// neighbour — worth a trace event and a counter, not silence:
+			// a climbing campaign.stranded_resets is how an operator
+			// notices tenants crashing mid-acquisition.
+			trace.SpanFromContext(ctx).Event("campaign.stranded_reset",
+				"status", status, "cell", e.Label)
+			if e.Metrics != nil {
+				e.Metrics.Counter("campaign.stranded_resets").Inc()
+			}
 			if err := e.Session.ResetSP200(); err != nil {
 				return err
 			}

@@ -7,6 +7,7 @@ import (
 	"ice/internal/core"
 	"ice/internal/datachan"
 	"ice/internal/netsim"
+	"ice/internal/telemetry"
 	"ice/internal/units"
 )
 
@@ -144,4 +145,41 @@ func TestObservationsCarryFullAnalysis(t *testing.T) {
 		t.Errorf("peak = %v, want ≈ 40 µA at 2 mM", s.AnodicPeak)
 	}
 	_ = datachan.Created // the mount path is exercised above
+}
+
+// A neighbour tenant crashed mid-pipeline and left the shared SP200
+// connected but not firmware-loaded: the campaign must reset the
+// stranded instrument, count the anomaly, and still complete.
+func TestStrandedInstrumentResetCounted(t *testing.T) {
+	e := deployExecutor(t)
+	e.Metrics = telemetry.NewCollector()
+	// Strand the device: bring it partway up outside the campaign.
+	if _, err := e.Session.CallInitializeSP200API(core.PaperSystemParams()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Session.CallConnectSP200(); err != nil {
+		t.Fatal(err)
+	}
+	history, err := e.Run(ScanRateLadder{RatesMVs: []float64{50}, ConcentrationMM: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 1 {
+		t.Fatalf("rounds = %d, want 1", len(history))
+	}
+	if got := e.Metrics.CounterValue("campaign.stranded_resets"); got != 1 {
+		t.Errorf("campaign.stranded_resets = %d, want 1", got)
+	}
+}
+
+// A healthy bring-up must not inflate the anomaly counter.
+func TestHealthyBringUpCountsNoStrandedResets(t *testing.T) {
+	e := deployExecutor(t)
+	e.Metrics = telemetry.NewCollector()
+	if _, err := e.Run(ScanRateLadder{RatesMVs: []float64{50}, ConcentrationMM: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics.CounterValue("campaign.stranded_resets"); got != 0 {
+		t.Errorf("campaign.stranded_resets = %d, want 0", got)
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -36,6 +37,14 @@ type CVWorkflowConfig struct {
 	// measurement file.
 	WaitPoll    time.Duration
 	WaitTimeout time.Duration
+	// AcquireTimeout, when > 0, bounds task D's instrument hold (the
+	// eight-step SP200 pipeline through call_Get_Tech_Path_Rslt) with
+	// a per-phase sub-budget: the deadline is bound into the session's
+	// call context, so a potentiostat wedged mid-acquire surfaces as a
+	// budget error in seconds instead of riding out the full workflow
+	// timeout or lease TTL. The scheduler treats a fired acquire
+	// budget as hard evidence the instrument is sick.
+	AcquireTimeout time.Duration
 	// ProgressPoll, when > 0, logs the measurement file's growth into
 	// the transcript while acquisition is in flight (real-time
 	// monitoring over the pipelined control/data channels).
@@ -204,7 +213,16 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 			// releases the gateway's lease), so instrument-hold time in
 			// the trace matches the lease the scheduler accounts.
 			acquireCtx, acquireSpan := phase(c, "cv.acquire", trace.ClassInstrument)
+			cancelAcquire := func() {}
+			if cfg.AcquireTimeout > 0 {
+				var cancel context.CancelFunc
+				acquireCtx, cancel = context.WithTimeout(acquireCtx, cfg.AcquireTimeout)
+				cancelAcquire = cancel
+			}
 			session.BindTraceContext(acquireCtx)
+			// Bind the phase context so its deadline bounds every SP200
+			// call in the pipeline, including the blocking step-7 wait.
+			session.BindCallContext(acquireCtx)
 			fileName, err := func() (string, error) {
 				steps := []struct {
 					label string
@@ -262,6 +280,15 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 				}
 				return fileName, nil
 			}()
+			budgetFired := cfg.AcquireTimeout > 0 &&
+				errors.Is(acquireCtx.Err(), context.DeadlineExceeded) && c.Ctx.Err() == nil
+			cancelAcquire()
+			session.BindCallContext(c.Ctx)
+			if err != nil && budgetFired {
+				// Attribute the timeout to the instrument: the job's own
+				// deadline had not arrived, so this phase hung.
+				err = fmt.Errorf("sp200 acquire phase exceeded its %v budget: %w", cfg.AcquireTimeout, err)
+			}
 			acquireSpan.EndErr(err)
 			session.BindTraceContext(c.Ctx)
 			if err != nil {

@@ -33,6 +33,11 @@ type RemoteSession struct {
 	// traceCtx is the ambient trace context bound by BindTraceContext;
 	// the typed RPC wrappers parent their client spans under it.
 	traceCtx atomic.Value // boundCtx
+	// callCtx is the ambient call context bound by BindCallContext;
+	// unlike traceCtx its deadline and cancellation ARE honored by the
+	// RPC wrappers — it is how end-to-end deadline budgets reach pyro
+	// calls that predate context plumbing.
+	callCtx atomic.Value // boundCtx
 }
 
 // boundCtx wraps the bound context so atomic.Value always stores one
@@ -54,12 +59,34 @@ func (s *RemoteSession) BindTraceContext(ctx context.Context) {
 	s.traceCtx.Store(boundCtx{trace.ContextWithSpan(context.Background(), span)})
 }
 
-// rpcCtx returns the ambient trace context for wrapper calls.
-func (s *RemoteSession) rpcCtx() context.Context {
-	if b, ok := s.traceCtx.Load().(boundCtx); ok {
-		return b.ctx
+// BindCallContext makes ctx the ambient base context for this
+// session's RPC wrappers: its deadline and cancellation abort in-flight
+// calls (pyro proxies honor ctx.Done), which is how a job's end-to-end
+// deadline budget — and a workflow phase's sub-budget — bound every
+// instrument call without threading ctx through dozens of typed
+// wrappers. The span bound by BindTraceContext still overlays it.
+// Binding nil (or context.Background()) removes the bound deadline.
+func (s *RemoteSession) BindCallContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return context.Background()
+	s.callCtx.Store(boundCtx{ctx})
+}
+
+// rpcCtx returns the ambient context for wrapper calls: the bound call
+// context (deadline + cancellation) overlaid with the bound trace
+// span.
+func (s *RemoteSession) rpcCtx() context.Context {
+	base := context.Background()
+	if b, ok := s.callCtx.Load().(boundCtx); ok {
+		base = b.ctx
+	}
+	if b, ok := s.traceCtx.Load().(boundCtx); ok {
+		if span := trace.SpanFromContext(b.ctx); span != nil {
+			return trace.ContextWithSpan(base, span)
+		}
+	}
+	return base
 }
 
 // call is a helper returning the string result of a remote method,
@@ -227,6 +254,15 @@ func (s *RemoteSession) ReadPH(addr int) (float64, error) {
 // JKemStatus returns the SBC inventory line.
 func (s *RemoteSession) JKemStatus() (string, error) { return s.call(s.jkem, "Status") }
 
+// JKemStatusCtx is JKemStatus bounded by the caller's context — the
+// health supervisor's probe path, where the deadline is the detector:
+// a hung SBC controller cannot answer inside it.
+func (s *RemoteSession) JKemStatusCtx(ctx context.Context) (string, error) {
+	var out string
+	err := s.jkem.CallIntoCtx(ctx, &out, "Status")
+	return out, err
+}
+
 // RawJKem forwards a literal protocol command.
 func (s *RemoteSession) RawJKem(cmd string) (string, error) { return s.call(s.jkem, "Raw", cmd) }
 
@@ -287,6 +323,14 @@ func (s *RemoteSession) CallDisconnectSP200() (string, error) {
 // SP200Status returns the instrument state line.
 func (s *RemoteSession) SP200Status() (string, error) {
 	return s.call(s.sp200, "StatusSP200")
+}
+
+// SP200StatusCtx is SP200Status bounded by the caller's context (the
+// health probe path; see JKemStatusCtx).
+func (s *RemoteSession) SP200StatusCtx(ctx context.Context) (string, error) {
+	var out string
+	err := s.sp200.CallIntoCtx(ctx, &out, "StatusSP200")
+	return out, err
 }
 
 // ResetSP200 forces the potentiostat back to its power-on state. A

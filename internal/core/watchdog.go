@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"ice/internal/telemetry"
 )
 
 // SessionHealth is the watchdog's liveness assessment of the control
@@ -101,4 +103,33 @@ func (s *RemoteSession) SetDataChannelDegraded(v bool) {
 	s.watchMu.Lock()
 	defer s.watchMu.Unlock()
 	s.dataDegraded = v
+}
+
+// HealthSource adapts the watchdog's assessment to a telemetry Source,
+// so /v1/metrics surfaces session liveness (degraded flags, miss
+// streak, seconds since last contact) alongside the channel counters.
+// prefix namespaces the series ("session." when empty).
+func (s *RemoteSession) HealthSource(prefix string) telemetry.Source {
+	if prefix == "" {
+		prefix = "session."
+	}
+	return func() map[string]int64 {
+		h := s.Health()
+		out := map[string]int64{
+			prefix + "degraded":           bool01(h.Degraded),
+			prefix + "consecutive_misses": int64(h.ConsecutiveMisses),
+			prefix + "data_degraded":      bool01(h.DataChannelDegraded),
+		}
+		if !h.LastContact.IsZero() {
+			out[prefix+"last_contact_age_ms"] = time.Since(h.LastContact).Milliseconds()
+		}
+		return out
+	}
+}
+
+func bool01(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

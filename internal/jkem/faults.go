@@ -1,0 +1,186 @@
+package jkem
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultMode selects a device-level failure behaviour for the SBC.
+// These mirror the potentiostat fault modes but express themselves at
+// the serial-protocol layer: the SBC never returns transport errors,
+// so an error-burst shows up as "ERR ..." response lines, exactly the
+// way a sick firmware would answer.
+type FaultMode string
+
+const (
+	// FaultNone clears any injected fault.
+	FaultNone FaultMode = ""
+	// FaultHang blocks every command — including STATUS — until the
+	// fault is cleared. From outside it looks like firmware that
+	// stopped scheduling its command loop; only a deadline on the
+	// caller's side notices.
+	FaultHang FaultMode = "hang"
+	// FaultWedgeBusy keeps STATUS (and the *_STATUS / *_READ /
+	// *_POSITION observers) answering but blocks every actuating
+	// command until cleared: the robot's motion controller is stuck
+	// mid-move while its status register stays live.
+	FaultWedgeBusy FaultMode = "wedge-busy"
+	// FaultSlowDrift delays every command with multiplicatively
+	// growing latency.
+	FaultSlowDrift FaultMode = "slow-drift"
+	// FaultErrorBurst answers the next Count commands with an
+	// "ERR injected device fault" protocol response, then self-clears.
+	FaultErrorBurst FaultMode = "error-burst"
+)
+
+// SBCFault parameterises one injected fault; see the potentiostat
+// DeviceFault for field semantics (defaults: Count 3, Delay 10ms,
+// Growth 1.25, Seed 1).
+type SBCFault struct {
+	Mode   FaultMode
+	Count  int
+	Delay  time.Duration
+	Growth float64
+	Seed   int64
+}
+
+// sbcFaultState keeps its own mutex, separate from the SBC mutex, so
+// faults can be injected and cleared while a hung command blocks.
+type sbcFaultState struct {
+	mu      sync.Mutex
+	mode    FaultMode
+	cleared chan struct{}
+	count   int
+	delay   time.Duration
+	growth  float64
+	rng     uint64
+}
+
+func (f *sbcFaultState) set(spec SBCFault) error {
+	switch spec.Mode {
+	case FaultNone, FaultHang, FaultWedgeBusy, FaultSlowDrift, FaultErrorBurst:
+	default:
+		return fmt.Errorf("jkem: unknown fault mode %q", spec.Mode)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cleared != nil {
+		close(f.cleared)
+		f.cleared = nil
+	}
+	f.mode = spec.Mode
+	if spec.Mode == FaultNone {
+		return nil
+	}
+	f.cleared = make(chan struct{})
+	f.count = spec.Count
+	if f.count <= 0 {
+		f.count = 3
+	}
+	f.delay = spec.Delay
+	if f.delay <= 0 {
+		f.delay = 10 * time.Millisecond
+	}
+	f.growth = spec.Growth
+	if f.growth < 1 {
+		f.growth = 1.25
+	}
+	f.rng = uint64(spec.Seed)
+	if f.rng == 0 {
+		f.rng = 1
+	}
+	return nil
+}
+
+func (f *sbcFaultState) clearLocked() {
+	f.mode = FaultNone
+	if f.cleared != nil {
+		close(f.cleared)
+		f.cleared = nil
+	}
+}
+
+func (f *sbcFaultState) xorshift64() uint64 {
+	x := f.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	f.rng = x
+	return x
+}
+
+// observerCommand reports whether a command only reads state. Observer
+// commands stay live under a wedge-busy fault, the way a wedged motion
+// controller still answers its status register.
+func observerCommand(name string) bool {
+	if name == "STATUS" {
+		return true
+	}
+	return strings.HasSuffix(name, "_STATUS") ||
+		strings.HasSuffix(name, "_READ") ||
+		strings.HasSuffix(name, "_POSITION") ||
+		strings.HasSuffix(name, "_VOLUME")
+}
+
+// admit gates one protocol command. It returns a non-empty response
+// string when the fault answers the command itself (error-burst), and
+// "" when the command should proceed.
+func (f *sbcFaultState) admit(name string) string {
+	f.mu.Lock()
+	switch f.mode {
+	case FaultHang:
+		cleared := f.cleared
+		f.mu.Unlock()
+		<-cleared
+		return ""
+	case FaultWedgeBusy:
+		if observerCommand(name) {
+			f.mu.Unlock()
+			return ""
+		}
+		cleared := f.cleared
+		f.mu.Unlock()
+		<-cleared
+		return ""
+	case FaultSlowDrift:
+		delay := f.delay
+		jitter := 0.75 + 0.5*float64(f.xorshift64()>>11)/float64(1<<53)
+		f.delay = time.Duration(float64(f.delay) * f.growth)
+		f.mu.Unlock()
+		time.Sleep(time.Duration(float64(delay) * jitter))
+		return ""
+	case FaultErrorBurst:
+		f.count--
+		if f.count <= 0 {
+			f.clearLocked()
+		}
+		f.mu.Unlock()
+		return Err(fmt.Errorf("jkem: injected device fault: %s", name))
+	default:
+		f.mu.Unlock()
+		return ""
+	}
+}
+
+// InjectFault installs (or, with FaultNone, clears) a device-level
+// fault on the SBC. Safe to call while a previous fault has commands
+// blocked — the old fault is released first.
+func (s *SBC) InjectFault(spec SBCFault) error {
+	return s.faults.set(spec)
+}
+
+// ClearFault removes any injected fault, releasing blocked commands.
+func (s *SBC) ClearFault() {
+	s.faults.mu.Lock()
+	s.faults.clearLocked()
+	s.faults.mu.Unlock()
+}
+
+// ActiveFault reports the injected fault mode (FaultNone when healthy).
+func (s *SBC) ActiveFault() FaultMode {
+	s.faults.mu.Lock()
+	defer s.faults.mu.Unlock()
+	return s.faults.mode
+}

@@ -1,0 +1,111 @@
+package jkem
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ice/internal/labstate"
+)
+
+func TestSBCWedgeBusyKeepsObserversLive(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	if err := sbc.InjectFault(SBCFault{Mode: FaultWedgeBusy}); err != nil {
+		t.Fatal(err)
+	}
+	// Observer commands answer while the motion controller is stuck.
+	for _, cmd := range []string{
+		"STATUS",
+		"SYRINGEPUMP_STATUS(1)",
+		"FRACTIONCOLLECTOR_POSITION(1)",
+	} {
+		done := make(chan string, 1)
+		go func() { done <- sbc.Execute(cmd) }()
+		select {
+		case resp := <-done:
+			if strings.HasPrefix(resp, "ERR") {
+				t.Errorf("%s → %q under wedge-busy", cmd, resp)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("observer %s blocked under wedge-busy", cmd)
+		}
+	}
+	// An actuating command blocks until the fault clears.
+	done := make(chan string, 1)
+	go func() { done <- sbc.Execute("SYRINGEPUMP_PORT(1,8)") }()
+	select {
+	case resp := <-done:
+		t.Fatalf("actuating command answered %q under wedge-busy", resp)
+	case <-time.After(50 * time.Millisecond):
+	}
+	sbc.ClearFault()
+	select {
+	case resp := <-done:
+		if resp != "OK" {
+			t.Fatalf("SYRINGEPUMP_PORT after clear → %q", resp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("actuating command still blocked after ClearFault")
+	}
+}
+
+func TestSBCErrorBurstAnswersERRThenSelfClears(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	if err := sbc.InjectFault(SBCFault{Mode: FaultErrorBurst, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp := sbc.Execute("SYRINGEPUMP_RATE(1,5.0)")
+		if !strings.HasPrefix(resp, "ERR") || !strings.Contains(resp, "injected device fault") {
+			t.Fatalf("burst command %d → %q, want ERR injected device fault", i+1, resp)
+		}
+	}
+	if got := sbc.ActiveFault(); got != FaultNone {
+		t.Fatalf("fault %q still active after the burst ran out", got)
+	}
+	if resp := sbc.Execute("SYRINGEPUMP_RATE(1,5.0)"); resp != "OK" {
+		t.Fatalf("command after self-clear → %q, want OK", resp)
+	}
+}
+
+func TestSBCHangBlocksEverythingUntilCleared(t *testing.T) {
+	sbc := DefaultSBC(labstate.DefaultCell())
+	if err := sbc.InjectFault(SBCFault{Mode: FaultHang}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan string, 1)
+	go func() { done <- sbc.Execute("STATUS") }()
+	select {
+	case resp := <-done:
+		t.Fatalf("STATUS answered %q under a hang fault", resp)
+	case <-time.After(50 * time.Millisecond):
+	}
+	sbc.ClearFault()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("STATUS still blocked after ClearFault")
+	}
+}
+
+func TestObserverCommandClassification(t *testing.T) {
+	cases := map[string]bool{
+		"STATUS":                     true,
+		"SYRINGEPUMP_STATUS":         true,
+		"PH_READ":                    true,
+		"MFC_READ":                   true,
+		"TEMP_READ":                  true,
+		"FRACTIONCOLLECTOR_POSITION": true,
+		"FRACTIONCOLLECTOR_VOLUME":   true,
+		"SYRINGEPUMP_DISPENSE":       false,
+		"SYRINGEPUMP_PORT":           false,
+		"FRACTIONCOLLECTOR_VIAL":     false,
+		"TEMP_SETPOINT":              false,
+		"PERIPUMP_START":             false,
+	}
+	for name, want := range cases {
+		if got := observerCommand(name); got != want {
+			t.Errorf("observerCommand(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

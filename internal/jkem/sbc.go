@@ -32,6 +32,11 @@ type SBC struct {
 	// CommandLog records every executed command and its response, the
 	// way the Oakridge Commander GUI panel in Fig. 5b echoes traffic.
 	commandLog []string
+
+	// faults gates command execution with injected device failures; it
+	// has its own mutex so a hung command never blocks injection or
+	// clearing. See faults.go.
+	faults sbcFaultState
 }
 
 // NewSBC returns an SBC controlling the given cell with no instruments
@@ -120,7 +125,7 @@ func (s *SBC) motionDelay(vol units.Volume, rate units.FlowRate) {
 // never returns transport errors: protocol-level failures are encoded
 // as "ERR ..." responses, as a real firmware would.
 func (s *SBC) Execute(line string) string {
-	resp := s.execute(line)
+	resp := s.executeGated(line)
 	s.mu.Lock()
 	s.commandLog = append(s.commandLog, strings.TrimSpace(line)+" → "+resp)
 	s.mu.Unlock()
@@ -136,11 +141,21 @@ func (s *SBC) CommandLog() []string {
 	return out
 }
 
-func (s *SBC) execute(line string) string {
+// executeGated runs the injected-fault admission gate before the real
+// protocol handler. Faults key off the parsed command name so a
+// wedge-busy SBC can keep answering observer commands.
+func (s *SBC) executeGated(line string) string {
 	req, err := ParseRequest(line)
 	if err != nil {
 		return Err(err)
 	}
+	if resp := s.faults.admit(req.Name); resp != "" {
+		return resp
+	}
+	return s.execute(req)
+}
+
+func (s *SBC) execute(req Request) string {
 	switch req.Name {
 	case "STATUS":
 		return OK(s.statusSummary())

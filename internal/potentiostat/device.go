@@ -178,6 +178,12 @@ type SP200 struct {
 	channels []*channelState
 	events   []string
 	runSeq   int
+
+	// faults carries injected device-level failures (see faults.go);
+	// it has its own lock so faults clear even while a hung command
+	// blocks. AbortChannel and the read-only accessors bypass the gate
+	// — the emergency-stop path works on a sick instrument.
+	faults faultState
 }
 
 // NewSP200 returns a powered-on but uninitialised instrument attached
@@ -211,6 +217,9 @@ func (d *SP200) State() State {
 // Initialize performs step 1 of the pipeline: system/firmware and
 // connection parameters.
 func (d *SP200) Initialize(cfg SystemConfig) error {
+	if err := d.faults.admit("Initialize"); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.state != StateOff {
@@ -237,6 +246,9 @@ func (d *SP200) Initialize(cfg SystemConfig) error {
 
 // Connect performs step 2: open the instrument link.
 func (d *SP200) Connect() error {
+	if err := d.faults.admit("Connect"); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.state != StateInitialized {
@@ -249,6 +261,9 @@ func (d *SP200) Connect() error {
 
 // LoadFirmware performs step 3: load the channel kernel.
 func (d *SP200) LoadFirmware() error {
+	if err := d.faults.admit("LoadFirmware"); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.state != StateConnected {
@@ -263,6 +278,9 @@ func (d *SP200) LoadFirmware() error {
 // ConfigureTechnique performs step 4: install technique parameters on
 // a channel.
 func (d *SP200) ConfigureTechnique(ch int, tech Technique) error {
+	if err := d.faults.admit("ConfigureTechnique"); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.state != StateFirmwareLoaded {
@@ -287,6 +305,9 @@ func (d *SP200) ConfigureTechnique(ch int, tech Technique) error {
 // LoadTechnique performs step 5: push the technique firmware to the
 // channel.
 func (d *SP200) LoadTechnique(ch int) error {
+	if err := d.faults.admit("LoadTechnique"); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	cs, err := d.channel(ch)
@@ -305,6 +326,9 @@ func (d *SP200) LoadTechnique(ch int) error {
 // asynchronously; Wait blocks for completion (step 7), after which the
 // channel is automatically disconnected (step 8).
 func (d *SP200) StartChannel(ch int) error {
+	if err := d.faults.admit("StartChannel"); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	cs, err := d.channel(ch)
@@ -334,7 +358,7 @@ func (d *SP200) StartChannel(ch int) error {
 	rangeAmps := cs.rangeAmps
 	abort := cs.abort
 	go func() {
-		recs, overloads, err := acquire(cell, sink, cfg, tech, cs.fileName, int64(runID), rangeAmps, abort)
+		recs, overloads, err := acquire(cell, sink, cfg, tech, cs.fileName, int64(runID), rangeAmps, abort, d.faults.wedgeGate)
 		d.mu.Lock()
 		cs.records = recs
 		cs.err = err
@@ -375,6 +399,9 @@ func clipToRange(recs []Record, rangeAmps float64) ([]Record, int) {
 // Wait blocks until channel ch finishes acquiring and returns its
 // records (step 7 of the pipeline).
 func (d *SP200) Wait(ch int) ([]Record, error) {
+	if err := d.faults.admit("Wait"); err != nil {
+		return nil, err
+	}
 	d.mu.Lock()
 	cs, err := d.channel(ch)
 	if err != nil {
@@ -394,6 +421,7 @@ func (d *SP200) Wait(ch int) ([]Record, error) {
 
 // Busy reports whether channel ch is currently acquiring.
 func (d *SP200) Busy(ch int) bool {
+	d.faults.admitVoid()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	cs, err := d.channel(ch)
@@ -418,6 +446,9 @@ func (d *SP200) MeasurementFileName(ch int) (string, error) {
 // Disconnect shuts the instrument link down (workflow task E). Any
 // running channels are waited for first.
 func (d *SP200) Disconnect() error {
+	if err := d.faults.admit("Disconnect"); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	if d.state == StateOff {
 		d.mu.Unlock()
@@ -440,8 +471,11 @@ func (d *SP200) Disconnect() error {
 	return nil
 }
 
-// Status renders a short state summary.
+// Status renders a short state summary. A hang fault blocks it (the
+// controller is gone); a wedge-busy fault does not (the status
+// register answers while the acquisition is stuck).
 func (d *SP200) Status() string {
+	d.faults.admitVoid()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	busy := 0
@@ -467,8 +501,10 @@ const streamChunk = 128
 
 // acquire runs the technique against the cell, applies the current
 // range, and streams records to the sink. It executes outside the
-// device lock.
-func acquire(cell *labstate.Cell, sink Sink, cfg SystemConfig, tech Technique, fileName string, runID int64, rangeAmps float64, abort <-chan struct{}) ([]Record, int, error) {
+// device lock. wedge (optional) is re-sampled before each chunk so a
+// wedge-busy fault injected mid-acquire stalls streaming at the next
+// chunk boundary; only an abort (or clearing the fault) unwedges it.
+func acquire(cell *labstate.Cell, sink Sink, cfg SystemConfig, tech Technique, fileName string, runID int64, rangeAmps float64, abort <-chan struct{}, wedge func() <-chan struct{}) ([]Record, int, error) {
 	cellCfg := cell.MeasurementConfig(cfg.ElectrodeArea, cfg.NoiseSeed+runID*7919)
 
 	var recs []Record
@@ -509,6 +545,15 @@ func acquire(cell *labstate.Cell, sink Sink, cfg SystemConfig, tech Technique, f
 			end := at + streamChunk
 			if end > len(recs) {
 				end = len(recs)
+			}
+			if wedge != nil {
+				if wch := wedge(); wch != nil {
+					select {
+					case <-wch: // fault cleared; resume streaming
+					case <-abort:
+						return recs[:at], overloads, fmt.Errorf("%w after %d records", ErrAborted, at)
+					}
+				}
 			}
 			if err := WriteMPTRecords(w, recs[at:end]); err != nil {
 				return nil, 0, err

@@ -1,0 +1,236 @@
+package potentiostat
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultMode selects a device-level failure behaviour. Unlike the
+// netsim layer — which corrupts the wire between facilities — these
+// faults live inside the instrument itself, the failure class the
+// network-chaos suite never models: a controller that stops answering,
+// an acquisition that never finishes, an aging interface that slows
+// down, a flaky backplane that errors in bursts.
+type FaultMode string
+
+const (
+	// FaultNone clears any injected fault.
+	FaultNone FaultMode = ""
+	// FaultHang blocks every gated command (including status reads)
+	// until the fault is cleared — a controller whose firmware stopped
+	// scheduling its command loop. A liveness probe with a deadline is
+	// the only way to notice it from outside.
+	FaultHang FaultMode = "hang"
+	// FaultWedgeBusy lets commands and status reads answer normally but
+	// stalls in-flight acquisition streaming at the next chunk boundary:
+	// the channel reports busy forever and Wait never returns. Only an
+	// AbortChannel (the emergency-stop path, which bypasses fault
+	// gating) or clearing the fault unwedges it.
+	FaultWedgeBusy FaultMode = "wedge-busy"
+	// FaultSlowDrift delays every gated command, the latency growing
+	// multiplicatively per call — a thermal or firmware degradation that
+	// starts subtle and ends unusable.
+	FaultSlowDrift FaultMode = "slow-drift"
+	// FaultErrorBurst fails the next Count gated commands with
+	// ErrInjected, then self-clears — a transient controller brown-out.
+	FaultErrorBurst FaultMode = "error-burst"
+)
+
+// ErrInjected is wrapped by errors produced by an error-burst fault.
+var ErrInjected = errors.New("potentiostat: injected device fault")
+
+// DeviceFault parameterises one injected fault. Inject mid-phase at
+// any time — gating takes effect at the next command (or, for
+// wedge-busy, the next streamed chunk) — and clear with ClearFault.
+type DeviceFault struct {
+	// Mode selects the behaviour; FaultNone clears.
+	Mode FaultMode
+	// Count bounds an error-burst: that many commands fail, then the
+	// fault self-clears (default 3).
+	Count int
+	// Delay is slow-drift's initial per-command latency (default 10ms).
+	Delay time.Duration
+	// Growth multiplies the slow-drift delay after each command
+	// (default 1.25; clamped to at least 1).
+	Growth float64
+	// Seed drives slow-drift's deterministic jitter (same xorshift64
+	// generator as netsim fault sampling). 0 means seed 1.
+	Seed int64
+}
+
+// faultState is the injected-fault side of a device. It has its own
+// mutex — never the device mutex — so faults can be injected, observed
+// and cleared while a hung command blocks, and so the gate itself
+// never deadlocks against device state.
+type faultState struct {
+	mu      sync.Mutex
+	mode    FaultMode
+	cleared chan struct{} // closed when the current fault clears
+	count   int           // error-burst commands remaining
+	delay   time.Duration // slow-drift current latency
+	growth  float64
+	rng     uint64
+}
+
+// set installs a fault spec (validated) or clears the active one.
+func (f *faultState) set(spec DeviceFault) error {
+	switch spec.Mode {
+	case FaultNone, FaultHang, FaultWedgeBusy, FaultSlowDrift, FaultErrorBurst:
+	default:
+		return fmt.Errorf("potentiostat: unknown fault mode %q", spec.Mode)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cleared != nil {
+		close(f.cleared) // release anything blocked on the previous fault
+		f.cleared = nil
+	}
+	f.mode = spec.Mode
+	if spec.Mode == FaultNone {
+		return nil
+	}
+	f.cleared = make(chan struct{})
+	f.count = spec.Count
+	if f.count <= 0 {
+		f.count = 3
+	}
+	f.delay = spec.Delay
+	if f.delay <= 0 {
+		f.delay = 10 * time.Millisecond
+	}
+	f.growth = spec.Growth
+	if f.growth < 1 {
+		f.growth = 1.25
+	}
+	f.rng = uint64(spec.Seed)
+	if f.rng == 0 {
+		f.rng = 1
+	}
+	return nil
+}
+
+// clearLocked resets to no-fault, releasing blocked commands.
+func (f *faultState) clearLocked() {
+	f.mode = FaultNone
+	if f.cleared != nil {
+		close(f.cleared)
+		f.cleared = nil
+	}
+}
+
+// active returns the current mode.
+func (f *faultState) active() FaultMode {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mode
+}
+
+// xorshift64 is the same deterministic sampler netsim faults use.
+func (f *faultState) xorshift64() uint64 {
+	x := f.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	f.rng = x
+	return x
+}
+
+// admit gates one command. It blocks for hang (until the fault
+// clears), sleeps for slow-drift, and returns ErrInjected for
+// error-burst. Wedge-busy admits commands — its damage is done in the
+// streaming loop via wedgeGate.
+func (f *faultState) admit(op string) error {
+	f.mu.Lock()
+	switch f.mode {
+	case FaultHang:
+		cleared := f.cleared
+		f.mu.Unlock()
+		<-cleared
+		return nil
+	case FaultSlowDrift:
+		delay := f.delay
+		// Grow multiplicatively with ±25% deterministic jitter.
+		jitter := 0.75 + 0.5*float64(f.xorshift64()>>11)/float64(1<<53)
+		f.delay = time.Duration(float64(f.delay) * f.growth)
+		f.mu.Unlock()
+		time.Sleep(time.Duration(float64(delay) * jitter))
+		return nil
+	case FaultErrorBurst:
+		f.count--
+		if f.count <= 0 {
+			f.clearLocked()
+		}
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrInjected, op)
+	default:
+		f.mu.Unlock()
+		return nil
+	}
+}
+
+// admitVoid gates commands that cannot report an error (Status, Busy):
+// hang still blocks and slow-drift still sleeps, but error-burst
+// passes — a status register keeps answering through a flaky command
+// path, which is exactly why busy-wedges need probe deadlines and
+// phase budgets to detect.
+func (f *faultState) admitVoid() {
+	f.mu.Lock()
+	switch f.mode {
+	case FaultHang:
+		cleared := f.cleared
+		f.mu.Unlock()
+		<-cleared
+	case FaultSlowDrift:
+		delay := f.delay
+		f.mu.Unlock()
+		time.Sleep(delay)
+	default:
+		f.mu.Unlock()
+	}
+}
+
+// wedgeGate returns a channel to block on before streaming the next
+// chunk while a wedge-busy (or hang) fault is active, nil otherwise.
+// The channel closes when the fault clears.
+func (f *faultState) wedgeGate() <-chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mode == FaultWedgeBusy || f.mode == FaultHang {
+		return f.cleared
+	}
+	return nil
+}
+
+// InjectFault installs (or, with FaultNone, clears) a device-level
+// fault. Safe to call at any moment, including while a previous fault
+// has commands blocked — the old fault is released first.
+func (d *SP200) InjectFault(spec DeviceFault) error {
+	if err := d.faults.set(spec); err != nil {
+		return err
+	}
+	if spec.Mode != FaultNone {
+		d.mu.Lock()
+		d.logf("FAULT INJECTED: %s", spec.Mode)
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// ClearFault removes any injected fault, releasing blocked commands
+// and wedged acquisitions.
+func (d *SP200) ClearFault() {
+	d.faults.mu.Lock()
+	wasActive := d.faults.mode != FaultNone
+	d.faults.clearLocked()
+	d.faults.mu.Unlock()
+	if wasActive {
+		d.mu.Lock()
+		d.logf("FAULT CLEARED")
+		d.mu.Unlock()
+	}
+}
+
+// ActiveFault reports the injected fault mode (FaultNone when healthy).
+func (d *SP200) ActiveFault() FaultMode { return d.faults.active() }

@@ -1,0 +1,175 @@
+package potentiostat
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readyDevice returns a filled device driven through steps 1-5, ready
+// for StartChannel.
+func readyDevice(t *testing.T, cfg SystemConfig) *SP200 {
+	t.Helper()
+	d, _, _ := filledDevice(t)
+	if err := d.Initialize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadFirmware(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ConfigureTechnique(1, DefaultCV()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadTechnique(1); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFaultHangBlocksStatusUntilCleared(t *testing.T) {
+	d := readyDevice(t, DefaultSystemConfig())
+	if err := d.InjectFault(DeviceFault{Mode: FaultHang}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan string, 1)
+	go func() { done <- d.Status() }()
+	select {
+	case s := <-done:
+		t.Fatalf("Status answered %q under a hang fault", s)
+	case <-time.After(50 * time.Millisecond):
+	}
+	d.ClearFault()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Status still blocked after ClearFault")
+	}
+}
+
+func TestFaultWedgeBusyStallsStreamingButAnswersStatus(t *testing.T) {
+	cfg := DefaultSystemConfig()
+	cfg.TimeScale = 0 // stream as fast as the wedge gate allows
+	d := readyDevice(t, cfg)
+	if err := d.InjectFault(DeviceFault{Mode: FaultWedgeBusy}); err != nil {
+		t.Fatal(err)
+	}
+	// Commands still answer: the wedge's damage is in the stream.
+	if err := d.StartChannel(1); err != nil {
+		t.Fatalf("StartChannel under wedge-busy: %v", err)
+	}
+	if s := d.Status(); !strings.Contains(s, "busy=1") {
+		t.Fatalf("Status = %q, want busy=1 while wedged", s)
+	}
+	// The acquisition never finishes on its own.
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Wait(1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("wedged acquisition finished: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// The emergency stop bypasses fault gating and unwedges it.
+	if err := d.AbortChannel(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("Wait = %v, want ErrAborted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abort did not unwedge the acquisition")
+	}
+	if s := d.Status(); !strings.Contains(s, "busy=0") {
+		t.Errorf("Status = %q, want busy=0 after abort", s)
+	}
+}
+
+func TestFaultWedgeBusyClearResumesStreaming(t *testing.T) {
+	cfg := DefaultSystemConfig()
+	cfg.TimeScale = 0
+	d := readyDevice(t, cfg)
+	if err := d.InjectFault(DeviceFault{Mode: FaultWedgeBusy}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartChannel(1); err != nil {
+		t.Fatal(err)
+	}
+	d.ClearFault()
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Wait(1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("acquisition after clear: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquisition did not resume after ClearFault")
+	}
+}
+
+func TestFaultErrorBurstSelfClears(t *testing.T) {
+	d := readyDevice(t, DefaultSystemConfig())
+	if err := d.InjectFault(DeviceFault{Mode: FaultErrorBurst, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := d.StartChannel(1); !errors.Is(err, ErrInjected) {
+			t.Fatalf("burst command %d = %v, want ErrInjected", i+1, err)
+		}
+	}
+	if got := d.ActiveFault(); got != FaultNone {
+		t.Fatalf("fault %q still active after the burst ran out", got)
+	}
+	if err := d.StartChannel(1); err != nil {
+		t.Fatalf("StartChannel after burst self-clear: %v", err)
+	}
+	if _, err := d.Wait(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultSlowDriftGrowsLatency(t *testing.T) {
+	d := readyDevice(t, DefaultSystemConfig())
+	if err := d.InjectFault(DeviceFault{Mode: FaultSlowDrift, Delay: 5 * time.Millisecond, Growth: 2, Seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	var durations []time.Duration
+	for i := 0; i < 4; i++ {
+		start := time.Now()
+		if err := d.ConfigureTechnique(1, DefaultCV()); err != nil {
+			t.Fatal(err)
+		}
+		durations = append(durations, time.Since(start))
+	}
+	// With growth 2 the fourth call's floor (0.75 jitter · 40ms) is well
+	// above the first call's ceiling (1.25 jitter · 5ms).
+	if durations[3] < 2*durations[0] {
+		t.Errorf("latency did not grow: %v", durations)
+	}
+	d.ClearFault()
+	start := time.Now()
+	if err := d.ConfigureTechnique(1, DefaultCV()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Millisecond {
+		t.Error("commands still slow after ClearFault")
+	}
+}
+
+func TestInjectFaultRejectsUnknownMode(t *testing.T) {
+	d, _, _ := filledDevice(t)
+	if err := d.InjectFault(DeviceFault{Mode: "gremlins"}); err == nil {
+		t.Fatal("unknown fault mode accepted")
+	}
+}

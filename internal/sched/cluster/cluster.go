@@ -109,6 +109,12 @@ type Config struct {
 	// RetryAfter is the back-off hint attached to 503 responses for
 	// unreachable facilities (default 2s).
 	RetryAfter time.Duration
+	// QuarantineHold is how long a dead peer's last-advertised
+	// instrument quarantine blocks adopting its jobs (default 30s):
+	// failing over onto a lab whose potentiostat was wedged minutes ago
+	// just re-runs the jobs into the same wall. After the hold the
+	// fencing probe alone gates adoption again.
+	QuarantineHold time.Duration
 }
 
 // peerState is the node's live view of one peer.
@@ -123,6 +129,12 @@ type peerState struct {
 	adopted     bool
 	term        uint64
 	leading     map[string]uint64
+	// quarantined is the peer's last-advertised sick-instrument list;
+	// quarantinedAt stamps when it was heard. A dead gateway's stale
+	// advertisement holds back adoption for QuarantineHold.
+	quarantined   []string
+	quarantinedAt time.Time
+	adoptBlocked  bool
 }
 
 // Node is one facility's gateway inside the federation.
@@ -181,6 +193,9 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 2 * time.Second
 	}
+	if cfg.QuarantineHold <= 0 {
+		cfg.QuarantineHold = 30 * time.Second
+	}
 
 	n := &Node{
 		cfg:     cfg,
@@ -221,6 +236,24 @@ func NewNode(cfg Config) (*Node, error) {
 	scfg.IDPrefix = cfg.Facility
 	scfg.WALMirror = func(rec sched.WALRecord) error {
 		return n.rep.mirrorWAL(rec)
+	}
+	// Health gating is facility-scoped: the breakers watch this node's
+	// own instruments (the facility-prefixed lease names its LabRunner
+	// gates on), and only home-facility jobs are gated by them —
+	// adopted foreign jobs drive the peer's lab, whose health the peer
+	// advertised in heartbeats instead.
+	if !scfg.Health.Disabled && scfg.Health.Instruments == nil {
+		home := FacilityResources(cfg.Facility)
+		scfg.Health.Instruments = map[string][]string{
+			"sp200": {home[0]},
+			"jkem":  {home[1]},
+		}
+	}
+	if scfg.Health.Applies == nil {
+		homeFac := cfg.Facility
+		scfg.Health.Applies = func(spec sched.JobSpec) bool {
+			return spec.Facility == "" || spec.Facility == homeFac
+		}
 	}
 	s, err := sched.New(scfg)
 	if err != nil {
@@ -412,6 +445,9 @@ func (n *Node) updateGauges() {
 	n.metrics.Gauge("cluster.term").Set(int64(st.Term))
 	n.metrics.Gauge("cluster.replication.lag").Set(st.ReplicationLag)
 	n.metrics.Gauge("cluster.peers.reachable").Set(reach)
+	if sup := n.sch.Health(); sup != nil {
+		n.metrics.Gauge("cluster.quarantined").Set(int64(len(sup.QuarantinedList())))
+	}
 }
 
 // MirrorJournal replicates one workflow checkpoint line; LabRunners

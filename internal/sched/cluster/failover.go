@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -121,7 +122,12 @@ func (n *Node) observeState(facility string, st stateMsg) {
 	ps.everSeen = true
 	ps.reachable = true
 	ps.partitioned = false
+	ps.adoptBlocked = false
 	ps.term = st.Term
+	ps.quarantined = append([]string(nil), st.Quarantined...)
+	if len(st.Quarantined) > 0 {
+		ps.quarantinedAt = time.Now()
+	}
 	leading := make(map[string]uint64, len(st.Leading))
 	for fac, term := range st.Leading {
 		leading[fac] = term
@@ -246,6 +252,26 @@ func (n *Node) probe(p Peer) error {
 // every liquid-handling action exactly once.
 func (n *Node) adoptFacility(ps *peerState) {
 	fac := ps.peer.Facility
+	// Failover never adopts jobs onto a known-quarantined instrument:
+	// if the dead gateway's last heartbeat advertised sick instruments,
+	// its jobs would land straight back on the same wedged lab. Hold
+	// adoption until the advertisement ages out (QuarantineHold); the
+	// fencing probe still gates after that.
+	n.mu.Lock()
+	quarantined := ps.quarantined
+	heldBack := len(quarantined) > 0 && time.Since(ps.quarantinedAt) < n.cfg.QuarantineHold
+	firstBlock := heldBack && !ps.adoptBlocked
+	ps.adoptBlocked = heldBack
+	n.mu.Unlock()
+	if heldBack {
+		if firstBlock {
+			n.span.Event("cluster.failover.held",
+				"facility", fac,
+				"quarantined", strings.Join(quarantined, ","))
+			n.metrics.Counter("cluster.failovers.held").Inc()
+		}
+		return
+	}
 	items, err := n.store.Read(fac)
 	if err != nil {
 		n.span.Event("cluster.failover.error", "facility", fac, "error", err.Error())

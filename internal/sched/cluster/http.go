@@ -25,6 +25,12 @@ type stateMsg struct {
 	// Adopted lists, per foreign facility this node leads, the live
 	// job IDs it adopted — a restarting gateway disowns exactly these.
 	Adopted map[string][]string `json:"adopted,omitempty"`
+	// Quarantined lists this node's instruments currently under an open
+	// (or half-open) health breaker. Peers remember the last
+	// advertisement: failover onto a facility whose lab was sick when
+	// its gateway died is held back, so adoption never lands jobs onto
+	// a known-quarantined instrument.
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // state snapshots the node's advertisement.
@@ -48,12 +54,17 @@ func (n *Node) state() stateMsg {
 		}
 		adopted[fac] = append(adopted[fac], job.ID)
 	}
+	var quarantined []string
+	if sup := n.sch.Health(); sup != nil {
+		quarantined = sup.QuarantinedList()
+	}
 	return stateMsg{
-		Facility: n.cfg.Facility,
-		Term:     term,
-		Seq:      n.sch.WAL().LastSeq(),
-		Leading:  leading,
-		Adopted:  adopted,
+		Facility:    n.cfg.Facility,
+		Term:        term,
+		Seq:         n.sch.WAL().LastSeq(),
+		Leading:     leading,
+		Adopted:     adopted,
+		Quarantined: quarantined,
 	}
 }
 

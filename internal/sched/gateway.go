@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"ice/internal/sched/health"
 	"ice/internal/telemetry"
 	"ice/internal/trace"
 )
@@ -83,11 +84,25 @@ func (g *Gateway) Registry() *telemetry.Registry { return g.reg }
 // (zero when no cluster is attached).
 func (g *Gateway) SetReady(f func() ReadyStatus) { g.ready = f }
 
-// healthz is pure liveness: the process is up and answering.
+// healthz is process liveness plus the instrument health view: the
+// per-instrument breaker snapshots and the count currently
+// quarantined. The process answers 200 even with instruments down —
+// operators watch the quarantined count, orchestrators the status code.
 func (g *Gateway) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		OK bool `json:"ok"`
-	}{OK: true})
+	resp := struct {
+		OK          bool                    `json:"ok"`
+		Quarantined int                     `json:"quarantined,omitempty"`
+		Instruments []health.ResourceHealth `json:"instruments,omitempty"`
+	}{OK: true}
+	if sup := g.S.Health(); sup != nil {
+		resp.Instruments = sup.Snapshot()
+		for _, ih := range resp.Instruments {
+			if ih.State != health.Closed {
+				resp.Quarantined++
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // readyz reports role and replication health; 503 while not ready so
@@ -145,6 +160,9 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 type apiError struct {
 	Error      string  `json:"error"`
 	RetryAfter float64 `json:"retry_after_s,omitempty"`
+	// Permanent: resubmitting unchanged will never succeed here; try
+	// another facility instead of sleeping on Retry-After.
+	Permanent bool `json:"permanent,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -176,6 +194,7 @@ func (g *Gateway) submit(w http.ResponseWriter, r *http.Request) {
 	job, err := g.S.Submit(spec)
 	if err != nil {
 		var busy *Busy
+		var unavail *Unavailable
 		switch {
 		case errors.As(err, &busy):
 			secs := int(busy.RetryAfter / time.Second)
@@ -186,6 +205,20 @@ func (g *Gateway) submit(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusTooManyRequests, apiError{
 				Error:      busy.Reason,
 				RetryAfter: busy.RetryAfter.Seconds(),
+			})
+		case errors.As(err, &unavail):
+			// 503, not 429: the facility is sick, not saturated. The
+			// Retry-After reflects the quarantine cool-down so the client
+			// resubmits when a recovery probe could have run.
+			secs := int(unavail.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusServiceUnavailable, apiError{
+				Error:      unavail.Reason,
+				RetryAfter: unavail.RetryAfter.Seconds(),
+				Permanent:  unavail.Permanent,
 			})
 		case errors.Is(err, ErrStopped):
 			writeError(w, http.StatusServiceUnavailable, err.Error())

@@ -1,0 +1,213 @@
+// Package health supervises instrument liveness for the scheduler: a
+// per-instrument circuit breaker (closed → open → half-open), a
+// background probe loop that issues cheap status reads, and a failure
+// classifier that separates transport hiccups from sick instruments
+// and from workload bugs. The scheduler quarantines instruments whose
+// breaker is open; this package deliberately knows nothing about jobs
+// or leases so the dependency points one way (sched imports health).
+package health
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a circuit-breaker position.
+type State int
+
+const (
+	// Closed: the instrument is believed healthy; work flows.
+	Closed State = iota
+	// Open: the instrument is quarantined; no work is dispatched and
+	// no lease is granted until a recovery probe succeeds.
+	Open
+	// HalfOpen: the cool-down elapsed and a recovery probe is in
+	// flight; the next probe outcome decides Open vs Closed.
+	HalfOpen
+)
+
+// String renders the state for logs and metrics labels.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// BreakerConfig parameterises one breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive instrument-class
+	// failures that opens the breaker (default 3). Trip bypasses it.
+	FailureThreshold int
+	// OpenFor is the cool-down before an open breaker admits a
+	// half-open recovery probe (default 5s).
+	OpenFor time.Duration
+	// Now injects a clock for tests (default time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is one instrument's circuit breaker. All methods are safe
+// for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     State
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last opened
+	lastCause string    // most recent failure description
+	opens     int64     // lifetime open transitions
+	recovered int64     // lifetime open→closed recoveries
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Failure records one instrument-class failure. It reports whether
+// this failure transitioned the breaker to Open. A failure observed
+// during HalfOpen (the recovery probe failed) re-opens immediately and
+// restarts the cool-down.
+func (b *Breaker) Failure(cause string) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastCause = cause
+	switch b.state {
+	case Open:
+		return false
+	case HalfOpen:
+		b.openLocked()
+		return true
+	default:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.openLocked()
+			return true
+		}
+		return false
+	}
+}
+
+// Trip opens the breaker immediately regardless of the failure count —
+// for hard evidence like a phase-budget timeout, where waiting for two
+// more failures just wedges two more jobs. Reports whether this call
+// performed the transition.
+func (b *Breaker) Trip(cause string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open {
+		return false
+	}
+	b.lastCause = cause
+	b.openLocked()
+	return true
+}
+
+func (b *Breaker) openLocked() {
+	b.state = Open
+	b.failures = 0
+	b.openedAt = b.cfg.Now()
+	b.opens++
+}
+
+// Success records one successful interaction (a probe or a completed
+// job phase). It reports whether this success recovered the breaker
+// from quarantine (HalfOpen → Closed).
+func (b *Breaker) Success() (recovered bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.state = Closed
+		b.failures = 0
+		b.recovered++
+		return true
+	case Open:
+		// Successes while Open are ignored: recovery must go through
+		// a half-open probe so a single lucky call can't unquarantine
+		// a flapping instrument.
+		return false
+	default:
+		b.failures = 0
+		return false
+	}
+}
+
+// ProbeDue reports whether a recovery probe should run now, and moves
+// Open → HalfOpen when the cool-down has elapsed. Closed breakers are
+// always probe-eligible (cheap liveness checks); an Open breaker
+// inside its cool-down is not.
+func (b *Breaker) ProbeDue() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		return true
+	default:
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+			b.state = HalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+// State returns the current position.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSnapshot is a point-in-time view for healthz and metrics.
+type BreakerSnapshot struct {
+	State     State  `json:"-"`
+	StateName string `json:"state"`
+	Failures  int    `json:"consecutive_failures,omitempty"`
+	LastCause string `json:"last_cause,omitempty"`
+	Opens     int64  `json:"opens,omitempty"`
+	Recovered int64  `json:"recoveries,omitempty"`
+	// OpenForMS is how long the breaker has been open (0 when closed).
+	OpenForMS int64 `json:"open_for_ms,omitempty"`
+}
+
+// Snapshot returns the current view.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := BreakerSnapshot{
+		State:     b.state,
+		StateName: b.state.String(),
+		Failures:  b.failures,
+		LastCause: b.lastCause,
+		Opens:     b.opens,
+		Recovered: b.recovered,
+	}
+	if b.state != Closed && !b.openedAt.IsZero() {
+		s.OpenForMS = b.cfg.Now().Sub(b.openedAt).Milliseconds()
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"strings"
+)
+
+// Class is a failure attribution: who is to blame decides what the
+// scheduler does about it.
+type Class string
+
+const (
+	// ClassTransport: the network between facilities misbehaved. The
+	// instrument itself may be fine — retry cheaply, only repeated
+	// transport failures should open a breaker.
+	ClassTransport Class = "transport"
+	// ClassInstrument: the instrument (or its controller) is sick —
+	// bad state, injected fault, a phase that blew its budget, a lease
+	// heartbeat that died while held. Counts against the breaker and
+	// justifies quarantine.
+	ClassInstrument Class = "instrument"
+	// ClassWorkload: the job itself is at fault (validation error,
+	// cancellation, its own deadline exhausted). Never counts against
+	// an instrument.
+	ClassWorkload Class = "workload"
+)
+
+// Classify attributes an error to a failure class. The scheduler
+// layers job-deadline awareness on top: a context.DeadlineExceeded is
+// attributed to the instrument only when the job's own deadline had
+// not yet arrived (i.e. a per-phase sub-budget fired, which is
+// evidence of a hang rather than a slow workload).
+func Classify(err error) Class {
+	if err == nil {
+		return ClassWorkload
+	}
+	if errors.Is(err, context.Canceled) {
+		return ClassWorkload
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		// A deadline that fired mid-phase is hang evidence. Callers
+		// who know the job budget itself expired should not report the
+		// failure here at all.
+		return ClassInstrument
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) {
+		return ClassTransport
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ClassTransport
+	}
+	msg := err.Error()
+	for _, pat := range transportPatterns {
+		if strings.Contains(msg, pat) {
+			return ClassTransport
+		}
+	}
+	for _, pat := range instrumentPatterns {
+		if strings.Contains(msg, pat) {
+			return ClassInstrument
+		}
+	}
+	return ClassWorkload
+}
+
+// transportPatterns match errors from the dial/stream layer; Go's net
+// package wraps syscall errors in text that survives fmt.Errorf
+// chains even when errors.As cannot reach the original type.
+var transportPatterns = []string{
+	"connection refused",
+	"connection reset",
+	"broken pipe",
+	"use of closed network connection",
+	"no such host",
+	"i/o timeout",
+	"dial tcp",
+}
+
+// instrumentPatterns match instrument-side failures that arrive as
+// rendered text through the pyro error envelope (the daemon transports
+// error strings, not error values).
+var instrumentPatterns = []string{
+	"invalid in current state", // potentiostat ErrBadState
+	"injected device fault",    // potentiostat/jkem fault injection
+	"acquisition aborted",      // potentiostat ErrAborted (fenced run)
+	"lease expired while held", // heartbeat died mid-hold
+	"exceeded its",             // phase budget wrapper text
+	"OVERLOAD",                 // persistent range overload
+}

@@ -1,0 +1,290 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker cool-down tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3})
+	if b.Failure("one") || b.Failure("two") {
+		t.Fatal("breaker opened below the failure threshold")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v before threshold, want closed", b.State())
+	}
+	if !b.Failure("three") {
+		t.Fatal("third consecutive failure did not open the breaker")
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after threshold, want open", b.State())
+	}
+	// Further failures while open are absorbed, not re-transitions.
+	if b.Failure("four") {
+		t.Error("failure while open reported a transition")
+	}
+	if got := b.Snapshot().Opens; got != 1 {
+		t.Errorf("opens = %d, want 1", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3})
+	b.Failure("one")
+	b.Failure("two")
+	b.Success()
+	b.Failure("three")
+	b.Failure("four")
+	if b.State() != Closed {
+		t.Fatal("interleaved success did not reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerTripBypassesThreshold(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 5})
+	if !b.Trip("phase budget blown") {
+		t.Fatal("Trip did not open a closed breaker")
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after Trip, want open", b.State())
+	}
+	if b.Trip("again") {
+		t.Error("Trip on an already-open breaker reported a transition")
+	}
+}
+
+func TestBreakerRecoveryCycle(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: 10 * time.Second, Now: clk.Now})
+	b.Failure("wedged")
+	if b.ProbeDue() {
+		t.Fatal("open breaker inside its cool-down admitted a probe")
+	}
+	// A lucky success while open must not unquarantine.
+	if b.Success() {
+		t.Fatal("success while open recovered the breaker without a half-open probe")
+	}
+	clk.Advance(11 * time.Second)
+	if !b.ProbeDue() {
+		t.Fatal("cool-down elapsed but no probe admitted")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after cool-down, want half-open", b.State())
+	}
+	if !b.Success() {
+		t.Fatal("half-open success did not recover the breaker")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after recovery, want closed", b.State())
+	}
+	snap := b.Snapshot()
+	if snap.Opens != 1 || snap.Recovered != 1 {
+		t.Errorf("opens/recovered = %d/%d, want 1/1", snap.Opens, snap.Recovered)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: 10 * time.Second, Now: clk.Now})
+	b.Failure("wedged")
+	clk.Advance(11 * time.Second)
+	b.ProbeDue() // → half-open
+	if !b.Failure("still busy") {
+		t.Fatal("half-open failure did not re-open")
+	}
+	// The cool-down restarted: no probe until another OpenFor passes.
+	if b.ProbeDue() {
+		t.Fatal("re-opened breaker admitted a probe without a fresh cool-down")
+	}
+	clk.Advance(11 * time.Second)
+	if !b.ProbeDue() {
+		t.Fatal("second cool-down elapsed but no probe admitted")
+	}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "deadline reached" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassWorkload},
+		{context.Canceled, ClassWorkload},
+		{fmt.Errorf("run: %w", context.Canceled), ClassWorkload},
+		{context.DeadlineExceeded, ClassInstrument},
+		{fmt.Errorf("step 7: %w", context.DeadlineExceeded), ClassInstrument},
+		{&net.OpError{Op: "dial", Err: timeoutErr{}}, ClassTransport},
+		{io.EOF, ClassTransport},
+		{io.ErrUnexpectedEOF, ClassTransport},
+		{errors.New("dial tcp 10.0.0.1:9999: connection refused"), ClassTransport},
+		{errors.New("write: broken pipe"), ClassTransport},
+		{errors.New("potentiostat: Connect invalid in current state off"), ClassInstrument},
+		{errors.New("potentiostat: injected device fault: StartChannel"), ClassInstrument},
+		{errors.New("run cancelled: potentiostat: acquisition aborted after 128 records"), ClassInstrument},
+		{errors.New("lease expired while held by j-000007"), ClassInstrument},
+		{errors.New("sp200 acquire phase exceeded its 1.5s budget"), ClassInstrument},
+		{errors.New("cv spec: scan rate 900 mV/s out of range"), ClassWorkload},
+		{errors.New("some application error"), ClassWorkload},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestSupervisorQuarantineAndRecovery(t *testing.T) {
+	var mu sync.Mutex
+	probeErr := errors.New("potentiostat: injected device fault: Status")
+	fenced := 0
+	var transitions []Transition
+
+	sup := NewSupervisor(Config{
+		ProbeInterval: time.Hour, // probes only via ProbeNow
+		ProbeTimeout:  time.Second,
+		Breaker:       BreakerConfig{FailureThreshold: 2, OpenFor: time.Millisecond},
+		OnTransition: func(tr Transition) {
+			mu.Lock()
+			transitions = append(transitions, tr)
+			mu.Unlock()
+		},
+		Fence: func(ctx context.Context, resource string) {
+			mu.Lock()
+			fenced++
+			mu.Unlock()
+		},
+	})
+	sup.Register("sp200/ch1", func(ctx context.Context, recovering bool) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return probeErr
+	})
+	sup.Start()
+	defer sup.Stop()
+
+	sup.ProbeNow("sp200/ch1")
+	if sup.Quarantined("sp200/ch1") {
+		t.Fatal("quarantined after one failure with threshold 2")
+	}
+	sup.ProbeNow("sp200/ch1")
+	if !sup.Quarantined("sp200/ch1") {
+		t.Fatal("not quarantined after reaching the failure threshold")
+	}
+	if got := sup.QuarantinedList(); len(got) != 1 || got[0] != "sp200/ch1" {
+		t.Fatalf("QuarantinedList = %v", got)
+	}
+
+	// Heal the instrument; after the cool-down a half-open probe closes
+	// the breaker.
+	mu.Lock()
+	probeErr = nil
+	mu.Unlock()
+	time.Sleep(5 * time.Millisecond) // cool-down (1ms) elapses
+	sup.ProbeNow("sp200/ch1")
+	if sup.Quarantined("sp200/ch1") {
+		t.Fatal("still quarantined after a successful recovery probe")
+	}
+
+	sup.Stop() // waits for the async fence
+	mu.Lock()
+	defer mu.Unlock()
+	if fenced != 1 {
+		t.Errorf("fence ran %d times, want 1", fenced)
+	}
+	if len(transitions) != 2 {
+		t.Fatalf("transitions = %+v, want open then closed", transitions)
+	}
+	if transitions[0].To != Open || transitions[1].To != Closed {
+		t.Errorf("transition sequence = %+v", transitions)
+	}
+}
+
+func TestSupervisorProbeTimeoutDetectsHang(t *testing.T) {
+	sup := NewSupervisor(Config{
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  20 * time.Millisecond,
+		Breaker:       BreakerConfig{FailureThreshold: 1, OpenFor: time.Hour},
+	})
+	// A hung controller: the probe never answers; only the supervisor's
+	// deadline notices.
+	sup.Register("sp200/ch1", func(ctx context.Context, recovering bool) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	sup.Start()
+	defer sup.Stop()
+	sup.ProbeNow("sp200/ch1")
+	if !sup.Quarantined("sp200/ch1") {
+		t.Fatal("hung probe did not quarantine the instrument")
+	}
+	snap := sup.Snapshot()
+	if len(snap) != 1 || snap[0].State != Open {
+		t.Fatalf("snapshot = %+v, want one open instrument", snap)
+	}
+}
+
+func TestSupervisorRecoveringProbeFlag(t *testing.T) {
+	var mu sync.Mutex
+	var sawRecovering bool
+	sup := NewSupervisor(Config{
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  time.Second,
+		Breaker:       BreakerConfig{FailureThreshold: 1, OpenFor: time.Millisecond},
+	})
+	sup.Register("sp200/ch1", func(ctx context.Context, recovering bool) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if recovering {
+			sawRecovering = true
+		}
+		return nil
+	})
+	sup.Start()
+	defer sup.Stop()
+
+	sup.ProbeNow("sp200/ch1")
+	mu.Lock()
+	if sawRecovering {
+		mu.Unlock()
+		t.Fatal("closed-state liveness probe ran with recovering=true")
+	}
+	mu.Unlock()
+
+	sup.ReportWedge("sp200/ch1", "budget blown")
+	time.Sleep(5 * time.Millisecond)
+	sup.ProbeNow("sp200/ch1")
+	mu.Lock()
+	defer mu.Unlock()
+	if !sawRecovering {
+		t.Fatal("half-open probe did not run with recovering=true")
+	}
+}

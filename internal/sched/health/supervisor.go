@@ -1,0 +1,373 @@
+package health
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"ice/internal/telemetry"
+)
+
+// Prober issues one cheap status read against an instrument. The
+// recovering flag is true for half-open probes deciding whether to
+// close the breaker; probers should apply stricter criteria there
+// (e.g. the potentiostat prober also requires no busy channel, since a
+// legitimate holder cannot exist while the instrument is quarantined —
+// a channel still busy means the wedge survived).
+type Prober func(ctx context.Context, recovering bool) error
+
+// Transition describes one breaker state change.
+type Transition struct {
+	Resource string
+	From, To State
+	Cause    string
+}
+
+// Config parameterises a Supervisor.
+type Config struct {
+	// ProbeInterval paces the background probe loop (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe call (default 500ms) — a probe
+	// that cannot answer inside it counts as a failure, which is how a
+	// hung controller is detected at all.
+	ProbeTimeout time.Duration
+	// Breaker configures every instrument's breaker.
+	Breaker BreakerConfig
+	// OnTransition, when set, is called (outside supervisor locks) on
+	// every breaker state change.
+	OnTransition func(Transition)
+	// OnProbe, when set, observes every probe outcome.
+	OnProbe func(resource string, recovering bool, err error)
+	// Fence, when set, is called once (async) when a breaker opens —
+	// the hook that aborts whatever the quarantined instrument is
+	// doing so a wedged run cannot complete behind the scheduler's
+	// back and break exactly-once accounting.
+	Fence func(ctx context.Context, resource string)
+	// Metrics, when set, receives breaker gauges and probe counters.
+	Metrics *telemetry.Collector
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Supervisor runs per-instrument circuit breakers and the background
+// probe loop. It knows nothing about jobs or leases; the scheduler
+// subscribes via OnTransition/Changed and asks Quarantined before
+// granting work.
+type Supervisor struct {
+	cfg Config
+
+	mu          sync.Mutex
+	instruments map[string]*instrument
+	changed     chan struct{}
+	stop        chan struct{}
+	started     bool
+	wg          sync.WaitGroup
+}
+
+type instrument struct {
+	resource string
+	breaker  *Breaker
+	prober   Prober
+	probing  bool // a probe is in flight; skip this tick
+}
+
+// ResourceHealth is one instrument's externally visible health.
+type ResourceHealth struct {
+	Resource string `json:"resource"`
+	BreakerSnapshot
+}
+
+// NewSupervisor returns a supervisor with no instruments registered.
+func NewSupervisor(cfg Config) *Supervisor {
+	return &Supervisor{
+		cfg:         cfg.withDefaults(),
+		instruments: make(map[string]*instrument),
+		changed:     make(chan struct{}),
+		stop:        make(chan struct{}),
+	}
+}
+
+// Register adds an instrument. A nil prober is allowed: the breaker
+// then moves only on reported outcomes (runner errors, lease expiry),
+// and recovery happens via ReportSuccess or a half-open ProbeNow from
+// an operator. Safe to call before or after Start.
+func (s *Supervisor) Register(resource string, prober Prober) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.instruments[resource]; ok {
+		if prober != nil {
+			s.instruments[resource].prober = prober
+		}
+		return
+	}
+	s.instruments[resource] = &instrument{
+		resource: resource,
+		breaker:  NewBreaker(s.cfg.Breaker),
+		prober:   prober,
+	}
+	s.setGauge(resource, Closed)
+}
+
+// Start launches the background probe loop. Idempotent.
+func (s *Supervisor) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.probeLoop()
+}
+
+// Stop halts the probe loop and waits for in-flight probes.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = false
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+}
+
+func (s *Supervisor) probeLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.probeTick()
+		}
+	}
+}
+
+// probeTick probes every due instrument concurrently; each instrument
+// has at most one probe in flight.
+func (s *Supervisor) probeTick() {
+	s.mu.Lock()
+	var due []*instrument
+	for _, in := range s.instruments {
+		if in.prober == nil || in.probing {
+			continue
+		}
+		if !in.breaker.ProbeDue() {
+			continue
+		}
+		in.probing = true
+		due = append(due, in)
+	}
+	s.mu.Unlock()
+	for _, in := range due {
+		in := in
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.probeOne(in)
+		}()
+	}
+}
+
+func (s *Supervisor) probeOne(in *instrument) {
+	recovering := in.breaker.State() == HalfOpen
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeTimeout)
+	err := in.prober(ctx, recovering)
+	cancel()
+	s.mu.Lock()
+	in.probing = false
+	s.mu.Unlock()
+	if s.cfg.OnProbe != nil {
+		s.cfg.OnProbe(in.resource, recovering, err)
+	}
+	if s.cfg.Metrics != nil {
+		if err != nil {
+			s.cfg.Metrics.Counter("health.probes.fail").Inc()
+		} else {
+			s.cfg.Metrics.Counter("health.probes.ok").Inc()
+		}
+	}
+	if err != nil {
+		from := in.breaker.State()
+		if opened := in.breaker.Failure("probe: " + err.Error()); opened {
+			s.transitioned(in, from, Open, "probe: "+err.Error())
+		}
+		return
+	}
+	from := in.breaker.State()
+	if recovered := in.breaker.Success(); recovered {
+		s.transitioned(in, from, Closed, "recovery probe succeeded")
+	}
+}
+
+// ProbeNow runs one synchronous probe against the instrument (tests
+// and operator tooling; the background loop uses the same path).
+func (s *Supervisor) ProbeNow(resource string) {
+	s.mu.Lock()
+	in, ok := s.instruments[resource]
+	if !ok || in.prober == nil || in.probing {
+		s.mu.Unlock()
+		return
+	}
+	// ProbeDue performs the Open → HalfOpen move when the cool-down
+	// has elapsed; skip probing an instrument still cooling down.
+	if !in.breaker.ProbeDue() {
+		s.mu.Unlock()
+		return
+	}
+	in.probing = true
+	s.mu.Unlock()
+	s.probeOne(in)
+}
+
+// ReportFailure feeds one instrument-class failure observed outside
+// the probe loop (a runner error, a lease that expired while held).
+// Transport- and workload-class errors should not be reported here;
+// the caller classifies first.
+func (s *Supervisor) ReportFailure(resource, cause string) {
+	s.mu.Lock()
+	in, ok := s.instruments[resource]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	from := in.breaker.State()
+	if opened := in.breaker.Failure(cause); opened {
+		s.transitioned(in, from, Open, cause)
+	}
+}
+
+// ReportWedge opens the breaker immediately — hard evidence such as a
+// phase budget blown mid-acquire, where waiting out the failure
+// threshold would wedge more jobs on a known-sick instrument.
+func (s *Supervisor) ReportWedge(resource, cause string) {
+	s.mu.Lock()
+	in, ok := s.instruments[resource]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	from := in.breaker.State()
+	if opened := in.breaker.Trip(cause); opened {
+		s.transitioned(in, from, Open, cause)
+	}
+}
+
+// ReportSuccess feeds one successful instrument interaction.
+func (s *Supervisor) ReportSuccess(resource string) {
+	s.mu.Lock()
+	in, ok := s.instruments[resource]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	from := in.breaker.State()
+	if recovered := in.breaker.Success(); recovered {
+		s.transitioned(in, from, Closed, "reported success")
+	}
+}
+
+// transitioned records a state change: gauges, counters, the Changed
+// broadcast, the fence (on open), and the OnTransition callback. Never
+// called with supervisor locks held.
+func (s *Supervisor) transitioned(in *instrument, from, to State, cause string) {
+	s.setGauge(in.resource, to)
+	if s.cfg.Metrics != nil {
+		switch to {
+		case Open:
+			s.cfg.Metrics.Counter("health.quarantines").Inc()
+		case Closed:
+			s.cfg.Metrics.Counter("health.recoveries").Inc()
+		}
+	}
+	s.broadcast()
+	if to == Open && s.cfg.Fence != nil {
+		resource := in.resource
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeTimeout)
+			defer cancel()
+			s.cfg.Fence(ctx, resource)
+		}()
+	}
+	if s.cfg.OnTransition != nil {
+		s.cfg.OnTransition(Transition{Resource: in.resource, From: from, To: to, Cause: cause})
+	}
+}
+
+func (s *Supervisor) setGauge(resource string, st State) {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	s.cfg.Metrics.Gauge("health.breaker." + resource).Set(int64(st))
+}
+
+// broadcast closes and replaces the changed channel.
+func (s *Supervisor) broadcast() {
+	s.mu.Lock()
+	close(s.changed)
+	s.changed = make(chan struct{})
+	s.mu.Unlock()
+}
+
+// Changed returns a channel closed at the next breaker transition.
+// Grab a fresh one after each wake.
+func (s *Supervisor) Changed() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.changed
+}
+
+// Quarantined reports whether the resource's breaker is open or
+// half-open (a half-open instrument is still quarantined: only the
+// recovery probe may touch it). Unregistered resources are healthy.
+func (s *Supervisor) Quarantined(resource string) bool {
+	s.mu.Lock()
+	in, ok := s.instruments[resource]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return in.breaker.State() != Closed
+}
+
+// QuarantinedList returns the sorted quarantined resources.
+func (s *Supervisor) QuarantinedList() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for name, in := range s.instruments {
+		if in.breaker.State() != Closed {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns every instrument's health, sorted by resource.
+func (s *Supervisor) Snapshot() []ResourceHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ResourceHealth, 0, len(s.instruments))
+	for name, in := range s.instruments {
+		out = append(out, ResourceHealth{Resource: name, BreakerSnapshot: in.breaker.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out
+}

@@ -65,6 +65,15 @@ type JobSpec struct {
 	// the receiving gateway forward the job to that facility's leader
 	// and proxy status/SSE back to the submitter.
 	Facility string `json:"facility,omitempty"`
+	// DeadlineMS bounds the job's end-to-end wall time in milliseconds,
+	// measured from admission (queue wait included). The scheduler
+	// derives a context deadline that flows gateway → runner → pyro
+	// calls, with per-phase sub-budgets, so a hung instrument surfaces
+	// in seconds instead of riding out the lease TTL. 0 means no
+	// deadline. A deadline below the scheduler's configured minimum is
+	// rejected at admission with 503 + Retry-After rather than
+	// admitted to certainly fail.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// ScanRateMVs and Points parameterise a cv job.
 	ScanRateMVs float64 `json:"scan_rate_mvs,omitempty"`
 	Points      int     `json:"points,omitempty"`
@@ -112,6 +121,10 @@ func (s *JobSpec) Validate() error {
 	}
 	if err := validateName("facility", s.Facility, maxLabelLen, false); err != nil {
 		return err
+	}
+	// One day bounds any legitimate experiment; negative is nonsense.
+	if s.DeadlineMS < 0 || s.DeadlineMS > 86_400_000 {
+		return fmt.Errorf("sched: deadline_ms %d outside 0..86400000", s.DeadlineMS)
 	}
 	switch s.Kind {
 	case KindCV:

@@ -49,6 +49,18 @@ type Leases struct {
 	mu        sync.Mutex
 	closed    bool
 	resources map[string]*leaseState
+
+	// quarantined, when set, vetoes grants on sick instruments: a free
+	// resource for which it returns true is not granted, and the waiter
+	// polls until the health supervisor recovers the instrument and
+	// calls WakeAll.
+	quarantined func(resource string) bool
+	// onExpired, when set, observes TTL revocations — the scheduler
+	// feeds them to the health supervisor as instrument-class failures
+	// (a heartbeat that died mid-hold is wedge evidence). Called in a
+	// fresh goroutine: the observer's downstream (supervisor →
+	// scheduler → WakeAll) re-enters this mutex.
+	onExpired func(resource, holder string)
 }
 
 // leaseState is one resource's slot: the current grant (if any) and a
@@ -92,6 +104,31 @@ func (m *Leases) SetMetrics(c *telemetry.Collector) { m.metrics = c }
 // TTL returns the configured lease duration.
 func (m *Leases) TTL() time.Duration { return m.ttl }
 
+// SetQuarantined installs the health veto. Set it before the scheduler
+// starts granting; passing nil removes the veto.
+func (m *Leases) SetQuarantined(fn func(resource string) bool) {
+	m.mu.Lock()
+	m.quarantined = fn
+	m.mu.Unlock()
+}
+
+// SetOnExpired installs the TTL-revocation observer.
+func (m *Leases) SetOnExpired(fn func(resource, holder string)) {
+	m.mu.Lock()
+	m.onExpired = fn
+	m.mu.Unlock()
+}
+
+// WakeAll signals every waiter to retry — called when an instrument
+// leaves quarantine, since no release or expiry event fires then.
+func (m *Leases) WakeAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.resources {
+		m.wakeLocked(st)
+	}
+}
+
 // Acquire blocks until the resource is free (or its current lease
 // expires un-renewed), then grants an exclusive lease to holder.
 func (m *Leases) Acquire(ctx context.Context, resource, holder string) (*Lease, error) {
@@ -124,6 +161,13 @@ func (m *Leases) TryAcquire(resource, holder string) (*Lease, error) {
 		return nil, err
 	}
 	if lease == nil {
+		m.mu.Lock()
+		q := m.quarantined != nil && m.quarantined(resource)
+		free := m.resources[resource] == nil || m.resources[resource].grant == nil
+		m.mu.Unlock()
+		if q && free {
+			return nil, fmt.Errorf("sched: %s is quarantined", resource)
+		}
 		return nil, fmt.Errorf("sched: %s is leased", resource)
 	}
 	return lease, nil
@@ -147,6 +191,19 @@ func (m *Leases) tryAcquire(resource, holder string) (*Lease, chan struct{}, tim
 	if st.grant != nil {
 		return nil, st.wake, st.expires.Sub(m.now()), nil
 	}
+	if m.quarantined != nil && m.quarantined(resource) {
+		// The slot is free but the instrument is sick. Poll on a short
+		// interval: recovery wakes waiters via WakeAll, the timer is
+		// the backstop if that signal is lost.
+		poll := m.ttl / 4
+		if poll < 50*time.Millisecond {
+			poll = 50 * time.Millisecond
+		}
+		if poll > time.Second {
+			poll = time.Second
+		}
+		return nil, st.wake, poll, nil
+	}
 	lease := &Lease{Resource: resource, Holder: holder, m: m}
 	st.grant = lease
 	st.expires = m.now().Add(m.ttl)
@@ -163,13 +220,17 @@ func (m *Leases) expireLocked(resource string, st *leaseState) {
 	if st.grant == nil || m.now().Before(st.expires) {
 		return
 	}
+	holder := st.grant.Holder
 	st.grant = nil
 	m.wakeLocked(st)
 	if m.metrics != nil {
 		m.metrics.Gauge("sched.leases.active").Dec()
 		m.metrics.Counter("sched.leases.expired").Inc()
 	}
-	_ = resource
+	if m.onExpired != nil {
+		// Fresh goroutine: the observer chain re-enters m.mu.
+		go m.onExpired(resource, holder)
+	}
 }
 
 // wakeLocked signals waiters that the slot may have freed.

@@ -1,0 +1,191 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ice/internal/core"
+	"ice/internal/datachan"
+	"ice/internal/sched/health"
+	"ice/internal/telemetry"
+)
+
+// LabProber bridges the health supervisor to the lab: it builds cheap
+// status probes and quarantine fences over the gateway's Connector,
+// sharing one lazily-opened pyro session across all probes (opening a
+// control connection per probe would itself stress a sick agent).
+//
+//	p := &LabProber{Connector: conn}
+//	sched.RegisterProber(sched.ResourceSP200, p.ProberFor(sched.ResourceSP200))
+//	sched.RegisterProber(sched.ResourceJKem, p.ProberFor(sched.ResourceJKem))
+//	sched.SetFence(p.FenceFor)
+type LabProber struct {
+	// Connector opens the probe session (same connector the runner uses).
+	Connector Connector
+
+	mu      sync.Mutex
+	session *core.RemoteSession
+	mount   datachan.Share
+	// probes / failures count outcomes for the telemetry source.
+	probes, failures int64
+}
+
+// acquireSession returns the shared probe session, dialling on first use.
+func (p *LabProber) acquireSession() (*core.RemoteSession, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.session != nil {
+		return p.session, nil
+	}
+	session, mount, err := p.Connector.ConnectSession()
+	if err != nil {
+		return nil, fmt.Errorf("probe connect: %w", err)
+	}
+	// The probe session doubles as the liveness sentinel: its watchdog
+	// heartbeats feed the session.* series HealthSource exports.
+	session.StartWatchdog(2*time.Second, 3)
+	p.session, p.mount = session, mount
+	return session, nil
+}
+
+// dropSession tears the shared session down so the next probe redials —
+// called after a transport-class probe failure, where the session
+// itself (not the instrument) may be the broken part.
+func (p *LabProber) dropSession() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closeLocked()
+}
+
+func (p *LabProber) closeLocked() {
+	if p.session != nil {
+		p.session.Close()
+		p.session = nil
+	}
+	if p.mount != nil {
+		p.mount.Close()
+		p.mount = nil
+	}
+}
+
+// Close releases the probe session.
+func (p *LabProber) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closeLocked()
+}
+
+// ProberFor builds the health.Prober for one instrument. Probes are
+// cheap status reads bounded by the supervisor's ProbeTimeout — the
+// deadline is the hang detector. A half-open recovery probe for the
+// potentiostat additionally requires the channel to be idle: while the
+// instrument was quarantined no legitimate holder existed, so a busy
+// channel means the wedged acquisition is still draining and the
+// breaker must stay open.
+func (p *LabProber) ProberFor(resource string) health.Prober {
+	class := resourceClass(resource)
+	return func(ctx context.Context, recovering bool) error {
+		session, err := p.acquireSession()
+		if err != nil {
+			p.count(err)
+			return err
+		}
+		switch class {
+		case "sp200":
+			status, err := session.SP200StatusCtx(ctx)
+			if err == nil && recovering && !strings.Contains(status, "busy=0") {
+				err = fmt.Errorf("sp200 recovery probe: channel still busy (%s)", status)
+			}
+			p.afterProbe(err)
+			return err
+		case "jkem":
+			_, err := session.JKemStatusCtx(ctx)
+			p.afterProbe(err)
+			return err
+		default:
+			err := fmt.Errorf("probe: unknown instrument class %q", class)
+			p.count(err)
+			return err
+		}
+	}
+}
+
+// afterProbe counts the outcome and drops the shared session on
+// transport-class failures so the next probe redials fresh.
+func (p *LabProber) afterProbe(err error) {
+	p.count(err)
+	if err != nil && health.Classify(err) == health.ClassTransport {
+		p.dropSession()
+	}
+}
+
+func (p *LabProber) count(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.probes++
+	if err != nil {
+		p.failures++
+	}
+}
+
+// FenceFor is the quarantine fence: when the potentiostat's breaker
+// opens mid-acquisition the fence aborts the channel, so the wedged
+// run terminates as an explicit ErrAborted partial instead of
+// completing behind the scheduler's back after the job was already
+// checkpoint-requeued (which would double-count against exactly-once
+// accounting). The J-Kem needs no fence: its commands are discrete.
+func (p *LabProber) FenceFor(ctx context.Context, resource string) {
+	if resourceClass(resource) != "sp200" {
+		return
+	}
+	session, err := p.acquireSession()
+	if err != nil {
+		return
+	}
+	session.BindCallContext(ctx)
+	defer session.BindCallContext(context.Background())
+	// Abort is tolerated when no acquisition is running.
+	if _, err := session.AbortSP200(); err != nil {
+		p.dropSession()
+	}
+}
+
+// HealthSource exposes probe traffic — and, when the probe session is
+// open, its watchdog's session.* liveness series — to /v1/metrics.
+func (p *LabProber) HealthSource() telemetry.Source {
+	return func() map[string]int64 {
+		p.mu.Lock()
+		out := map[string]int64{
+			"probe.total":     p.probes,
+			"probe.failures":  p.failures,
+			"probe.connected": 0,
+		}
+		session := p.session
+		p.mu.Unlock()
+		if session != nil {
+			out["probe.connected"] = 1
+			for k, v := range session.HealthSource("session.")() {
+				out[k] = v
+			}
+		}
+		return out
+	}
+}
+
+// resourceClass extracts the instrument class from a lease resource
+// name: "sp200/ch1" → "sp200", and with a facility scope,
+// "facA/sp200/ch1" → "sp200" or "labA-sp200/ch1" → "sp200".
+func resourceClass(resource string) string {
+	parts := strings.Split(resource, "/")
+	class := parts[0]
+	if len(parts) >= 2 {
+		class = parts[len(parts)-2]
+	}
+	if i := strings.LastIndexByte(class, '-'); i >= 0 {
+		class = class[i+1:]
+	}
+	return class
+}

@@ -199,6 +199,12 @@ type LabRunner struct {
 	// WaitPoll and WaitTimeout bound cv measurement retrieval.
 	WaitPoll    time.Duration
 	WaitTimeout time.Duration
+	// AcquireBudget bounds task D's acquire phase (connect through the
+	// on-instrument wait). When zero and the job carries an end-to-end
+	// deadline, a budget is derived from the remaining deadline, so a
+	// wedged potentiostat surfaces as a phase timeout in seconds rather
+	// than riding out the lease TTL.
+	AcquireBudget time.Duration
 	// OnTask, when set, observes every workflow checkpoint record as it
 	// is journaled, synchronously — crash drills use it to cut the
 	// daemon down at an exact task boundary.
@@ -280,6 +286,10 @@ func (r *LabRunner) runCV(ctx context.Context, job Job, emit func(string, string
 	// RPCs issued outside any task/phase (the pre-execute reset) parent
 	// under the attempt's run span.
 	session.BindTraceContext(ctx)
+	// Every RPC honours the job's deadline: a run context that expires
+	// (end-to-end budget, quarantine cancel) aborts in-flight calls
+	// instead of letting them block until the pyro timeout.
+	session.BindCallContext(ctx)
 
 	cfg := core.PaperCVWorkflowConfig()
 	cfg.TraceLabel = job.ID
@@ -295,10 +305,11 @@ func (r *LabRunner) runCV(ctx context.Context, job Job, emit func(string, string
 	if r.WaitTimeout > 0 {
 		cfg.WaitTimeout = r.WaitTimeout
 	}
+	cfg.AcquireTimeout = r.phaseBudgets(ctx)
 
 	gate := &InstrumentGate{
 		M:         r.Leases,
-		Resources: r.Resources,
+		Resources: r.gateResources(job),
 		Holder:    job.ID,
 		TraceCtx:  ctx,
 		OnEvent: func(msg string) {
@@ -372,6 +383,36 @@ func (r *LabRunner) runCV(ctx context.Context, job Job, emit func(string, string
 	return json.Marshal(result)
 }
 
+// gateResources picks the lease names the job's gates contend on: the
+// scheduler's per-job assignment when present (health routing), else
+// the runner-wide default.
+func (r *LabRunner) gateResources(job Job) []string {
+	if len(job.Resources) > 0 {
+		return job.Resources
+	}
+	return r.Resources
+}
+
+// phaseBudgets derives the acquire-phase sub-budget. An explicit
+// AcquireBudget wins; otherwise, when the run context carries an
+// end-to-end deadline, the acquire phase gets 60% of what remains —
+// enough that a hang inside acquisition is detected and classified as
+// a wedge well before the whole budget burns down.
+func (r *LabRunner) phaseBudgets(ctx context.Context) time.Duration {
+	if r.AcquireBudget > 0 {
+		return r.AcquireBudget
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	remaining := time.Until(dl)
+	if remaining <= 0 {
+		return 0
+	}
+	return remaining * 6 / 10
+}
+
 // relockGate is the teardown locker: Lock releases any still-held
 // leases (at most once, shared with the runner's deferred unlock) and
 // then re-acquires the gate; Unlock releases it again.
@@ -396,7 +437,7 @@ func (r *LabRunner) runCampaign(ctx context.Context, job Job, emit func(string, 
 	}
 	gate := &InstrumentGate{
 		M:         r.Leases,
-		Resources: r.Resources,
+		Resources: r.gateResources(job),
 		Holder:    job.ID,
 		TraceCtx:  ctx,
 		OnEvent: func(msg string) {
@@ -422,6 +463,7 @@ func (r *LabRunner) runCampaign(ctx context.Context, job Job, emit func(string, 
 			if err != nil {
 				return fmt.Errorf("connect cell %s: %w", name, err)
 			}
+			session.BindCallContext(ctx)
 			cleanups = append(cleanups, func() { session.Close(); mount.Close() })
 			cellName := name
 			fleet.Cells = append(fleet.Cells, campaign.FleetCell{

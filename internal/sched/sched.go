@@ -66,8 +66,14 @@ type Job struct {
 	// Attempts counts executions begun (2+ after a crash resume).
 	Attempts int `json:"attempts,omitempty"`
 	// Resumed marks a job re-enqueued from the WAL after a daemon
-	// restart found it PENDING or RUNNING.
+	// restart found it PENDING or RUNNING — or checkpoint-requeued
+	// after an instrument quarantine cut its attempt short.
 	Resumed bool `json:"resumed,omitempty"`
+	// Resources are the instruments assigned at dispatch (one healthy
+	// instance per resource class); the runner leases exactly these,
+	// which is how queued jobs route around a quarantined instrument
+	// when the lab offers an equivalent.
+	Resources []string `json:"resources,omitempty"`
 	// Result is the runner's JSON result for DONE jobs.
 	Result json.RawMessage `json:"result,omitempty"`
 	// Error carries the failure message for FAILED jobs.
@@ -110,6 +116,30 @@ type Busy struct {
 // Error implements error.
 func (b *Busy) Error() string {
 	return fmt.Sprintf("sched: %s, retry after %v", b.Reason, b.RetryAfter)
+}
+
+// Unavailable is the health-aware admission rejection: the request is
+// well-formed and the tenant within quota, but the facility cannot
+// execute it — every capable instrument is quarantined, or the
+// requested deadline cannot be met. The gateway maps it to HTTP 503
+// with a Retry-After header (vs Busy's 429: Busy means "you are
+// sending too much", Unavailable means "we are sick — try later or
+// try another facility").
+type Unavailable struct {
+	// Reason names the unavailability ("sp200/ch1 quarantined",
+	// "deadline 50ms below minimum 2s").
+	Reason string
+	// RetryAfter is the suggested back-off before resubmitting.
+	RetryAfter time.Duration
+	// Permanent marks rejections that resubmitting unchanged can never
+	// cure here (a deadline below the facility floor): clients should
+	// try another facility or give up, not sleep and retry.
+	Permanent bool
+}
+
+// Error implements error.
+func (u *Unavailable) Error() string {
+	return fmt.Sprintf("sched: unavailable: %s, retry after %v", u.Reason, u.RetryAfter)
 }
 
 // ErrUnknownJob is returned for job IDs the scheduler has never seen.

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ice/internal/sched/health"
 	"ice/internal/telemetry"
 	"ice/internal/trace"
 )
@@ -72,6 +73,11 @@ type Config struct {
 	// cluster's peer(s): it runs after the record is durable locally
 	// and before the append is acknowledged.
 	WALMirror func(WALRecord) error
+	// Health configures instrument health supervision: circuit
+	// breakers, probes, quarantine-aware dispatch, checkpoint-requeue,
+	// and deadline admission. The zero value enables it with defaults;
+	// set Health.Disabled for the pre-health behaviour.
+	Health HealthConfig
 }
 
 // jobEntry is the scheduler's in-memory record of one job: its state,
@@ -88,6 +94,13 @@ type jobEntry struct {
 	// cancelRequested distinguishes a user Cancel from a failure when
 	// the runner returns a context error.
 	cancelRequested bool
+	// requeueRequested marks a running job cut down by an instrument
+	// quarantine: its terminal transition is a checkpoint-requeue, not
+	// a failure.
+	requeueRequested bool
+	// resources are the instruments assigned at dispatch (one healthy
+	// instance per class); a quarantine of any of them cuts the job.
+	resources []string
 }
 
 // Scheduler is the multi-tenant experiment scheduler: admission
@@ -110,6 +123,18 @@ type Scheduler struct {
 	nextSeq   int
 	started   bool
 	stopped   bool
+
+	// health is the instrument supervisor (nil when disabled);
+	// healthSpan is the long-lived trace span carrying probe and
+	// quarantine events; fence is the abort hook fired on quarantine.
+	health     *health.Supervisor
+	healthSpan *trace.Span
+	fence      func(ctx context.Context, resource string)
+
+	// stopCh unblocks workers parked in the dispatch-wait loop (all
+	// capable instruments quarantined) when the scheduler shuts down.
+	stopCh   chan struct{}
+	stopOnce sync.Once
 
 	killed atomic.Bool
 	wg     sync.WaitGroup
@@ -160,8 +185,10 @@ func New(cfg Config) (*Scheduler, error) {
 		tracer:  cfg.Tracer,
 		jobs:    make(map[string]*jobEntry),
 		cancels: make(map[string]context.CancelFunc),
+		stopCh:  make(chan struct{}),
 	}
 	s.leases.SetMetrics(s.metrics)
+	s.initHealth()
 	s.nextSeq = highestJobSeq(replayed)
 	sortJobsBySubmission(replayed)
 	for _, job := range replayed {
@@ -338,6 +365,16 @@ func (s *Scheduler) Start() error {
 		// Journal the re-enqueue so a second crash replays the same way.
 		s.wal.Append(WALRecord{Job: job.ID, State: StatePending, Attempt: job.Attempts, TraceID: job.TraceID})
 	}
+	if s.health != nil {
+		// The health span is a trace of its own: probe outcomes and
+		// quarantine transitions land here (job-affecting transitions
+		// are mirrored onto the affected jobs' root spans).
+		span := s.tracer.StartTrace("", "instrument.health", trace.ClassInstrument)
+		s.mu.Lock()
+		s.healthSpan = span
+		s.mu.Unlock()
+		s.health.Start()
+	}
 	for w := 0; w < s.cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -352,6 +389,35 @@ func (s *Scheduler) Start() error {
 func (s *Scheduler) Submit(spec JobSpec) (Job, error) {
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
+	}
+	// An unmeetable deadline bounces at the door instead of occupying
+	// a lease to certainly fail. This is admission policy, not
+	// supervision: it holds even with the probe loop disabled.
+	if min := s.cfg.Health.MinDeadline; spec.DeadlineMS > 0 && min > 0 &&
+		time.Duration(spec.DeadlineMS)*time.Millisecond < min {
+		s.metrics.Counter("sched.jobs.rejected.deadline").Inc()
+		return Job{}, &Unavailable{
+			Reason:     fmt.Sprintf("deadline %dms below this facility's minimum %v", spec.DeadlineMS, min),
+			RetryAfter: s.cfg.RetryAfter,
+			Permanent:  true,
+		}
+	}
+	if s.healthApplies(spec) {
+		h := s.cfg.Health
+		// When every instance of some capable class is quarantined the
+		// job cannot start; tell the submitter to come back after the
+		// cool-down (or go to another facility).
+		if _, blocked, ok := s.assignInstruments(); !ok {
+			s.metrics.Counter("sched.jobs.rejected.quarantine").Inc()
+			retry := h.OpenFor
+			if retry < s.cfg.RetryAfter {
+				retry = s.cfg.RetryAfter
+			}
+			return Job{}, &Unavailable{
+				Reason:     fmt.Sprintf("every %s instrument is quarantined", blocked),
+				RetryAfter: retry,
+			}
+		}
 	}
 	s.mu.Lock()
 	if s.stopped {
@@ -542,13 +608,28 @@ func (s *Scheduler) Stop() {
 	}
 	s.mu.Unlock()
 	s.queue.Close()
+	s.stopOnce.Do(func() { close(s.stopCh) })
 	for _, c := range cancels {
 		c()
 	}
 	s.wg.Wait()
+	s.stopHealth()
 	s.leases.Close()
 	s.wal.Close()
 	s.sweepSpans(nil)
+}
+
+// stopHealth halts the probe loop and closes the health span.
+func (s *Scheduler) stopHealth() {
+	if s.health == nil {
+		return
+	}
+	s.health.Stop()
+	s.mu.Lock()
+	span := s.healthSpan
+	s.healthSpan = nil
+	s.mu.Unlock()
+	span.End()
 }
 
 // Kill simulates a crash (kill -9) for recovery drills: in-flight
@@ -567,10 +648,12 @@ func (s *Scheduler) Kill() {
 	}
 	s.mu.Unlock()
 	s.queue.Close()
+	s.stopOnce.Do(func() { close(s.stopCh) })
 	for _, c := range cancels {
 		c()
 	}
 	s.wg.Wait()
+	s.stopHealth()
 	s.leases.Close()
 	s.wal.Close()
 	s.sweepSpans(errors.New("daemon killed"))
@@ -606,20 +689,60 @@ func (s *Scheduler) worker() {
 	}
 }
 
-// runJob drives one job through RUNNING to a terminal state.
+// runJob drives one job through RUNNING to a terminal state (or a
+// checkpoint-requeue back to PENDING when an instrument quarantine or
+// transient failure cut it down with retry budget left).
 func (s *Scheduler) runJob(job *Job) {
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-
 	s.mu.Lock()
 	entry, ok := s.jobs[job.ID]
 	if !ok || entry.job.State.Terminal() {
 		s.mu.Unlock()
 		return // cancelled between Pop and here
 	}
+	pre := entry.job
+	s.mu.Unlock()
+
+	gated := s.healthApplies(pre.Spec)
+	deadline, hasDeadline := jobDeadline(&pre)
+
+	// Health gating before dispatch: hold the job while every instance
+	// of some capable class is quarantined, routing to a healthy
+	// equivalent the moment one exists.
+	var resources []string
+	if gated {
+		var proceed bool
+		resources, proceed = s.waitForInstruments(&pre, deadline, hasDeadline)
+		if !proceed {
+			return // stopped (job stays PENDING in the WAL), failed on deadline, or cancelled
+		}
+	}
+	// A deadline that exhausted in the queue fails before a lease is
+	// ever taken.
+	if hasDeadline && !time.Now().Before(deadline) {
+		s.complete(job.ID, StateFailed, nil, fmt.Errorf("deadline exhausted before dispatch (%dms budget)", pre.Spec.DeadlineMS))
+		return
+	}
+
+	baseCtx := context.Background()
+	var cancelDeadline context.CancelFunc = func() {}
+	if hasDeadline {
+		baseCtx, cancelDeadline = context.WithDeadline(baseCtx, deadline)
+	}
+	defer cancelDeadline()
+	ctx, cancel := context.WithCancel(baseCtx)
+	defer cancel()
+
+	s.mu.Lock()
+	if entry.job.State.Terminal() {
+		s.mu.Unlock()
+		return
+	}
 	entry.job.State = StateRunning
 	entry.job.Attempts++
 	entry.job.StartedUnixNano = time.Now().UnixNano()
+	entry.job.Resources = resources
+	entry.resources = resources
+	entry.requeueRequested = false
 	s.cancels[job.ID] = cancel
 	snapshot := entry.job
 	rootSpan, queued := entry.span, entry.queued
@@ -655,17 +778,155 @@ func (s *Scheduler) runJob(job *Job) {
 	}
 	s.mu.Lock()
 	cancelled := entry.cancelRequested
+	stopped := s.stopped
 	delete(s.cancels, job.ID)
 	s.mu.Unlock()
 
+	if gated && err == nil {
+		for _, res := range resources {
+			s.health.ReportSuccess(res)
+		}
+	}
+
 	switch {
 	case err == nil:
+		s.finishRun(entry)
 		s.complete(job.ID, StateDone, result, nil)
 	case cancelled && errors.Is(err, context.Canceled):
+		s.finishRun(entry)
 		s.complete(job.ID, StateCancelled, nil, err)
 	default:
+		deadlinePast := hasDeadline && !time.Now().Before(deadline)
+		cls := health.ClassWorkload
+		if gated {
+			cls = s.reportRunError(resources, err, deadlinePast)
+		}
+		// finishRun comes after reportRunError on purpose: a wedge
+		// report runs the quarantine cut-down synchronously, and the
+		// job must still be attributable (entry.resources set) so the
+		// cut-down lands the instrument.quarantine event on its span
+		// and marks the requeue intent finishRun collects.
+		requeueRequested := s.finishRun(entry)
+		// Checkpoint-requeue rather than fail when the evidence points
+		// at the facility (quarantine cut-down, sick instrument, flaky
+		// transport) and the job still has retry budget and time.
+		retriable := requeueRequested || cls == health.ClassInstrument || cls == health.ClassTransport
+		if gated && retriable && !stopped && !deadlinePast &&
+			snapshot.Attempts < 1+s.cfg.Health.RetryBudget {
+			if s.requeueJob(entry, err) {
+				return
+			}
+		}
+		if deadlinePast && errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("deadline exceeded (%dms end-to-end budget): %w", snapshot.Spec.DeadlineMS, err)
+		}
 		s.complete(job.ID, StateFailed, nil, err)
 	}
+}
+
+// finishRun retires the attempt's instrument attribution: it clears
+// entry.resources and collects the requeue intent, whether it was set
+// by a mid-run quarantine cut-down or by the breaker opening on this
+// attempt's own run error.
+func (s *Scheduler) finishRun(entry *jobEntry) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	requeueRequested := entry.requeueRequested
+	entry.requeueRequested = false
+	entry.resources = nil
+	return requeueRequested
+}
+
+// waitForInstruments parks the worker until every resource class
+// offers a healthy instance. It returns proceed=false when the job
+// should not run: the scheduler stopped (the popped job keeps its
+// PENDING WAL record and re-enqueues next start), its deadline
+// exhausted, or it was cancelled while held.
+func (s *Scheduler) waitForInstruments(job *Job, deadline time.Time, hasDeadline bool) ([]string, bool) {
+	warned := false
+	for {
+		if res, blocked, ok := s.assignInstruments(); ok {
+			return res, true
+		} else if !warned {
+			warned = true
+			s.metrics.Counter("sched.dispatch.held").Inc()
+			s.emit(job.ID, "waiting", fmt.Sprintf("dispatch held: every %s instrument is quarantined", blocked))
+		}
+		s.mu.Lock()
+		cancelled := false
+		if e, ok := s.jobs[job.ID]; ok {
+			if e.job.State.Terminal() {
+				s.mu.Unlock()
+				return nil, false
+			}
+			cancelled = e.cancelRequested
+		}
+		s.mu.Unlock()
+		if cancelled {
+			s.complete(job.ID, StateCancelled, nil, nil)
+			return nil, false
+		}
+		if hasDeadline && !time.Now().Before(deadline) {
+			s.complete(job.ID, StateFailed, nil, fmt.Errorf("deadline exhausted while every capable instrument was quarantined (%dms budget)", job.Spec.DeadlineMS))
+			return nil, false
+		}
+		changed := s.health.Changed()
+		timer := time.NewTimer(250 * time.Millisecond)
+		select {
+		case <-s.stopCh:
+			timer.Stop()
+			return nil, false
+		case <-changed:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// requeueJob returns a cut-down job to the queue: state back to
+// PENDING with Resumed set (the runner restores the workflow journal,
+// so completed tasks are not re-run), a fresh queued span under the
+// same root, and a durable PENDING record. Returns false when the
+// requeue could not happen and the caller should fail the job instead.
+func (s *Scheduler) requeueJob(entry *jobEntry, cause error) bool {
+	s.mu.Lock()
+	if entry.job.State.Terminal() {
+		s.mu.Unlock()
+		return false
+	}
+	entry.job.State = StatePending
+	entry.job.Resumed = true
+	entry.job.Resources = nil
+	snapshot := entry.job
+	root := entry.span
+	s.mu.Unlock()
+
+	root.Event("sched.requeue", "cause", cause.Error())
+	queued := s.queuedSpan(root)
+	s.mu.Lock()
+	entry.queued = queued
+	s.mu.Unlock()
+
+	limits := s.tenantLimits(snapshot.Tenant)
+	if !s.queue.Push(&entry.job, limits.weight()) {
+		// Queue closed (shutdown) or full. At shutdown, journal the
+		// PENDING state so the next incarnation resumes the checkpoint.
+		s.mu.Lock()
+		stopped := s.stopped
+		entry.queued = nil
+		s.mu.Unlock()
+		queued.End()
+		if stopped {
+			s.wal.Append(WALRecord{Job: snapshot.ID, State: StatePending, Attempt: snapshot.Attempts, TraceID: snapshot.TraceID})
+			return true
+		}
+		return false
+	}
+	s.metrics.Gauge("sched.queue.depth").Inc()
+	s.metrics.Counter("sched.jobs.requeued").Inc()
+	s.wal.Append(WALRecord{Job: snapshot.ID, State: StatePending, Attempt: snapshot.Attempts, TraceID: snapshot.TraceID})
+	s.emit(snapshot.ID, "requeued", fmt.Sprintf("checkpoint-requeued after attempt %d: %v", snapshot.Attempts, cause))
+	return true
 }
 
 // complete records a terminal transition: WAL, state, event,
