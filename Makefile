@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-parallel-quick fuzz gateway-smoke trace-smoke cluster-smoke health-smoke
+.PHONY: all build vet test race bench bench-parallel bench-parallel-quick bench-wire bench-wire-quick fuzz gateway-smoke trace-smoke cluster-smoke health-smoke
 
 all: build vet test
 
@@ -27,6 +27,18 @@ bench-parallel:
 # Fast variant for CI smoke: small transfers, single repetitions.
 bench-parallel-quick:
 	$(GO) run ./cmd/benchparallel -quick -o BENCH_parallel.json
+
+# Regenerate BENCH_wire.json — the v1-vs-v2 framing and streaming-
+# analysis record. The thresholds double as the regression gate: v2
+# must carry at least 2x the RPC throughput of v1 over the saturated
+# control link, and the streamed verdict must land within 10% of the
+# acquisition window after instrument release.
+bench-wire:
+	$(GO) run ./cmd/benchparallel -o '' -wire-o BENCH_wire.json -min-wire-speedup 2 -max-stream-lag 0.1
+
+# Fast variant for CI smoke, with looser thresholds for noisy runners.
+bench-wire-quick:
+	$(GO) run ./cmd/benchparallel -quick -o '' -wire-o BENCH_wire.json -min-wire-speedup 1.5 -max-stream-lag 0.25
 
 # End-to-end gateway check: icegated on a self-deployed lab, two
 # tenants' jobs through the HTTP API, leases verified clean.

@@ -49,6 +49,8 @@ func main() {
 	readahead := flag.Int("readahead", datachan.DefaultReadahead, "data channel: chunk requests kept in flight per whole-file read (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "overall command deadline (0 = none), e.g. 15m")
 	reliable := flag.Bool("reliable", false, "retry commands across transport faults with exactly-once semantics")
+	wire := flag.String("wire", "v2", "control-channel framing: v2 negotiates the compact binary protocol (falling back automatically against old agents), v1 pins the legacy JSON framing")
+	streamAnalysis := flag.Bool("stream-analysis", false, "workflow: tail the measurement file during acquisition and classify online, so the verdict is ready when the instrument is released")
 	reliableData := flag.Bool("reliable-data", false, "self-healing data mount: redial the share and resume interrupted transfers from the last verified offset")
 	journalPath := flag.String("journal", "", "workflow: checkpoint task progress to this file")
 	resume := flag.Bool("resume", false, "workflow: restore completed tasks from -journal before executing")
@@ -73,13 +75,24 @@ func main() {
 		return
 	}
 
+	var wireVersion int
+	switch *wire {
+	case "v2", "":
+		wireVersion = 0 // newest: negotiate binary, fall back to JSON
+	case "v1":
+		wireVersion = 1
+	default:
+		log.Fatalf("unknown -wire %q (want v1 or v2)", *wire)
+	}
+
 	uri := pyro.URI{Object: core.JKemObject, Host: *agentHost, Port: *controlPort}
+	sessionOpts := core.SessionOptions{Token: *token, WireVersion: wireVersion}
 	var session *core.RemoteSession
 	if *reliable {
-		session = core.ConnectSessionReliable(uri, nil, core.SessionOptions{Token: *token})
+		session = core.ConnectSessionReliable(uri, nil, sessionOpts)
 	} else {
 		var err error
-		session, err = core.ConnectSessionToken(uri, nil, *token)
+		session, err = core.ConnectSessionOpts(uri, nil, sessionOpts)
 		if err != nil {
 			log.Fatalf("control channel: %v", err)
 		}
@@ -187,6 +200,7 @@ func main() {
 		cfg.Fill.VolumeML = *volume
 		cfg.WaitPoll = 100 * time.Millisecond
 		cfg.WaitTimeout = 10 * time.Minute
+		cfg.StreamAnalysis = *streamAnalysis
 		nb, outcome := core.BuildCVWorkflow(session, mount, cfg)
 		if *resume {
 			if *journalPath == "" {
@@ -235,6 +249,10 @@ func main() {
 		fmt.Println()
 		for _, line := range nb.Summary() {
 			fmt.Println(line)
+		}
+		if outcome.Streamed {
+			fmt.Printf("streamed: %d online verdict(s) during acquisition, final analysis %v after instrument release\n",
+				outcome.StreamEvals, outcome.VerdictReady.Sub(outcome.AcquireEnd).Round(time.Millisecond))
 		}
 		if outcome.Summary != nil {
 			e, i := analysis.FromRecords(outcome.Records)

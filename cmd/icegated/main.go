@@ -68,6 +68,8 @@ func main() {
 	token := flag.String("token", "", "control-channel credential (must match the agent's -token)")
 	reliable := flag.Bool("reliable", false, "retry instrument commands across transport faults with exactly-once semantics")
 	reliableData := flag.Bool("reliable-data", false, "self-healing data mount: redial and resume interrupted transfers")
+	wire := flag.String("wire", "v2", "control-channel framing towards the agent: v2 negotiates the compact binary protocol (falling back against old agents), v1 pins the legacy JSON framing")
+	streamAnalysis := flag.Bool("stream-analysis", false, "cv jobs: tail the measurement file during acquisition and analyze online, so the verdict is ready at instrument release")
 
 	traceExport := flag.String("trace-export", "", "append finished trace spans to this JSONL file (crash-safe batched writes; view with icetrace)")
 	traceSample := flag.Float64("trace-sample", 1, "head-sampling ratio for traces (errors and flight-recorder dumps are always kept)")
@@ -105,6 +107,16 @@ func main() {
 		*listen = "127.0.0.1:0"
 	}
 
+	var wireVersion int
+	switch *wire {
+	case "v2", "":
+		wireVersion = 0 // newest: negotiate binary, fall back to JSON
+	case "v1":
+		wireVersion = 1
+	default:
+		log.Fatalf("unknown -wire %q (want v1 or v2)", *wire)
+	}
+
 	var connector sched.Connector
 	switch {
 	case *selflab && *agentHost != "":
@@ -132,6 +144,7 @@ func main() {
 			Token:        *token,
 			Reliable:     *reliable,
 			ReliableData: *reliableData,
+			WireVersion:  wireVersion,
 		}
 	default:
 		log.Fatal("need a lab: -selflab or -agent HOST")
@@ -187,6 +200,7 @@ func main() {
 					Resources:        cluster.FacilityResources(fac),
 					MirrorJournal:    n.MirrorJournal,
 					CampaignCVPoints: *campaignPoints,
+					StreamAnalysis:   *streamAnalysis,
 				}
 			},
 			RetryAfter: *retryAfter,
@@ -222,6 +236,7 @@ func main() {
 		Leases:           s.Leases(),
 		Dir:              s.Dir(),
 		CampaignCVPoints: *campaignPoints,
+		StreamAnalysis:   *streamAnalysis,
 	})
 	gw := sched.NewGateway(s)
 	prober := wireProber(s, gw, connector, sched.ResourceSP200, sched.ResourceJKem)

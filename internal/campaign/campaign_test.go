@@ -6,6 +6,7 @@ import (
 
 	"ice/internal/core"
 	"ice/internal/datachan"
+	"ice/internal/ml"
 	"ice/internal/netsim"
 	"ice/internal/telemetry"
 	"ice/internal/units"
@@ -181,5 +182,50 @@ func TestHealthyBringUpCountsNoStrandedResets(t *testing.T) {
 	}
 	if got := e.Metrics.CounterValue("campaign.stranded_resets"); got != 0 {
 		t.Errorf("campaign.stranded_resets = %d, want 0", got)
+	}
+}
+
+// TestCampaignStreamingRounds runs a two-round ladder with streaming
+// retrieval and an online classifier: every round must stream, agree
+// with the classic analysis, and carry a normality verdict.
+func TestCampaignStreamingRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a classifier")
+	}
+	clf, acc, err := ml.TrainNormalityClassifier(ml.GenerateConfig{PerClass: 8, Samples: 250, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.6 {
+		t.Fatalf("classifier accuracy %v too low to test with", acc)
+	}
+
+	e := deployExecutor(t)
+	e.StreamAnalysis = true
+	e.Classifier = clf
+	history, err := e.Run(ScanRateLadder{
+		RatesMVs:        []float64{50, 200},
+		ConcentrationMM: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 2 {
+		t.Fatalf("rounds = %d", len(history))
+	}
+	for _, obs := range history {
+		if !obs.Streamed {
+			t.Errorf("round %d did not stream", obs.Round)
+		}
+		if !obs.Classified || obs.Class != ml.ClassNormal {
+			t.Errorf("round %d verdict = %q (classified=%v), want normal", obs.Round, obs.ClassName, obs.Classified)
+		}
+		if obs.Summary == nil || !obs.Summary.Reversible {
+			t.Errorf("round %d analysis missing or irreversible", obs.Round)
+		}
+	}
+	ratio := history[1].Peak.Amperes() / history[0].Peak.Amperes()
+	if math.Abs(ratio-2) > 0.15 {
+		t.Errorf("peak ratio = %v, want ≈ 2 (streamed bytes must match classic)", ratio)
 	}
 }

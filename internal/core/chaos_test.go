@@ -19,7 +19,7 @@ import (
 // reply-loss schedule provably exercises retries AND hits the daemon's
 // reply-dedup cache during the CV workflow (the assertions below fail
 // if a future change shifts the schedule away from that).
-const chaosSeed = 7
+const chaosSeed = 2
 
 // runCVWorkflow executes the paper's A–E notebook against a session
 // and returns the outcome.
@@ -136,6 +136,123 @@ func TestChaosExactlyOnceUnderReplyLoss(t *testing.T) {
 	}
 	if d.Agent.Daemon().DedupHits() != metrics.CounterValue("pyro.dedup_hits") {
 		t.Error("daemon DedupHits disagrees with the telemetry counter")
+	}
+}
+
+// chaosSeedV1 is the fault seed for the v1-pinned framing drill. The
+// JSON frames are larger than v2's, so the loss schedule that hits a
+// marked command's reply differs per framing and each gets its own
+// proven seed.
+const chaosSeedV1 = 2
+
+// TestChaosExactlyOnceV1Framing re-runs the reply-loss drill with the
+// session pinned to the v1 JSON framing: exactly-once dedup semantics
+// must hold identically on both wire versions.
+func TestChaosExactlyOnceV1Framing(t *testing.T) {
+	d := deploy(t)
+	metrics := telemetry.NewCollector()
+	d.Network.SetSeed(chaosSeedV1)
+	d.Network.SetMetrics(metrics)
+	d.Agent.Daemon().SetMetrics(metrics)
+	if err := d.Network.SetHubFaults(netsim.HubSite, netsim.FaultSpec{
+		Loss:      0.20,
+		ReplyOnly: true,
+		Ports:     []int{netsim.PaperPorts.Control},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	session, mount, err := d.ConnectReliableFrom(netsim.HostDGX, SessionOptions{
+		MaxRetries:  30,
+		Backoff:     2 * time.Millisecond,
+		Metrics:     metrics,
+		WireVersion: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+	outcome := runCVWorkflow(t, d, session)
+
+	if v := d.Agent.Cell().Snapshot().Volume.Milliliters(); math.Abs(v-6) > 1e-9 {
+		t.Errorf("cell volume under chaos = %v mL, want exactly 6", v)
+	}
+	if n := countSBCCommands(d, "SYRINGEPUMP_DISPENSE"); n != 1 {
+		t.Errorf("SBC saw %d dispense commands, want exactly 1", n)
+	}
+	if len(outcome.Records) == 0 || outcome.SHA256 == "" {
+		t.Errorf("outcome: %d records, sha %q", len(outcome.Records), outcome.SHA256)
+	}
+	if v := metrics.CounterValue("pyro.retries"); v == 0 {
+		t.Error("no retries counted under 20% reply loss")
+	}
+	if v := metrics.CounterValue("pyro.dedup_hits"); v == 0 {
+		t.Error("no dedup hits: no marked command had its reply lost (pick a different chaosSeedV1)")
+	}
+	// The framing actually was v1: no binary frames were negotiated.
+	if v := metrics.CounterValue("pyro.wire.frames_out"); v == 0 {
+		t.Error("wire telemetry missing — counters not plumbed through the reliable session")
+	}
+}
+
+// TestChaosStreamingDigestVerifiedUnderLoss turns streaming analysis
+// on with 20% reply loss on BOTH the control and data ports: the
+// tail-read rides the reliable mount's redials, the streamed bytes
+// still pass end-to-end digest verification, and the marked commands
+// still execute exactly once.
+func TestChaosStreamingDigestVerifiedUnderLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced acquisition under chaos")
+	}
+	base, err := Deploy(t.TempDir(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { base.Close() })
+	metrics := telemetry.NewCollector()
+	base.Network.SetSeed(chaosSeed)
+	base.Network.SetMetrics(metrics)
+	if err := base.Network.SetHubFaults(netsim.HubSite, netsim.FaultSpec{
+		Loss:      0.20,
+		ReplyOnly: true,
+		Ports:     []int{netsim.PaperPorts.Control, netsim.PaperPorts.Data},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	session, mount, err := base.ConnectReliableFrom(netsim.HostDGX, SessionOptions{
+		MaxRetries: 30,
+		Backoff:    2 * time.Millisecond,
+		Metrics:    metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	cfg := PaperCVWorkflowConfig()
+	cfg.CV.Points = 400
+	cfg.StreamAnalysis = true
+	nb, outcome := BuildCVWorkflow(session, mount, cfg)
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatalf("workflow: %v\n%s", err, strings.Join(nb.Transcript(), "\n"))
+	}
+
+	if !outcome.Streamed {
+		t.Errorf("stream did not survive 20%% data-channel loss; transcript:\n%s",
+			strings.Join(nb.Transcript(), "\n"))
+	}
+	if outcome.SHA256 == "" || len(outcome.Records) != 401 {
+		t.Errorf("outcome: %d records, sha %q", len(outcome.Records), outcome.SHA256)
+	}
+	if v := base.Agent.Cell().Snapshot().Volume.Milliliters(); math.Abs(v-6) > 1e-9 {
+		t.Errorf("cell volume under chaos = %v mL, want exactly 6", v)
+	}
+	if n := countSBCCommands(base, "SYRINGEPUMP_DISPENSE"); n != 1 {
+		t.Errorf("SBC saw %d dispense commands, want exactly 1", n)
+	}
+	if v := metrics.CounterValue("netsim.faults.loss"); v == 0 {
+		t.Error("no losses injected — chaos schedule did not engage")
 	}
 }
 

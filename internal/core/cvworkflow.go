@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ice/internal/analysis"
@@ -68,6 +69,21 @@ type CVWorkflowConfig struct {
 	// one tenant's data phase from another's instrument phase when
 	// measuring overlap.
 	TraceLabel string
+	// StreamAnalysis overlaps retrieval and analysis with acquisition:
+	// the measurement file is tailed over the data channel while the
+	// SP200 is still writing it, records are parsed incrementally, and
+	// (when Classifier is set) windowed feature extraction plus
+	// ensemble classification run online so the normality verdict is
+	// ready within the acquisition window — the analysis segment
+	// collapses into the instrument segment on the critical path. The
+	// streamed bytes are verified end-to-end against the export-side
+	// SHA-256 exactly like the classic path; any streaming failure
+	// falls back to the classic retrieve-then-analyze sequence, so the
+	// outcome is never weaker than with streaming off.
+	StreamAnalysis bool
+	// StreamPoll is the streaming tail-read poll interval (default
+	// WaitPoll).
+	StreamPoll time.Duration
 }
 
 // PaperCVWorkflowConfig returns the demonstration parameters.
@@ -98,6 +114,17 @@ type CVOutcome struct {
 	// Class and ClassName are the ML verdict.
 	Class     int
 	ClassName string
+	// Streamed reports that the streaming path retrieved and analyzed
+	// the measurements concurrently with acquisition.
+	Streamed bool
+	// StreamEvals counts the provisional online verdicts produced
+	// while the instrument was still acquiring.
+	StreamEvals int
+	// AcquireEnd and VerdictReady timestamp the instrument release
+	// (step 7 returning) and the final classification; on the
+	// streaming path their gap is the verdict-ready latency the
+	// acquisition window hides.
+	AcquireEnd, VerdictReady time.Time
 }
 
 // mountStats is satisfied by a ReliableMount: the workflow uses it to
@@ -207,6 +234,26 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 		ID: "D", Title: "Run CV on SP200 and collect I-V measurements",
 		DependsOn: []string{"C"},
 		Run: func(c *workflow.Context) (string, error) {
+			// Streaming state: when StreamAnalysis is on, a goroutine
+			// tails the measurement file and analyzes it online while
+			// step 7 blocks on the pipelined control channel.
+			type streamOutcome struct {
+				data   []byte
+				res    datachan.StreamResult
+				parser *potentiostat.StreamParser
+				online *ml.OnlineClassifier
+				err    error
+			}
+			var (
+				streamCh     chan *streamOutcome
+				streamCancel context.CancelFunc
+				acquireDone  atomic.Bool
+			)
+			defer func() {
+				if streamCancel != nil {
+					streamCancel()
+				}
+			}()
 			// Phase 1 — instrument hold: the eight-step SP200 pipeline
 			// through call_Get_Tech_Path_Rslt. The span ends the moment
 			// the instruments are free (the same point OnMeasured
@@ -242,11 +289,77 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 					}
 					c.Logf("(%d) %s → %s", i+1, s.label, out)
 				}
+				// Streaming retrieval + online analysis: learn the file
+				// name now (step 6 fixed it before the first flush) and
+				// tail it while step 7's blocking wait is in flight.
+				if cfg.StreamAnalysis {
+					fileHint, err := session.CallGetTechFileName()
+					if err != nil {
+						c.Logf("streaming analysis unavailable (%v); will retrieve classically", err)
+					} else {
+						streamPoll := cfg.StreamPoll
+						if streamPoll <= 0 {
+							streamPoll = cfg.WaitPoll
+						}
+						var sctx context.Context
+						sctx, streamCancel = context.WithCancel(c.Ctx)
+						streamCh = make(chan *streamOutcome, 1)
+						go func() {
+							so := &streamOutcome{parser: &potentiostat.StreamParser{}}
+							if cfg.Classifier != nil {
+								so.online = &ml.OnlineClassifier{
+									Classifier: cfg.Classifier,
+									OnVerdict: func(class, points int) {
+										c.Logf("… online verdict over %d points: %s", points, ml.ClassName(class))
+									},
+								}
+							}
+							// Both spans run concurrently with cv.acquire,
+							// so the critical-path breakdown attributes
+							// this wall time to the instrument segment:
+							// retrieval and analysis collapse into the
+							// acquisition window.
+							_, streamSpan := phase(c, "cv.retrieve", trace.ClassData)
+							streamSpan.SetAttr("mode", "stream")
+							var anaSpan *trace.Span
+							so.data, so.res, so.err = datachan.StreamFile(sctx, mount, fileHint, datachan.StreamOptions{
+								Poll: streamPoll,
+								OnChunk: func(chunk []byte) {
+									if chunk == nil { // refetch reset
+										so.parser.Reset()
+										if so.online != nil {
+											so.online.Reset()
+										}
+										return
+									}
+									recs, _ := so.parser.Feed(chunk)
+									if len(recs) == 0 {
+										return
+									}
+									if anaSpan == nil {
+										_, anaSpan = phase(c, "cv.analyze", trace.ClassAnalysis)
+										anaSpan.SetAttr("mode", "stream")
+									}
+									if so.online != nil {
+										e, i := analysis.FromRecords(recs)
+										so.online.Add(e, i)
+									}
+								},
+								Finished: func() bool { return acquireDone.Load() },
+							})
+							streamSpan.SetAttr("file", so.res.Name)
+							streamSpan.EndErr(so.err)
+							anaSpan.EndErr(so.err)
+							streamCh <- so
+						}()
+					}
+				}
 				// While the blocking wait is in flight on the pipelined
 				// control channel, optionally watch the data channel for
-				// the growing measurement file and narrate progress.
+				// the growing measurement file and narrate progress (the
+				// streaming path narrates on its own).
 				var stopProgress chan struct{}
-				if cfg.ProgressPoll > 0 {
+				if cfg.ProgressPoll > 0 && streamCh == nil {
 					stopProgress = make(chan struct{})
 					go func() {
 						var lastSize int64 = -1
@@ -280,6 +393,8 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 				}
 				return fileName, nil
 			}()
+			acquireDone.Store(true)
+			outcome.AcquireEnd = time.Now()
 			budgetFired := cfg.AcquireTimeout > 0 &&
 				errors.Is(acquireCtx.Err(), context.DeadlineExceeded) && c.Ctx.Err() == nil
 			cancelAcquire()
@@ -297,6 +412,88 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 			c.Logf("(7) measurements are collected: %s", fileName)
 			if cfg.OnMeasured != nil {
 				cfg.OnMeasured(fileName)
+			}
+
+			// Streamed completion: the tail-reader drains the last
+			// bytes, the accumulated stream is digest-verified, and the
+			// already-fed classifier finalizes — the only analysis left
+			// outside the acquisition window. Any failure falls through
+			// to the classic path below.
+			if streamCh != nil {
+				so := func() *streamOutcome {
+					timer := time.NewTimer(cfg.WaitTimeout)
+					defer timer.Stop()
+					select {
+					case so := <-streamCh:
+						return so
+					case <-timer.C:
+						streamCancel()
+						return <-streamCh
+					}
+				}()
+				if msg, ok := func() (string, bool) {
+					if so.err != nil {
+						c.Logf("streaming retrieval failed (%v); falling back to classic retrieval", so.err)
+						return "", false
+					}
+					records := so.parser.Records()
+					if len(records) == 0 {
+						c.Logf("stream produced no records; falling back to classic retrieval")
+						return "", false
+					}
+					localSum := sha256.Sum256(so.data)
+					outcome.SHA256 = hex.EncodeToString(localSum[:])
+					outcome.FileName = so.res.Name
+					outcome.Records = records
+					c.Logf("streamed %d bytes in %d reads, end-to-end verified (sha256 %.16s…)",
+						so.res.Bytes, so.res.Reads, outcome.SHA256)
+					if so.res.Refetched {
+						c.Logf("stream digest mismatch healed by verified refetch")
+					}
+
+					// The finalization tail: peak analysis plus the
+					// authoritative classification over the full curve
+					// (identical to the offline path's result).
+					_, finSpan := phase(c, "cv.analyze", trace.ClassAnalysis)
+					finSpan.SetAttr("mode", "stream-final")
+					err := func() error {
+						e, i := analysis.FromRecords(records)
+						summary, err := analysis.AnalyzeCV(e, i, units.Celsius(25))
+						if err != nil {
+							return fmt.Errorf("analysis: %w", err)
+						}
+						outcome.Summary = summary
+						if so.online != nil {
+							outcome.StreamEvals = so.online.Evals()
+							class, _, err := so.online.Finalize()
+							if err != nil {
+								return fmt.Errorf("classification: %w", err)
+							}
+							outcome.Classified = true
+							outcome.Class = class
+							outcome.ClassName = ml.ClassName(class)
+						}
+						return nil
+					}()
+					finSpan.EndErr(err)
+					if err != nil {
+						c.Logf("streamed analysis failed (%v); falling back to classic retrieval", err)
+						return "", false
+					}
+					outcome.Streamed = true
+					outcome.VerdictReady = time.Now()
+					c.Logf("I-V analysis: %v", outcome.Summary)
+					if outcome.Classified {
+						c.Logf("ML normality check: %s (%d online verdicts during acquisition, final %v after instrument release)",
+							outcome.ClassName, outcome.StreamEvals, outcome.VerdictReady.Sub(outcome.AcquireEnd).Round(time.Millisecond))
+					}
+					return fmt.Sprintf("OK %d points (streamed)", len(records)), true
+				}(); ok {
+					return msg, nil
+				}
+				// Fallback: reset the outcome fields the stream touched.
+				outcome.SHA256, outcome.FileName, outcome.Records, outcome.Summary = "", "", nil, nil
+				outcome.Classified, outcome.StreamEvals = false, 0
 			}
 
 			// Phase 2 — data channel: retrieve over the (CIFS-mounted)
@@ -401,6 +598,7 @@ func BuildCVWorkflow(session *RemoteSession, mount datachan.Share, cfg CVWorkflo
 				}
 				c.Logf("ML normality check: %s", outcome.ClassName)
 			}
+			outcome.VerdictReady = time.Now()
 			return fmt.Sprintf("OK %d points", len(mf.Records)), nil
 		},
 	})

@@ -196,6 +196,15 @@ func (s *SP200Server) GetTechPathRslt() (string, error) {
 	return s.agent.sp200.MeasurementFileName(1)
 }
 
+// GetTechFileName returns the measurement file name the running
+// acquisition is streaming into, without waiting for completion:
+// StartChannel names the file before its first flush, so a streaming
+// client can begin tailing it over the data channel right after step 6
+// instead of discovering the name only when step 7 unblocks.
+func (s *SP200Server) GetTechFileName() (string, error) {
+	return s.agent.sp200.MeasurementFileName(1)
+}
+
 // BusySP200 reports whether channel 1 is acquiring.
 func (s *SP200Server) BusySP200() bool { return s.agent.sp200.Busy(1) }
 

@@ -128,11 +128,19 @@ func ConnectSession(daemonURI pyro.URI, dialer pyro.Dialer) (*RemoteSession, err
 // ConnectSessionToken is ConnectSession presenting the control
 // channel's shared-secret credential.
 func ConnectSessionToken(daemonURI pyro.URI, dialer pyro.Dialer, token string) (*RemoteSession, error) {
-	jk, err := pyro.DialToken(daemonURI.WithObject(JKemObject), dialer, token)
+	return ConnectSessionOpts(daemonURI, dialer, SessionOptions{Token: token})
+}
+
+// ConnectSessionOpts is ConnectSessionToken with the full connection
+// configuration of SessionOptions — wire-version cap and telemetry
+// alongside the credential — for plain (non-reconnecting) sessions.
+func ConnectSessionOpts(daemonURI pyro.URI, dialer pyro.Dialer, opts SessionOptions) (*RemoteSession, error) {
+	cfg := pyro.DialConfig{Token: opts.Token, MaxWireVersion: opts.WireVersion, Metrics: opts.Metrics}
+	jk, err := pyro.DialConfigured(daemonURI.WithObject(JKemObject), dialer, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: connect J-Kem object: %w", err)
 	}
-	sp, err := pyro.DialToken(daemonURI.WithObject(SP200Object), dialer, token)
+	sp, err := pyro.DialConfigured(daemonURI.WithObject(SP200Object), dialer, cfg)
 	if err != nil {
 		jk.Close()
 		return nil, fmt.Errorf("core: connect SP200 object: %w", err)
@@ -150,8 +158,13 @@ type SessionOptions struct {
 	MaxRetries int
 	// Backoff is the initial redial delay (0 = the proxy default).
 	Backoff time.Duration
-	// Metrics receives "pyro.retries" / "pyro.redials" counts.
+	// Metrics receives "pyro.retries" / "pyro.redials" counts and, on
+	// every dialed connection, the "pyro.wire.*" framing counters.
 	Metrics *telemetry.Collector
+	// WireVersion caps the RPC framing offered on each dial: 0
+	// negotiates the newest (binary v2), 1 pins v1 JSON for mixed
+	// deployments with pre-v2 agents.
+	WireVersion int
 }
 
 // ConnectSessionReliable opens a session over reconnecting proxies:
@@ -174,6 +187,7 @@ func ConnectSessionReliable(daemonURI pyro.URI, dialer pyro.Dialer, opts Session
 		if opts.Metrics != nil {
 			p.SetMetrics(opts.Metrics)
 		}
+		p.MaxWireVersion = opts.WireVersion
 		p.MarkExactlyOnce(marked...)
 		return p
 	}
@@ -308,6 +322,13 @@ func (s *RemoteSession) CallStartChannelSP200() (string, error) {
 // measurement file name.
 func (s *RemoteSession) CallGetTechPathRslt() (string, error) {
 	return s.call(s.sp200, "GetTechPathRslt")
+}
+
+// CallGetTechFileName returns the in-flight acquisition's measurement
+// file name without blocking — the handle a streaming retrieval tails
+// while step 7 is still waiting on the pipelined control channel.
+func (s *RemoteSession) CallGetTechFileName() (string, error) {
+	return s.call(s.sp200, "GetTechFileName")
 }
 
 // AbortSP200 cancels a running acquisition (remote emergency stop).

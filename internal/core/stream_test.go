@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ice/internal/datachan"
+	"ice/internal/ml"
+	"ice/internal/netsim"
+	"ice/internal/trace"
+	"ice/internal/workflow"
+)
+
+// streamClassifier trains one small ensemble shared by the streaming
+// tests (training dominates their runtime otherwise).
+func streamClassifier(t *testing.T) *ml.Ensemble {
+	t.Helper()
+	clf, acc, err := ml.TrainNormalityClassifier(ml.GenerateConfig{PerClass: 8, Samples: 250, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.6 {
+		t.Fatalf("classifier accuracy %v too low to test with", acc)
+	}
+	return clf
+}
+
+// TestStreamingAnalysisOverlapsAcquisition is the acceptance test for
+// streaming acquisition: with real acquisition pacing, the measurement
+// records must stream over the data channel while the SP200 is still
+// acquiring, provisional verdicts must land inside the acquisition
+// window, the final verdict must be ready within a small fraction of
+// the acquisition time after the instrument is released, and the trace
+// breakdown must show the analysis segment collapsed into the
+// instrument segment.
+func TestStreamingAnalysisOverlapsAcquisition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced acquisition + classifier training")
+	}
+	clf := streamClassifier(t)
+
+	// TimeScale 0.02 paces the paper CV to a few seconds of wall time,
+	// flushed in 128-record batches the stream can chase.
+	d, err := Deploy(t.TempDir(), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	cfg := PaperCVWorkflowConfig()
+	cfg.CV.Points = 400
+	cfg.Classifier = clf
+	cfg.StreamAnalysis = true
+	cfg.TraceLabel = "stream-test"
+
+	tracer := trace.New(trace.WithStore(trace.NewStore(0, 0)))
+	root := tracer.StartTrace("", "cv-stream", trace.ClassSched)
+	ctx := trace.ContextWithSpan(context.Background(), root)
+
+	nb, outcome := BuildCVWorkflow(session, mount, cfg)
+	start := time.Now()
+	if err := nb.Execute(ctx); err != nil {
+		t.Fatalf("workflow: %v\ntranscript:\n%s", err, strings.Join(nb.Transcript(), "\n"))
+	}
+	root.End()
+
+	if !outcome.Streamed {
+		t.Fatalf("streaming path did not complete; transcript:\n%s", strings.Join(nb.Transcript(), "\n"))
+	}
+	if outcome.StreamEvals < 1 {
+		t.Errorf("no provisional verdicts during acquisition (evals=%d)", outcome.StreamEvals)
+	}
+	if !outcome.Classified || outcome.Class != ml.ClassNormal {
+		t.Errorf("verdict = %q (classified=%v), want normal", outcome.ClassName, outcome.Classified)
+	}
+	if outcome.Summary == nil || !outcome.Summary.Reversible {
+		t.Errorf("summary = %v, want reversible ferrocene", outcome.Summary)
+	}
+	if len(outcome.Records) != 401 {
+		t.Errorf("streamed %d records, want 401", len(outcome.Records))
+	}
+	if outcome.SHA256 == "" {
+		t.Error("streamed outcome missing end-to-end digest")
+	}
+
+	// Verdict-ready latency: the verdict must land within ~10% of the
+	// acquisition window after the instrument was released.
+	acquisition := outcome.AcquireEnd.Sub(start)
+	lag := outcome.VerdictReady.Sub(outcome.AcquireEnd)
+	t.Logf("acquisition %v, verdict lag %v (%.1f%%), %d online verdicts",
+		acquisition.Round(time.Millisecond), lag.Round(time.Millisecond),
+		100*float64(lag)/float64(acquisition), outcome.StreamEvals)
+	if lag > acquisition/10 {
+		t.Errorf("verdict lagged instrument release by %v (> 10%% of %v acquisition)", lag, acquisition)
+	}
+
+	// The critical-path breakdown: analysis ran concurrently with the
+	// instrument hold, so its exclusive segment must have collapsed.
+	recs := tracer.Store().Trace(root.TraceID())
+	b := trace.Analyze(recs)
+	t.Logf("breakdown: wall=%v instrument=%v data=%v analysis=%v",
+		b.Wall.Round(time.Millisecond), b.Instrument.Round(time.Millisecond),
+		b.Data.Round(time.Millisecond), b.Analysis.Round(time.Millisecond))
+	if b.Instrument == 0 {
+		t.Fatal("no instrument segment in trace")
+	}
+	if b.Analysis > b.Instrument/10 {
+		t.Errorf("analysis segment %v did not collapse into instrument segment %v", b.Analysis, b.Instrument)
+	}
+}
+
+// flakyReadAtShare breaks every streaming ReadAt while leaving the
+// classic retrieval path (List/WaitFor/ReadAllVerified) intact.
+type flakyReadAtShare struct {
+	datachan.Share
+}
+
+func (f *flakyReadAtShare) ReadAt(name string, offset int64, length int) ([]byte, bool, error) {
+	return nil, false, fmt.Errorf("injected stream fault")
+}
+
+// TestStreamingFallsBackToClassicRetrieval forces the stream to fail:
+// the workflow must still complete via the classic retrieve-then-
+// analyze path with full digest verification.
+func TestStreamingFallsBackToClassicRetrieval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a classifier")
+	}
+	clf := streamClassifier(t)
+	d := deploy(t)
+	session, mount, err := d.ConnectFrom(netsim.HostDGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+
+	cfg := PaperCVWorkflowConfig()
+	cfg.CV.Points = 400
+	cfg.Classifier = clf
+	cfg.StreamAnalysis = true
+	// The stream spins on the injected fault until this budget expires,
+	// then the workflow falls back.
+	cfg.WaitTimeout = 3 * time.Second
+
+	nb, outcome := BuildCVWorkflow(session, &flakyReadAtShare{Share: mount}, cfg)
+	if err := nb.Execute(context.Background()); err != nil {
+		t.Fatalf("workflow: %v\ntranscript:\n%s", err, strings.Join(nb.Transcript(), "\n"))
+	}
+	if outcome.Streamed {
+		t.Error("outcome claims streaming despite injected stream faults")
+	}
+	if !outcome.Classified || outcome.Class != ml.ClassNormal {
+		t.Errorf("fallback verdict = %q, want normal", outcome.ClassName)
+	}
+	if len(outcome.Records) != 401 || outcome.SHA256 == "" {
+		t.Errorf("fallback outcome: %d records, sha %q", len(outcome.Records), outcome.SHA256)
+	}
+	tr := strings.Join(nb.Transcript(), "\n")
+	if !strings.Contains(tr, "falling back to classic retrieval") {
+		t.Error("transcript does not mention the fallback")
+	}
+	for _, id := range []string{"A", "B", "C", "D", "E"} {
+		r, ok := nb.Result(id)
+		if !ok || r.Status != workflow.OK {
+			t.Errorf("task %s = %v", id, r.Status)
+		}
+	}
+}
+
+// TestStreamingMatchesClassicVerdict runs the same deployment shape
+// through both paths: the streamed verdict and analysis must agree
+// with the classic one.
+func TestStreamingMatchesClassicVerdict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a classifier")
+	}
+	clf := streamClassifier(t)
+
+	run := func(stream bool) *CVOutcome {
+		d := deploy(t)
+		session, mount, err := d.ConnectFrom(netsim.HostDGX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer session.Close()
+		defer mount.Close()
+		cfg := PaperCVWorkflowConfig()
+		cfg.CV.Points = 400
+		cfg.Classifier = clf
+		cfg.StreamAnalysis = stream
+		nb, outcome := BuildCVWorkflow(session, mount, cfg)
+		if err := nb.Execute(context.Background()); err != nil {
+			t.Fatalf("workflow (stream=%v): %v", stream, err)
+		}
+		return outcome
+	}
+
+	classic := run(false)
+	streamed := run(true)
+	if !streamed.Streamed {
+		t.Fatal("streaming path did not engage")
+	}
+	if streamed.Class != classic.Class {
+		t.Errorf("streamed class %q, classic %q", streamed.ClassName, classic.ClassName)
+	}
+	if len(streamed.Records) != len(classic.Records) {
+		t.Errorf("streamed %d records, classic %d", len(streamed.Records), len(classic.Records))
+	}
+	if streamed.Summary == nil || classic.Summary == nil {
+		t.Fatal("missing summary")
+	}
+	if dv := streamed.Summary.HalfWave.Volts() - classic.Summary.HalfWave.Volts(); dv > 0.005 || dv < -0.005 {
+		t.Errorf("E½ diverges: streamed %v, classic %v", streamed.Summary.HalfWave, classic.Summary.HalfWave)
+	}
+}

@@ -1,0 +1,224 @@
+package datachan
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// StreamOptions tunes a StreamFile tail-read.
+type StreamOptions struct {
+	// Poll is the growth-check interval (default 50 ms).
+	Poll time.Duration
+	// ChunkBytes bounds each incremental ReadAt (default readChunk).
+	ChunkBytes int
+	// OnChunk, when set, receives every newly-retrieved byte range in
+	// file order, as soon as it arrives. The slice is only valid for
+	// the duration of the call; copy it to retain.
+	OnChunk func(chunk []byte)
+	// Finished, when set, reports that the remote writer has completed
+	// the file; streaming then drains the remaining bytes and stops
+	// instead of waiting for two stable size polls.
+	Finished func() bool
+}
+
+// StreamResult describes how a streamed retrieval went.
+type StreamResult struct {
+	// Name is the matched remote file.
+	Name string
+	// Bytes is the final verified length.
+	Bytes int64
+	// Reads counts incremental ReadAt calls, Polls the growth checks
+	// that found no new data.
+	Reads, Polls int
+	// Refetched is true when the streamed bytes failed the final
+	// digest check and the file was re-read from scratch — the
+	// fallback that keeps streaming exactly as trustworthy as the
+	// classic stable-then-ReadAllVerified retrieval.
+	Refetched bool
+}
+
+// StreamFile tails a remote file while it is still being written:
+// it waits for a file whose name contains substr to appear, then
+// incrementally reads each appended range (per-chunk CRC32C verified
+// by the transport) and hands it to OnChunk. When the writer is done —
+// signalled by Finished, or inferred from two stable size polls — the
+// accumulated bytes are verified end-to-end against the export's
+// SHA-256. On a digest mismatch (a writer that rewrote earlier bytes,
+// which append-only measurement files never do, but the channel must
+// not assume) the file is silently re-read whole and re-verified, so
+// the returned contents carry the same integrity guarantee as
+// ReadAllVerified.
+//
+// StreamFile works over any Share, including ReliableMount: a link
+// flap mid-stream surfaces as one failed ReadAt, which the next poll
+// retries through the redialed transport.
+func StreamFile(ctx context.Context, s Share, substr string, opt StreamOptions) ([]byte, StreamResult, error) {
+	res := StreamResult{}
+	poll := opt.Poll
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	chunk := opt.ChunkBytes
+	if chunk <= 0 {
+		chunk = readChunk
+	}
+
+	timer := time.NewTimer(poll)
+	defer timer.Stop()
+	wait := func() error {
+		timer.Reset(poll)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
+			return nil
+		}
+	}
+
+	// Phase 1: wait for the file to exist. The writer creates it with
+	// its header almost immediately after acquisition starts, so this
+	// loop is short in practice.
+	name := ""
+	for name == "" {
+		files, err := s.List()
+		if err != nil {
+			if s.Broken() {
+				return nil, res, err
+			}
+		} else {
+			for _, f := range files {
+				if containsName(f.Name, substr) {
+					name = f.Name
+					break
+				}
+			}
+		}
+		if name == "" {
+			if err := wait(); err != nil {
+				return nil, res, fmt.Errorf("datachan: stream: no file matching %q: %w", substr, err)
+			}
+		}
+	}
+	res.Name = name
+
+	// Phase 2: tail the file as it grows.
+	var buf []byte
+	var off int64
+	stable := 0
+	for {
+		fi, err := s.Stat(name)
+		if err != nil {
+			if s.Broken() {
+				return nil, res, err
+			}
+			if werr := wait(); werr != nil {
+				return nil, res, fmt.Errorf("datachan: stream %q: %v: %w", name, err, werr)
+			}
+			continue
+		}
+		if fi.Size > off {
+			stable = 0
+			progressed := false
+			for off < fi.Size {
+				n := int(fi.Size - off)
+				if n > chunk {
+					n = chunk
+				}
+				data, _, err := s.ReadAt(name, off, n)
+				if err != nil {
+					if s.Broken() {
+						return nil, res, err
+					}
+					break // transient; re-Stat and retry next poll
+				}
+				if len(data) == 0 {
+					break
+				}
+				progressed = true
+				res.Reads++
+				buf = append(buf, data...)
+				off += int64(len(data))
+				if opt.OnChunk != nil {
+					opt.OnChunk(data)
+				}
+			}
+			if progressed {
+				continue // check for more growth immediately
+			}
+			// A failing read must not busy-spin past cancellation:
+			// fall through to the poll wait and retry.
+		}
+		// No growth this poll.
+		if opt.Finished != nil && opt.Finished() && off == fi.Size {
+			break
+		}
+		if opt.Finished == nil && off == fi.Size && off > 0 {
+			stable++
+			if stable >= 2 {
+				break
+			}
+		}
+		res.Polls++
+		if err := wait(); err != nil {
+			return nil, res, fmt.Errorf("datachan: stream %q: %w", name, err)
+		}
+	}
+
+	// Phase 3: end-to-end verification of the accumulated bytes.
+	sum, size, err := s.Checksum(name)
+	if err != nil {
+		return nil, res, err
+	}
+	if size > off {
+		// Bytes landed between the last Stat and the Checksum.
+		for off < size {
+			n := int(size - off)
+			if n > chunk {
+				n = chunk
+			}
+			data, _, err := s.ReadAt(name, off, n)
+			if err != nil {
+				return nil, res, err
+			}
+			if len(data) == 0 {
+				break
+			}
+			res.Reads++
+			buf = append(buf, data...)
+			off += int64(len(data))
+			if opt.OnChunk != nil {
+				opt.OnChunk(data)
+			}
+		}
+		sum, size, err = s.Checksum(name)
+		if err != nil {
+			return nil, res, err
+		}
+	}
+	digest := sha256.Sum256(buf)
+	if int64(len(buf)) == size && hex.EncodeToString(digest[:]) == sum {
+		res.Bytes = size
+		return buf, res, nil
+	}
+
+	// Digest mismatch: fall back to a fresh verified whole-file read.
+	res.Refetched = true
+	data, err := s.ReadAllVerified(name)
+	if err != nil {
+		return nil, res, err
+	}
+	res.Bytes = int64(len(data))
+	if opt.OnChunk != nil && !bytes.HasPrefix(data, buf) {
+		// The streamed prefix was wrong, not merely short: replay the
+		// authoritative contents so incremental consumers can recover.
+		opt.OnChunk(nil) // nil chunk = reset signal
+		opt.OnChunk(data)
+	} else if opt.OnChunk != nil && int64(len(data)) > int64(len(buf)) {
+		opt.OnChunk(data[len(buf):])
+	}
+	return data, res, nil
+}

@@ -1,0 +1,195 @@
+package datachan
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStreamFileTailsGrowingFile streams a file while a writer is
+// still appending: every chunk must arrive in order, and the final
+// bytes must be digest-verified and identical to the file.
+func TestStreamFileTailsGrowingFile(t *testing.T) {
+	dir, m := startShare(t)
+	path := filepath.Join(dir, "run_ch1_run001.mpt")
+
+	var want []byte
+	var writerDone atomic.Bool
+	go func() {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Error(err)
+			writerDone.Store(true)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			chunk := bytes.Repeat([]byte{byte('a' + i%26)}, 1000)
+			want = append(want, chunk...)
+			f.Write(chunk)
+			f.Sync()
+			time.Sleep(5 * time.Millisecond)
+		}
+		f.Close()
+		writerDone.Store(true)
+	}()
+
+	var streamed []byte
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	data, res, err := StreamFile(ctx, m, "run001", StreamOptions{
+		Poll:    2 * time.Millisecond,
+		OnChunk: func(c []byte) { streamed = append(streamed, c...) },
+		Finished: func() bool {
+			return writerDone.Load()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "run_ch1_run001.mpt" {
+		t.Errorf("matched %q", res.Name)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("streamed %d bytes, want %d", len(data), len(want))
+	}
+	if !bytes.Equal(streamed, want) {
+		t.Fatalf("OnChunk saw %d bytes, want %d", len(streamed), len(want))
+	}
+	if res.Refetched {
+		t.Error("append-only stream should not need a refetch")
+	}
+	if res.Reads < 2 {
+		t.Errorf("expected incremental reads, got %d", res.Reads)
+	}
+}
+
+// TestStreamFileStableStop infers completion from size stability when
+// no Finished signal is provided.
+func TestStreamFileStableStop(t *testing.T) {
+	dir, m := startShare(t)
+	want := bytes.Repeat([]byte("xyz"), 5000)
+	if err := os.WriteFile(filepath.Join(dir, "done.mpt"), want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	data, _, err := StreamFile(ctx, m, "done", StreamOptions{Poll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("got %d bytes, want %d", len(data), len(want))
+	}
+}
+
+// TestStreamFileRefetchOnRewrite rewrites already-streamed bytes (a
+// writer streaming files never does this, but the channel must not
+// assume): the final digest check must catch it and fall back to a
+// verified whole-file read, replaying through OnChunk after a reset.
+func TestStreamFileRefetchOnRewrite(t *testing.T) {
+	dir, m := startShare(t)
+	path := filepath.Join(dir, "mutated.mpt")
+	if err := os.WriteFile(path, bytes.Repeat([]byte("A"), 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var finished atomic.Bool
+	firstChunk := make(chan struct{})
+	var sawReset atomic.Bool
+	var replay []byte
+	go func() {
+		<-firstChunk
+		// Rewrite the first bytes after they were streamed, then stop.
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err == nil {
+			f.WriteAt(bytes.Repeat([]byte("B"), 1024), 0)
+			f.Close()
+		}
+		finished.Store(true)
+	}()
+
+	var once bool
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	data, res, err := StreamFile(ctx, m, "mutated", StreamOptions{
+		Poll: 2 * time.Millisecond,
+		OnChunk: func(c []byte) {
+			if c == nil {
+				sawReset.Store(true)
+				replay = nil
+				return
+			}
+			if sawReset.Load() {
+				replay = append(replay, c...)
+			}
+			if !once {
+				once = true
+				close(firstChunk)
+				// Give the mutator time before we report more progress.
+				time.Sleep(50 * time.Millisecond)
+			}
+		},
+		Finished: func() bool { return finished.Load() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Refetched {
+		t.Fatal("rewrite was not detected by the final digest check")
+	}
+	want, _ := os.ReadFile(path)
+	if !bytes.Equal(data, want) {
+		t.Fatalf("refetched contents differ: %d bytes vs %d", len(data), len(want))
+	}
+	if sawReset.Load() && !bytes.Equal(replay, want) {
+		t.Fatalf("post-reset replay differs: %d bytes vs %d", len(replay), len(want))
+	}
+}
+
+// TestStreamFileCancel aborts a stream whose file never appears.
+func TestStreamFileCancel(t *testing.T) {
+	_, m := startShare(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, _, err := StreamFile(ctx, m, "never", StreamOptions{Poll: 5 * time.Millisecond})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+// TestStreamFileOverReliableMount streams through the reconnecting
+// mount flavor, exercising the Share seam streaming relies on.
+func TestStreamFileOverReliableMount(t *testing.T) {
+	dir := t.TempDir()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := NewExport(dir, l)
+	go exp.Serve()
+	t.Cleanup(func() { exp.Close() })
+
+	rm := NewReliableMount(func() (net.Conn, error) {
+		return net.Dial("tcp", l.Addr().String())
+	})
+	t.Cleanup(func() { rm.Close() })
+
+	want := bytes.Repeat([]byte("reliable"), 2000)
+	if err := os.WriteFile(filepath.Join(dir, "rel.mpt"), want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	data, _, err := StreamFile(ctx, rm, "rel", StreamOptions{Poll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("got %d bytes, want %d", len(data), len(want))
+	}
+}

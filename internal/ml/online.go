@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNotEnoughData reports that the online classifier has not yet seen
+// enough samples for a meaningful verdict.
+var ErrNotEnoughData = errors.New("ml: not enough data for a verdict")
+
+// OnlineClassifier runs windowed feature extraction plus ensemble
+// classification over a voltammogram that is still being acquired:
+// Add appends streamed samples, and every Stride new points (once
+// MinPoints have arrived) a provisional verdict is recomputed over the
+// full prefix. Features is already bounded for repeated evaluation —
+// it subsamples each branch to at most maxGPRPoints before the GPR
+// smooth — so re-running it per window costs O(window count), not
+// O(n²) in the curve length.
+//
+// Finalize produces the authoritative verdict over all samples; it is
+// bit-identical to the offline path (Features + Predict on the
+// complete curve), so streaming changes when the answer is ready, not
+// what the answer is.
+type OnlineClassifier struct {
+	// Classifier is the trained ensemble (required).
+	Classifier *Ensemble
+	// MinPoints is the smallest prefix worth classifying (default 64).
+	MinPoints int
+	// Stride re-evaluates after this many new samples (default 128).
+	Stride int
+	// OnVerdict, when set, observes each provisional verdict as it is
+	// produced, with the number of samples it was computed over.
+	OnVerdict func(class int, points int)
+
+	mu        sync.Mutex
+	potential []float64
+	current   []float64
+	sinceEval int
+	evals     int
+	lastClass int
+	hasClass  bool
+}
+
+// Add appends streamed samples and re-classifies the prefix when a
+// stride boundary is crossed. Classification errors on short or
+// degenerate prefixes are swallowed — the next window retries — so a
+// noisy first flush can't kill the stream.
+func (o *OnlineClassifier) Add(potential, current []float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.potential = append(o.potential, potential...)
+	o.current = append(o.current, current...)
+	o.sinceEval += len(potential)
+
+	minPoints := o.MinPoints
+	if minPoints <= 0 {
+		minPoints = 64
+	}
+	stride := o.Stride
+	if stride <= 0 {
+		stride = 128
+	}
+	if len(o.potential) < minPoints || o.sinceEval < stride {
+		return
+	}
+	o.sinceEval = 0
+	if class, err := o.classifyLocked(); err == nil {
+		o.evals++
+		o.lastClass = class
+		o.hasClass = true
+		if o.OnVerdict != nil {
+			o.OnVerdict(class, len(o.potential))
+		}
+	}
+}
+
+// classifyLocked runs the offline pipeline over the current prefix.
+func (o *OnlineClassifier) classifyLocked() (int, error) {
+	feats, err := Features(o.potential, o.current)
+	if err != nil {
+		return 0, err
+	}
+	return o.Classifier.Predict(feats)
+}
+
+// Provisional returns the latest windowed verdict, or ErrNotEnoughData
+// when no window has classified yet.
+func (o *OnlineClassifier) Provisional() (int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.hasClass {
+		return 0, ErrNotEnoughData
+	}
+	return o.lastClass, nil
+}
+
+// Evals returns how many provisional verdicts have been produced.
+func (o *OnlineClassifier) Evals() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.evals
+}
+
+// Points returns how many samples have been added.
+func (o *OnlineClassifier) Points() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.potential)
+}
+
+// Reset discards accumulated samples and verdicts (a stream restart).
+func (o *OnlineClassifier) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.potential = o.potential[:0]
+	o.current = o.current[:0]
+	o.sinceEval = 0
+	o.evals = 0
+	o.hasClass = false
+}
+
+// Finalize classifies the complete curve — the same Features+Predict
+// call the offline path makes, so the result is identical to parsing
+// the finished file and classifying it cold. It returns the feature
+// vector too, for callers that log or persist it.
+func (o *OnlineClassifier) Finalize() (class int, feats []float64, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	feats, err = Features(o.potential, o.current)
+	if err != nil {
+		return 0, nil, err
+	}
+	class, err = o.Classifier.Predict(feats)
+	if err != nil {
+		return 0, nil, err
+	}
+	o.evals++
+	o.lastClass = class
+	o.hasClass = true
+	return class, feats, nil
+}

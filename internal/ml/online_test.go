@@ -1,0 +1,156 @@
+package ml
+
+import (
+	"testing"
+
+	"ice/internal/echem"
+)
+
+// simulateCurve produces one normal voltammogram for online tests.
+func simulateCurve(t *testing.T, samples int) (e, i []float64) {
+	t.Helper()
+	cell := echem.DefaultCell()
+	cell.NoiseSeed = 42
+	prog := echem.CVProgram{
+		Ei: echem.FerroceneSolution().Analyte.FormalPotential - 0.35,
+		E1: echem.FerroceneSolution().Analyte.FormalPotential + 0.40,
+		E2: echem.FerroceneSolution().Analyte.FormalPotential - 0.35,
+		Ef: echem.FerroceneSolution().Analyte.FormalPotential - 0.35,
+	}
+	prog.Rate = 0.05
+	prog.Cycles = 1
+	w, err := prog.Waveform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := echem.Simulate(cell, w, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vg.Potentials(), vg.Currents()
+}
+
+func trainSmall(t *testing.T) *Ensemble {
+	t.Helper()
+	clf, acc, err := TrainNormalityClassifier(GenerateConfig{PerClass: 8, Samples: 250, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.6 {
+		t.Fatalf("classifier accuracy %v too low to test with", acc)
+	}
+	return clf
+}
+
+// TestOnlineClassifierMatchesOffline streams a curve in batches: the
+// finalized verdict and features must be identical to the offline
+// Features+Predict call on the complete curve.
+func TestOnlineClassifierMatchesOffline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a classifier")
+	}
+	clf := trainSmall(t)
+	e, i := simulateCurve(t, 500)
+
+	o := &OnlineClassifier{Classifier: clf, MinPoints: 64, Stride: 100}
+	for off := 0; off < len(e); off += 128 {
+		end := off + 128
+		if end > len(e) {
+			end = len(e)
+		}
+		o.Add(e[off:end], i[off:end])
+	}
+	if o.Points() != len(e) {
+		t.Fatalf("accumulated %d points, fed %d", o.Points(), len(e))
+	}
+	if o.Evals() == 0 {
+		t.Fatal("no provisional verdicts were produced")
+	}
+	if _, err := o.Provisional(); err != nil {
+		t.Fatalf("provisional: %v", err)
+	}
+
+	class, feats, err := o.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFeats, err := Features(e, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClass, err := clf.Predict(wantFeats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != wantClass {
+		t.Errorf("online final class %d, offline %d", class, wantClass)
+	}
+	if len(feats) != len(wantFeats) {
+		t.Fatalf("feature lengths diverge: %d vs %d", len(feats), len(wantFeats))
+	}
+	for k := range feats {
+		if feats[k] != wantFeats[k] {
+			t.Fatalf("feature %d diverges: %v vs %v — online must be bit-identical to offline", k, feats[k], wantFeats[k])
+		}
+	}
+}
+
+// TestOnlineClassifierGating checks MinPoints/Stride gating and Reset.
+func TestOnlineClassifierGating(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a classifier")
+	}
+	clf := trainSmall(t)
+	e, i := simulateCurve(t, 400)
+
+	o := &OnlineClassifier{Classifier: clf, MinPoints: 200, Stride: 50}
+	o.Add(e[:100], i[:100])
+	if _, err := o.Provisional(); err == nil {
+		t.Fatal("verdict before MinPoints")
+	}
+	o.Add(e[100:400], i[100:400])
+	if _, err := o.Provisional(); err != nil {
+		t.Fatalf("no verdict after %d points: %v", o.Points(), err)
+	}
+	evals := o.Evals()
+	if evals == 0 {
+		t.Fatal("no evals counted")
+	}
+	o.Reset()
+	if o.Points() != 0 || o.Evals() != 0 {
+		t.Fatal("reset kept state")
+	}
+	if _, err := o.Provisional(); err == nil {
+		t.Fatal("verdict survived reset")
+	}
+}
+
+// TestOnlineClassifierVerdictCallback observes provisional verdicts.
+func TestOnlineClassifierVerdictCallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a classifier")
+	}
+	clf := trainSmall(t)
+	e, i := simulateCurve(t, 400)
+	var calls int
+	var lastPoints int
+	o := &OnlineClassifier{
+		Classifier: clf, MinPoints: 64, Stride: 64,
+		OnVerdict: func(class, points int) { calls++; lastPoints = points },
+	}
+	for off := 0; off < len(e); off += 64 {
+		end := off + 64
+		if end > len(e) {
+			end = len(e)
+		}
+		o.Add(e[off:end], i[off:end])
+	}
+	if calls == 0 {
+		t.Fatal("OnVerdict never fired")
+	}
+	// The final partial batch may not cross a stride boundary; the
+	// last verdict must still cover all but at most one stride.
+	if lastPoints < len(e)-64 {
+		t.Errorf("last verdict over %d points, want ≥ %d", lastPoints, len(e)-64)
+	}
+}

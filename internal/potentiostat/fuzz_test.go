@@ -32,6 +32,61 @@ func FuzzParseMPT(f *testing.F) {
 	})
 }
 
+// FuzzStreamParser differentially fuzzes the incremental MPT parser
+// against the offline one: for any input and any chunking, when both
+// accept the bytes they must produce identical record sets, and the
+// streaming parser must never panic.
+func FuzzStreamParser(f *testing.F) {
+	var good bytes.Buffer
+	WriteMPTHeader(&good, "CV", "normal", 2)
+	WriteMPTRecords(&good, sampleRecords())
+	f.Add(good.String(), 3)
+	f.Add(good.String(), 1)
+	f.Add("", 1)
+	f.Add("EC-Lab ASCII FILE (ICE simulated)\nmode\tt\n2\t1\t2\t3\t4\n", 5)
+	f.Add("EC-Lab ASCII FILE (ICE simulated)\nLabel : x\nmode\tt\n2\t1\t2\tbad\t4\n2\t1\t2\t3\t4", 7)
+	f.Fuzz(func(t *testing.T, input string, chunk int) {
+		if chunk <= 0 {
+			chunk = 1
+		}
+		p := &StreamParser{}
+		streamErr := false
+		for off := 0; off < len(input); off += chunk {
+			end := off + chunk
+			if end > len(input) {
+				end = len(input)
+			}
+			if _, err := p.Feed([]byte(input[off:end])); err != nil {
+				streamErr = true
+				break
+			}
+		}
+		mf, err := ParseMPT(strings.NewReader(input))
+		if err != nil || streamErr {
+			return
+		}
+		// ParseMPT reads a final unterminated line; the stream parser
+		// buffers it awaiting more bytes, so only compare the records
+		// completed by a newline.
+		want := mf.Records
+		if len(input) > 0 && input[len(input)-1] != '\n' && len(want) > 0 {
+			want = want[:len(want)-1]
+		}
+		got := p.Records()
+		if len(got) > len(mf.Records) {
+			t.Fatalf("stream parsed %d records, offline only %d", len(got), len(mf.Records))
+		}
+		if len(got) < len(want) {
+			t.Fatalf("stream parsed %d records, offline %d (terminated rows)", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d diverges: stream %+v offline %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
 // FuzzDecodeBinary ensures arbitrary bytes never panic or over-allocate
 // the binary record decoder.
 func FuzzDecodeBinary(f *testing.F) {

@@ -1,0 +1,117 @@
+package potentiostat
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// StreamParser parses an MPT measurement file incrementally, as the
+// byte stream arrives over the data channel: Feed returns the records
+// completed by each new chunk, so online analysis can run inside the
+// acquisition window instead of waiting for the whole file. Partial
+// trailing lines are buffered across Feed calls; the final record set
+// is byte-for-byte what ParseMPT would produce on the complete file.
+type StreamParser struct {
+	// File accumulates parsed header fields and records.
+	File MeasurementFile
+
+	buf        []byte
+	headerDone bool
+	magicDone  bool
+	stopped    bool // a malformed complete row ends the body, as in ParseMPT
+	failed     error
+}
+
+// Reset discards all state, for reuse after a stream restart (the nil
+// chunk a datachan refetch emits).
+func (p *StreamParser) Reset() {
+	*p = StreamParser{}
+}
+
+// Records returns all records parsed so far.
+func (p *StreamParser) Records() []Record { return p.File.Records }
+
+// Feed consumes the next chunk of the file and returns the records it
+// completed (nil when the chunk only extended the header or a partial
+// row). A nil chunk resets the parser — the datachan streaming layer's
+// signal that the streamed prefix was invalid and a fresh authoritative
+// copy follows.
+func (p *StreamParser) Feed(chunk []byte) ([]Record, error) {
+	if chunk == nil {
+		p.Reset()
+		return nil, nil
+	}
+	if p.failed != nil {
+		return nil, p.failed
+	}
+	p.buf = append(p.buf, chunk...)
+	before := len(p.File.Records)
+	for {
+		nl := bytes.IndexByte(p.buf, '\n')
+		if nl < 0 {
+			break // partial line: wait for more bytes
+		}
+		line := string(p.buf[:nl])
+		p.buf = p.buf[nl+1:]
+		if err := p.line(line); err != nil {
+			p.failed = err
+			return nil, err
+		}
+	}
+	if len(p.File.Records) == before {
+		return nil, nil
+	}
+	return p.File.Records[before:], nil
+}
+
+// line applies one complete line, mirroring ParseMPT's header and row
+// handling exactly.
+func (p *StreamParser) line(line string) error {
+	if !p.magicDone {
+		if strings.TrimSpace(line) != mptMagic {
+			return fmt.Errorf("potentiostat: bad magic %q", line)
+		}
+		p.magicDone = true
+		return nil
+	}
+	if !p.headerDone {
+		switch {
+		case strings.HasPrefix(line, "Technique :"):
+			p.File.Technique = strings.TrimSpace(strings.TrimPrefix(line, "Technique :"))
+		case strings.HasPrefix(line, "Label :"):
+			p.File.Label = strings.TrimSpace(strings.TrimPrefix(line, "Label :"))
+		case strings.HasPrefix(line, "Nb of data points :"):
+			if _, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "Nb of data points :"))); err != nil {
+				return fmt.Errorf("potentiostat: bad point count: %v", err)
+			}
+		case strings.HasPrefix(line, "mode\t"):
+			p.headerDone = true
+		default:
+			return fmt.Errorf("potentiostat: unexpected header line %q", line)
+		}
+		return nil
+	}
+	if p.stopped || strings.TrimSpace(line) == "" {
+		return nil
+	}
+	fields := strings.Split(line, "\t")
+	if len(fields) != 5 {
+		// A malformed complete row ends the body silently, matching
+		// ParseMPT's truncation tolerance: records so far stand,
+		// subsequent rows are ignored.
+		p.stopped = true
+		return nil
+	}
+	t, err1 := strconv.ParseFloat(fields[1], 64)
+	e, err2 := strconv.ParseFloat(fields[2], 64)
+	i, err3 := strconv.ParseFloat(fields[3], 64)
+	cyc, err4 := strconv.Atoi(fields[4])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		p.stopped = true
+		return nil
+	}
+	p.File.Records = append(p.File.Records, Record{T: t, Ewe: e, I: i, Cycle: cyc})
+	return nil
+}

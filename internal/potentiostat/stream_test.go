@@ -1,0 +1,123 @@
+package potentiostat
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleMPT(t testing.TB, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMPTHeader(&buf, "CV", "normal", n); err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{T: float64(i) * 0.02, Ewe: 0.05 + float64(i)*1e-3, I: float64(i) * 1e-6, Cycle: i / 100}
+	}
+	if err := WriteMPTRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamParserMatchesParseMPT feeds the same file in chunk sizes
+// from single bytes to whole-file and checks the incremental result is
+// identical to the offline parser in every case.
+func TestStreamParserMatchesParseMPT(t *testing.T) {
+	data := sampleMPT(t, 300)
+	want, err := ParseMPT(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, chunk := range []int{1, 3, 7, 64, 1024, len(data)} {
+		p := &StreamParser{}
+		var incremental []Record
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			recs, err := p.Feed(data[off:end])
+			if err != nil {
+				t.Fatalf("chunk %d: feed: %v", chunk, err)
+			}
+			incremental = append(incremental, recs...)
+		}
+		if p.File.Technique != want.Technique || p.File.Label != want.Label {
+			t.Errorf("chunk %d: header %q/%q, want %q/%q", chunk, p.File.Technique, p.File.Label, want.Technique, want.Label)
+		}
+		if !reflect.DeepEqual(p.Records(), want.Records) {
+			t.Fatalf("chunk %d: %d records, want %d", chunk, len(p.Records()), len(want.Records))
+		}
+		if !reflect.DeepEqual(incremental, want.Records) {
+			t.Fatalf("chunk %d: incremental deliveries diverge from final set", chunk)
+		}
+	}
+}
+
+// TestStreamParserTruncationTolerant stops mid-row like an in-flight
+// transfer: complete rows parse, the partial tail stays buffered.
+func TestStreamParserTruncationTolerant(t *testing.T) {
+	data := sampleMPT(t, 50)
+	cut := bytes.LastIndexByte(data[:len(data)-1], '\n') + 4 // mid final row
+	p := &StreamParser{}
+	if _, err := p.Feed(data[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ParseMPT(bytes.NewReader(data[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Records(), want.Records) {
+		t.Fatalf("partial file: stream %d records, offline %d", len(p.Records()), len(want.Records))
+	}
+	// Completing the row delivers exactly the missing record.
+	recs, err := p.Feed(data[cut:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("completing the tail delivered %d records", len(recs))
+	}
+	full, _ := ParseMPT(bytes.NewReader(data))
+	if !reflect.DeepEqual(p.Records(), full.Records) {
+		t.Fatal("final record set diverges from offline parse")
+	}
+}
+
+// TestStreamParserReset clears all state on a nil chunk (the datachan
+// refetch signal) so a replay parses cleanly.
+func TestStreamParserReset(t *testing.T) {
+	data := sampleMPT(t, 30)
+	p := &StreamParser{}
+	if _, err := p.Feed(data[:len(data)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Feed(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Records()) != 0 {
+		t.Fatal("reset kept records")
+	}
+	if _, err := p.Feed(data); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ParseMPT(bytes.NewReader(data))
+	if !reflect.DeepEqual(p.Records(), want.Records) {
+		t.Fatal("replay after reset diverges from offline parse")
+	}
+}
+
+// TestStreamParserBadHeader surfaces header corruption as an error.
+func TestStreamParserBadHeader(t *testing.T) {
+	p := &StreamParser{}
+	if _, err := p.Feed([]byte("not an mpt file\n")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := p.Feed([]byte("anything\n")); err == nil {
+		t.Fatal("failed parser accepted more input")
+	}
+}

@@ -41,6 +41,12 @@ type Daemon struct {
 	// any dispatch. Set it before RequestLoop.
 	AuthToken string
 
+	// MaxWireVersion caps the framing this daemon offers: 0 (or 2)
+	// negotiates the binary v2 framing with capable clients, 1 pins
+	// every connection to v1 JSON (what a pre-v2 daemon behaves like).
+	// Set it before RequestLoop.
+	MaxWireVersion int
+
 	// Audit, when set, receives every successfully resolved call with
 	// its raw arguments — the hook provenance journals hang off.
 	// It runs on the dispatch goroutine; keep it fast.
@@ -252,32 +258,44 @@ func (d *Daemon) serveConn(conn net.Conn) {
 	}()
 	d.mu.Lock()
 	token := d.AuthToken
+	myMax := clampWireVersion(d.MaxWireVersion)
+	metrics := d.metrics
 	d.mu.Unlock()
-	if err := expectHelloToken(conn, token); err != nil {
+	peerMax, err := expectHelloToken(conn, token)
+	if err != nil {
 		return
 	}
-	if err := sendHello(conn); err != nil {
+	if err := sendHelloMax(conn, "", myMax); err != nil {
 		return
 	}
+	wc := &wireConn{conn: conn, version: negotiateWire(myMax, peerMax), metrics: newWireMetrics(metrics)}
 	// Requests on one connection are dispatched concurrently so a
 	// long-running acquisition call does not block quick status calls
 	// pipelined behind it; a write mutex keeps response frames whole.
+	// A corrupt frame (decode error) poisons only this connection: the
+	// loop returns, the conn closes, and the daemon keeps serving.
 	var writeMu sync.Mutex
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
 		var req request
-		if err := readMessage(conn, &req); err != nil {
+		framep, err := wc.readRequest(&req)
+		if err != nil {
 			return
 		}
 		wg.Add(1)
-		go func(req request) {
+		go func(req request, framep *[]byte) {
 			defer wg.Done()
 			resp := d.dispatchDedup(&req)
+			if framep != nil {
+				// v2 args alias the pooled frame; dispatch has consumed
+				// them, so the buffer can be recycled before the write.
+				putFrame(framep)
+			}
 			writeMu.Lock()
 			defer writeMu.Unlock()
-			_ = writeMessage(conn, resp)
-		}(req)
+			_ = wc.writeResponse(&resp)
+		}(req, framep)
 	}
 }
 

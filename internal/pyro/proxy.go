@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"ice/internal/telemetry"
 	"ice/internal/trace"
 )
 
@@ -44,6 +45,9 @@ type Proxy struct {
 	Timeout time.Duration
 
 	conn net.Conn
+	// wire carries the framing version negotiated in the handshake and
+	// the optional pyro.wire.* telemetry.
+	wire *wireConn
 
 	writeMu sync.Mutex // serialises request frames
 
@@ -54,14 +58,36 @@ type Proxy struct {
 	readErr error
 }
 
+// DialConfig tunes a proxy connection.
+type DialConfig struct {
+	// Token is the shared-secret credential for a daemon whose
+	// AuthToken is set.
+	Token string
+	// MaxWireVersion caps the framing this client offers in the
+	// handshake: 0 (or 2) negotiates the binary v2 framing when the
+	// daemon supports it, 1 pins the connection to v1 JSON. The
+	// daemon's own cap wins when lower — mixed deployments fall back
+	// to JSON automatically.
+	MaxWireVersion int
+	// Metrics, when set, receives this connection's pyro.wire.*
+	// counters (bytes/frames in and out, encode/decode nanoseconds).
+	Metrics *telemetry.Collector
+}
+
 // Dial connects to the object's daemon and performs the handshake.
 func Dial(uri URI, dialer Dialer) (*Proxy, error) {
-	return DialToken(uri, dialer, "")
+	return DialConfigured(uri, dialer, DialConfig{})
 }
 
 // DialToken is Dial presenting a shared-secret credential to a daemon
 // whose AuthToken is set.
 func DialToken(uri URI, dialer Dialer, token string) (*Proxy, error) {
+	return DialConfigured(uri, dialer, DialConfig{Token: token})
+}
+
+// DialConfigured is Dial with explicit connection configuration,
+// including the wire-version cap and telemetry.
+func DialConfigured(uri URI, dialer Dialer, cfg DialConfig) (*Proxy, error) {
 	if dialer == nil {
 		dialer = func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, 10*time.Second)
@@ -71,24 +97,39 @@ func DialToken(uri URI, dialer Dialer, token string) (*Proxy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pyro: dial %s: %w", uri.Addr(), err)
 	}
-	if err := sendHelloToken(conn, token); err != nil {
+	myMax := clampWireVersion(cfg.MaxWireVersion)
+	if err := sendHelloMax(conn, cfg.Token, myMax); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	if err := expectHello(conn); err != nil {
+	peerMax, err := expectHello(conn)
+	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	p := &Proxy{uri: uri, conn: conn, pending: make(map[uint64]chan response)}
+	p := &Proxy{
+		uri:  uri,
+		conn: conn,
+		wire: &wireConn{
+			conn:    conn,
+			version: negotiateWire(myMax, peerMax),
+			metrics: newWireMetrics(cfg.Metrics),
+		},
+		pending: make(map[uint64]chan response),
+	}
 	go p.readLoop()
 	return p, nil
 }
+
+// WireVersion reports the framing version negotiated for this
+// connection (1 = JSON, 2 = binary).
+func (p *Proxy) WireVersion() int { return p.wire.version }
 
 // readLoop demultiplexes responses to their waiting callers.
 func (p *Proxy) readLoop() {
 	for {
 		var resp response
-		if err := readMessage(p.conn, &resp); err != nil {
+		if err := p.wire.readResponse(&resp); err != nil {
 			p.failAll(err)
 			return
 		}
@@ -190,7 +231,7 @@ func (p *Proxy) call(ctx context.Context, callID, method string, args ...any) (r
 	}
 
 	p.writeMu.Lock()
-	err = writeMessage(p.conn, &req)
+	err = p.wire.writeRequest(&req)
 	p.writeMu.Unlock()
 	if err != nil {
 		p.abandon(id)

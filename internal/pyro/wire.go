@@ -7,14 +7,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // maxMessageBytes bounds a single wire message (16 MiB) so a corrupt
 // length prefix cannot exhaust memory.
 const maxMessageBytes = 16 << 20
 
-// protocolVersion is negotiated in the connection handshake.
+// protocolVersion is the legacy handshake version every peer accepts;
+// it stays pinned at 1 so the strict version check in old daemons keeps
+// passing while framing negotiation rides the Max field.
 const protocolVersion = 1
+
+// protocolVersionMax is the newest framing this build speaks: 2 is the
+// compact binary framing, 1 the original length-prefixed JSON.
+const protocolVersionMax = 2
 
 // request is a client→daemon method invocation.
 type request struct {
@@ -57,9 +64,38 @@ type hello struct {
 	Magic   string `json:"magic"`
 	Version int    `json:"version"`
 	Token   string `json:"token,omitempty"`
+	// Max advertises the highest framing version the sender can speak.
+	// Version stays pinned at 1 — the legacy strict equality check —
+	// and each side moves to min(own Max, peer Max) after the
+	// handshake. A peer that predates the field (absent or zero)
+	// therefore pins the connection to v1 JSON, which is how mixed
+	// deployments keep working without a redial.
+	Max int `json:"max,omitempty"`
 }
 
-// writeMessage frames v as 4-byte big-endian length + JSON.
+// framePool recycles wire buffers across calls so the steady-state
+// encode/decode path allocates nothing per frame.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getFrame() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrame(bp *[]byte) {
+	// Don't hoard buffers grown by one giant payload.
+	if cap(*bp) > 1<<20 {
+		return
+	}
+	*bp = (*bp)[:0]
+	framePool.Put(bp)
+}
+
+// writeMessage frames v as 4-byte big-endian length + JSON, issued as
+// a single Write so one frame costs one transmission on netsim's
+// link-busy model (two Writes would serialise as two segments).
 func writeMessage(w io.Writer, v any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
@@ -68,27 +104,42 @@ func writeMessage(w io.Writer, v any) error {
 	if len(body) > maxMessageBytes {
 		return fmt.Errorf("pyro: message of %d bytes exceeds %d limit", len(body), maxMessageBytes)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	bp := getFrame()
+	b := append((*bp)[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(b[:4], uint32(len(body)))
+	b = append(b, body...)
+	_, err = w.Write(b)
+	*bp = b
+	putFrame(bp)
 	return err
+}
+
+// readFrame reads one length-prefixed frame into buf (grown as
+// needed) and returns the body slice.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxMessageBytes {
+		return nil, fmt.Errorf("pyro: incoming message of %d bytes exceeds %d limit", n, maxMessageBytes)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // readMessage reads one framed JSON message into v.
 func readMessage(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxMessageBytes {
-		return fmt.Errorf("pyro: incoming message of %d bytes exceeds %d limit", n, maxMessageBytes)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	body, err := readFrame(r, nil)
+	if err != nil {
 		return err
 	}
 	if err := json.Unmarshal(body, v); err != nil {
@@ -98,31 +149,70 @@ func readMessage(r io.Reader, v any) error {
 }
 
 // sendHello / expectHello implement the two-way handshake.
-func sendHello(w io.Writer) error { return sendHelloToken(w, "") }
+func sendHello(w io.Writer) error { return sendHelloMax(w, "", protocolVersionMax) }
 
 func sendHelloToken(w io.Writer, token string) error {
-	return writeMessage(w, hello{Magic: Scheme, Version: protocolVersion, Token: token})
+	return sendHelloMax(w, token, protocolVersionMax)
 }
 
-func expectHello(r io.Reader) error { return expectHelloToken(r, "") }
+// sendHelloMax sends the handshake advertising max as the highest
+// framing version this side speaks.
+func sendHelloMax(w io.Writer, token string, max int) error {
+	return writeMessage(w, hello{Magic: Scheme, Version: protocolVersion, Token: token, Max: max})
+}
+
+func expectHello(r io.Reader) (peerMax int, err error) { return expectHelloToken(r, "") }
 
 // ErrUnauthorized is wrapped when a handshake presents the wrong
 // credential.
 var ErrUnauthorized = errors.New("pyro: unauthorized")
 
-func expectHelloToken(r io.Reader, wantToken string) error {
+// expectHelloToken validates the peer's handshake and returns the
+// highest framing version it advertised (1 for peers that predate
+// negotiation).
+func expectHelloToken(r io.Reader, wantToken string) (peerMax int, err error) {
 	var h hello
 	if err := readMessage(r, &h); err != nil {
-		return fmt.Errorf("pyro: handshake: %w", err)
+		return 0, fmt.Errorf("pyro: handshake: %w", err)
 	}
 	if h.Magic != Scheme {
-		return fmt.Errorf("pyro: handshake magic %q", h.Magic)
+		return 0, fmt.Errorf("pyro: handshake magic %q", h.Magic)
 	}
 	if h.Version != protocolVersion {
-		return fmt.Errorf("pyro: protocol version %d, want %d", h.Version, protocolVersion)
+		return 0, fmt.Errorf("pyro: protocol version %d, want %d", h.Version, protocolVersion)
 	}
 	if wantToken != "" && subtle.ConstantTimeCompare([]byte(h.Token), []byte(wantToken)) != 1 {
-		return fmt.Errorf("%w: bad or missing token", ErrUnauthorized)
+		return 0, fmt.Errorf("%w: bad or missing token", ErrUnauthorized)
 	}
-	return nil
+	if h.Max < 1 {
+		return 1, nil
+	}
+	return h.Max, nil
+}
+
+// clampWireVersion normalises a configured preference: zero or
+// out-of-range selects the newest supported framing.
+func clampWireVersion(v int) int {
+	if v <= 0 || v > protocolVersionMax {
+		return protocolVersionMax
+	}
+	return v
+}
+
+// negotiateWire picks the framing both sides speak.
+func negotiateWire(mine, theirs int) int {
+	if mine < 1 {
+		mine = 1
+	}
+	if theirs < 1 {
+		theirs = 1
+	}
+	v := mine
+	if theirs < v {
+		v = theirs
+	}
+	if v > protocolVersionMax {
+		v = protocolVersionMax
+	}
+	return v
 }

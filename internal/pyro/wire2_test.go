@@ -1,0 +1,408 @@
+package pyro
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"ice/internal/telemetry"
+)
+
+// TestV2FrameRoundTrip checks the binary codec bit-for-bit on both
+// frame shapes, including the nil-vs-empty Result distinction.
+func TestV2FrameRoundTrip(t *testing.T) {
+	reqs := []request{
+		{ID: 1, Object: "Calc", Method: "Ping"},
+		{ID: 1<<63 + 9, CallID: "abc-42", Object: "ACL_SP200", Method: "StartChannelSP200",
+			TP:   "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+			Args: []json.RawMessage{json.RawMessage(`{"x":1}`), json.RawMessage(`[1,2,3]`)}},
+		{ID: 0, Object: "", Method: "", Args: []json.RawMessage{json.RawMessage(`null`)}},
+	}
+	for _, want := range reqs {
+		b := appendRequestV2(nil, &want)
+		var got request
+		if err := decodeRequestV2(b, &got); err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("request round trip: got %+v want %+v", got, want)
+		}
+	}
+
+	resps := []response{
+		{ID: 7},
+		{ID: 8, Result: json.RawMessage(`"ok"`)},
+		{ID: 9, Error: "pyro: it broke"},
+		{ID: 10, Result: json.RawMessage(`null`), Error: "partial"},
+		{ID: 11, Result: json.RawMessage{}}, // empty but present
+	}
+	for _, want := range resps {
+		b := appendResponseV2(nil, &want)
+		var got response
+		if err := decodeResponseV2(b, &got); err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got.ID != want.ID || got.Error != want.Error ||
+			(got.Result == nil) != (want.Result == nil) ||
+			!bytes.Equal(got.Result, want.Result) {
+			t.Errorf("response round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+// TestV2DecodeRejectsCorruption feeds systematically damaged frames
+// into both decoders: every error must surface without panicking.
+func TestV2DecodeRejectsCorruption(t *testing.T) {
+	req := request{ID: 3, CallID: "c", Object: "O", Method: "M",
+		Args: []json.RawMessage{json.RawMessage(`1`)}}
+	good := appendRequestV2(nil, &req)
+	// Truncations at every length.
+	for i := 0; i < len(good); i++ {
+		var r request
+		if err := decodeRequestV2(good[:i], &r); err == nil {
+			t.Errorf("truncated request of %d bytes accepted", i)
+		}
+	}
+	// Trailing junk.
+	var r request
+	if err := decodeRequestV2(append(append([]byte{}, good...), 0xFF), &r); err == nil {
+		t.Error("request with trailing junk accepted")
+	}
+	// Wrong frame type.
+	bad := append([]byte{}, good...)
+	bad[0] = frameResponse
+	if err := decodeRequestV2(bad, &r); err == nil {
+		t.Error("response frame accepted as request")
+	}
+	// Implausible arg count: claims 2^40 args.
+	huge := []byte{frameRequest, 1, 0, 0, 1, 'O', 1, 'M'}
+	huge = binary.AppendUvarint(huge, 1<<40)
+	if err := decodeRequestV2(huge, &r); err == nil {
+		t.Error("implausible arg count accepted")
+	}
+
+	resp := response{ID: 4, Result: json.RawMessage(`{"a":1}`), Error: "e"}
+	goodR := appendResponseV2(nil, &resp)
+	for i := 0; i < len(goodR); i++ {
+		var rr response
+		if err := decodeResponseV2(goodR[:i], &rr); err == nil {
+			t.Errorf("truncated response of %d bytes accepted", i)
+		}
+	}
+	var rr response
+	badR := append([]byte{}, goodR...)
+	badR[2] |= 0x80 // unknown flag
+	if err := decodeResponseV2(badR, &rr); err == nil {
+		t.Error("unknown response flags accepted")
+	}
+}
+
+// startDaemonMax is startDaemon with a pinned wire-version cap.
+func startDaemonMax(t *testing.T, max int) (*Daemon, *calc, URI, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDaemon(l)
+	d.MaxWireVersion = max
+	c := &calc{}
+	uri, err := d.Register("Calc", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { d.RequestLoop(); close(done) }()
+	return d, c, uri, func() {
+		d.Close()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Error("RequestLoop did not exit")
+		}
+	}
+}
+
+// TestWireVersionNegotiation covers the four old/new pairings: both
+// sides v2-capable pick binary, either side pinned to v1 falls the
+// connection back to JSON, and calls work identically in every case.
+func TestWireVersionNegotiation(t *testing.T) {
+	cases := []struct {
+		name                 string
+		daemonMax, clientMax int
+		want                 int
+	}{
+		{"v2 client with v2 daemon picks binary", 0, 0, 2},
+		{"v2 client with v1 daemon falls back", 1, 0, 1},
+		{"v1 client with v2 daemon falls back", 0, 1, 1},
+		{"both pinned v1", 1, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, c, uri, stop := startDaemonMax(t, tc.daemonMax)
+			defer stop()
+			p, err := DialConfigured(uri, nil, DialConfig{MaxWireVersion: tc.clientMax})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			if v := p.WireVersion(); v != tc.want {
+				t.Fatalf("negotiated wire version = %d, want %d", v, tc.want)
+			}
+			var sum int
+			if err := p.CallInto(&sum, "Add", 19, 23); err != nil {
+				t.Fatal(err)
+			}
+			if sum != 42 {
+				t.Errorf("Add over v%d = %d, want 42", tc.want, sum)
+			}
+			var echo string
+			if err := p.CallInto(&echo, "Echo", "streaming"); err != nil {
+				t.Fatal(err)
+			}
+			if echo != "streaming" || c.Calls() != 2 {
+				t.Errorf("echo %q, calls %d", echo, c.Calls())
+			}
+			// Void and error paths survive both framings.
+			if raw, err := p.Call("Ping"); err != nil || raw != nil {
+				t.Errorf("Ping = (%v, %v), want (nil, nil)", raw, err)
+			}
+			if _, err := p.Call("Fail"); err == nil {
+				t.Error("Fail did not surface the remote error")
+			}
+		})
+	}
+}
+
+// TestLegacyHelloWithoutMaxPinsV1 simulates a peer that predates the
+// Max field entirely: the daemon must answer it with working v1 JSON.
+func TestLegacyHelloWithoutMaxPinsV1(t *testing.T) {
+	_, _, uri, stop := startDaemonMax(t, 0)
+	defer stop()
+	conn, err := net.Dial("tcp", uri.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A legacy hello: Version 1, no Max key at all.
+	if err := writeMessage(conn, hello{Magic: Scheme, Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	peerMax, err := expectHello(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peerMax != protocolVersionMax {
+		t.Errorf("daemon advertised max %d, want %d", peerMax, protocolVersionMax)
+	}
+	// The daemon must have pinned this connection to v1: a JSON request
+	// gets a JSON response.
+	if err := writeMessage(conn, request{ID: 5, Object: "Calc", Method: "Echo",
+		Args: []json.RawMessage{json.RawMessage(`"legacy"`)}}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := readMessage(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 5 || resp.Error != "" || string(resp.Result) != `"legacy"` {
+		t.Errorf("legacy JSON call answered %+v", resp)
+	}
+}
+
+// TestCorruptV2FramePoisonsOnlyItsConnection writes garbage after a
+// v2 handshake: the daemon must drop that connection without crashing,
+// and keep serving fresh connections.
+func TestCorruptV2FramePoisonsOnlyItsConnection(t *testing.T) {
+	_, c, uri, stop := startDaemonMax(t, 0)
+	defer stop()
+
+	// A healthy long-lived proxy on its own connection.
+	healthy, err := Dial(uri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+
+	for name, corrupt := range map[string][]byte{
+		"garbage body":    append([]byte{0, 0, 0, 8}, 0xDE, 0xAD, 0xBE, 0xEF, 0xDE, 0xAD, 0xBE, 0xEF),
+		"oversize prefix": {0xFF, 0xFF, 0xFF, 0xFF},
+		"bad frame type":  {0, 0, 0, 2, 0x7F, 0x01},
+		"truncated args":  append([]byte{0, 0, 0, 6}, frameRequest, 1, 1, 'x', 0, 0),
+	} {
+		conn, err := net.Dial("tcp", uri.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sendHello(conn); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := expectHello(conn); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(corrupt); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		// The daemon must hang up on us…
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.ReadAll(conn); err != nil {
+			t.Errorf("%s: connection not cleanly closed: %v", name, err)
+		}
+		conn.Close()
+	}
+
+	// …while the healthy connection and new dials keep working.
+	var out string
+	if err := healthy.CallInto(&out, "Echo", "still here"); err != nil {
+		t.Fatalf("healthy connection died with the poisoned one: %v", err)
+	}
+	p2, err := Dial(uri, nil)
+	if err != nil {
+		t.Fatalf("daemon stopped accepting after corrupt frames: %v", err)
+	}
+	defer p2.Close()
+	if _, err := p2.Call("Ping"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Calls() != 2 {
+		t.Errorf("daemon dispatched %d calls, want 2", c.Calls())
+	}
+}
+
+// TestDedupAcrossFramings proves the exactly-once contract is framing-
+// independent: a duplicated CallID executes once and replays its
+// result on v1 JSON, on v2 binary, and when the retry arrives on a
+// different framing than the original.
+func TestDedupAcrossFramings(t *testing.T) {
+	for _, tc := range []struct {
+		name               string
+		firstMax, retryMax int
+	}{
+		{"v1 then v1", 1, 1},
+		{"v2 then v2", 0, 0},
+		{"v1 then v2", 1, 0},
+		{"v2 then v1", 0, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d, c, uri, stop := startDaemonMax(t, 0)
+			defer stop()
+			metrics := telemetry.NewCollector()
+			d.SetMetrics(metrics)
+
+			first, err := DialConfigured(uri, nil, DialConfig{MaxWireVersion: tc.firstMax})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer first.Close()
+			r1, err := first.CallWithID("once-1", "Add", 20, 22)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The "retry": same CallID from a fresh connection, possibly
+			// on the other framing (a redialed client may negotiate
+			// differently after a daemon upgrade).
+			retry, err := DialConfigured(uri, nil, DialConfig{MaxWireVersion: tc.retryMax})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer retry.Close()
+			r2, err := retry.CallWithID("once-1", "Add", 20, 22)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(r1) != "42" || string(r2) != "42" {
+				t.Errorf("results %q / %q, want 42", r1, r2)
+			}
+			if c.Calls() != 1 {
+				t.Errorf("method executed %d times, want exactly 1", c.Calls())
+			}
+			if d.DedupHits() != 1 || metrics.CounterValue("pyro.dedup_hits") != 1 {
+				t.Errorf("dedup hits = %d (counter %d), want 1",
+					d.DedupHits(), metrics.CounterValue("pyro.dedup_hits"))
+			}
+		})
+	}
+}
+
+// TestReconnectingProxyWireVersion checks the redial layer's cap
+// plumbing and version reporting.
+func TestReconnectingProxyWireVersion(t *testing.T) {
+	_, _, uri, stop := startDaemonMax(t, 0)
+	defer stop()
+
+	r := NewReconnectingProxy(uri, nil, "")
+	if v := r.WireVersion(); v != 0 {
+		t.Errorf("undialed handle reports version %d", v)
+	}
+	if _, err := r.Call("Ping"); err != nil {
+		t.Fatal(err)
+	}
+	if v := r.WireVersion(); v != 2 {
+		t.Errorf("negotiated %d, want 2", v)
+	}
+	r.Close()
+
+	pinned := NewReconnectingProxy(uri, nil, "")
+	pinned.MaxWireVersion = 1
+	if _, err := pinned.Call("Ping"); err != nil {
+		t.Fatal(err)
+	}
+	if v := pinned.WireVersion(); v != 1 {
+		t.Errorf("pinned handle negotiated %d, want 1", v)
+	}
+	pinned.Close()
+}
+
+// TestWireTelemetryCounters checks the pyro.wire.* series on both ends
+// and that v2 frames are measurably smaller than v1 for the same call.
+func TestWireTelemetryCounters(t *testing.T) {
+	bytesFor := func(clientMax int) (client, daemon int64) {
+		d, _, uri, stop := startDaemonMax(t, 0)
+		defer stop()
+		dm := telemetry.NewCollector()
+		d.SetMetrics(dm)
+		cm := telemetry.NewCollector()
+		p, err := DialConfigured(uri, nil, DialConfig{MaxWireVersion: clientMax, Metrics: cm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		for i := 0; i < 10; i++ {
+			var out string
+			if err := p.CallInto(&out, "Echo", "telemetry probe"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, name := range []string{
+			"pyro.wire.bytes_in", "pyro.wire.bytes_out",
+			"pyro.wire.frames_in", "pyro.wire.frames_out",
+		} {
+			if cm.CounterValue(name) <= 0 {
+				t.Errorf("client %s = %d, want > 0", name, cm.CounterValue(name))
+			}
+			if dm.CounterValue(name) <= 0 {
+				t.Errorf("daemon %s = %d, want > 0", name, dm.CounterValue(name))
+			}
+		}
+		if cm.CounterValue("pyro.wire.frames_out") != 10 {
+			t.Errorf("client frames_out = %d, want 10", cm.CounterValue("pyro.wire.frames_out"))
+		}
+		// What the client sends the daemon receives, byte for byte
+		// (plus the daemon's view of the handshake hello it read).
+		return cm.CounterValue("pyro.wire.bytes_out"), dm.CounterValue("pyro.wire.bytes_out")
+	}
+	v1Client, v1Daemon := bytesFor(1)
+	v2Client, v2Daemon := bytesFor(2)
+	if v2Client >= v1Client {
+		t.Errorf("v2 client sent %d bytes, v1 sent %d — binary framing should be smaller", v2Client, v1Client)
+	}
+	if v2Daemon >= v1Daemon {
+		t.Errorf("v2 daemon sent %d bytes, v1 sent %d", v2Daemon, v1Daemon)
+	}
+}

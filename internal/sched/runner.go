@@ -92,6 +92,10 @@ type NetConnector struct {
 	Reliable bool
 	// ReliableData self-heals the data mount across redials.
 	ReliableData bool
+	// WireVersion caps the control-channel framing: 0 negotiates the
+	// newest (binary v2, falling back against old agents), 1 pins the
+	// legacy JSON framing.
+	WireVersion int
 }
 
 func (c *NetConnector) uri() pyro.URI {
@@ -118,12 +122,13 @@ func (c *NetConnector) mount() (datachan.Share, error) {
 
 // ConnectSession implements Connector.
 func (c *NetConnector) ConnectSession() (*core.RemoteSession, datachan.Share, error) {
+	opts := core.SessionOptions{Token: c.Token, WireVersion: c.WireVersion}
 	var session *core.RemoteSession
 	if c.Reliable {
-		session = core.ConnectSessionReliable(c.uri(), nil, core.SessionOptions{Token: c.Token})
+		session = core.ConnectSessionReliable(c.uri(), nil, opts)
 	} else {
 		var err error
-		session, err = core.ConnectSessionToken(c.uri(), nil, c.Token)
+		session, err = core.ConnectSessionOpts(c.uri(), nil, opts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -199,6 +204,11 @@ type LabRunner struct {
 	// WaitPoll and WaitTimeout bound cv measurement retrieval.
 	WaitPoll    time.Duration
 	WaitTimeout time.Duration
+	// StreamAnalysis makes cv jobs tail the measurement file during
+	// acquisition and analyze online, so the verdict is ready at
+	// instrument release; stream failures fall back to the classic
+	// retrieval inside the workflow.
+	StreamAnalysis bool
 	// AcquireBudget bounds task D's acquire phase (connect through the
 	// on-instrument wait). When zero and the job carries an end-to-end
 	// deadline, a budget is derived from the remaining deadline, so a
@@ -306,6 +316,7 @@ func (r *LabRunner) runCV(ctx context.Context, job Job, emit func(string, string
 		cfg.WaitTimeout = r.WaitTimeout
 	}
 	cfg.AcquireTimeout = r.phaseBudgets(ctx)
+	cfg.StreamAnalysis = r.StreamAnalysis
 
 	gate := &InstrumentGate{
 		M:         r.Leases,
