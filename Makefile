@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-parallel-quick bench-wire bench-wire-quick fuzz gateway-smoke trace-smoke cluster-smoke health-smoke
+.PHONY: all build vet test race bench bench-parallel bench-parallel-quick bench-wire bench-wire-quick fuzz gateway-smoke trace-smoke cluster-smoke health-smoke dag-smoke
 
 all: build vet test
 
@@ -70,6 +70,18 @@ cluster-smoke:
 # JSONL land in health_smoke_state/ (CI uploads them on failure).
 health-smoke:
 	$(GO) run ./cmd/icegated -health-smoke
+
+# DAG-engine acceptance drill: the examples/dag specs against
+# self-deployed labs. The cv_classic.json graph must reproduce the
+# hardwired cv job's measurement digest and ML verdict bit for bit;
+# resubmitting it must serve every cacheable node from the
+# content-keyed cache with the instrument untouched; a kill -9
+# mid-DAG must resume exactly once from the checkpoint journal; and
+# the two-cell campaign round must analyze both branches. State and
+# per-job journals land in dag_smoke_state/ (CI uploads them on
+# failure).
+dag-smoke:
+	$(GO) run ./cmd/icegated -dag-smoke
 
 fuzz:
 	for pkg in $$($(GO) list ./...); do \

@@ -24,6 +24,7 @@ import (
 //
 //	icectl -gateway http://host:9700 -tenant acl submit            # cv job from flags
 //	icectl -gateway http://host:9700 -tenant acl submit spec.json  # spec from file ("-" = stdin)
+//	icectl -gateway http://host:9700 -tenant acl -dag dag.json     # declarative experiment DAG
 //	icectl -gateway http://host-a:9700,http://host-b:9700 wait jobID
 //	icectl -gateway http://host:9700 status [jobID]
 //	icectl -gateway http://host:9700 trace jobID    # span tree + critical path
@@ -35,7 +36,15 @@ import (
 // the next endpoint before sleeping (so a surviving peer answers
 // immediately after a failover), and 429 responses honor the
 // gateway's Retry-After hint in place.
-func runGateway(ctx context.Context, gateways, verb string, args []string, tenant string, scanRate float64, deadline time.Duration) {
+// gatewayOpts carries the submit-shaping flags into gateway mode.
+type gatewayOpts struct {
+	tenant   string
+	scanRate float64
+	deadline time.Duration
+	dagPath  string // -dag: wrap this DAG document in a dag job
+}
+
+func runGateway(ctx context.Context, gateways, verb string, args []string, opts gatewayOpts) {
 	gc, err := newGatewayClient(gateways)
 	if err != nil {
 		log.Fatal(err)
@@ -44,6 +53,28 @@ func runGateway(ctx context.Context, gateways, verb string, args []string, tenan
 	case "submit":
 		var spec []byte
 		switch {
+		case opts.dagPath != "":
+			// A DAG document is not a JobSpec: wrap it so the gateway's
+			// admission validation (schema, cycles) sees a dag job.
+			if opts.tenant == "" {
+				log.Fatal("-dag needs -tenant")
+			}
+			var raw []byte
+			var err error
+			if opts.dagPath == "-" {
+				raw, err = io.ReadAll(os.Stdin)
+			} else {
+				raw, err = os.ReadFile(opts.dagPath)
+			}
+			if err != nil {
+				log.Fatalf("read dag spec: %v", err)
+			}
+			spec, _ = json.Marshal(sched.JobSpec{
+				Tenant:     opts.tenant,
+				Kind:       sched.KindDAG,
+				DAG:        raw,
+				DeadlineMS: opts.deadline.Milliseconds(),
+			})
 		case len(args) >= 1:
 			var err error
 			if args[0] == "-" {
@@ -54,14 +85,14 @@ func runGateway(ctx context.Context, gateways, verb string, args []string, tenan
 			if err != nil {
 				log.Fatalf("read spec: %v", err)
 			}
-		case tenant == "":
+		case opts.tenant == "":
 			log.Fatal("submit needs -tenant (or a spec file)")
 		default:
 			spec, _ = json.Marshal(sched.JobSpec{
-				Tenant:      tenant,
+				Tenant:      opts.tenant,
 				Kind:        sched.KindCV,
-				ScanRateMVs: scanRate,
-				DeadlineMS:  deadline.Milliseconds(),
+				ScanRateMVs: opts.scanRate,
+				DeadlineMS:  opts.deadline.Milliseconds(),
 			})
 		}
 		job, err := gc.submit(ctx, spec)
@@ -69,6 +100,9 @@ func runGateway(ctx context.Context, gateways, verb string, args []string, tenan
 			log.Fatalf("submit: %v", err)
 		}
 		fmt.Printf("%s %s submitted for tenant %s\n", job.ID, job.Spec.Kind, job.Tenant)
+		if opts.dagPath != "" && len(args) >= 1 && args[0] == "wait" {
+			waitJob(ctx, gc, job.ID)
+		}
 
 	case "status":
 		if len(args) >= 1 {
@@ -94,22 +128,7 @@ func runGateway(ctx context.Context, gateways, verb string, args []string, tenan
 		if len(args) < 1 {
 			log.Fatal("wait needs a job ID")
 		}
-		id := args[0]
-		for {
-			job := gc.job(ctx, id)
-			if job.State.Terminal() {
-				printJob(job)
-				if job.State != sched.StateDone {
-					os.Exit(1)
-				}
-				return
-			}
-			select {
-			case <-ctx.Done():
-				log.Fatalf("wait: %v", ctx.Err())
-			case <-time.After(250 * time.Millisecond):
-			}
-		}
+		waitJob(ctx, gc, args[0])
 
 	case "trace":
 		if len(args) < 1 {
@@ -151,6 +170,26 @@ func runGateway(ctx context.Context, gateways, verb string, args []string, tenan
 
 	default:
 		log.Fatalf("unknown gateway verb %q (want submit|status|wait|trace|cancel)", verb)
+	}
+}
+
+// waitJob polls until the job reaches a terminal state, printing it
+// and exiting nonzero on failure.
+func waitJob(ctx context.Context, gc *gatewayClient, id string) {
+	for {
+		job := gc.job(ctx, id)
+		if job.State.Terminal() {
+			printJob(job)
+			if job.State != sched.StateDone {
+				os.Exit(1)
+			}
+			return
+		}
+		select {
+		case <-ctx.Done():
+			log.Fatalf("wait: %v", ctx.Err())
+		case <-time.After(250 * time.Millisecond):
+		}
 	}
 }
 

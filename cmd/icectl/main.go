@@ -57,10 +57,12 @@ func main() {
 	gateway := flag.String("gateway", "", "icegated URL(s), comma-separated for a federated cluster: verbs become submit|status|wait|trace|cancel against the scheduling gateway (503s and dead endpoints fail over to the next)")
 	tenant := flag.String("tenant", "", "gateway: tenant identity for submit")
 	deadline := flag.Duration("deadline", 0, "gateway submit: end-to-end deadline from admission (0 = none); unmeetable deadlines are rejected with 503 + Retry-After instead of occupying a lease")
+	dagSpec := flag.String("dag", "", "gateway: submit the declarative experiment DAG in this JSON file (\"-\" = stdin) as a dag job; implies the submit verb (see examples/dag/)")
 	flag.Parse()
-	if flag.NArg() < 1 {
+	if flag.NArg() < 1 && *dagSpec == "" {
 		log.Fatal("usage: icectl [flags] status|fill|cv|eis|workflow|campaign|qos|abort|retain|replay|files\n" +
-			"       icectl -gateway URL [flags] submit|status|wait|trace|cancel [args]")
+			"       icectl -gateway URL [flags] submit|status|wait|trace|cancel [args]\n" +
+			"       icectl -gateway URL -tenant NAME -dag spec.json [wait]")
 	}
 
 	ctx := context.Background()
@@ -71,8 +73,24 @@ func main() {
 	}
 
 	if *gateway != "" {
-		runGateway(ctx, *gateway, flag.Arg(0), flag.Args()[1:], *tenant, *rate, *deadline)
+		verb, rest := "submit", []string(nil)
+		switch {
+		case *dagSpec != "":
+			// -dag implies submit; a trailing "wait" blocks on the result.
+			rest = flag.Args()
+		case flag.NArg() >= 1:
+			verb, rest = flag.Arg(0), flag.Args()[1:]
+		}
+		runGateway(ctx, *gateway, verb, rest, gatewayOpts{
+			tenant:   *tenant,
+			scanRate: *rate,
+			deadline: *deadline,
+			dagPath:  *dagSpec,
+		})
 		return
+	}
+	if *dagSpec != "" {
+		log.Fatal("-dag submits through a scheduling gateway: add -gateway URL")
 	}
 
 	var wireVersion int

@@ -19,6 +19,7 @@ import (
 	"ice/internal/potentiostat"
 	"ice/internal/sched"
 	"ice/internal/sched/health"
+	"ice/internal/testutil"
 	"ice/internal/trace"
 	"ice/internal/workflow"
 )
@@ -335,15 +336,9 @@ func runHealthSmoke(dir string) error {
 	prober.Close()
 	exp.Close()
 	d.Close()
-	settle := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= baseline+8 {
-			log.Printf("health-smoke: goroutines settled (%d, baseline %d)", n, baseline)
-			break
-		} else if time.Now().After(settle) {
-			return fmt.Errorf("goroutine leak: %d live against baseline %d", n, baseline)
-		}
-		time.Sleep(50 * time.Millisecond)
+	if err := testutil.WaitGoroutines(baseline, 8, 5*time.Second); err != nil {
+		return err
 	}
+	log.Printf("health-smoke: goroutines settled (baseline %d)", baseline)
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -43,6 +44,7 @@ import (
 	"ice/internal/netsim"
 	"ice/internal/sched"
 	"ice/internal/sched/cluster"
+	"ice/internal/testutil"
 	"ice/internal/trace"
 )
 
@@ -84,7 +86,16 @@ func main() {
 	traceSmoke := flag.Bool("trace-smoke", false, "one-shot trace self-test: selflab two-cell campaign, fetch its trace, verify the span tree and critical-path partition, exit")
 	clusterSmoke := flag.Bool("cluster-smoke", false, "one-shot federation self-test: two in-process facility gateways over one lab, kill one mid-CV, the peer must adopt via the replicated WAL within 10s and finish exactly once, exit")
 	healthSmoke := flag.Bool("health-smoke", false, "one-shot health drill: wedge the simulated potentiostat mid-acquisition, the breaker must quarantine it, checkpoint-requeue the job, recover via a probe and finish exactly once, exit")
+	dagSmoke := flag.Bool("dag-smoke", false, "one-shot DAG drill: run the examples/dag specs against a selflab, assert digest equivalence with the classic cv path, cache hits on re-run, and crash-resume exactly once, exit")
 	flag.Parse()
+
+	if *dagSmoke {
+		if err := runDAGSmoke("dag_smoke_state"); err != nil {
+			log.Fatalf("dag-smoke: %v", err)
+		}
+		log.Print("dag-smoke: OK")
+		return
+	}
 
 	if *healthSmoke {
 		if err := runHealthSmoke("health_smoke_state"); err != nil {
@@ -201,6 +212,7 @@ func main() {
 					MirrorJournal:    n.MirrorJournal,
 					CampaignCVPoints: *campaignPoints,
 					StreamAnalysis:   *streamAnalysis,
+					Metrics:          n.Scheduler().Metrics(),
 				}
 			},
 			RetryAfter: *retryAfter,
@@ -217,6 +229,11 @@ func main() {
 	if len(peers) > 0 || len(peerLabs) > 0 {
 		log.Fatal("-peer/-peer-lab require -facility")
 	}
+
+	// Leak baseline for the one-shot smoke path: everything started
+	// below (scheduler, prober, HTTP server) is torn down before the
+	// check, so the count must settle back here.
+	baseline := runtime.NumGoroutine()
 
 	s, err := sched.New(sched.Config{
 		Dir:           *dir,
@@ -237,6 +254,7 @@ func main() {
 		Dir:              s.Dir(),
 		CampaignCVPoints: *campaignPoints,
 		StreamAnalysis:   *streamAnalysis,
+		Metrics:          s.Metrics(),
 	})
 	gw := sched.NewGateway(s)
 	prober := wireProber(s, gw, connector, sched.ResourceSP200, sched.ResourceJKem)
@@ -262,6 +280,10 @@ func main() {
 		err := runSmoke("http://" + l.Addr().String())
 		srv.Shutdown(context.Background())
 		s.Stop()
+		prober.Close()
+		if err == nil {
+			err = testutil.WaitGoroutines(baseline, 8, 5*time.Second)
+		}
 		if err != nil {
 			log.Fatalf("smoke: %v", err)
 		}

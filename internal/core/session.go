@@ -104,6 +104,33 @@ func (s *RemoteSession) callInto(p pyro.Caller, out any, method string, args ...
 	return p.CallIntoCtx(s.rpcCtx(), out, method, args...)
 }
 
+// Call invokes an arbitrary method on one of the session's lab
+// objects — object is "jkem" or "sp200" — and renders the result as a
+// string. It backs declarative workloads (the DAG engine's pyro
+// nodes) where the method name is data, not code; typed wrappers
+// remain the API for hardwired workflows. Results that are not
+// strings (ReadTemperature returns a float) are formatted with
+// fmt.Sprint.
+func (s *RemoteSession) Call(object, method string, args ...any) (string, error) {
+	var p pyro.Caller
+	switch object {
+	case "jkem":
+		p = s.jkem
+	case "sp200":
+		p = s.sp200
+	default:
+		return "", fmt.Errorf("session: unknown object %q (want \"jkem\" or \"sp200\")", object)
+	}
+	var out any
+	if err := p.CallIntoCtx(s.rpcCtx(), &out, method, args...); err != nil {
+		return "", err
+	}
+	if out == nil {
+		return "", nil
+	}
+	return fmt.Sprint(out), nil
+}
+
 // NonIdempotentJKemMethods are the J-Kem commands whose retry must not
 // re-execute: each moves physical liquid (or forwards an arbitrary
 // protocol command that might).

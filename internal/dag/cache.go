@@ -1,0 +1,161 @@
+package dag
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// cacheKeyVersion is folded into every key so a format change
+// invalidates old entries instead of mis-hitting on them.
+const cacheKeyVersion = "dagv1"
+
+// Cache is a content-addressed result store shared across DAG jobs.
+// Result entries live under the root keyed by the node's cache key;
+// measurement payloads live in objects/ keyed by their SHA-256 so a
+// resumed or cache-served retrieve node can rehydrate its bytes.
+type Cache struct {
+	dir string
+}
+
+// OpenCache creates (if needed) and opens a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("dag: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// CacheKey derives the content key for a node: a hash over the node's
+// own spec digest plus the sorted digests of its resolved inputs.
+// Identical work — same parameters, same input content — hashes to
+// the same key regardless of node IDs, topology, or which job ran it.
+func CacheKey(specDigest string, inputDigests []string) string {
+	sorted := append([]string(nil), inputDigests...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s", cacheKeyVersion, specDigest, strings.Join(sorted, "\n"))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Lookup returns the cached result for a key, or ok=false on a miss.
+// Unreadable or corrupt entries degrade to a miss.
+func (c *Cache) Lookup(key string) (*NodeResult, bool) {
+	if c == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var res NodeResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// Store persists a node result under its key via tmp+rename so
+// concurrent writers and crashes never leave a torn entry.
+func (c *Cache) Store(key string, res *NodeResult) error {
+	if c == nil {
+		return nil
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("dag: marshal cache entry: %w", err)
+	}
+	return c.writeAtomic(c.entryPath(key), data)
+}
+
+// PutBlob stores a payload in the object store and returns its
+// hex SHA-256 digest. Writing an already-present blob is a no-op.
+func (c *Cache) PutBlob(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	digest := hex.EncodeToString(sum[:])
+	if c == nil {
+		return digest, nil
+	}
+	path := c.blobPath(digest)
+	if _, err := os.Stat(path); err == nil {
+		return digest, nil
+	}
+	if err := c.writeAtomic(path, data); err != nil {
+		return "", err
+	}
+	return digest, nil
+}
+
+// GetBlob returns the payload for a digest, verifying content on the
+// way out; a missing or corrupt blob is reported as absent.
+func (c *Cache) GetBlob(digest string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.blobPath(digest))
+	if err != nil {
+		return nil, false
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != digest {
+		return nil, false
+	}
+	return data, true
+}
+
+// sha256Sum is the hex SHA-256 of a byte slice.
+func sha256Sum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, sanitizeKey(key)+".json")
+}
+
+func (c *Cache) blobPath(digest string) string {
+	return filepath.Join(c.dir, "objects", sanitizeKey(digest))
+}
+
+func (c *Cache) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("dag: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dag: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dag: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dag: cache write: %w", err)
+	}
+	return nil
+}
+
+// sanitizeKey keeps only hex-ish characters so a hostile key cannot
+// escape the cache directory. Keys produced by CacheKey are already
+// plain hex; anything else collapses to '_'.
+func sanitizeKey(key string) string {
+	out := make([]byte, 0, len(key))
+	for i := 0; i < len(key) && i < 128; i++ {
+		ch := key[i]
+		switch {
+		case ch >= '0' && ch <= '9', ch >= 'a' && ch <= 'f', ch >= 'A' && ch <= 'F':
+			out = append(out, ch)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,328 @@
+package dag
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ice/internal/telemetry"
+	"ice/internal/workflow"
+)
+
+// fakeExec counts executions per node and returns canned results.
+type fakeExec struct {
+	mu   sync.Mutex
+	runs map[string]int
+	fail map[string]error
+}
+
+func newFakeExec() *fakeExec {
+	return &fakeExec{runs: make(map[string]int), fail: make(map[string]error)}
+}
+
+func (f *fakeExec) RunNode(ctx context.Context, inv *Invocation) (*NodeResult, []byte, error) {
+	f.mu.Lock()
+	f.runs[inv.Node.ID]++
+	f.mu.Unlock()
+	if err := f.fail[inv.Node.ID]; err != nil {
+		return nil, nil, err
+	}
+	if inv.OnMeasured != nil {
+		inv.OnMeasured("fake.mpt")
+	}
+	var data []byte
+	if inv.Node.Type == TypeRetrieve {
+		data = []byte("payload-" + inv.Node.ID)
+	}
+	return &NodeResult{Output: "ok-" + inv.Node.ID}, data, nil
+}
+
+func (f *fakeExec) count(id string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.runs[id]
+}
+
+func pyroNode(id string, needs ...string) *Node {
+	return &Node{ID: id, Type: TypePyro, Object: "jkem", Method: "Status", Needs: needs}
+}
+
+func diamondSpec() *Spec {
+	// top → left,right → join: the shared top and join nodes must
+	// execute exactly once even with parallel workers.
+	return &Spec{Name: "diamond", Nodes: []*Node{
+		pyroNode("top"),
+		pyroNode("left", "top"),
+		pyroNode("right", "top"),
+		pyroNode("join", "left", "right"),
+	}}
+}
+
+func TestDiamondExecutesEachNodeOnce(t *testing.T) {
+	exec := newFakeExec()
+	eng := &Engine{Spec: diamondSpec(), Exec: exec, Workers: 4}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesRun != 4 || res.NodesCached != 0 {
+		t.Fatalf("result = %+v, want 4 run / 0 cached", res)
+	}
+	for _, id := range []string{"top", "left", "right", "join"} {
+		if n := exec.count(id); n != 1 {
+			t.Errorf("node %s executed %d times, want exactly once", id, n)
+		}
+	}
+}
+
+func TestFailureSkipsDependents(t *testing.T) {
+	exec := newFakeExec()
+	exec.fail["left"] = errors.New("boom")
+	var journal bytes.Buffer
+	eng := &Engine{Spec: diamondSpec(), Exec: exec, Workers: 1, Journal: &journal}
+	_, err := eng.Run(context.Background())
+	if err == nil || !errors.Is(err, exec.fail["left"]) && err.Error() == "" {
+		t.Fatalf("run error = %v, want failure from left", err)
+	}
+	if n := exec.count("join"); n != 0 {
+		t.Errorf("join executed %d times after dependency failure, want 0", n)
+	}
+	recs, err := workflow.ReadJournal(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := map[string]string{}
+	for _, r := range recs {
+		status[r.TaskID] = r.Status
+	}
+	if status["left"] != workflow.Failed.String() {
+		t.Errorf("left journaled as %q, want FAILED", status["left"])
+	}
+	if status["join"] != workflow.Skipped.String() {
+		t.Errorf("join journaled as %q, want skipped", status["join"])
+	}
+}
+
+func TestJournalResumeSkipsCompletedNodes(t *testing.T) {
+	exec := newFakeExec()
+	spec := diamondSpec()
+	var journal bytes.Buffer
+	eng := &Engine{Spec: spec, Exec: exec, Workers: 2, Journal: &journal}
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second engine restores from the first run's journal: nothing
+	// re-executes.
+	recs, err := workflow.ReadJournal(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec2 := newFakeExec()
+	eng2 := &Engine{Spec: spec, Exec: exec2, Workers: 2, Restored: recs}
+	res, err := eng2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesRestored != 4 || res.NodesRun != 0 {
+		t.Fatalf("resume result = %+v, want 4 restored / 0 run", res)
+	}
+	for id := range exec2.runs {
+		t.Errorf("node %s re-executed on resume", id)
+	}
+}
+
+func TestContentCacheAcrossRuns(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Name: "c", Nodes: []*Node{
+		{ID: "acq", Type: TypeAcquire, Acquire: &AcquireSpec{}},
+		{ID: "ret", Type: TypeRetrieve, Needs: []string{"acq"}},
+		{ID: "ana", Type: TypeAnalyze, Needs: []string{"ret"}},
+	}}
+	metrics := telemetry.NewCollector()
+	exec := newFakeExec()
+	eng := &Engine{Spec: spec, Exec: exec, Cache: cache, Metrics: metrics}
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second job with the same spec hits on every cacheable node.
+	exec2 := newFakeExec()
+	eng2 := &Engine{Spec: spec, Exec: exec2, Cache: cache, Metrics: metrics}
+	res, err := eng2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesCached != 3 || res.NodesRun != 0 {
+		t.Fatalf("second run = %+v, want 3 cached / 0 run", res)
+	}
+	if len(exec2.runs) != 0 {
+		t.Errorf("nodes re-executed despite cache: %v", exec2.runs)
+	}
+	if got := metrics.CounterValue("dag.nodes.cached"); got != 3 {
+		t.Errorf("dag.nodes.cached = %d, want 3", got)
+	}
+	if got := metrics.GaugeValue("dag.cache.hit_ratio"); got != 100 {
+		t.Errorf("dag.cache.hit_ratio = %d, want 100", got)
+	}
+}
+
+func TestNoCacheOptOut(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Name: "c", Nodes: []*Node{
+		{ID: "acq", Type: TypeAcquire, Acquire: &AcquireSpec{}, NoCache: true},
+	}}
+	for i := 0; i < 2; i++ {
+		exec := newFakeExec()
+		eng := &Engine{Spec: spec, Exec: exec, Cache: cache}
+		res, err := eng.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NodesRun != 1 || res.NodesCached != 0 {
+			t.Fatalf("run %d = %+v, want always live", i, res)
+		}
+	}
+}
+
+func TestPyroAndFillNeverCached(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Name: "c", Nodes: []*Node{
+		pyroNode("p"),
+		{ID: "f", Type: TypeFill, Fill: &FillSpec{PumpAddr: 1, StockPort: 8, CellPort: 1, VolumeML: 6, RateMLMin: 5}},
+	}}
+	for i := 0; i < 2; i++ {
+		exec := newFakeExec()
+		eng := &Engine{Spec: spec, Exec: exec, Cache: cache}
+		res, err := eng.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NodesCached != 0 || exec.count("p") != 1 || exec.count("f") != 1 {
+			t.Fatalf("run %d: effectful nodes were cached (%+v)", i, res)
+		}
+	}
+}
+
+// countGate counts Lock/Unlock transitions so the test can assert the
+// instrument hold released at the acquire→retrieve boundary.
+type countGate struct {
+	mu       sync.Mutex
+	held     bool
+	acquired int
+}
+
+func (g *countGate) Lock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.held {
+		panic("gate locked twice")
+	}
+	g.held = true
+	g.acquired++
+}
+
+func (g *countGate) Unlock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.held {
+		panic("gate unlocked while free")
+	}
+	g.held = false
+}
+
+// boundaryExec asserts the gate is already free when a retrieve node
+// runs — the acquire→retrieve boundary released it.
+type boundaryExec struct {
+	fakeExec
+	gate        *countGate
+	heldAtRetr  atomic.Bool
+	sawRetrieve atomic.Bool
+}
+
+func (b *boundaryExec) RunNode(ctx context.Context, inv *Invocation) (*NodeResult, []byte, error) {
+	if inv.Node.Type == TypeRetrieve {
+		b.sawRetrieve.Store(true)
+		b.gate.mu.Lock()
+		b.heldAtRetr.Store(b.gate.held)
+		b.gate.mu.Unlock()
+	}
+	return b.fakeExec.RunNode(ctx, inv)
+}
+
+func TestGateReleasesAtAcquireRetrieveBoundary(t *testing.T) {
+	gate := &countGate{}
+	exec := &boundaryExec{gate: gate}
+	exec.runs = make(map[string]int)
+	exec.fail = make(map[string]error)
+	spec := &Spec{Name: "g", Nodes: []*Node{
+		{ID: "acq", Type: TypeAcquire, Acquire: &AcquireSpec{}},
+		{ID: "ret", Type: TypeRetrieve, Needs: []string{"acq"}},
+		{ID: "ana", Type: TypeAnalyze, Needs: []string{"ret"}},
+	}}
+	eng := &Engine{Spec: spec, Exec: exec, Gate: gate, Workers: 1}
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !exec.sawRetrieve.Load() {
+		t.Fatal("retrieve never ran")
+	}
+	if exec.heldAtRetr.Load() {
+		t.Error("instrument gate still held while retrieve ran; should release at the acquire→retrieve boundary")
+	}
+	if gate.held {
+		t.Error("gate left held after run")
+	}
+	if gate.acquired == 0 {
+		t.Error("gate never acquired")
+	}
+}
+
+func TestRestoredRetrieveNeedsBlob(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Name: "r", Nodes: []*Node{
+		{ID: "acq", Type: TypeAcquire, Acquire: &AcquireSpec{}},
+		{ID: "ret", Type: TypeRetrieve, Needs: []string{"acq"}},
+	}}
+	// Forge a journal claiming both nodes completed, but with a
+	// retrieve digest whose blob is absent: the retrieve must re-run.
+	mk := func(id, typ, digest string) workflow.TaskRecord {
+		out, _ := json.Marshal(&NodeResult{Node: id, Type: typ, Digest: digest})
+		return workflow.TaskRecord{Workflow: "r", TaskID: id, Status: workflow.OK.String(), Output: string(out)}
+	}
+	restored := []workflow.TaskRecord{
+		mk("acq", TypeAcquire, "d1"),
+		mk("ret", TypeRetrieve, "missing-blob"),
+	}
+	exec := newFakeExec()
+	eng := &Engine{Spec: spec, Exec: exec, Cache: cache, Restored: restored}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.count("acq") != 0 {
+		t.Error("acquire re-ran despite journal checkpoint")
+	}
+	if exec.count("ret") != 1 {
+		t.Errorf("retrieve ran %d times, want re-run once (blob unavailable)", exec.count("ret"))
+	}
+	if res.NodesRestored != 1 {
+		t.Errorf("restored = %d, want 1", res.NodesRestored)
+	}
+}

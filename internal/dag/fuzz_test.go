@@ -1,0 +1,55 @@
+package dag
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeDAGSpec holds DecodeSpec to the admission contract: never
+// panic on malformed input, and every accepted spec re-validates,
+// marshals, and decodes again to an equally valid document.
+func FuzzDecodeDAGSpec(f *testing.F) {
+	f.Add([]byte(`{"name":"cv","nodes":[{"id":"a","type":"pyro","object":"jkem","method":"Status"}]}`))
+	f.Add([]byte(`{"name":"cv","nodes":[
+		{"id":"f","type":"fill","fill":{"pump":1,"stock_port":8,"cell_port":1,"volume_ml":6,"rate_ml_min":5}},
+		{"id":"q","type":"acquire","needs":["f"]},
+		{"id":"r","type":"retrieve","needs":["q"]},
+		{"id":"n","type":"analyze","needs":["r"]},
+		{"id":"m","type":"ml-classify","seed":7,"needs":["r"]}]}`))
+	f.Add([]byte(`{"name":"x","nodes":[{"id":"a","type":"pyro","object":"jkem","method":"Status","needs":["a"]}]}`))
+	f.Add([]byte(`{"name":"x","nodes":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"name":"x","nodes":[{"id":"a","type":"acquire","acquire":{"cv":{"points":-1}}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails re-validation: %v", err)
+		}
+		if _, err := spec.TopoOrder(); err != nil {
+			t.Fatalf("accepted spec has no topo order: %v", err)
+		}
+		encoded, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		again, err := DecodeSpec(encoded)
+		if err != nil {
+			t.Fatalf("round-tripped spec rejected: %v\n  %s", err, encoded)
+		}
+		if len(again.Nodes) != len(spec.Nodes) || again.Name != spec.Name {
+			t.Fatalf("round-trip changed the spec: %d/%q vs %d/%q",
+				len(again.Nodes), again.Name, len(spec.Nodes), spec.Name)
+		}
+		// Spec digests must be stable across the round trip — the cache
+		// key depends on it.
+		for i := range spec.Nodes {
+			if spec.Nodes[i].SpecDigest() != again.Nodes[i].SpecDigest() {
+				t.Fatalf("node %q digest unstable across round trip", spec.Nodes[i].ID)
+			}
+		}
+	})
+}

@@ -1,0 +1,416 @@
+// Package dag implements the declarative experiment DAG engine: a JSON
+// job spec whose nodes are typed steps (pyro call, fill, acquire,
+// retrieve, analyze, ml-classify) and whose edges are dependencies.
+// Specs are validated at admission (schema, references, cycles),
+// executed topologically on a bounded worker pool, checkpointed
+// per-node into the same JSONL journal format the notebook workflows
+// use, and cached by content key so identical nodes are skipped on
+// resume and across jobs.
+package dag
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ice/internal/core"
+)
+
+// Node types. Each type maps onto one phase of the paper's A–E CV
+// workflow; arbitrary instrument control is expressed as pyro nodes.
+const (
+	// TypePyro is a raw RPC on a lab object ("jkem" or "sp200").
+	TypePyro = "pyro"
+	// TypeFill runs the five-step syringe-pump fill sequence (task C).
+	TypeFill = "fill"
+	// TypeAcquire runs the six-step SP200 acquisition pipeline (task D
+	// phase 1) and reports the remote measurement file + digest.
+	TypeAcquire = "acquire"
+	// TypeRetrieve pulls a measurement produced by an acquire
+	// dependency over the data channel with end-to-end verification.
+	TypeRetrieve = "retrieve"
+	// TypeAnalyze parses a retrieved measurement and runs CV peak
+	// analysis.
+	TypeAnalyze = "analyze"
+	// TypeClassify runs the ML normality classifier over a retrieved
+	// measurement.
+	TypeClassify = "ml-classify"
+)
+
+// MaxSpecBytes bounds a DAG spec document, mirroring MaxJobSpecBytes.
+const MaxSpecBytes = 64 * 1024
+
+// MaxNodes bounds the node count so admission stays cheap and journal
+// replay bounded.
+const MaxNodes = 64
+
+// maxPyroArgs bounds raw RPC argument lists.
+const maxPyroArgs = 8
+
+// FillSpec parameterises a fill node. Zero values resolve to the
+// paper's fill parameters at decode time so cache keys always see the
+// resolved values.
+type FillSpec struct {
+	PumpAddr  int     `json:"pump"`
+	StockPort int     `json:"stock_port"`
+	CellPort  int     `json:"cell_port"`
+	VolumeML  float64 `json:"volume_ml"`
+	RateMLMin float64 `json:"rate_ml_min"`
+}
+
+// AcquireSpec parameterises an acquire node. Zero-valued fields
+// resolve to the paper's system/technique parameters at decode time.
+type AcquireSpec struct {
+	System core.SystemParams `json:"system"`
+	CV     core.CVParams     `json:"cv"`
+}
+
+// Node is one typed step in the DAG.
+type Node struct {
+	ID   string `json:"id"`
+	Type string `json:"type"`
+	// Needs lists node IDs this node depends on.
+	Needs []string `json:"needs,omitempty"`
+	// NoCache opts this node out of content-keyed caching.
+	NoCache bool `json:"nocache,omitempty"`
+
+	// Pyro-node fields.
+	Object string `json:"object,omitempty"`
+	Method string `json:"method,omitempty"`
+	Args   []any  `json:"args,omitempty"`
+
+	// Typed-step payloads.
+	Fill    *FillSpec    `json:"fill,omitempty"`
+	Acquire *AcquireSpec `json:"acquire,omitempty"`
+
+	// Seed selects the classifier training seed for ml-classify nodes
+	// (default 7). Identical seeds yield identical ensembles, so the
+	// verdict is reproducible across processes.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Spec is a full DAG job document.
+type Spec struct {
+	Name  string  `json:"name"`
+	Nodes []*Node `json:"nodes"`
+}
+
+// DecodeSpec parses and validates a DAG spec. Decoding is strict:
+// unknown fields, trailing data, and oversized documents are rejected,
+// matching the gateway's JobSpec admission posture.
+func DecodeSpec(data []byte) (*Spec, error) {
+	if len(data) > MaxSpecBytes {
+		return nil, fmt.Errorf("dag: spec exceeds %d bytes", MaxSpecBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("dag: decode spec: %w", err)
+	}
+	if err := trailingData(dec); err != nil {
+		return nil, err
+	}
+	s.normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func trailingData(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("dag: trailing data after spec document")
+	}
+	return nil
+}
+
+// normalize resolves zero-valued fill/acquire parameters to the
+// paper's defaults before validation and digest computation, so a
+// spec that spells out the defaults and one that omits them hash to
+// the same cache key.
+func (s *Spec) normalize() {
+	for _, n := range s.Nodes {
+		switch n.Type {
+		case TypeFill:
+			if n.Fill == nil {
+				continue
+			}
+			def := core.PaperFillParams()
+			if n.Fill.PumpAddr == 0 {
+				n.Fill.PumpAddr = def.PumpAddr
+			}
+			if n.Fill.StockPort == 0 {
+				n.Fill.StockPort = def.StockPort
+			}
+			if n.Fill.CellPort == 0 {
+				n.Fill.CellPort = def.CellPort
+			}
+			if n.Fill.VolumeML == 0 {
+				n.Fill.VolumeML = def.VolumeML
+			}
+			if n.Fill.RateMLMin == 0 {
+				n.Fill.RateMLMin = def.RateMLMin
+			}
+		case TypeAcquire:
+			if n.Acquire == nil {
+				n.Acquire = &AcquireSpec{}
+			}
+			if n.Acquire.System == (core.SystemParams{}) {
+				n.Acquire.System = core.PaperSystemParams()
+			}
+			if n.Acquire.CV == (core.CVParams{}) {
+				n.Acquire.CV = core.PaperCVParams()
+			}
+		case TypeClassify:
+			if n.Seed == 0 {
+				n.Seed = DefaultClassifierSeed
+			}
+		}
+	}
+}
+
+// Validate checks structure: IDs, references, per-type payloads, and
+// acyclicity. Returned errors name the offending node.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("dag: spec needs a name")
+	}
+	if err := validID(s.Name); err != nil {
+		return fmt.Errorf("dag: spec name: %w", err)
+	}
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("dag: spec %q has no nodes", s.Name)
+	}
+	if len(s.Nodes) > MaxNodes {
+		return fmt.Errorf("dag: spec %q has %d nodes, max %d", s.Name, len(s.Nodes), MaxNodes)
+	}
+	byID := make(map[string]*Node, len(s.Nodes))
+	for _, n := range s.Nodes {
+		if n == nil {
+			return fmt.Errorf("dag: spec %q contains a null node", s.Name)
+		}
+		if err := validID(n.ID); err != nil {
+			return fmt.Errorf("dag: node id: %w", err)
+		}
+		if _, dup := byID[n.ID]; dup {
+			return fmt.Errorf("dag: duplicate node id %q", n.ID)
+		}
+		byID[n.ID] = n
+	}
+	for _, n := range s.Nodes {
+		seen := make(map[string]bool, len(n.Needs))
+		for _, dep := range n.Needs {
+			if dep == n.ID {
+				return fmt.Errorf("dag: node %q depends on itself", n.ID)
+			}
+			if _, ok := byID[dep]; !ok {
+				return fmt.Errorf("dag: node %q needs unknown node %q", n.ID, dep)
+			}
+			if seen[dep] {
+				return fmt.Errorf("dag: node %q lists dependency %q twice", n.ID, dep)
+			}
+			seen[dep] = true
+		}
+		if err := n.validatePayload(byID); err != nil {
+			return err
+		}
+	}
+	if _, err := s.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (n *Node) validatePayload(byID map[string]*Node) error {
+	switch n.Type {
+	case TypePyro:
+		if n.Object != "jkem" && n.Object != "sp200" {
+			return fmt.Errorf("dag: pyro node %q object must be \"jkem\" or \"sp200\" (got %q)", n.ID, n.Object)
+		}
+		if n.Method == "" {
+			return fmt.Errorf("dag: pyro node %q needs a method", n.ID)
+		}
+		if err := validID(n.Method); err != nil {
+			return fmt.Errorf("dag: pyro node %q method: %w", n.ID, err)
+		}
+		if len(n.Args) > maxPyroArgs {
+			return fmt.Errorf("dag: pyro node %q has %d args, max %d", n.ID, len(n.Args), maxPyroArgs)
+		}
+		for i, a := range n.Args {
+			switch a.(type) {
+			case bool, float64, string:
+			default:
+				return fmt.Errorf("dag: pyro node %q arg %d must be a scalar (bool, number, or string)", n.ID, i)
+			}
+		}
+	case TypeFill:
+		if n.Fill == nil {
+			return fmt.Errorf("dag: fill node %q needs a \"fill\" block", n.ID)
+		}
+		f := n.Fill
+		if f.PumpAddr < 1 || f.PumpAddr > 16 {
+			return fmt.Errorf("dag: fill node %q pump address %d out of range 1..16", n.ID, f.PumpAddr)
+		}
+		if f.StockPort < 1 || f.StockPort > 12 || f.CellPort < 1 || f.CellPort > 12 {
+			return fmt.Errorf("dag: fill node %q ports out of range 1..12", n.ID)
+		}
+		if !(f.VolumeML > 0) || f.VolumeML > 100 {
+			return fmt.Errorf("dag: fill node %q volume %.3f mL out of range (0,100]", n.ID, f.VolumeML)
+		}
+		if !(f.RateMLMin > 0) || f.RateMLMin > 50 {
+			return fmt.Errorf("dag: fill node %q rate %.3f mL/min out of range (0,50]", n.ID, f.RateMLMin)
+		}
+	case TypeAcquire:
+		if n.Acquire == nil {
+			return fmt.Errorf("dag: acquire node %q needs an \"acquire\" block", n.ID)
+		}
+		if err := n.Acquire.CV.Validate(); err != nil {
+			return fmt.Errorf("dag: acquire node %q: %w", n.ID, err)
+		}
+	case TypeRetrieve:
+		if err := n.requireOneDepOfType(byID, TypeAcquire); err != nil {
+			return err
+		}
+	case TypeAnalyze:
+		if err := n.requireOneDepOfType(byID, TypeRetrieve); err != nil {
+			return err
+		}
+	case TypeClassify:
+		if err := n.requireOneDepOfType(byID, TypeRetrieve); err != nil {
+			return err
+		}
+		if n.Seed < 0 {
+			return fmt.Errorf("dag: ml-classify node %q seed must be non-negative", n.ID)
+		}
+	default:
+		return fmt.Errorf("dag: node %q has unknown type %q", n.ID, n.Type)
+	}
+	return nil
+}
+
+// requireOneDepOfType enforces the data-flow shape for retrieve /
+// analyze / classify: exactly one dependency of the producing type
+// (extra control-flow edges of other types are allowed).
+func (n *Node) requireOneDepOfType(byID map[string]*Node, want string) error {
+	count := 0
+	for _, dep := range n.Needs {
+		if byID[dep].Type == want {
+			count++
+		}
+	}
+	if count != 1 {
+		return fmt.Errorf("dag: %s node %q needs exactly one %s dependency (got %d)", n.Type, n.ID, want, count)
+	}
+	return nil
+}
+
+// depOfType returns the (single, validated) dependency of the given
+// type.
+func (n *Node) depOfType(byID map[string]*Node, want string) string {
+	for _, dep := range n.Needs {
+		if byID[dep].Type == want {
+			return dep
+		}
+	}
+	return ""
+}
+
+// TopoOrder returns node IDs in a deterministic topological order
+// (Kahn's algorithm with lexicographic tie-breaking), or an error
+// naming a node on a dependency cycle.
+func (s *Spec) TopoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(s.Nodes))
+	children := make(map[string][]string, len(s.Nodes))
+	for _, n := range s.Nodes {
+		indeg[n.ID] += 0
+		for _, dep := range n.Needs {
+			indeg[n.ID]++
+			children[dep] = append(children[dep], n.ID)
+		}
+	}
+	var ready []string
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Strings(ready)
+	order := make([]string, 0, len(s.Nodes))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		added := false
+		for _, ch := range children[id] {
+			indeg[ch]--
+			if indeg[ch] == 0 {
+				ready = append(ready, ch)
+				added = true
+			}
+		}
+		if added {
+			sort.Strings(ready)
+		}
+	}
+	if len(order) != len(s.Nodes) {
+		var stuck []string
+		for id, d := range indeg {
+			if d > 0 {
+				stuck = append(stuck, id)
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("dag: dependency cycle involving %s", strings.Join(stuck, ", "))
+	}
+	return order, nil
+}
+
+// node lookup helper used by the engine.
+func (s *Spec) byID() map[string]*Node {
+	m := make(map[string]*Node, len(s.Nodes))
+	for _, n := range s.Nodes {
+		m[n.ID] = n
+	}
+	return m
+}
+
+// validID accepts short printable-ASCII identifiers with no
+// whitespace or path-meaningful characters, mirroring the gateway's
+// validateName.
+func validID(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty identifier")
+	}
+	if len(s) > 64 {
+		return fmt.Errorf("identifier %q exceeds 64 bytes", s)
+	}
+	for _, r := range s {
+		if r <= 0x20 || r > 0x7e || r == '/' || r == '\\' || r == '"' {
+			return fmt.Errorf("identifier %q contains invalid character %q", s, r)
+		}
+	}
+	return nil
+}
+
+// SpecDigest hashes a node's own definition, excluding identity
+// (ID/Needs) and cache policy, so renaming a node or rewiring
+// topology does not invalidate content that is otherwise identical.
+func (n *Node) SpecDigest() string {
+	c := *n
+	c.ID = ""
+	c.Needs = nil
+	c.NoCache = false
+	data, err := json.Marshal(&c)
+	if err != nil {
+		// Node came from json.Unmarshal; re-marshal cannot fail.
+		panic(fmt.Sprintf("dag: marshal node: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,148 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func decodeErr(t *testing.T, doc string) error {
+	t.Helper()
+	_, err := DecodeSpec([]byte(doc))
+	if err == nil {
+		t.Fatalf("DecodeSpec accepted invalid document:\n%s", doc)
+	}
+	return err
+}
+
+func TestDecodeSpecValid(t *testing.T) {
+	s, err := DecodeSpec([]byte(`{
+		"name": "ok",
+		"nodes": [
+			{"id": "fill", "type": "fill", "fill": {"pump": 1, "stock_port": 8, "cell_port": 1, "volume_ml": 6, "rate_ml_min": 5}},
+			{"id": "acq", "type": "acquire", "needs": ["fill"]},
+			{"id": "ret", "type": "retrieve", "needs": ["acq"]},
+			{"id": "ana", "type": "analyze", "needs": ["ret"]},
+			{"id": "cls", "type": "ml-classify", "needs": ["ret"]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults resolved at decode time: acquire gets the paper params,
+	// classify gets the default seed.
+	byID := s.byID()
+	if got := byID["acq"].Acquire.CV.Points; got != 1200 {
+		t.Errorf("acquire points = %d, want paper default 1200", got)
+	}
+	if got := byID["cls"].Seed; got != DefaultClassifierSeed {
+		t.Errorf("classify seed = %d, want default %d", got, DefaultClassifierSeed)
+	}
+}
+
+func TestValidateSelfEdge(t *testing.T) {
+	err := decodeErr(t, `{"name": "x", "nodes": [
+		{"id": "a", "type": "pyro", "object": "jkem", "method": "Status", "needs": ["a"]}
+	]}`)
+	if !strings.Contains(err.Error(), "depends on itself") {
+		t.Errorf("self-edge error = %v", err)
+	}
+}
+
+func TestValidateDuplicateIDs(t *testing.T) {
+	err := decodeErr(t, `{"name": "x", "nodes": [
+		{"id": "a", "type": "pyro", "object": "jkem", "method": "Status"},
+		{"id": "a", "type": "pyro", "object": "jkem", "method": "Status"}
+	]}`)
+	if !strings.Contains(err.Error(), "duplicate node id") {
+		t.Errorf("duplicate-id error = %v", err)
+	}
+}
+
+func TestValidateMissingReference(t *testing.T) {
+	err := decodeErr(t, `{"name": "x", "nodes": [
+		{"id": "a", "type": "pyro", "object": "jkem", "method": "Status", "needs": ["ghost"]}
+	]}`)
+	if !strings.Contains(err.Error(), "unknown node") {
+		t.Errorf("missing-reference error = %v", err)
+	}
+}
+
+func TestValidateEmptyDAG(t *testing.T) {
+	err := decodeErr(t, `{"name": "x", "nodes": []}`)
+	if !strings.Contains(err.Error(), "no nodes") {
+		t.Errorf("empty-dag error = %v", err)
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	err := decodeErr(t, `{"name": "x", "nodes": [
+		{"id": "a", "type": "pyro", "object": "jkem", "method": "Status", "needs": ["c"]},
+		{"id": "b", "type": "pyro", "object": "jkem", "method": "Status", "needs": ["a"]},
+		{"id": "c", "type": "pyro", "object": "jkem", "method": "Status", "needs": ["b"]}
+	]}`)
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle error = %v", err)
+	}
+}
+
+func TestValidateTypeRules(t *testing.T) {
+	cases := map[string]string{
+		`{"name":"x","nodes":[{"id":"a","type":"warp"}]}`:                                                     "unknown type",
+		`{"name":"x","nodes":[{"id":"a","type":"pyro","object":"oven","method":"Status"}]}`:                   "object must be",
+		`{"name":"x","nodes":[{"id":"a","type":"pyro","object":"jkem"}]}`:                                     "needs a method",
+		`{"name":"x","nodes":[{"id":"a","type":"fill"}]}`:                                                     "needs a \"fill\" block",
+		`{"name":"x","nodes":[{"id":"a","type":"retrieve"}]}`:                                                 "exactly one acquire",
+		`{"name":"x","nodes":[{"id":"a","type":"analyze"}]}`:                                                  "exactly one retrieve",
+		`{"name":"x","nodes":[{"id":"a","type":"pyro","object":"jkem","method":"Status","args":[[1,2]]}]}`:    "must be a scalar",
+		`{"name":"x","nodes":[{"id":"a","type":"pyro","object":"jkem","method":"Status"}]} {"trailing":true}`: "trailing data",
+		`{"name":"x","nodes":[{"id":"a","type":"pyro","object":"jkem","method":"Status","bogus":1}]}`:         "unknown field",
+	}
+	for doc, want := range cases {
+		err := decodeErr(t, doc)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("doc %s: error %v, want substring %q", doc, err, want)
+		}
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	doc := `{"name": "x", "nodes": [
+		{"id": "z", "type": "pyro", "object": "jkem", "method": "Status"},
+		{"id": "m", "type": "pyro", "object": "jkem", "method": "Status"},
+		{"id": "a", "type": "pyro", "object": "jkem", "method": "Status", "needs": ["z", "m"]}
+	]}`
+	s, err := DecodeSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := s.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "m,z,a" {
+		t.Errorf("topo order = %v, want lexicographic m,z,a", order)
+	}
+}
+
+func TestSpecDigestIgnoresIdentity(t *testing.T) {
+	a := &Node{ID: "one", Type: TypeAnalyze, Needs: []string{"x"}}
+	b := &Node{ID: "two", Type: TypeAnalyze, Needs: []string{"y"}, NoCache: true}
+	if a.SpecDigest() != b.SpecDigest() {
+		t.Error("digests differ across identity-only changes")
+	}
+	c := &Node{ID: "one", Type: TypeClassify, Seed: 9}
+	if a.SpecDigest() == c.SpecDigest() {
+		t.Error("digests collide across different node content")
+	}
+}
+
+func TestCacheKeyInputOrderIndependent(t *testing.T) {
+	k1 := CacheKey("spec", []string{"aaa", "bbb"})
+	k2 := CacheKey("spec", []string{"bbb", "aaa"})
+	if k1 != k2 {
+		t.Error("cache key depends on input digest order")
+	}
+	if CacheKey("spec", []string{"aaa"}) == k1 {
+		t.Error("cache key ignores inputs")
+	}
+}

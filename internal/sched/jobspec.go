@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+
+	"ice/internal/dag"
 )
 
 // MaxJobSpecBytes bounds the JSON a tenant may submit; the gateway
@@ -79,12 +81,17 @@ type JobSpec struct {
 	Points      int     `json:"points,omitempty"`
 	// Cells parameterise a campaign job (1..16 cells).
 	Cells []CellSpec `json:"cells,omitempty"`
+	// DAG carries the declarative node-graph document for a dag job.
+	// It is validated (schema, references, cycles) at admission with
+	// dag.DecodeSpec, so the queue never holds a malformed graph.
+	DAG json.RawMessage `json:"dag,omitempty"`
 }
 
 // Job kinds.
 const (
 	KindCV       = "cv"
 	KindCampaign = "campaign"
+	KindDAG      = "dag"
 )
 
 // DecodeJobSpec parses and validates a tenant-submitted job spec. It
@@ -131,6 +138,9 @@ func (s *JobSpec) Validate() error {
 		if len(s.Cells) != 0 {
 			return fmt.Errorf("sched: cv job does not take cells")
 		}
+		if len(s.DAG) != 0 {
+			return fmt.Errorf("sched: cv job does not take a dag")
+		}
 		if !finiteIn(s.ScanRateMVs, 0, 10_000) {
 			return fmt.Errorf("sched: scan rate %v mV/s outside 0..10000", s.ScanRateMVs)
 		}
@@ -141,6 +151,9 @@ func (s *JobSpec) Validate() error {
 		if s.ScanRateMVs != 0 || s.Points != 0 {
 			return fmt.Errorf("sched: campaign job takes per-round scan rates, not top-level cv fields")
 		}
+		if len(s.DAG) != 0 {
+			return fmt.Errorf("sched: campaign job does not take a dag")
+		}
 		if len(s.Cells) == 0 || len(s.Cells) > maxCells {
 			return fmt.Errorf("sched: campaign needs 1..%d cells, got %d", maxCells, len(s.Cells))
 		}
@@ -148,6 +161,16 @@ func (s *JobSpec) Validate() error {
 			if err := s.Cells[i].validate(); err != nil {
 				return fmt.Errorf("sched: cell %d: %w", i+1, err)
 			}
+		}
+	case KindDAG:
+		if len(s.Cells) != 0 || s.ScanRateMVs != 0 || s.Points != 0 {
+			return fmt.Errorf("sched: dag job takes only a dag document, not cv or campaign fields")
+		}
+		if len(s.DAG) == 0 {
+			return fmt.Errorf("sched: dag job needs a dag document")
+		}
+		if _, err := dag.DecodeSpec(s.DAG); err != nil {
+			return err
 		}
 	case "":
 		return fmt.Errorf("sched: job spec needs a kind")

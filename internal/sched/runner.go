@@ -14,8 +14,11 @@ import (
 
 	"ice/internal/campaign"
 	"ice/internal/core"
+	"ice/internal/dag"
 	"ice/internal/datachan"
+	"ice/internal/ml"
 	"ice/internal/pyro"
+	"ice/internal/telemetry"
 	"ice/internal/trace"
 	"ice/internal/workflow"
 )
@@ -162,6 +165,9 @@ type CVResult struct {
 	SHA256       string  `json:"sha256"`
 	Points       int     `json:"points"`
 	AnodicPeakUA float64 `json:"anodic_peak_ua"`
+	// ClassName is the ML normality verdict when the runner carries a
+	// classifier ("" otherwise).
+	ClassName string `json:"class_name,omitempty"`
 }
 
 // RoundResult is one completed campaign round.
@@ -230,7 +236,22 @@ type LabRunner struct {
 	// acknowledged remotely, which is what makes exactly-once resume
 	// after failover possible.
 	MirrorJournal func(jobID string, line []byte) error
+	// Metrics receives the runner's dag.* counters when set.
+	Metrics *telemetry.Collector
+	// Classifier, when set, classifies cv measurements (the verdict
+	// lands in CVResult.ClassName) and overrides seed-derived training
+	// for DAG ml-classify nodes.
+	Classifier *ml.Ensemble
+	// DAGWorkers bounds a dag job's concurrent node execution
+	// (default 4).
+	DAGWorkers int
 }
+
+// ErrUnknownJobKind marks a job whose kind no runner path handles.
+// The scheduler classifies it as a workload fault: the job fails
+// terminally and is never requeued — retrying cannot make a kind
+// learn to exist.
+var ErrUnknownJobKind = errors.New("sched: no runner for job kind")
 
 // Run implements Runner.
 func (r *LabRunner) Run(ctx context.Context, job Job, emit func(string, string)) (json.RawMessage, error) {
@@ -239,8 +260,10 @@ func (r *LabRunner) Run(ctx context.Context, job Job, emit func(string, string))
 		return r.runCV(ctx, job, emit)
 	case KindCampaign:
 		return r.runCampaign(ctx, job, emit)
+	case KindDAG:
+		return r.runDAG(ctx, job, emit)
 	default:
-		return nil, fmt.Errorf("sched: no runner for job kind %q", job.Spec.Kind)
+		return nil, fmt.Errorf("%w %q", ErrUnknownJobKind, job.Spec.Kind)
 	}
 }
 
@@ -317,6 +340,7 @@ func (r *LabRunner) runCV(ctx context.Context, job Job, emit func(string, string
 	}
 	cfg.AcquireTimeout = r.phaseBudgets(ctx)
 	cfg.StreamAnalysis = r.StreamAnalysis
+	cfg.Classifier = r.Classifier
 
 	gate := &InstrumentGate{
 		M:         r.Leases,
@@ -391,7 +415,100 @@ func (r *LabRunner) runCV(ctx context.Context, job Job, emit func(string, string
 	if outcome.Summary != nil {
 		result.AnodicPeakUA = outcome.Summary.AnodicPeak.Microamperes()
 	}
+	if outcome.Classified {
+		result.ClassName = outcome.ClassName
+	}
 	return json.Marshal(result)
+}
+
+// runDAG executes a declarative node-graph job through the DAG
+// engine: the same connect / journal / instrument-gate scaffolding as
+// runCV, with per-node checkpoints in the job's journal and the
+// runner-wide content-keyed cache shared across jobs.
+func (r *LabRunner) runDAG(ctx context.Context, job Job, emit func(string, string)) (json.RawMessage, error) {
+	spec, err := dag.DecodeSpec(job.Spec.DAG)
+	if err != nil {
+		return nil, err
+	}
+	_, connSpan := trace.Start(ctx, "sched.connect", trace.ClassControl)
+	session, mount, err := r.Connector.ConnectSession()
+	connSpan.EndErr(err)
+	if err != nil {
+		return nil, fmt.Errorf("connect: %w", err)
+	}
+	defer session.Close()
+	defer mount.Close()
+	session.BindTraceContext(ctx)
+	session.BindCallContext(ctx)
+
+	// The cache lives beside the journals and is shared across jobs:
+	// a second job submitting the same spec against unchanged content
+	// hits on every cacheable node.
+	cache, err := dag.OpenCache(filepath.Join(r.Dir, "dagcache"))
+	if err != nil {
+		return nil, err
+	}
+
+	// Crash recovery: replay the per-node checkpoints the previous
+	// daemon incarnation journaled.
+	var restored []workflow.TaskRecord
+	if job.Resumed || job.Attempts > 1 {
+		if data, err := os.ReadFile(r.journalPath(job.ID)); err == nil {
+			records, err := workflow.ReadJournal(bytes.NewReader(data))
+			if err != nil {
+				return nil, fmt.Errorf("parse journal: %w", err)
+			}
+			restored = records
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("read journal: %w", err)
+		}
+	}
+
+	journal, err := core.OpenAppendFile(r.Dir, job.ID+".journal")
+	if err != nil {
+		return nil, fmt.Errorf("open journal: %w", err)
+	}
+	defer journal.Close()
+	tee := &journalTee{file: journal, jobID: job.ID, emit: emit, onTask: r.OnTask, mirror: r.MirrorJournal}
+
+	gate := &InstrumentGate{
+		M:         r.Leases,
+		Resources: r.gateResources(job),
+		Holder:    job.ID,
+		TraceCtx:  ctx,
+		OnEvent: func(msg string) {
+			emit("lease", msg)
+		},
+	}
+
+	eng := &dag.Engine{
+		Spec: spec,
+		Exec: &dag.LabExecutor{
+			Session:     session,
+			Mount:       mount,
+			WaitPoll:    r.WaitPoll,
+			WaitTimeout: r.WaitTimeout,
+			Classifier:  r.Classifier,
+		},
+		Workers:    r.DAGWorkers,
+		Journal:    tee,
+		Cache:      cache,
+		Gate:       gate,
+		Metrics:    r.Metrics,
+		TraceLabel: job.ID,
+		Restored:   restored,
+	}
+	res, err := eng.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if res.NodesRestored > 0 {
+		emit("resumed", fmt.Sprintf("%d completed node(s) restored from checkpoint journal", res.NodesRestored))
+	}
+	if res.NodesCached > 0 {
+		emit("cached", fmt.Sprintf("%d node(s) served from content-keyed cache", res.NodesCached))
+	}
+	return json.Marshal(res)
 }
 
 // gateResources picks the lease names the job's gates contend on: the

@@ -798,7 +798,14 @@ func (s *Scheduler) runJob(job *Job) {
 	default:
 		deadlinePast := hasDeadline && !time.Now().Before(deadline)
 		cls := health.ClassWorkload
-		if gated {
+		switch {
+		case errors.Is(err, ErrUnknownJobKind):
+			// A kind no runner path handles is a workload fault by
+			// definition: count it and keep the instruments' health
+			// record out of it — retrying cannot help, so the default
+			// workload class below also guarantees no requeue.
+			s.metrics.Counter("sched.jobs.rejected.unknown_type").Inc()
+		case gated:
 			cls = s.reportRunError(resources, err, deadlinePast)
 		}
 		// finishRun comes after reportRunError on purpose: a wedge
