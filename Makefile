@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-parallel-quick bench-wire bench-wire-quick fuzz gateway-smoke trace-smoke cluster-smoke health-smoke dag-smoke
+.PHONY: all build vet test race bench bench-parallel bench-parallel-quick bench-wire bench-wire-quick fuzz gateway-smoke trace-smoke cluster-smoke health-smoke dag-smoke lab-smoke
 
 all: build vet test
 
@@ -82,6 +82,17 @@ health-smoke:
 # failure).
 dag-smoke:
 	$(GO) run ./cmd/icegated -dag-smoke
+
+# Declarative-registry acceptance drill: the
+# examples/labs/microscopy.yaml config must bring up a multi-station
+# facility (echem control agent + scan-steering STEM) from
+# configuration alone, run a cv job and a scan job side by side on one
+# scheduler with registry-derived health supervision, show exactly one
+# acquisition per instrument in the per-station audit journals, and
+# tear down with zero leaked leases or goroutines. Facility state
+# lands in lab_smoke_state/ (CI uploads it on failure).
+lab-smoke:
+	$(GO) run ./cmd/icegated -lab-smoke
 
 fuzz:
 	for pkg in $$($(GO) list ./...); do \

@@ -39,6 +39,7 @@ import (
 // gatewayOpts carries the submit-shaping flags into gateway mode.
 type gatewayOpts struct {
 	tenant   string
+	kind     string // -kind: flag-shaped submit kind (cv|scan)
 	scanRate float64
 	deadline time.Duration
 	dagPath  string // -dag: wrap this DAG document in a dag job
@@ -88,12 +89,26 @@ func runGateway(ctx context.Context, gateways, verb string, args []string, opts 
 		case opts.tenant == "":
 			log.Fatal("submit needs -tenant (or a spec file)")
 		default:
-			spec, _ = json.Marshal(sched.JobSpec{
-				Tenant:      opts.tenant,
-				Kind:        sched.KindCV,
-				ScanRateMVs: opts.scanRate,
-				DeadlineMS:  opts.deadline.Milliseconds(),
-			})
+			switch opts.kind {
+			case "cv", "":
+				spec, _ = json.Marshal(sched.JobSpec{
+					Tenant:      opts.tenant,
+					Kind:        sched.KindCV,
+					ScanRateMVs: opts.scanRate,
+					DeadlineMS:  opts.deadline.Milliseconds(),
+				})
+			case "scan":
+				// Instrument-default geometry; non-default rasters go
+				// through a spec file.
+				spec, _ = json.Marshal(sched.JobSpec{
+					Tenant:     opts.tenant,
+					Kind:       sched.KindScan,
+					Scan:       &sched.ScanSpec{},
+					DeadlineMS: opts.deadline.Milliseconds(),
+				})
+			default:
+				log.Fatalf("unknown -kind %q (want cv or scan; other kinds submit via a spec file)", opts.kind)
+			}
 		}
 		job, err := gc.submit(ctx, spec)
 		if err != nil {

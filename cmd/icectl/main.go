@@ -56,6 +56,7 @@ func main() {
 	resume := flag.Bool("resume", false, "workflow: restore completed tasks from -journal before executing")
 	gateway := flag.String("gateway", "", "icegated URL(s), comma-separated for a federated cluster: verbs become submit|status|wait|trace|cancel against the scheduling gateway (503s and dead endpoints fail over to the next)")
 	tenant := flag.String("tenant", "", "gateway: tenant identity for submit")
+	kind := flag.String("kind", "cv", "gateway submit from flags: job kind, cv or scan (a scan job surveys and steers the facility's STEM; tile geometry via a spec file)")
 	deadline := flag.Duration("deadline", 0, "gateway submit: end-to-end deadline from admission (0 = none); unmeetable deadlines are rejected with 503 + Retry-After instead of occupying a lease")
 	dagSpec := flag.String("dag", "", "gateway: submit the declarative experiment DAG in this JSON file (\"-\" = stdin) as a dag job; implies the submit verb (see examples/dag/)")
 	flag.Parse()
@@ -83,6 +84,7 @@ func main() {
 		}
 		runGateway(ctx, *gateway, verb, rest, gatewayOpts{
 			tenant:   *tenant,
+			kind:     *kind,
 			scanRate: *rate,
 			deadline: *deadline,
 			dagPath:  *dagSpec,

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ice/internal/core"
+	"ice/internal/labreg"
+	"ice/internal/sched"
+	"ice/internal/testutil"
+)
+
+// runLabSmoke is the declarative-registry acceptance drill (make
+// lab-smoke):
+//
+//  1. bring-up — examples/labs/microscopy.yaml materializes a
+//     two-station facility (echem control agent + scan-steering STEM)
+//     from configuration alone: topology, firewalls, devices, exports,
+//     gates — no compiled-in lab;
+//  2. mixed workload — a cv job and a scan job run on one scheduler
+//     with health supervision wired from the registry's instrument
+//     map; they lease disjoint instruments, so the echem acquisition
+//     and the raster interleave;
+//  3. exactly-once — the per-station audit journals record exactly one
+//     potentiostat start and exactly one scan start/steer;
+//  4. teardown — no leases and no goroutines leak.
+func runLabSmoke(dir string, cacheMax int64) error {
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	baseline := runtime.NumGoroutine()
+
+	f, err := labreg.LoadAndBuild(filepath.Join("examples", "labs", "microscopy.yaml"), labreg.BuildOptions{
+		Dir: filepath.Join(dir, "lab"),
+	})
+	if err != nil {
+		return fmt.Errorf("build facility (run from the repo root): %v", err)
+	}
+	defer f.Close()
+	if err := f.EnableAudit(); err != nil {
+		return err
+	}
+	log.Printf("lab-smoke: facility %q up from config alone (%d stations: %s)",
+		f.Config.Facility, len(f.Stations()), stationSummary(f))
+
+	s, err := sched.New(sched.Config{
+		Dir:     filepath.Join(dir, "state"),
+		Workers: 2,
+		Health: sched.HealthConfig{
+			ProbeInterval: 500 * time.Millisecond,
+			Instruments:   f.HealthInstruments(),
+			ClassesFor:    f.ClassesFor,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	gw := sched.NewGateway(s)
+	closeProbers := wireFacilityProbers(s, gw, f)
+	defer closeProbers()
+	s.SetRunner(&sched.LabRunner{
+		Connector:     f,
+		Leases:        s.Leases(),
+		Dir:           s.Dir(),
+		Metrics:       s.Metrics(),
+		CacheMaxBytes: cacheMax,
+	})
+	if err := s.Start(); err != nil {
+		return err
+	}
+	defer s.Stop()
+
+	// The mixed workload in flight together: disjoint leases
+	// (sp200/jkem vs stem/scan1) and two workers let them overlap.
+	cvJob, err := s.Submit(sched.JobSpec{Tenant: "acl", Kind: sched.KindCV, Points: 600})
+	if err != nil {
+		return err
+	}
+	scanJob, err := s.Submit(sched.JobSpec{
+		Tenant: "stem",
+		Kind:   sched.KindScan,
+		Scan:   &sched.ScanSpec{TilesX: 6, TilesY: 6, PixelsPerTile: 8, ZoomFactor: 3},
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("lab-smoke: submitted %s (acl/cv) and %s (stem/scan)", cvJob.ID, scanJob.ID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cvFinal, err := s.WaitTerminal(ctx, cvJob.ID)
+	if err != nil {
+		return err
+	}
+	if cvFinal.State != sched.StateDone {
+		return fmt.Errorf("cv job ended %s: %s", cvFinal.State, cvFinal.Error)
+	}
+	var cv sched.CVResult
+	if err := json.Unmarshal(cvFinal.Result, &cv); err != nil {
+		return err
+	}
+	if cv.SHA256 == "" || cv.Points == 0 {
+		return fmt.Errorf("cv result incomplete: %+v", cv)
+	}
+	log.Printf("lab-smoke: cv DONE (%d points, sha %.12s)", cv.Points, cv.SHA256)
+
+	scanFinal, err := s.WaitTerminal(ctx, scanJob.ID)
+	if err != nil {
+		return err
+	}
+	if scanFinal.State != sched.StateDone {
+		return fmt.Errorf("scan job ended %s: %s", scanFinal.State, scanFinal.Error)
+	}
+	var scan sched.ScanResult
+	if err := json.Unmarshal(scanFinal.Result, &scan); err != nil {
+		return err
+	}
+	if scan.SHA256 == "" || scan.Tiles < 36 {
+		return fmt.Errorf("scan result incomplete: %+v", scan)
+	}
+	if !scan.Zoomed || scan.Passes < 2 {
+		return fmt.Errorf("scan never steered onto a structure: %+v", scan)
+	}
+	log.Printf("lab-smoke: scan DONE (%d tiles over %d passes, steered to a %.0f%% window, sha %.12s)",
+		scan.Tiles, scan.Passes, 100*scan.ZoomRegion.W, scan.SHA256)
+
+	// Exactly-once, across every station's audit journal: one
+	// potentiostat start, one survey start, one steer.
+	counts, err := labAudit(f)
+	if err != nil {
+		return err
+	}
+	for method, want := range map[string]int{
+		"StartChannelSP200": 1,
+		"StartScanTech":     1,
+		"SteerScan":         1,
+		"FinishScan":        1,
+	} {
+		if counts[method] != want {
+			return fmt.Errorf("exactly-once violated: %s ran %d times, want %d", method, counts[method], want)
+		}
+	}
+	log.Print("lab-smoke: audit journals show exactly one acquisition per instrument")
+
+	if active := s.Leases().Active(); len(active) != 0 {
+		return fmt.Errorf("leaked leases after completion: %+v", active)
+	}
+
+	s.Stop()
+	closeProbers()
+	f.Close()
+	if err := testutil.WaitGoroutines(baseline, 8, 5*time.Second); err != nil {
+		return err
+	}
+	log.Printf("lab-smoke: goroutines settled (baseline %d)", baseline)
+	return nil
+}
+
+// labAudit merges the audit journals of every station in a facility
+// into one method→count map.
+func labAudit(f *labreg.Facility) (map[string]int, error) {
+	counts := make(map[string]int)
+	for _, st := range f.Stations() {
+		data, err := os.ReadFile(st.AuditPath())
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		entries, err := core.ParseAuditJournal(data)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			counts[e.Method]++
+		}
+	}
+	return counts, nil
+}

@@ -6,8 +6,10 @@
 //
 //	icegated -selflab                                  # simulated lab, HTTP on :9700
 //	icegated -selflab -dir /var/lib/icegated           # durable state directory
+//	icegated -lab examples/labs/microscopy.yaml        # declarative facility from a registry config
 //	icegated -agent acl-host -token s3cret -reliable   # schedule onto a real control agent
 //	icegated -smoke                                    # one-shot self-test: two tenants, then exit
+//	icegated -lab-smoke                                # one-shot registry drill: mixed cv+scan, then exit
 //
 // Federate gateways across facilities (replicated WAL, leader
 // failover, partition-tolerant routing):
@@ -41,6 +43,7 @@ import (
 	"time"
 
 	"ice/internal/core"
+	"ice/internal/labreg"
 	"ice/internal/netsim"
 	"ice/internal/sched"
 	"ice/internal/sched/cluster"
@@ -59,10 +62,12 @@ func main() {
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "back-off hint attached to full-queue rejections")
 	weights := flag.String("weights", "", "per-tenant fair-share weights, e.g. acl=3,dgx=1 (default weight 1)")
 	campaignPoints := flag.Int("campaign-points", 300, "CV points acquired per campaign round")
+	dagCacheMax := flag.Int64("dag-cache-max", 256<<20, "DAG blob cache cap in bytes: least-recently-used measurement payloads are evicted past it (0 = unbounded)")
 
 	selflab := flag.Bool("selflab", false, "serve an in-process simulated lab (netsim) instead of dialing an agent")
-	seed := flag.Int64("seed", 1, "selflab: synthesis noise seed")
-	timeScale := flag.Float64("timescale", 0, "selflab: instrument pacing (0 = instant)")
+	seed := flag.Int64("seed", 1, "selflab/-lab: synthesis noise seed")
+	timeScale := flag.Float64("timescale", 0, "selflab/-lab: instrument pacing (0 = instant)")
+	labConfig := flag.String("lab", "", "declarative lab: materialize a facility from this YAML/JSON registry config (see examples/labs/) instead of the hardcoded -selflab deployment")
 
 	agentHost := flag.String("agent", "", "control agent host (real-TCP mode; mutually exclusive with -selflab)")
 	controlPort := flag.Int("control-port", 9690, "control channel port")
@@ -87,7 +92,16 @@ func main() {
 	clusterSmoke := flag.Bool("cluster-smoke", false, "one-shot federation self-test: two in-process facility gateways over one lab, kill one mid-CV, the peer must adopt via the replicated WAL within 10s and finish exactly once, exit")
 	healthSmoke := flag.Bool("health-smoke", false, "one-shot health drill: wedge the simulated potentiostat mid-acquisition, the breaker must quarantine it, checkpoint-requeue the job, recover via a probe and finish exactly once, exit")
 	dagSmoke := flag.Bool("dag-smoke", false, "one-shot DAG drill: run the examples/dag specs against a selflab, assert digest equivalence with the classic cv path, cache hits on re-run, and crash-resume exactly once, exit")
+	labSmoke := flag.Bool("lab-smoke", false, "one-shot registry drill: bring up examples/labs/microscopy.yaml from config alone, run a mixed cv+scan workload, assert exactly-once audit and zero leaked leases/goroutines, exit")
 	flag.Parse()
+
+	if *labSmoke {
+		if err := runLabSmoke("lab_smoke_state", *dagCacheMax); err != nil {
+			log.Fatalf("lab-smoke: %v", err)
+		}
+		log.Print("lab-smoke: OK")
+		return
+	}
 
 	if *dagSmoke {
 		if err := runDAGSmoke("dag_smoke_state"); err != nil {
@@ -129,9 +143,31 @@ func main() {
 	}
 
 	var connector sched.Connector
+	var labFacility *labreg.Facility
+	modes := 0
+	for _, on := range []bool{*selflab, *agentHost != "", *labConfig != ""} {
+		if on {
+			modes++
+		}
+	}
 	switch {
-	case *selflab && *agentHost != "":
-		log.Fatal("choose -selflab or -agent, not both")
+	case modes > 1:
+		log.Fatal("choose one lab source: -selflab, -agent HOST, or -lab CONFIG")
+	case *labConfig != "":
+		f, err := labreg.LoadAndBuild(*labConfig, labreg.BuildOptions{
+			Dir:       filepath.Join(*dir, "lab"),
+			TimeScale: *timeScale,
+			Seed:      *seed,
+			AuthToken: *token,
+		})
+		if err != nil {
+			log.Fatalf("build facility from %s: %v", *labConfig, err)
+		}
+		defer f.Close()
+		labFacility = f
+		connector = f
+		log.Printf("labreg: facility %q up from %s (%d stations: %s)",
+			f.Config.Facility, *labConfig, len(f.Stations()), stationSummary(f))
 	case *selflab:
 		labDir := filepath.Join(*dir, "lab")
 		if err := os.MkdirAll(labDir, 0o755); err != nil {
@@ -158,7 +194,7 @@ func main() {
 			WireVersion:  wireVersion,
 		}
 	default:
-		log.Fatal("need a lab: -selflab or -agent HOST")
+		log.Fatal("need a lab: -selflab, -agent HOST, or -lab CONFIG")
 	}
 
 	// The tracer always keeps an in-memory store (the gateway's
@@ -185,7 +221,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// With a declared lab, the health supervisor's instrument map comes
+	// from the registry — every configured device class gets probed, and
+	// scan jobs only wait on the stem class, not the echem pair.
+	healthCfg := healthConfig(*probeInterval, *minDeadline)
+	if labFacility != nil {
+		healthCfg.Instruments = labFacility.HealthInstruments()
+		healthCfg.ClassesFor = labFacility.ClassesFor
+	}
+
 	if *facility != "" {
+		if labFacility != nil {
+			log.Fatal("-lab does not federate yet: use -selflab or -agent with -facility")
+		}
 		peerList, err := clusterPeers(peers, peerLabs)
 		if err != nil {
 			log.Fatal(err)
@@ -201,7 +249,7 @@ func main() {
 				LeaseTTL:      *leaseTTL,
 				Tenants:       tenants,
 				Tracer:        tracer,
-				Health:        healthConfig(*probeInterval, *minDeadline),
+				Health:        healthCfg,
 			},
 			NewRunner: func(n *cluster.Node, fac string) sched.Runner {
 				return &sched.LabRunner{
@@ -213,6 +261,7 @@ func main() {
 					CampaignCVPoints: *campaignPoints,
 					StreamAnalysis:   *streamAnalysis,
 					Metrics:          n.Scheduler().Metrics(),
+					CacheMaxBytes:    *dagCacheMax,
 				}
 			},
 			RetryAfter: *retryAfter,
@@ -243,7 +292,7 @@ func main() {
 		LeaseTTL:      *leaseTTL,
 		Tenants:       tenants,
 		Tracer:        tracer,
-		Health:        healthConfig(*probeInterval, *minDeadline),
+		Health:        healthCfg,
 	})
 	if err != nil {
 		log.Fatalf("open job store: %v", err)
@@ -255,10 +304,17 @@ func main() {
 		CampaignCVPoints: *campaignPoints,
 		StreamAnalysis:   *streamAnalysis,
 		Metrics:          s.Metrics(),
+		CacheMaxBytes:    *dagCacheMax,
 	})
 	gw := sched.NewGateway(s)
-	prober := wireProber(s, gw, connector, sched.ResourceSP200, sched.ResourceJKem)
-	defer prober.Close()
+	var closeProbers func()
+	if labFacility != nil {
+		closeProbers = wireFacilityProbers(s, gw, labFacility)
+	} else {
+		prober := wireProber(s, gw, connector, sched.ResourceSP200, sched.ResourceJKem)
+		closeProbers = prober.Close
+	}
+	defer closeProbers()
 	if err := s.Start(); err != nil {
 		log.Fatal(err)
 	}
@@ -280,7 +336,7 @@ func main() {
 		err := runSmoke("http://" + l.Addr().String())
 		srv.Shutdown(context.Background())
 		s.Stop()
-		prober.Close()
+		closeProbers()
 		if err == nil {
 			err = testutil.WaitGoroutines(baseline, 8, 5*time.Second)
 		}
@@ -445,6 +501,62 @@ func wireProber(s *sched.Scheduler, gw *sched.Gateway, connector sched.Connector
 	s.SetFence(p.FenceFor)
 	gw.Registry().AddSource(p.HealthSource())
 	return p
+}
+
+// wireFacilityProbers wires health probes for every instrument a
+// declared facility materialized: the echem prober covers the
+// sp200/jkem classes, the scan prober covers stem devices, and the
+// quarantine fence fans out to both (each fence ignores resources
+// outside its class). Returns the combined closer.
+func wireFacilityProbers(s *sched.Scheduler, gw *sched.Gateway, f *labreg.Facility) func() {
+	instruments := f.HealthInstruments()
+	var closers []func()
+	var fences []func(ctx context.Context, resource string)
+
+	var echemRes []string
+	for class, resources := range instruments {
+		if class == "stem" {
+			continue
+		}
+		echemRes = append(echemRes, resources...)
+	}
+	if len(echemRes) > 0 {
+		p := &sched.LabProber{Connector: f}
+		for _, res := range echemRes {
+			s.RegisterProber(res, p.ProberFor(res))
+		}
+		fences = append(fences, p.FenceFor)
+		gw.Registry().AddSource(p.HealthSource())
+		closers = append(closers, p.Close)
+	}
+	if scanRes := instruments["stem"]; len(scanRes) > 0 {
+		p := &sched.ScanProber{Connector: f}
+		for _, res := range scanRes {
+			s.RegisterProber(res, p.Prober())
+		}
+		fences = append(fences, p.Fence)
+		gw.Registry().AddSource(p.HealthSource())
+		closers = append(closers, p.Close)
+	}
+	s.SetFence(func(ctx context.Context, resource string) {
+		for _, fence := range fences {
+			fence(ctx, resource)
+		}
+	})
+	return func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+}
+
+// stationSummary renders a facility's stations for the startup log.
+func stationSummary(f *labreg.Facility) string {
+	var parts []string
+	for _, st := range f.Stations() {
+		parts = append(parts, fmt.Sprintf("%s:%d", st.Host, st.Port))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // parseWeights turns "acl=3,dgx=1" into per-tenant limits.

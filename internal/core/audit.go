@@ -59,12 +59,16 @@ func (j *auditJournal) record(object, method string, args []json.RawMessage) {
 }
 
 // noJournalMethods are housekeeping calls excluded from the journal so
-// replay reproduces the experiment, not the monitoring around it.
+// replay reproduces the experiment, not the monitoring around it. The
+// scan-side status reads join the potentiostat's: BusyScan/StatusScan
+// are probe traffic and GetScanTiles is the steering client's
+// high-frequency paging read.
 var noJournalMethods = map[string]bool{
 	"BusySP200": true, "StatusSP200": true, "Status": true,
 	"ReadTemperature": true, "ReadPH": true, "RetainMeasurements": true,
 	"Lookup": true, "List": true, "PendingBatches": true,
 	"Position": true, "Battery": true,
+	"BusyScan": true, "StatusScan": true, "GetScanTiles": true,
 }
 
 // EnableAudit starts journaling control-channel calls into
@@ -76,7 +80,15 @@ func (a *ControlAgent) EnableAudit() error {
 	if daemon == nil {
 		return fmt.Errorf("core: control channel not serving yet")
 	}
-	f, err := OpenAppendFile(a.cfg.MeasurementDir, AuditFileName)
+	return EnableDaemonAudit(daemon, a.cfg.MeasurementDir)
+}
+
+// EnableDaemonAudit journals a daemon's control-channel calls into
+// AuditFileName inside dir — the agent-independent form, for stations
+// (a labreg scan host, say) that serve a bare daemon without a
+// ControlAgent around it.
+func EnableDaemonAudit(daemon *pyro.Daemon, dir string) error {
+	f, err := OpenAppendFile(dir, AuditFileName)
 	if err != nil {
 		return err
 	}

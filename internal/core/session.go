@@ -25,6 +25,7 @@ type RemoteSession struct {
 	// watchdog state; see watchdog.go.
 	watchMu      sync.Mutex
 	watchStop    chan struct{}
+	heartbeat    func() error
 	misses       int
 	degraded     bool
 	dataDegraded bool
@@ -38,6 +39,17 @@ type RemoteSession struct {
 	// RPC wrappers — it is how end-to-end deadline budgets reach pyro
 	// calls that predate context plumbing.
 	callCtx atomic.Value // boundCtx
+
+	// Generic-object support: labreg facilities export instruments
+	// beyond the classic pair (scan-steering microscopes), reached by
+	// lazily-dialed proxies keyed on export name. The dial parameters
+	// are remembered from ConnectSession*/ConnectSessionReliable.
+	objMu     sync.Mutex
+	objects   map[string]pyro.Caller
+	daemonURI pyro.URI
+	dialer    pyro.Dialer
+	opts      SessionOptions
+	reliable  bool
 }
 
 // boundCtx wraps the bound context so atomic.Value always stores one
@@ -174,7 +186,7 @@ func ConnectSessionOpts(daemonURI pyro.URI, dialer pyro.Dialer, opts SessionOpti
 	}
 	jk.Timeout = 30 * time.Second
 	sp.Timeout = 10 * time.Minute // acquisition waits happen over this proxy
-	return &RemoteSession{jkem: jk, sp200: sp}, nil
+	return &RemoteSession{jkem: jk, sp200: sp, daemonURI: daemonURI, dialer: dialer, opts: opts}, nil
 }
 
 // SessionOptions tunes a reliable session's retry behavior.
@@ -220,7 +232,54 @@ func ConnectSessionReliable(daemonURI pyro.URI, dialer pyro.Dialer, opts Session
 	}
 	jk := build(JKemObject, 30*time.Second, NonIdempotentJKemMethods)
 	sp := build(SP200Object, 10*time.Minute, NonIdempotentSP200Methods)
-	return &RemoteSession{jkem: jk, sp200: sp}
+	return &RemoteSession{jkem: jk, sp200: sp, daemonURI: daemonURI, dialer: dialer, opts: opts, reliable: true}
+}
+
+// Object returns a proxy for an arbitrary export on the session's
+// daemon — the seam that lets config-defined instruments (a labreg
+// scan station, say) share the session machinery without a typed
+// wrapper per device. Proxies are dialed on first use, cached per
+// name, and closed with the session. nonIdempotent marks the methods
+// that must carry exactly-once call IDs on a reliable session.
+func (s *RemoteSession) Object(name string, nonIdempotent ...string) (pyro.Caller, error) {
+	s.objMu.Lock()
+	defer s.objMu.Unlock()
+	if p, ok := s.objects[name]; ok {
+		return p, nil
+	}
+	if s.daemonURI.Host == "" {
+		return nil, fmt.Errorf("core: session has no daemon address for object %q", name)
+	}
+	var caller pyro.Caller
+	if s.reliable {
+		p := pyro.NewReconnectingProxy(s.daemonURI.WithObject(name), s.dialer, s.opts.Token)
+		p.Timeout = 10 * time.Minute // acquisition-style waits happen here too
+		if s.opts.MaxRetries > 0 {
+			p.MaxRetries = s.opts.MaxRetries
+		}
+		if s.opts.Backoff > 0 {
+			p.Backoff = s.opts.Backoff
+		}
+		if s.opts.Metrics != nil {
+			p.SetMetrics(s.opts.Metrics)
+		}
+		p.MaxWireVersion = s.opts.WireVersion
+		p.MarkExactlyOnce(nonIdempotent...)
+		caller = p
+	} else {
+		cfg := pyro.DialConfig{Token: s.opts.Token, MaxWireVersion: s.opts.WireVersion, Metrics: s.opts.Metrics}
+		p, err := pyro.DialConfigured(s.daemonURI.WithObject(name), s.dialer, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: connect object %q: %w", name, err)
+		}
+		p.Timeout = 10 * time.Minute
+		caller = p
+	}
+	if s.objects == nil {
+		s.objects = map[string]pyro.Caller{}
+	}
+	s.objects[name] = caller
+	return caller, nil
 }
 
 // Close tears down both proxies (task E's connection shutdown) and
@@ -229,6 +288,12 @@ func (s *RemoteSession) Close() error {
 	s.stopWatchdog()
 	err1 := s.jkem.Close()
 	err2 := s.sp200.Close()
+	s.objMu.Lock()
+	for _, p := range s.objects {
+		p.Close()
+	}
+	s.objects = nil
+	s.objMu.Unlock()
 	if err1 != nil {
 		return err1
 	}

@@ -26,6 +26,17 @@ type SessionHealth struct {
 	DataChannelDegraded bool
 }
 
+// SetHeartbeat overrides the watchdog's probe call. The default pings
+// JKemStatus, which assumes the classic echem station; a session onto
+// a config-defined station (a scan-only microscope host, say) installs
+// a probe against an object that actually exists there. Call before
+// StartWatchdog.
+func (s *RemoteSession) SetHeartbeat(probe func() error) {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	s.heartbeat = probe
+}
+
 // StartWatchdog begins heartbeating the control agent: every interval
 // the session issues a cheap status read, and after missThreshold
 // consecutive failures the session reports Degraded until the agent
@@ -54,7 +65,15 @@ func (s *RemoteSession) StartWatchdog(interval time.Duration, missThreshold int)
 				return
 			case <-ticker.C:
 			}
-			_, err := s.JKemStatus()
+			s.watchMu.Lock()
+			probe := s.heartbeat
+			s.watchMu.Unlock()
+			var err error
+			if probe != nil {
+				err = probe()
+			} else {
+				_, err = s.JKemStatus()
+			}
 			s.watchMu.Lock()
 			if err != nil {
 				s.misses++

@@ -9,6 +9,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"time"
+
+	"ice/internal/telemetry"
 )
 
 // cacheKeyVersion is folded into every key so a format change
@@ -21,6 +25,21 @@ const cacheKeyVersion = "dagv1"
 // resumed or cache-served retrieve node can rehydrate its bytes.
 type Cache struct {
 	dir string
+	// MaxBlobBytes caps the objects/ store (0 = unbounded). When a
+	// PutBlob pushes the store past the cap, the least-recently-used
+	// blobs are evicted until it fits — recency is tracked through
+	// file mtimes, which GetBlob refreshes on every hit, so the store
+	// survives daemon restarts with its LRU order intact. Evicting a
+	// blob degrades its future readers to a cache miss (they re-fetch
+	// over the data channel), never to an error.
+	MaxBlobBytes int64
+	// Metrics, when set, receives the "dag.cache.evictions" counter
+	// and the "dag.cache.bytes" gauge.
+	Metrics *telemetry.Collector
+
+	// evictMu serializes cap-enforcement sweeps so concurrent PutBlobs
+	// do not double-delete each other's survivors.
+	evictMu sync.Mutex
 }
 
 // OpenCache creates (if needed) and opens a cache rooted at dir.
@@ -83,11 +102,13 @@ func (c *Cache) PutBlob(data []byte) (string, error) {
 	}
 	path := c.blobPath(digest)
 	if _, err := os.Stat(path); err == nil {
+		c.touch(path)
 		return digest, nil
 	}
 	if err := c.writeAtomic(path, data); err != nil {
 		return "", err
 	}
+	c.enforceBlobCap()
 	return digest, nil
 }
 
@@ -105,7 +126,72 @@ func (c *Cache) GetBlob(digest string) ([]byte, bool) {
 	if hex.EncodeToString(sum[:]) != digest {
 		return nil, false
 	}
+	// A hit is a use: refresh the blob's mtime so the LRU sweep ranks
+	// it young. Best effort — a read-only store still serves hits.
+	c.touch(c.blobPath(digest))
 	return data, true
+}
+
+// touch refreshes a path's mtime for LRU ordering.
+func (c *Cache) touch(path string) {
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+}
+
+// enforceBlobCap evicts least-recently-used blobs until the object
+// store fits MaxBlobBytes, and publishes the store's size. Eviction
+// is best effort: an unremovable file is skipped, not fatal.
+func (c *Cache) enforceBlobCap() {
+	if c == nil || (c.MaxBlobBytes <= 0 && c.Metrics == nil) {
+		return
+	}
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+
+	type blob struct {
+		name string
+		size int64
+		mod  time.Time
+	}
+	objDir := filepath.Join(c.dir, "objects")
+	entries, err := os.ReadDir(objDir)
+	if err != nil {
+		return
+	}
+	var blobs []blob
+	var total int64
+	for _, ent := range entries {
+		if ent.IsDir() || strings.HasPrefix(ent.Name(), ".tmp-") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		blobs = append(blobs, blob{ent.Name(), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+
+	evicted := int64(0)
+	if c.MaxBlobBytes > 0 && total > c.MaxBlobBytes {
+		sort.Slice(blobs, func(i, j int) bool { return blobs[i].mod.Before(blobs[j].mod) })
+		for _, b := range blobs {
+			if total <= c.MaxBlobBytes {
+				break
+			}
+			if err := os.Remove(filepath.Join(objDir, b.name)); err != nil {
+				continue
+			}
+			total -= b.size
+			evicted++
+		}
+	}
+	if c.Metrics != nil {
+		if evicted > 0 {
+			c.Metrics.Counter("dag.cache.evictions").Add(evicted)
+		}
+		c.Metrics.Gauge("dag.cache.bytes").Set(total)
+	}
 }
 
 // sha256Sum is the hex SHA-256 of a byte slice.

@@ -1,0 +1,166 @@
+package dag
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ice/internal/telemetry"
+)
+
+// backdate ages a blob so the LRU sweep sees it as cold. Tests use it
+// instead of sleeping: mtime is the only recency signal the cache has.
+func backdate(t *testing.T, c *Cache, digest string, age time.Duration) {
+	t.Helper()
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(c.blobPath(digest), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlobCacheEvictsLRU(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := telemetry.NewCollector()
+	cache.MaxBlobBytes = 2500
+	cache.Metrics = metrics
+
+	blob := func(fill byte) []byte { return bytes.Repeat([]byte{fill}, 1000) }
+
+	old, err := cache.PutBlob(blob('a'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backdate(t, cache, old, 3*time.Hour)
+	mid, err := cache.PutBlob(blob('b'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backdate(t, cache, mid, 2*time.Hour)
+
+	if got := metrics.CounterValue("dag.cache.evictions"); got != 0 {
+		t.Fatalf("evictions before overflow = %d", got)
+	}
+	if got := metrics.GaugeValue("dag.cache.bytes"); got != 2000 {
+		t.Fatalf("dag.cache.bytes = %v, want 2000", got)
+	}
+
+	// The third kilobyte pushes the store to 3000 > 2500: exactly the
+	// coldest blob must go, and the survivors must still verify.
+	fresh, err := cache.PutBlob(blob('c'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.GetBlob(old); ok {
+		t.Fatal("coldest blob survived the cap")
+	}
+	for _, digest := range []string{mid, fresh} {
+		if _, ok := cache.GetBlob(digest); !ok {
+			t.Fatalf("warm blob %s evicted", digest)
+		}
+	}
+	if got := metrics.CounterValue("dag.cache.evictions"); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got := metrics.GaugeValue("dag.cache.bytes"); got != 2000 {
+		t.Fatalf("dag.cache.bytes after eviction = %v, want 2000", got)
+	}
+}
+
+func TestBlobCacheReadRefreshesRecency(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.MaxBlobBytes = 2500
+
+	oldRead, err := cache.PutBlob(bytes.Repeat([]byte{'r'}, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldCold, err := cache.PutBlob(bytes.Repeat([]byte{'s'}, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backdate(t, cache, oldRead, 3*time.Hour)
+	backdate(t, cache, oldCold, 2*time.Hour)
+
+	// Reading the oldest blob marks it used; the never-read one is now
+	// the LRU victim despite being written later.
+	if _, ok := cache.GetBlob(oldRead); !ok {
+		t.Fatal("read-back of cached blob failed")
+	}
+	if _, err := cache.PutBlob(bytes.Repeat([]byte{'t'}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.GetBlob(oldRead); !ok {
+		t.Fatal("recently-read blob evicted — GetBlob did not refresh recency")
+	}
+	if _, ok := cache.GetBlob(oldCold); ok {
+		t.Fatal("cold unread blob survived over the read one")
+	}
+}
+
+func TestBlobCacheUnboundedKeepsEverything(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := telemetry.NewCollector()
+	cache.Metrics = metrics
+
+	var digests []string
+	for fill := byte('a'); fill < 'a'+8; fill++ {
+		d, err := cache.PutBlob(bytes.Repeat([]byte{fill}, 500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+	}
+	for _, d := range digests {
+		if _, ok := cache.GetBlob(d); !ok {
+			t.Fatalf("blob %s missing from unbounded store", d)
+		}
+	}
+	if got := metrics.CounterValue("dag.cache.evictions"); got != 0 {
+		t.Fatalf("unbounded store evicted %d blob(s)", got)
+	}
+	if got := metrics.GaugeValue("dag.cache.bytes"); got != 4000 {
+		t.Fatalf("dag.cache.bytes = %v, want 4000", got)
+	}
+}
+
+func TestBlobCapIgnoresEntriesAndTempFiles(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.MaxBlobBytes = 1500
+
+	// A result entry lives beside objects/ and must never be counted
+	// against — or evicted by — the blob cap.
+	key := CacheKey("spec", nil)
+	if err := cache.Store(key, &NodeResult{}); err != nil {
+		t.Fatal(err)
+	}
+	// A leftover temp file inside objects/ (a crashed writeAtomic)
+	// must not be treated as a blob.
+	if err := os.WriteFile(filepath.Join(cache.dir, "objects", ".tmp-crashed"), bytes.Repeat([]byte{'x'}, 5000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	digest, err := cache.PutBlob(bytes.Repeat([]byte{'k'}, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.GetBlob(digest); !ok {
+		t.Fatal("blob evicted by non-blob files")
+	}
+	if _, ok := cache.Lookup(key); !ok {
+		t.Fatal("result entry destroyed by blob sweep")
+	}
+}

@@ -1,0 +1,243 @@
+package labreg
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"ice/internal/core"
+	"ice/internal/datachan"
+	"ice/internal/microscope"
+	"ice/internal/netsim"
+	"ice/internal/pyro"
+)
+
+// BuildOptions tune a facility bring-up.
+type BuildOptions struct {
+	// Dir roots the facility's state: each station gets Dir/<host>-<port>.
+	Dir string
+	// TimeScale paces instrument actions (0 = instant).
+	TimeScale float64
+	// Seed defaults every seeded simulator (synthesis noise, specimen
+	// layout) that its device params do not pin (default 1).
+	Seed int64
+	// AuthToken, when set, gates every station's control channel.
+	AuthToken string
+}
+
+// Build materializes a validated config into a running facility: the
+// netsim fabric, one station (pyro daemon + optional data export) per
+// host:port group, and every device attached through its kind's
+// factory. On error, everything already started is torn down.
+func Build(cfg *Config, opts BuildOptions) (*Facility, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("%w: BuildOptions.Dir required", ErrConfigInvalid)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+
+	network, err := buildNetwork(&cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Facility{Config: cfg, Network: network, opts: opts}
+	if err := f.buildStations(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// LoadAndBuild is the one-call bring-up path cmd/icegated uses.
+func LoadAndBuild(path string, opts BuildOptions) (*Facility, error) {
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		return nil, err
+	}
+	return Build(cfg, opts)
+}
+
+// buildNetwork materializes the topology section. Validation has
+// already vetted every name and value, so netsim errors here indicate
+// a bug, not a bad config.
+func buildNetwork(t *Topology) (*netsim.Network, error) {
+	n := netsim.New()
+	for _, h := range t.Hubs {
+		latency, err := parseLatency(h.Latency, "hub "+h.Name+" latency")
+		if err != nil {
+			return nil, err
+		}
+		if err := n.AddHub(h.Name, latency, h.BandwidthGbps*1e9/8); err != nil {
+			return nil, fmt.Errorf("labreg: add hub %s: %w", h.Name, err)
+		}
+		if h.Jitter != "" {
+			jitter, err := parseLatency(h.Jitter, "hub "+h.Name+" jitter")
+			if err != nil {
+				return nil, err
+			}
+			if err := n.SetHubJitter(h.Name, jitter); err != nil {
+				return nil, fmt.Errorf("labreg: hub %s jitter: %w", h.Name, err)
+			}
+		}
+		if h.Loss > 0 {
+			if err := n.SetHubFaults(h.Name, netsim.FaultSpec{Loss: h.Loss}); err != nil {
+				return nil, fmt.Errorf("labreg: hub %s loss: %w", h.Name, err)
+			}
+		}
+	}
+	for _, h := range t.Hosts {
+		if err := n.AddHost(h.Name, h.Hub); err != nil {
+			return nil, fmt.Errorf("labreg: add host %s: %w", h.Name, err)
+		}
+	}
+	for _, g := range t.Gateways {
+		if err := n.AddGateway(g.Name, g.Hubs...); err != nil {
+			return nil, fmt.Errorf("labreg: add gateway %s: %w", g.Name, err)
+		}
+	}
+	for _, fw := range t.Firewalls {
+		wall, err := n.FirewallOf(fw.Host)
+		if err != nil {
+			return nil, fmt.Errorf("labreg: firewall of %s: %w", fw.Host, err)
+		}
+		wall.SetDefaultDeny(fw.DefaultDeny)
+		if len(fw.Allow) > 0 {
+			wall.Allow(fw.Allow...)
+		}
+	}
+	return n, nil
+}
+
+// StationBuild collects a station's declared devices before anything
+// runs; kind factories record what the station must serve, and
+// materializeStation then brings it up in one pass (the echem pair
+// shares one physical cell, so its devices cannot be built
+// independently).
+type StationBuild struct {
+	// Host and Port place the station's control daemon.
+	Host string
+	Port int
+	// DataPort is the station's data channel (0 = none).
+	DataPort int
+	// Dir is the station's measurement/state directory.
+	Dir string
+	// Opts echoes the facility build options for factories.
+	Opts BuildOptions
+
+	facility string
+	devices  []Device
+
+	sp200Dev  string // device name ("" = not declared)
+	sp200     EchemParams
+	jkemDev   string
+	synthDev  string
+	synth     SynthesisParams
+	robotDev  string
+	scanDecls []scanDecl
+	// extra objects registered by custom kinds.
+	extras []extraObject
+}
+
+type scanDecl struct {
+	dev    Device
+	params ScanParams
+}
+
+type extraObject struct {
+	export string
+	obj    any
+	close  func() error
+}
+
+func (sb *StationBuild) needSP200(dev string, p EchemParams) error {
+	if sb.sp200Dev != "" {
+		return fmt.Errorf("%w: station %s declares sp200 twice (%s, %s)", ErrConfigInvalid, sb.key(), sb.sp200Dev, dev)
+	}
+	sb.sp200Dev, sb.sp200 = dev, p
+	return nil
+}
+
+func (sb *StationBuild) needJKem(dev string) error {
+	if sb.jkemDev != "" {
+		return fmt.Errorf("%w: station %s declares jkem twice (%s, %s)", ErrConfigInvalid, sb.key(), sb.jkemDev, dev)
+	}
+	sb.jkemDev = dev
+	return nil
+}
+
+func (sb *StationBuild) needSynthesis(dev string, p SynthesisParams) error {
+	if sb.synthDev != "" {
+		return fmt.Errorf("%w: station %s declares synthesis twice (%s, %s)", ErrConfigInvalid, sb.key(), sb.synthDev, dev)
+	}
+	sb.synthDev, sb.synth = dev, p
+	return nil
+}
+
+func (sb *StationBuild) needRobot(dev string) error {
+	if sb.robotDev != "" {
+		return fmt.Errorf("%w: station %s declares robot twice (%s, %s)", ErrConfigInvalid, sb.key(), sb.robotDev, dev)
+	}
+	sb.robotDev = dev
+	return nil
+}
+
+func (sb *StationBuild) addScanner(dev Device, p ScanParams) error {
+	sb.scanDecls = append(sb.scanDecls, scanDecl{dev: dev, params: p})
+	return nil
+}
+
+// AddObject registers a custom object on the station's daemon at
+// bring-up (the extension point for kinds outside this package);
+// close, when non-nil, runs at facility teardown.
+func (sb *StationBuild) AddObject(export string, obj any, close func() error) {
+	sb.extras = append(sb.extras, extraObject{export: export, obj: obj, close: close})
+}
+
+func (sb *StationBuild) key() string { return stationKey(sb.Host, sb.Port) }
+
+// Station is one running host:port group: a pyro daemon serving the
+// group's device objects, optionally a data-channel export of the
+// station directory, and the device handles for drills and tests.
+type Station struct {
+	Host     string
+	Port     int
+	DataPort int
+	// Dir is the station's measurement/state directory (the audit
+	// journal lands here too).
+	Dir string
+	// Agent is the echem control agent (nil for stations without the
+	// sp200/jkem pair).
+	Agent *core.ControlAgent
+	// Scanners holds this station's microscopes by device name.
+	Scanners map[string]*microscope.Scanner
+	// scanExports maps device name → pyro export name.
+	scanExports map[string]string
+
+	daemon  *pyro.Daemon
+	export  *datachan.Export
+	closers []func() error
+}
+
+// Daemon exposes the station's control daemon (for audit wiring).
+func (st *Station) Daemon() *pyro.Daemon { return st.daemon }
+
+// AuditPath is where EnableAudit journals this station's control
+// calls.
+func (st *Station) AuditPath() string {
+	return filepath.Join(st.Dir, core.AuditFileName)
+}
+
+func (st *Station) close() error {
+	var first error
+	for i := len(st.closers) - 1; i >= 0; i-- {
+		if err := st.closers[i](); err != nil && first == nil {
+			first = err
+		}
+	}
+	st.closers = nil
+	return first
+}

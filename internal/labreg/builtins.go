@@ -1,0 +1,124 @@
+package labreg
+
+import (
+	"fmt"
+
+	"ice/internal/core"
+	"ice/internal/microscope"
+	"ice/internal/sched"
+)
+
+// Built-in device kinds: the paper's echem instrument set plus the
+// scan-steering microscope. Registered at package init so Validate
+// recognizes them without any bring-up having happened.
+
+// EchemParams configures the sp200 kind (defaults are the
+// demonstration values core.DefaultAgentConfig bakes in).
+type EchemParams struct {
+	// ElectrodeAreaCM2 is the working electrode area (default 0.07).
+	ElectrodeAreaCM2 float64 `json:"electrode_area_cm2,omitempty"`
+	// NoiseSeed seeds measurement noise (default 1).
+	NoiseSeed int64 `json:"noise_seed,omitempty"`
+}
+
+// SynthesisParams configures the synthesis kind.
+type SynthesisParams struct {
+	// Seed seeds the workstation's dispensing noise (default: the
+	// facility build seed).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ScanParams configures the scan kind.
+type ScanParams struct {
+	// SpecimenSeed seeds the simulated specimen's feature layout
+	// (default 1).
+	SpecimenSeed int64 `json:"specimen_seed,omitempty"`
+}
+
+func init() {
+	RegisterKind(Kind{
+		Name:          "sp200",
+		DefaultExport: core.SP200Object,
+		Class:         "sp200",
+		Resource:      func(Device) string { return sched.ResourceSP200 },
+		CheckParams: func(dev Device) error {
+			var p EchemParams
+			if err := decodeParams(dev, &p); err != nil {
+				return err
+			}
+			if p.ElectrodeAreaCM2 < 0 {
+				return fmt.Errorf("%w: device %q electrode_area_cm2 must be positive", ErrConfigInvalid, dev.Name)
+			}
+			return nil
+		},
+		Materialize: func(st *StationBuild, dev Device) error {
+			if err := requireDefaultExport(dev, core.SP200Object); err != nil {
+				return err
+			}
+			var p EchemParams
+			if err := decodeParams(dev, &p); err != nil {
+				return err
+			}
+			return st.needSP200(dev.Name, p)
+		},
+	})
+	RegisterKind(Kind{
+		Name:          "jkem",
+		DefaultExport: core.JKemObject,
+		Class:         "jkem",
+		Resource:      func(Device) string { return sched.ResourceJKem },
+		Materialize: func(st *StationBuild, dev Device) error {
+			if err := requireDefaultExport(dev, core.JKemObject); err != nil {
+				return err
+			}
+			return st.needJKem(dev.Name)
+		},
+	})
+	RegisterKind(Kind{
+		Name: "synthesis",
+		CheckParams: func(dev Device) error {
+			var p SynthesisParams
+			return decodeParams(dev, &p)
+		},
+		Materialize: func(st *StationBuild, dev Device) error {
+			var p SynthesisParams
+			if err := decodeParams(dev, &p); err != nil {
+				return err
+			}
+			return st.needSynthesis(dev.Name, p)
+		},
+	})
+	RegisterKind(Kind{
+		Name: "robot",
+		Materialize: func(st *StationBuild, dev Device) error {
+			return st.needRobot(dev.Name)
+		},
+	})
+	RegisterKind(Kind{
+		Name:          "scan",
+		DefaultExport: microscope.ScanObject,
+		Class:         "stem",
+		Resource:      func(Device) string { return sched.ResourceScan },
+		CheckParams: func(dev Device) error {
+			var p ScanParams
+			return decodeParams(dev, &p)
+		},
+		Materialize: func(st *StationBuild, dev Device) error {
+			var p ScanParams
+			if err := decodeParams(dev, &p); err != nil {
+				return err
+			}
+			return st.addScanner(dev, p)
+		},
+	})
+}
+
+// requireDefaultExport rejects export overrides on the echem kinds:
+// remote sessions dial those objects by their wire-protocol names, so
+// renaming them would materialize a lab no session can speak to.
+func requireDefaultExport(dev Device, want string) error {
+	if dev.Export != "" && dev.Export != want {
+		return fmt.Errorf("%w: device %q kind %q must export as %q (sessions dial that name)", ErrConfigInvalid, dev.Name, dev.Kind, want)
+	}
+	return nil
+}

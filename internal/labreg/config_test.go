@@ -1,0 +1,201 @@
+package labreg
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// minimalConfig is a valid one-station config tests mutate.
+const minimalConfig = `
+version: 1
+facility: acl
+client: dgx
+topology:
+  hubs:
+    - {name: lab, latency: 200us, bandwidth_gbps: 1}
+  hosts:
+    - {name: agent, hub: lab}
+    - {name: dgx, hub: lab}
+devices:
+  - name: pot1
+    kind: sp200
+    host: agent
+    port: 9690
+    data_port: 4450
+  - name: heater1
+    kind: jkem
+    host: agent
+    port: 9690
+gates:
+  - name: echem
+    devices: [pot1, heater1]
+`
+
+func TestDecodeMinimalConfig(t *testing.T) {
+	cfg, err := DecodeConfig([]byte(minimalConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Facility != "acl" || len(cfg.Devices) != 2 || len(cfg.Gates) != 1 {
+		t.Fatalf("decoded config = %+v", cfg)
+	}
+}
+
+func TestDecodeExampleConfigs(t *testing.T) {
+	for _, name := range []string{"echem_classic.yaml", "microscopy.yaml"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "examples", "labs", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeConfig(src); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestValidationEdgeCases holds each registry misconfiguration to its
+// own distinct sentinel error, so operators (and scripts) can tell a
+// typo'd kind from a copied-and-pasted device name without reading
+// prose.
+func TestValidationEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(c *Config)
+		wantErr error
+	}{
+		{
+			name:    "duplicate device name",
+			mutate:  func(c *Config) { c.Devices[1].Name = c.Devices[0].Name },
+			wantErr: ErrDuplicateDevice,
+		},
+		{
+			name: "port conflict across channels",
+			mutate: func(c *Config) {
+				// The data port collides with the control port.
+				c.Devices[0].DataPort = c.Devices[0].Port
+			},
+			wantErr: ErrPortConflict,
+		},
+		{
+			name: "port conflict across stations",
+			mutate: func(c *Config) {
+				// A second station on the same host claims the first's
+				// control port as its own.
+				c.Devices[1].Port = 9700
+				c.Devices[1].DataPort = 9690
+			},
+			wantErr: ErrPortConflict,
+		},
+		{
+			name:    "unknown kind",
+			mutate:  func(c *Config) { c.Devices[0].Kind = "spectrometer" },
+			wantErr: ErrUnknownKind,
+		},
+		{
+			name: "dangling link endpoint",
+			mutate: func(c *Config) {
+				c.Topology.Hosts[0].Hub = "no-such-hub"
+			},
+			wantErr: ErrDanglingEndpoint,
+		},
+		{
+			name: "device on undeclared host",
+			mutate: func(c *Config) {
+				c.Devices[0].Host = "ghost"
+			},
+			wantErr: ErrDanglingEndpoint,
+		},
+		{
+			name: "gate referencing missing device",
+			mutate: func(c *Config) {
+				c.Gates[0].Devices = append(c.Gates[0].Devices, "phantom")
+			},
+			wantErr: ErrGateDevice,
+		},
+		{
+			name:    "wrong version",
+			mutate:  func(c *Config) { c.Version = 99 },
+			wantErr: ErrConfigVersion,
+		},
+		{
+			name:    "client not a host",
+			mutate:  func(c *Config) { c.Client = "elsewhere" },
+			wantErr: ErrDanglingEndpoint,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := DecodeConfig([]byte(minimalConfig))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(cfg)
+			err = cfg.Validate()
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.wantErr)
+			}
+			// Distinctness: the failure must wrap its own sentinel and no
+			// other.
+			for _, other := range []error{
+				ErrDuplicateDevice, ErrPortConflict, ErrUnknownKind,
+				ErrDanglingEndpoint, ErrGateDevice, ErrConfigVersion,
+			} {
+				if other != tc.wantErr && errors.Is(err, other) {
+					t.Fatalf("error %v also wraps %v", err, other)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	cases := map[string]string{
+		"top-level": strings.Replace(minimalConfig, "facility: acl", "facility: acl\nbogus: 1", 1),
+		"device":    strings.Replace(minimalConfig, "port: 9690\n    data_port: 4450", "port: 9690\n    data_port: 4450\n    typo_field: x", 1),
+		"hub":       strings.Replace(minimalConfig, "latency: 200us", "latency: 200us, speed: fast", 1),
+		"params":    strings.Replace(minimalConfig, "data_port: 4450", "data_port: 4450\n    params: {bogus_knob: 3}", 1),
+	}
+	for name, src := range cases {
+		if _, err := DecodeConfig([]byte(src)); err == nil {
+			t.Errorf("%s: unknown field accepted", name)
+		}
+	}
+}
+
+func TestDecodeJSONConfig(t *testing.T) {
+	src := `{
+	  "version": 1, "facility": "acl", "client": "dgx",
+	  "topology": {
+	    "hubs": [{"name": "lab", "latency": "200us", "bandwidth_gbps": 1}],
+	    "hosts": [{"name": "agent", "hub": "lab"}, {"name": "dgx", "hub": "lab"}]
+	  },
+	  "devices": [
+	    {"name": "pot1", "kind": "sp200", "host": "agent", "port": 9690, "data_port": 4450},
+	    {"name": "heater1", "kind": "jkem", "host": "agent", "port": 9690}
+	  ]
+	}`
+	if _, err := DecodeConfig([]byte(src)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateResources(t *testing.T) {
+	cfg, err := DecodeConfig([]byte(minimalConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Facility{Config: cfg}
+	res, err := f.GateResources("echem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("echem gate resources = %v", res)
+	}
+	if _, err := f.GateResources("no-such-gate"); err == nil {
+		t.Fatal("unknown gate accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package labreg
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ice/internal/microscope"
+	"ice/internal/sched"
+)
+
+// loadExample builds a facility from an examples/labs config.
+func loadExample(t *testing.T, name string) *Facility {
+	t.Helper()
+	f, err := LoadAndBuild(filepath.Join("..", "..", "examples", "labs", name), BuildOptions{
+		Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestBuildMicroscopyFacility(t *testing.T) {
+	f := loadExample(t, "microscopy.yaml")
+
+	if got := len(f.Stations()); got != 2 {
+		t.Fatalf("stations = %d, want 2", got)
+	}
+	if f.EchemStation() == nil {
+		t.Fatal("no echem station materialized")
+	}
+	if f.Scanner("stem1") == nil {
+		t.Fatal("scan device stem1 not materialized")
+	}
+
+	// The echem channel works end to end: a jkem status call over the
+	// config-built network.
+	session, mount, err := f.ConnectSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	defer mount.Close()
+	if _, err := session.JKemStatus(); err != nil {
+		t.Fatalf("jkem status over config-built lab: %v", err)
+	}
+
+	// The scan channel works end to end: dial the scan object by its
+	// configured export name and read its status.
+	scanSession, scanMount, object, err := f.ConnectScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scanSession.Close()
+	defer scanMount.Close()
+	if object != "stem" {
+		t.Fatalf("scan export = %q, want stem", object)
+	}
+	caller, err := scanSession.Object(object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := microscope.NewClient(caller)
+	status, err := client.Status(context.Background())
+	if err != nil {
+		t.Fatalf("scan status over config-built lab: %v", err)
+	}
+	if !strings.Contains(status, "state=") {
+		t.Fatalf("scan status = %q", status)
+	}
+}
+
+func TestFacilityHealthWiring(t *testing.T) {
+	f := loadExample(t, "microscopy.yaml")
+
+	instruments := f.HealthInstruments()
+	for class, want := range map[string]string{
+		"sp200": sched.ResourceSP200,
+		"jkem":  sched.ResourceJKem,
+		"stem":  sched.ResourceScan,
+	} {
+		res := instruments[class]
+		if len(res) != 1 || res[0] != want {
+			t.Errorf("class %s resources = %v, want [%s]", class, res, want)
+		}
+	}
+
+	classes := func(kind string) string {
+		return strings.Join(f.ClassesFor(sched.JobSpec{Kind: kind}), ",")
+	}
+	if got := classes(sched.KindScan); got != "stem" {
+		t.Errorf("scan classes = %q, want stem", got)
+	}
+	for _, kind := range []string{sched.KindCV, sched.KindCampaign, sched.KindDAG} {
+		got := classes(kind)
+		if strings.Contains(got, "stem") || !strings.Contains(got, "sp200") || !strings.Contains(got, "jkem") {
+			t.Errorf("%s classes = %q, want sp200+jkem without stem", kind, got)
+		}
+	}
+
+	if res, err := f.GateResources("microscopy"); err != nil || len(res) != 1 || res[0] != sched.ResourceScan {
+		t.Errorf("microscopy gate = %v, %v", res, err)
+	}
+}
+
+func TestBuildRejectsHalfEchemPair(t *testing.T) {
+	src := strings.Replace(minimalConfig, `  - name: heater1
+    kind: jkem
+    host: agent
+    port: 9690
+`, "", 1)
+	src = strings.Replace(src, "devices: [pot1, heater1]", "devices: [pot1]", 1)
+	cfg, err := DecodeConfig([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(cfg, BuildOptions{Dir: t.TempDir()}); err == nil {
+		t.Fatal("half an echem pair materialized")
+	}
+}
+
+func TestBuildRejectsScanExportCollision(t *testing.T) {
+	// Two scan devices on one station with the same export name must
+	// fail bring-up, not silently serve one of them.
+	src := strings.Replace(minimalConfig, "gates:", `  - name: stem1
+    kind: scan
+    host: agent
+    port: 9690
+  - name: stem2
+    kind: scan
+    host: agent
+    port: 9690
+    export: stem
+gates:`, 1)
+	cfg, err := DecodeConfig([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(cfg, BuildOptions{Dir: t.TempDir()}); err == nil {
+		t.Fatal("colliding scan exports materialized")
+	}
+}

@@ -1,0 +1,49 @@
+package labreg
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodeLabConfig holds the registry's intake to its contract:
+// arbitrary bytes never panic the YAML parser or the strict decoder,
+// and any config it accepts re-validates and survives a JSON
+// round trip (what a gateway would persist).
+func FuzzDecodeLabConfig(f *testing.F) {
+	for _, name := range []string{"echem_classic.yaml", "microscopy.yaml"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "examples", "labs", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	f.Add([]byte(minimalConfig))
+	f.Add([]byte(`{"version": 1, "facility": "a"}`))
+	f.Add([]byte("version: 1\nfacility: [not, a, string]"))
+	f.Add([]byte("a:\n  - b: 1\n    c: [x, {y: 'z'}]"))
+	f.Add([]byte("\t"))
+	f.Add([]byte("---\nversion: 1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := DecodeConfig(data)
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted config fails re-validation: %v", err)
+		}
+		encoded, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("accepted config does not marshal: %v", err)
+		}
+		again, err := DecodeConfig(encoded)
+		if err != nil {
+			t.Fatalf("round-tripped config rejected: %v\n  %s", err, encoded)
+		}
+		if again.Facility != cfg.Facility || len(again.Devices) != len(cfg.Devices) ||
+			len(again.Gates) != len(cfg.Gates) || len(again.Topology.Hubs) != len(cfg.Topology.Hubs) {
+			t.Fatalf("round trip changed the config: %+v != %+v", again, cfg)
+		}
+	})
+}

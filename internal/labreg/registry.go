@@ -1,0 +1,103 @@
+package labreg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind is a device class the registry can materialize: how its pyro
+// object is exported, which lease resource it maps to, how its params
+// decode, and how it attaches to a station at bring-up. Built-in
+// kinds cover the paper's instruments (sp200, jkem, synthesis, robot)
+// plus the scan-steering microscope; new hardware registers its own.
+type Kind struct {
+	// Name is the config's `kind:` value.
+	Name string
+	// DefaultExport is the pyro object name when the device omits
+	// `export:` ("" = the kind serves no dedicated pyro object).
+	DefaultExport string
+	// Class is the instrument class for lease resources and health
+	// probing ("" = the kind holds no lease of its own; synthesis and
+	// robot ride the echem gate).
+	Class string
+	// Resource names the device's lease resource ("" when Class is "").
+	Resource func(dev Device) string
+	// CheckParams strict-validates dev.Params (nil = no params allowed).
+	CheckParams func(dev Device) error
+	// Materialize declares the device on its station build.
+	Materialize func(st *StationBuild, dev Device) error
+}
+
+var (
+	kindMu sync.RWMutex
+	kinds  = map[string]Kind{}
+)
+
+// RegisterKind adds a device kind to the registry. Registering a name
+// twice is a programming error and panics, like a duplicate
+// database/sql driver.
+func RegisterKind(k Kind) {
+	if k.Name == "" || k.Materialize == nil {
+		panic("labreg: RegisterKind needs a name and a Materialize hook")
+	}
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	if _, dup := kinds[k.Name]; dup {
+		panic(fmt.Sprintf("labreg: kind %q registered twice", k.Name))
+	}
+	kinds[k.Name] = k
+}
+
+// KindRegistered reports whether a factory exists for the kind.
+func KindRegistered(name string) bool {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	_, ok := kinds[name]
+	return ok
+}
+
+// Kinds lists the registered kind names, sorted.
+func Kinds() []string {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	out := make([]string, 0, len(kinds))
+	for name := range kinds {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// kindFor returns the registered kind.
+func kindFor(name string) (Kind, bool) {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	k, ok := kinds[name]
+	return k, ok
+}
+
+// decodeParams strict-decodes a device's params into out; a nil or
+// empty params block leaves out at its zero value.
+func decodeParams(dev Device, out any) error {
+	if len(dev.Params) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(dev.Params))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("%w: device %q params: %v", ErrConfigInvalid, dev.Name, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: device %q params: trailing content", ErrConfigInvalid, dev.Name)
+	}
+	return nil
+}
+
+// noParams is the CheckParams for kinds that take none.
+func noParams(dev Device) error {
+	var empty struct{}
+	return decodeParams(dev, &empty)
+}

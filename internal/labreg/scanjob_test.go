@@ -1,0 +1,84 @@
+package labreg
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ice/internal/sched"
+)
+
+// TestScanJobThroughFacility runs the microscopy workload end to end:
+// a scan job submitted to a scheduler whose runner connects through
+// the config-built facility must survey, steer onto the specimen's
+// best structure, and return a digest-verified scan file — with the
+// scan lease (not the echem pair) held and then released.
+func TestScanJobThroughFacility(t *testing.T) {
+	f := loadExample(t, "microscopy.yaml")
+
+	dir := t.TempDir()
+	s, err := sched.New(sched.Config{Dir: filepath.Join(dir, "state"), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRunner(&sched.LabRunner{Connector: f, Leases: s.Leases(), Dir: s.Dir()})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	job, err := s.Submit(sched.JobSpec{
+		Tenant: "stem",
+		Kind:   sched.KindScan,
+		Scan:   &sched.ScanSpec{TilesX: 6, TilesY: 6, PixelsPerTile: 8, ZoomFactor: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	final, err := s.WaitTerminal(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != sched.StateDone {
+		t.Fatalf("scan job ended %s: %s", final.State, final.Error)
+	}
+
+	var res sched.ScanResult
+	if err := json.Unmarshal([]byte(final.Result), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.SHA256 == "" || res.File == "" {
+		t.Fatalf("scan result missing digest/file: %+v", res)
+	}
+	if res.Tiles < 36 || res.Passes < 1 {
+		t.Fatalf("scan result too small: %+v", res)
+	}
+	if !res.Zoomed || res.ZoomRegion == nil {
+		t.Fatalf("steering never zoomed: %+v", res)
+	}
+	if res.Passes < 2 {
+		t.Fatalf("zoomed scan has %d pass(es), want survey + zoom", res.Passes)
+	}
+
+	if active := s.Leases().Active(); len(active) != 0 {
+		t.Fatalf("leaked leases after scan: %+v", active)
+	}
+
+	// A cv job interleaves on the same scheduler against the same
+	// facility — the mixed-workload shape lab-smoke drives.
+	cvJob, err := s.Submit(sched.JobSpec{Tenant: "acl", Kind: sched.KindCV, Points: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvFinal, err := s.WaitTerminal(ctx, cvJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvFinal.State != sched.StateDone {
+		t.Fatalf("cv job on mixed facility ended %s: %s", cvFinal.State, cvFinal.Error)
+	}
+}

@@ -1,0 +1,105 @@
+package labreg
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseYAMLBasics(t *testing.T) {
+	src := []byte(`
+# a comment
+version: 1
+facility: acl
+ratio: 0.5
+flag: true
+nothing: null
+name: "quoted # not a comment"
+single: 'it''s quoted'
+list: [1, 2, three]
+inline: {a: 1, b: yes-text}
+nested:
+  key: value
+  deeper:
+    - one
+    - two
+items:
+  - name: first
+    port: 9690
+  - name: second
+    port: 9695
+`)
+	got, err := parseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"version":  float64(1),
+		"facility": "acl",
+		"ratio":    0.5,
+		"flag":     true,
+		"nothing":  nil,
+		"name":     "quoted # not a comment",
+		"single":   "it's quoted",
+		"list":     []any{float64(1), float64(2), "three"},
+		"inline":   map[string]any{"a": float64(1), "b": "yes-text"},
+		"nested": map[string]any{
+			"key":    "value",
+			"deeper": []any{"one", "two"},
+		},
+		"items": []any{
+			map[string]any{"name": "first", "port": float64(9690)},
+			map[string]any{"name": "second", "port": float64(9695)},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed tree mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"tab indent":        "a:\n\tb: 1",
+		"duplicate key":     "a: 1\na: 2",
+		"empty doc":         "   \n# only a comment\n",
+		"unterminated flow": "a: [1, 2",
+		"seq in mapping":    "a: 1\n- b",
+		"bad indent":        "a:\n   b: 1\n  c: 2",
+		"unbalanced flow":   "a: [1, ]]",
+		"stray quote":       "a: 'unterminated",
+		"empty key":         ": value",
+	}
+	for name, src := range cases {
+		if _, err := parseYAML([]byte(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestParseYAMLSequenceForms(t *testing.T) {
+	src := []byte(`
+scalars:
+  - 1
+  - plain text
+  - "quoted: colon"
+blocks:
+  -
+    a: 1
+  - b: 2
+`)
+	got, err := parseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := got.(map[string]any)
+	scalars := doc["scalars"].([]any)
+	if scalars[2] != "quoted: colon" {
+		t.Fatalf("quoted scalar = %v", scalars[2])
+	}
+	blocks := doc["blocks"].([]any)
+	if !reflect.DeepEqual(blocks[0], map[string]any{"a": float64(1)}) {
+		t.Fatalf("dash-alone block = %#v", blocks[0])
+	}
+	if !reflect.DeepEqual(blocks[1], map[string]any{"b": float64(2)}) {
+		t.Fatalf("inline map item = %#v", blocks[1])
+	}
+}

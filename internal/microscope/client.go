@@ -1,0 +1,107 @@
+package microscope
+
+import (
+	"context"
+	"time"
+)
+
+// Caller is the minimal calling surface the scan client needs — a
+// structural copy of pyro.Caller's context method, so this package
+// stays import-free of the RPC layer (the session hands us whatever
+// proxy it dialed).
+type Caller interface {
+	CallIntoCtx(ctx context.Context, out any, method string, args ...any) error
+}
+
+// Client wraps a dialed scan-object proxy in typed calls — the
+// client-side mirror of Server, used by the scheduler's scan runner.
+type Client struct {
+	c Caller
+}
+
+// NewClient wraps a proxy dialed at the scan object's export name.
+func NewClient(c Caller) *Client { return &Client{c: c} }
+
+func (c *Client) call(ctx context.Context, method string, args ...any) (string, error) {
+	var out string
+	if err := c.c.CallIntoCtx(ctx, &out, method, args...); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// Initialize is step 1.
+func (c *Client) Initialize(ctx context.Context) (string, error) {
+	return c.call(ctx, "InitializeScanAPI")
+}
+
+// Configure is step 2.
+func (c *Client) Configure(ctx context.Context, cfg ScanConfig) (string, error) {
+	return c.call(ctx, "ConfigureScanTech", cfg)
+}
+
+// Start is step 3: begin the survey pass.
+func (c *Client) Start(ctx context.Context) (string, error) {
+	return c.call(ctx, "StartScanTech")
+}
+
+// Tiles pages streamed tiles from sequence number from.
+func (c *Client) Tiles(ctx context.Context, from int) ([]Tile, error) {
+	var out []Tile
+	err := c.c.CallIntoCtx(ctx, &out, "GetScanTiles", from)
+	return out, err
+}
+
+// Steer re-targets the scan mid-stream.
+func (c *Client) Steer(ctx context.Context, r Region) (string, error) {
+	return c.call(ctx, "SteerScan", r)
+}
+
+// Finish closes the held acquisition.
+func (c *Client) Finish(ctx context.Context) (string, error) {
+	return c.call(ctx, "FinishScan")
+}
+
+// Busy reports whether an acquisition is open.
+func (c *Client) Busy(ctx context.Context) (bool, error) {
+	var out bool
+	err := c.c.CallIntoCtx(ctx, &out, "BusyScan")
+	return out, err
+}
+
+// Wait blocks until the scan closes and returns its summary.
+func (c *Client) Wait(ctx context.Context) (Result, error) {
+	var out Result
+	err := c.c.CallIntoCtx(ctx, &out, "GetScanPathRslt")
+	return out, err
+}
+
+// FileName returns the scan file name without waiting.
+func (c *Client) FileName(ctx context.Context) (string, error) {
+	return c.call(ctx, "GetScanFileName")
+}
+
+// Abort is the remote emergency stop.
+func (c *Client) Abort(ctx context.Context) (string, error) {
+	return c.call(ctx, "AbortScan")
+}
+
+// Status returns the device state line (includes "busy=").
+func (c *Client) Status(ctx context.Context) (string, error) {
+	return c.call(ctx, "StatusScan")
+}
+
+// Disconnect tears the instrument down.
+func (c *Client) Disconnect(ctx context.Context) (string, error) {
+	return c.call(ctx, "DisconnectScan")
+}
+
+// InjectFault installs or clears a device fault (chaos drills).
+func (c *Client) InjectFault(ctx context.Context, p FaultParams) (string, error) {
+	return c.call(ctx, "InjectScanFault", p)
+}
+
+// msToDuration converts wire milliseconds to a duration.
+func msToDuration(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}

@@ -1,0 +1,216 @@
+package microscope
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultMode selects a device-level failure behaviour, mirroring the
+// potentiostat fault taxonomy so the gateway's health supervisor sees
+// the same failure classes from both instrument families: a column
+// controller that stops scheduling commands, an acquisition that
+// wedges mid-stream, a drifting stage interface, a flaky detector bus.
+type FaultMode string
+
+const (
+	// FaultNone clears any injected fault.
+	FaultNone FaultMode = ""
+	// FaultHang blocks every gated command (including status reads)
+	// until the fault is cleared.
+	FaultHang FaultMode = "hang"
+	// FaultWedgeScan lets commands and status reads answer normally but
+	// stalls the tile stream at the next tile boundary: the scan
+	// reports busy forever and Wait never returns. Only Abort (the
+	// emergency-stop path, which bypasses fault gating) or clearing the
+	// fault unwedges it.
+	FaultWedgeScan FaultMode = "wedge-scan"
+	// FaultSlowDrift delays every gated command, the latency growing
+	// multiplicatively per call.
+	FaultSlowDrift FaultMode = "slow-drift"
+	// FaultErrorBurst fails the next Count gated commands with
+	// ErrInjected, then self-clears.
+	FaultErrorBurst FaultMode = "error-burst"
+)
+
+// ErrInjected is wrapped by errors produced by an error-burst fault.
+var ErrInjected = errors.New("microscope: injected device fault")
+
+// DeviceFault parameterises one injected fault.
+type DeviceFault struct {
+	// Mode selects the behaviour; FaultNone clears.
+	Mode FaultMode
+	// Count bounds an error-burst (default 3).
+	Count int
+	// Delay is slow-drift's initial per-command latency (default 10ms).
+	Delay time.Duration
+	// Growth multiplies the slow-drift delay per command (default 1.25).
+	Growth float64
+	// Seed drives slow-drift's deterministic jitter. 0 means seed 1.
+	Seed int64
+}
+
+// faultState has its own mutex — never the device mutex — so faults
+// can be injected, observed and cleared while a hung command blocks.
+type faultState struct {
+	mu      sync.Mutex
+	mode    FaultMode
+	cleared chan struct{}
+	count   int
+	delay   time.Duration
+	growth  float64
+	rng     uint64
+}
+
+func (f *faultState) set(spec DeviceFault) error {
+	switch spec.Mode {
+	case FaultNone, FaultHang, FaultWedgeScan, FaultSlowDrift, FaultErrorBurst:
+	default:
+		return fmt.Errorf("microscope: unknown fault mode %q", spec.Mode)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cleared != nil {
+		close(f.cleared)
+		f.cleared = nil
+	}
+	f.mode = spec.Mode
+	if spec.Mode == FaultNone {
+		return nil
+	}
+	f.cleared = make(chan struct{})
+	f.count = spec.Count
+	if f.count <= 0 {
+		f.count = 3
+	}
+	f.delay = spec.Delay
+	if f.delay <= 0 {
+		f.delay = 10 * time.Millisecond
+	}
+	f.growth = spec.Growth
+	if f.growth < 1 {
+		f.growth = 1.25
+	}
+	f.rng = uint64(spec.Seed)
+	if f.rng == 0 {
+		f.rng = 1
+	}
+	return nil
+}
+
+func (f *faultState) clearLocked() {
+	f.mode = FaultNone
+	if f.cleared != nil {
+		close(f.cleared)
+		f.cleared = nil
+	}
+}
+
+func (f *faultState) active() FaultMode {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mode
+}
+
+func (f *faultState) xorshift64() uint64 {
+	x := f.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	f.rng = x
+	return x
+}
+
+// admit gates one command: blocks for hang, sleeps for slow-drift,
+// errors for error-burst. Wedge-scan admits commands — its damage is
+// done in the tile stream via wedgeGate.
+func (f *faultState) admit(op string) error {
+	f.mu.Lock()
+	switch f.mode {
+	case FaultHang:
+		cleared := f.cleared
+		f.mu.Unlock()
+		<-cleared
+		return nil
+	case FaultSlowDrift:
+		delay := f.delay
+		jitter := 0.75 + 0.5*float64(f.xorshift64()>>11)/float64(1<<53)
+		f.delay = time.Duration(float64(f.delay) * f.growth)
+		f.mu.Unlock()
+		time.Sleep(time.Duration(float64(delay) * jitter))
+		return nil
+	case FaultErrorBurst:
+		f.count--
+		if f.count <= 0 {
+			f.clearLocked()
+		}
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrInjected, op)
+	default:
+		f.mu.Unlock()
+		return nil
+	}
+}
+
+// admitVoid gates commands that cannot report an error (Status, Busy):
+// hang still blocks and slow-drift still sleeps, but error-burst
+// passes.
+func (f *faultState) admitVoid() {
+	f.mu.Lock()
+	switch f.mode {
+	case FaultHang:
+		cleared := f.cleared
+		f.mu.Unlock()
+		<-cleared
+	case FaultSlowDrift:
+		delay := f.delay
+		f.mu.Unlock()
+		time.Sleep(delay)
+	default:
+		f.mu.Unlock()
+	}
+}
+
+// wedgeGate returns a channel to block on before streaming the next
+// tile while a wedge-scan (or hang) fault is active, nil otherwise.
+func (f *faultState) wedgeGate() <-chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mode == FaultWedgeScan || f.mode == FaultHang {
+		return f.cleared
+	}
+	return nil
+}
+
+// InjectFault installs (or, with FaultNone, clears) a device-level
+// fault. Safe at any moment, including while a previous fault has
+// commands blocked — the old fault is released first.
+func (s *Scanner) InjectFault(spec DeviceFault) error {
+	if err := s.faults.set(spec); err != nil {
+		return err
+	}
+	if spec.Mode != FaultNone {
+		s.mu.Lock()
+		s.logf("FAULT INJECTED: %s", spec.Mode)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// ClearFault removes any injected fault, releasing blocked commands
+// and wedged scans.
+func (s *Scanner) ClearFault() {
+	s.faults.mu.Lock()
+	wasActive := s.faults.mode != FaultNone
+	s.faults.clearLocked()
+	s.faults.mu.Unlock()
+	if wasActive {
+		s.mu.Lock()
+		s.logf("FAULT CLEARED")
+		s.mu.Unlock()
+	}
+}
+
+// ActiveFault reports the injected fault mode (FaultNone when healthy).
+func (s *Scanner) ActiveFault() FaultMode { return s.faults.active() }

@@ -1,0 +1,322 @@
+package microscope
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newTestScanner(t *testing.T) *Scanner {
+	t.Helper()
+	s := NewScanner("scan1", NewSpecimen(42), t.TempDir())
+	s.SetTimeScale(0) // no pacing in tests
+	return s
+}
+
+func startScan(t *testing.T, s *Scanner, cfg ScanConfig) {
+	t.Helper()
+	if err := s.Initialize(); err != nil {
+		t.Fatalf("Initialize: %v", err)
+	}
+	if err := s.Configure(cfg); err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+}
+
+func waitTiles(t *testing.T, s *Scanner, n int) []Tile {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tiles, err := s.Tiles(0)
+		if err != nil {
+			t.Fatalf("Tiles: %v", err)
+		}
+		if len(tiles) >= n {
+			return tiles
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d tiles, have %d", n, len(tiles))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSurveyScanFinish(t *testing.T) {
+	s := newTestScanner(t)
+	startScan(t, s, ScanConfig{TilesX: 4, TilesY: 4})
+	tiles := waitTiles(t, s, 16)
+	if len(tiles) != 16 {
+		t.Fatalf("want 16 tiles, got %d", len(tiles))
+	}
+	// Pass completed but the acquisition holds open until the client
+	// decides — that hold is what makes steering race-free.
+	if !s.Busy() {
+		t.Fatal("scan should hold busy after the survey pass")
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	res, err := s.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res.Tiles != 16 || res.Passes != 1 || res.Steers != 0 || res.Aborted {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if s.Busy() {
+		t.Fatal("scan still busy after close")
+	}
+	// Tile sequence numbers are the paging cursor.
+	for i, tile := range tiles {
+		if tile.Seq != i {
+			t.Fatalf("tile %d has seq %d", i, tile.Seq)
+		}
+	}
+}
+
+func TestSteerZoomsOntoFeature(t *testing.T) {
+	s := newTestScanner(t)
+	startScan(t, s, ScanConfig{TilesX: 8, TilesY: 8})
+	tiles := waitTiles(t, s, 64)
+
+	steer := &OnlineSteering{MinScore: 0.01}
+	for _, tile := range tiles {
+		steer.Observe(tile)
+	}
+	dec := steer.Decide(FullField)
+	if !dec.Zoom {
+		t.Fatalf("classifier found nothing to zoom on: %+v", dec)
+	}
+	// The zoom window must contain the specimen's brightest feature.
+	fx, fy := s.Specimen().BrightestFeature()
+	r := dec.Region
+	if fx < r.X || fx > r.X+r.W || fy < r.Y || fy > r.Y+r.H {
+		t.Fatalf("zoom region %+v misses brightest feature (%.3f, %.3f)", r, fx, fy)
+	}
+
+	if err := s.Steer(r); err != nil {
+		t.Fatalf("Steer: %v", err)
+	}
+	waitTiles(t, s, 128) // second pass rasters 64 more tiles
+	if err := s.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	res, err := s.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res.Passes != 2 || res.Steers != 1 || res.Tiles != 128 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	// Zoom tiles must image the zoom window, not the survey.
+	zoom := waitTiles(t, s, 128)[64:]
+	for _, tile := range zoom {
+		if tile.Pass != 1 {
+			t.Fatalf("zoom tile on pass %d", tile.Pass)
+		}
+		if tile.Region.X < r.X-1e-9 || tile.Region.X+tile.Region.W > r.X+r.W+1e-9 {
+			t.Fatalf("zoom tile %+v outside steered region %+v", tile.Region, r)
+		}
+	}
+}
+
+func TestSteerMidPassPreempts(t *testing.T) {
+	s := NewScanner("scan1", NewSpecimen(7), t.TempDir())
+	s.SetTimeScale(200) // pace tiles so the steer lands mid-pass
+	startScan(t, s, ScanConfig{TilesX: 8, TilesY: 8, PixelsPerTile: 16, DwellUS: 5})
+	waitTiles(t, s, 4)
+	if err := s.Steer(Region{X: 0.25, Y: 0.25, W: 0.5, H: 0.5}); err != nil {
+		t.Fatalf("Steer: %v", err)
+	}
+	s.SetTimeScale(0)
+	waitTiles(t, s, 8) // new pass streaming
+	if err := s.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	res, err := s.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res.Steers != 1 || res.Passes != 2 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	// The pre-empted survey pass must have fewer than 64 tiles.
+	tiles, _ := s.Tiles(0)
+	surveyTiles := 0
+	for _, tile := range tiles {
+		if tile.Pass == 0 {
+			surveyTiles++
+		}
+	}
+	if surveyTiles >= 64 {
+		t.Fatalf("steer did not pre-empt the pass: %d survey tiles", surveyTiles)
+	}
+}
+
+func TestAbortMidScan(t *testing.T) {
+	s := NewScanner("scan1", NewSpecimen(3), t.TempDir())
+	s.SetTimeScale(500)
+	startScan(t, s, ScanConfig{TilesX: 8, TilesY: 8})
+	waitTiles(t, s, 1)
+	if err := s.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	if _, err := s.Wait(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Wait after abort: %v", err)
+	}
+	if s.Busy() {
+		t.Fatal("busy after abort")
+	}
+}
+
+func TestScanFileRecordsRun(t *testing.T) {
+	dir := t.TempDir()
+	s := NewScanner("scan1", NewSpecimen(42), dir)
+	s.SetTimeScale(0)
+	startScan(t, s, ScanConfig{TilesX: 2, TilesY: 2})
+	waitTiles(t, s, 4)
+	if err := s.Steer(Region{X: 0.4, Y: 0.4, W: 0.2, H: 0.2}); err != nil {
+		t.Fatalf("Steer: %v", err)
+	}
+	waitTiles(t, s, 8)
+	if err := s.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if _, err := s.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	name, err := s.FileName()
+	if err != nil {
+		t.Fatalf("FileName: %v", err)
+	}
+	if name != "STEM_scan1_run001.jsonl" {
+		t.Fatalf("unexpected file name %q", name)
+	}
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatalf("open scan file: %v", err)
+	}
+	defer f.Close()
+	counts := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var line struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad scan line %q: %v", sc.Text(), err)
+		}
+		counts[line.Type]++
+	}
+	if counts["header"] != 1 || counts["tile"] != 8 || counts["steer"] != 1 || counts["end"] != 1 {
+		t.Fatalf("unexpected line counts %v", counts)
+	}
+}
+
+func TestDeterministicTiles(t *testing.T) {
+	run := func() []Tile {
+		s := newTestScanner(t)
+		startScan(t, s, ScanConfig{TilesX: 4, TilesY: 4})
+		tiles := waitTiles(t, s, 16)
+		s.Finish() //nolint:errcheck
+		s.Wait()   //nolint:errcheck
+		return tiles
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tile %d differs between identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultHangBlocksStatusUntilCleared(t *testing.T) {
+	s := newTestScanner(t)
+	if err := s.InjectFault(DeviceFault{Mode: FaultHang}); err != nil {
+		t.Fatalf("InjectFault: %v", err)
+	}
+	done := make(chan string, 1)
+	go func() { done <- s.Status() }()
+	select {
+	case st := <-done:
+		t.Fatalf("Status answered under hang: %q", st)
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.ClearFault()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Status still blocked after fault cleared")
+	}
+}
+
+func TestFaultWedgeScanAbortReleases(t *testing.T) {
+	s := newTestScanner(t)
+	startScan(t, s, ScanConfig{TilesX: 4, TilesY: 4})
+	if err := s.InjectFault(DeviceFault{Mode: FaultWedgeScan}); err != nil {
+		t.Fatalf("InjectFault: %v", err)
+	}
+	// Status keeps answering through a wedge (that is what makes it
+	// hard to detect without deadlines)...
+	if st := s.Status(); st == "" {
+		t.Fatal("empty status")
+	}
+	// ...but the stream stalls; only Abort (bypassing fault gating)
+	// releases the scan.
+	if err := s.Abort(); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	waited := make(chan error, 1)
+	go func() { _, err := s.Wait(); waited <- err }()
+	select {
+	case err := <-waited:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("Wait: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abort did not release wedged scan")
+	}
+}
+
+func TestFaultErrorBurstSelfClears(t *testing.T) {
+	s := newTestScanner(t)
+	if err := s.InjectFault(DeviceFault{Mode: FaultErrorBurst, Count: 2}); err != nil {
+		t.Fatalf("InjectFault: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Initialize(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	if err := s.Initialize(); err != nil {
+		t.Fatalf("burst did not self-clear: %v", err)
+	}
+	if s.ActiveFault() != FaultNone {
+		t.Fatalf("fault still active: %s", s.ActiveFault())
+	}
+}
+
+func TestSteerValidation(t *testing.T) {
+	s := newTestScanner(t)
+	startScan(t, s, ScanConfig{TilesX: 2, TilesY: 2})
+	waitTiles(t, s, 4)
+	if err := s.Steer(Region{X: 0, Y: 0, W: -1, H: 1}); err == nil {
+		t.Fatal("invalid steer region accepted")
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if _, err := s.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if err := s.Steer(FullField); !errors.Is(err, ErrNotScanning) {
+		t.Fatalf("steer on closed scan: %v", err)
+	}
+}

@@ -1,0 +1,90 @@
+package microscope
+
+// Tile-quality scoring and online steering: the client-side half of
+// the survey → classify → zoom loop from the autonomous-microscopy
+// companion paper. The survey pass streams coarse tiles; the
+// classifier scores each as it arrives; once the pass completes, the
+// steering policy zooms the scan onto the best-scoring structure.
+
+// TileScore ranks a tile's interestingness: contrast-weighted
+// brightness. Flat background tiles (low variance, near-baseline mean)
+// score near zero; tiles containing a feature edge or peak score high.
+func TileScore(t Tile) float64 {
+	score := (t.Max - t.Mean) + 4*t.Var
+	if score < 0 {
+		return 0
+	}
+	return score
+}
+
+// SteerDecision is the steering policy's verdict after a survey pass.
+type SteerDecision struct {
+	// Zoom reports whether any tile cleared the threshold.
+	Zoom bool `json:"zoom"`
+	// Region is the zoom window (centered on the best tile, sized by
+	// ZoomFactor), valid when Zoom is true.
+	Region Region `json:"region"`
+	// BestSeq and BestScore identify the winning tile.
+	BestSeq   int     `json:"best_seq"`
+	BestScore float64 `json:"best_score"`
+}
+
+// OnlineSteering accumulates streamed tiles and decides where to zoom.
+// It is deliberately incremental — Observe costs O(1) per tile — so
+// the decision is ready the moment the survey pass ends, keeping
+// steering latency off the scan critical path (the same collapse the
+// streaming-CV classifier achieves for echem).
+type OnlineSteering struct {
+	// MinScore is the steering threshold: below it the specimen is
+	// considered featureless and the scan finishes after the survey.
+	MinScore float64
+	// ZoomFactor shrinks the window per steer (default 4 → the zoom
+	// region is 1/4 the survey extent per axis).
+	ZoomFactor float64
+
+	best    Tile
+	bestSet bool
+	score   float64
+	seen    int
+}
+
+// Observe scores one streamed tile.
+func (o *OnlineSteering) Observe(t Tile) {
+	o.seen++
+	s := TileScore(t)
+	if !o.bestSet || s > o.score {
+		o.best, o.score, o.bestSet = t, s, true
+	}
+}
+
+// Seen reports how many tiles have been observed.
+func (o *OnlineSteering) Seen() int { return o.seen }
+
+// Decide returns the steering verdict over everything observed so far.
+func (o *OnlineSteering) Decide(survey Region) SteerDecision {
+	if !o.bestSet || o.score < o.MinScore {
+		return SteerDecision{}
+	}
+	zf := o.ZoomFactor
+	if zf <= 1 {
+		zf = 4
+	}
+	w, h := survey.W/zf, survey.H/zf
+	cx := o.best.Region.X + o.best.Region.W/2
+	cy := o.best.Region.Y + o.best.Region.H/2
+	r := Region{X: cx - w/2, Y: cy - h/2, W: w, H: h}
+	// Clamp into the survey window so the stage never over-travels.
+	if r.X < survey.X {
+		r.X = survey.X
+	}
+	if r.Y < survey.Y {
+		r.Y = survey.Y
+	}
+	if r.X+r.W > survey.X+survey.W {
+		r.X = survey.X + survey.W - r.W
+	}
+	if r.Y+r.H > survey.Y+survey.H {
+		r.Y = survey.Y + survey.H - r.H
+	}
+	return SteerDecision{Zoom: true, Region: r, BestSeq: o.best.Seq, BestScore: o.score}
+}

@@ -1,0 +1,670 @@
+package microscope
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Region is a scan window in specimen coordinates (unit square).
+type Region struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	W float64 `json:"w"`
+	H float64 `json:"h"`
+}
+
+// Valid reports whether the region has positive extent and stays
+// within sane bounds (a little slack outside the unit square is fine —
+// the stage clamps, the specimen just images background).
+func (r Region) Valid() bool {
+	return r.W > 0 && r.H > 0 && r.W <= 2 && r.H <= 2 &&
+		r.X >= -0.5 && r.Y >= -0.5 && r.X+r.W <= 1.5 && r.Y+r.H <= 1.5
+}
+
+// FullField is the survey region: the whole specimen.
+var FullField = Region{X: 0, Y: 0, W: 1, H: 1}
+
+// ScanConfig parameterises one scan technique: the starting window,
+// the raster tiling, and the per-pixel dwell that sets acquisition
+// pacing.
+type ScanConfig struct {
+	// Region is the initial (survey) window; zero value means FullField.
+	Region Region `json:"region"`
+	// TilesX and TilesY set the raster grid (defaults 8×8, max 64).
+	TilesX int `json:"tiles_x"`
+	TilesY int `json:"tiles_y"`
+	// PixelsPerTile is the per-axis pixel count within a tile
+	// (default 16, max 256); it scales both signal statistics and
+	// dwell time.
+	PixelsPerTile int `json:"pixels_per_tile"`
+	// DwellUS is the per-pixel dwell in microseconds of experiment
+	// time (default 5). Wall-clock pacing is DwellUS × pixels ×
+	// TimeScale.
+	DwellUS float64 `json:"dwell_us"`
+}
+
+// Normalized returns a copy of the config with defaults applied, or
+// an error when a field is out of range — the same pass the scanner
+// itself runs at ConfigureScanTech, so a caller can predict the pass
+// geometry (TilesX × TilesY) before starting the raster.
+func (c ScanConfig) Normalized() (ScanConfig, error) {
+	if err := c.normalize(); err != nil {
+		return ScanConfig{}, err
+	}
+	return c, nil
+}
+
+func (c *ScanConfig) normalize() error {
+	if c.Region == (Region{}) {
+		c.Region = FullField
+	}
+	if !c.Region.Valid() {
+		return fmt.Errorf("microscope: invalid scan region %+v", c.Region)
+	}
+	if c.TilesX == 0 {
+		c.TilesX = 8
+	}
+	if c.TilesY == 0 {
+		c.TilesY = 8
+	}
+	if c.TilesX < 1 || c.TilesX > 64 || c.TilesY < 1 || c.TilesY > 64 {
+		return fmt.Errorf("microscope: tile grid %dx%d out of range [1,64]", c.TilesX, c.TilesY)
+	}
+	if c.PixelsPerTile == 0 {
+		c.PixelsPerTile = 16
+	}
+	if c.PixelsPerTile < 1 || c.PixelsPerTile > 256 {
+		return fmt.Errorf("microscope: pixels_per_tile %d out of range [1,256]", c.PixelsPerTile)
+	}
+	if c.DwellUS == 0 {
+		c.DwellUS = 5
+	}
+	if c.DwellUS < 0 || c.DwellUS > 1e6 || math.IsNaN(c.DwellUS) {
+		return fmt.Errorf("microscope: dwell %v out of range", c.DwellUS)
+	}
+	return nil
+}
+
+// Tile is one acquired raster cell: its position in the pass grid, its
+// window in specimen coordinates, and the detector statistics the
+// online classifier scores.
+type Tile struct {
+	// Seq is the global tile sequence number across passes — the cursor
+	// GetScanTiles pages on.
+	Seq int `json:"seq"`
+	// Pass is the scan pass this tile belongs to (0 = survey).
+	Pass int `json:"pass"`
+	// IX, IY locate the tile in the pass grid.
+	IX int `json:"ix"`
+	IY int `json:"iy"`
+	// Region is the tile's own window.
+	Region Region `json:"region"`
+	// Mean, Max and Var are the tile's intensity statistics.
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+	Var  float64 `json:"var"`
+}
+
+// Result summarises a completed scan.
+type Result struct {
+	// File is the scan file name on the data channel.
+	File string `json:"file"`
+	// Tiles is the total tile count across passes.
+	Tiles int `json:"tiles"`
+	// Passes is how many raster passes ran (1 = survey only).
+	Passes int `json:"passes"`
+	// Steers is how many steering commands re-targeted the scan.
+	Steers int `json:"steers"`
+	// Aborted reports an emergency stop.
+	Aborted bool `json:"aborted"`
+}
+
+type scanState int
+
+const (
+	stateIdle scanState = iota
+	stateReady
+	stateConfigured
+	stateScanning
+	stateDisconnected
+)
+
+func (s scanState) String() string {
+	switch s {
+	case stateIdle:
+		return "idle"
+	case stateReady:
+		return "ready"
+	case stateConfigured:
+		return "configured"
+	case stateScanning:
+		return "scanning"
+	case stateDisconnected:
+		return "disconnected"
+	}
+	return "unknown"
+}
+
+// ErrAborted reports an emergency-stopped scan. The message keeps the
+// potentiostat's "acquisition aborted" phrasing so the health
+// supervisor's text-based classifier attributes a fenced scan to the
+// instrument, exactly as it does a fenced CV.
+var ErrAborted = errors.New("microscope: scan acquisition aborted")
+
+// ErrNotScanning reports a command that needs an active scan.
+var ErrNotScanning = errors.New("microscope: no scan in progress")
+
+// Scanner is the STEM-style instrument: a raster scanner over a
+// Specimen. A scan is pass-based — Start rasters the configured
+// region (the survey pass); when a pass completes the acquisition
+// stays OPEN (Busy remains true) so a steering client can inspect the
+// streamed tiles and either Steer (re-target and raster a new region,
+// taking effect mid-pass at the next tile boundary if issued early) or
+// Finish (close the acquisition). This deliberate hold is what makes
+// the survey → classify → zoom loop race-free: the instrument never
+// unilaterally decides the experiment is over.
+type Scanner struct {
+	mu        sync.Mutex
+	name      string
+	spec      *Specimen
+	dir       string
+	timeScale float64
+
+	state  scanState
+	cfg    ScanConfig
+	runID  int
+	file   string
+	events []string
+
+	// Active-scan fields, reset each Start.
+	tiles    []Tile
+	passes   int
+	steers   int
+	steerReq *Region
+	finish   bool
+	aborted  bool
+	notify   chan struct{} // buffered(1) kick for the scan goroutine
+	abortCh  chan struct{} // closed on Abort — bypasses fault gating
+	done     chan struct{} // closed when the scan goroutine exits
+	result   Result
+	runErr   error
+
+	faults faultState
+}
+
+// NewScanner builds a scanner imaging the given specimen, writing scan
+// files into dir.
+func NewScanner(name string, spec *Specimen, dir string) *Scanner {
+	if spec == nil {
+		spec = NewSpecimen(1)
+	}
+	return &Scanner{name: name, spec: spec, dir: dir, timeScale: 1}
+}
+
+// SetTimeScale multiplies experiment time for acquisition pacing
+// (0 disables pacing entirely, for tests).
+func (s *Scanner) SetTimeScale(scale float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.timeScale = scale
+}
+
+// Specimen returns the mounted specimen.
+func (s *Scanner) Specimen() *Specimen { return s.spec }
+
+func (s *Scanner) logf(format string, args ...any) {
+	s.events = append(s.events, fmt.Sprintf(format, args...))
+}
+
+// EventLog returns a copy of the command journal, for exactly-once
+// assertions in tests.
+func (s *Scanner) EventLog() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Initialize powers up the column (step 1 of the scan workflow).
+func (s *Scanner) Initialize() error {
+	if err := s.faults.admit("Initialize"); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == stateScanning {
+		return errors.New("microscope: cannot initialize while scanning")
+	}
+	s.state = stateReady
+	s.logf("INITIALIZE")
+	return nil
+}
+
+// Configure installs a scan technique (step 2).
+func (s *Scanner) Configure(cfg ScanConfig) error {
+	if err := s.faults.admit("Configure"); err != nil {
+		return err
+	}
+	if err := cfg.normalize(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == stateIdle || s.state == stateDisconnected {
+		return errors.New("microscope: configure before initialize")
+	}
+	if s.state == stateScanning {
+		return errors.New("microscope: cannot reconfigure while scanning")
+	}
+	s.cfg = cfg
+	s.state = stateConfigured
+	s.logf("CONFIGURE region=%.3f,%.3f+%.3fx%.3f grid=%dx%d", cfg.Region.X, cfg.Region.Y, cfg.Region.W, cfg.Region.H, cfg.TilesX, cfg.TilesY)
+	return nil
+}
+
+// Start begins the survey pass (step 3). The scan file is named and
+// created before the first tile flushes, so a streaming client can
+// begin tailing it immediately.
+func (s *Scanner) Start() error {
+	if err := s.faults.admit("Start"); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.state != stateConfigured {
+		st := s.state
+		s.mu.Unlock()
+		return fmt.Errorf("microscope: start from state %s", st)
+	}
+	s.runID++
+	s.file = fmt.Sprintf("STEM_%s_run%03d.jsonl", s.name, s.runID)
+	s.tiles = nil
+	s.passes = 0
+	s.steers = 0
+	s.steerReq = nil
+	s.finish = false
+	s.aborted = false
+	s.notify = make(chan struct{}, 1)
+	s.abortCh = make(chan struct{})
+	s.done = make(chan struct{})
+	s.result = Result{}
+	s.runErr = nil
+	s.state = stateScanning
+	s.logf("START run=%03d", s.runID)
+	cfg := s.cfg
+	file := filepath.Join(s.dir, s.file)
+	done := s.done
+	s.mu.Unlock()
+
+	go s.run(cfg, file, done)
+	return nil
+}
+
+// Steer re-targets the scan onto a new region. If the current pass is
+// still rastering, the change takes effect at the next tile boundary
+// (remaining tiles of the old pass are skipped); if the pass has
+// completed and the acquisition is holding, a new pass starts
+// immediately.
+func (s *Scanner) Steer(r Region) error {
+	if err := s.faults.admit("Steer"); err != nil {
+		return err
+	}
+	if !r.Valid() {
+		return fmt.Errorf("microscope: invalid steer region %+v", r)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateScanning || s.finish || s.aborted {
+		return ErrNotScanning
+	}
+	rr := r
+	s.steerReq = &rr
+	s.logf("STEER region=%.3f,%.3f+%.3fx%.3f", r.X, r.Y, r.W, r.H)
+	s.kickLocked()
+	return nil
+}
+
+// Finish closes the acquisition after the current pass completes
+// (immediately, if it is already holding).
+func (s *Scanner) Finish() error {
+	if err := s.faults.admit("Finish"); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateScanning || s.aborted {
+		return ErrNotScanning
+	}
+	if !s.finish {
+		s.finish = true
+		s.logf("FINISH")
+	}
+	s.kickLocked()
+	return nil
+}
+
+// Abort is the emergency stop: it cancels the scan immediately, at any
+// point, BYPASSING fault gating — a hung or wedged scanner must still
+// honour the fence.
+func (s *Scanner) Abort() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateScanning {
+		return ErrNotScanning
+	}
+	if !s.aborted {
+		s.aborted = true
+		close(s.abortCh)
+		s.logf("ABORT")
+	}
+	s.kickLocked()
+	return nil
+}
+
+func (s *Scanner) kickLocked() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Busy reports whether an acquisition is open (scanning or holding).
+// Like a status register, it keeps answering through error-burst
+// faults but blocks under hang.
+func (s *Scanner) Busy() bool {
+	s.faults.admitVoid()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == stateScanning
+}
+
+// Status returns the device state line (includes "busy=" for the
+// health prober's recovery check).
+func (s *Scanner) Status() string {
+	s.faults.admitVoid()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	busy := 0
+	if s.state == stateScanning {
+		busy = 1
+	}
+	return fmt.Sprintf("STEM %s state=%s busy=%d tiles=%d passes=%d steers=%d", s.name, s.state, busy, len(s.tiles), s.passes, s.steers)
+}
+
+// Tiles returns the tiles streamed so far with Seq >= from — the
+// paging read the steering client polls.
+func (s *Scanner) Tiles(from int) ([]Tile, error) {
+	if err := s.faults.admit("Tiles"); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(s.tiles) {
+		return nil, nil
+	}
+	out := make([]Tile, len(s.tiles)-from)
+	copy(out, s.tiles[from:])
+	return out, nil
+}
+
+// Wait blocks until the scan closes and returns its result. An
+// aborted scan returns ErrAborted.
+func (s *Scanner) Wait() (Result, error) {
+	s.mu.Lock()
+	if s.done == nil {
+		s.mu.Unlock()
+		return Result{}, ErrNotScanning
+	}
+	done := s.done
+	s.mu.Unlock()
+	<-done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.result, s.runErr
+}
+
+// FileName returns the scan file name of the current (or last) run.
+func (s *Scanner) FileName() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == "" {
+		return "", errors.New("microscope: no scan file yet")
+	}
+	return s.file, nil
+}
+
+// Disconnect tears the instrument down (aborting any open scan).
+func (s *Scanner) Disconnect() error {
+	s.mu.Lock()
+	scanning := s.state == stateScanning
+	s.mu.Unlock()
+	if scanning {
+		_ = s.Abort()
+		s.Wait() //nolint:errcheck // abort error is the point
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = stateDisconnected
+	s.logf("DISCONNECT")
+	return nil
+}
+
+// scanLine is one JSONL record of the scan file.
+type scanLine struct {
+	Type   string      `json:"type"` // header | tile | steer | end | abort
+	Name   string      `json:"name,omitempty"`
+	Seed   int64       `json:"seed,omitempty"`
+	Config *ScanConfig `json:"config,omitempty"`
+	Tile   *Tile       `json:"tile,omitempty"`
+	Region *Region     `json:"region,omitempty"`
+	Pass   int         `json:"pass,omitempty"`
+	Tiles  int         `json:"tiles,omitempty"`
+	Passes int         `json:"passes,omitempty"`
+	Steers int         `json:"steers,omitempty"`
+}
+
+// run is the acquisition goroutine: raster passes over the current
+// region until finish or abort.
+func (s *Scanner) run(cfg ScanConfig, path string, done chan struct{}) {
+	defer close(done)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		s.mu.Lock()
+		s.runErr = fmt.Errorf("microscope: open scan file: %w", err)
+		s.state = stateConfigured
+		s.mu.Unlock()
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.Encode(scanLine{Type: "header", Name: s.name, Seed: s.spec.Seed(), Config: &cfg}) //nolint:errcheck
+
+	region := cfg.Region
+	pass := 0
+	tileDur := s.tileDuration(cfg)
+	for {
+		steered := s.rasterPass(enc, cfg, region, pass, tileDur)
+		pass++
+		s.mu.Lock()
+		s.passes = pass
+		s.mu.Unlock()
+		if s.aborted2() {
+			enc.Encode(scanLine{Type: "abort", Pass: pass}) //nolint:errcheck
+			s.endRun(true)
+			return
+		}
+		if steered == nil {
+			// Pass completed with no pending steer: hold the acquisition
+			// open until the client decides (steer, finish, or abort).
+			if next := s.holdForCommand(); next != nil {
+				steered = next
+			} else {
+				if s.aborted2() {
+					enc.Encode(scanLine{Type: "abort", Pass: pass}) //nolint:errcheck
+				} else {
+					s.mu.Lock()
+					enc.Encode(scanLine{Type: "end", Tiles: len(s.tiles), Passes: s.passes, Steers: s.steers}) //nolint:errcheck
+					s.mu.Unlock()
+				}
+				s.endRun(s.aborted2())
+				return
+			}
+		}
+		region = *steered
+		s.mu.Lock()
+		s.steers++
+		s.mu.Unlock()
+		enc.Encode(scanLine{Type: "steer", Region: steered, Pass: pass}) //nolint:errcheck
+	}
+}
+
+// rasterPass scans one region tile by tile. It returns a non-nil
+// region if a steer command pre-empted the pass, nil if the pass ran
+// to completion (or was finished/aborted).
+func (s *Scanner) rasterPass(enc *json.Encoder, cfg ScanConfig, region Region, pass int, tileDur time.Duration) *Region {
+	for iy := 0; iy < cfg.TilesY; iy++ {
+		for ix := 0; ix < cfg.TilesX; ix++ {
+			// Fault gating at the tile boundary: wedge-busy (and hang)
+			// stall the stream here; only Abort or fault-clear releases.
+			if gate := s.faults.wedgeGate(); gate != nil {
+				select {
+				case <-gate:
+				case <-s.abortCh:
+					return nil
+				}
+			}
+			s.mu.Lock()
+			if s.aborted || s.finish {
+				s.mu.Unlock()
+				return nil
+			}
+			if s.steerReq != nil {
+				r := *s.steerReq
+				s.steerReq = nil
+				s.mu.Unlock()
+				return &r
+			}
+			s.mu.Unlock()
+			if tileDur > 0 {
+				select {
+				case <-time.After(tileDur):
+				case <-s.abortCh:
+					return nil
+				}
+			}
+			t := s.acquireTile(cfg, region, pass, ix, iy)
+			s.mu.Lock()
+			t.Seq = len(s.tiles)
+			s.tiles = append(s.tiles, t)
+			s.mu.Unlock()
+			enc.Encode(scanLine{Type: "tile", Tile: &t}) //nolint:errcheck
+		}
+	}
+	// Pass complete; a steer issued during the last tile still applies.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.steerReq != nil {
+		r := *s.steerReq
+		s.steerReq = nil
+		return &r
+	}
+	return nil
+}
+
+// holdForCommand blocks between passes until the client steers,
+// finishes or aborts; returns the steer region or nil to close.
+func (s *Scanner) holdForCommand() *Region {
+	for {
+		s.mu.Lock()
+		if s.aborted || s.finish {
+			s.mu.Unlock()
+			return nil
+		}
+		if s.steerReq != nil {
+			r := *s.steerReq
+			s.steerReq = nil
+			s.mu.Unlock()
+			return &r
+		}
+		notify := s.notify
+		s.mu.Unlock()
+		select {
+		case <-notify:
+		case <-s.abortCh:
+		}
+	}
+}
+
+func (s *Scanner) aborted2() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aborted
+}
+
+// endRun records the result and returns the device to the configured
+// state, ready for the next Start.
+func (s *Scanner) endRun(aborted bool) {
+	s.mu.Lock()
+	s.result = Result{File: s.file, Tiles: len(s.tiles), Passes: s.passes, Steers: s.steers, Aborted: aborted}
+	if aborted {
+		s.runErr = ErrAborted
+	}
+	s.state = stateConfigured
+	s.mu.Unlock()
+}
+
+// tileDuration converts dwell × pixels into wall-clock pacing.
+func (s *Scanner) tileDuration(cfg ScanConfig) time.Duration {
+	s.mu.Lock()
+	scale := s.timeScale
+	s.mu.Unlock()
+	if scale <= 0 {
+		return 0
+	}
+	pixels := float64(cfg.PixelsPerTile * cfg.PixelsPerTile)
+	return time.Duration(cfg.DwellUS * pixels * scale * float64(time.Microsecond))
+}
+
+// acquireTile samples the specimen across the tile window and reduces
+// to detector statistics, with deterministic per-tile shot noise.
+func (s *Scanner) acquireTile(cfg ScanConfig, region Region, pass, ix, iy int) Tile {
+	tw := region.W / float64(cfg.TilesX)
+	th := region.H / float64(cfg.TilesY)
+	tr := Region{X: region.X + float64(ix)*tw, Y: region.Y + float64(iy)*th, W: tw, H: th}
+	n := cfg.PixelsPerTile
+	if n > 16 {
+		n = 16 // statistics converge; no need to sample every pixel
+	}
+	rng := uint64(s.spec.Seed())<<20 ^ uint64(pass)<<16 ^ uint64(iy)<<8 ^ uint64(ix) ^ 0x9e3779b9
+	noise := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return (float64(rng%1_000_000)/1_000_000 - 0.5) * 0.01
+	}
+	var sum, sumSq, max float64
+	for py := 0; py < n; py++ {
+		for px := 0; px < n; px++ {
+			x := tr.X + (float64(px)+0.5)/float64(n)*tr.W
+			y := tr.Y + (float64(py)+0.5)/float64(n)*tr.H
+			v := s.spec.Intensity(x, y) + noise()
+			sum += v
+			sumSq += v * v
+			if v > max {
+				max = v
+			}
+		}
+	}
+	cnt := float64(n * n)
+	mean := sum / cnt
+	return Tile{Pass: pass, IX: ix, IY: iy, Region: tr, Mean: mean, Max: max, Var: sumSq/cnt - mean*mean}
+}

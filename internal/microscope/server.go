@@ -1,0 +1,145 @@
+package microscope
+
+import "fmt"
+
+// ScanObject is the conventional pyro export name for a scan
+// instrument; lab configs may override it per device.
+const ScanObject = "stem"
+
+// NonIdempotentScanMethods are the scan commands whose retry must not
+// re-execute: each advances the acquisition state machine (a retried
+// StartScanTech would double-expose the specimen; a retried SteerScan
+// would raster an extra pass).
+var NonIdempotentScanMethods = []string{
+	"StartScanTech", "SteerScan", "FinishScan",
+}
+
+// ScanNoJournalMethods are the chatty scan reads excluded from the
+// audit journal, mirroring the potentiostat's status exclusions.
+var ScanNoJournalMethods = []string{
+	"BusyScan", "StatusScan", "GetScanTiles",
+}
+
+// Server is the Pyro server object wrapping a Scanner — the scan-side
+// ACL_Server. Its method names follow the SP200 pipeline convention
+// (InitializeScanAPI … GetScanPathRslt) so the workflow layers treat
+// both instrument families uniformly.
+type Server struct {
+	dev *Scanner
+}
+
+// NewServer wraps a scanner for registration on a pyro daemon.
+func NewServer(dev *Scanner) *Server { return &Server{dev: dev} }
+
+// Device returns the wrapped scanner (fault injection in drills).
+func (s *Server) Device() *Scanner { return s.dev }
+
+// InitializeScanAPI is step 1: power up the column.
+func (s *Server) InitializeScanAPI() (string, error) {
+	if err := s.dev.Initialize(); err != nil {
+		return "", err
+	}
+	return "Scan API initialization is done", nil
+}
+
+// ConfigureScanTech is step 2: install the scan technique.
+func (s *Server) ConfigureScanTech(cfg ScanConfig) (string, error) {
+	if err := s.dev.Configure(cfg); err != nil {
+		return "", err
+	}
+	return "Scan technique is configured", nil
+}
+
+// StartScanTech is step 3: begin the survey pass. The scan file is
+// named before the first tile flushes.
+func (s *Server) StartScanTech() (string, error) {
+	if err := s.dev.Start(); err != nil {
+		return "", err
+	}
+	return "Scan is activated", nil
+}
+
+// GetScanTiles pages the streamed tiles from sequence number from —
+// the read the steering client polls while the scan runs.
+func (s *Server) GetScanTiles(from int) ([]Tile, error) {
+	return s.dev.Tiles(from)
+}
+
+// SteerScan re-targets the scan onto a new region mid-stream.
+func (s *Server) SteerScan(r Region) (string, error) {
+	if err := s.dev.Steer(r); err != nil {
+		return "", err
+	}
+	return "Scan steered", nil
+}
+
+// FinishScan closes the held acquisition after the current pass.
+func (s *Server) FinishScan() (string, error) {
+	if err := s.dev.Finish(); err != nil {
+		return "", err
+	}
+	return "Scan finish requested", nil
+}
+
+// BusyScan reports whether an acquisition is open.
+func (s *Server) BusyScan() bool { return s.dev.Busy() }
+
+// GetScanPathRslt blocks until the scan closes and returns its
+// summary (the scan file is then complete on the data channel).
+func (s *Server) GetScanPathRslt() (Result, error) {
+	return s.dev.Wait()
+}
+
+// GetScanFileName returns the scan file name without waiting, so a
+// streaming client can tail it over the data channel mid-scan.
+func (s *Server) GetScanFileName() (string, error) {
+	return s.dev.FileName()
+}
+
+// AbortScan is the remote emergency stop (bypasses fault gating).
+func (s *Server) AbortScan() (string, error) {
+	if err := s.dev.Abort(); err != nil {
+		return "", err
+	}
+	return "Abort requested", nil
+}
+
+// StatusScan returns the device state line.
+func (s *Server) StatusScan() string { return s.dev.Status() }
+
+// DisconnectScan tears the instrument down.
+func (s *Server) DisconnectScan() (string, error) {
+	if err := s.dev.Disconnect(); err != nil {
+		return "", err
+	}
+	return "Microscope disconnected", nil
+}
+
+// FaultParams is the wire form of a fault-injection request (Delay in
+// milliseconds, so drills don't serialize time.Duration).
+type FaultParams struct {
+	Mode    string  `json:"mode"`
+	Count   int     `json:"count,omitempty"`
+	DelayMS float64 `json:"delay_ms,omitempty"`
+	Growth  float64 `json:"growth,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+}
+
+// InjectScanFault installs (or, with an empty mode, clears) a
+// device-level fault — the chaos hook health drills use.
+func (s *Server) InjectScanFault(p FaultParams) (string, error) {
+	spec := DeviceFault{
+		Mode:   FaultMode(p.Mode),
+		Count:  p.Count,
+		Delay:  msToDuration(p.DelayMS),
+		Growth: p.Growth,
+		Seed:   p.Seed,
+	}
+	if err := s.dev.InjectFault(spec); err != nil {
+		return "", err
+	}
+	if spec.Mode == FaultNone {
+		return "Fault cleared", nil
+	}
+	return fmt.Sprintf("Fault %s injected", spec.Mode), nil
+}

@@ -1,0 +1,85 @@
+// Package microscope simulates a scan-steering STEM-style instrument:
+// a raster scanner acquiring per-tile statistics over a synthetic
+// specimen, with mid-stream steering commands that re-target the scan
+// region (the survey → zoom loop of the ORNL autonomous-microscopy
+// companion paper), streamed tile records for online classification,
+// and device-level fault injection compatible with the gateway's
+// instrument health supervisor.
+package microscope
+
+import "math"
+
+// Specimen is a deterministic synthetic 2D intensity field over the
+// unit square: a handful of Gaussian features (the regions of
+// interest a steering pass zooms into) on a gentle background
+// gradient. Identical seeds produce identical specimens, which is
+// what makes scan jobs reproducible end to end.
+type Specimen struct {
+	seed     int64
+	features []feature
+}
+
+// feature is one Gaussian bump: a bright structure worth zooming on.
+type feature struct {
+	x, y  float64 // center in [0,1]²
+	amp   float64 // peak intensity above background
+	sigma float64 // spatial extent
+}
+
+// specimenFeatures is how many structures a specimen carries.
+const specimenFeatures = 4
+
+// NewSpecimen builds the specimen for a seed.
+func NewSpecimen(seed int64) *Specimen {
+	if seed == 0 {
+		seed = 1
+	}
+	rng := uint64(seed)
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(rng%1_000_000) / 1_000_000
+	}
+	s := &Specimen{seed: seed}
+	for i := 0; i < specimenFeatures; i++ {
+		s.features = append(s.features, feature{
+			x:     0.1 + 0.8*next(),
+			y:     0.1 + 0.8*next(),
+			amp:   0.5 + 0.5*next(),
+			sigma: 0.02 + 0.06*next(),
+		})
+	}
+	return s
+}
+
+// Seed returns the specimen's seed.
+func (s *Specimen) Seed() int64 { return s.seed }
+
+// Intensity evaluates the field at (x, y). Outside the unit square the
+// field decays to the background, as a real stage driven past its
+// limits images vacuum.
+func (s *Specimen) Intensity(x, y float64) float64 {
+	v := 0.05 + 0.03*x + 0.02*y
+	if x < 0 || x > 1 || y < 0 || y > 1 {
+		return v
+	}
+	for _, f := range s.features {
+		dx, dy := x-f.x, y-f.y
+		v += f.amp * math.Exp(-(dx*dx+dy*dy)/(2*f.sigma*f.sigma))
+	}
+	return v
+}
+
+// BrightestFeature returns the center of the highest-amplitude
+// feature — the ground truth a steering test checks the classifier
+// against.
+func (s *Specimen) BrightestFeature() (x, y float64) {
+	best := s.features[0]
+	for _, f := range s.features[1:] {
+		if f.amp > best.amp {
+			best = f
+		}
+	}
+	return best.x, best.y
+}

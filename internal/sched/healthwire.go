@@ -40,9 +40,16 @@ type HealthConfig struct {
 	MinDeadline time.Duration
 	// Instruments maps a resource class to its equivalent instances
 	// (default {"sp200": [sp200/ch1], "jkem": [jkem/u1]}). A job needs
-	// one healthy instance of every class; when a class offers
+	// one healthy instance of every class it uses; when a class offers
 	// several, queued jobs route around a quarantined one.
 	Instruments map[string][]string
+	// ClassesFor, when set, narrows the resource classes a job needs
+	// (default: every registered class — the single-workload
+	// behaviour). A mixed facility maps cv/campaign/dag jobs to
+	// {jkem, sp200} and scan jobs to {stem}, so an electrochemistry
+	// tenant never leases the microscope and a quarantined column
+	// never blocks a cv queue.
+	ClassesFor func(JobSpec) []string
 	// Applies, when set, scopes health gating to matching jobs. A
 	// federated node sets it to its home facility so adopted foreign
 	// jobs (driven against the peer's lab) are not gated by local
@@ -154,12 +161,32 @@ func (s *Scheduler) healthApplies(spec JobSpec) bool {
 	return true
 }
 
-// assignInstruments picks one healthy instance per resource class. It
-// returns ok=false with the blocking class name when some class has
+// assignInstruments picks one healthy instance per resource class the
+// job needs (ClassesFor narrows; default every class). It returns
+// ok=false with the blocking class name when some needed class has
 // every instance quarantined.
-func (s *Scheduler) assignInstruments() (resources []string, blockedClass string, ok bool) {
+func (s *Scheduler) assignInstruments(spec JobSpec) (resources []string, blockedClass string, ok bool) {
 	h := s.cfg.Health
-	for _, class := range h.classes() {
+	classes := h.classes()
+	if h.ClassesFor != nil {
+		if narrowed := h.ClassesFor(spec); len(narrowed) > 0 {
+			// Keep only classes the supervisor actually registered, in
+			// stable order; unknown names are ignored rather than
+			// wedging dispatch forever.
+			keep := map[string]bool{}
+			for _, c := range narrowed {
+				keep[c] = true
+			}
+			var filtered []string
+			for _, c := range classes {
+				if keep[c] {
+					filtered = append(filtered, c)
+				}
+			}
+			classes = filtered
+		}
+	}
+	for _, class := range classes {
 		picked := ""
 		for _, res := range h.Instruments[class] {
 			if !s.health.Quarantined(res) {

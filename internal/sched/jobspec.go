@@ -49,6 +49,50 @@ type CellSpec struct {
 	MaxMM float64 `json:"max_mm,omitempty"`
 }
 
+// ScanSpec parameterises a scan job: the survey raster and the online
+// steering policy the runner applies to the streamed tiles.
+type ScanSpec struct {
+	// TilesX and TilesY set the survey raster grid (0 = instrument
+	// default 8×8; max 64 per axis).
+	TilesX int `json:"tiles_x,omitempty"`
+	TilesY int `json:"tiles_y,omitempty"`
+	// PixelsPerTile sets per-tile resolution (0 = default 16; max 256).
+	PixelsPerTile int `json:"pixels_per_tile,omitempty"`
+	// DwellUS is the per-pixel dwell in microseconds (0 = default).
+	DwellUS float64 `json:"dwell_us,omitempty"`
+	// MinScore is the steering threshold: a survey whose best tile
+	// scores below it finishes without zooming (0 = always zoom on the
+	// best tile).
+	MinScore float64 `json:"min_score,omitempty"`
+	// ZoomFactor shrinks the window per steer (0 = default 4).
+	ZoomFactor float64 `json:"zoom_factor,omitempty"`
+	// MaxSteers bounds how many zoom passes follow the survey
+	// (default 1, max 8; the runner steers at most this many times).
+	MaxSteers int `json:"max_steers,omitempty"`
+}
+
+func (s *ScanSpec) validate() error {
+	if s.TilesX < 0 || s.TilesX > 64 || s.TilesY < 0 || s.TilesY > 64 {
+		return fmt.Errorf("sched: scan tile grid %dx%d outside 0..64", s.TilesX, s.TilesY)
+	}
+	if s.PixelsPerTile < 0 || s.PixelsPerTile > 256 {
+		return fmt.Errorf("sched: scan pixels_per_tile %d outside 0..256", s.PixelsPerTile)
+	}
+	if !finiteIn(s.DwellUS, 0, 1e6) {
+		return fmt.Errorf("sched: scan dwell_us %v outside 0..1e6", s.DwellUS)
+	}
+	if !finiteIn(s.MinScore, 0, 1e6) {
+		return fmt.Errorf("sched: scan min_score %v outside 0..1e6", s.MinScore)
+	}
+	if !finiteIn(s.ZoomFactor, 0, 64) {
+		return fmt.Errorf("sched: scan zoom_factor %v outside 0..64", s.ZoomFactor)
+	}
+	if s.MaxSteers < 0 || s.MaxSteers > 8 {
+		return fmt.Errorf("sched: scan max_steers %d outside 0..8", s.MaxSteers)
+	}
+	return nil
+}
+
 // JobSpec is the declarative experiment request a tenant submits to
 // the gateway.
 type JobSpec struct {
@@ -85,6 +129,9 @@ type JobSpec struct {
 	// It is validated (schema, references, cycles) at admission with
 	// dag.DecodeSpec, so the queue never holds a malformed graph.
 	DAG json.RawMessage `json:"dag,omitempty"`
+	// Scan parameterises a scan job (survey → steer → zoom on a
+	// scan-steering microscope); nil uses instrument defaults.
+	Scan *ScanSpec `json:"scan,omitempty"`
 }
 
 // Job kinds.
@@ -92,6 +139,7 @@ const (
 	KindCV       = "cv"
 	KindCampaign = "campaign"
 	KindDAG      = "dag"
+	KindScan     = "scan"
 )
 
 // DecodeJobSpec parses and validates a tenant-submitted job spec. It
@@ -141,6 +189,9 @@ func (s *JobSpec) Validate() error {
 		if len(s.DAG) != 0 {
 			return fmt.Errorf("sched: cv job does not take a dag")
 		}
+		if s.Scan != nil {
+			return fmt.Errorf("sched: cv job does not take a scan")
+		}
 		if !finiteIn(s.ScanRateMVs, 0, 10_000) {
 			return fmt.Errorf("sched: scan rate %v mV/s outside 0..10000", s.ScanRateMVs)
 		}
@@ -154,6 +205,9 @@ func (s *JobSpec) Validate() error {
 		if len(s.DAG) != 0 {
 			return fmt.Errorf("sched: campaign job does not take a dag")
 		}
+		if s.Scan != nil {
+			return fmt.Errorf("sched: campaign job does not take a scan")
+		}
 		if len(s.Cells) == 0 || len(s.Cells) > maxCells {
 			return fmt.Errorf("sched: campaign needs 1..%d cells, got %d", maxCells, len(s.Cells))
 		}
@@ -163,14 +217,23 @@ func (s *JobSpec) Validate() error {
 			}
 		}
 	case KindDAG:
-		if len(s.Cells) != 0 || s.ScanRateMVs != 0 || s.Points != 0 {
-			return fmt.Errorf("sched: dag job takes only a dag document, not cv or campaign fields")
+		if len(s.Cells) != 0 || s.ScanRateMVs != 0 || s.Points != 0 || s.Scan != nil {
+			return fmt.Errorf("sched: dag job takes only a dag document, not cv, campaign or scan fields")
 		}
 		if len(s.DAG) == 0 {
 			return fmt.Errorf("sched: dag job needs a dag document")
 		}
 		if _, err := dag.DecodeSpec(s.DAG); err != nil {
 			return err
+		}
+	case KindScan:
+		if len(s.Cells) != 0 || len(s.DAG) != 0 || s.ScanRateMVs != 0 || s.Points != 0 {
+			return fmt.Errorf("sched: scan job takes only a scan spec, not cv, campaign or dag fields")
+		}
+		if s.Scan != nil {
+			if err := s.Scan.validate(); err != nil {
+				return err
+			}
 		}
 	case "":
 		return fmt.Errorf("sched: job spec needs a kind")

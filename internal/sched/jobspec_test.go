@@ -15,6 +15,8 @@ func TestDecodeJobSpecValid(t *testing.T) {
 			{"name": "a", "rounds": [{"concentration_mm": 1, "scan_rate_mvs": 50}]},
 			{"name": "b", "target_peak_ua": 30, "min_mm": 0.25, "max_mm": 5}
 		]}`,
+		`{"tenant": "stem", "kind": "scan"}`,
+		`{"tenant": "stem", "kind": "scan", "scan": {"tiles_x": 6, "tiles_y": 6, "pixels_per_tile": 8, "dwell_us": 2, "min_score": 0.05, "zoom_factor": 4, "max_steers": 2}}`,
 	}
 	for _, c := range cases {
 		if _, err := DecodeJobSpec([]byte(c)); err != nil {
@@ -47,6 +49,18 @@ func TestDecodeJobSpecInvalid(t *testing.T) {
 		"oversized":          `{"tenant": "acl", "kind": "cv", "points": ` + strings.Repeat(" ", MaxJobSpecBytes) + `1}`,
 		"nan via string":     `{"tenant": "acl", "kind": "cv", "scan_rate_mvs": 1e999}`,
 		"campaign cv fields": `{"tenant": "acl", "kind": "campaign", "points": 100, "cells": [{"rounds": [{}]}]}`,
+		"cv with scan":       `{"tenant": "acl", "kind": "cv", "scan": {"tiles_x": 4}}`,
+		"campaign with scan": `{"tenant": "acl", "kind": "campaign", "cells": [{"rounds": [{}]}], "scan": {}}`,
+		"scan with cells":    `{"tenant": "acl", "kind": "scan", "cells": [{"rounds": [{}]}]}`,
+		"scan with points":   `{"tenant": "acl", "kind": "scan", "points": 100}`,
+		"scan huge tiles":    `{"tenant": "acl", "kind": "scan", "scan": {"tiles_x": 65}}`,
+		"scan neg tiles":     `{"tenant": "acl", "kind": "scan", "scan": {"tiles_y": -1}}`,
+		"scan huge pixels":   `{"tenant": "acl", "kind": "scan", "scan": {"pixels_per_tile": 257}}`,
+		"scan nan dwell":     `{"tenant": "acl", "kind": "scan", "scan": {"dwell_us": 1e999}}`,
+		"scan neg score":     `{"tenant": "acl", "kind": "scan", "scan": {"min_score": -0.5}}`,
+		"scan huge zoom":     `{"tenant": "acl", "kind": "scan", "scan": {"zoom_factor": 100}}`,
+		"scan many steers":   `{"tenant": "acl", "kind": "scan", "scan": {"max_steers": 9}}`,
+		"scan unknown field": `{"tenant": "acl", "kind": "scan", "scan": {"bogus": 1}}`,
 	}
 	for name, c := range cases {
 		if _, err := DecodeJobSpec([]byte(c)); err == nil {
@@ -65,6 +79,7 @@ func FuzzDecodeJobSpec(f *testing.F) {
 	f.Add([]byte(`{"tenant": "dgx", "kind": "campaign", "cells": [{"name": "c1", "rounds": [{"concentration_mm": 2, "scan_rate_mvs": 50}]}]}`))
 	f.Add([]byte(`{"tenant": "dgx", "kind": "campaign", "cells": [{"target_peak_ua": 30, "min_mm": 0.25, "max_mm": 5}]}`))
 	f.Add([]byte(`{"tenant":"a","kind":"cv","points":1e4}`))
+	f.Add([]byte(`{"tenant": "stem", "kind": "scan", "scan": {"tiles_x": 6, "min_score": 0.05, "zoom_factor": 4}}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`{"tenant": "nul", "kind": "cv"}`))

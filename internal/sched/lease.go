@@ -20,6 +20,10 @@ const (
 	ResourceSP200 = "sp200/ch1"
 	// ResourceJKem is J-Kem unit 1 (syringe pumps, gas, collector).
 	ResourceJKem = "jkem/u1"
+	// ResourceScan is the scan-steering microscope's first column — the
+	// default lease a scan job gates on when the facility config does
+	// not name its own.
+	ResourceScan = "stem/scan1"
 )
 
 // ErrLeaseRevoked is returned by Renew after the manager has revoked

@@ -230,6 +230,10 @@ type LabRunner struct {
 	// scopes them per facility ("facA/sp200/ch1") so adopted foreign
 	// jobs never collide with local ones in the lease table.
 	Resources []string
+	// ScanResources is the scan-job analogue of Resources (default:
+	// the stem/scan1 lease). Scan jobs never contend on the echem
+	// pair, so the two workloads interleave on one scheduler.
+	ScanResources []string
 	// MirrorJournal, when set, replicates each workflow checkpoint line
 	// to the cluster's peer(s) synchronously — the workflow engine does
 	// not proceed past a task boundary until the checkpoint is
@@ -245,6 +249,9 @@ type LabRunner struct {
 	// DAGWorkers bounds a dag job's concurrent node execution
 	// (default 4).
 	DAGWorkers int
+	// CacheMaxBytes caps the DAG blob cache's object store; least-
+	// recently-used blobs are evicted past the cap (0 = unbounded).
+	CacheMaxBytes int64
 }
 
 // ErrUnknownJobKind marks a job whose kind no runner path handles.
@@ -262,6 +269,8 @@ func (r *LabRunner) Run(ctx context.Context, job Job, emit func(string, string))
 		return r.runCampaign(ctx, job, emit)
 	case KindDAG:
 		return r.runDAG(ctx, job, emit)
+	case KindScan:
+		return r.runScan(ctx, job, emit)
 	default:
 		return nil, fmt.Errorf("%w %q", ErrUnknownJobKind, job.Spec.Kind)
 	}
@@ -448,6 +457,8 @@ func (r *LabRunner) runDAG(ctx context.Context, job Job, emit func(string, strin
 	if err != nil {
 		return nil, err
 	}
+	cache.MaxBlobBytes = r.CacheMaxBytes
+	cache.Metrics = r.Metrics
 
 	// Crash recovery: replay the per-node checkpoints the previous
 	// daemon incarnation journaled.

@@ -407,7 +407,7 @@ func (s *Scheduler) Submit(spec JobSpec) (Job, error) {
 		// When every instance of some capable class is quarantined the
 		// job cannot start; tell the submitter to come back after the
 		// cool-down (or go to another facility).
-		if _, blocked, ok := s.assignInstruments(); !ok {
+		if _, blocked, ok := s.assignInstruments(spec); !ok {
 			s.metrics.Counter("sched.jobs.rejected.quarantine").Inc()
 			retry := h.OpenFor
 			if retry < s.cfg.RetryAfter {
@@ -852,7 +852,7 @@ func (s *Scheduler) finishRun(entry *jobEntry) bool {
 func (s *Scheduler) waitForInstruments(job *Job, deadline time.Time, hasDeadline bool) ([]string, bool) {
 	warned := false
 	for {
-		if res, blocked, ok := s.assignInstruments(); ok {
+		if res, blocked, ok := s.assignInstruments(job.Spec); ok {
 			return res, true
 		} else if !warned {
 			warned = true
